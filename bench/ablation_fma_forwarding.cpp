@@ -1,0 +1,66 @@
+// Ablation: late accumulator forwarding on Neoverse V2.
+//
+// The Arm optimization guide documents 2-cycle forwarding of fused
+// accumulates into the accumulator input of the next FMA.  Neither OSACA
+// nor this repository's default configuration models it (Table III reports
+// the full 4-cycle latency).  This bench quantifies what the feature would
+// change: FMA-accumulator recurrences halve; everything else is untouched.
+
+#include <cstdio>
+
+#include "analysis/analyze.hpp"
+#include "asmir/parser.hpp"
+#include "exec/exec.hpp"
+#include "kernels/kernels.hpp"
+#include "support/strings.hpp"
+#include "uarch/model.hpp"
+
+using namespace incore;
+
+int main() {
+  std::printf(
+      "Ablation: Neoverse V2 late accumulator forwarding (2 cy vs 4 cy)\n\n");
+  const auto& mm = uarch::machine(uarch::Micro::NeoverseV2);
+
+  // Micro-kernel: single fused accumulator chain.
+  auto chain = asmir::parse(
+      "fmla v0.2d, v1.2d, v2.2d\nsubs x9, x9, #1\nb.ne .L\n", mm.isa());
+  analysis::DepOptions fwd;
+  fwd.model_accumulator_forwarding = true;
+  std::printf("single fmla chain: LCD %.1f cy (default) vs %.1f cy "
+              "(forwarding)\n\n",
+              analysis::analyze(chain, mm).loop_carried_cycles(),
+              analysis::analyze(chain, mm, fwd).loop_carried_cycles());
+
+  // Effect across the GCS half of the validation matrix.
+  int affected = 0, total = 0;
+  double worst_change = 0;
+  std::string worst;
+  for (const kernels::Variant& v : kernels::test_matrix()) {
+    if (v.target != uarch::Micro::NeoverseV2) continue;
+    auto g = kernels::generate(v);
+    double base = analysis::analyze(g.program, mm).predicted_cycles();
+    double with = analysis::analyze(g.program, mm, fwd).predicted_cycles();
+    ++total;
+    if (with < base - 1e-6) {
+      ++affected;
+      double change = (base - with) / base;
+      if (change > worst_change) {
+        worst_change = change;
+        worst = v.label();
+      }
+    }
+  }
+  std::printf("GCS validation blocks with a tighter bound: %d of %d\n",
+              affected, total);
+  if (affected > 0) {
+    std::printf("largest improvement: %.0f%% on %s\n", 100 * worst_change,
+                worst.c_str());
+  }
+  std::printf(
+      "\nInterpretation: forwarding matters only for latency-bound fused-"
+      "accumulate\nrecurrences; the streaming validation kernels are "
+      "throughput-bound, which is\nwhy the paper's model ignores it without "
+      "penalty.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Generational comparison: Ice Lake SP (Sunny Cove) vs. Sapphire Rapids
+// (Golden Cove).  The paper notes Intel "managed to decrease the ADD
+// latency by half compared to the predecessor Ice Lake" while trading
+// higher FP latencies for throughput elsewhere; this bench quantifies the
+// effect on latency-bound kernels.
+
+#include <cstdio>
+
+#include "analysis/analyze.hpp"
+#include "asmir/parser.hpp"
+#include "exec/exec.hpp"
+#include "report/report.hpp"
+#include "support/strings.hpp"
+#include "uarch/model.hpp"
+
+using namespace incore;
+using support::format;
+
+namespace {
+
+double latency_of(const uarch::MachineModel& mm, const char* tmpl) {
+  return exec::measure_latency(tmpl, mm);
+}
+
+}  // namespace
+
+int main() {
+  const uarch::MachineModel& icl = uarch::ice_lake_sp();
+  const uarch::MachineModel& glc = uarch::machine(uarch::Micro::GoldenCove);
+
+  std::printf("Generational ablation: Ice Lake SP vs. Golden Cove (SPR)\n\n");
+  report::Table t({"metric", "Ice Lake SP", "Golden Cove"});
+  t.add_row({"ports", std::to_string(icl.port_count()),
+             std::to_string(glc.port_count())});
+  t.add_row({"VEC ADD latency [cy]",
+             format("%.0f", latency_of(icl, "vaddpd %zmm28, %zmm{s}, %zmm{d}")),
+             format("%.0f", latency_of(glc, "vaddpd %zmm28, %zmm{s}, %zmm{d}"))});
+  t.add_row({"Scalar ADD latency [cy]",
+             format("%.0f", latency_of(icl, "vaddsd %xmm28, %xmm{s}, %xmm{d}")),
+             format("%.0f", latency_of(glc, "vaddsd %xmm28, %xmm{s}, %xmm{d}"))});
+  t.add_row({"VEC FMA latency [cy]",
+             format("%.0f",
+                    latency_of(icl, "vfmadd231pd %zmm{s}, %zmm29, %zmm{d}")),
+             format("%.0f",
+                    latency_of(glc, "vfmadd231pd %zmm{s}, %zmm29, %zmm{d}"))});
+  std::fputs(t.to_string().c_str(), stdout);
+
+  // Effect on a latency-bound kernel: the scalar sum reduction.
+  const char* sum_body =
+      "vaddsd (%rbx,%rcx,8), %xmm0, %xmm0\n"
+      "addq $1, %rcx\n"
+      "cmpq %rdi, %rcx\n"
+      "jne .L2\n";
+  for (const uarch::MachineModel* mm : {&icl, &glc}) {
+    auto prog = asmir::parse(sum_body, mm->isa());
+    auto rep = analysis::analyze(prog, *mm);
+    auto meas = exec::run(prog, *mm);
+    std::printf(
+        "\nscalar sum on %-12s: bound %.2f cy/elem, testbed %.2f cy/elem",
+        mm->name().c_str(), rep.predicted_cycles(),
+        meas.cycles_per_iteration);
+  }
+  std::printf(
+      "\n\nReading: the dedicated 2-cycle adders of Golden Cove double the "
+      "throughput of\nlatency-bound reductions relative to Sunny Cove's "
+      "4-cycle FMA-pipe adds.\n");
+  return 0;
+}

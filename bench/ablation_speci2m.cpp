@@ -1,0 +1,71 @@
+// Ablation: SpecI2M design-parameter sweeps on the SPR memory system.
+//
+// Sweeps the utilization threshold and the maximum conversion fraction and
+// reports the full-domain traffic ratio, plus the write-combining buffer
+// imperfection for NT stores.  Shows which parameter shapes which part of
+// the Fig. 4 curves.
+
+#include <cstdio>
+
+#include "memsim/memsim.hpp"
+#include "support/strings.hpp"
+#include "uarch/model.hpp"
+
+using namespace incore;
+using memsim::StoreKind;
+
+int main() {
+  std::printf("Ablation: SpecI2M and WC-buffer parameters (SPR model)\n\n");
+  constexpr double kSet = 40e9;
+
+  std::printf("conversion cap sweep (threshold fixed at 0.70):\n");
+  std::printf("  %-8s", "cores:");
+  for (int n : {2, 4, 6, 8, 10, 13}) std::printf(" %5d", n);
+  std::printf("\n");
+  for (double cap : {0.0, 0.125, 0.25, 0.5, 1.0}) {
+    auto cfg = memsim::preset(uarch::Micro::GoldenCove);
+    cfg.spec_i2m_max_conversion = cap;
+    memsim::System sys(cfg);
+    std::printf("  cap %.2f ", cap);
+    for (int n : {2, 4, 6, 8, 10, 13}) {
+      std::printf(" %5.2f",
+                  sys.run_store_benchmark(n, kSet, StoreKind::Standard)
+                      .ratio());
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nutilization threshold sweep (cap fixed at 0.25):\n");
+  std::printf("  %-10s", "cores:");
+  for (int n : {2, 4, 6, 8, 10, 13}) std::printf(" %5d", n);
+  std::printf("\n");
+  for (double thr : {0.3, 0.5, 0.7, 0.9}) {
+    auto cfg = memsim::preset(uarch::Micro::GoldenCove);
+    cfg.spec_i2m_threshold = thr;
+    cfg.spec_i2m_full_util = std::min(0.99, thr + 0.27);
+    memsim::System sys(cfg);
+    std::printf("  thr %.1f   ", thr);
+    for (int n : {2, 4, 6, 8, 10, 13}) {
+      std::printf(" %5.2f",
+                  sys.run_store_benchmark(n, kSet, StoreKind::Standard)
+                      .ratio());
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nNT-store partial-fill fraction sweep:\n");
+  for (double part : {0.0, 0.05, 0.10, 0.20}) {
+    auto cfg = memsim::preset(uarch::Micro::GoldenCove);
+    cfg.nt_partial_max = part;
+    memsim::System sys(cfg);
+    std::printf("  partial %.2f -> full-domain NT ratio %.3f\n", part,
+                sys.run_store_benchmark(13, kSet, StoreKind::NonTemporal)
+                    .ratio());
+  }
+
+  std::printf(
+      "\nInterpretation: the conversion cap sets the floor of the standard-"
+      "store curve\n(2.0 - cap); the threshold sets where it bends; the "
+      "partial-fill fraction sets\nthe NT-store plateau (paper: ~1.1).\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Bandwidth saturation curves (the likwid-bench part of the paper's
+// workflow): useful bandwidth vs. active cores for the classic streaming
+// benchmark kinds, per machine.  "Useful" counts the bytes the kernel
+// semantically moves; write-allocate traffic is overhead, so machines that
+// evade it (Grace always; SPR partially near saturation) convert more of
+// their interface bandwidth into useful bandwidth.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "memsim/memsim.hpp"
+#include "support/strings.hpp"
+#include "uarch/model.hpp"
+
+using namespace incore;
+using memsim::StoreKind;
+
+namespace {
+
+struct BenchKind {
+  const char* name;
+  double loads_per_elem;
+  double stores_per_elem;
+};
+
+const BenchKind kKinds[] = {
+    {"load", 1, 0},
+    {"copy", 1, 1},
+    {"update", 1, 1},  // same stream for load and store
+    {"triad", 2, 1},
+    {"store", 0, 1},
+};
+
+/// Useful GB/s for a benchmark kind with `cores` active.
+double useful_bw(const memsim::System& sys, int cores, const BenchKind& k) {
+  const auto& cfg = sys.config();
+  // Write-allocate overhead per element (reads the controller must do on
+  // top of the semantic traffic), given the evasion mechanism's state at
+  // this core count.
+  int in_domain = std::min(cores, cfg.cores_per_domain);
+  auto dr = sys.solve_domain(in_domain, StoreKind::Standard);
+  double wa_reads = k.stores_per_elem * (1.0 - dr.conversion);
+  double useful = k.loads_per_elem + k.stores_per_elem;
+  double traffic = useful + wa_reads;
+  double rf = (k.loads_per_elem + wa_reads) / traffic;
+  double traffic_bw = sys.achieved_bw(cores, rf);
+  return traffic_bw * useful / traffic;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Bandwidth saturation: useful GB/s vs. cores\n");
+  for (uarch::Micro m : uarch::all_micros()) {
+    memsim::System sys(memsim::preset(m));
+    const int cores = sys.config().cores;
+    std::printf("\n%s (theoretical %.0f GB/s)\n", sys.config().name,
+                sys.config().theoretical_bw_gbs);
+    for (const BenchKind& k : kKinds) {
+      std::printf("  %-7s", k.name);
+      for (int n = 1; n <= cores; n = n < 4 ? n + 1 : n + (cores + 7) / 8) {
+        std::printf(" %5.0f", useful_bw(sys, n, k));
+      }
+      std::printf("  | full %5.0f\n", useful_bw(sys, cores, k));
+    }
+  }
+  std::printf(
+      "\nReading: Grace turns nearly all interface bandwidth into useful "
+      "bandwidth on\nstore-bearing kernels (automatic write-allocate "
+      "evasion); Genoa loses a third on\nthe store benchmark; SPR recovers "
+      "a few percent near saturation via SpecI2M.\n");
+  return 0;
+}

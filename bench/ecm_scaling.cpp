@@ -1,0 +1,80 @@
+// Extension bench (the paper's stated future work): Execution-Cache-Memory
+// composition of the in-core model.  For each streaming kernel and machine:
+// the ECM decomposition T_OL || T_nOL + T_L1L2 + T_L2L3 + T_L3Mem, the
+// memory-resident single-core prediction, and the saturation core count.
+
+#include <cstdio>
+
+#include "ecm/ecm.hpp"
+#include "kernels/kernels.hpp"
+#include "memsim/memsim.hpp"
+#include "report/report.hpp"
+#include "support/strings.hpp"
+#include "uarch/model.hpp"
+
+using namespace incore;
+using support::format;
+
+int main() {
+  std::printf(
+      "ECM composition (cycles per iteration; -O3, preferred compiler)\n\n");
+  const kernels::Kernel ks[] = {
+      kernels::Kernel::Copy,          kernels::Kernel::Add,
+      kernels::Kernel::StreamTriad,   kernels::Kernel::SchoenauerTriad,
+      kernels::Kernel::Jacobi2D5pt,   kernels::Kernel::Jacobi3D7pt,
+      kernels::Kernel::SumReduction,  kernels::Kernel::Update,
+  };
+  report::Table t({"kernel", "machine", "T_OL", "T_nOL", "L1-L2", "L2-L3",
+                   "L3-Mem", "T_ECM(Mem)", "cy/elem", "n_sat"});
+  for (kernels::Kernel k : ks) {
+    for (uarch::Micro m : uarch::all_micros()) {
+      kernels::Variant v{k, kernels::compilers_for(m).front(),
+                         kernels::OptLevel::O3, m};
+      auto g = kernels::generate(v);
+      auto p = ecm::predict_kernel(v);
+      auto h = ecm::hierarchy(m);
+      t.add_row({kernels::to_string(k), uarch::cpu_short_name(m),
+                 format("%.2f", p.t_ol), format("%.2f", p.t_nol),
+                 format("%.2f", p.t_l1l2), format("%.2f", p.t_l2l3),
+                 format("%.2f", p.t_l3mem),
+                 format("%.2f", p.cycles(ecm::DataLocation::Memory)),
+                 format("%.2f", p.cycles(ecm::DataLocation::Memory) /
+                                    g.elements_per_iteration),
+                 std::to_string(p.saturation_cores(h))});
+    }
+  }
+  std::fputs(t.to_string().c_str(), stdout);
+
+  std::printf("\nSTREAM-triad scaling (predicted GB/s of useful traffic):\n");
+  for (uarch::Micro m : uarch::all_micros()) {
+    kernels::Variant v{kernels::Kernel::StreamTriad,
+                       kernels::compilers_for(m).front(),
+                       kernels::OptLevel::O3, m};
+    auto g = kernels::generate(v);
+    auto p = ecm::predict_kernel(v);
+    auto h = ecm::hierarchy(m);
+    const double f_ghz = [&] {
+      switch (m) {
+        case uarch::Micro::NeoverseV2: return 3.4;
+        case uarch::Micro::GoldenCove: return 2.0;
+        case uarch::Micro::Zen4: return 2.55;
+      }
+      return 1.0;
+    }();
+    // Useful bytes per iteration: 3 streams x 8 B x elements.
+    double bytes_per_iter = 24.0 * g.elements_per_iteration;
+    std::printf("  %-6s", uarch::cpu_short_name(m));
+    const int cores = memsim::preset(m).cores;
+    for (int n = 1; n <= cores; n = n < 4 ? n + 1 : n + (cores + 7) / 8) {
+      double cyc = p.multicore_cycles(n, h);
+      std::printf(" %6.0f", bytes_per_iter / cyc * f_ghz);
+    }
+    std::printf("  | n_sat=%d\n", p.saturation_cores(h));
+  }
+  std::printf(
+      "\nInterpretation: write-allocate evasion shrinks GCS's memory term by "
+      "a third on\nstore-bearing kernels; SPR's wide datapath gives the "
+      "lowest in-core terms but\nthe memory term dominates everywhere "
+      "(classic streaming-kernel behaviour).\n");
+  return 0;
+}

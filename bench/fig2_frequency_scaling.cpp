@@ -1,0 +1,71 @@
+// Reproduces Fig. 2: sustained CPU clock frequency for arithmetic-heavy
+// code vs. number of active cores, per ISA extension, on all three chips.
+//
+// Prints one series per (chip, ISA class) plus a CSV block for re-plotting.
+
+#include <cstdio>
+#include <vector>
+
+#include "power/power.hpp"
+#include "power/thermal.hpp"
+#include "support/csv.hpp"
+#include "support/strings.hpp"
+#include "uarch/model.hpp"
+
+#include <iostream>
+
+using namespace incore;
+using power::IsaClass;
+using support::format;
+
+int main() {
+  std::printf("Fig. 2: sustained frequency vs. active cores (GHz)\n\n");
+
+  for (uarch::Micro m : uarch::all_micros()) {
+    const auto& c = power::chip(m);
+    std::printf("%s (TDP %.0f W, turbo %.1f GHz)\n", c.name, c.tdp_w,
+                c.turbo_ghz);
+    for (IsaClass isa : power::isa_classes_for(m)) {
+      std::printf("  %-8s", power::to_string(isa));
+      for (int n = 1; n <= c.cores; n = n < 4 ? n + 1 : n + c.cores / 12) {
+        double f = power::sustained_frequency(m, isa, n);
+        std::printf(" %4.2f", f);
+      }
+      double full = power::sustained_frequency(m, isa, c.cores);
+      std::printf("  | full socket %.2f GHz (%.0f%% of turbo)\n", full,
+                  100.0 * full / c.turbo_ghz);
+    }
+    std::printf("\n");
+  }
+
+  // Transient view (the paper tracked clocks over minutes of runtime):
+  // boost phase, then throttle to the sustained plateau.
+  std::printf("Transient (SPR, AVX-512, full socket; GHz sampled every 60 s):\n  ");
+  auto trace = power::simulate_thermal_trace(uarch::Micro::GoldenCove,
+                                             IsaClass::Avx512, 52, 600.0);
+  for (std::size_t i = 0; i < trace.size(); i += 600) {
+    std::printf(" %4.2f", trace[i].frequency_ghz);
+  }
+  std::printf("  -> sustained %.2f GHz\n\n",
+              power::sustained_from_trace(trace));
+
+  // CSV block: cores, then one column per (chip, isa).
+  std::printf("CSV (cores, chip, isa, ghz):\n");
+  support::CsvWriter csv(std::cout);
+  csv.header({"cores", "chip", "isa", "ghz"});
+  for (uarch::Micro m : uarch::all_micros()) {
+    const auto& c = power::chip(m);
+    for (IsaClass isa : power::isa_classes_for(m)) {
+      for (int n = 1; n <= c.cores; ++n) {
+        csv.row({std::to_string(n), c.name, power::to_string(isa),
+                 format("%.3f", power::sustained_frequency(m, isa, n))});
+      }
+    }
+  }
+
+  std::printf(
+      "\nPaper reference: SPR AVX-512 drops to 2.0 GHz (53%% of turbo), "
+      "SSE/AVX hold 3.0 GHz (78%%);\nGenoa falls to ~3.1 GHz (84%%) for all "
+      "ISAs; GCS pinned at 3.4 GHz throughout.\n");
+  return 0;
+}

@@ -1,0 +1,145 @@
+// Reproduces Fig. 3: histograms of the relative prediction error (RPE) of
+// the OSACA-style in-core model and the LLVM-MCA-style comparator over the
+// full validation matrix (13 kernels x 4 optimization levels x the
+// compilers available per machine = 416 test blocks).
+//
+//   RPE = (measured - predicted) / measured
+//
+// Bars right of the zero line are predictions *faster* than the
+// measurement -- desired for a lower-bound model.  The leftmost bucket
+// collects predictions off by more than a factor of two (RPE <= -1).
+//
+// The "measurement" is the execution-testbed simulation of each block on
+// its target machine (the hardware substitute; see DESIGN.md).
+
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "analysis/analyze.hpp"
+#include "exec/exec.hpp"
+#include "kernels/kernels.hpp"
+#include "mca/mca.hpp"
+#include "report/report.hpp"
+#include "support/csv.hpp"
+#include "support/ks.hpp"
+#include "support/stats.hpp"
+#include "support/strings.hpp"
+#include "uarch/model.hpp"
+
+using namespace incore;
+using support::format;
+
+int main(int argc, char** argv) {
+  const bool emit_csv = argc > 1 && std::string(argv[1]) == "--csv";
+
+  struct Sample {
+    kernels::Variant variant;
+    double measured;
+    double osaca;
+    double mca;
+  };
+  std::vector<Sample> samples;
+  std::set<std::string> unique_asm;
+
+  for (const kernels::Variant& v : kernels::test_matrix()) {
+    auto gen = kernels::generate(v);
+    unique_asm.insert(gen.assembly);
+    const auto& mm = uarch::machine(v.target);
+    auto rep = analysis::analyze(gen.program, mm);
+    auto meas = exec::run(gen.program, mm);
+    auto pred = mca::simulate(gen.program, mm);
+    samples.push_back(Sample{v, meas.cycles_per_iteration,
+                             rep.predicted_cycles(),
+                             pred.cycles_per_iteration});
+  }
+
+  std::printf("Fig. 3: relative prediction error over %zu test blocks "
+              "(%zu unique assembly representations)\n\n",
+              samples.size(), unique_asm.size());
+
+  auto rpe = [](double measured, double predicted) {
+    return (measured - predicted) / measured;
+  };
+
+  // Per-model histograms (10% buckets like the paper), per machine and
+  // total, plus the summary statistics quoted in the text.
+  for (const char* model : {"OSACA", "LLVM-MCA"}) {
+    const bool osaca = std::string(model) == "OSACA";
+    support::Histogram all(-1.0, 1.0, 20);
+    std::map<uarch::Micro, std::vector<double>> per_arch;
+    std::vector<double> rpes;
+    for (const Sample& s : samples) {
+      double r = rpe(s.measured, osaca ? s.osaca : s.mca);
+      all.add(r);
+      per_arch[s.variant.target].push_back(r);
+      rpes.push_back(r);
+    }
+    std::fputs(
+        report::render_rpe_histogram(all, format("%s model, all machines",
+                                                 model))
+            .c_str(),
+        stdout);
+    auto sum = report::summarize_rpe(rpes);
+    std::printf(
+        "  right of zero: %.0f%% | within +10%%: %.0f%% | within +20%%: "
+        "%.0f%% | off by >2x: %d\n",
+        100 * sum.fraction_right, 100 * sum.fraction_in10,
+        100 * sum.fraction_in20, sum.off_by_2x);
+    for (auto& [micro, vec] : per_arch) {
+      auto s = report::summarize_rpe(vec);
+      std::printf(
+          "  %-6s avg under-prediction RPE %.0f%% | avg |RPE| %.0f%% "
+          "(n=%zu)\n",
+          uarch::cpu_short_name(micro), 100 * s.mean_under_rpe,
+          100 * s.mean_abs_rpe, vec.size());
+    }
+    std::printf("\n");
+  }
+
+  // Are the two RPE distributions statistically distinct?  (The paper
+  // argues this visually from the histograms; we attach a KS test.)
+  {
+    std::vector<double> osaca, mca_v;
+    for (const Sample& s : samples) {
+      osaca.push_back(rpe(s.measured, s.osaca));
+      mca_v.push_back(rpe(s.measured, s.mca));
+    }
+    auto ks = support::ks_test(osaca, mca_v);
+    std::printf(
+        "Kolmogorov-Smirnov OSACA vs LLVM-MCA RPE: D = %.3f, p = %.2e "
+        "(distributions %s)\n\n",
+        ks.statistic, ks.p_value,
+        ks.p_value < 0.01 ? "clearly distinct" : "not distinguishable");
+  }
+
+  // The paper's headline outliers, called out explicitly.
+  std::printf("Outliers (prediction slower than measurement by > 5%%):\n");
+  for (const Sample& s : samples) {
+    double r = rpe(s.measured, s.osaca);
+    if (r < -0.05) {
+      std::printf("  OSACA %-46s pred %.2f vs meas %.2f (RPE %+.2f)\n",
+                  s.variant.label().c_str(), s.osaca, s.measured, r);
+    }
+  }
+
+  if (emit_csv) {
+    std::printf("\nCSV (variant, measured, osaca, mca):\n");
+    support::CsvWriter csv(std::cout);
+    csv.header({"variant", "measured_cy", "osaca_cy", "mca_cy"});
+    for (const Sample& s : samples) {
+      csv.row({s.variant.label(), format("%.3f", s.measured),
+               format("%.3f", s.osaca), format("%.3f", s.mca)});
+    }
+  }
+
+  std::printf(
+      "\nPaper reference: OSACA 96%% right of zero, 37%%/44%% within "
+      "+10/+20%%, 1 block off by >2x;\nLLVM-MCA predicts 75%% of blocks "
+      "slower than measured, 14 off by >2x.\nAverage under-prediction RPE "
+      "(OSACA): GC 24%%, V2 30%%, Zen4 18%%; |RPE| OSACA 30/26/18 vs "
+      "LLVM-MCA 35/52/16.\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Node-level synthesis: the paper's intro question -- "if an application
+// allows a high parallelism on the node level ... the overall throughput of
+// the Genoa system might come out first".  Combines the in-core model, the
+// sustained-clock model and the memory-bandwidth model into a predicted
+// full-socket rate per kernel, and names the winner.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "ecm/ecm.hpp"
+#include "kernels/kernels.hpp"
+#include "power/power.hpp"
+#include "report/report.hpp"
+#include "roofline/roofline.hpp"
+#include "support/strings.hpp"
+#include "uarch/model.hpp"
+
+using namespace incore;
+using support::format;
+
+namespace {
+
+/// Predicted full-socket useful rate in Gelem/s for a kernel on a machine.
+double node_rate_gelem(const kernels::Variant& v) {
+  auto p = ecm::predict_kernel(v);
+  auto h = ecm::hierarchy(v.target);
+  auto g = kernels::generate(v);
+  const auto& chip = power::chip(v.target);
+  power::IsaClass isa = v.target == uarch::Micro::NeoverseV2
+                            ? power::IsaClass::Sve
+                            : power::IsaClass::Avx512;
+  double f_ghz = power::sustained_frequency(v.target, isa, chip.cores);
+  double cyc = p.multicore_cycles(chip.cores, h);
+  return g.elements_per_iteration / cyc * f_ghz;  // Gelem/s
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Node-level winner per kernel (full socket, -O3, preferred "
+      "compiler)\n\n");
+  report::Table t({"kernel", "GCS", "SPR", "Genoa", "winner", "factor"});
+  int wins_gcs = 0, wins_spr = 0, wins_genoa = 0;
+  for (kernels::Kernel k : kernels::all_kernels()) {
+    std::vector<double> rates;
+    for (uarch::Micro m : uarch::all_micros()) {
+      kernels::Variant v{k, kernels::compilers_for(m).front(),
+                         kernels::OptLevel::O3, m};
+      rates.push_back(node_rate_gelem(v));
+    }
+    int best = static_cast<int>(
+        std::max_element(rates.begin(), rates.end()) - rates.begin());
+    double second = 0;
+    for (int i = 0; i < 3; ++i)
+      if (i != best) second = std::max(second, rates[i]);
+    const char* names[] = {"GCS", "SPR", "Genoa"};
+    if (best == 0) ++wins_gcs;
+    if (best == 1) ++wins_spr;
+    if (best == 2) ++wins_genoa;
+    t.add_row({kernels::to_string(k), format("%.1f", rates[0]),
+               format("%.1f", rates[1]), format("%.1f", rates[2]),
+               names[best],
+               second > 0 ? format("%.2fx", rates[best] / second) : "-"});
+  }
+  // The paper's counter-case: compute-dense work (the artificial peak-FLOP
+  // benchmark of Table I), where core count x width x clock decides.
+  {
+    std::vector<double> tf;
+    for (uarch::Micro m : uarch::all_micros())
+      tf.push_back(power::peak_flops(m).achievable_tflops);
+    int best = static_cast<int>(
+        std::max_element(tf.begin(), tf.end()) - tf.begin());
+    const char* names[] = {"GCS", "SPR", "Genoa"};
+    double second = 0;
+    for (int i = 0; i < 3; ++i)
+      if (i != best) second = std::max(second, tf[i]);
+    t.add_row({"dense FMA (Tflop/s)", format("%.2f", tf[0]),
+               format("%.2f", tf[1]), format("%.2f", tf[2]), names[best],
+               format("%.2fx", tf[best] / second)});
+  }
+  std::fputs(t.to_string().c_str(), stdout);
+  std::printf("\nwins: GCS %d, SPR %d, Genoa %d (units: Gelem/s of useful "
+              "output)\n",
+              wins_gcs, wins_spr, wins_genoa);
+  std::printf(
+      "\nReading: streaming kernels follow the useful-bandwidth ordering "
+      "(GCS's\nwrite-allocate evasion and bandwidth lead); only core-bound "
+      "recurrences\n(Gauss-Seidel) and divider-bound kernels (pi) are decided "
+      "by the cores -- where\nGenoa's 96 cores or GCS's low latencies take "
+      "over, matching the paper's\ndiscussion.\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Tooling performance (google-benchmark): how fast the static analyzer,
+// the comparator and the execution testbed process kernels.  A static
+// analysis tool is only useful if it is much faster than running the code;
+// this keeps the implementation honest.
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/analyze.hpp"
+#include "asmir/parser.hpp"
+#include "exec/exec.hpp"
+#include "kernels/kernels.hpp"
+#include "mca/mca.hpp"
+#include "uarch/model.hpp"
+
+using namespace incore;
+
+namespace {
+
+const kernels::GeneratedKernel& sample_kernel() {
+  static const kernels::GeneratedKernel g = kernels::generate(
+      {kernels::Kernel::SchoenauerTriad, kernels::Compiler::OneApi,
+       kernels::OptLevel::O3, uarch::Micro::GoldenCove});
+  return g;
+}
+
+void BM_ParseX86(benchmark::State& state) {
+  const auto& g = sample_kernel();
+  for (auto _ : state) {
+    auto p = asmir::parse(g.assembly, asmir::Isa::X86_64);
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_ParseX86);
+
+void BM_AnalyzeKernel(benchmark::State& state) {
+  const auto& g = sample_kernel();
+  const auto& mm = uarch::machine(uarch::Micro::GoldenCove);
+  for (auto _ : state) {
+    auto rep = analysis::analyze(g.program, mm);
+    benchmark::DoNotOptimize(rep.predicted_cycles());
+  }
+}
+BENCHMARK(BM_AnalyzeKernel);
+
+void BM_McaSimulate(benchmark::State& state) {
+  const auto& g = sample_kernel();
+  const auto& mm = uarch::machine(uarch::Micro::GoldenCove);
+  for (auto _ : state) {
+    auto r = mca::simulate(g.program, mm);
+    benchmark::DoNotOptimize(r.cycles_per_iteration);
+  }
+}
+BENCHMARK(BM_McaSimulate);
+
+void BM_TestbedRun(benchmark::State& state) {
+  const auto& g = sample_kernel();
+  const auto& mm = uarch::machine(uarch::Micro::GoldenCove);
+  for (auto _ : state) {
+    auto r = exec::run(g.program, mm);
+    benchmark::DoNotOptimize(r.cycles_per_iteration);
+  }
+}
+BENCHMARK(BM_TestbedRun);
+
+void BM_GenerateVariant(benchmark::State& state) {
+  kernels::Variant v{kernels::Kernel::Jacobi3D27pt, kernels::Compiler::Gcc,
+                     kernels::OptLevel::O3, uarch::Micro::Zen4};
+  for (auto _ : state) {
+    auto g = kernels::generate(v);
+    benchmark::DoNotOptimize(g.program.size());
+  }
+}
+BENCHMARK(BM_GenerateVariant);
+
+void BM_FullMatrixAnalysis(benchmark::State& state) {
+  // End-to-end cost of the Fig. 3 static-analysis half.
+  auto matrix = kernels::test_matrix();
+  for (auto _ : state) {
+    double sum = 0;
+    for (const auto& v : matrix) {
+      auto g = kernels::generate(v);
+      sum += analysis::analyze(g.program, uarch::machine(v.target))
+                 .predicted_cycles();
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_FullMatrixAnalysis)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

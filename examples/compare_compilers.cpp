@@ -1,0 +1,56 @@
+// Compare compiler personalities on one kernel: show the generated loop
+// bodies and how the in-core model ranks them.
+//
+//   ./compare_compilers [kernel] [gcs|spr|genoa]
+//
+// Kernels: add copy init update stream-triad schoenauer-triad sum pi
+//          jacobi-2d-5pt jacobi-3d-7pt jacobi-3d-11pt jacobi-3d-27pt
+//          gauss-seidel-2d-5pt
+
+#include <cstdio>
+#include <string>
+
+#include "analysis/analyze.hpp"
+#include "exec/exec.hpp"
+#include "kernels/kernels.hpp"
+#include "support/strings.hpp"
+#include "uarch/model.hpp"
+
+using namespace incore;
+
+int main(int argc, char** argv) {
+  kernels::Kernel kernel = kernels::Kernel::SchoenauerTriad;
+  if (argc > 1) {
+    for (kernels::Kernel k : kernels::all_kernels()) {
+      if (std::string(argv[1]) == kernels::to_string(k)) kernel = k;
+    }
+  }
+  uarch::Micro micro = uarch::Micro::GoldenCove;
+  if (argc > 2) {
+    std::string m = argv[2];
+    if (m == "gcs") micro = uarch::Micro::NeoverseV2;
+    if (m == "genoa") micro = uarch::Micro::Zen4;
+  }
+
+  std::printf("kernel %s on %s\n", kernels::to_string(kernel),
+              uarch::cpu_short_name(micro));
+  const auto& mm = uarch::machine(micro);
+  for (kernels::Compiler cc : kernels::compilers_for(micro)) {
+    for (kernels::OptLevel o :
+         {kernels::OptLevel::O1, kernels::OptLevel::O3}) {
+      kernels::Variant v{kernel, cc, o, micro};
+      auto g = kernels::generate(v);
+      auto rep = analysis::analyze(g.program, mm);
+      auto meas = exec::run(g.program, mm);
+      std::printf(
+          "\n--- %s -%s  (%d elem/iter, bound %.2f cy/iter, measured %.2f, "
+          "%.2f cy/elem)\n",
+          kernels::to_string(cc), kernels::to_string(o),
+          g.elements_per_iteration, rep.predicted_cycles(),
+          meas.cycles_per_iteration,
+          meas.cycles_per_iteration / g.elements_per_iteration);
+      std::fputs(g.assembly.c_str(), stdout);
+    }
+  }
+  return 0;
+}

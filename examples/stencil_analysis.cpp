@@ -1,0 +1,61 @@
+// Stencil analysis: the paper's Jacobi family across all three machines.
+//
+// For each stencil and machine, picks the best compiler personality at -O3,
+// shows the analyzer's bound vs. the testbed measurement, and converts to
+// cycles per updated element -- the number a performance engineer would put
+// into a Roofline/ECM in-core term.
+
+#include <cstdio>
+#include <vector>
+
+#include "analysis/analyze.hpp"
+#include "exec/exec.hpp"
+#include "kernels/kernels.hpp"
+#include "report/report.hpp"
+#include "support/strings.hpp"
+#include "uarch/model.hpp"
+
+using namespace incore;
+using support::format;
+
+int main() {
+  std::printf("Jacobi stencil family: in-core cycles per updated element\n\n");
+  const kernels::Kernel stencils[] = {
+      kernels::Kernel::Jacobi2D5pt, kernels::Kernel::Jacobi3D7pt,
+      kernels::Kernel::Jacobi3D11pt, kernels::Kernel::Jacobi3D27pt};
+
+  report::Table t({"stencil", "machine", "compiler", "bound cy/elem",
+                   "measured cy/elem", "gap"});
+  for (kernels::Kernel k : stencils) {
+    for (uarch::Micro m : uarch::all_micros()) {
+      // Best (lowest measured) compiler at -O3 on this machine.
+      double best_meas = 1e30, best_bound = 0;
+      kernels::Compiler best_cc{};
+      for (kernels::Compiler cc : kernels::compilers_for(m)) {
+        kernels::Variant v{k, cc, kernels::OptLevel::O3, m};
+        auto g = kernels::generate(v);
+        auto meas = exec::run(g.program, uarch::machine(m));
+        double per_elem =
+            meas.cycles_per_iteration / g.elements_per_iteration;
+        if (per_elem < best_meas) {
+          best_meas = per_elem;
+          best_cc = cc;
+          auto rep = analysis::analyze(g.program, uarch::machine(m));
+          best_bound = rep.predicted_cycles() / g.elements_per_iteration;
+        }
+      }
+      t.add_row({kernels::to_string(k), uarch::cpu_short_name(m),
+                 kernels::to_string(best_cc), format("%.2f", best_bound),
+                 format("%.2f", best_meas),
+                 format("%.0f%%", 100.0 * (best_meas - best_bound) /
+                                      best_meas)});
+    }
+  }
+  std::fputs(t.to_string().c_str(), stdout);
+  std::printf(
+      "\nReading: SPR's 512-bit datapath wins per-cycle on wide stencils; "
+      "GCS relies on\nits three load pipes; the bound-vs-measured gap is the "
+      "front-end/scheduling cost\nthe lower-bound model deliberately "
+      "ignores.\n");
+  return 0;
+}

@@ -1,0 +1,354 @@
+#include "analysis/depgraph.hpp"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <tuple>
+
+namespace incore::analysis {
+namespace {
+
+using asmir::Instruction;
+using asmir::MemOperand;
+using asmir::Program;
+using asmir::RegClass;
+using asmir::Register;
+
+bool is_zero_register(const Program& prog, const Register& r) {
+  return prog.isa == asmir::Isa::AArch64 && r.cls == RegClass::Gpr &&
+         r.index == 31;
+}
+
+/// xor %rax,%rax / vxorpd %ymm0,%ymm0,%ymm0 / eor x0,x0,x0: recognized by
+/// renamers as dependency-free zeroing.
+bool is_zero_idiom(const Instruction& ins) {
+  const std::string& m = ins.mnemonic;
+  bool xor_like = m == "xor" || m == "xorpd" || m == "xorps" || m == "pxor" ||
+                  m == "vxorpd" || m == "vxorps" || m == "vpxor" ||
+                  m == "vpxord" || m == "eor";
+  if (!xor_like) return false;
+  std::optional<Register> first;
+  for (const auto& op : ins.ops) {
+    if (!op.is_reg()) return false;
+    if (!first) {
+      first = op.reg();
+    } else if (op.reg().root_id() != first->root_id()) {
+      return false;
+    }
+  }
+  return first.has_value();
+}
+
+bool is_register_move(const Instruction& ins) {
+  static const char* kMoves[] = {"mov",     "fmov",    "movapd",  "movaps",
+                                 "vmovapd", "vmovaps", "vmovupd", "vmovups",
+                                 "vmovdqa", "vmovdqa64"};
+  bool name_match = false;
+  for (const char* m : kMoves) {
+    if (ins.mnemonic == m) {
+      name_match = true;
+      break;
+    }
+  }
+  if (!name_match || ins.ops.size() != 2) return false;
+  return ins.ops[0].is_reg() && ins.ops[1].is_reg();
+}
+
+/// Key identifying a memory location symbolically.  Address registers are
+/// *versioned*: a write to the base or index register (e.g. the loop's
+/// pointer bump) renames the symbolic location, so streaming accesses to
+/// a[i] in consecutive iterations do not falsely alias.
+struct MemKey {
+  std::uint32_t base = 0;
+  std::uint32_t index = 0;
+  int base_ver = 0;
+  int index_ver = 0;
+  long long disp = 0;
+  int width = 0;
+  bool operator<(const MemKey& o) const {
+    return std::tie(base, index, base_ver, index_ver, disp, width) <
+           std::tie(o.base, o.index, o.base_ver, o.index_ver, o.disp, o.width);
+  }
+};
+
+std::optional<MemKey> mem_key(const Instruction& ins,
+                              const std::map<std::uint32_t, int>& reg_version) {
+  const MemOperand* m = ins.mem_operand();
+  if (!m || m->is_gather) return std::nullopt;
+  auto version_of = [&reg_version](std::uint32_t root) {
+    auto it = reg_version.find(root);
+    return it == reg_version.end() ? 0 : it->second;
+  };
+  MemKey k;
+  k.base = m->base ? m->base->root_id() : 0xffffffffu;
+  k.index = m->index ? m->index->root_id() : 0xfffffffeu;
+  k.base_ver = m->base ? version_of(k.base) : 0;
+  k.index_ver = m->index ? version_of(k.index) : 0;
+  k.disp = m->displacement;
+  k.width = m->width_bits;
+  return k;
+}
+
+}  // namespace
+
+// Graph layout: each program position contributes up to THREE nodes per
+// unrolled copy:
+//   main  -- the value-producing (compute) component; its outgoing edge
+//            weight is the *chain* latency (compute only);
+//   load  -- the folded-load component (present when the instruction has a
+//            memory read with a separate compute part); inputs are the
+//            address registers, its edge into main carries the L1 latency;
+//   agu   -- the post/pre-index base write-back (1 cycle, address inputs
+//            only).
+// This mirrors real micro-op splitting: an OoO core issues the load of
+// a folded `vaddsd (mem), %xmm0, %xmm0` ahead of the accumulator recurrence,
+// so the recurrence sees only the add latency; and the pointer bump of a
+// post-indexed access never waits for load data or store values.
+DepResult analyze_dependencies(const Program& prog,
+                               const uarch::MachineModel& mm,
+                               const DepOptions& opt) {
+  DepResult res;
+  const int n = static_cast<int>(prog.code.size());
+  if (n == 0) return res;
+
+  std::vector<double> chain_lat(static_cast<std::size_t>(n), 1.0);
+  std::vector<double> load_lat(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> full_lat(static_cast<std::size_t>(n), 1.0);
+  std::vector<double> acc_lat(static_cast<std::size_t>(n), 0.0);
+  std::vector<std::uint32_t> acc_root(static_cast<std::size_t>(n),
+                                      0xfffffffeu);
+  std::vector<bool> split_load(static_cast<std::size_t>(n), false);
+  std::vector<bool> zero_idiom(static_cast<std::size_t>(n), false);
+  std::vector<bool> has_writeback(static_cast<std::size_t>(n), false);
+  std::vector<std::uint32_t> wb_root(static_cast<std::size_t>(n), 0);
+  for (int i = 0; i < n; ++i) {
+    const Instruction& ins = prog.code[i];
+    const uarch::Resolved r = mm.resolve(ins);
+    chain_lat[i] = r.chain_latency;
+    full_lat[i] = r.latency;
+    load_lat[i] = r.load_latency;
+    split_load[i] = r.has_load && (r.latency - r.chain_latency) > 1e-9;
+    if (opt.model_accumulator_forwarding && r.accumulator_latency > 0) {
+      acc_lat[i] = r.accumulator_latency;
+      for (const auto& op : ins.ops) {
+        if (op.is_reg() && op.read && op.write) acc_root[i] = op.reg().root_id();
+      }
+    }
+    zero_idiom[i] = is_zero_idiom(ins);
+    if (zero_idiom[i]) chain_lat[i] = full_lat[i] = 0.0;
+    if (!opt.keep_move_latency && is_register_move(ins))
+      chain_lat[i] = full_lat[i] = 0.0;
+    const MemOperand* m = ins.mem_operand();
+    if (m && m->base_writeback && m->base &&
+        !is_zero_register(prog, *m->base)) {
+      has_writeback[i] = true;
+      wb_root[i] = m->base->root_id();
+    }
+  }
+
+  // Node ids: copy c, position i -> base = 3*(c*n + i); slots: +0 main,
+  // +1 load, +2 agu.
+  const int total_positions = 2 * n;
+  const int total_nodes = 3 * total_positions;
+  auto main_id = [](int pos) { return 3 * pos; };
+  auto load_id = [](int pos) { return 3 * pos + 1; };
+  auto agu_id = [](int pos) { return 3 * pos + 2; };
+  auto node_weight = [&](int node) {
+    const int pos = node / 3;
+    const int i = pos % n;
+    switch (node % 3) {
+      case 0: return chain_lat[static_cast<std::size_t>(i)];
+      case 1: return load_lat[static_cast<std::size_t>(i)];
+      default: return 1.0;  // AGU write-back
+    }
+  };
+
+  std::vector<std::vector<std::pair<int, double>>> in_edges(
+      static_cast<std::size_t>(total_nodes));
+  auto add_edge = [&](int from, int to) {
+    in_edges[static_cast<std::size_t>(to)].push_back({from, node_weight(from)});
+  };
+  auto add_edge_w = [&](int from, int to, double w) {
+    in_edges[static_cast<std::size_t>(to)].push_back({from, w});
+  };
+
+  std::map<std::uint32_t, int> last_writer;  // register root -> node id
+  std::map<MemKey, int> last_store;          // location -> main node id
+  std::map<std::uint32_t, int> reg_version;
+  const std::uint32_t kFlagsRoot = Register{RegClass::Flags, 0, 1}.root_id();
+
+  for (int pos = 0; pos < total_positions; ++pos) {
+    const int i = pos % n;
+    const Instruction& ins = prog.code[static_cast<std::size_t>(i)];
+    const int node = main_id(pos);
+    const bool skip_inputs = zero_idiom[static_cast<std::size_t>(i)];
+    const bool split = split_load[static_cast<std::size_t>(i)];
+
+    // Address-register roots.
+    std::uint32_t addr_roots[2] = {0, 0};
+    int n_addr = 0;
+    if (const MemOperand* m = ins.mem_operand()) {
+      if (m->base && !is_zero_register(prog, *m->base))
+        addr_roots[n_addr++] = m->base->root_id();
+      if (m->index && !is_zero_register(prog, *m->index))
+        addr_roots[n_addr++] = m->index->root_id();
+    }
+    auto is_addr_root = [&](std::uint32_t root) {
+      for (int a = 0; a < n_addr; ++a) {
+        if (addr_roots[a] == root) return true;
+      }
+      return false;
+    };
+
+    if (!skip_inputs) {
+      for (const Register& r : ins.reads()) {
+        if (is_zero_register(prog, r)) continue;
+        const std::uint32_t root = r.root_id();
+        auto it = last_writer.find(root);
+        if (it == last_writer.end()) continue;
+        if (split && is_addr_root(root)) {
+          add_edge(it->second, load_id(pos));
+        } else if (root == acc_root[static_cast<std::size_t>(i)] &&
+                   acc_lat[static_cast<std::size_t>(i)] > 0) {
+          // Late accumulator forwarding: the result appears acc_lat after
+          // the accumulator input instead of chain_lat after issue:
+          //   result(v) >= result(u) + acc_lat(v)
+          // expressed as an edge weight relative to v's own latency.
+          double w = node_weight(it->second) -
+                     (chain_lat[static_cast<std::size_t>(i)] -
+                      acc_lat[static_cast<std::size_t>(i)]);
+          add_edge_w(it->second, node, w);
+        } else {
+          add_edge(it->second, node);
+        }
+      }
+      if (split) add_edge(load_id(pos), node);  // load feeds the compute
+      if (ins.reads_flags) {
+        auto it = last_writer.find(kFlagsRoot);
+        if (it != last_writer.end()) add_edge(it->second, node);
+      }
+      if (ins.is_load) {
+        if (auto key = mem_key(ins, reg_version)) {
+          auto it = last_store.find(*key);
+          if (it != last_store.end())
+            add_edge_w(it->second, split ? load_id(pos) : node,
+                       opt.store_forward_latency);
+        }
+      }
+      if (has_writeback[static_cast<std::size_t>(i)]) {
+        for (int a = 0; a < n_addr; ++a) {
+          auto it = last_writer.find(addr_roots[a]);
+          if (it != last_writer.end()) add_edge(it->second, agu_id(pos));
+        }
+      }
+    }
+
+    if (ins.is_store) {
+      if (auto key = mem_key(ins, reg_version)) last_store[*key] = node;
+    }
+    for (const Register& r : ins.writes()) {
+      if (is_zero_register(prog, r)) continue;
+      const std::uint32_t root = r.root_id();
+      if (has_writeback[static_cast<std::size_t>(i)] &&
+          root == wb_root[static_cast<std::size_t>(i)]) {
+        last_writer[root] = agu_id(pos);
+      } else {
+        last_writer[root] = node;
+      }
+      ++reg_version[root];
+    }
+  }
+
+  // Longest path DP in node-id order.  Edges within a position only go from
+  // the load slot (+1) to the main slot (+0); iterate per position in slot
+  // order load -> agu -> main to respect that.
+  std::vector<double> start(static_cast<std::size_t>(total_nodes), 0.0);
+  auto relax = [&](int v) {
+    for (auto [u, w] : in_edges[static_cast<std::size_t>(v)])
+      start[static_cast<std::size_t>(v)] =
+          std::max(start[static_cast<std::size_t>(v)],
+                   start[static_cast<std::size_t>(u)] + w);
+  };
+  for (int pos = 0; pos < total_positions; ++pos) {
+    relax(load_id(pos));
+    relax(agu_id(pos));
+    relax(main_id(pos));
+  }
+  for (int pos = 0; pos < n; ++pos) {
+    int v = main_id(pos);
+    res.critical_path_cycles =
+        std::max(res.critical_path_cycles,
+                 start[static_cast<std::size_t>(v)] +
+                     chain_lat[static_cast<std::size_t>(pos)]);
+  }
+
+  // Loop-carried recurrence: longest path from any node in copy 0 to the
+  // corresponding node one copy later (3n ids per copy).
+  const int id_offset = 3 * n;
+  int best_k = -1;
+  std::vector<double> dist(static_cast<std::size_t>(total_nodes));
+  std::vector<int> pred(static_cast<std::size_t>(total_nodes));
+  std::vector<int> best_pred;
+  constexpr double kNegInf = -1e18;
+  for (int k = 0; k < id_offset; ++k) {
+    std::fill(dist.begin(), dist.end(), kNegInf);
+    std::fill(pred.begin(), pred.end(), -1);
+    dist[static_cast<std::size_t>(k)] = 0.0;
+    for (int pos = 0; pos < total_positions; ++pos) {
+      for (int v : {load_id(pos), agu_id(pos), main_id(pos)}) {
+        if (v <= k) continue;
+        for (auto [u, w] : in_edges[static_cast<std::size_t>(v)]) {
+          if (dist[static_cast<std::size_t>(u)] > kNegInf / 2 &&
+              dist[static_cast<std::size_t>(u)] + w >
+                  dist[static_cast<std::size_t>(v)]) {
+            dist[static_cast<std::size_t>(v)] =
+                dist[static_cast<std::size_t>(u)] + w;
+            pred[static_cast<std::size_t>(v)] = u;
+          }
+        }
+      }
+    }
+    const int target = k + id_offset;
+    if (target < total_nodes &&
+        dist[static_cast<std::size_t>(target)] > res.loop_carried_cycles) {
+      res.loop_carried_cycles = dist[static_cast<std::size_t>(target)];
+      best_k = k;
+      best_pred = pred;
+    }
+  }
+  if (best_k >= 0) {
+    for (int v = best_k + id_offset; v != -1;
+         v = best_pred[static_cast<std::size_t>(v)]) {
+      int pos = (v / 3) % n;
+      if (res.lcd_chain.empty() || res.lcd_chain.back() != pos)
+        res.lcd_chain.push_back(pos);
+      if (v == best_k) break;
+    }
+    std::reverse(res.lcd_chain.begin(), res.lcd_chain.end());
+    if (res.lcd_chain.size() > 1 &&
+        res.lcd_chain.front() == res.lcd_chain.back()) {
+      res.lcd_chain.pop_back();
+    }
+  }
+
+  // Deduplicated edge list for reporting (positions, not split nodes).
+  std::map<std::tuple<int, int, bool>, double> dedup;
+  for (int v = 0; v < total_nodes; ++v) {
+    for (auto [u, w] : in_edges[static_cast<std::size_t>(v)]) {
+      int up = (u / 3) % n;
+      int vp = (v / 3) % n;
+      if (up == vp && ((u / 3) < n) == ((v / 3) < n)) continue;  // internal
+      bool carried = ((u / 3) < n) != ((v / 3) < n);
+      auto key = std::make_tuple(up, vp, carried);
+      auto it = dedup.find(key);
+      if (it == dedup.end() || it->second < w) dedup[key] = w;
+    }
+  }
+  for (const auto& [key, w] : dedup) {
+    res.edges.push_back(
+        DepEdge{std::get<0>(key), std::get<1>(key), w, std::get<2>(key)});
+  }
+  return res;
+}
+
+}  // namespace incore::analysis

@@ -1,0 +1,41 @@
+#include "analysis/dot.hpp"
+
+#include <set>
+
+#include "support/strings.hpp"
+
+namespace incore::analysis {
+
+using support::format;
+
+std::string to_dot(const asmir::Program& prog, const uarch::MachineModel& mm,
+                   const DepOptions& opt) {
+  DepResult dep = analyze_dependencies(prog, mm, opt);
+  std::set<int> on_lcd(dep.lcd_chain.begin(), dep.lcd_chain.end());
+
+  std::string out = "digraph deps {\n";
+  out += "  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n";
+  out += format("  label=\"%s | LCD %.2f cy/iter | CP %.2f cy\";\n",
+                mm.name().c_str(), dep.loop_carried_cycles,
+                dep.critical_path_cycles);
+  for (std::size_t i = 0; i < prog.code.size(); ++i) {
+    std::string text = prog.code[i].raw;
+    // Escape quotes for DOT.
+    std::string escaped;
+    for (char c : text) {
+      if (c == '"' || c == '\\') escaped += '\\';
+      escaped += c;
+    }
+    const bool hot = on_lcd.contains(static_cast<int>(i));
+    out += format("  n%zu [label=\"%zu: %s\"%s];\n", i, i, escaped.c_str(),
+                  hot ? ", style=filled, fillcolor=lightcoral" : "");
+  }
+  for (const DepEdge& e : dep.edges) {
+    out += format("  n%d -> n%d [label=\"%.0f\"%s];\n", e.from, e.to,
+                  e.weight, e.loop_carried ? ", style=dashed" : "");
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace incore::analysis

@@ -1,0 +1,18 @@
+#pragma once
+// Graphviz export of the dependency analysis (OSACA's --dotfile equivalent):
+// one node per instruction, solid edges for intra-iteration dependencies,
+// dashed edges for loop-carried ones, with the binding recurrence
+// highlighted.
+
+#include <string>
+
+#include "analysis/analyze.hpp"
+
+namespace incore::analysis {
+
+/// Renders the dependency graph of an analyzed program as a DOT digraph.
+[[nodiscard]] std::string to_dot(const asmir::Program& prog,
+                                 const uarch::MachineModel& mm,
+                                 const DepOptions& opt = {});
+
+}  // namespace incore::analysis

@@ -1,0 +1,206 @@
+#include "analysis/portpressure.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+
+namespace incore::analysis {
+namespace {
+
+/// Dinic maximum flow on a small dense graph with double capacities.
+class MaxFlow {
+ public:
+  explicit MaxFlow(int n) : n_(n), head_(n, -1) {}
+
+  void add_edge(int from, int to, double cap) {
+    edges_.push_back({to, head_[from], cap});
+    head_[from] = static_cast<int>(edges_.size()) - 1;
+    edges_.push_back({from, head_[to], 0.0});
+    head_[to] = static_cast<int>(edges_.size()) - 1;
+  }
+
+  double run(int s, int t) {
+    double flow = 0.0;
+    while (bfs(s, t)) {
+      iter_ = head_;
+      double f;
+      while ((f = dfs(s, t, std::numeric_limits<double>::infinity())) > kEps)
+        flow += f;
+    }
+    return flow;
+  }
+
+  /// Flow currently on edge index e (edges are added in pairs; the forward
+  /// edge of the i-th add_edge call has index 2*i).
+  [[nodiscard]] double flow_on(int edge_pair) const {
+    return edges_[2 * edge_pair + 1].cap;  // residual of the reverse edge
+  }
+
+ private:
+  static constexpr double kEps = 1e-12;
+  struct Edge {
+    int to;
+    int next;
+    double cap;
+  };
+
+  bool bfs(int s, int t) {
+    level_.assign(n_, -1);
+    level_[s] = 0;
+    std::vector<int> queue{s};
+    for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+      int u = queue[qi];
+      for (int e = head_[u]; e != -1; e = edges_[e].next) {
+        if (edges_[e].cap > kEps && level_[edges_[e].to] < 0) {
+          level_[edges_[e].to] = level_[u] + 1;
+          queue.push_back(edges_[e].to);
+        }
+      }
+    }
+    return level_[t] >= 0;
+  }
+
+  double dfs(int u, int t, double pushed) {
+    if (u == t) return pushed;
+    for (int& e = iter_[u]; e != -1; e = edges_[e].next) {
+      Edge& ed = edges_[e];
+      if (ed.cap > kEps && level_[ed.to] == level_[u] + 1) {
+        double got = dfs(ed.to, t, std::min(pushed, ed.cap));
+        if (got > kEps) {
+          ed.cap -= got;
+          edges_[e ^ 1].cap += got;
+          return got;
+        }
+      }
+    }
+    return 0.0;
+  }
+
+  int n_;
+  std::vector<int> head_;
+  std::vector<Edge> edges_;
+  std::vector<int> level_;
+  std::vector<int> iter_;
+};
+
+struct FlowOutcome {
+  bool feasible = false;
+  std::vector<std::vector<double>> assignment;
+  std::vector<double> port_load;
+};
+
+FlowOutcome try_bound(std::span<const OccupancyGroup> groups, int port_count,
+                      double bound) {
+  const int g = static_cast<int>(groups.size());
+  const int src = 0;
+  const int first_group = 1;
+  const int first_port = 1 + g;
+  const int sink = 1 + g + port_count;
+  MaxFlow mf(sink + 1);
+
+  double total = 0.0;
+  // Edge bookkeeping: add_edge call index increments by one per call.
+  int call = 0;
+  std::vector<std::vector<std::pair<int, int>>> group_port_edges(g);
+  for (int i = 0; i < g; ++i) {
+    mf.add_edge(src, first_group + i, groups[i].cycles);
+    ++call;
+    total += groups[i].cycles;
+    std::uint32_t mask = groups[i].port_mask;
+    while (mask) {
+      int p = std::countr_zero(mask);
+      mask &= mask - 1;
+      mf.add_edge(first_group + i, first_port + p, groups[i].cycles);
+      group_port_edges[i].push_back({call++, p});
+    }
+  }
+  for (int p = 0; p < port_count; ++p) {
+    mf.add_edge(first_port + p, sink, bound);
+    ++call;
+  }
+
+  double flow = mf.run(src, sink);
+  FlowOutcome out;
+  out.feasible = flow >= total - 1e-6 * std::max(1.0, total);
+  out.assignment.assign(g, std::vector<double>(port_count, 0.0));
+  out.port_load.assign(port_count, 0.0);
+  for (int i = 0; i < g; ++i) {
+    for (auto [edge, p] : group_port_edges[i]) {
+      double f = mf.flow_on(edge);
+      out.assignment[i][p] = f;
+      out.port_load[p] += f;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+PortPressureResult balance_ports(std::span<const OccupancyGroup> groups,
+                                 int port_count, double tolerance) {
+  PortPressureResult res;
+  res.port_load.assign(port_count, 0.0);
+  res.assignment.assign(groups.size(), std::vector<double>(port_count, 0.0));
+  if (groups.empty() || port_count == 0) return res;
+
+  // Lower bound: no port can do better than (group work / alternatives),
+  // and the busiest port is at least total work / port count.
+  double lo = 0.0;
+  double total = 0.0;
+  for (const auto& grp : groups) {
+    int width = std::popcount(grp.port_mask);
+    if (width > 0) lo = std::max(lo, grp.cycles / width);
+    total += grp.cycles;
+  }
+  lo = std::max(lo, total / port_count);
+  double hi = total;
+
+  FlowOutcome best = try_bound(groups, port_count, hi);
+  // Tighten with binary search; `best` always holds a feasible assignment.
+  while (hi - lo > tolerance) {
+    double mid = 0.5 * (lo + hi);
+    FlowOutcome out = try_bound(groups, port_count, mid);
+    if (out.feasible) {
+      hi = mid;
+      best = std::move(out);
+    } else {
+      lo = mid;
+    }
+  }
+  res.bottleneck_cycles = hi;
+  res.assignment = std::move(best.assignment);
+  res.port_load = std::move(best.port_load);
+  // Clean up numerical fuzz for presentation.
+  double max_load = 0.0;
+  for (double& l : res.port_load) {
+    if (l < 1e-9) l = 0.0;
+    max_load = std::max(max_load, l);
+  }
+  res.bottleneck_cycles = max_load;
+  return res;
+}
+
+PortPressureResult balance_ports_naive(std::span<const OccupancyGroup> groups,
+                                       int port_count) {
+  PortPressureResult res;
+  res.port_load.assign(port_count, 0.0);
+  res.assignment.assign(groups.size(), std::vector<double>(port_count, 0.0));
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    int width = std::popcount(groups[i].port_mask);
+    if (width == 0) continue;
+    double share = groups[i].cycles / width;
+    std::uint32_t mask = groups[i].port_mask;
+    while (mask) {
+      int p = std::countr_zero(mask);
+      mask &= mask - 1;
+      res.assignment[i][p] = share;
+      res.port_load[p] += share;
+    }
+  }
+  for (double l : res.port_load)
+    res.bottleneck_cycles = std::max(res.bottleneck_cycles, l);
+  return res;
+}
+
+}  // namespace incore::analysis

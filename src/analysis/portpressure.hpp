@@ -1,0 +1,45 @@
+#pragma once
+// Optimal port-pressure balancing.
+//
+// Each instruction contributes one or more occupancy groups: `cycles` of
+// work that may be distributed arbitrarily (fractionally) over a set of
+// alternative ports.  The throughput bound of a loop body is the smallest
+// achievable maximum per-port load.  OSACA approximates this with a
+// heuristic; we solve it exactly with a parametric maximum flow:
+// feasibility of a candidate bound T is a bipartite flow problem
+// (source -> group -> ports -> sink with port capacity T), and T* is found
+// by binary search, which converges to the optimum of this (continuous,
+// monotone) problem.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace incore::analysis {
+
+struct OccupancyGroup {
+  std::uint32_t port_mask = 0;  // alternative ports
+  double cycles = 0.0;          // total work of this group
+  int instruction = -1;         // owning instruction (for attribution)
+};
+
+struct PortPressureResult {
+  /// The minimized maximum per-port load (= throughput bound in cy/iter).
+  double bottleneck_cycles = 0.0;
+  /// Per-port load in the optimal assignment.
+  std::vector<double> port_load;
+  /// Per-group, per-port assignment (rows parallel to the input groups).
+  std::vector<std::vector<double>> assignment;
+};
+
+/// Solves the min-max balancing problem exactly (to `tolerance` cycles).
+[[nodiscard]] PortPressureResult balance_ports(
+    std::span<const OccupancyGroup> groups, int port_count,
+    double tolerance = 1e-7);
+
+/// Greedy comparison baseline (used by the ablation bench): assigns each
+/// group in order, splitting equally across its allowed ports.
+[[nodiscard]] PortPressureResult balance_ports_naive(
+    std::span<const OccupancyGroup> groups, int port_count);
+
+}  // namespace incore::analysis

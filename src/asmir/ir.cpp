@@ -1,0 +1,139 @@
+#include "asmir/ir.hpp"
+
+#include "support/strings.hpp"
+
+namespace incore::asmir {
+
+using support::format;
+
+const char* to_string(Isa isa) {
+  switch (isa) {
+    case Isa::X86_64: return "x86-64";
+    case Isa::AArch64: return "aarch64";
+  }
+  return "?";
+}
+
+std::string Register::name(Isa isa) const {
+  switch (cls) {
+    case RegClass::Gpr:
+      if (isa == Isa::AArch64)
+        return format("%c%d", width_bits == 32 ? 'w' : 'x', index);
+      return format("r%d.%d", index, width_bits);
+    case RegClass::Vector:
+      if (isa == Isa::AArch64) {
+        if (width_bits <= 64) return format("d%d", index);
+        return format("v%d", index);
+      }
+      if (width_bits == 512) return format("zmm%d", index);
+      if (width_bits == 256) return format("ymm%d", index);
+      return format("xmm%d", index);
+    case RegClass::Predicate: return format("p%d", index);
+    case RegClass::Mask: return format("k%d", index);
+    case RegClass::Flags: return "flags";
+    case RegClass::Sp: return "sp";
+  }
+  return "?";
+}
+
+Operand Operand::make_reg(Register r, bool read, bool write) {
+  Operand op;
+  op.kind = OperandKind::Reg;
+  op.payload = r;
+  op.read = read;
+  op.write = write;
+  return op;
+}
+
+Operand Operand::make_mem(MemOperand m, bool read, bool write) {
+  Operand op;
+  op.kind = OperandKind::Mem;
+  op.payload = m;
+  op.read = read;
+  op.write = write;
+  return op;
+}
+
+Operand Operand::make_imm(long long v) {
+  Operand op;
+  op.kind = OperandKind::Imm;
+  op.payload = Immediate{v};
+  op.read = true;
+  return op;
+}
+
+Operand Operand::make_label(std::string name) {
+  Operand op;
+  op.kind = OperandKind::Label;
+  op.payload = LabelRef{std::move(name)};
+  op.read = true;
+  return op;
+}
+
+std::string form_token(const Operand& op) {
+  switch (op.kind) {
+    case OperandKind::Reg: {
+      const Register& r = op.reg();
+      switch (r.cls) {
+        case RegClass::Gpr:
+        case RegClass::Sp:
+          return r.width_bits == 32 ? "r32" : "r64";
+        case RegClass::Vector: return support::format("v%d", r.width_bits);
+        case RegClass::Predicate: return "p";
+        case RegClass::Mask: return "k";
+        case RegClass::Flags: return "f";
+      }
+      return "?";
+    }
+    case OperandKind::Mem:
+      return support::format(op.mem().is_gather ? "g%d" : "m%d",
+                             op.mem().width_bits);
+    case OperandKind::Imm: return "i";
+    case OperandKind::Label: return "l";
+  }
+  return "?";
+}
+
+std::string Instruction::form() const {
+  std::string out = mnemonic;
+  if (!ops.empty()) out += ' ';
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    if (i) out += ',';
+    out += form_token(ops[i]);
+  }
+  return out;
+}
+
+std::vector<Register> Instruction::reads() const {
+  std::vector<Register> out;
+  for (const Operand& op : ops) {
+    if (op.is_reg() && op.read) out.push_back(op.reg());
+    if (op.is_mem()) {
+      const MemOperand& m = op.mem();
+      if (m.base) out.push_back(*m.base);
+      if (m.index) out.push_back(*m.index);
+    }
+  }
+  if (reads_flags) out.push_back(Register{RegClass::Flags, 0, 1});
+  return out;
+}
+
+std::vector<Register> Instruction::writes() const {
+  std::vector<Register> out;
+  for (const Operand& op : ops) {
+    if (op.is_reg() && op.write) out.push_back(op.reg());
+    if (op.is_mem() && op.mem().base_writeback && op.mem().base)
+      out.push_back(*op.mem().base);
+  }
+  if (writes_flags) out.push_back(Register{RegClass::Flags, 0, 1});
+  return out;
+}
+
+const MemOperand* Instruction::mem_operand() const {
+  for (const Operand& op : ops) {
+    if (op.is_mem()) return &op.mem();
+  }
+  return nullptr;
+}
+
+}  // namespace incore::asmir

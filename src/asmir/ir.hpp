@@ -1,0 +1,133 @@
+#pragma once
+// Assembly intermediate representation.
+//
+// The IR is deliberately close to what OSACA operates on: a flat list of
+// instructions with explicitly classified operands and read/write semantics.
+// Both textual front ends (AT&T x86-64 and AArch64) lower into this one
+// representation, so the analyzer, the MCA-style comparator and the
+// execution testbed all share a single instruction form vocabulary.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace incore::asmir {
+
+enum class Isa : std::uint8_t { X86_64, AArch64 };
+
+[[nodiscard]] const char* to_string(Isa isa);
+
+/// Architectural register class.  Vector covers NEON/SVE/SSE/AVX registers;
+/// sub-width accesses (w0 in x0, xmm0 in zmm0, d0 in v0) share a root so the
+/// dependency analysis sees through partial accesses.
+enum class RegClass : std::uint8_t {
+  Gpr,        // x0..x30 / rax..r15
+  Vector,     // v/q/d/s/h/b, z (SVE), xmm/ymm/zmm
+  Predicate,  // SVE p0..p15
+  Mask,       // AVX-512 k0..k7
+  Flags,      // NZCV / RFLAGS
+  Sp,         // stack pointer (kept separate: never renamed)
+};
+
+struct Register {
+  RegClass cls = RegClass::Gpr;
+  int index = 0;        // architectural number; 0 for Flags/Sp
+  int width_bits = 64;  // access width of this mention
+
+  /// Identity of the underlying register-file entry (aliasing classes).
+  [[nodiscard]] std::uint32_t root_id() const {
+    return (static_cast<std::uint32_t>(cls) << 8) | static_cast<std::uint32_t>(index);
+  }
+  bool operator==(const Register&) const = default;
+
+  [[nodiscard]] std::string name(Isa isa) const;
+};
+
+/// Memory reference: base + index*scale + displacement.
+struct MemOperand {
+  std::optional<Register> base;
+  std::optional<Register> index;
+  int scale = 1;
+  long long displacement = 0;
+  int width_bits = 64;     // access size of the whole reference
+  bool base_writeback = false;  // AArch64 pre/post-index updates the base
+  bool is_gather = false;       // vector of indices (vgatherdpd / ld1d gather)
+
+  bool operator==(const MemOperand&) const = default;
+};
+
+struct Immediate {
+  long long value = 0;
+  bool operator==(const Immediate&) const = default;
+};
+
+struct LabelRef {
+  std::string name;
+  bool operator==(const LabelRef&) const = default;
+};
+
+enum class OperandKind : std::uint8_t { Reg, Mem, Imm, Label };
+
+struct Operand {
+  OperandKind kind = OperandKind::Imm;
+  std::variant<Register, MemOperand, Immediate, LabelRef> payload;
+  bool read = false;
+  bool write = false;
+
+  [[nodiscard]] bool is_reg() const { return kind == OperandKind::Reg; }
+  [[nodiscard]] bool is_mem() const { return kind == OperandKind::Mem; }
+  [[nodiscard]] const Register& reg() const { return std::get<Register>(payload); }
+  [[nodiscard]] Register& reg() { return std::get<Register>(payload); }
+  [[nodiscard]] const MemOperand& mem() const { return std::get<MemOperand>(payload); }
+  [[nodiscard]] MemOperand& mem() { return std::get<MemOperand>(payload); }
+  [[nodiscard]] const Immediate& imm() const { return std::get<Immediate>(payload); }
+  [[nodiscard]] const LabelRef& label() const { return std::get<LabelRef>(payload); }
+
+  static Operand make_reg(Register r, bool read, bool write);
+  static Operand make_mem(MemOperand m, bool read, bool write);
+  static Operand make_imm(long long v);
+  static Operand make_label(std::string name);
+};
+
+struct Instruction {
+  std::string mnemonic;     // lowercase, size/condition suffixes preserved
+  std::vector<Operand> ops;
+  std::string raw;          // source text (trimmed)
+  int line = 0;             // 1-based source line
+
+  bool is_branch = false;
+  bool is_load = false;
+  bool is_store = false;
+  bool reads_flags = false;
+  bool writes_flags = false;
+  /// SVE zeroing predication ("/z"): destination is write-only even though
+  /// the instruction is predicated.  Merging ("/m") makes it read-write.
+  bool merging_predication = false;
+
+  /// Signature for machine-model lookup, e.g. "vfmadd231pd v512,v512,v512".
+  [[nodiscard]] std::string form() const;
+
+  /// All register mentions that the instruction reads (including memory
+  /// address registers) and writes (including write-back bases).
+  [[nodiscard]] std::vector<Register> reads() const;
+  [[nodiscard]] std::vector<Register> writes() const;
+
+  /// First memory operand, if any.
+  [[nodiscard]] const MemOperand* mem_operand() const;
+};
+
+/// A parsed kernel: a straight-line loop body.
+struct Program {
+  Isa isa = Isa::AArch64;
+  std::vector<Instruction> code;
+
+  [[nodiscard]] std::size_t size() const { return code.size(); }
+  [[nodiscard]] bool empty() const { return code.empty(); }
+};
+
+/// Render an operand-form token: r32/r64, v128/v256/v512, p, k, i, l, m<bits>.
+[[nodiscard]] std::string form_token(const Operand& op);
+
+}  // namespace incore::asmir

@@ -1,0 +1,368 @@
+// AArch64 (A64 + NEON + SVE) assembly front end.
+//
+// Covers the subset emitted by GCC and (Arm-)Clang for streaming loop
+// kernels: integer ALU with shift/extend modifiers, loads/stores with all
+// addressing modes (offset, pre/post-index, register offset, SVE gather),
+// NEON arithmetic with arrangement specifiers, SVE predicated arithmetic,
+// predicate manipulation and branches.
+
+#include <cctype>
+#include <string>
+#include <unordered_set>
+
+#include "asmir/parser.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace incore::asmir::detail {
+namespace {
+
+using support::ParseError;
+using support::parse_int;
+using support::split_lines;
+using support::split_toplevel;
+using support::starts_with;
+using support::to_lower;
+using support::trim;
+
+/// SVE vector length modelled for Neoverse V2 (and the only SVE width this
+/// study needs): 128 bits.
+constexpr int kSveBits = 128;
+
+int arrangement_bits(std::string_view arr) {
+  // "2d" -> 128, "4s" -> 128, "2s" -> 64, "16b" -> 128, ...
+  long long n = 0;
+  std::size_t i = 0;
+  while (i < arr.size() && std::isdigit(static_cast<unsigned char>(arr[i]))) ++i;
+  if (i > 0) (void)parse_int(arr.substr(0, i), n);
+  if (i >= arr.size()) return 0;
+  int elem = 0;
+  switch (arr[i]) {
+    case 'b': elem = 8; break;
+    case 'h': elem = 16; break;
+    case 's': elem = 32; break;
+    case 'd': elem = 64; break;
+    default: return 0;
+  }
+  if (n == 0) n = 1;  // "v0.d[1]" style lane references
+  return static_cast<int>(n) * elem;
+}
+
+/// Parses a single register token (without memory brackets).  Returns false
+/// if the token is not a register.
+bool parse_register(std::string_view tok, Register& out, bool& merging,
+                    bool& zeroing) {
+  tok = trim(tok);
+  merging = zeroing = false;
+  // Predicates may carry a qualifier: "p0/m" or "p0/z"; registers may carry
+  // an arrangement: "v0.2d", "z3.d", or a lane: "v0.d[1]".
+  std::string t = to_lower(tok);
+  // Strip lane selector.
+  if (auto lb = t.find('['); lb != std::string::npos) t = t.substr(0, lb);
+  std::string qualifier;
+  if (auto slash = t.find('/'); slash != std::string::npos) {
+    qualifier = t.substr(slash + 1);
+    t = t.substr(0, slash);
+  }
+  std::string arr;
+  if (auto dot = t.find('.'); dot != std::string::npos) {
+    arr = t.substr(dot + 1);
+    t = t.substr(0, dot);
+  }
+  if (t == "sp" || t == "wsp") {
+    out = Register{RegClass::Sp, 0, t == "sp" ? 64 : 32};
+    return true;
+  }
+  if (t == "xzr" || t == "wzr") {
+    out = Register{RegClass::Gpr, 31, t == "xzr" ? 64 : 32};
+    return true;
+  }
+  if (t.size() < 2) return false;
+  char c = t[0];
+  long long idx = 0;
+  if (!parse_int(std::string_view(t).substr(1), idx)) return false;
+  switch (c) {
+    case 'x': out = Register{RegClass::Gpr, static_cast<int>(idx), 64}; return true;
+    case 'w': out = Register{RegClass::Gpr, static_cast<int>(idx), 32}; return true;
+    case 'v': {
+      int bits = arr.empty() ? 128 : arrangement_bits(arr);
+      out = Register{RegClass::Vector, static_cast<int>(idx), bits ? bits : 128};
+      return true;
+    }
+    case 'q': out = Register{RegClass::Vector, static_cast<int>(idx), 128}; return true;
+    case 'd': out = Register{RegClass::Vector, static_cast<int>(idx), 64}; return true;
+    case 's': out = Register{RegClass::Vector, static_cast<int>(idx), 32}; return true;
+    case 'h': out = Register{RegClass::Vector, static_cast<int>(idx), 16}; return true;
+    case 'b': out = Register{RegClass::Vector, static_cast<int>(idx), 8}; return true;
+    case 'z': out = Register{RegClass::Vector, static_cast<int>(idx), kSveBits}; return true;
+    case 'p':
+      out = Register{RegClass::Predicate, static_cast<int>(idx), kSveBits / 8};
+      merging = qualifier == "m";
+      zeroing = qualifier == "z";
+      return true;
+    default: return false;
+  }
+}
+
+bool is_shift_or_extend(std::string_view tok) {
+  tok = trim(tok);
+  std::string t = to_lower(tok.substr(0, tok.find_first_of(" \t#")));
+  static const std::unordered_set<std::string> kMods = {
+      "lsl", "lsr", "asr", "ror", "uxtb", "uxth", "uxtw", "uxtx",
+      "sxtb", "sxth", "sxtw", "sxtx", "mul"};  // "mul vl" in SVE offsets
+  return kMods.contains(t);
+}
+
+/// Memory operand: "[x1]", "[x1, #16]", "[x1, x2]", "[x1, x2, lsl #3]",
+/// "[x1, #16]!" (pre-index), "[x1, z2.d, lsl #3]" (gather),
+/// "[x1, #1, mul vl]" (SVE).
+MemOperand parse_mem(std::string_view tok, int line, std::string_view raw) {
+  tok = trim(tok);
+  bool pre_writeback = false;
+  if (!tok.empty() && tok.back() == '!') {
+    pre_writeback = true;
+    tok.remove_suffix(1);
+    tok = trim(tok);
+  }
+  if (tok.size() < 2 || tok.front() != '[' || tok.back() != ']')
+    throw ParseError("malformed memory operand", line, std::string(raw));
+  std::string_view inner = tok.substr(1, tok.size() - 2);
+  auto parts = split_toplevel(inner, ',');
+  MemOperand m;
+  m.base_writeback = pre_writeback;
+  bool have_base = false;
+  long long mul_pending = 0;  // set when "#k, mul vl" seen
+  for (std::string_view part : parts) {
+    part = trim(part);
+    if (part.empty()) continue;
+    Register r;
+    bool mrg = false, zro = false;
+    long long imm = 0;
+    if (parse_register(part, r, mrg, zro)) {
+      if (!have_base && r.cls != RegClass::Vector) {
+        m.base = r;
+        have_base = true;
+      } else {
+        m.index = r;
+        if (r.cls == RegClass::Vector) m.is_gather = true;
+      }
+    } else if (parse_int(part, imm)) {
+      m.displacement = imm;
+      mul_pending = imm;
+    } else if (is_shift_or_extend(part)) {
+      // "lsl #3" scales the index; "mul vl" scales the displacement.
+      std::string low = to_lower(part);
+      if (low.find("mul") == 0 && low.find("vl") != std::string::npos) {
+        m.displacement = mul_pending * (kSveBits / 8);
+      } else {
+        long long amount = 0;
+        auto hash = part.find('#');
+        if (hash != std::string_view::npos &&
+            parse_int(part.substr(hash), amount)) {
+          m.scale = 1 << amount;
+        }
+      }
+    } else {
+      // Symbolic displacement (e.g. ":lo12:sym"); irrelevant to modeling.
+    }
+  }
+  return m;
+}
+
+struct Mnemonics {
+  std::unordered_set<std::string> loads{
+      "ldr",  "ldur", "ldp",  "ldnp", "ldrb", "ldrh",  "ldrsw", "ldrsb",
+      "ldrsh","ld1",  "ld2",  "ld3",  "ld4",  "ld1r",  "ld1d",  "ld1w",
+      "ld1h", "ld1b", "ld1rd","ld1rw","ldff1d","ldnt1d","ldnt1w"};
+  std::unordered_set<std::string> stores{
+      "str", "stur", "stp", "stnp", "strb", "strh", "st1", "st2",
+      "st3", "st4",  "st1d","st1w", "st1h", "st1b", "stnt1d", "stnt1w"};
+  // Destination is read *and* written (accumulators / insert forms).
+  std::unordered_set<std::string> dest_rw{
+      "fmla", "fmls", "mla",  "mls",  "sdot", "udot", "fdot",
+      "bfdot","movk", "fcmla","umlal","smlal","umlal2","smlal2",
+      "fmlalb","fmlalt","ins", "adclb","adclt"};
+  // Compare-only: no register destination, writes flags.
+  std::unordered_set<std::string> compares{
+      "cmp", "cmn", "tst", "fcmp", "fcmpe", "ccmp", "ccmn", "fccmp"};
+  // Arithmetic that also sets flags (destination + NZCV).
+  std::unordered_set<std::string> setflags{
+      "adds", "subs", "ands", "bics", "negs", "adcs", "sbcs"};
+  // Flag readers.
+  std::unordered_set<std::string> readflags{
+      "csel", "csinc", "csinv", "csneg", "cset",  "csetm", "fcsel",
+      "adc",  "sbc",   "adcs",  "sbcs",  "cinc",  "cneg"};
+  std::unordered_set<std::string> branches{
+      "b", "br", "bl", "blr", "ret", "cbz", "cbnz", "tbz", "tbnz"};
+};
+
+const Mnemonics& mnemonics() {
+  static const Mnemonics m;
+  return m;
+}
+
+bool is_cond_branch(const std::string& mn) {
+  return starts_with(mn, "b.");
+}
+
+/// Expands "{z0.d}" / "{v0.2d, v1.2d}" register-list syntax in an operand
+/// list into individual register tokens.
+void append_operand_tokens(std::string_view tok,
+                           std::vector<std::string>& out) {
+  tok = trim(tok);
+  if (!tok.empty() && tok.front() == '{') {
+    if (tok.back() != '}') return;  // malformed; caught later
+    auto inner = split_toplevel(tok.substr(1, tok.size() - 2), ',');
+    for (auto t : inner) out.emplace_back(trim(t));
+  } else {
+    out.emplace_back(tok);
+  }
+}
+
+Instruction parse_instruction(std::string_view text, int line) {
+  const Mnemonics& mn = mnemonics();
+  Instruction ins;
+  ins.raw = std::string(trim(text));
+  ins.line = line;
+
+  std::string_view s = trim(text);
+  std::size_t sp = s.find_first_of(" \t");
+  std::string mnem = to_lower(sp == std::string_view::npos ? s : s.substr(0, sp));
+  ins.mnemonic = mnem;
+  std::string_view rest = sp == std::string_view::npos ? std::string_view{} : trim(s.substr(sp));
+
+  std::vector<std::string> toks;
+  if (!rest.empty()) {
+    for (auto t : split_toplevel(rest, ',')) append_operand_tokens(t, toks);
+  }
+
+  const bool load = mn.loads.contains(mnem);
+  const bool store = mn.stores.contains(mnem);
+  const bool cond_branch = is_cond_branch(mnem);
+  const bool branch = cond_branch || mn.branches.contains(mnem);
+  const bool compare = mn.compares.contains(mnem);
+  ins.is_load = load;
+  ins.is_store = store;
+  ins.is_branch = branch;
+  ins.writes_flags = compare || mn.setflags.contains(mnem) ||
+                     starts_with(mnem, "while") || mnem == "ptest";
+  ins.reads_flags = cond_branch || mn.readflags.contains(mnem) ||
+                    mnem == "ccmp" || mnem == "ccmn" || mnem == "fccmp";
+
+  bool merging_any = false;
+  int data_bits = 0;      // accumulated width of transferred data regs
+  bool seen_mem = false;
+  std::size_t reg_ops_before_mem = 0;
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    std::string_view tok = toks[i];
+    tok = trim(tok);
+    if (tok.empty()) continue;
+    if (!tok.empty() && tok.front() == '[') {
+      MemOperand m = parse_mem(tok, line, text);
+      seen_mem = true;
+      ins.ops.push_back(Operand::make_mem(m, load, store));
+      continue;
+    }
+    Register r;
+    bool mrg = false, zro = false;
+    long long imm = 0;
+    if (is_shift_or_extend(tok)) {
+      // Keep the shift amount so shifted forms get a distinct signature.
+      long long amount = 0;
+      auto hash = tok.find('#');
+      if (hash != std::string_view::npos)
+        (void)parse_int(tok.substr(hash), amount);
+      ins.ops.push_back(Operand::make_imm(amount));
+      continue;
+    }
+    if (parse_register(tok, r, mrg, zro)) {
+      merging_any |= mrg;
+      bool is_dest = ins.ops.empty() ||
+                     (load && !seen_mem);  // every reg before the address
+      if (load && !seen_mem) {
+        if (r.cls == RegClass::Predicate) {
+          ins.ops.push_back(Operand::make_reg(r, true, false));
+        } else {
+          ins.ops.push_back(Operand::make_reg(r, false, true));
+          data_bits += r.width_bits;
+        }
+        continue;
+      }
+      if (store && !seen_mem) {
+        // Store data registers (and governing predicate) are reads.
+        ins.ops.push_back(Operand::make_reg(r, true, false));
+        if (r.cls != RegClass::Predicate) data_bits += r.width_bits;
+        continue;
+      }
+      if (is_dest && !branch && !compare) {
+        bool dest_read = mn.dest_rw.contains(mnem);
+        ins.ops.push_back(Operand::make_reg(r, dest_read, true));
+      } else if (r.cls == RegClass::Predicate) {
+        ins.ops.push_back(Operand::make_reg(r, true, false));
+      } else {
+        ins.ops.push_back(Operand::make_reg(r, true, false));
+      }
+      if (!seen_mem) ++reg_ops_before_mem;
+      continue;
+    }
+    if (parse_int(tok, imm)) {
+      // A bare immediate after a "[...]" operand is a post-index update.
+      if (seen_mem && (load || store)) {
+        for (Operand& op : ins.ops) {
+          if (op.is_mem()) {
+            op.mem().base_writeback = true;
+            op.mem().displacement = imm;  // applied after access
+          }
+        }
+      } else {
+        ins.ops.push_back(Operand::make_imm(imm));
+      }
+      continue;
+    }
+    // Floating-point immediates ("#1.0e+0") or label operands.
+    if (!tok.empty() && tok.front() == '#') {
+      ins.ops.push_back(Operand::make_imm(0));
+    } else {
+      ins.ops.push_back(Operand::make_label(std::string(tok)));
+    }
+  }
+
+  ins.merging_predication = merging_any;
+
+  // Merging predication means the destination's previous value flows in.
+  if (merging_any && !ins.ops.empty() && ins.ops.front().is_reg() &&
+      ins.ops.front().write) {
+    ins.ops.front().read = true;
+  }
+
+  // Fix up memory access width from the transferred data.
+  if ((load || store) && data_bits > 0) {
+    for (Operand& op : ins.ops) {
+      if (op.is_mem()) op.mem().width_bits = data_bits;
+    }
+  }
+  return ins;
+}
+
+}  // namespace
+
+Program parse_aarch64(std::string_view text) {
+  Program prog;
+  prog.isa = Isa::AArch64;
+  auto lines = split_lines(text);
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    std::string_view line = lines[i];
+    // Strip comments: "//" and "@" style.
+    if (auto pos = line.find("//"); pos != std::string_view::npos)
+      line = line.substr(0, pos);
+    if (auto pos = line.find('@'); pos != std::string_view::npos)
+      line = line.substr(0, pos);
+    line = trim(line);
+    if (line.empty() || is_label_line(line) || is_directive_line(line)) continue;
+    prog.code.push_back(parse_instruction(line, static_cast<int>(i + 1)));
+  }
+  return prog;
+}
+
+}  // namespace incore::asmir::detail

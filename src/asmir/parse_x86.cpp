@@ -1,0 +1,334 @@
+// x86-64 AT&T-syntax assembly front end.
+//
+// Covers the subset GCC/Clang/ICX emit for streaming loop kernels: integer
+// ALU, address generation, SSE/AVX/AVX-512 arithmetic (including masked
+// forms and gathers), non-temporal stores and branches.  AT&T conventions:
+// source(s) first, destination last; '%' register prefix; '$' immediates;
+// disp(base,index,scale) memory references.
+
+#include <cctype>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "asmir/parser.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace incore::asmir::detail {
+namespace {
+
+using support::ParseError;
+using support::parse_int;
+using support::split_lines;
+using support::split_toplevel;
+using support::starts_with;
+using support::to_lower;
+using support::trim;
+
+/// 64-bit GPR name -> architectural index.
+const std::unordered_map<std::string, int>& gpr64_index() {
+  static const std::unordered_map<std::string, int> m = {
+      {"rax", 0},  {"rcx", 1},  {"rdx", 2},  {"rbx", 3},
+      {"rsi", 4},  {"rdi", 5},  {"rbp", 6},  {"r8", 8},
+      {"r9", 9},   {"r10", 10}, {"r11", 11}, {"r12", 12},
+      {"r13", 13}, {"r14", 14}, {"r15", 15}};
+  return m;
+}
+const std::unordered_map<std::string, int>& gpr32_index() {
+  static const std::unordered_map<std::string, int> m = {
+      {"eax", 0},  {"ecx", 1},   {"edx", 2},   {"ebx", 3},
+      {"esi", 4},  {"edi", 5},   {"ebp", 6},   {"r8d", 8},
+      {"r9d", 9},  {"r10d", 10}, {"r11d", 11}, {"r12d", 12},
+      {"r13d", 13},{"r14d", 14}, {"r15d", 15}};
+  return m;
+}
+
+bool parse_register(std::string_view tok, Register& out) {
+  tok = trim(tok);
+  if (tok.empty() || tok.front() != '%') return false;
+  std::string t = to_lower(tok.substr(1));
+  if (t == "rsp") { out = Register{RegClass::Sp, 0, 64}; return true; }
+  if (t == "esp") { out = Register{RegClass::Sp, 0, 32}; return true; }
+  if (t == "rip") { out = Register{RegClass::Sp, 1, 64}; return true; }
+  if (auto it = gpr64_index().find(t); it != gpr64_index().end()) {
+    out = Register{RegClass::Gpr, it->second, 64};
+    return true;
+  }
+  if (auto it = gpr32_index().find(t); it != gpr32_index().end()) {
+    out = Register{RegClass::Gpr, it->second, 32};
+    return true;
+  }
+  long long idx = 0;
+  if (starts_with(t, "zmm") && parse_int(std::string_view(t).substr(3), idx)) {
+    out = Register{RegClass::Vector, static_cast<int>(idx), 512};
+    return true;
+  }
+  if (starts_with(t, "ymm") && parse_int(std::string_view(t).substr(3), idx)) {
+    out = Register{RegClass::Vector, static_cast<int>(idx), 256};
+    return true;
+  }
+  if (starts_with(t, "xmm") && parse_int(std::string_view(t).substr(3), idx)) {
+    out = Register{RegClass::Vector, static_cast<int>(idx), 128};
+    return true;
+  }
+  if (t.size() >= 2 && t[0] == 'k' && parse_int(std::string_view(t).substr(1), idx)) {
+    out = Register{RegClass::Mask, static_cast<int>(idx), 64};
+    return true;
+  }
+  return false;
+}
+
+/// "8(%rax,%rbx,4)" / "(%rax)" / "16(%rsp)" / "sym(%rip)" / "(,%zmm1,8)".
+MemOperand parse_mem(std::string_view tok, int line, std::string_view raw) {
+  tok = trim(tok);
+  MemOperand m;
+  std::size_t lp = tok.find('(');
+  std::string_view disp = lp == std::string_view::npos ? tok : tok.substr(0, lp);
+  disp = trim(disp);
+  if (!disp.empty()) {
+    long long d = 0;
+    if (parse_int(disp, d)) m.displacement = d;
+    // Symbolic displacements (labels) contribute no modeling information.
+  }
+  if (lp == std::string_view::npos) return m;
+  std::size_t rp = tok.rfind(')');
+  if (rp == std::string_view::npos || rp < lp)
+    throw ParseError("malformed memory operand", line, std::string(raw));
+  auto parts = split_toplevel(tok.substr(lp + 1, rp - lp - 1), ',');
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    std::string_view p = trim(parts[i]);
+    if (p.empty()) continue;
+    if (i == 0) {
+      Register r;
+      if (parse_register(p, r)) m.base = r;
+    } else if (i == 1) {
+      Register r;
+      if (parse_register(p, r)) {
+        m.index = r;
+        if (r.cls == RegClass::Vector) m.is_gather = true;
+      }
+    } else if (i == 2) {
+      long long s = 1;
+      if (parse_int(p, s)) m.scale = static_cast<int>(s);
+    }
+  }
+  return m;
+}
+
+struct Tables {
+  // Integer mnemonics whose size suffix (b/w/l/q) should be stripped.
+  std::unordered_set<std::string> suffixed{
+      "mov", "add", "sub", "imul", "mul", "lea", "inc", "dec", "cmp",
+      "test", "and", "or",  "xor", "not", "neg", "shl", "sal",  "shr",
+      "sar", "rol", "ror", "push", "pop", "adc", "sbb", "bt", "cmov"};
+  // Two-operand ALU: destination is read-modify-write.
+  std::unordered_set<std::string> rmw{
+      "add", "sub", "and", "or", "xor", "adc", "sbb", "shl", "sal",
+      "shr", "sar", "rol", "ror", "imul"};
+  std::unordered_set<std::string> rmw_unary{"inc", "dec", "neg", "not"};
+  // Compare-only (flags destination).
+  std::unordered_set<std::string> compares{"cmp", "test", "ucomisd",
+                                           "comisd", "vucomisd", "vcomisd"};
+  // Integer ops that write flags.
+  std::unordered_set<std::string> writeflags{
+      "add", "sub", "and", "or", "xor", "inc", "dec", "neg", "imul",
+      "shl", "sal", "shr", "sar", "cmp", "test", "adc", "sbb"};
+  // FMA family: destination is also a source.
+  // (vfmadd/vfnmadd/vfmsub 132/213/231 variants share the property.)
+  std::unordered_set<std::string> branches{
+      "jmp", "je", "jne", "jz", "jnz", "jg", "jge", "jl", "jle", "ja",
+      "jae", "jb", "jbe", "js", "jns", "jo", "jno", "jp", "jnp", "call",
+      "ret", "loop"};
+};
+
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+
+bool is_fma(const std::string& mn) {
+  return mn.find("fmadd") != std::string::npos ||
+         mn.find("fmsub") != std::string::npos ||
+         mn.find("fnmadd") != std::string::npos ||
+         mn.find("fnmsub") != std::string::npos;
+}
+
+/// Strip AT&T size suffix from integer mnemonics ("addq" -> "add").
+std::string normalize_mnemonic(std::string mn) {
+  const Tables& t = tables();
+  if (mn.size() < 2) return mn;
+  char last = mn.back();
+  if (last != 'b' && last != 'w' && last != 'l' && last != 'q') return mn;
+  std::string base = mn.substr(0, mn.size() - 1);
+  if (t.suffixed.contains(base)) return base;
+  // cmovCC has its own suffix handling: "cmovneq" -> "cmovne".
+  if (starts_with(base, "cmov")) return base;
+  return mn;
+}
+
+int mem_width_from_suffix(const std::string& raw_mnemonic) {
+  switch (raw_mnemonic.back()) {
+    case 'b': return 8;
+    case 'w': return 16;
+    case 'l': return 32;
+    case 'q': return 64;
+    default: return 0;
+  }
+}
+
+Instruction parse_instruction(std::string_view text, int line) {
+  const Tables& tbl = tables();
+  Instruction ins;
+  ins.raw = std::string(trim(text));
+  ins.line = line;
+
+  std::string_view s = trim(text);
+  std::size_t sp = s.find_first_of(" \t");
+  std::string raw_mnem =
+      to_lower(sp == std::string_view::npos ? s : s.substr(0, sp));
+  std::string mnem = normalize_mnemonic(raw_mnem);
+  ins.mnemonic = mnem;
+  std::string_view rest =
+      sp == std::string_view::npos ? std::string_view{} : trim(s.substr(sp));
+
+  const bool fma = is_fma(mnem);
+  const bool compare = tbl.compares.contains(mnem);
+  const bool branch = tbl.branches.contains(mnem);
+  ins.is_branch = branch;
+  ins.writes_flags = tbl.writeflags.contains(mnem);
+  ins.reads_flags =
+      (branch && mnem != "jmp" && mnem != "call" && mnem != "ret") ||
+      starts_with(mnem, "cmov") || starts_with(mnem, "set") ||
+      mnem == "adc" || mnem == "sbb";
+
+  std::vector<std::string_view> toks;
+  std::vector<Register> masks;  // {%k1} / {%k1}{z} opmask annotations
+  bool mask_zeroing = false;
+  if (!rest.empty()) {
+    for (auto t : split_toplevel(rest, ',')) {
+      t = trim(t);
+      // Peel opmask annotations off the operand.
+      while (!t.empty() && t.back() == '}') {
+        auto lb = t.rfind('{');
+        if (lb == std::string_view::npos) break;
+        std::string_view ann = t.substr(lb + 1, t.size() - lb - 2);
+        if (ann == "z") {
+          mask_zeroing = true;
+        } else {
+          Register k;
+          if (parse_register(ann, k)) masks.push_back(k);
+        }
+        t = trim(t.substr(0, lb));
+      }
+      if (!t.empty()) toks.push_back(t);
+    }
+  }
+
+  // Classify each operand; remember positions.
+  struct Parsed {
+    Operand op;
+  };
+  std::vector<Operand> ops;
+  ops.reserve(toks.size());
+  for (std::string_view tok : toks) {
+    Register r;
+    long long imm = 0;
+    if (parse_register(tok, r)) {
+      ops.push_back(Operand::make_reg(r, /*read=*/true, /*write=*/false));
+    } else if (!tok.empty() && tok.front() == '$') {
+      (void)parse_int(tok, imm);
+      ops.push_back(Operand::make_imm(imm));
+    } else if (tok.find('(') != std::string_view::npos ||
+               std::isdigit(static_cast<unsigned char>(tok.front())) ||
+               tok.front() == '-') {
+      ops.push_back(Operand::make_mem(parse_mem(tok, line, text), true, false));
+    } else if (branch) {
+      ops.push_back(Operand::make_label(std::string(tok)));
+    } else {
+      // Bare symbol reference (RIP-relative without parens).
+      ops.push_back(Operand::make_mem(MemOperand{}, true, false));
+    }
+  }
+
+  // Destination semantics: last operand, unless compare/branch.
+  if (!ops.empty() && !compare && !branch && mnem != "push") {
+    Operand& dst = ops.back();
+    bool dest_read = false;
+    if (tbl.rmw.contains(mnem) && ops.size() >= 2) dest_read = true;
+    if (tbl.rmw_unary.contains(mnem) && ops.size() == 1) dest_read = true;
+    if (fma) dest_read = true;
+    if (starts_with(mnem, "cmov")) dest_read = true;  // merge semantics
+    if (!masks.empty() && !mask_zeroing) dest_read = true;  // merge-masking
+    if (dst.is_reg()) {
+      dst.read = dest_read;
+      dst.write = true;
+    } else if (dst.is_mem()) {
+      dst.read = dest_read;  // RMW to memory reads the location
+      dst.write = true;
+    }
+  }
+
+  for (const Register& k : masks)
+    ops.push_back(Operand::make_reg(k, true, false));
+
+  // push/pop: stack pointer update + memory access.
+  if (mnem == "push") {
+    MemOperand m;
+    m.base = Register{RegClass::Sp, 0, 64};
+    m.width_bits = 64;
+    ops.push_back(Operand::make_mem(m, false, true));
+  } else if (mnem == "pop") {
+    MemOperand m;
+    m.base = Register{RegClass::Sp, 0, 64};
+    m.width_bits = 64;
+    ops.push_back(Operand::make_mem(m, true, false));
+  }
+
+  ins.ops = std::move(ops);
+
+  // Loads / stores / access widths.
+  int reg_width = 0;
+  for (const Operand& op : ins.ops) {
+    if (op.is_reg() && op.reg().cls == RegClass::Vector)
+      reg_width = std::max(reg_width, op.reg().width_bits);
+    else if (op.is_reg() && reg_width == 0)
+      reg_width = op.reg().width_bits;
+  }
+  int suffix_width = mem_width_from_suffix(raw_mnem);
+  // Scalar SSE/AVX loads move 64 bits regardless of register width.
+  if (support::ends_with(mnem, "sd") && reg_width >= 128) suffix_width = 64;
+  if (support::ends_with(mnem, "ss") && reg_width >= 128) suffix_width = 32;
+  for (Operand& op : ins.ops) {
+    if (!op.is_mem()) continue;
+    op.mem().width_bits =
+        suffix_width ? suffix_width : (reg_width ? reg_width : 64);
+    if (mnem == "lea") {
+      // lea computes an address: no memory access at all.
+      op.read = op.write = false;
+    } else {
+      if (op.read) ins.is_load = true;
+      if (op.write) ins.is_store = true;
+    }
+  }
+  return ins;
+}
+
+}  // namespace
+
+Program parse_x86(std::string_view text) {
+  Program prog;
+  prog.isa = Isa::X86_64;
+  auto lines = split_lines(text);
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    std::string_view line = lines[i];
+    if (auto pos = line.find('#'); pos != std::string_view::npos)
+      line = line.substr(0, pos);
+    line = trim(line);
+    if (line.empty() || is_label_line(line) || is_directive_line(line)) continue;
+    prog.code.push_back(parse_instruction(line, static_cast<int>(i + 1)));
+  }
+  return prog;
+}
+
+}  // namespace incore::asmir::detail

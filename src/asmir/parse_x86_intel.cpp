@@ -1,0 +1,210 @@
+// Intel-syntax x86 support.
+//
+// Compilers emit AT&T by default, but disassemblers, Intel compilers with
+// -masm=intel, and most vendor documentation use Intel syntax
+// (`vaddpd zmm0, zmm1, zmm2`, `mov rax, qword ptr [rbx+rcx*8+16]`).
+// Rather than a second full parser, Intel lines are translated to AT&T and
+// fed through the existing front end: operand order reversed, registers
+// prefixed with '%', immediates with '$', memory references rewritten as
+// disp(base,index,scale), and size keywords dropped (operand widths carry
+// the information in the IR).  `asmir::parse` auto-detects the syntax.
+
+#include <cctype>
+#include <string>
+#include <unordered_set>
+
+#include "asmir/parser.hpp"
+#include "support/strings.hpp"
+
+namespace incore::asmir {
+
+using support::format;
+using support::split_toplevel;
+using support::to_lower;
+using support::trim;
+
+namespace detail {
+namespace {
+
+const std::unordered_set<std::string>& register_names() {
+  static const std::unordered_set<std::string> names = [] {
+    std::unordered_set<std::string> n = {"rax", "rbx", "rcx", "rdx", "rsi",
+                                         "rdi", "rbp", "rsp", "rip", "eax",
+                                         "ebx", "ecx", "edx", "esi", "edi",
+                                         "ebp", "esp"};
+    for (int i = 8; i <= 15; ++i) {
+      n.insert("r" + std::to_string(i));
+      n.insert("r" + std::to_string(i) + "d");
+    }
+    for (int i = 0; i <= 31; ++i) {
+      n.insert("xmm" + std::to_string(i));
+      n.insert("ymm" + std::to_string(i));
+      n.insert("zmm" + std::to_string(i));
+    }
+    for (int i = 0; i <= 7; ++i) n.insert("k" + std::to_string(i));
+    return n;
+  }();
+  return names;
+}
+
+bool is_register(const std::string& tok) {
+  return register_names().contains(to_lower(tok));
+}
+
+/// "[rbx+rcx*8+16]" / "[rip+sym]" / "[rax]" -> AT&T "16(%rbx,%rcx,8)".
+std::string translate_mem(std::string_view inner) {
+  std::string base, index;
+  int scale = 1;
+  long long disp = 0;
+  // Split on '+' and '-' at top level, keeping the sign for displacements.
+  std::string token;
+  std::vector<std::pair<char, std::string>> terms;  // sign, text
+  char sign = '+';
+  for (std::size_t i = 0; i <= inner.size(); ++i) {
+    if (i == inner.size() || inner[i] == '+' || inner[i] == '-') {
+      if (!token.empty()) terms.push_back({sign, token});
+      token.clear();
+      if (i < inner.size()) sign = inner[i];
+    } else {
+      token += inner[i];
+    }
+  }
+  for (auto& [sg, term0] : terms) {
+    std::string term(trim(term0));
+    auto star = term.find('*');
+    if (star != std::string::npos) {
+      std::string r(trim(std::string_view(term).substr(0, star)));
+      std::string s(trim(std::string_view(term).substr(star + 1)));
+      if (!is_register(r)) std::swap(r, s);  // "8*rcx" form
+      index = r;
+      long long sv = 1;
+      (void)support::parse_int(s, sv);
+      scale = static_cast<int>(sv);
+    } else if (is_register(term)) {
+      if (base.empty()) {
+        base = term;
+      } else {
+        index = term;  // second bare register is the index (scale 1)
+      }
+    } else {
+      long long v = 0;
+      if (support::parse_int(term, v)) disp += (sg == '-' ? -v : v);
+      // Symbolic displacements are dropped (as in the AT&T front end).
+    }
+  }
+  std::string out;
+  if (disp != 0) out += format("%lld", disp);
+  out += '(';
+  if (!base.empty()) out += "%" + to_lower(base);
+  if (!index.empty()) out += format(",%%%s,%d", to_lower(index).c_str(), scale);
+  out += ')';
+  return out;
+}
+
+/// Strip "qword ptr" / "ymmword ptr" / ... prefixes from an operand.
+std::string_view strip_ptr_keyword(std::string_view op) {
+  static const char* kSizes[] = {"byte",   "word",    "dword", "qword",
+                                 "xmmword", "ymmword", "zmmword", "tbyte",
+                                 "oword"};
+  op = trim(op);
+  for (const char* s : kSizes) {
+    std::string low = to_lower(op.substr(0, std::string(s).size()));
+    if (low == s) {
+      op = trim(op.substr(std::string(s).size()));
+      std::string p = to_lower(op.substr(0, 3));
+      if (p == "ptr") op = trim(op.substr(3));
+      break;
+    }
+  }
+  return op;
+}
+
+}  // namespace
+
+std::string intel_to_att_line(std::string_view line) {
+  line = trim(line);
+  if (line.empty()) return std::string(line);
+  std::size_t sp = line.find_first_of(" \t");
+  std::string mnem =
+      std::string(sp == std::string_view::npos ? line : line.substr(0, sp));
+  std::string_view rest =
+      sp == std::string_view::npos ? std::string_view{} : trim(line.substr(sp));
+
+  std::vector<std::string> ops;
+  if (!rest.empty()) {
+    for (std::string_view op : split_toplevel(rest, ',')) {
+      op = strip_ptr_keyword(trim(op));
+      std::string out;
+      // Opmask annotations {k1}{z} stay attached and get '%' on the k reg.
+      std::string ann;
+      while (!op.empty() && op.back() == '}') {
+        auto lb = op.rfind('{');
+        if (lb == std::string_view::npos) break;
+        std::string inner(trim(op.substr(lb + 1, op.size() - lb - 2)));
+        if (is_register(inner)) {
+          ann = "{%" + to_lower(inner) + "}" + ann;
+        } else {
+          ann = "{" + inner + "}" + ann;
+        }
+        op = trim(op.substr(0, lb));
+      }
+      if (!op.empty() && op.front() == '[') {
+        out = translate_mem(op.substr(1, op.size() - 2));
+      } else if (is_register(std::string(op))) {
+        out = "%" + to_lower(std::string(op));
+      } else {
+        long long v = 0;
+        if (support::parse_int(op, v)) {
+          out = format("$%lld", v);
+        } else {
+          out = std::string(op);  // label
+        }
+      }
+      ops.push_back(out + ann);
+    }
+  }
+  // Intel: destination first; AT&T: destination last.
+  std::string out = mnem;
+  for (std::size_t i = ops.size(); i-- > 0;) {
+    out += (i + 1 == ops.size()) ? " " : ", ";
+    out += ops[i];
+  }
+  return out;
+}
+
+bool looks_like_intel_syntax(std::string_view text) {
+  // AT&T uses '%' register prefixes on every register mention.
+  bool any_instr = false;
+  for (std::string_view line : support::split_lines(text)) {
+    if (auto pos = line.find('#'); pos != std::string_view::npos)
+      line = line.substr(0, pos);
+    if (auto pos = line.find(';'); pos != std::string_view::npos)
+      line = line.substr(0, pos);
+    line = trim(line);
+    if (line.empty() || is_label_line(line) || is_directive_line(line))
+      continue;
+    any_instr = true;
+    if (line.find('%') != std::string_view::npos) return false;
+  }
+  return any_instr;
+}
+
+Program parse_x86_intel(std::string_view text) {
+  std::string att;
+  for (std::string_view line : support::split_lines(text)) {
+    if (auto pos = line.find(';'); pos != std::string_view::npos)
+      line = line.substr(0, pos);  // Intel comment style
+    if (auto pos = line.find('#'); pos != std::string_view::npos)
+      line = line.substr(0, pos);
+    line = trim(line);
+    if (line.empty() || is_label_line(line) || is_directive_line(line)) {
+      continue;
+    }
+    att += intel_to_att_line(line);
+    att += '\n';
+  }
+  return parse_x86(att);
+}
+
+}  // namespace detail
+}  // namespace incore::asmir

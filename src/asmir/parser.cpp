@@ -1,0 +1,71 @@
+#include "asmir/parser.hpp"
+
+#include "support/strings.hpp"
+
+namespace incore::asmir {
+
+using support::split_lines;
+using support::trim;
+
+std::string_view extract_marked_region(std::string_view text) {
+  // Look for a BEGIN marker and an END marker on separate lines; the region
+  // is everything strictly between them.
+  auto lines = split_lines(text);
+  std::size_t begin_line = lines.size();
+  std::size_t end_line = lines.size();
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (lines[i].find("OSACA-BEGIN") != std::string_view::npos ||
+        lines[i].find("LLVM-MCA-BEGIN") != std::string_view::npos) {
+      begin_line = i;
+    } else if (lines[i].find("OSACA-END") != std::string_view::npos ||
+               lines[i].find("LLVM-MCA-END") != std::string_view::npos) {
+      end_line = i;
+      break;
+    }
+  }
+  if (begin_line >= end_line || end_line >= lines.size()) return text;
+  const char* start = lines[begin_line + 1].data();
+  const char* stop = lines[end_line].data();
+  return std::string_view(start, static_cast<std::size_t>(stop - start));
+}
+
+Program parse(std::string_view text, Isa isa) {
+  std::string_view region = extract_marked_region(text);
+  switch (isa) {
+    case Isa::AArch64: return detail::parse_aarch64(region);
+    case Isa::X86_64:
+      if (detail::looks_like_intel_syntax(region))
+        return detail::parse_x86_intel(region);
+      return detail::parse_x86(region);
+  }
+  return {};
+}
+
+namespace detail {
+
+bool is_label_line(std::string_view line) {
+  line = trim(line);
+  if (line.empty()) return false;
+  // A label is an identifier followed by ':' and nothing else (GCC never
+  // puts an instruction on the same line as a label).
+  std::size_t colon = line.find(':');
+  if (colon == std::string_view::npos) return false;
+  std::string_view rest = trim(line.substr(colon + 1));
+  if (!rest.empty()) return false;
+  std::string_view name = line.substr(0, colon);
+  for (char c : name) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.' ||
+          c == '$'))
+      return false;
+  }
+  return !name.empty();
+}
+
+bool is_directive_line(std::string_view line) {
+  line = trim(line);
+  return !line.empty() && line.front() == '.' && !is_label_line(line);
+}
+
+}  // namespace detail
+
+}  // namespace incore::asmir

@@ -1,0 +1,43 @@
+#pragma once
+// Textual assembly front ends.
+//
+// `parse` accepts the loop-body assembly of a kernel in the syntax the
+// respective compilers emit (AT&T for x86-64, standard GNU syntax for
+// AArch64), including comments, labels and directives, and lowers it into
+// the shared IR.  If the text contains OSACA/LLVM-MCA style region markers
+// ("OSACA-BEGIN"/"OSACA-END" or "LLVM-MCA-BEGIN"/"LLVM-MCA-END" inside
+// comments), only the marked region is parsed.
+
+#include <string_view>
+
+#include "asmir/ir.hpp"
+
+namespace incore::asmir {
+
+/// Parse `text` for the given ISA.  Throws support::ParseError on malformed
+/// input.  Labels, directives and comment-only lines are skipped.  For
+/// x86-64, AT&T and Intel syntax are auto-detected (AT&T uses '%' register
+/// prefixes).
+[[nodiscard]] Program parse(std::string_view text, Isa isa);
+
+/// Returns the region between analysis markers if both are present,
+/// otherwise the full text.
+[[nodiscard]] std::string_view extract_marked_region(std::string_view text);
+
+namespace detail {
+[[nodiscard]] Program parse_aarch64(std::string_view text);
+[[nodiscard]] Program parse_x86(std::string_view text);
+/// Intel-syntax front end (translates to AT&T internally).
+[[nodiscard]] Program parse_x86_intel(std::string_view text);
+/// Heuristic: instruction lines without '%' register prefixes.
+[[nodiscard]] bool looks_like_intel_syntax(std::string_view text);
+/// Exposed for tests: one-line Intel -> AT&T translation.
+[[nodiscard]] std::string intel_to_att_line(std::string_view line);
+
+/// True if the line is a label definition ("foo:", ".L42:").
+[[nodiscard]] bool is_label_line(std::string_view line);
+/// True if the line is an assembler directive (".align 4", ".cfi_...").
+[[nodiscard]] bool is_directive_line(std::string_view line);
+}  // namespace detail
+
+}  // namespace incore::asmir

@@ -1,0 +1,109 @@
+#include "asmir/printer.hpp"
+
+#include "support/strings.hpp"
+
+namespace incore::asmir {
+
+using support::format;
+
+namespace {
+
+std::string reg_text(const Register& r, Isa isa) {
+  if (isa == Isa::X86_64) {
+    if (r.cls == RegClass::Sp) return r.index == 1 ? "%rip" : "%rsp";
+    if (r.cls == RegClass::Gpr) {
+      static const char* k64[] = {"rax", "rcx", "rdx", "rbx", "rsi", "rdi",
+                                  "rbp", "r7?", "r8",  "r9",  "r10", "r11",
+                                  "r12", "r13", "r14", "r15"};
+      static const char* k32[] = {"eax",  "ecx",  "edx",  "ebx", "esi",
+                                  "edi",  "ebp",  "e7?",  "r8d", "r9d",
+                                  "r10d", "r11d", "r12d", "r13d", "r14d",
+                                  "r15d"};
+      const char* name = r.width_bits == 32 ? k32[r.index & 15]
+                                            : k64[r.index & 15];
+      return std::string("%") + name;
+    }
+    return "%" + r.name(isa);
+  }
+  // AArch64.
+  switch (r.cls) {
+    case RegClass::Gpr:
+      if (r.index == 31) return r.width_bits == 32 ? "wzr" : "xzr";
+      return format("%c%d", r.width_bits == 32 ? 'w' : 'x', r.index);
+    case RegClass::Sp: return "sp";
+    case RegClass::Vector:
+      if (r.width_bits <= 32) return format("s%d", r.index);
+      if (r.width_bits <= 64) return format("d%d", r.index);
+      return format("v%d.2d", r.index);
+    case RegClass::Predicate: return format("p%d", r.index);
+    case RegClass::Mask: return format("k%d", r.index);
+    case RegClass::Flags: return "nzcv";
+  }
+  return "?";
+}
+
+std::string mem_text(const MemOperand& m, Isa isa) {
+  if (isa == Isa::X86_64) {
+    std::string out;
+    if (m.displacement != 0) out += format("%lld", m.displacement);
+    out += '(';
+    if (m.base) out += reg_text(*m.base, isa);
+    if (m.index) {
+      out += ',';
+      out += reg_text(*m.index, isa);
+      out += format(",%d", m.scale);
+    }
+    out += ')';
+    return out;
+  }
+  std::string out = "[";
+  if (m.base) out += reg_text(*m.base, isa);
+  if (m.index) {
+    out += ", " + reg_text(*m.index, isa);
+    if (m.scale > 1) {
+      int shift = 0;
+      for (int s = m.scale; s > 1; s >>= 1) ++shift;
+      out += format(", lsl #%d", shift);
+    }
+  } else if (m.displacement != 0 && !m.base_writeback) {
+    out += format(", #%lld", m.displacement);
+  }
+  out += ']';
+  if (m.base_writeback) {
+    // Render as post-index (the common compiler output shape).
+    out += format(", #%lld", m.displacement);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_text(const Operand& op, Isa isa) {
+  switch (op.kind) {
+    case OperandKind::Reg: return reg_text(op.reg(), isa);
+    case OperandKind::Mem: return mem_text(op.mem(), isa);
+    case OperandKind::Imm:
+      return format(isa == Isa::X86_64 ? "$%lld" : "#%lld", op.imm().value);
+    case OperandKind::Label: return op.label().name;
+  }
+  return "?";
+}
+
+std::string to_text(const Instruction& ins, Isa isa) {
+  std::string out = ins.mnemonic;
+  for (std::size_t i = 0; i < ins.ops.size(); ++i) {
+    out += i == 0 ? " " : ", ";
+    out += to_text(ins.ops[i], isa);
+  }
+  return out;
+}
+
+std::string to_text(const Program& prog) {
+  std::string out;
+  for (const Instruction& ins : prog.code) {
+    out += "  " + to_text(ins, prog.isa) + "\n";
+  }
+  return out;
+}
+
+}  // namespace incore::asmir

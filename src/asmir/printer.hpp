@@ -1,0 +1,22 @@
+#pragma once
+// Canonical-form renderer for the assembly IR.
+//
+// Renders instructions back to parseable text.  The output is *canonical*,
+// not byte-identical to the original source: AT&T size suffixes are dropped
+// where operand widths imply them, NEON arrangement specifiers and SVE
+// predicate qualifiers are normalized.  The guarantee (tested) is that
+// re-parsing the rendered text yields instructions with identical form
+// signatures and memory semantics -- enough for debugging dumps, the CLI,
+// and golden tests.
+
+#include <string>
+
+#include "asmir/ir.hpp"
+
+namespace incore::asmir {
+
+[[nodiscard]] std::string to_text(const Operand& op, Isa isa);
+[[nodiscard]] std::string to_text(const Instruction& ins, Isa isa);
+[[nodiscard]] std::string to_text(const Program& prog);
+
+}  // namespace incore::asmir

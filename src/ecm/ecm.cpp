@@ -1,0 +1,161 @@
+#include "ecm/ecm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "memsim/memsim.hpp"
+#include "power/power.hpp"
+#include "support/strings.hpp"
+
+namespace incore::ecm {
+
+const char* to_string(DataLocation loc) {
+  switch (loc) {
+    case DataLocation::L1: return "L1";
+    case DataLocation::L2: return "L2";
+    case DataLocation::L3: return "L3";
+    case DataLocation::Memory: return "MEM";
+  }
+  return "?";
+}
+
+HierarchyParams hierarchy(uarch::Micro micro) {
+  HierarchyParams h;
+  const auto& mem = memsim::preset(micro);
+  const auto& chip = power::chip(micro);
+  // Canonical ECM convention: the memory transfer time per cache line is
+  // derived from the *saturated* socket bandwidth (Stengel et al.); the
+  // saturation law n_sat = ceil(T_ECM / T_L3Mem) then recovers the core
+  // count at which the interface fills.
+  const double f_ghz = chip.base_ghz;
+  memsim::System sys_for_mem(mem);
+  const double socket_bw = sys_for_mem.achieved_bw(mem.cores, 2.0 / 3.0);
+  h.cy_per_cl_l3_mem = 64.0 * f_ghz / socket_bw;
+  switch (micro) {
+    case uarch::Micro::NeoverseV2:
+      h.name = "GCS";
+      h.cy_per_cl_l1_l2 = 1.0;   // 64 B/cy L2 interface
+      h.cy_per_cl_l2_l3 = 2.0;   // mesh
+      h.write_allocate_evaded = true;  // automatic cache-line claim
+      break;
+    case uarch::Micro::GoldenCove:
+      h.name = "SPR";
+      h.cy_per_cl_l1_l2 = 1.0;
+      h.cy_per_cl_l2_l3 = 2.5;  // mesh hop
+      // SpecI2M only helps near interface saturation; single-core ECM
+      // transfers keep the write-allocate.
+      h.write_allocate_evaded = false;
+      break;
+    case uarch::Micro::Zen4:
+      h.name = "Genoa";
+      h.cy_per_cl_l1_l2 = 1.0;
+      h.cy_per_cl_l2_l3 = 1.5;  // per-CCD L3
+      h.write_allocate_evaded = false;
+      break;
+  }
+  // Socket cap in cache lines per cycle (the reciprocal of the per-line
+  // memory time, by construction).
+  h.socket_cl_per_cy = 1.0 / h.cy_per_cl_l3_mem;
+  return h;
+}
+
+Traffic traffic_for(const kernels::Variant& v, int elements_per_iteration) {
+  const kernels::KernelInfo& ki = kernels::info(v.kernel);
+  Traffic t;
+  // Streaming kernels: each element is 8 B; 8 consecutive elements share a
+  // 64 B line, so per-iteration line counts are fractional.
+  const double elems = elements_per_iteration;
+  t.load_lines = ki.loads_per_element * elems / 8.0;
+  t.store_lines = ki.stores_per_element * elems / 8.0;
+  // Every stored line must be owned first: one extra read line, unless the
+  // machine claims lines automatically.
+  t.wa_lines = t.store_lines;
+  return t;
+}
+
+double Prediction::cycles(DataLocation loc) const {
+  double transfer = 0;
+  switch (loc) {
+    case DataLocation::L1: transfer = 0; break;
+    case DataLocation::L2: transfer = t_l1l2; break;
+    case DataLocation::L3: transfer = t_l1l2 + t_l2l3; break;
+    case DataLocation::Memory: transfer = t_l1l2 + t_l2l3 + t_l3mem; break;
+  }
+  return std::max(t_ol, t_nol + transfer);
+}
+
+int Prediction::saturation_cores(const HierarchyParams& h) const {
+  // Kernels that move no memory traffic never saturate the interface.
+  if (t_l3mem <= 0) return 1 << 20;
+  double full = cycles(DataLocation::Memory);
+  // Classic ECM: n_sat = ceil(T_ECM / T_L3Mem).
+  int n = static_cast<int>(std::ceil(full / t_l3mem - 1e-9));
+  (void)h;
+  return std::max(1, n);
+}
+
+double Prediction::multicore_cycles(int cores, const HierarchyParams& h) const {
+  cores = std::max(1, cores);
+  const double single = cycles(DataLocation::Memory);
+  // Linear scaling with cores, capped both by the ECM saturation law and by
+  // the socket bandwidth ceiling (iterations/cy at the interface limit).
+  double iters_per_cy = std::min(1.0 * cores, 1.0 * saturation_cores(h)) /
+                        single;
+  if (mem_lines_per_iter > 0) {
+    iters_per_cy = std::min(iters_per_cy,
+                            h.socket_cl_per_cy / mem_lines_per_iter);
+  }
+  return 1.0 / iters_per_cy;
+}
+
+InCoreSplit split_in_core(const analysis::Report& rep) {
+  InCoreSplit s;
+  const uarch::MachineModel& mm = rep.model();
+  double mem_pressure = 0;
+  double other_pressure = 0;
+  for (std::size_t p = 0; p < mm.ports().size(); ++p) {
+    const std::string& name = mm.ports()[p];
+    const bool is_mem_port =
+        support::starts_with(name, "LD") || support::starts_with(name, "ST") ||
+        support::starts_with(name, "AGU") || support::starts_with(name, "FST") ||
+        name == "P2" || name == "P3" || name == "P4" || name == "P7" ||
+        name == "P8" || name == "P9" || name == "P11";
+    double load = rep.port_load()[p];
+    if (is_mem_port) {
+      mem_pressure = std::max(mem_pressure, load);
+    } else {
+      other_pressure = std::max(other_pressure, load);
+    }
+  }
+  s.t_nol = mem_pressure;
+  s.t_ol = std::max(other_pressure, rep.loop_carried_cycles());
+  return s;
+}
+
+Prediction predict(const analysis::Report& rep, const Traffic& traffic,
+                   const HierarchyParams& h) {
+  Prediction p;
+  InCoreSplit split = split_in_core(rep);
+  p.t_ol = split.t_ol;
+  p.t_nol = split.t_nol;
+  const double wa = h.write_allocate_evaded ? 0.0 : traffic.wa_lines;
+  const double lines_l1l2 = traffic.load_lines + traffic.store_lines + wa;
+  const double lines_l2l3 = lines_l1l2;  // streaming: everything passes through
+  const double lines_l3mem = lines_l1l2;
+  p.t_l1l2 = lines_l1l2 * h.cy_per_cl_l1_l2;
+  p.t_l2l3 = lines_l2l3 * h.cy_per_cl_l2_l3;
+  p.t_l3mem = lines_l3mem * h.cy_per_cl_l3_mem;
+  p.mem_lines_per_iter = lines_l3mem;
+  return p;
+}
+
+Prediction predict_kernel(const kernels::Variant& v) {
+  auto g = kernels::generate(v);
+  const auto& mm = uarch::machine(v.target);
+  analysis::Report rep = analysis::analyze(g.program, mm);
+  HierarchyParams h = hierarchy(v.target);
+  Traffic t = traffic_for(v, g.elements_per_iteration);
+  return predict(rep, t, h);
+}
+
+}  // namespace incore::ecm

@@ -1,0 +1,101 @@
+#pragma once
+// Execution-Cache-Memory (ECM) model on top of the in-core model.
+//
+// The paper's conclusion names this as the next step: "apply our in-core
+// model to a node-wide performance model such as the Execution-Cache-Memory
+// (ECM) model".  This module implements that composition (Stengel et al.,
+// ICS'15 formulation):
+//
+//   T_ECM = max(T_OL, T_nOL + T_L1L2 + T_L2L3 + T_L3Mem)
+//
+// where, per loop iteration,
+//   T_OL    = in-core cycles that overlap with data transfers (arithmetic
+//             port pressure, recurrences),
+//   T_nOL   = non-overlapping in-core cycles (L1 load/store port pressure),
+//   T_XY    = cache-line transfer cycles between adjacent memory levels,
+//             derived from the kernel's per-iteration traffic (including
+//             write-allocate lines, unless the machine's WA-evasion
+//             mechanism removes them) and the per-level bandwidths.
+//
+// Multicore scaling follows the ECM saturation law: performance scales
+// linearly with cores until the memory-transfer term saturates the
+// interface, at n_sat = ceil(T_ECM(Mem) / T_L3Mem).
+
+#include "analysis/analyze.hpp"
+#include "kernels/kernels.hpp"
+#include "uarch/model.hpp"
+
+namespace incore::ecm {
+
+/// Where the working set lives (the innermost level that misses).
+enum class DataLocation { L1, L2, L3, Memory };
+
+[[nodiscard]] const char* to_string(DataLocation loc);
+
+/// Per-machine memory-hierarchy parameters, in cycles per 64 B cache line
+/// per adjacent-level transfer (single core).
+struct HierarchyParams {
+  const char* name = "?";
+  double cy_per_cl_l1_l2 = 1.0;
+  double cy_per_cl_l2_l3 = 2.0;
+  double cy_per_cl_l3_mem = 5.0;
+  /// Write-allocate lines are charged on every level unless the machine
+  /// evades them (Grace's automatic claim).
+  bool write_allocate_evaded = false;
+  /// Socket-level memory bandwidth cap, in cache lines per cycle, for the
+  /// saturation law.
+  double socket_cl_per_cy = 8.0;
+};
+
+[[nodiscard]] HierarchyParams hierarchy(uarch::Micro micro);
+
+/// Per-iteration data traffic of a kernel codegen variant.
+struct Traffic {
+  double load_lines = 0;   // cache lines read per iteration
+  double store_lines = 0;  // cache lines written per iteration
+  double wa_lines = 0;     // extra write-allocate read lines
+};
+
+/// Derives per-iteration traffic from kernel metadata (loads/stores per
+/// element x elements per iteration), assuming streaming access.
+[[nodiscard]] Traffic traffic_for(const kernels::Variant& v,
+                                  int elements_per_iteration);
+
+struct Prediction {
+  double t_ol = 0;      // overlapping in-core cycles / iteration
+  double t_nol = 0;     // non-overlapping (L1 access) cycles / iteration
+  double t_l1l2 = 0;
+  double t_l2l3 = 0;
+  double t_l3mem = 0;
+  double mem_lines_per_iter = 0;  // cache lines over the memory interface
+
+  /// Single-core cycles per iteration with data in `loc`.
+  [[nodiscard]] double cycles(DataLocation loc) const;
+  /// Saturation core count for memory-resident data.
+  [[nodiscard]] int saturation_cores(const HierarchyParams& h) const;
+  /// Multi-core cycles/iteration (inverse-throughput) for memory-resident
+  /// data with `cores` active.
+  [[nodiscard]] double multicore_cycles(int cores,
+                                        const HierarchyParams& h) const;
+};
+
+/// Composes the in-core report with the hierarchy parameters.
+/// `mem_port_pressure` (T_nOL) is extracted from the report's per-port
+/// loads on the machine's load/store pipes.
+[[nodiscard]] Prediction predict(const analysis::Report& rep,
+                                 const Traffic& traffic,
+                                 const HierarchyParams& h);
+
+/// Convenience: full pipeline for a kernel variant.
+[[nodiscard]] Prediction predict_kernel(const kernels::Variant& v);
+
+/// T_nOL / T_OL split of an in-core report: the maximum pressure on
+/// load/store ports vs. the maximum of recurrence and remaining port
+/// pressure.
+struct InCoreSplit {
+  double t_nol = 0;
+  double t_ol = 0;
+};
+[[nodiscard]] InCoreSplit split_in_core(const analysis::Report& rep);
+
+}  // namespace incore::ecm

@@ -1,0 +1,61 @@
+#pragma once
+// The execution testbed: the stand-in for running and measuring kernels on
+// real Grace / Sapphire Rapids / Genoa silicon.
+//
+// It wraps the pipeline simulator with per-microarchitecture "silicon"
+// configurations: rename-stage eliminations, taken-branch fetch penalties,
+// and the cases where the actual hardware beats the documented model values
+// (Zen 4's scalar divider early-exit) — exactly the effects the paper calls
+// out when its OSACA models mispredict.
+//
+// It also provides the instruction microbenchmark harness (throughput and
+// latency loops) used to regenerate the paper's Table III.
+
+#include <string>
+
+#include "asmir/ir.hpp"
+#include "exec/pipeline.hpp"
+#include "uarch/model.hpp"
+
+namespace incore::exec {
+
+struct Measurement {
+  double cycles_per_iteration = 0.0;
+  std::vector<double> port_utilization;
+  std::uint64_t backpressure_cycles = 0;
+};
+
+/// The realistic per-microarchitecture testbed configuration.
+[[nodiscard]] PipelineConfig testbed_config(uarch::Micro micro);
+
+/// "Run" a kernel loop on the simulated silicon and measure cycles/iter.
+[[nodiscard]] Measurement run(const asmir::Program& prog,
+                              const uarch::MachineModel& mm);
+[[nodiscard]] Measurement run(const asmir::Program& prog,
+                              const uarch::MachineModel& mm,
+                              const PipelineConfig& cfg);
+
+// ---------------------------------------------------------------------------
+// Instruction microbenchmarks (the ibench / OoO-bench substitute).
+// ---------------------------------------------------------------------------
+
+/// Reciprocal throughput in cycles/instruction: a loop of `parallel_copies`
+/// independent instances of the instruction (distinct registers).
+[[nodiscard]] double measure_inverse_throughput(const std::string& instr_template,
+                                                const uarch::MachineModel& mm,
+                                                int parallel_copies = 24);
+
+/// Result latency in cycles: a serial chain where each instance consumes the
+/// previous destination.
+[[nodiscard]] double measure_latency(const std::string& instr_template,
+                                     const uarch::MachineModel& mm,
+                                     int chain_length = 8);
+
+/// Both templates use "{d}" for the destination register number and "{s}"
+/// for the source register number, e.g.
+///   "fmla v{d}.2d, v{s}.2d, v30.2d"   (AArch64)
+///   "vfmadd231pd %zmm{s}, %zmm30, %zmm{d}"  (x86-64)
+[[nodiscard]] std::string instantiate_template(const std::string& tmpl, int d,
+                                               int s);
+
+}  // namespace incore::exec

@@ -1,0 +1,721 @@
+#include "exec/pipeline.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <deque>
+#include <map>
+#include <optional>
+#include <tuple>
+
+#include "support/error.hpp"
+
+namespace incore::exec {
+namespace {
+
+using asmir::Instruction;
+using asmir::MemOperand;
+using asmir::Program;
+using asmir::RegClass;
+using asmir::Register;
+
+constexpr double kInf = 1e30;
+
+struct UopSpec {
+  uarch::PortMask mask = 0;
+  double occupancy = 1.0;  // fractional for sub-cycle divider reciprocals
+  int static_port = -1;    // chosen at dispatch when static binding is on
+};
+
+struct MemKey {
+  std::uint32_t base = 0;
+  std::uint32_t index = 0;
+  int base_ver = 0;   // versioned by address-register writes: the pointer
+  int index_ver = 0;  // bump renames the symbolic location each iteration
+  long long disp = 0;
+  bool operator<(const MemKey& o) const {
+    return std::tie(base, index, base_ver, index_ver, disp) <
+           std::tie(o.base, o.index, o.base_ver, o.index_ver, o.disp);
+  }
+};
+
+bool is_zero_register(const Program& prog, const Register& r) {
+  return prog.isa == asmir::Isa::AArch64 && r.cls == RegClass::Gpr &&
+         r.index == 31;
+}
+
+bool is_zero_idiom(const Instruction& ins) {
+  const std::string& m = ins.mnemonic;
+  bool xor_like = m == "xor" || m == "xorpd" || m == "xorps" || m == "pxor" ||
+                  m == "vxorpd" || m == "vxorps" || m == "vpxor" ||
+                  m == "vpxord" || m == "eor";
+  if (!xor_like) return false;
+  std::optional<Register> first;
+  for (const auto& op : ins.ops) {
+    if (!op.is_reg()) return false;
+    if (!first) {
+      first = op.reg();
+    } else if (op.reg().root_id() != first->root_id()) {
+      return false;
+    }
+  }
+  return first.has_value();
+}
+
+bool is_register_move(const Instruction& ins) {
+  static const char* kMoves[] = {"mov",     "fmov",    "movapd",  "movaps",
+                                 "vmovapd", "vmovaps", "vmovupd", "vmovups",
+                                 "vmovdqa", "vmovdqa64"};
+  bool name_match = false;
+  for (const char* m : kMoves) {
+    if (ins.mnemonic == m) {
+      name_match = true;
+      break;
+    }
+  }
+  if (!name_match || ins.ops.size() != 2) return false;
+  return ins.ops[0].is_reg() && ins.ops[1].is_reg();
+}
+
+/// Static (per program position) description after model resolution and
+/// config transforms.
+struct StaticInstr {
+  std::vector<UopSpec> uops;
+  double latency = 1.0;      // total (load + compute)
+  double load_lat = 0.0;     // folded-load component
+  double chain_lat = 1.0;    // value-producing component
+  bool split_load = false;   // folded load + compute micro-ops
+  double inv_tput = 0.0;
+  double uop_count = 1.0;
+  bool is_load = false;
+  bool is_store = false;
+  bool is_branch = false;
+  bool eliminated_move = false;
+  bool zero_idiom = false;
+  // Register reads split into address inputs (gate the AGU / issue of
+  // memory operations and feed the post-index write-back) and data inputs
+  // (a store's data does not gate its address generation).
+  std::vector<std::uint32_t> addr_roots;
+  std::vector<std::uint32_t> data_roots;
+  std::uint32_t acc_root = 0xfffffffeu;  // accumulator input (FMA class)
+  double acc_lat = 0.0;
+  std::vector<std::uint32_t> write_roots;  // excluding the write-back base
+  bool has_writeback = false;
+  std::uint32_t wb_root = 0;
+  std::optional<MemKey> mkey;
+  std::string form;
+};
+
+/// Reference to a producing dynamic instruction; `wb` selects its AGU
+/// (write-back) result instead of the data result.
+struct ProducerRef {
+  std::uint64_t id = 0;
+  bool wb = false;
+};
+
+struct RobEntry {
+  int static_idx = 0;
+  std::uint64_t dyn_id = 0;
+  std::vector<ProducerRef> addr_producers;
+  std::vector<ProducerRef> data_producers;
+  std::vector<ProducerRef> acc_producers;
+  std::vector<UopSpec> uops;             // copies (static_port may be bound)
+  bool issued = false;
+  double completion = kInf;
+  double dispatch_cycle = 0.0;
+  double issue_cycle = -1.0;
+};
+
+bool has_vector_operand(const Instruction& ins) {
+  for (const auto& op : ins.ops) {
+    if (op.is_reg() && op.reg().cls == RegClass::Vector) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+PipelineResult simulate_loop(const Program& prog,
+                             const uarch::MachineModel& mm,
+                             const PipelineConfig& cfg) {
+  PipelineResult result;
+  const int n = static_cast<int>(prog.code.size());
+  if (n == 0) return result;
+  const uarch::CoreResources& res = mm.resources();
+  const int port_count = static_cast<int>(mm.port_count());
+  const std::uint32_t kFlagsRoot = Register{RegClass::Flags, 0, 1}.root_id();
+
+  // ---- Static preparation ------------------------------------------------
+  std::vector<StaticInstr> statics(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const Instruction& ins = prog.code[i];
+    StaticInstr& s = statics[static_cast<std::size_t>(i)];
+    const uarch::Resolved r = mm.resolve(ins);
+    s.form = ins.form();
+    s.latency = r.latency;
+    s.load_lat = r.load_latency;
+    s.chain_lat = r.chain_latency;
+    s.split_load = r.has_load && (r.latency - r.chain_latency) > 1e-9;
+    s.inv_tput = r.inverse_throughput;
+    s.uop_count = std::max(1.0, r.uops);
+    s.is_load = r.has_load;
+    s.is_store = r.has_store;
+    s.is_branch = ins.is_branch;
+
+    // Scheduling-table transforms (MCA configuration): the FP inflation
+    // applies to the compute component, the load inflation to the load.
+    if (has_vector_operand(ins) && !s.is_store) {
+      s.chain_lat = s.chain_lat * cfg.fp_latency_scale + cfg.fp_latency_add;
+    }
+    if (s.is_load) s.load_lat += cfg.load_latency_add;
+    if (auto it = cfg.latency_overrides.find(s.form);
+        it != cfg.latency_overrides.end()) {
+      s.chain_lat = std::max(1.0, it->second - (s.split_load ? s.load_lat : 0.0));
+    }
+    if (s.is_load && !s.split_load) {
+      // Pure loads: the chain latency *is* the load latency.
+      s.chain_lat += cfg.load_latency_add;
+    }
+    s.latency = s.split_load ? s.load_lat + s.chain_lat : s.chain_lat;
+    double occupancy_scale = 1.0;
+    if (auto it = cfg.tput_overrides.find(s.form);
+        it != cfg.tput_overrides.end()) {
+      if (s.inv_tput > 0.0) occupancy_scale = it->second / s.inv_tput;
+      s.inv_tput = it->second;
+    }
+    const bool is_fp = has_vector_operand(ins);
+    const bool is_mem = s.is_load || s.is_store;
+    // Keep only the lowest-numbered alternatives (coarse sched model).
+    auto limit_mask = [](uarch::PortMask mask, int limit) {
+      if (limit <= 0) return mask;
+      uarch::PortMask limited = 0;
+      int kept = 0;
+      uarch::PortMask rest = mask;
+      while (rest && kept < limit) {
+        uarch::PortMask low = rest & (~rest + 1);
+        limited |= low;
+        rest &= ~low;
+        ++kept;
+      }
+      return limited ? limited : mask;
+    };
+    for (const uarch::PortUse& pu : r.port_uses) {
+      double occ = std::max(0.25, pu.cycles * occupancy_scale);
+      uarch::PortMask mask = pu.mask;
+      if (is_mem) {
+        mask = limit_mask(mask, cfg.mem_port_limit);
+      } else if (is_fp) {
+        mask = limit_mask(mask, cfg.fp_port_limit);
+      }
+      s.uops.push_back(UopSpec{mask, occ, -1});
+    }
+
+    s.zero_idiom = cfg.zero_idiom_elimination && is_zero_idiom(ins);
+    s.eliminated_move = cfg.move_elimination && is_register_move(ins);
+    if (s.zero_idiom || s.eliminated_move) {
+      s.uops.clear();
+      s.latency = s.chain_lat = s.load_lat = 0.0;
+      s.split_load = false;
+      s.inv_tput = 0.0;
+    }
+
+    const MemOperand* mem = ins.mem_operand();
+    std::uint32_t addr0 = 0, addr1 = 0;
+    int n_addr = 0;
+    if (mem) {
+      if (mem->base && !is_zero_register(prog, *mem->base))
+        addr0 = mem->base->root_id(), ++n_addr;
+      if (mem->index && !is_zero_register(prog, *mem->index))
+        addr1 = mem->index->root_id(), ++n_addr;
+    }
+    if (cfg.model_accumulator_forwarding && r.accumulator_latency > 0) {
+      s.acc_lat = r.accumulator_latency;
+      for (const auto& op : ins.ops) {
+        if (op.is_reg() && op.read && op.write)
+          s.acc_root = op.reg().root_id();
+      }
+    }
+    if (!s.zero_idiom) {
+      for (const Register& reg : ins.reads()) {
+        if (is_zero_register(prog, reg)) continue;
+        const std::uint32_t root = reg.root_id();
+        if (n_addr >= 1 && root == addr0) continue;  // handled below
+        if (n_addr >= 2 && root == addr1) continue;
+        if (s.acc_lat > 0 && root == s.acc_root) continue;  // handled below
+        s.data_roots.push_back(root);
+      }
+      if (s.acc_lat > 0 && s.acc_root != 0xfffffffeu) {
+        // Tracked separately so the consumer can issue early.
+      }
+      if (ins.reads_flags) s.data_roots.push_back(kFlagsRoot);
+      if (n_addr >= 1) s.addr_roots.push_back(addr0);
+      if (n_addr >= 2) s.addr_roots.push_back(addr1);
+    }
+    if (mem && mem->base_writeback && mem->base &&
+        !is_zero_register(prog, *mem->base)) {
+      s.has_writeback = true;
+      s.wb_root = mem->base->root_id();
+    }
+    for (const Register& reg : ins.writes()) {
+      if (is_zero_register(prog, reg)) continue;
+      const std::uint32_t root = reg.root_id();
+      if (s.has_writeback && root == s.wb_root) continue;  // AGU result
+      s.write_roots.push_back(root);
+    }
+    if (mem && !mem->is_gather && (s.is_load || s.is_store)) {
+      MemKey k;
+      k.base = mem->base ? mem->base->root_id() : 0xffffffffu;
+      k.index = mem->index ? mem->index->root_id() : 0xfffffffeu;
+      k.disp = mem->displacement;
+      s.mkey = k;
+    }
+  }
+
+  // ---- Dynamic state -------------------------------------------------------
+  const int total_iters = cfg.warmup_iterations + cfg.iterations;
+  const std::uint64_t total_instrs =
+      static_cast<std::uint64_t>(total_iters) * static_cast<std::uint64_t>(n);
+
+  std::vector<double> comp_time(total_instrs, kInf);  // by dynamic id
+  std::vector<double> wb_time(total_instrs, kInf);    // AGU write-back result
+  std::deque<RobEntry> rob;
+  std::map<std::uint32_t, ProducerRef> last_writer;
+  std::map<MemKey, std::uint64_t> last_store;
+  std::map<std::uint32_t, int> reg_version;
+  auto versioned_key = [&reg_version](const MemKey& raw) {
+    MemKey k = raw;
+    if (k.base != 0xffffffffu) {
+      auto it = reg_version.find(k.base);
+      k.base_ver = it == reg_version.end() ? 0 : it->second;
+    }
+    if (k.index != 0xfffffffeu) {
+      auto it = reg_version.find(k.index);
+      k.index_ver = it == reg_version.end() ? 0 : it->second;
+    }
+    return k;
+  };
+
+  std::vector<double> port_free(static_cast<std::size_t>(port_count), 0.0);
+  std::vector<double> port_busy_measured(static_cast<std::size_t>(port_count),
+                                         0.0);
+  std::vector<double> static_use(static_cast<std::size_t>(port_count), 0.0);
+  std::unordered_map<std::string, double> form_next;
+
+  std::uint64_t next_fetch_id = 0;
+  std::uint64_t retired = 0;
+  double fetch_cycle = 0.0;
+  int fetch_slots = 0;
+  double inflight_uops = 0.0;
+  int inflight_loads = 0;
+  int inflight_stores = 0;
+
+  double measure_start = -1.0;
+  double measure_end_marker = -1.0;
+  const std::uint64_t measure_from =
+      static_cast<std::uint64_t>(cfg.warmup_iterations) *
+      static_cast<std::uint64_t>(n);
+  // End marker: the same body position (first instruction), K iterations
+  // later, so the window length is exactly K steady-state iterations.
+  const std::uint64_t measure_to =
+      static_cast<std::uint64_t>(total_iters - 1) *
+      static_cast<std::uint64_t>(n);
+  const int measured_iters = std::max(1, cfg.iterations - 1);
+
+  // Fetch queue: fetch_q[i] is the fetch time of dynamic instruction
+  // (pending_head_id + i).  Invariant: next_fetch_id == pending_head_id +
+  // fetch_q.size().
+  std::deque<double> fetch_q;
+  std::uint64_t pending_head_id = 0;
+
+  auto fetch_more = [&](std::size_t want) {
+    while (fetch_q.size() < want && next_fetch_id < total_instrs) {
+      int idx = static_cast<int>(next_fetch_id % n);
+      fetch_q.push_back(fetch_cycle);
+      ++fetch_slots;
+      if (fetch_slots >= res.decode_width) {
+        fetch_cycle += 1.0;
+        fetch_slots = 0;
+      }
+      const StaticInstr& s = statics[static_cast<std::size_t>(idx)];
+      if (s.is_branch && idx == n - 1 && cfg.taken_branch_bubble > 0.0) {
+        // The taken branch ends the current fetch group; the redirected
+        // fetch resumes after the (average) redirect bubble.
+        fetch_cycle += cfg.taken_branch_bubble;
+        fetch_slots = 0;
+      }
+      ++next_fetch_id;
+    }
+  };
+
+  const std::uint64_t kMaxCycles = 30'000'000ULL;
+  std::uint64_t cycle = 0;
+  for (; cycle < kMaxCycles && retired < total_instrs; ++cycle) {
+    const double now = static_cast<double>(cycle);
+
+    // ---- Retire (in order) ----
+    int retire_budget = res.retire_width;
+    while (!rob.empty() && retire_budget > 0) {
+      RobEntry& head = rob.front();
+      if (!head.issued || head.completion > now) break;
+      const StaticInstr& s = statics[static_cast<std::size_t>(head.static_idx)];
+      inflight_uops -= s.uop_count;
+      if (s.is_load) --inflight_loads;
+      if (s.is_store) --inflight_stores;
+      if (head.dyn_id == measure_from && measure_start < 0.0)
+        measure_start = now;
+      if (head.dyn_id == measure_to && measure_end_marker < 0.0)
+        measure_end_marker = now;
+      if (cfg.timeline_iterations > 0 &&
+          head.dyn_id < static_cast<std::uint64_t>(cfg.timeline_iterations) *
+                            static_cast<std::uint64_t>(n)) {
+        TimelineEvent ev;
+        ev.iteration = static_cast<int>(head.dyn_id / n);
+        ev.index = static_cast<int>(head.dyn_id % n);
+        ev.dispatch = head.dispatch_cycle;
+        ev.issue = head.issue_cycle >= 0 ? head.issue_cycle
+                                         : head.dispatch_cycle;
+        ev.complete = head.completion;
+        ev.retire = now;
+        result.timeline.push_back(ev);
+      }
+      ++retired;
+      --retire_budget;
+      rob.pop_front();
+    }
+    if (retired >= total_instrs) break;
+
+    // ---- Issue (oldest-first among ready, within the scheduler window) ----
+    int window = res.scheduler_size;
+    for (RobEntry& e : rob) {
+      if (window <= 0) break;
+      if (e.issued) continue;
+      --window;
+      const StaticInstr& s = statics[static_cast<std::size_t>(e.static_idx)];
+      auto time_of = [&](const ProducerRef& p) {
+        return p.wb ? wb_time[p.id] : comp_time[p.id];
+      };
+      // Eliminated at rename: completes as soon as producers complete.
+      if (s.zero_idiom || s.eliminated_move) {
+        double ready = e.dispatch_cycle;
+        bool ok = true;
+        for (const ProducerRef& p : e.data_producers) {
+          if (time_of(p) >= kInf) {
+            ok = false;
+            break;
+          }
+          ready = std::max(ready, time_of(p));
+        }
+        if (ok && ready <= now) {
+          e.issued = true;
+          e.issue_cycle = now;
+          e.completion = std::max(ready, e.dispatch_cycle);
+          comp_time[e.dyn_id] = e.completion;
+        }
+        continue;
+      }
+      // Address inputs always gate issue.
+      bool ready = true;
+      for (const ProducerRef& p : e.addr_producers) {
+        if (time_of(p) > now) {
+          ready = false;
+          break;
+        }
+      }
+      // Data inputs gate issue, except for stores (the store-address
+      // micro-op proceeds without the data) and folded load+compute
+      // instructions (the load micro-op issues ahead; the compute waits for
+      // both the loaded value and the register inputs).  LLVM-MCA style
+      // models gate the whole instruction on all operands instead.
+      const bool pure_store =
+          cfg.store_address_split && s.is_store && !s.is_load;
+      const bool early_issue =
+          pure_store || (s.split_load && cfg.split_folded_loads);
+      double data_ready_time = 0.0;
+      if (early_issue) {
+        for (const ProducerRef& p : e.data_producers) {
+          double t = time_of(p);
+          if (t >= kInf && !pure_store) {
+            ready = false;  // folded compute needs a known data time
+            break;
+          }
+          data_ready_time = std::max(data_ready_time, t);
+        }
+      } else {
+        for (const ProducerRef& p : e.data_producers) {
+          if (time_of(p) > now) {
+            ready = false;
+            break;
+          }
+        }
+      }
+      // Accumulator inputs with late forwarding: their producers must have
+      // issued (known completion), but the value may arrive after issue.
+      double acc_ready = 0.0;
+      for (const ProducerRef& p : e.acc_producers) {
+        double t = time_of(p);
+        if (t >= kInf) ready = false;
+        acc_ready = std::max(acc_ready, t);
+      }
+      if (!ready) continue;
+      // Form-level serialization (non-pipelined units, gathers).  The unit
+      // becomes available mid-cycle; an issue in the cycle during which it
+      // frees preserves fractional reciprocals exactly.
+      if (s.inv_tput > 1.25) {
+        auto it = form_next.find(s.form);
+        if (it != form_next.end() && it->second >= now + 1.0) continue;
+      }
+      // Port availability.
+      std::vector<int> chosen(e.uops.size(), -1);
+      bool all_free = true;
+      // Tentative reservation within this cycle so two uops of the same
+      // instruction do not pick the same port.
+      std::vector<char> taken(static_cast<std::size_t>(port_count), 0);
+      for (std::size_t u = 0; u < e.uops.size(); ++u) {
+        const UopSpec& uop = e.uops[u];
+        int best = -1;
+        if (uop.static_port >= 0) {
+          if (port_free[static_cast<std::size_t>(uop.static_port)] <
+                  now + 1.0 &&
+              !taken[static_cast<std::size_t>(uop.static_port)])
+            best = uop.static_port;
+        } else {
+          double best_free = kInf;
+          uarch::PortMask mask = uop.mask;
+          while (mask) {
+            int p = std::countr_zero(mask);
+            mask &= mask - 1;
+            if (taken[static_cast<std::size_t>(p)]) continue;
+            if (port_free[static_cast<std::size_t>(p)] < now + 1.0) {
+              // Prefer the port that has been idle longest (load spreading).
+              if (port_free[static_cast<std::size_t>(p)] < best_free) {
+                best_free = port_free[static_cast<std::size_t>(p)];
+                best = p;
+              }
+            }
+          }
+        }
+        if (best < 0) {
+          all_free = false;
+          break;
+        }
+        chosen[u] = best;
+        taken[static_cast<std::size_t>(best)] = 1;
+      }
+      if (!all_free) continue;
+      // Commit the issue.
+      for (std::size_t u = 0; u < e.uops.size(); ++u) {
+        int p = chosen[u];
+        double occ = e.uops[u].occupancy;
+        // Accumulate from the later of "now" and the current reservation so
+        // fractional occupancies serialize exactly.
+        port_free[static_cast<std::size_t>(p)] =
+            std::max(port_free[static_cast<std::size_t>(p)],
+                     static_cast<double>(now)) +
+            occ;
+        if (measure_start >= 0.0)
+          port_busy_measured[static_cast<std::size_t>(p)] += occ;
+      }
+      if (s.inv_tput > 1.25) {
+        double& next = form_next[s.form];
+        next = std::max(next, static_cast<double>(now)) + s.inv_tput;
+      }
+      e.issued = true;
+      e.issue_cycle = now;
+      if (s.split_load && cfg.split_folded_loads && !pure_store) {
+        // Folded load + compute: the load issues now; the compute starts
+        // when both the loaded value and the register inputs are there.
+        e.completion = std::max(now + s.load_lat, data_ready_time) +
+                       std::max(1.0, s.chain_lat);
+      } else {
+        e.completion = now + std::max(1.0, s.latency);
+      }
+      if (!e.acc_producers.empty()) {
+        e.completion = std::max(e.completion, acc_ready + s.acc_lat);
+      }
+      if (pure_store) {
+        // Completion (visible to forwarding consumers and retirement) also
+        // waits for the store data; resolved lazily below once known.
+        double data_ready = 0.0;
+        bool known = true;
+        for (const ProducerRef& p : e.data_producers) {
+          double t = time_of(p);
+          if (t >= kInf) known = false;
+          data_ready = std::max(data_ready, t);
+        }
+        if (known) {
+          e.completion = std::max(e.completion, data_ready + 1.0);
+        } else {
+          e.completion = kInf;  // data producer not yet issued
+        }
+      }
+      comp_time[e.dyn_id] = e.completion;
+      if (s.has_writeback) wb_time[e.dyn_id] = now + 1.0;
+    }
+
+    // Resolve store completions whose data producers have issued since.
+    for (RobEntry& e : rob) {
+      if (!e.issued || e.completion < kInf) continue;
+      const StaticInstr& s = statics[static_cast<std::size_t>(e.static_idx)];
+      if (!(s.is_store && !s.is_load)) continue;
+      double data_ready = 0.0;
+      bool known = true;
+      for (const ProducerRef& p : e.data_producers) {
+        double t = p.wb ? wb_time[p.id] : comp_time[p.id];
+        if (t >= kInf) known = false;
+        data_ready = std::max(data_ready, t);
+      }
+      if (known) {
+        e.completion = std::max(now + 1.0, data_ready + 1.0);
+        comp_time[e.dyn_id] = e.completion;
+      }
+    }
+
+    // ---- Dispatch / rename ----
+    double rename_budget = cfg.dispatch_width_override > 0
+                               ? cfg.dispatch_width_override
+                               : res.rename_width;
+    fetch_more(static_cast<std::size_t>(res.decode_width) * 4);
+    bool stalled = false;
+    while (rename_budget > 0.0 && pending_head_id < total_instrs) {
+      if (fetch_q.empty()) fetch_more(1);
+      if (fetch_q.empty()) break;
+      if (fetch_q.front() > now) break;
+      int idx = static_cast<int>(pending_head_id % n);
+      const StaticInstr& s = statics[static_cast<std::size_t>(idx)];
+      if (inflight_uops + s.uop_count > res.rob_size ||
+          (s.is_load && inflight_loads >= res.load_queue) ||
+          (s.is_store && inflight_stores >= res.store_queue)) {
+        stalled = true;
+        break;
+      }
+      RobEntry e;
+      e.static_idx = idx;
+      e.dyn_id = pending_head_id;
+      e.dispatch_cycle = now;
+      e.uops = s.uops;
+      if (!cfg.dynamic_port_selection) {
+        // LLVM-MCA style: bind each uop to the least-used port now.
+        for (UopSpec& uop : e.uops) {
+          int best = -1;
+          double best_use = kInf;
+          uarch::PortMask mask = uop.mask;
+          while (mask) {
+            int p = std::countr_zero(mask);
+            mask &= mask - 1;
+            if (static_use[static_cast<std::size_t>(p)] < best_use) {
+              best_use = static_use[static_cast<std::size_t>(p)];
+              best = p;
+            }
+          }
+          uop.static_port = best;
+          if (best >= 0)
+            static_use[static_cast<std::size_t>(best)] += uop.occupancy;
+        }
+      }
+      if (!s.zero_idiom) {
+        for (std::uint32_t root : s.addr_roots) {
+          auto it = last_writer.find(root);
+          if (it != last_writer.end()) e.addr_producers.push_back(it->second);
+        }
+        for (std::uint32_t root : s.data_roots) {
+          auto it = last_writer.find(root);
+          if (it != last_writer.end()) e.data_producers.push_back(it->second);
+        }
+        if (s.acc_lat > 0 && s.acc_root != 0xfffffffeu) {
+          auto it = last_writer.find(s.acc_root);
+          if (it != last_writer.end()) e.acc_producers.push_back(it->second);
+        }
+        if (s.is_load && s.mkey) {
+          auto it = last_store.find(versioned_key(*s.mkey));
+          if (it != last_store.end())
+            e.data_producers.push_back(ProducerRef{it->second, false});
+        }
+      }
+      if (s.is_store && s.mkey)
+        last_store[versioned_key(*s.mkey)] = pending_head_id;
+      for (std::uint32_t root : s.write_roots) {
+        last_writer[root] = ProducerRef{pending_head_id, false};
+        ++reg_version[root];
+      }
+      if (s.has_writeback) {
+        last_writer[s.wb_root] = ProducerRef{pending_head_id, true};
+        ++reg_version[s.wb_root];
+      }
+
+      inflight_uops += s.uop_count;
+      if (s.is_load) ++inflight_loads;
+      if (s.is_store) ++inflight_stores;
+      rob.push_back(std::move(e));
+      rename_budget -= s.uop_count;
+      ++pending_head_id;
+      fetch_q.pop_front();
+    }
+    if (stalled && measure_start >= 0.0) ++result.backpressure_cycles;
+  }
+
+  double measure_end =
+      measure_end_marker >= 0.0 ? measure_end_marker : static_cast<double>(cycle);
+  result.total_cycles = cycle;
+  result.measured_iterations = measured_iters;
+  if (measure_start < 0.0) measure_start = 0.0;
+  result.cycles_per_iteration =
+      (measure_end - measure_start) / measured_iters;
+  result.port_utilization.assign(static_cast<std::size_t>(port_count), 0.0);
+  double window_cycles = std::max(1.0, measure_end - measure_start);
+  for (int p = 0; p < port_count; ++p) {
+    result.port_utilization[static_cast<std::size_t>(p)] =
+        port_busy_measured[static_cast<std::size_t>(p)] / window_cycles;
+  }
+  return result;
+}
+
+}  // namespace incore::exec
+
+namespace incore::exec {
+
+std::string render_timeline(const std::vector<TimelineEvent>& events,
+                            const asmir::Program& prog) {
+  if (events.empty()) return "";
+  double max_t = 0;
+  for (const auto& e : events) max_t = std::max(max_t, e.retire);
+  const int width = std::min(100, static_cast<int>(max_t) + 1);
+
+  std::string out = "Timeline (D dispatch, E execute, R retire):\n";
+  // Column ruler every 10 cycles.
+  out += "                ";
+  for (int t = 0; t < width; ++t)
+    out += (t % 10 == 0) ? ('0' + (t / 10) % 10) : ' ';
+  out += '\n';
+  for (const auto& e : events) {
+    char row[128];
+    std::snprintf(row, sizeof(row), "[%d,%2d]         ", e.iteration,
+                  e.index);
+    std::string line(row);
+    line.resize(16, ' ');
+    std::string lane(static_cast<std::size_t>(width), ' ');
+    auto clampi = [&](double v) {
+      return std::min(width - 1, std::max(0, static_cast<int>(v)));
+    };
+    int d = clampi(e.dispatch);
+    int i = clampi(e.issue);
+    int c = clampi(e.complete);
+    int r = clampi(e.retire);
+    for (int t = d; t <= r; ++t) lane[static_cast<std::size_t>(t)] = '.';
+    lane[static_cast<std::size_t>(d)] = 'D';
+    for (int t = i; t < c && t < width; ++t)
+      if (lane[static_cast<std::size_t>(t)] == '.')
+        lane[static_cast<std::size_t>(t)] = 'e';
+    if (i <= c) lane[static_cast<std::size_t>(i)] = 'E';
+    lane[static_cast<std::size_t>(r)] = 'R';
+    line += lane;
+    const auto idx = static_cast<std::size_t>(e.index);
+    if (idx < prog.code.size()) {
+      line += "  ";
+      line += prog.code[idx].raw;
+    }
+    out += line + '\n';
+  }
+  return out;
+}
+
+}  // namespace incore::exec

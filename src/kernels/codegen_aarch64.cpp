@@ -1,0 +1,416 @@
+// AArch64 compiler personalities (GCC and Arm Clang on Grace).
+//
+// Register conventions used by the generated code:
+//   x1..x10   array/row base pointers
+//   x5        element index (whilelo-controlled SVE), x20/x21/x23/x24 the
+//             shifted stencil indices (i-2, i-1, i+1, i+2)
+//   x6        trip counter / bound
+//   d28..d31 / v28..v31 / z28..z31   loop-invariant constants
+//   p0        governing predicate (SVE)
+//
+// Code shapes:
+//   scalar:        ldr d, [x2, #off] streams with per-base pointer bumps
+//   NEON (128b):   ldr/ldur q with row-pointer bases
+//   SVE predicated (unroll 1): ld1d {z}, p0/z, [base, x5, lsl #3],
+//                  incd x5 / whilelo / b.any control (armclang -O2 shape)
+//   SVE unrolled:  ld1d {z}, p0/z, [base, #u, mul vl] with pointer bumps
+//                  (armclang -O3/-Ofast main-loop shape)
+
+#include <string>
+#include <vector>
+
+#include "kernels/kernels.hpp"
+#include "support/strings.hpp"
+
+namespace incore::kernels::detail {
+namespace {
+
+using support::format;
+
+struct Emitter {
+  std::string out;
+  bool sve = false;
+  bool neon = false;
+  bool whilelo = false;  // index+predicate loop shape (only with sve)
+  bool fma = true;
+  const char* pg = "p0";  // governing predicate (gcc allocates p1)
+  bool gcc_order = false; // gcc schedules the GS partial sums differently
+  int epi = 1;  // elements per instruction
+
+  void line(const std::string& s) {
+    out += "  ";
+    out += s;
+    out += '\n';
+  }
+};
+
+struct Names {
+  std::string prefix, suffix;
+  [[nodiscard]] std::string reg(int n) const {
+    return prefix + std::to_string(n) + suffix;
+  }
+};
+
+Names make_names(const Emitter& e) {
+  if (e.sve) return {"z", ".d"};
+  if (e.neon) return {"v", ".2d"};
+  return {"d", ""};
+}
+
+/// SVE memory operand for unroll slot `u` (vector-length offsets) or the
+/// whilelo-index shape.
+std::string sve_mem(const Emitter& e, const char* base, int u) {
+  if (e.whilelo) return format("[%s, x5, lsl #3]", base);
+  if (u == 0) return format("[%s]", base);
+  return format("[%s, #%d, mul vl]", base, u);
+}
+
+void sve_load(Emitter& e, int z, const char* base, int u) {
+  e.line(format("ld1d {z%d.d}, %s/z, %s", z, e.pg,
+                sve_mem(e, base, u).c_str()));
+}
+void sve_store(Emitter& e, int z, const char* base, int u) {
+  e.line(format("st1d {z%d.d}, %s, %s", z, e.pg,
+                sve_mem(e, base, u).c_str()));
+}
+
+void load(Emitter& e, int reg, const char* base, int u, long extra_bytes = 0) {
+  if (e.sve) {
+    sve_load(e, reg, base, u);
+    return;
+  }
+  long disp = static_cast<long>(u) * e.epi * 8 + extra_bytes;
+  if (e.neon) {
+    const char* mnem = (disp >= 0 && disp % 16 == 0) ? "ldr" : "ldur";
+    e.line(format("%s q%d, [%s, #%ld]", mnem, reg, base, disp));
+  } else {
+    const char* mnem = disp >= 0 ? "ldr" : "ldur";
+    e.line(format("%s d%d, [%s, #%ld]", mnem, reg, base, disp));
+  }
+}
+
+void store(Emitter& e, int reg, const char* base, int u) {
+  if (e.sve) {
+    sve_store(e, reg, base, u);
+    return;
+  }
+  long disp = static_cast<long>(u) * e.epi * 8;
+  if (e.neon) {
+    e.line(format("str q%d, [%s, #%ld]", reg, base, disp));
+  } else {
+    e.line(format("str d%d, [%s, #%ld]", reg, base, disp));
+  }
+}
+
+void arith3(Emitter& e, const char* op, const Names& n, int d, int a, int b) {
+  if (e.sve && d == a) {
+    // SVE destructive predicated form.
+    e.line(format("%s z%d.d, %s/m, z%d.d, z%d.d", op, d, e.pg, a, b));
+  } else if (e.sve) {
+    e.line(format("%s z%d.d, z%d.d, z%d.d", op, d, a, b));
+  } else {
+    e.line(format("%s %s, %s, %s", op, n.reg(d).c_str(), n.reg(a).c_str(),
+                  n.reg(b).c_str()));
+  }
+}
+
+void fmla(Emitter& e, const Names& n, int acc, int a, int b) {
+  if (e.sve) {
+    e.line(format("fmla z%d.d, %s/m, z%d.d, z%d.d", acc, e.pg, a, b));
+  } else {
+    e.line(format("fmla %s, %s, %s", n.reg(acc).c_str(), n.reg(a).c_str(),
+                  n.reg(b).c_str()));
+  }
+}
+
+/// Closes the loop: bumps the given base pointers by `elems` elements and
+/// emits the back edge (or the whilelo predicate update).
+void close_loop(Emitter& e, const std::vector<std::string>& bases, int elems,
+                const std::vector<std::string>& extra_indices = {}) {
+  if (e.whilelo) {
+    e.line("incd x5");
+    for (const std::string& idx : extra_indices)
+      e.line(format("incd %s", idx.c_str()));
+    e.line(format("whilelo %s.d, x5, x6", e.pg));
+    e.line("b.any .L2");
+    return;
+  }
+  for (const std::string& b : bases)
+    e.line(format("add %s, %s, #%d", b.c_str(), b.c_str(), elems * 8));
+  e.line(format("subs x6, x6, #%d", elems));
+  e.line("b.ne .L2");
+}
+
+// --------------------------------------------------------------- streamlike
+
+void emit_streamlike(Emitter& e, const Variant& v, int unroll) {
+  const Names n = make_names(e);
+  std::vector<const char*> bases;
+  for (int u = 0; u < unroll; ++u) {
+    int acc = u;
+    switch (v.kernel) {
+      case Kernel::Init:
+        store(e, 31, "x1", u);
+        break;
+      case Kernel::Copy:
+        load(e, acc, "x2", u);
+        store(e, acc, "x1", u);
+        break;
+      case Kernel::Add:
+        load(e, acc, "x2", u);
+        load(e, 8 + u, "x3", u);
+        arith3(e, "fadd", n, acc, acc, 8 + u);
+        store(e, acc, "x1", u);
+        break;
+      case Kernel::Update:
+        load(e, acc, "x1", u);
+        arith3(e, "fmul", n, acc, acc, 31);
+        store(e, acc, "x1", u);
+        break;
+      case Kernel::StreamTriad:
+        load(e, acc, "x2", u);
+        load(e, 8 + u, "x3", u);
+        if (e.fma) {
+          fmla(e, n, acc, 8 + u, 31);
+        } else {
+          arith3(e, "fmul", n, 8 + u, 8 + u, 31);
+          arith3(e, "fadd", n, acc, acc, 8 + u);
+        }
+        store(e, acc, "x1", u);
+        break;
+      case Kernel::SchoenauerTriad:
+        load(e, acc, "x2", u);
+        load(e, 8 + u, "x3", u);
+        load(e, 12 + u, "x4", u);
+        if (e.fma) {
+          fmla(e, n, acc, 8 + u, 12 + u);
+        } else {
+          arith3(e, "fmul", n, 8 + u, 8 + u, 12 + u);
+          arith3(e, "fadd", n, acc, acc, 8 + u);
+        }
+        store(e, acc, "x1", u);
+        break;
+      default:
+        break;
+    }
+  }
+  switch (v.kernel) {
+    case Kernel::Init: bases = {"x1"}; break;
+    case Kernel::Copy: bases = {"x1", "x2"}; break;
+    case Kernel::Add: bases = {"x1", "x2", "x3"}; break;
+    case Kernel::Update: bases = {"x1"}; break;
+    case Kernel::StreamTriad: bases = {"x1", "x2", "x3"}; break;
+    case Kernel::SchoenauerTriad: bases = {"x1", "x2", "x3", "x4"}; break;
+    default: break;
+  }
+  close_loop(e, {bases.begin(), bases.end()}, e.epi * unroll);
+}
+
+// ---------------------------------------------------------------- reduction
+
+void emit_sum(Emitter& e, int unroll) {
+  const Names n = make_names(e);
+  for (int u = 0; u < unroll; ++u) {
+    load(e, 8 + u, "x2", u);
+    arith3(e, "fadd", n, u, u, 8 + u);
+  }
+  close_loop(e, {std::string("x2")}, e.epi * unroll);
+}
+
+void emit_pi(Emitter& e, int unroll) {
+  const Names n = make_names(e);
+  // x in reg u, sum in 4+u, scratch 8+u; constants: 28 = step, 29 = 4.0,
+  // 30 = 1.0.
+  for (int u = 0; u < unroll; ++u) {
+    arith3(e, "fmul", n, 8 + u, u, u);
+    arith3(e, "fadd", n, 8 + u, 8 + u, 30);
+    if (e.sve) {
+      e.line(format("fdivr z%d.d, %s/m, z%d.d, z%d.d", 8 + u, e.pg, 8 + u,
+                    29));
+    } else {
+      arith3(e, "fdiv", n, 8 + u, 29, 8 + u);
+    }
+    arith3(e, "fadd", n, 4 + u, 4 + u, 8 + u);
+    arith3(e, "fadd", n, u, u, 28);
+  }
+  if (e.sve && e.whilelo) {
+    e.line("incd x5");
+    e.line(format("whilelo %s.d, x5, x6", e.pg));
+    e.line("b.any .L2");
+  } else {
+    e.line(format("subs x6, x6, #%d", e.epi * unroll));
+    e.line("b.ne .L2");
+  }
+}
+
+// ----------------------------------------------------------------- stencils
+
+struct NeighborStream {
+  int base_reg;  // x<base_reg>
+  int xoff;      // element offset in x direction (-2..2)
+};
+
+void emit_stencil(Emitter& e, const std::vector<NeighborStream>& streams,
+                  int n_bases, int unroll) {
+  const Names n = make_names(e);
+  bool uses_shifted_index[5] = {false, false, false, false, false};
+  for (int u = 0; u < unroll; ++u) {
+    const int acc = u;
+    bool first = true;
+    int scratch = 8;
+    for (const NeighborStream& ns : streams) {
+      const std::string base = format("x%d", ns.base_reg);
+      const int dst = first ? acc : scratch;
+      if (e.sve && e.whilelo) {
+        static const char* kIdxName[] = {"x20", "x21", "x5", "x23", "x24"};
+        e.line(format("ld1d {z%d.d}, %s/z, [%s, %s, lsl #3]", dst, e.pg,
+                      base.c_str(), kIdxName[ns.xoff + 2]));
+        uses_shifted_index[ns.xoff + 2] = true;
+      } else {
+        load(e, dst, base.c_str(), u, ns.xoff * 8L);
+      }
+      if (!first) {
+        arith3(e, "fadd", n, acc, acc, scratch);
+        scratch = (scratch == 8) ? 9 : 8;
+      }
+      first = false;
+    }
+    arith3(e, "fmul", n, acc, acc, 31);
+    if (e.sve && e.whilelo) {
+      e.line(format("st1d {z%d.d}, %s, [x1, x5, lsl #3]", acc, e.pg));
+    } else {
+      store(e, acc, "x1", u);
+    }
+  }
+  // Collect the distinct base registers actually referenced.
+  std::vector<std::string> bases = {"x1"};
+  std::vector<int> seen;
+  for (const NeighborStream& ns : streams) {
+    bool dup = false;
+    for (int b : seen) dup |= (b == ns.base_reg);
+    if (!dup) {
+      seen.push_back(ns.base_reg);
+      bases.push_back(format("x%d", ns.base_reg));
+    }
+  }
+  (void)n_bases;
+  std::vector<std::string> extra;
+  static const char* kIdxName2[] = {"x20", "x21", "x5", "x23", "x24"};
+  for (int i = 0; i < 5; ++i) {
+    if (i != 2 && uses_shifted_index[i]) extra.emplace_back(kIdxName2[i]);
+  }
+  close_loop(e, bases, e.epi * unroll, extra);
+}
+
+/// Gauss-Seidel 2D 5-point (always scalar).  Recurrence value x[i][j-1]
+/// lives in d0.  Bases: x2 = rhs b, x3 = x row i (load east, store), x4 =
+/// row i-1 (new values), x7 = row i+1 (old values).
+void emit_gauss_seidel(Emitter& e, bool fmov_artifact) {
+  if (e.gcc_order) {
+    // GCC schedules the row loads first and accumulates linearly.
+    e.line("ldr d3, [x4], #8");   // x[i-1][j] (new)
+    e.line("ldr d4, [x7], #8");   // x[i+1][j] (old)
+    e.line("ldr d1, [x2], #8");   // b[i][j]
+    e.line("ldur d2, [x3, #8]");  // x[i][j+1] (old)
+    e.line("fadd d3, d3, d4");
+    e.line("fadd d1, d1, d2");
+    e.line("fadd d1, d1, d3");
+  } else {
+    e.line("ldr d1, [x2], #8");   // b[i][j]
+    e.line("ldur d2, [x3, #8]");  // x[i][j+1] (old)
+    e.line("ldr d3, [x4], #8");   // x[i-1][j] (new)
+    e.line("ldr d4, [x7], #8");   // x[i+1][j] (old)
+    e.line("fadd d1, d1, d2");
+    e.line("fadd d3, d3, d4");
+    e.line("fadd d1, d1, d3");
+  }
+  if (fmov_artifact) {
+    // GCC's register allocation produces the new value in d5 and copies it
+    // back into the recurrence register d0.  OSACA counts the fmov latency
+    // in the loop-carried chain; V2 silicon renames it away.
+    e.line("fadd d5, d1, d0");
+    e.line("fmul d5, d5, d31");
+    e.line("fmov d0, d5");
+    e.line("str d5, [x3], #8");
+  } else {
+    e.line("fadd d0, d1, d0");
+    e.line("fmul d0, d0, d31");
+    e.line("str d0, [x3], #8");
+  }
+  e.line("subs x6, x6, #1");
+  e.line("b.ne .L2");
+}
+
+}  // namespace
+
+std::string emit_aarch64(const Variant& v, const Strategy& s,
+                         int& elements_per_iteration) {
+  Emitter e;
+  e.sve = s.vec_bits > 0 && s.sve_predicated;
+  e.neon = s.vec_bits > 0 && !s.sve_predicated;
+  e.whilelo = e.sve && s.unroll == 1;
+  e.fma = s.use_fma;
+  e.pg = v.compiler == Compiler::Gcc ? "p1" : "p0";
+  e.gcc_order = v.compiler == Compiler::Gcc;
+  e.epi = s.vec_bits ? s.vec_bits / 64 : 1;
+  elements_per_iteration = e.epi * s.unroll;
+
+  auto star2d = [&]() {
+    return std::vector<NeighborStream>{{2, -1}, {2, 1}, {3, 0}, {4, 0}};
+  };
+  auto star3d7 = [&]() {
+    return std::vector<NeighborStream>{{2, 0}, {2, -1}, {2, 1}, {3, 0},
+                                       {4, 0}, {7, 0},  {8, 0}};
+  };
+  auto star3d11 = [&]() {
+    return std::vector<NeighborStream>{{2, 0}, {2, -1}, {2, 1}, {2, -2},
+                                       {2, 2}, {3, 0},  {4, 0}, {7, 0},
+                                       {8, 0}, {9, 0},  {10, 0}};
+  };
+  auto box3d27 = [&]() {
+    std::vector<NeighborStream> out;
+    for (int b = 0; b < 9; ++b) {
+      static const int kRowBases[] = {2, 3, 4, 7, 8, 9, 10, 11, 12};
+      out.push_back({kRowBases[b], -1});
+      out.push_back({kRowBases[b], 0});
+      out.push_back({kRowBases[b], 1});
+    }
+    return out;
+  };
+
+  switch (v.kernel) {
+    case Kernel::Add:
+    case Kernel::Copy:
+    case Kernel::Init:
+    case Kernel::Update:
+    case Kernel::StreamTriad:
+    case Kernel::SchoenauerTriad:
+      emit_streamlike(e, v, s.unroll);
+      break;
+    case Kernel::SumReduction:
+      emit_sum(e, s.unroll);
+      break;
+    case Kernel::Pi:
+      emit_pi(e, s.unroll);
+      break;
+    case Kernel::Jacobi2D5pt:
+      emit_stencil(e, star2d(), 3, s.unroll);
+      break;
+    case Kernel::Jacobi3D7pt:
+      emit_stencil(e, star3d7(), 7, s.unroll);
+      break;
+    case Kernel::Jacobi3D11pt:
+      emit_stencil(e, star3d11(), 9, s.unroll);
+      break;
+    case Kernel::Jacobi3D27pt:
+      emit_stencil(e, box3d27(), 9, s.unroll);
+      break;
+    case Kernel::GaussSeidel2D5pt:
+      emit_gauss_seidel(e, s.fmov_in_recurrence);
+      elements_per_iteration = 1;
+      break;
+  }
+  return e.out;
+}
+
+}  // namespace incore::kernels::detail

@@ -1,0 +1,390 @@
+// x86-64 (AT&T) compiler personalities.
+//
+// Register conventions used by the generated code:
+//   %rax        destination array base
+//   %rbx,%rdx,%rsi,%r8,%r9..%r12   source array bases / row bases
+//   %rcx        induction variable (element or byte index)
+//   %rdi        trip-count bound
+//   %xmm/%ymm/%zmm12..15           loop-invariant constants
+//   %xmm/../0..11                  working registers / accumulators
+//
+// Two addressing styles:
+//   indexed:       disp(%base,%rcx,8)   with %rcx counting elements (GCC/ICX)
+//   pointer-bump:  disp(%base)          with bases advanced per iteration
+//                  (Clang's typical output)
+
+#include <cstdarg>
+#include <string>
+#include <vector>
+
+#include "kernels/kernels.hpp"
+#include "support/strings.hpp"
+
+namespace incore::kernels::detail {
+namespace {
+
+using support::format;
+
+struct Emitter {
+  std::string out;
+  int vb = 0;        // vector bits; 0 => scalar
+  bool fma = true;
+  bool pbump = false;
+  bool fold = true;       // fold loads into arithmetic operands
+  const char* jcc = "jne";  // loop back-edge condition idiom
+  bool use_inc = false;     // clang: incq for unit steps
+  bool group_loads = false;  // -mtune: golden-cove groups loads before ALU ops
+  int epi = 1;       // elements per instruction
+
+  void line(const std::string& s) {
+    out += "  ";
+    out += s;
+    out += '\n';
+  }
+
+  /// Vector register name at the strategy width.
+  [[nodiscard]] std::string vr(int n) const {
+    if (vb >= 512) return format("%%zmm%d", n);
+    if (vb >= 256) return format("%%ymm%d", n);
+    return format("%%xmm%d", n);
+  }
+
+  /// Memory operand for element offset `elem` (within the iteration) off
+  /// array base register `base`.
+  [[nodiscard]] std::string addr(const char* base, long elem_off,
+                                 long byte_off = 0) const {
+    long disp = elem_off * 8 + byte_off;
+    if (pbump) {
+      if (disp == 0) return format("(%%%s)", base);
+      return format("%ld(%%%s)", disp, base);
+    }
+    if (disp == 0) return format("(%%%s,%%rcx,8)", base);
+    return format("%ld(%%%s,%%rcx,8)", disp, base);
+  }
+
+  [[nodiscard]] const char* op(const char* pd, const char* sd) const {
+    return vb ? pd : sd;
+  }
+  [[nodiscard]] const char* movu() const { return vb ? "vmovupd" : "vmovsd"; }
+};
+
+/// Names for the main FP ops at the active width.
+struct Ops {
+  std::string add, mul, div, fmadd;
+};
+
+Ops make_ops(const Emitter& e) {
+  Ops o;
+  o.add = e.vb ? "vaddpd" : "vaddsd";
+  o.mul = e.vb ? "vmulpd" : "vmulsd";
+  o.div = e.vb ? "vdivpd" : "vdivsd";
+  o.fmadd = e.vb ? "vfmadd231pd" : "vfmadd231sd";
+  return o;
+}
+
+/// acc = acc OP mem, either with a folded memory operand (O2+ and ICX) or
+/// through an explicit load into a scratch register (GCC/Clang at -O1).
+void fold_or_load(Emitter& e, const std::string& op, const std::string& mem,
+                  const std::string& acc, int scratch) {
+  if (e.fold) {
+    e.line(format("%s %s, %s, %s", op.c_str(), mem.c_str(), acc.c_str(),
+                  acc.c_str()));
+  } else {
+    const std::string t = e.vr(scratch);
+    e.line(format("%s %s, %s", e.movu(), mem.c_str(), t.c_str()));
+    e.line(format("%s %s, %s, %s", op.c_str(), t.c_str(), acc.c_str(),
+                  acc.c_str()));
+  }
+}
+
+void emit_loop_control(Emitter& e, int elems_per_iter,
+                       const std::vector<const char*>& bump_bases) {
+  if (e.pbump) {
+    for (const char* b : bump_bases)
+      e.line(format("addq $%d, %%%s", elems_per_iter * 8, b));
+  }
+  if (e.use_inc && elems_per_iter == 1) {
+    e.line("incq %rcx");
+  } else {
+    e.line(format("addq $%d, %%rcx", elems_per_iter));
+  }
+  e.line("cmpq %rdi, %rcx");
+  e.line(format("%s .L2", e.jcc));
+}
+
+// ------------------------------------------------------------------ kernels
+
+void emit_streamlike(Emitter& e, const Variant& v, int unroll) {
+  const Ops o = make_ops(e);
+  std::vector<const char*> bases;
+  // Golden Cove tuning interleaves the unrolled iterations (all loads, then
+  // all ALU ops, then all stores); Zen 4 tuning keeps them sequential.
+  Emitter loads = e, ops = e, stores = e;
+  loads.out.clear();
+  ops.out.clear();
+  stores.out.clear();
+  const bool phase_grouped = e.group_loads && unroll > 1;
+  for (int u = 0; u < unroll; ++u) {
+    Emitter& eload = phase_grouped ? loads : e;
+    Emitter& eop = phase_grouped ? ops : e;
+    Emitter& estore = phase_grouped ? stores : e;
+    const std::string acc = e.vr(u);
+    switch (v.kernel) {
+      case Kernel::Init:
+        estore.line(format("%s %s, %s", e.movu(), e.vr(15).c_str(),
+                           e.addr("rax", u * e.epi).c_str()));
+        break;
+      case Kernel::Copy:
+        eload.line(format("%s %s, %s", e.movu(),
+                          e.addr("rbx", u * e.epi).c_str(), acc.c_str()));
+        estore.line(format("%s %s, %s", e.movu(), acc.c_str(),
+                           e.addr("rax", u * e.epi).c_str()));
+        break;
+      case Kernel::Add:
+        if (!e.fold && e.group_loads) {
+          // Golden Cove tuning: issue both loads, then the ALU op.
+          eload.line(format("%s %s, %s", e.movu(),
+                            e.addr("rbx", u * e.epi).c_str(), acc.c_str()));
+          eload.line(format("%s %s, %s", e.movu(),
+                            e.addr("rdx", u * e.epi).c_str(),
+                            e.vr(10).c_str()));
+          eop.line(format("%s %s, %s, %s", o.add.c_str(), e.vr(10).c_str(),
+                          acc.c_str(), acc.c_str()));
+        } else {
+          eload.line(format("%s %s, %s", e.movu(),
+                            e.addr("rbx", u * e.epi).c_str(), acc.c_str()));
+          fold_or_load(eop, o.add, e.addr("rdx", u * e.epi), acc, 10);
+        }
+        estore.line(format("%s %s, %s", e.movu(), acc.c_str(),
+                           e.addr("rax", u * e.epi).c_str()));
+        break;
+      case Kernel::Update:
+        eload.line(format("%s %s, %s", e.movu(),
+                          e.addr("rax", u * e.epi).c_str(), acc.c_str()));
+        eop.line(format("%s %s, %s, %s", o.mul.c_str(), e.vr(15).c_str(),
+                        acc.c_str(), acc.c_str()));
+        estore.line(format("%s %s, %s", e.movu(), acc.c_str(),
+                           e.addr("rax", u * e.epi).c_str()));
+        break;
+      case Kernel::StreamTriad:
+        // a = b + s*c
+        eload.line(format("%s %s, %s", e.movu(),
+                          e.addr("rbx", u * e.epi).c_str(), acc.c_str()));
+        if (e.fma) {
+          eop.line(format("%s %s, %s, %s", o.fmadd.c_str(),
+                          e.addr("rdx", u * e.epi).c_str(), e.vr(15).c_str(),
+                          acc.c_str()));
+        } else {
+          const std::string t = e.vr(8 + u);
+          eload.line(format("%s %s, %s", e.movu(),
+                            e.addr("rdx", u * e.epi).c_str(), t.c_str()));
+          eop.line(format("%s %s, %s, %s", o.mul.c_str(), e.vr(15).c_str(),
+                          t.c_str(), t.c_str()));
+          eop.line(format("%s %s, %s, %s", o.add.c_str(), t.c_str(),
+                          acc.c_str(), acc.c_str()));
+        }
+        estore.line(format("%s %s, %s", e.movu(), acc.c_str(),
+                           e.addr("rax", u * e.epi).c_str()));
+        break;
+      case Kernel::SchoenauerTriad:
+        // a = b + c*d
+        eload.line(format("%s %s, %s", e.movu(),
+                          e.addr("rbx", u * e.epi).c_str(), acc.c_str()));
+        if (e.fma) {
+          const std::string c = e.vr(8 + u);
+          eload.line(format("%s %s, %s", e.movu(),
+                            e.addr("rdx", u * e.epi).c_str(), c.c_str()));
+          eop.line(format("%s %s, %s, %s", o.fmadd.c_str(),
+                          e.addr("rsi", u * e.epi).c_str(), c.c_str(),
+                          acc.c_str()));
+        } else if (e.group_loads && !e.fold) {
+          const std::string c = e.vr(8 + u);
+          const std::string d = e.vr(10);
+          eload.line(format("%s %s, %s", e.movu(),
+                            e.addr("rdx", u * e.epi).c_str(), c.c_str()));
+          eload.line(format("%s %s, %s", e.movu(),
+                            e.addr("rsi", u * e.epi).c_str(), d.c_str()));
+          eop.line(format("%s %s, %s, %s", o.mul.c_str(), d.c_str(),
+                          c.c_str(), c.c_str()));
+          eop.line(format("%s %s, %s, %s", o.add.c_str(), c.c_str(),
+                          acc.c_str(), acc.c_str()));
+        } else {
+          const std::string c = e.vr(8 + u);
+          eload.line(format("%s %s, %s", e.movu(),
+                            e.addr("rdx", u * e.epi).c_str(), c.c_str()));
+          fold_or_load(eop, o.mul, e.addr("rsi", u * e.epi), c, 10);
+          eop.line(format("%s %s, %s, %s", o.add.c_str(), c.c_str(),
+                          acc.c_str(), acc.c_str()));
+        }
+        estore.line(format("%s %s, %s", e.movu(), acc.c_str(),
+                           e.addr("rax", u * e.epi).c_str()));
+        break;
+      default:
+        break;
+    }
+  }
+  if (phase_grouped) {
+    e.out += loads.out;
+    e.out += ops.out;
+    e.out += stores.out;
+  }
+  switch (v.kernel) {
+    case Kernel::Init: bases = {"rax"}; break;
+    case Kernel::Copy: bases = {"rax", "rbx"}; break;
+    case Kernel::Add: bases = {"rax", "rbx", "rdx"}; break;
+    case Kernel::Update: bases = {"rax"}; break;
+    case Kernel::StreamTriad: bases = {"rax", "rbx", "rdx"}; break;
+    case Kernel::SchoenauerTriad: bases = {"rax", "rbx", "rdx", "rsi"}; break;
+    default: break;
+  }
+  emit_loop_control(e, e.epi * unroll, bases);
+}
+
+void emit_sum(Emitter& e, int unroll) {
+  const Ops o = make_ops(e);
+  for (int u = 0; u < unroll; ++u) {
+    fold_or_load(e, o.add, e.addr("rbx", u * e.epi), e.vr(u), 8 + (u % 4));
+  }
+  emit_loop_control(e, e.epi * unroll, {"rbx"});
+}
+
+void emit_pi(Emitter& e, int unroll) {
+  const Ops o = make_ops(e);
+  // x in v0 (+u), sum in v4 (+u); constants: v12 = dx (vectorized: U*dx),
+  // v13 = 4.0, v14 = 1.0.
+  for (int u = 0; u < unroll; ++u) {
+    const std::string x = e.vr(u);
+    const std::string t = e.vr(8 + (u % 4));
+    const std::string sum = e.vr(4 + u);
+    e.line(format("%s %s, %s, %s", o.mul.c_str(), x.c_str(), x.c_str(),
+                  t.c_str()));
+    e.line(format("%s %s, %s, %s", o.add.c_str(), e.vr(14).c_str(), t.c_str(),
+                  t.c_str()));
+    e.line(format("%s %s, %s, %s", o.div.c_str(), t.c_str(), e.vr(13).c_str(),
+                  t.c_str()));
+    e.line(format("%s %s, %s, %s", o.add.c_str(), t.c_str(), sum.c_str(),
+                  sum.c_str()));
+    e.line(format("%s %s, %s, %s", o.add.c_str(), e.vr(12).c_str(), x.c_str(),
+                  x.c_str()));
+  }
+  e.line("addq $1, %rcx");
+  e.line("cmpq %rdi, %rcx");
+  e.line("jne .L2");
+}
+
+/// Jacobi-family stencils: destination %rax, source %rbx; neighbor offsets
+/// in bytes.  Loads beyond the first are folded into vaddpd.
+void emit_stencil(Emitter& e, const std::vector<long>& neighbor_bytes,
+                  int unroll) {
+  const Ops o = make_ops(e);
+  for (int u = 0; u < unroll; ++u) {
+    const std::string acc = e.vr(u);
+    bool first = true;
+    for (long nb : neighbor_bytes) {
+      if (first) {
+        e.line(format("%s %s, %s", e.movu(),
+                      e.addr("rbx", u * e.epi, nb).c_str(), acc.c_str()));
+        first = false;
+      } else {
+        fold_or_load(e, o.add, e.addr("rbx", u * e.epi, nb), acc,
+                     10 + (static_cast<int>(nb) & 1));
+      }
+    }
+    e.line(format("%s %s, %s, %s", o.mul.c_str(), e.vr(15).c_str(),
+                  acc.c_str(), acc.c_str()));
+    e.line(format("%s %s, %s", e.movu(), acc.c_str(),
+                  e.addr("rax", u * e.epi).c_str()));
+  }
+  emit_loop_control(e, e.epi * unroll, {"rax", "rbx"});
+}
+
+/// Gauss-Seidel 2D 5-point, always scalar.  Recurrence value x[i][j-1] lives
+/// in %xmm0; row stride 8192 bytes.  Bases: %rbx = rhs b, %r8 = x (current
+/// row), also the store target.
+void emit_gauss_seidel(Emitter& e) {
+  if (e.group_loads) {
+    // Golden Cove tuning: both independent partial sums started up front.
+    e.line(format("vmovsd %s, %%xmm1", e.addr("rbx", 0).c_str()));  // b
+    e.line(format("vmovsd %s, %%xmm2",
+                  e.addr("r8", 0, -8192).c_str()));  // x[i-1][j] (new)
+    fold_or_load(e, "vaddsd", e.addr("r8", 1), "%xmm1", 10);   // x[i][j+1]
+    fold_or_load(e, "vaddsd", e.addr("r8", 0, 8192), "%xmm2", 11);
+  } else {
+    e.line(format("vmovsd %s, %%xmm1", e.addr("rbx", 0).c_str()));  // b[i][j]
+    fold_or_load(e, "vaddsd", e.addr("r8", 1), "%xmm1", 10);  // x[i][j+1] old
+    e.line(format("vmovsd %s, %%xmm2",
+                  e.addr("r8", 0, -8192).c_str()));  // x[i-1][j] new
+    fold_or_load(e, "vaddsd", e.addr("r8", 0, 8192), "%xmm2", 11);
+  }
+  e.line("vaddsd %xmm2, %xmm1, %xmm1");
+  e.line("vaddsd %xmm1, %xmm0, %xmm0");   // + x[i][j-1] (recurrence)
+  e.line("vmulsd %xmm15, %xmm0, %xmm0");  // * 0.25
+  e.line(format("vmovsd %%xmm0, %s", e.addr("r8", 0).c_str()));
+  emit_loop_control(e, 1, {"rbx", "r8"});
+}
+
+}  // namespace
+
+std::string emit_x86(const Variant& v, const Strategy& s,
+                     int& elements_per_iteration) {
+  Emitter e;
+  e.vb = s.vec_bits;
+  e.fma = s.use_fma;
+  e.pbump = s.pointer_bump;
+  // ICX folds memory operands at every level; GCC/Clang only at -O2+.
+  e.fold = v.opt != OptLevel::O1 || v.compiler == Compiler::OneApi;
+  e.jcc = v.compiler == Compiler::OneApi ? "jb" : "jne";
+  e.use_inc = v.compiler == Compiler::Clang;
+  e.group_loads = v.target == uarch::Micro::GoldenCove;
+  e.epi = s.vec_bits ? s.vec_bits / 64 : 1;
+  elements_per_iteration = e.epi * s.unroll;
+
+  constexpr long kRow = 8192;       // 1024-element rows
+  constexpr long kPlane = 8388608;  // 1024x1024-element planes
+
+  switch (v.kernel) {
+    case Kernel::Add:
+    case Kernel::Copy:
+    case Kernel::Init:
+    case Kernel::Update:
+    case Kernel::StreamTriad:
+    case Kernel::SchoenauerTriad:
+      emit_streamlike(e, v, s.unroll);
+      break;
+    case Kernel::SumReduction:
+      emit_sum(e, s.unroll);
+      break;
+    case Kernel::Pi:
+      emit_pi(e, s.unroll);
+      elements_per_iteration = e.epi * s.unroll;
+      break;
+    case Kernel::Jacobi2D5pt:
+      emit_stencil(e, {-8, 8, -kRow, kRow}, s.unroll);
+      break;
+    case Kernel::Jacobi3D7pt:
+      emit_stencil(e, {0, -8, 8, -kRow, kRow, -kPlane, kPlane}, s.unroll);
+      break;
+    case Kernel::Jacobi3D11pt:
+      emit_stencil(e,
+                   {0, -8, 8, -16, 16, -kRow, kRow, -2 * kRow, 2 * kRow,
+                    -kPlane, kPlane},
+                   s.unroll);
+      break;
+    case Kernel::Jacobi3D27pt: {
+      std::vector<long> offs;
+      for (int dz = -1; dz <= 1; ++dz)
+        for (int dy = -1; dy <= 1; ++dy)
+          for (int dx = -1; dx <= 1; ++dx)
+            offs.push_back(dx * 8 + dy * kRow + dz * kPlane);
+      emit_stencil(e, offs, s.unroll);
+      break;
+    }
+    case Kernel::GaussSeidel2D5pt:
+      emit_gauss_seidel(e);
+      elements_per_iteration = 1;
+      break;
+  }
+  return e.out;
+}
+
+}  // namespace incore::kernels::detail

@@ -1,0 +1,236 @@
+#include "kernels/kernels.hpp"
+
+#include "asmir/parser.hpp"
+#include "support/strings.hpp"
+
+namespace incore::kernels {
+
+const char* to_string(Kernel k) {
+  switch (k) {
+    case Kernel::Jacobi2D5pt: return "jacobi-2d-5pt";
+    case Kernel::Jacobi3D7pt: return "jacobi-3d-7pt";
+    case Kernel::Jacobi3D11pt: return "jacobi-3d-11pt";
+    case Kernel::Jacobi3D27pt: return "jacobi-3d-27pt";
+    case Kernel::Add: return "add";
+    case Kernel::Copy: return "copy";
+    case Kernel::GaussSeidel2D5pt: return "gauss-seidel-2d-5pt";
+    case Kernel::Pi: return "pi";
+    case Kernel::Init: return "init";
+    case Kernel::SchoenauerTriad: return "schoenauer-triad";
+    case Kernel::SumReduction: return "sum";
+    case Kernel::StreamTriad: return "stream-triad";
+    case Kernel::Update: return "update";
+  }
+  return "?";
+}
+
+const char* to_string(Compiler c) {
+  switch (c) {
+    case Compiler::Gcc: return "gcc";
+    case Compiler::Clang: return "clang";
+    case Compiler::OneApi: return "icx";
+    case Compiler::ArmClang: return "armclang";
+  }
+  return "?";
+}
+
+const char* to_string(OptLevel o) {
+  switch (o) {
+    case OptLevel::O1: return "O1";
+    case OptLevel::O2: return "O2";
+    case OptLevel::O3: return "O3";
+    case OptLevel::Ofast: return "Ofast";
+  }
+  return "?";
+}
+
+const std::vector<Kernel>& all_kernels() {
+  static const std::vector<Kernel> ks = {
+      Kernel::Jacobi2D5pt,  Kernel::Jacobi3D7pt, Kernel::Jacobi3D11pt,
+      Kernel::Jacobi3D27pt, Kernel::Add,         Kernel::Copy,
+      Kernel::GaussSeidel2D5pt, Kernel::Pi,      Kernel::Init,
+      Kernel::SchoenauerTriad,  Kernel::SumReduction,
+      Kernel::StreamTriad,  Kernel::Update};
+  return ks;
+}
+
+const KernelInfo& info(Kernel k) {
+  // loads/stores/flops are per updated element.
+  static const KernelInfo kInfos[] = {
+      /*Jacobi2D5pt*/ {"jacobi-2d-5pt", 4, 1, 4.0, false, false, false},
+      /*Jacobi3D7pt*/ {"jacobi-3d-7pt", 7, 1, 7.0, false, false, false},
+      /*Jacobi3D11pt*/ {"jacobi-3d-11pt", 11, 1, 11.0, false, false, false},
+      /*Jacobi3D27pt*/ {"jacobi-3d-27pt", 27, 1, 27.0, false, false, false},
+      /*Add*/ {"add", 2, 1, 1.0, false, false, false},
+      /*Copy*/ {"copy", 1, 1, 0.0, false, false, false},
+      /*GaussSeidel*/ {"gauss-seidel-2d-5pt", 4, 1, 5.0, false, true, false},
+      /*Pi*/ {"pi", 0, 0, 4.0, true, false, true},
+      /*Init*/ {"init", 0, 1, 0.0, false, false, false},
+      /*SchoenauerTriad*/ {"schoenauer-triad", 3, 1, 2.0, false, false, false},
+      /*SumReduction*/ {"sum", 1, 0, 1.0, true, false, false},
+      /*StreamTriad*/ {"stream-triad", 2, 1, 2.0, false, false, false},
+      /*Update*/ {"update", 1, 1, 1.0, false, false, false},
+  };
+  return kInfos[static_cast<int>(k)];
+}
+
+std::string Variant::label() const {
+  return support::format("%s-%s-%s-%s", to_string(kernel), to_string(compiler),
+                         to_string(opt), uarch::cpu_short_name(target));
+}
+
+std::vector<Compiler> compilers_for(uarch::Micro micro) {
+  // Paper: GCC 12.1, oneAPI 2023.2 and Clang 17 on the x86 machines;
+  // Arm C Compiler 23.10 and GCC 13.2 on Grace.
+  if (micro == uarch::Micro::NeoverseV2)
+    return {Compiler::Gcc, Compiler::ArmClang};
+  return {Compiler::Gcc, Compiler::Clang, Compiler::OneApi};
+}
+
+std::vector<Variant> test_matrix() {
+  std::vector<Variant> out;
+  out.reserve(416);
+  for (uarch::Micro micro : uarch::all_micros()) {
+    for (Compiler c : compilers_for(micro)) {
+      for (Kernel k : all_kernels()) {
+        for (OptLevel o :
+             {OptLevel::O1, OptLevel::O2, OptLevel::O3, OptLevel::Ofast}) {
+          out.push_back(Variant{k, c, o, micro});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Strategy strategy_for(const Variant& v) {
+  const KernelInfo& ki = info(v.kernel);
+  const bool aarch64 = v.target == uarch::Micro::NeoverseV2;
+  Strategy s;
+  s.use_fma = v.opt != OptLevel::O1;  // -ffp-contract at O2+
+  // Clang addresses streams through bumped pointers at every level; GCC and
+  // ICX keep a scaled induction variable.
+  s.pointer_bump = v.compiler == Compiler::Clang;
+
+  // The recurrence kernel never vectorizes.
+  if (ki.has_recurrence) {
+    s.vec_bits = 0;
+    s.unroll = 1;
+    // GCC's AArch64 register allocator keeps the recurrence value in a
+    // rotating register and copies it back with fmov at O1..O3 (fixed by
+    // the modulo-scheduling at Ofast) -- the paper's V2 outlier source.
+    s.fmov_in_recurrence =
+        aarch64 && v.compiler == Compiler::Gcc && v.opt != OptLevel::Ofast;
+    return s;
+  }
+
+  // Can this kernel be vectorized at this level by this compiler?
+  auto vectorizes = [&]() {
+    if (v.opt == OptLevel::O1) return false;
+    if (ki.is_reduction) {
+      // Needs reassociation: -Ofast only, except ICX (default fp-model fast).
+      return v.opt == OptLevel::Ofast || v.compiler == Compiler::OneApi;
+    }
+    switch (v.compiler) {
+      case Compiler::Gcc:
+        // GCC vectorizes at -O3/-Ofast; at -O2 only the "very cheap" cost
+        // model cases (straight copies/inits).
+        if (v.opt == OptLevel::O2)
+          return v.kernel == Kernel::Copy || v.kernel == Kernel::Init;
+        return true;
+      case Compiler::Clang:
+      case Compiler::OneApi:
+      case Compiler::ArmClang:
+        return true;  // loop vectorizer on at -O2+
+    }
+    return false;
+  };
+
+  if (!vectorizes()) {
+    s.vec_bits = 0;
+    s.unroll = 1;
+    return s;
+  }
+
+  // Vector width per compiler/target.
+  if (aarch64) {
+    if (v.compiler == Compiler::ArmClang) {
+      s.vec_bits = 128;  // SVE (VL = 128 bit on V2)
+      s.sve_predicated = true;
+    } else {
+      // GCC on AArch64: NEON at -O2/-O3, SVE at -Ofast.
+      s.vec_bits = 128;
+      s.sve_predicated = v.opt == OptLevel::Ofast;
+    }
+  } else {
+    switch (v.compiler) {
+      case Compiler::Gcc:
+        // -march=native: 512-bit on Sapphire Rapids, 256-bit preferred on
+        // znver4.
+        s.vec_bits = v.target == uarch::Micro::GoldenCove ? 512 : 256;
+        break;
+      case Compiler::Clang:
+        s.vec_bits = 256;  // prefers 256-bit unless asked otherwise
+        break;
+      case Compiler::OneApi:
+        s.vec_bits = 512;  // ICX favors zmm on both targets
+        break;
+      case Compiler::ArmClang:
+        s.vec_bits = 128;
+        break;
+    }
+  }
+
+  // Unroll (interleave) factors.
+  switch (v.compiler) {
+    case Compiler::Gcc:
+      s.unroll = 1;
+      break;
+    case Compiler::Clang:
+      // -mtune=znver4 interleaves more aggressively than the generic tuning.
+      s.unroll = v.opt == OptLevel::O2
+                     ? (v.target == uarch::Micro::Zen4 ? 4 : 2)
+                     : 4;
+      break;
+    case Compiler::OneApi:
+      // ICX unrolls conservatively when not targeting an Intel core.
+      s.unroll = v.opt == OptLevel::O2
+                     ? 2
+                     : (v.target == uarch::Micro::GoldenCove ? 4 : 2);
+      break;
+    case Compiler::ArmClang:
+      s.unroll = v.opt == OptLevel::O2 ? 1 : (v.opt == OptLevel::O3 ? 2 : 4);
+      s.pointer_bump = false;
+      break;
+  }
+  // Very wide stencil bodies are not interleaved (register pressure).
+  if (info(v.kernel).loads_per_element >= 10) s.unroll = 1;
+  // SVE stencils keep the predicated single-vector shape (the shifted
+  // neighbor streams are addressed through per-offset index registers).
+  const bool is_stencil = v.kernel == Kernel::Jacobi2D5pt ||
+                          v.kernel == Kernel::Jacobi3D7pt ||
+                          v.kernel == Kernel::Jacobi3D11pt ||
+                          v.kernel == Kernel::Jacobi3D27pt;
+  if (s.sve_predicated && is_stencil) s.unroll = 1;
+  // SVE predicated loops are not unrolled at -O2 by armclang.
+  if (s.sve_predicated && v.compiler == Compiler::ArmClang &&
+      v.opt == OptLevel::O2)
+    s.unroll = 1;
+  return s;
+}
+
+GeneratedKernel generate(const Variant& v) {
+  Strategy s = strategy_for(v);
+  GeneratedKernel g;
+  g.elements_per_iteration = 1;
+  if (v.target == uarch::Micro::NeoverseV2) {
+    g.assembly = detail::emit_aarch64(v, s, g.elements_per_iteration);
+    g.program = asmir::parse(g.assembly, asmir::Isa::AArch64);
+  } else {
+    g.assembly = detail::emit_x86(v, s, g.elements_per_iteration);
+    g.program = asmir::parse(g.assembly, asmir::Isa::X86_64);
+  }
+  return g;
+}
+
+}  // namespace incore::kernels

@@ -1,0 +1,107 @@
+#pragma once
+// The paper's validation workload: 13 streaming micro-kernels, rendered to
+// assembly by four "compiler personalities" (GCC, Clang, oneAPI/ICX,
+// ArmClang) at four optimization levels, per target CPU.
+//
+// Personalities encode each compiler's documented vectorization behaviour:
+// when it vectorizes, the preferred vector width per target, unroll factors,
+// FMA contraction, reduction vectorization (fast-math only, except ICX whose
+// default fp-model is already fast), predicated SVE loops, addressing style,
+// and characteristic register-allocation artifacts (GCC's fmov in the
+// Gauss-Seidel recurrence on AArch64).
+//
+// The full matrix is 13 kernels x 4 levels x (GCS:{gcc,armclang} +
+// SPR:{gcc,clang,icx} + Genoa:{gcc,clang,icx}) = 416 test blocks, matching
+// the paper's count; duplicate codegen collapses to ~290 unique blocks.
+
+#include <string>
+#include <vector>
+
+#include "asmir/ir.hpp"
+#include "uarch/model.hpp"
+
+namespace incore::kernels {
+
+enum class Kernel : std::uint8_t {
+  Jacobi2D5pt,
+  Jacobi3D7pt,
+  Jacobi3D11pt,
+  Jacobi3D27pt,
+  Add,
+  Copy,
+  GaussSeidel2D5pt,
+  Pi,
+  Init,
+  SchoenauerTriad,
+  SumReduction,
+  StreamTriad,
+  Update,
+};
+inline constexpr int kKernelCount = 13;
+
+enum class Compiler : std::uint8_t { Gcc, Clang, OneApi, ArmClang };
+enum class OptLevel : std::uint8_t { O1, O2, O3, Ofast };
+
+[[nodiscard]] const char* to_string(Kernel k);
+[[nodiscard]] const char* to_string(Compiler c);
+[[nodiscard]] const char* to_string(OptLevel o);
+[[nodiscard]] const std::vector<Kernel>& all_kernels();
+
+/// Static per-element properties of the kernel (used by benches for
+/// normalization and by DESIGN.md documentation).
+struct KernelInfo {
+  const char* name;
+  int loads_per_element;   // DP loads
+  int stores_per_element;  // DP stores
+  double flops_per_element;
+  bool is_reduction;   // needs reassociation to vectorize
+  bool has_recurrence; // true loop-carried recurrence (never vectorizes)
+  bool has_divide;
+};
+
+[[nodiscard]] const KernelInfo& info(Kernel k);
+
+struct Variant {
+  Kernel kernel{};
+  Compiler compiler{};
+  OptLevel opt{};
+  uarch::Micro target{};
+
+  [[nodiscard]] std::string label() const;
+};
+
+/// Compilers used on each machine in the paper's testbed.
+[[nodiscard]] std::vector<Compiler> compilers_for(uarch::Micro micro);
+
+/// The full 416-variant test matrix, in deterministic order.
+[[nodiscard]] std::vector<Variant> test_matrix();
+
+struct GeneratedKernel {
+  std::string assembly;        // loop-body text, parseable by asmir::parse
+  asmir::Program program;      // parsed form
+  int elements_per_iteration;  // DP elements processed per loop iteration
+};
+
+/// Run the "compiler": renders the variant's loop body.
+[[nodiscard]] GeneratedKernel generate(const Variant& v);
+
+/// Codegen strategy (exposed for tests and the ablation benches).
+struct Strategy {
+  int vec_bits = 0;    // 0 => scalar code
+  int unroll = 1;      // vector-iteration (or scalar) unroll factor
+  bool use_fma = true;
+  bool sve_predicated = false;    // whilelo-controlled SVE loop
+  bool pointer_bump = false;      // post-increment/pointer addressing
+  bool fmov_in_recurrence = false;  // GCC AArch64 register-allocation artifact
+};
+
+[[nodiscard]] Strategy strategy_for(const Variant& v);
+
+namespace detail {
+[[nodiscard]] std::string emit_x86(const Variant& v, const Strategy& s,
+                                   int& elements_per_iteration);
+[[nodiscard]] std::string emit_aarch64(const Variant& v, const Strategy& s,
+                                       int& elements_per_iteration);
+}  // namespace detail
+
+}  // namespace incore::kernels

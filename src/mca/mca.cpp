@@ -1,0 +1,52 @@
+#include "mca/mca.hpp"
+
+namespace incore::mca {
+
+exec::PipelineConfig sched_model_config(uarch::Micro micro) {
+  exec::PipelineConfig cfg;
+  cfg.dynamic_port_selection = false;  // static resource binding
+  cfg.move_elimination = false;
+  cfg.zero_idiom_elimination = false;
+  cfg.taken_branch_bubble = 0.0;  // MCA assumes a fully unrolled stream
+  cfg.store_address_split = false;  // stores gate on all operands
+  switch (micro) {
+    case uarch::Micro::NeoverseV2:
+      // LLVM falls back to a generic Neoverse scheduling description:
+      // FP/ASIMD latencies are one to two cycles higher than V2 silicon,
+      // L1 load-to-use is overstated, and the resource groups expose only
+      // two FP/ASIMD pipes instead of four.
+      cfg.fp_latency_add = 2.0;
+      cfg.load_latency_add = 2.0;
+      cfg.fp_port_limit = 3;   // generic model exposes 3 FP pipes
+      cfg.mem_port_limit = 2;  // ...and two LD/ST pipes
+      
+      break;
+    case uarch::Micro::GoldenCove:
+      // The Golden Cove model inherits conservative Ice Lake-era latencies.
+      cfg.fp_latency_add = 2.0;
+      cfg.load_latency_add = 2.0;
+      cfg.dispatch_width_override = 5;
+      break;
+    case uarch::Micro::Zen4:
+      // The Zen 4 scheduling model is the best maintained of the three --
+      // only mildly conservative.
+      cfg.fp_latency_add = 0.5;
+      cfg.load_latency_add = 1.0;
+      cfg.dispatch_width_override = 5;  // LLVM Znver4 IssueWidth
+      break;
+  }
+  return cfg;
+}
+
+Result simulate(const asmir::Program& prog, const uarch::MachineModel& mm,
+                int iterations) {
+  exec::PipelineConfig cfg = sched_model_config(mm.micro());
+  cfg.iterations = iterations;
+  exec::PipelineResult r = exec::simulate_loop(prog, mm, cfg);
+  Result out;
+  out.cycles_per_iteration = r.cycles_per_iteration;
+  out.resource_pressure = r.port_utilization;
+  return out;
+}
+
+}  // namespace incore::mca

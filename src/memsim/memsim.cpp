@@ -1,0 +1,206 @@
+#include "memsim/memsim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace incore::memsim {
+
+namespace {
+constexpr double kLine = 64.0;
+constexpr double kPageLines = 4096.0 / 64.0;  // streaming detector restarts
+                                              // at page boundaries
+}  // namespace
+
+MemSystemConfig preset(uarch::Micro micro) {
+  MemSystemConfig c;
+  switch (micro) {
+    case uarch::Micro::NeoverseV2:
+      c.name = "GCS";
+      c.cores = 72;
+      c.cores_per_domain = 72;  // one ccNUMA domain per superchip socket
+      c.theoretical_bw_gbs = 546.0;
+      c.per_core_bw_gbs = 32.0;
+      c.refresh_overhead = 0.05;   // LPDDR5X
+      c.turnaround_overhead = 0.107;
+      c.wa = WaMechanism::AutomaticClaim;
+      c.claim_detector_warmup_lines = 2;
+      c.nt_partial_max = 0.0;  // explicit NT stores are as good as claims
+      break;
+    case uarch::Micro::GoldenCove:
+      c.name = "SPR";
+      c.cores = 52;
+      c.cores_per_domain = 13;  // SNC-4 mode
+      c.theoretical_bw_gbs = 307.0;
+      c.per_core_bw_gbs = 7.0;  // store-stream concurrency bound
+      c.refresh_overhead = 0.04;  // DDR5-4800, 8 channels
+      c.turnaround_overhead = 0.08;
+      c.wa = WaMechanism::SpecI2M;
+      c.spec_i2m_threshold = 0.70;
+      c.spec_i2m_full_util = 0.97;
+      c.spec_i2m_max_conversion = 0.25;
+      c.nt_partial_max = 0.10;  // residual WA traffic with NT stores
+      c.nt_partial_threshold = 0.25;
+      break;
+    case uarch::Micro::Zen4:
+      c.name = "Genoa";
+      c.cores = 96;
+      c.cores_per_domain = 96;  // NPS1
+      c.theoretical_bw_gbs = 461.0;
+      c.per_core_bw_gbs = 20.0;
+      c.refresh_overhead = 0.06;  // DDR5-4800, 12 channels, interleaving
+      c.turnaround_overhead = 0.179;
+      c.wa = WaMechanism::None;  // only NT stores evade write-allocates
+      c.nt_partial_max = 0.0;    // ...and they do so perfectly
+      break;
+  }
+  return c;
+}
+
+double System::effective_peak_bw(double read_fraction) const {
+  // Bus turnarounds are most frequent for balanced read/write mixes.
+  double mix = 4.0 * read_fraction * (1.0 - read_fraction);
+  double eff = 1.0 - cfg_.refresh_overhead - cfg_.turnaround_overhead * mix;
+  return cfg_.theoretical_bw_gbs * std::max(0.1, eff);
+}
+
+double System::achieved_bw(int cores, double read_fraction) const {
+  const int domains =
+      (cfg_.cores + cfg_.cores_per_domain - 1) / cfg_.cores_per_domain;
+  const double domain_peak = effective_peak_bw(read_fraction) / domains;
+  double total = 0.0;
+  int remaining = std::min(cores, cfg_.cores);
+  for (int d = 0; d < domains && remaining > 0; ++d) {
+    int here = std::min(remaining, cfg_.cores_per_domain);
+    total += std::min(here * cfg_.per_core_bw_gbs * 2.0, domain_peak);
+    remaining -= here;
+  }
+  return total;
+}
+
+System::DomainResult System::solve_domain(int active_cores,
+                                          StoreKind kind) const {
+  DomainResult r;
+  if (active_cores <= 0) return r;
+  const int domains =
+      (cfg_.cores + cfg_.cores_per_domain - 1) / cfg_.cores_per_domain;
+
+  // Fixed point: traffic ratio -> read fraction -> effective peak ->
+  // utilization -> conversion / partial-fill rate -> traffic ratio.
+  double ratio = 2.0;
+  for (int iter = 0; iter < 32; ++iter) {
+    double read_fraction = (ratio - 1.0) / ratio;  // reads per total traffic
+    double domain_peak = effective_peak_bw(read_fraction) / domains;
+    double demand = active_cores * cfg_.per_core_bw_gbs;
+    r.utilization = std::min(1.0, demand / domain_peak);
+
+    double conversion = 0.0;
+    double nt_partial = 0.0;
+    double new_ratio = 2.0;
+    switch (kind) {
+      case StoreKind::Standard:
+        switch (cfg_.wa) {
+          case WaMechanism::None:
+            new_ratio = 2.0;
+            break;
+          case WaMechanism::AutomaticClaim: {
+            // Streaming detector claims everything after a short warmup per
+            // page: next-to-optimal independent of utilization.
+            double claimed =
+                1.0 - cfg_.claim_detector_warmup_lines / kPageLines;
+            conversion = claimed;
+            new_ratio = 2.0 - claimed;
+            break;
+          }
+          case WaMechanism::SpecI2M: {
+            double t = (r.utilization - cfg_.spec_i2m_threshold) /
+                       (cfg_.spec_i2m_full_util - cfg_.spec_i2m_threshold);
+            conversion =
+                cfg_.spec_i2m_max_conversion * std::clamp(t, 0.0, 1.0);
+            new_ratio = 2.0 - conversion;
+            break;
+          }
+        }
+        break;
+      case StoreKind::NonTemporal: {
+        double t = (r.utilization - cfg_.nt_partial_threshold) /
+                   (0.9 - cfg_.nt_partial_threshold);
+        nt_partial = cfg_.nt_partial_max * std::clamp(t, 0.0, 1.0);
+        new_ratio = 1.0 + nt_partial;
+        break;
+      }
+    }
+    r.conversion = conversion;
+    r.nt_partial = nt_partial;
+    if (std::abs(new_ratio - ratio) < 1e-9) {
+      ratio = new_ratio;
+      break;
+    }
+    ratio = new_ratio;
+  }
+  return r;
+}
+
+Traffic System::run_store_benchmark(int cores, double total_bytes,
+                                    StoreKind kind) const {
+  Traffic t;
+  cores = std::clamp(cores, 0, cfg_.cores);
+  if (cores == 0 || total_bytes <= 0) return t;
+  const double bytes_per_core = total_bytes / cores;
+
+  int remaining = cores;
+  while (remaining > 0) {
+    const int here = std::min(remaining, cfg_.cores_per_domain);
+    DomainResult dr = solve_domain(here, kind);
+    const double domain_bytes = bytes_per_core * here;
+    const double lines = domain_bytes / kLine;
+    double read_lines = 0.0;
+    switch (kind) {
+      case StoreKind::Standard:
+        // Non-converted stores read the line first (RFO).
+        read_lines = lines * (1.0 - dr.conversion);
+        break;
+      case StoreKind::NonTemporal:
+        // Partially filled write-combining buffers force a read-merge.
+        read_lines = lines * dr.nt_partial;
+        break;
+    }
+    t.bytes_stored += domain_bytes;
+    t.bytes_read_mem += read_lines * kLine;
+    t.bytes_written_mem += lines * kLine;
+    remaining -= here;
+  }
+  return t;
+}
+
+LineTraffic line_traffic(const MemSystemConfig& cfg, StoreKind kind,
+                         int line_in_stream, double utilization,
+                         double conversion, double nt_partial) {
+  LineTraffic lt;
+  lt.write = kLine;
+  switch (kind) {
+    case StoreKind::Standard:
+      switch (cfg.wa) {
+        case WaMechanism::None:
+          lt.read = kLine;
+          break;
+        case WaMechanism::AutomaticClaim: {
+          int in_page = line_in_stream % static_cast<int>(kPageLines);
+          lt.read = in_page < cfg.claim_detector_warmup_lines ? kLine : 0.0;
+          break;
+        }
+        case WaMechanism::SpecI2M: {
+          double gated =
+              utilization >= cfg.spec_i2m_threshold ? conversion : 0.0;
+          lt.read = kLine * (1.0 - gated);
+          break;
+        }
+      }
+      break;
+    case StoreKind::NonTemporal:
+      lt.read = kLine * nt_partial;
+      break;
+  }
+  return lt;
+}
+
+}  // namespace incore::memsim

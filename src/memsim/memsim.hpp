@@ -1,0 +1,133 @@
+#pragma once
+// Multi-core memory-traffic simulator: write-allocate behaviour and
+// bandwidth saturation.
+//
+// This is the substrate for the paper's Section III case study (Fig. 4):
+// a store-only benchmark whose memory traffic is metered at the (simulated)
+// memory controller.  The interesting physics is the fate of a cache line
+// on a write miss:
+//
+//   standard store, no evasion:  read-for-ownership (64 B in) + eventual
+//                                write-back (64 B out)       -> ratio 2.0
+//   cache-line claim:            line claimed in cache, no read -> ratio 1.0
+//   non-temporal store:          write-combining buffer drains straight to
+//                                memory; a *partially* filled buffer forces
+//                                a read-merge at the controller.
+//
+// Mechanisms per microarchitecture (paper Section III):
+//   Grace (Neoverse V2):  automatic cache-line claim driven by a streaming
+//                         write detector -- next-to-optimal, works from one
+//                         core; explicit NT stores behave the same.
+//   Sapphire Rapids:      SpecI2M: the controller speculatively converts
+//                         RFOs to invalid-to-modified requests, but only
+//                         once the memory interface utilization crosses a
+//                         threshold, and only for a bounded fraction of
+//                         requests (<= ~25%).  NT stores suffer a residual
+//                         ~10% read traffic from partially filled
+//                         write-combining buffers under load.
+//   Genoa (Zen 4):        no automatic mechanism at all; NT stores are
+//                         perfect.
+//
+// Bandwidth saturation follows a latency/concurrency model per core capped
+// by a per-NUMA-domain effective peak; the effective peak is the
+// theoretical pin bandwidth reduced by DRAM protocol overheads (refresh,
+// read/write bus turnarounds), which yields each chip's measured-vs-
+// theoretical efficiency (Table I).
+
+#include <cstddef>
+
+#include "uarch/model.hpp"
+
+namespace incore::memsim {
+
+enum class StoreKind { Standard, NonTemporal };
+
+enum class WaMechanism { None, AutomaticClaim, SpecI2M };
+
+struct MemSystemConfig {
+  const char* name = "?";
+  int cores = 1;
+  int cores_per_domain = 1;        // ccNUMA domain size
+  double theoretical_bw_gbs = 100; // whole socket, all domains
+  double per_core_bw_gbs = 20;     // latency/concurrency bound of one core
+  // DRAM protocol overheads (fractions of the theoretical rate).
+  double refresh_overhead = 0.04;
+  double turnaround_overhead = 0.06;  // at a balanced read/write mix
+
+  WaMechanism wa = WaMechanism::None;
+  // SpecI2M parameters.
+  double spec_i2m_threshold = 0.6;   // utilization where conversion starts
+  double spec_i2m_full_util = 0.95;  // utilization of full conversion rate
+  double spec_i2m_max_conversion = 0.25;
+  // Automatic claim: lines of sequential stream warmup before the detector
+  // engages (per 4 KiB page).
+  int claim_detector_warmup_lines = 2;
+  // NT-store write-combining imperfection: fraction of buffers evicted
+  // partially filled once the interface is busy.
+  double nt_partial_max = 0.0;
+  double nt_partial_threshold = 0.3;  // utilization where partials appear
+};
+
+/// Presets for the three machines in the paper's testbed.
+[[nodiscard]] MemSystemConfig preset(uarch::Micro micro);
+
+struct Traffic {
+  double bytes_stored = 0;     // useful data the cores wrote
+  double bytes_read_mem = 0;   // memory controller reads (incl. RFO/merges)
+  double bytes_written_mem = 0;
+
+  /// The paper's Fig. 4 metric: actual memory traffic / stored volume.
+  [[nodiscard]] double ratio() const {
+    return bytes_stored > 0
+               ? (bytes_read_mem + bytes_written_mem) / bytes_stored
+               : 0.0;
+  }
+};
+
+class System {
+ public:
+  explicit System(MemSystemConfig cfg) : cfg_(cfg) {}
+
+  [[nodiscard]] const MemSystemConfig& config() const { return cfg_; }
+
+  /// Effective sustainable bandwidth of the whole socket (GB/s) for a given
+  /// read fraction of the traffic (write-heavy mixes pay more turnaround).
+  [[nodiscard]] double effective_peak_bw(double read_fraction = 0.5) const;
+
+  /// Achieved bandwidth (GB/s) with `cores` active, triad-like mix.
+  [[nodiscard]] double achieved_bw(int cores, double read_fraction = 0.5) const;
+
+  /// Memory-interface utilization of one NUMA domain with `active` cores on
+  /// it, for a store-only workload with the given per-line traffic ratio.
+  /// Solved self-consistently: the traffic ratio depends on utilization
+  /// (SpecI2M gating) and utilization depends on traffic.
+  struct DomainResult {
+    double utilization = 0.0;
+    double conversion = 0.0;   // fraction of stores that avoided the RFO
+    double nt_partial = 0.0;   // fraction of NT lines needing a read-merge
+  };
+  [[nodiscard]] DomainResult solve_domain(int active_cores,
+                                          StoreKind kind) const;
+
+  /// The paper's store-only benchmark (Fig. 4): `cores` active (filling
+  /// NUMA domains in order), `total_bytes` of data stored with the given
+  /// store kind.  Returns the metered traffic.
+  [[nodiscard]] Traffic run_store_benchmark(int cores, double total_bytes,
+                                            StoreKind kind) const;
+
+ private:
+  MemSystemConfig cfg_;
+};
+
+/// Trace-level single-stream model used by the unit tests: per-line traffic
+/// of the k-th line of a sequential stream.
+struct LineTraffic {
+  double read = 0;
+  double write = 0;
+};
+[[nodiscard]] LineTraffic line_traffic(const MemSystemConfig& cfg,
+                                       StoreKind kind, int line_in_stream,
+                                       double utilization, double conversion,
+                                       double nt_partial);
+
+}  // namespace incore::memsim

@@ -1,0 +1,32 @@
+#pragma once
+// Multi-core trace-level store benchmark.
+//
+// Complements the analytic model (memsim.hpp) and the single-core cache
+// hierarchy (cachesim.hpp): N cores issue interleaved sequential store
+// streams line by line; each request runs through the per-line protocol
+// decision (write-allocate RFO, SpecI2M conversion, automatic claim,
+// NT write-combining) and the memory controller meters actual traffic.
+// The interface utilization that gates SpecI2M follows the same
+// latency/concurrency estimate as the analytic model; the *per-request*
+// mechanics (detector state per core, conversion pacing, accounting) are
+// simulated explicitly, which the unit tests cross-validate against the
+// closed-form solution.
+
+#include "memsim/cachesim.hpp"
+#include "memsim/memsim.hpp"
+
+namespace incore::memsim {
+
+struct MultiCoreResult {
+  Traffic traffic;
+  double utilization = 0.0;   // first (reference) NUMA domain
+  double conversion = 0.0;    // realized SpecI2M conversion fraction
+};
+
+/// Simulates `lines_per_core` sequential store lines on each of `cores`
+/// cores (filling NUMA domains in order), at line granularity.
+[[nodiscard]] MultiCoreResult simulate_store_benchmark_trace(
+    const MemSystemConfig& cfg, int cores, int lines_per_core,
+    StoreKind kind);
+
+}  // namespace incore::memsim

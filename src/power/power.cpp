@@ -1,0 +1,160 @@
+#include "power/power.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace incore::power {
+
+const char* to_string(IsaClass isa) {
+  switch (isa) {
+    case IsaClass::Scalar: return "scalar";
+    case IsaClass::Sse: return "SSE";
+    case IsaClass::Avx: return "AVX";
+    case IsaClass::Avx512: return "AVX-512";
+    case IsaClass::Neon: return "NEON";
+    case IsaClass::Sve: return "SVE";
+  }
+  return "?";
+}
+
+const std::vector<IsaClass>& isa_classes_for(uarch::Micro m) {
+  static const std::vector<IsaClass> x86 = {IsaClass::Scalar, IsaClass::Sse,
+                                            IsaClass::Avx, IsaClass::Avx512};
+  static const std::vector<IsaClass> arm = {IsaClass::Scalar, IsaClass::Neon,
+                                            IsaClass::Sve};
+  return m == uarch::Micro::NeoverseV2 ? arm : x86;
+}
+
+double ChipPowerModel::dyn_coeff(IsaClass isa) const {
+  switch (isa) {
+    case IsaClass::Scalar: return coeff_scalar;
+    case IsaClass::Sse:
+    case IsaClass::Neon: return coeff_sse;
+    case IsaClass::Avx:
+    case IsaClass::Sve: return coeff_avx;
+    case IsaClass::Avx512: return coeff_avx512;
+  }
+  return coeff_scalar;
+}
+
+double ChipPowerModel::license_cap(IsaClass isa) const {
+  if (isa == IsaClass::Avx512 && cap_avx512_ghz > 0.0) return cap_avx512_ghz;
+  return turbo_ghz;
+}
+
+const ChipPowerModel& chip(uarch::Micro m) {
+  // Coefficients calibrated so the full-socket solutions land on the
+  // paper's Fig. 2 plateaus (see header comment).
+  static const ChipPowerModel gcs = [] {
+    ChipPowerModel c;
+    c.name = "GCS";
+    c.cores = 72;
+    c.tdp_w = 250;
+    c.uncore_w = 50;
+    c.static_core_w = 0.3;
+    c.base_ghz = 3.4;
+    c.turbo_ghz = 3.4;
+    c.frequency_fixed = true;  // no DVFS observed under load
+    c.coeff_scalar = c.coeff_sse = c.coeff_avx = c.coeff_avx512 = 0.55;
+    return c;
+  }();
+  static const ChipPowerModel spr = [] {
+    ChipPowerModel c;
+    c.name = "SPR";
+    c.cores = 52;
+    c.tdp_w = 350;
+    c.uncore_w = 60;
+    c.static_core_w = 0.5;
+    c.base_ghz = 2.0;
+    c.turbo_ghz = 3.8;
+    c.v0 = 0.6;
+    c.k = 0.12;
+    c.coeff_scalar = 1.45;
+    c.coeff_sse = 1.84;
+    c.coeff_avx = 1.84;
+    c.coeff_avx512 = 3.60;
+    c.cap_avx512_ghz = 3.5;  // license cap: lower from the very first core
+    return c;
+  }();
+  static const ChipPowerModel genoa = [] {
+    ChipPowerModel c;
+    c.name = "Genoa";
+    c.cores = 96;
+    c.tdp_w = 400;
+    c.uncore_w = 65;
+    c.static_core_w = 0.4;
+    c.base_ghz = 2.55;
+    c.turbo_ghz = 3.7;
+    c.v0 = 0.6;
+    c.k = 0.12;
+    // The 256-bit datapath (AVX-512 double-pumped) draws the same power for
+    // every vector ISA class: no ISA-dependent throttling on Genoa.
+    c.coeff_scalar = c.coeff_sse = c.coeff_avx = c.coeff_avx512 = 1.055;
+    return c;
+  }();
+  switch (m) {
+    case uarch::Micro::NeoverseV2: return gcs;
+    case uarch::Micro::GoldenCove: return spr;
+    case uarch::Micro::Zen4: return genoa;
+  }
+  return gcs;
+}
+
+double sustained_frequency(uarch::Micro m, IsaClass isa, int active_cores) {
+  const ChipPowerModel& c = chip(m);
+  active_cores = std::clamp(active_cores, 1, c.cores);
+  if (c.frequency_fixed) return c.base_ghz;
+
+  const double cap = c.license_cap(isa);
+  const double coeff = c.dyn_coeff(isa);
+  auto power_at = [&](double f) {
+    double v = c.v0 + c.k * f;
+    return c.uncore_w +
+           active_cores * (c.static_core_w + coeff * f * v * v);
+  };
+  if (power_at(cap) <= c.tdp_w) return cap;
+  // Binary search the thermal solution; never below a floor of 0.8 GHz.
+  double lo = 0.8;
+  double hi = cap;
+  for (int i = 0; i < 60; ++i) {
+    double mid = 0.5 * (lo + hi);
+    if (power_at(mid) <= c.tdp_w) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+PeakFlops peak_flops(uarch::Micro m) {
+  PeakFlops p;
+  const ChipPowerModel& c = chip(m);
+  switch (m) {
+    case uarch::Micro::NeoverseV2: {
+      // 4 x 128-bit FMA pipes: 16 DP flops/cy; no extra ADD pipes.
+      p.theoretical_tflops = c.cores * c.turbo_ghz * 16 * 1e-3;
+      double f = sustained_frequency(m, IsaClass::Sve, c.cores);
+      p.achievable_tflops = c.cores * f * 16 * 1e-3;
+      break;
+    }
+    case uarch::Micro::GoldenCove: {
+      // 2 x 512-bit FMA pipes: 32 DP flops/cy.
+      p.theoretical_tflops = c.cores * c.turbo_ghz * 32 * 1e-3;
+      double f = sustained_frequency(m, IsaClass::Avx512, c.cores);
+      p.achievable_tflops = c.cores * f * 32 * 1e-3;
+      break;
+    }
+    case uarch::Micro::Zen4: {
+      // Marketing peak counts FMA (16) + FADD (8) pipes: 24 DP flops/cy;
+      // an FMA kernel can use only the two FMA pipes (16 flops/cy).
+      p.theoretical_tflops = c.cores * c.turbo_ghz * 24 * 1e-3;
+      double f = sustained_frequency(m, IsaClass::Avx512, c.cores);
+      p.achievable_tflops = c.cores * f * 16 * 1e-3;
+      break;
+    }
+  }
+  return p;
+}
+
+}  // namespace incore::power

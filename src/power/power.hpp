@@ -1,0 +1,69 @@
+#pragma once
+// TDP-constrained sustained-frequency model (paper Fig. 2 and Table I).
+//
+// Each chip runs arithmetic-heavy code on `n` active cores.  The sustained
+// frequency is the largest f satisfying
+//
+//   P(n, f) = P_uncore + n * (P_static + c_isa * f * V(f)^2)  <=  TDP
+//
+// additionally capped by the single-core boost limit and by per-ISA license
+// frequency caps (Intel's AVX-512 license classes).  V(f) is an affine
+// voltage/frequency curve.  Calibrated effects reproduced from the paper:
+//
+//   * GCS sustains its 3.4 GHz base for every ISA at all 72 cores;
+//   * SPR starts lower for AVX-512 ("different behaviour right from the
+//     start" -- a license cap), drops to 2.0 GHz at full socket (53% of the
+//     3.8 GHz turbo) while SSE/AVX sustain 3.0 GHz (78%);
+//   * Genoa drops to ~3.1 GHz (84% of 3.7 GHz turbo), independent of ISA.
+
+#include "uarch/model.hpp"
+
+namespace incore::power {
+
+enum class IsaClass { Scalar, Sse, Avx, Avx512, Neon, Sve };
+
+[[nodiscard]] const char* to_string(IsaClass isa);
+
+/// ISA classes that exist on a given machine.
+[[nodiscard]] const std::vector<IsaClass>& isa_classes_for(uarch::Micro m);
+
+struct ChipPowerModel {
+  const char* name = "?";
+  int cores = 1;
+  double tdp_w = 100;
+  double uncore_w = 30;
+  double static_core_w = 0.3;
+  double base_ghz = 2.0;   // guaranteed base frequency
+  double turbo_ghz = 3.0;  // single-core boost
+  // Affine voltage curve V(f) = v0 + k * f (volts, f in GHz).
+  double v0 = 0.55;
+  double k = 0.12;
+
+  /// Switching-capacitance coefficient per ISA class (W / (GHz * V^2)).
+  [[nodiscard]] double dyn_coeff(IsaClass isa) const;
+  /// License-based frequency cap per ISA class (GHz).
+  [[nodiscard]] double license_cap(IsaClass isa) const;
+
+  double coeff_scalar = 1.0;
+  double coeff_sse = 1.2;
+  double coeff_avx = 1.5;
+  double coeff_avx512 = 2.2;
+  double cap_avx512_ghz = 0.0;  // 0 = no cap below turbo
+  bool frequency_fixed = false; // Grace: no DVFS under load at all
+};
+
+[[nodiscard]] const ChipPowerModel& chip(uarch::Micro m);
+
+/// Sustained frequency (GHz) for arithmetic-heavy code of the given ISA
+/// class with `active_cores` busy.
+[[nodiscard]] double sustained_frequency(uarch::Micro m, IsaClass isa,
+                                         int active_cores);
+
+/// Peak floating-point throughput bookkeeping for Table I.
+struct PeakFlops {
+  double theoretical_tflops = 0;  // marketing peak: all FP pipes, max clock
+  double achievable_tflops = 0;   // FMA-only kernel at sustained clock
+};
+[[nodiscard]] PeakFlops peak_flops(uarch::Micro m);
+
+}  // namespace incore::power

@@ -1,0 +1,64 @@
+#include "power/thermal.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace incore::power {
+
+namespace {
+
+double package_power(const ChipPowerModel& c, IsaClass isa, int n, double f) {
+  double v = c.v0 + c.k * f;
+  return c.uncore_w + n * (c.static_core_w + c.dyn_coeff(isa) * f * v * v);
+}
+
+}  // namespace
+
+std::vector<ThermalSample> simulate_thermal_trace(uarch::Micro micro,
+                                                  IsaClass isa,
+                                                  int active_cores,
+                                                  double duration_s,
+                                                  const ThermalConfig& cfg) {
+  const ChipPowerModel& c = chip(micro);
+  active_cores = std::clamp(active_cores, 1, c.cores);
+  ThermalConfig tc = cfg;
+  if (tc.r_th_c_per_w <= 0.0)
+    tc.r_th_c_per_w = (tc.t_max_c - tc.ambient_c) / c.tdp_w;
+  std::vector<ThermalSample> trace;
+  trace.reserve(static_cast<std::size_t>(duration_s / tc.dt_s) + 1);
+
+  double f = c.frequency_fixed ? c.base_ghz : c.license_cap(isa);
+  double temp = tc.ambient_c;
+  const double floor_ghz = 0.8;
+
+  for (double t = 0.0; t <= duration_s; t += tc.dt_s) {
+    double p = package_power(c, isa, active_cores, f);
+    // First-order RC integration.
+    double dT = (p - (temp - tc.ambient_c) / tc.r_th_c_per_w) /
+                tc.c_th_j_per_c;
+    temp += dT * tc.dt_s;
+    trace.push_back(ThermalSample{t, f, temp, p});
+    if (c.frequency_fixed) continue;
+    // Governor: react to temperature and the TDP power limit.
+    if (temp > tc.t_max_c || p > c.tdp_w) {
+      f = std::max(floor_ghz, f - tc.step_hz);
+    } else if (temp < tc.t_max_c - 2.0 && p < c.tdp_w * 0.98) {
+      f = std::min(c.license_cap(isa), f + tc.step_hz);
+    }
+  }
+  return trace;
+}
+
+double sustained_from_trace(const std::vector<ThermalSample>& trace) {
+  if (trace.empty()) return 0.0;
+  std::size_t start = trace.size() - trace.size() / 5;
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = start; i < trace.size(); ++i) {
+    sum += trace[i].frequency_ghz;
+    ++n;
+  }
+  return n ? sum / n : 0.0;
+}
+
+}  // namespace incore::power

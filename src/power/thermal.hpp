@@ -1,0 +1,52 @@
+#pragma once
+// Time-domain thermal/DVFS simulation.
+//
+// The steady-state model in power.hpp answers "what clock is sustained";
+// this component simulates the *transient*: the paper's measurement
+// methodology ("each benchmark ran for several minutes and the clock
+// frequency of all active cores was tracked") sees an initial boost phase
+// followed by a throttle-down once the package heats up.  Modeled as a
+// first-order thermal RC circuit driving a reactive governor:
+//
+//   C_th * dT/dt = P(f, n) - (T - T_ambient) / R_th
+//   governor: lower f stepwise while T > T_max, raise while there is
+//             headroom, never beyond the license cap.
+
+#include <vector>
+
+#include "power/power.hpp"
+
+namespace incore::power {
+
+struct ThermalConfig {
+  double ambient_c = 30.0;
+  double t_max_c = 95.0;      // throttle threshold
+  /// Package thermal resistance; 0 = derive from the chip's TDP rating so
+  /// that the package sits exactly at t_max when dissipating TDP (the
+  /// definition of a TDP-rated cooling solution).
+  double r_th_c_per_w = 0.0;
+  double c_th_j_per_c = 400.0;      // package thermal capacitance
+  double step_hz = 0.025;           // governor step size (GHz)
+  double dt_s = 0.1;                // integration step
+};
+
+struct ThermalSample {
+  double time_s = 0.0;
+  double frequency_ghz = 0.0;
+  double temperature_c = 0.0;
+  double power_w = 0.0;
+};
+
+/// Simulates `duration_s` of an arithmetic-heavy run on `active_cores`
+/// cores, returning the frequency/temperature trace.  The governor starts
+/// from the boost clock (the measured behaviour on all three machines).
+[[nodiscard]] std::vector<ThermalSample> simulate_thermal_trace(
+    uarch::Micro micro, IsaClass isa, int active_cores, double duration_s,
+    const ThermalConfig& cfg = {});
+
+/// Mean frequency over the final 20% of the trace (the "sustained" value
+/// the paper reports); converges to the steady-state model's answer.
+[[nodiscard]] double sustained_from_trace(
+    const std::vector<ThermalSample>& trace);
+
+}  // namespace incore::power

@@ -1,0 +1,67 @@
+#include "report/json.hpp"
+
+#include "support/strings.hpp"
+
+namespace incore::report {
+
+using support::format;
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += format("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string to_json(const analysis::Report& rep) {
+  std::string out = "{\n";
+  out += format("  \"machine\": \"%s\",\n", rep.model().name().c_str());
+  out += format("  \"throughput_cycles\": %.6g,\n", rep.throughput_cycles());
+  out += format("  \"critical_path_cycles\": %.6g,\n",
+                rep.critical_path_cycles());
+  out += format("  \"loop_carried_cycles\": %.6g,\n",
+                rep.loop_carried_cycles());
+  out += format("  \"predicted_cycles\": %.6g,\n", rep.predicted_cycles());
+  out += "  \"ports\": [";
+  const auto& names = rep.model().ports();
+  for (std::size_t p = 0; p < names.size(); ++p) {
+    out += format("%s\"%s\"", p ? ", " : "", names[p].c_str());
+  }
+  out += "],\n  \"port_load\": [";
+  for (std::size_t p = 0; p < rep.port_load().size(); ++p) {
+    out += format("%s%.6g", p ? ", " : "", rep.port_load()[p]);
+  }
+  out += "],\n  \"instructions\": [\n";
+  const auto& instrs = rep.instructions();
+  for (std::size_t i = 0; i < instrs.size(); ++i) {
+    const auto& ir = instrs[i];
+    out += format(
+        "    {\"text\": \"%s\", \"form\": \"%s\", \"latency\": %.6g, "
+        "\"inverse_throughput\": %.6g, \"on_lcd\": %s, \"port_pressure\": [",
+        json_escape(ir.text).c_str(), json_escape(ir.form).c_str(),
+        ir.latency, ir.inverse_throughput, ir.on_lcd ? "true" : "false");
+    for (std::size_t p = 0; p < ir.port_pressure.size(); ++p) {
+      out += format("%s%.4g", p ? ", " : "", ir.port_pressure[p]);
+    }
+    out += "]}";
+    out += i + 1 < instrs.size() ? ",\n" : "\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+}  // namespace incore::report

@@ -1,0 +1,19 @@
+#pragma once
+// Machine-readable (JSON) export of analysis results, for integration into
+// external tooling (CI dashboards, plotting).  Hand-rolled writer -- the
+// output grammar is small and no third-party dependency is warranted.
+
+#include <string>
+
+#include "analysis/analyze.hpp"
+
+namespace incore::report {
+
+/// Serializes an analysis report: bounds, per-port loads, per-instruction
+/// rows (form, latency, reciprocal throughput, port pressure, LCD flag).
+[[nodiscard]] std::string to_json(const analysis::Report& rep);
+
+/// JSON string escaping helper (exposed for tests).
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+}  // namespace incore::report

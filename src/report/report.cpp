@@ -1,0 +1,100 @@
+#include "report/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/strings.hpp"
+
+namespace incore::report {
+
+using support::format;
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string out = "|";
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      std::string cell = c < row.size() ? row[c] : "";
+      out += ' ' + cell + std::string(width[c] - cell.size(), ' ') + " |";
+    }
+    return out + '\n';
+  };
+  std::string out = render_row(header_);
+  std::string rule = "|";
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    rule += std::string(width[c] + 2, '-') + "|";
+  out += rule + '\n';
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string render_rpe_histogram(const support::Histogram& h,
+                                 const std::string& title,
+                                 int max_bar_width) {
+  std::string out = title + "  (n=" + std::to_string(h.total()) + ")\n";
+  std::size_t max_count = 1;
+  for (std::size_t b = 0; b < h.bucket_count(); ++b)
+    max_count = std::max(max_count, h.count(b));
+  double scale =
+      max_count > static_cast<std::size_t>(max_bar_width)
+          ? static_cast<double>(max_bar_width) / static_cast<double>(max_count)
+          : 1.0;
+  for (std::size_t b = 0; b < h.bucket_count(); ++b) {
+    double lo = h.bucket_lo(b);
+    double hi = h.bucket_hi(b);
+    const bool leftmost = b == 0;
+    std::string label =
+        leftmost ? std::string("   <= -1.0 ")
+                 : format("%+4.1f..%+4.1f", lo, hi);
+    const char* marker = std::abs(lo) < 1e-9 ? ">" : " ";  // the zero line
+    int bar = static_cast<int>(
+        std::ceil(scale * static_cast<double>(h.count(b))));
+    out += format("%s %s |%s%s\n", marker, label.c_str(),
+                  std::string(static_cast<std::size_t>(bar), '#').c_str(),
+                  h.count(b) ? format(" %zu", h.count(b)).c_str() : "");
+  }
+  return out;
+}
+
+RpeSummary summarize_rpe(const std::vector<double>& rpes) {
+  RpeSummary s;
+  s.total = static_cast<int>(rpes.size());
+  if (rpes.empty()) return s;
+  int right = 0, in10 = 0, in20 = 0;
+  double under_sum = 0.0, abs_sum = 0.0;
+  int under_n = 0;
+  // Counting epsilon: simulator predictions can tie the measurement
+  // exactly; ties count as "right of the line" (lower bound achieved).
+  constexpr double kEps = 5e-3;
+  for (double r : rpes) {
+    if (r >= -kEps) {
+      ++right;
+      under_sum += std::max(r, 0.0);
+      ++under_n;
+      if (r < 0.1) ++in10;
+      if (r < 0.2) ++in20;
+    }
+    if (r <= -1.0) ++s.off_by_2x;
+    abs_sum += std::abs(r);
+  }
+  s.fraction_right = static_cast<double>(right) / s.total;
+  s.fraction_in10 = static_cast<double>(in10) / s.total;
+  s.fraction_in20 = static_cast<double>(in20) / s.total;
+  s.mean_under_rpe = under_n ? under_sum / under_n : 0.0;
+  s.mean_abs_rpe = abs_sum / s.total;
+  return s;
+}
+
+}  // namespace incore::report

@@ -1,0 +1,49 @@
+#pragma once
+// Presentation helpers for the bench harnesses: aligned ASCII tables and
+// the paper's Fig. 3-style relative-prediction-error histograms.
+
+#include <string>
+#include <vector>
+
+#include "support/stats.hpp"
+
+namespace incore::report {
+
+/// Column-aligned ASCII table with a header row.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  /// Renders with column separators and a header rule.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Renders a two-sided RPE histogram: buckets of `bucket_width` from -1 to
+/// +1 with a marked zero line, one '#' per sample (scaled when dense).
+/// Mirrors the reading of the paper's Fig. 3: bars right of the zero line
+/// are predictions *faster* than the measurement (desired for a lower
+/// bound), bars left are slower predictions; the leftmost bucket collects
+/// everything off by more than a factor of two.
+[[nodiscard]] std::string render_rpe_histogram(const support::Histogram& h,
+                                               const std::string& title,
+                                               int max_bar_width = 60);
+
+/// Summary line used by the Fig. 3 bench: share of predictions right of
+/// zero, within +10% / +20%, and the mean under-prediction error.
+struct RpeSummary {
+  double fraction_right = 0;     // prediction faster or equal
+  double fraction_in10 = 0;      // 0 <= rpe < 0.1
+  double fraction_in20 = 0;      // 0 <= rpe < 0.2
+  double mean_under_rpe = 0;     // mean of rpe >= 0 samples
+  double mean_abs_rpe = 0;
+  int off_by_2x = 0;             // rpe <= -1.0 (leftmost bucket)
+  int total = 0;
+};
+[[nodiscard]] RpeSummary summarize_rpe(const std::vector<double>& rpes);
+
+}  // namespace incore::report

@@ -1,0 +1,57 @@
+#include "roofline/roofline.hpp"
+
+#include <algorithm>
+
+#include "memsim/memsim.hpp"
+#include "power/power.hpp"
+
+namespace incore::roofline {
+
+Ceilings ceilings(uarch::Micro micro) {
+  Ceilings c;
+  c.peak_gflops = power::peak_flops(micro).achievable_tflops * 1e3;
+  memsim::System sys(memsim::preset(micro));
+  c.mem_bw_gbs = sys.achieved_bw(sys.config().cores, 2.0 / 3.0);
+  return c;
+}
+
+double in_core_ceiling_per_core(const kernels::Variant& v) {
+  auto g = kernels::generate(v);
+  const auto& mm = uarch::machine(v.target);
+  analysis::Report rep = analysis::analyze(g.program, mm);
+  const kernels::KernelInfo& ki = kernels::info(v.kernel);
+  const double flops_per_iter =
+      ki.flops_per_element * g.elements_per_iteration;
+  if (rep.predicted_cycles() <= 0) return 0;
+  // Sustained clock for heavy vector code on this machine.
+  power::IsaClass isa = v.target == uarch::Micro::NeoverseV2
+                            ? power::IsaClass::Sve
+                            : power::IsaClass::Avx512;
+  const double f_ghz = power::sustained_frequency(
+      v.target, isa, power::chip(v.target).cores);
+  return flops_per_iter / rep.predicted_cycles() * f_ghz;
+}
+
+Placement place(const kernels::Variant& v) {
+  Placement p;
+  const kernels::KernelInfo& ki = kernels::info(v.kernel);
+  // Bytes per element including the write-allocate (unless evaded).
+  const bool wa_evaded = v.target == uarch::Micro::NeoverseV2;
+  double bytes_per_elem =
+      8.0 * (ki.loads_per_element + ki.stores_per_element +
+             (wa_evaded ? 0 : ki.stores_per_element));
+  if (bytes_per_elem <= 0) bytes_per_elem = 8.0;  // store-only kernels
+  p.arithmetic_intensity = ki.flops_per_element / bytes_per_elem;
+
+  Ceilings c = ceilings(v.target);
+  p.classic_bound_gflops =
+      std::min(p.arithmetic_intensity * c.mem_bw_gbs, c.peak_gflops);
+  const int cores = power::chip(v.target).cores;
+  p.incore_ceiling_gflops = in_core_ceiling_per_core(v) * cores;
+  p.bound_gflops = std::min(p.classic_bound_gflops, p.incore_ceiling_gflops);
+  p.memory_bound = p.arithmetic_intensity * c.mem_bw_gbs <
+                   std::min(c.peak_gflops, p.incore_ceiling_gflops);
+  return p;
+}
+
+}  // namespace incore::roofline

@@ -1,0 +1,43 @@
+#pragma once
+// Roofline model with in-core-derived ceilings.
+//
+// The paper motivates its in-core models as "a building block for
+// node-wide performance models (e.g., a more realistic horizontal ceiling
+// in the Roofline Model)".  This module implements that: the classic
+// Roofline bound min(AI * BW, P_peak) plus the kernel-specific ceiling
+// obtained from the in-core model (port pressure and recurrences of the
+// *actual* loop body instead of the marketing peak).
+
+#include "analysis/analyze.hpp"
+#include "kernels/kernels.hpp"
+#include "uarch/model.hpp"
+
+namespace incore::roofline {
+
+/// Machine ceilings, full socket.
+struct Ceilings {
+  double peak_gflops = 0;       // marketing DP peak at sustained clock
+  double mem_bw_gbs = 0;        // measured socket bandwidth
+  double ridge_intensity() const {
+    return mem_bw_gbs > 0 ? peak_gflops / mem_bw_gbs : 0;
+  }
+};
+
+[[nodiscard]] Ceilings ceilings(uarch::Micro micro);
+
+/// One kernel variant placed on the roofline.
+struct Placement {
+  double arithmetic_intensity = 0;  // flop / byte (incl. write-allocate)
+  double classic_bound_gflops = 0;  // min(AI * BW, peak), full socket
+  double incore_ceiling_gflops = 0; // in-core model ceiling, full socket
+  double bound_gflops = 0;          // min(classic, in-core)
+  bool memory_bound = false;
+};
+
+[[nodiscard]] Placement place(const kernels::Variant& v);
+
+/// Per-core in-core ceiling in Gflop/s (flops per iteration over predicted
+/// cycles, at the sustained heavy-vector clock).
+[[nodiscard]] double in_core_ceiling_per_core(const kernels::Variant& v);
+
+}  // namespace incore::roofline

@@ -1,0 +1,34 @@
+#include "support/csv.hpp"
+
+#include "support/strings.hpp"
+
+namespace incore::support {
+
+std::string CsvWriter::escape(const std::string& f) {
+  bool needs_quote = f.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quote) return f;
+  std::string out = "\"";
+  for (char c : f) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i) os_ << ',';
+    os_ << escape(fields[i]);
+  }
+  os_ << '\n';
+}
+
+void CsvWriter::row_values(const std::vector<double>& values) {
+  std::vector<std::string> fields;
+  fields.reserve(values.size());
+  for (double v : values) fields.push_back(format("%g", v));
+  row(fields);
+}
+
+}  // namespace incore::support

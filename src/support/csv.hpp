@@ -1,0 +1,27 @@
+#pragma once
+// Minimal CSV emission used by the bench harnesses so figure data can be
+// re-plotted externally.
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace incore::support {
+
+/// Row-oriented CSV writer with RFC-4180 quoting.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+
+  void header(const std::vector<std::string>& names) { row(names); }
+  void row(const std::vector<std::string>& fields);
+
+  /// Convenience: converts arithmetic fields with %g.
+  void row_values(const std::vector<double>& values);
+
+ private:
+  static std::string escape(const std::string& f);
+  std::ostream& os_;
+};
+
+}  // namespace incore::support

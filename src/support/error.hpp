@@ -1,0 +1,44 @@
+#pragma once
+// Exception types for the incore library.  Parsing and model-lookup errors
+// carry enough context (line number, offending text) to be actionable.
+
+#include <stdexcept>
+#include <string>
+
+namespace incore::support {
+
+/// Base class for all incore errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised by the assembly parsers on malformed input.
+class ParseError : public Error {
+ public:
+  ParseError(const std::string& message, int line, const std::string& text)
+      : Error("parse error at line " + std::to_string(line) + ": " + message +
+              " [" + text + "]"),
+        line_(line) {}
+  [[nodiscard]] int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+/// Raised when a machine model has no entry for an instruction form and no
+/// fallback decomposition applies.
+class UnknownInstruction : public Error {
+ public:
+  explicit UnknownInstruction(const std::string& form)
+      : Error("no machine-model entry for instruction form: " + form) {}
+};
+
+/// Raised on internally inconsistent machine models (a port referenced by an
+/// instruction form that the model does not declare, etc.).
+class ModelError : public Error {
+ public:
+  explicit ModelError(const std::string& what) : Error(what) {}
+};
+
+}  // namespace incore::support

@@ -1,0 +1,47 @@
+#include "support/ks.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace incore::support {
+
+double kolmogorov_q(double lambda) {
+  if (lambda <= 0.0) return 1.0;
+  // Q(lambda) = 2 * sum_{j>=1} (-1)^{j-1} exp(-2 j^2 lambda^2)
+  double sum = 0.0;
+  double sign = 1.0;
+  for (int j = 1; j <= 100; ++j) {
+    double term = std::exp(-2.0 * j * j * lambda * lambda);
+    sum += sign * term;
+    sign = -sign;
+    if (term < 1e-12) break;
+  }
+  return std::clamp(2.0 * sum, 0.0, 1.0);
+}
+
+KsResult ks_test(std::span<const double> a, std::span<const double> b) {
+  KsResult r;
+  if (a.empty() || b.empty()) return r;
+  std::vector<double> sa(a.begin(), a.end());
+  std::vector<double> sb(b.begin(), b.end());
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+  const double na = static_cast<double>(sa.size());
+  const double nb = static_cast<double>(sb.size());
+  std::size_t ia = 0, ib = 0;
+  double d = 0.0;
+  while (ia < sa.size() && ib < sb.size()) {
+    double x = std::min(sa[ia], sb[ib]);
+    while (ia < sa.size() && sa[ia] <= x) ++ia;
+    while (ib < sb.size() && sb[ib] <= x) ++ib;
+    d = std::max(d, std::abs(ia / na - ib / nb));
+  }
+  r.statistic = d;
+  const double ne = na * nb / (na + nb);
+  const double lambda = (std::sqrt(ne) + 0.12 + 0.11 / std::sqrt(ne)) * d;
+  r.p_value = kolmogorov_q(lambda);
+  return r;
+}
+
+}  // namespace incore::support

@@ -1,0 +1,24 @@
+#pragma once
+// Two-sample Kolmogorov-Smirnov test.
+//
+// Used by the Fig. 3 harness to state quantitatively that the OSACA-style
+// and LLVM-MCA-style RPE distributions differ (the paper argues this from
+// the histograms; we attach a statistic and an asymptotic p-value).
+
+#include <span>
+
+namespace incore::support {
+
+struct KsResult {
+  double statistic = 0.0;  // sup |F1(x) - F2(x)|
+  double p_value = 1.0;    // asymptotic (Kolmogorov distribution)
+};
+
+/// Two-sample KS test.  Inputs need not be sorted.
+[[nodiscard]] KsResult ks_test(std::span<const double> a,
+                               std::span<const double> b);
+
+/// Asymptotic Kolmogorov survival function Q(lambda) = P(D > lambda).
+[[nodiscard]] double kolmogorov_q(double lambda);
+
+}  // namespace incore::support

@@ -1,0 +1,56 @@
+#pragma once
+// Deterministic pseudo-random number generation.
+//
+// All stochastic pieces of the simulators must be reproducible run-to-run,
+// so we use an explicit xoshiro256** instance seeded from a fixed value
+// instead of std::random_device anywhere in the library.
+
+#include <cstdint>
+
+namespace incore::support {
+
+/// splitmix64, used to seed the main generator from a single 64-bit value.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 (Blackman & Vigna), fully deterministic given the seed.
+class Rng {
+ public:
+  explicit constexpr Rng(std::uint64_t seed = 0x1c0de5eedULL) {
+    std::uint64_t sm = seed;
+    for (auto& w : s_) w = splitmix64(sm);
+  }
+
+  constexpr std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, n).
+  constexpr std::uint64_t below(std::uint64_t n) { return n ? next() % n : 0; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace incore::support

@@ -1,0 +1,126 @@
+#include "support/strings.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace incore::support {
+
+std::string_view trim(std::string_view s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string_view> split(std::string_view s, char sep) {
+  std::vector<std::string_view> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string_view> split_toplevel(std::string_view s, char sep) {
+  std::vector<std::string_view> out;
+  int depth = 0;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size()) {
+      out.push_back(s.substr(start, i - start));
+      break;
+    }
+    char c = s[i];
+    if (c == '(' || c == '[' || c == '{') ++depth;
+    if (c == ')' || c == ']' || c == '}') --depth;
+    if (c == sep && depth == 0) {
+      out.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string_view> split_lines(std::string_view s) {
+  std::vector<std::string_view> out;
+  size_t start = 0;
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '\n') {
+      size_t len = i - start;
+      if (len > 0 && s[start + len - 1] == '\r') --len;
+      out.push_back(s.substr(start, len));
+      start = i + 1;
+    }
+  }
+  if (start < s.size()) {
+    size_t len = s.size() - start;
+    if (len > 0 && s[start + len - 1] == '\r') --len;
+    out.push_back(s.substr(start, len));
+  }
+  return out;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::string format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list copy;
+  va_copy(copy, args);
+  int n = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  std::string out;
+  if (n > 0) {
+    out.resize(static_cast<size_t>(n));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+  }
+  va_end(args);
+  return out;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+bool parse_int(std::string_view s, long long& out) {
+  s = trim(s);
+  if (!s.empty() && (s.front() == '#' || s.front() == '$')) s.remove_prefix(1);
+  if (s.empty()) return false;
+  // strtoll needs a NUL-terminated buffer.
+  char buf[64];
+  if (s.size() >= sizeof(buf)) return false;
+  std::memcpy(buf, s.data(), s.size());
+  buf[s.size()] = '\0';
+  char* end = nullptr;
+  errno = 0;
+  long long v = std::strtoll(buf, &end, 0);
+  if (errno != 0 || end != buf + s.size()) return false;
+  out = v;
+  return true;
+}
+
+}  // namespace incore::support

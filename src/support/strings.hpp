@@ -1,0 +1,49 @@
+#pragma once
+// String utilities shared across the incore library.
+//
+// All functions are allocation-conscious: predicates and views never copy,
+// and the splitting helpers return views into the caller's buffer whenever
+// the lifetime allows it.
+
+#include <string>
+#include <string_view>
+#include <vector>
+#include <cstdarg>
+
+namespace incore::support {
+
+/// Remove leading and trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view s);
+
+/// Split `s` at every occurrence of `sep`. Empty fields are preserved.
+/// The returned views alias `s`; the caller must keep the buffer alive.
+[[nodiscard]] std::vector<std::string_view> split(std::string_view s, char sep);
+
+/// Split at `sep` but respect nesting: separators inside (), [], {} are not
+/// split points.  Used for operand lists such as `x0, [x1, #16]`.
+[[nodiscard]] std::vector<std::string_view> split_toplevel(std::string_view s,
+                                                           char sep);
+
+/// Split into lines; handles both \n and \r\n; no trailing empty line.
+[[nodiscard]] std::vector<std::string_view> split_lines(std::string_view s);
+
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix);
+[[nodiscard]] bool ends_with(std::string_view s, std::string_view suffix);
+
+/// ASCII lowercase copy.
+[[nodiscard]] std::string to_lower(std::string_view s);
+
+/// printf-style formatting into a std::string (std::format is unavailable in
+/// the targeted GCC 12 libstdc++).
+[[nodiscard]] std::string format(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Join elements with a separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+/// Parse a signed integer with optional 0x prefix and leading '#' (AArch64
+/// immediate syntax) or '$' (AT&T immediate syntax). Returns true on success.
+[[nodiscard]] bool parse_int(std::string_view s, long long& out);
+
+}  // namespace incore::support

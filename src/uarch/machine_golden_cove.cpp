@@ -1,0 +1,335 @@
+// Machine model: Intel Golden Cove (Sapphire Rapids, Xeon Platinum 8470).
+//
+// Port layout (12 ports):
+//   P0,P1,P5,P6,P10  integer ALU (5 units); P0,P1,P5 also FP/vector
+//   P2,P3            load pipes (512 bit capable), P11 load pipe (<=256 bit)
+//   P4,P9            store-data pipes (256 bit each; a 512-bit store
+//                    occupies both)
+//   P7,P8            store-address AGUs
+//   P6               primary branch port
+//
+// For 512-bit FP operations ports 0 and 1 fuse into a single 512-bit unit;
+// we model 512-bit FP ops on {P0|P5} and <=256-bit adds on {P1|P5},
+// muls/FMAs on {P0|P5}, which yields the paper's Table III throughput:
+//   VEC(8xDP) ADD/MUL/FMA: 2/cy -> 16 elem/cy, lat 2/4/4
+//   scalar    ADD/MUL/FMA: 2/cy,               lat 2/4/5
+//   VEC FDIV zmm: inv 16 (0.5 elem/cy), lat 14; scalar: inv 4, lat 14
+//   gather: 1/3 cache line per cycle, lat 20
+
+#include "uarch/model.hpp"
+
+#include <string>
+
+#include "support/strings.hpp"
+
+namespace incore::uarch::detail {
+
+MachineModel build_golden_cove() {
+  MachineModel mm("golden-cove", Micro::GoldenCove, asmir::Isa::X86_64,
+                  {"P0", "P1", "P2", "P3", "P4", "P5", "P6", "P7", "P8", "P9",
+                   "P10", "P11"});
+  mm.simd_width_bits = 512;
+  mm.l1_load_latency = 5.0;
+  mm.loads_per_cycle = 2;   // at 512 bit (3/cy at <=256 bit via P11)
+  mm.stores_per_cycle = 2;  // at <=256 bit
+  CoreResources& r = mm.resources();
+  r.decode_width = 6;
+  r.rename_width = 6;
+  r.retire_width = 8;
+  r.rob_size = 512;
+  r.scheduler_size = 200;
+  r.load_queue = 192;
+  r.store_queue = 114;
+
+  auto F = [&mm](const char* form, double tp, double lat, const char* ports) {
+    mm.add(form, tp, lat, ports);
+  };
+  auto S = [&mm](const std::string& form, double tp, double lat,
+                 const char* ports) { mm.add(form, tp, lat, ports); };
+
+  // ---- Integer ALU -------------------------------------------------------
+  const char* kAlu = "P0|P1|P5|P6|P10";
+  for (const char* w : {"r64", "r32"}) {
+    for (const char* op : {"add", "sub", "and", "or", "xor"}) {
+      S(support::format("%s %s,%s", op, w, w), 0.2, 1, kAlu);
+      S(support::format("%s i,%s", op, w), 0.2, 1, kAlu);
+    }
+    for (const char* op : {"inc", "dec", "neg", "not"}) {
+      S(support::format("%s %s", op, w), 0.2, 1, kAlu);
+    }
+    S(support::format("cmp %s,%s", w, w), 0.2, 1, kAlu);
+    S(support::format("cmp i,%s", w), 0.2, 1, kAlu);
+    S(support::format("test %s,%s", w, w), 0.2, 1, kAlu);
+    S(support::format("test i,%s", w), 0.2, 1, kAlu);
+    S(support::format("mov %s,%s", w, w), 0.2, 1, kAlu);  // pre-elimination
+    S(support::format("mov i,%s", w), 0.2, 1, kAlu);
+    for (const char* op : {"shl", "sal", "shr", "sar"}) {
+      S(support::format("%s i,%s", op, w), 0.5, 1, "P0|P6");
+      S(support::format("%s %s", op, w), 0.5, 1, "P0|P6");
+    }
+    S(support::format("imul %s,%s", w, w), 1.0, 3, "P1");
+    S(support::format("imul i,%s,%s", w, w), 1.0, 3, "P1");
+    S(support::format("lea m64,%s", w), 0.5, 1, "P1|P5");
+    S(support::format("cmove %s,%s", w, w), 0.5, 1, "P0|P6");
+    S(support::format("cmovne %s,%s", w, w), 0.5, 1, "P0|P6");
+    S(support::format("cmovl %s,%s", w, w), 0.5, 1, "P0|P6");
+    S(support::format("cmovg %s,%s", w, w), 0.5, 1, "P0|P6");
+  }
+  F("movslq r32,r64", 0.2, 1, kAlu);
+  F("movzbl m8,r32", 0.5, 5, "P2|P3|P11");
+  F("nop", 0.125, 0, "");
+
+  // ---- Branches ----------------------------------------------------------
+  for (const char* b : {"jmp", "je", "jne", "jz", "jnz", "jg", "jge", "jl",
+                        "jle", "ja", "jae", "jb", "jbe", "js", "jns"}) {
+    S(support::format("%s l", b), 0.5, 1, "P6|P0");
+  }
+  F("call l", 1.0, 2, "P6;P4|P9;P7|P8");
+  F("ret", 1.0, 2, "P6;P2|P3|P11");
+
+  // ---- Loads -------------------------------------------------------------
+  const char* kLd = "P2|P3|P11";   // <=256-bit loads: 3/cy
+  const char* kLd512 = "P2|P3";    // 512-bit loads: 2/cy
+  F("mov m64,r64", 1.0 / 3, 5, kLd);
+  F("mov m32,r32", 1.0 / 3, 5, kLd);
+  F("movslq m32,r64", 1.0 / 3, 5, kLd);
+  for (const char* m : {"vmovupd", "vmovapd", "vmovups", "vmovaps", "vmovdqu",
+                        "vmovdqa", "vmovdqu64", "vmovdqa64"}) {
+    S(support::format("%s m512,v512", m), 0.5, 7, kLd512);
+    S(support::format("%s m256,v256", m), 1.0 / 3, 7, kLd);
+    S(support::format("%s m128,v128", m), 1.0 / 3, 7, kLd);
+  }
+  for (const char* m : {"movupd", "movapd", "movsd", "vmovsd", "movss",
+                        "vmovss"}) {
+    int w = (std::string(m).find("sd") != std::string::npos) ? 64
+            : (std::string(m).find("ss") != std::string::npos) ? 32
+                                                               : 128;
+    S(support::format("%s m%d,v128", m, w), 1.0 / 3, 7, kLd);
+  }
+  F("vbroadcastsd m64,v512", 0.5, 8, kLd512);
+  F("vbroadcastsd m64,v256", 1.0 / 3, 8, kLd);
+  F("vmovddup m64,v128", 1.0 / 3, 8, kLd);
+  F("_load.m8", 1.0 / 3, 5, kLd);
+  F("_load.m16", 1.0 / 3, 5, kLd);
+  F("_load.m32", 1.0 / 3, 5, kLd);
+  F("_load.m64", 1.0 / 3, 5, kLd);
+  F("_load.m128", 1.0 / 3, 7, kLd);
+  F("_load.m256", 1.0 / 3, 7, kLd);
+  F("_load.m512", 0.5, 7, kLd512);
+  // Gathers: Table III: 1/3 cache line per cycle, latency 20.  A zmm gather
+  // collects 8 DP elements (worst case 8 lines -> 24 cy).
+  F("vgatherdpd g512,v512,k", 24.0, 20, "8xP2|P3");
+  F("vgatherqpd g512,v512,k", 24.0, 20, "8xP2|P3");
+  F("vgatherdpd g256,v256,k", 12.0, 20, "4xP2|P3");
+  F("vgatherqpd g256,v256,k", 12.0, 20, "4xP2|P3");
+  F("_gather.m512", 24.0, 20, "8xP2|P3");
+  F("_gather.m256", 12.0, 20, "4xP2|P3");
+
+  // ---- Stores ------------------------------------------------------------
+  // Store = data micro-op + address micro-op.
+  const char* kStD = "P4|P9";
+  const char* kStA = "P7|P8";
+  const std::string std_ports = std::string(kStD) + ";" + kStA;
+  const std::string st512_ports = std::string("P4;P9;") + kStA;
+  F("mov r64,m64", 0.5, 1, std_ports.c_str());
+  F("mov r32,m32", 0.5, 1, std_ports.c_str());
+  F("mov i,m64", 0.5, 1, std_ports.c_str());
+  F("mov i,m32", 0.5, 1, std_ports.c_str());
+  for (const char* m : {"vmovupd", "vmovapd", "vmovups", "vmovaps", "vmovdqu",
+                        "vmovdqa64"}) {
+    S(support::format("%s v512,m512", m), 1.0, 1, st512_ports.c_str());
+    S(support::format("%s v256,m256", m), 0.5, 1, std_ports.c_str());
+    S(support::format("%s v128,m128", m), 0.5, 1, std_ports.c_str());
+  }
+  F("movupd v128,m128", 0.5, 1, std_ports.c_str());
+  F("movapd v128,m128", 0.5, 1, std_ports.c_str());
+  F("movsd v128,m64", 0.5, 1, std_ports.c_str());
+  F("vmovsd v128,m64", 0.5, 1, std_ports.c_str());
+  // Non-temporal stores (write-combining path; same issue ports).
+  F("vmovntpd v512,m512", 1.0, 1, st512_ports.c_str());
+  F("vmovntpd v256,m256", 0.5, 1, std_ports.c_str());
+  F("movntpd v128,m128", 0.5, 1, std_ports.c_str());
+  F("movnti r64,m64", 0.5, 1, std_ports.c_str());
+  F("_store.m32", 0.5, 1, std_ports.c_str());
+  F("_store.m64", 0.5, 1, std_ports.c_str());
+  F("_store.m128", 0.5, 1, std_ports.c_str());
+  F("_store.m256", 0.5, 1, std_ports.c_str());
+  F("_store.m512", 1.0, 1, st512_ports.c_str());
+
+  // ---- FP / vector arithmetic -------------------------------------------
+  // ADD family: P1|P5 (<=256) and P0|P5 (512, fused unit), latency 2.
+  struct Widths { const char* reg; const char* ports; };
+  const Widths add_w[] = {{"v512", "P0|P5"}, {"v256", "P1|P5"}, {"v128", "P1|P5"}};
+  for (const auto& [wreg, ports] : add_w) {
+    for (const char* op : {"vaddpd", "vsubpd", "vaddps", "vsubps"}) {
+      S(support::format("%s %s,%s,%s", op, wreg, wreg, wreg), 0.5, 2, ports);
+    }
+    for (const char* op : {"vmaxpd", "vminpd"}) {
+      S(support::format("%s %s,%s,%s", op, wreg, wreg, wreg), 0.5, 2, ports);
+    }
+  }
+  const Widths mul_w[] = {{"v512", "P0|P5"}, {"v256", "P0|P5"}, {"v128", "P0|P5"}};
+  for (const auto& [wreg, ports] : mul_w) {
+    for (const char* op : {"vmulpd", "vmulps"}) {
+      S(support::format("%s %s,%s,%s", op, wreg, wreg, wreg), 0.5, 4, ports);
+    }
+    for (const char* fam : {"vfmadd", "vfmsub", "vfnmadd", "vfnmsub"}) {
+      for (const char* v : {"132", "213", "231"}) {
+        S(support::format("%s%spd %s,%s,%s", fam, v, wreg, wreg, wreg), 0.5, 4,
+          ports);
+      }
+    }
+  }
+  // Scalar SSE/AVX arithmetic: ADD lat 2, MUL 4, FMA 5 (Table III).
+  for (const char* op : {"addsd", "vaddsd", "subsd", "vsubsd", "addss",
+                         "vaddss", "maxsd", "vmaxsd", "minsd", "vminsd"}) {
+    bool three_op = op[0] == 'v';
+    S(three_op ? support::format("%s v128,v128,v128", op)
+               : support::format("%s v128,v128", op),
+      0.5, 2, "P1|P5");
+  }
+  for (const char* op : {"mulsd", "vmulsd", "mulss", "vmulss"}) {
+    bool three_op = op[0] == 'v';
+    S(three_op ? support::format("%s v128,v128,v128", op)
+               : support::format("%s v128,v128", op),
+      0.5, 4, "P0|P5");
+  }
+  for (const char* fam : {"vfmadd", "vfmsub", "vfnmadd", "vfnmsub"}) {
+    for (const char* v : {"132", "213", "231"}) {
+      S(support::format("%s%ssd v128,v128,v128", fam, v), 0.5, 5, "P0|P5");
+    }
+  }
+  // Divide / sqrt: one divider unit behind P0 (non-pipelined).
+  F("vdivpd v512,v512,v512", 16.0, 14, "16xP0");
+  F("vdivpd v256,v256,v256", 8.0, 14, "8xP0");
+  F("vdivpd v128,v128,v128", 4.0, 14, "4xP0");
+  F("divpd v128,v128", 4.0, 14, "4xP0");
+  F("divsd v128,v128", 4.0, 14, "4xP0");
+  F("vdivsd v128,v128,v128", 4.0, 14, "4xP0");
+  F("divss v128,v128", 3.0, 11, "3xP0");
+  F("vdivss v128,v128,v128", 3.0, 11, "3xP0");
+  F("vsqrtpd v512,v512", 24.0, 20, "24xP0");
+  F("vsqrtpd v256,v256", 12.0, 20, "12xP0");
+  F("sqrtsd v128,v128", 6.0, 18, "6xP0");
+  F("vsqrtsd v128,v128,v128", 6.0, 18, "6xP0");
+  // Bitwise / blend / moves.
+  for (const auto& [wreg, ports] : add_w) {
+    for (const char* op : {"vxorpd", "vandpd", "vorpd", "vxorps", "vandps"}) {
+      S(support::format("%s %s,%s,%s", op, wreg, wreg, wreg), 1.0 / 3, 1,
+        "P0|P1|P5");
+    }
+    S(support::format("vblendvpd %s,%s,%s,%s", wreg, wreg, wreg, wreg), 0.5, 3,
+      "P0|P1|P5");
+    S(support::format("vmovapd %s,%s", wreg, wreg), 1.0 / 3, 1, "P0|P1|P5");
+    S(support::format("vmovupd %s,%s", wreg, wreg), 1.0 / 3, 1, "P0|P1|P5");
+  }
+  F("xorpd v128,v128", 1.0 / 3, 1, "P0|P1|P5");
+  F("movapd v128,v128", 1.0 / 3, 1, "P0|P1|P5");
+  F("movsd v128,v128", 0.5, 1, "P0|P1|P5");
+  F("vmovsd v128,v128,v128", 0.5, 1, "P0|P1|P5");
+  // Shuffles / permutes: the cross-lane shuffle unit sits on P5.
+  F("vextractf128 i,v256,v128", 1.0, 3, "P5");
+  F("vextractf64x4 i,v512,v256", 1.0, 3, "P5");
+  F("vextractf64x2 i,v512,v128", 1.0, 3, "P5");
+  F("vperm2f128 i,v256,v256,v256", 1.0, 3, "P5");
+  F("vpermilpd i,v128,v128", 0.5, 1, "P1|P5");
+  F("vpermilpd i,v256,v256", 0.5, 1, "P1|P5");
+  F("vunpckhpd v128,v128,v128", 0.5, 1, "P1|P5");
+  F("unpckhpd v128,v128", 0.5, 1, "P1|P5");
+  F("vshufpd i,v256,v256,v256", 0.5, 1, "P1|P5");
+  F("vhaddpd v128,v128,v128", 2.0, 6, "P1|P5;2xP5");
+  F("haddpd v128,v128", 2.0, 6, "P1|P5;2xP5");
+  F("vbroadcastsd v128,v512", 1.0, 3, "P5");
+  F("vbroadcastsd v128,v256", 1.0, 3, "P5");
+  // Converts.
+  F("vcvtsi2sd r64,v128,v128", 1.0, 7, "P0|P1;P5");
+  F("vcvtsi2sd r32,v128,v128", 1.0, 7, "P0|P1;P5");
+  F("cvtsi2sd r64,v128", 1.0, 7, "P0|P1;P5");
+  F("vcvttsd2si v128,r64", 1.0, 7, "P0|P1;P5");
+  F("cvttsd2si v128,r64", 1.0, 7, "P0|P1;P5");
+  F("vcvtdq2pd v128,v256", 1.0, 5, "P5;P0|P1");
+  // AVX-512 mask handling.
+  F("vcmppd i,v512,v512,k", 1.0, 4, "P5");
+  F("vcmppd i,v256,v256,k", 1.0, 4, "P5");
+  F("vcmppd i,v256,v256,v256", 0.5, 4, "P1|P5");
+  F("kmovw k,k", 0.5, 1, "P0|P5");
+  F("kmovw r32,k", 1.0, 3, "P5");
+  F("kmovw k,r32", 1.0, 3, "P0");
+  F("kmovb k,r32", 1.0, 3, "P0");
+  F("kortestw k,k", 1.0, 3, "P0");
+  F("kandw k,k,k", 0.5, 1, "P0|P5");
+  F("knotw k,k", 0.5, 1, "P0|P5");
+  F("vzeroupper", 0.25, 0, "");
+
+  // ---- Extended coverage: integer SIMD -----------------------------------
+  for (const char* wreg : {"v512", "v256", "v128"}) {
+    const bool zmm = std::string(wreg) == "v512";
+    const char* ports = zmm ? "P0|P5" : "P0|P1|P5";
+    double tp = zmm ? 0.5 : 1.0 / 3.0;
+    for (const char* op : {"vpaddd", "vpaddq", "vpsubd", "vpsubq", "vpminsd",
+                           "vpmaxsd", "vpabsd"}) {
+      S(support::format("%s %s,%s,%s", op, wreg, wreg, wreg), tp, 1, ports);
+    }
+    for (const char* op : {"vpand", "vpor", "vpxor", "vpandq", "vporq",
+                           "vpxorq", "vpandn"}) {
+      S(support::format("%s %s,%s,%s", op, wreg, wreg, wreg), tp, 1, ports);
+    }
+    S(support::format("vpmulld %s,%s,%s", wreg, wreg, wreg), 2.0, 10,
+      zmm ? "2xP0" : "2xP0|P1");
+    S(support::format("vpmullq %s,%s,%s", wreg, wreg, wreg), 3.0, 15,
+      zmm ? "3xP0" : "3xP0|P1");
+    for (const char* op : {"vpsllq", "vpsrlq", "vpslld", "vpsrld"}) {
+      S(support::format("%s i,%s,%s", op, wreg, wreg), 0.5, 1,
+        zmm ? "P0|P5" : "P0|P1");
+    }
+    // Merge-masked arithmetic: same pipes, the mask is read alongside.
+    for (const char* op : {"vaddpd", "vmulpd", "vfmadd231pd"}) {
+      S(support::format("%s %s,%s,%s,k", op, wreg, wreg, wreg), 0.5,
+        std::string(op) == "vaddpd" ? 2 : 4, zmm ? "P0|P5" : "P0|P5");
+    }
+    S(support::format("vmovupd %s,%s,k", wreg, wreg), 0.5, 1, "P0|P5");
+    S(support::format("vpbroadcastd %s,%s", "v128", wreg), 1.0, 3, "P5");
+  }
+  // Masked loads/stores.
+  F("vmovupd m512,v512,k", 0.5, 8, kLd512);
+  F("vmovupd m256,v256,k", 1.0 / 3, 8, kLd);
+  F("vmovupd v512,m512,k", 1.0, 1, st512_ports.c_str());
+  F("vmovupd v256,m256,k", 0.5, 1, std_ports.c_str());
+  // Single-precision divide/sqrt and conversions.
+  F("vdivps v512,v512,v512", 12.0, 12, "12xP0");
+  F("vdivps v256,v256,v256", 6.0, 11, "6xP0");
+  F("vsqrtps v256,v256", 9.0, 15, "9xP0");
+  F("vcvtpd2ps v512,v256", 1.0, 7, "P5;P0|P1");
+  F("vcvtps2pd v256,v512", 1.0, 7, "P5;P0|P1");
+  F("vcvtdq2pd v256,v512", 1.0, 7, "P5;P0|P1");
+  // Permutes / inserts.
+  F("vpermpd i,v512,v512", 1.0, 3, "P5");
+  F("vpermpd i,v256,v256", 1.0, 3, "P5");
+  F("vpermd v512,v512,v512", 1.0, 3, "P5");
+  F("vinsertf128 i,v128,v256,v256", 1.0, 3, "P5");
+  F("vinsertf64x4 i,v256,v512,v512", 1.0, 3, "P5");
+  F("vshuff64x2 i,v512,v512,v512", 1.0, 3, "P5");
+  // Integer scalar odds and ends.
+  for (const char* w : {"r64", "r32"}) {
+    S(support::format("popcnt %s,%s", w, w), 1.0, 3, "P1");
+    S(support::format("lzcnt %s,%s", w, w), 1.0, 3, "P1");
+    S(support::format("tzcnt %s,%s", w, w), 1.0, 3, "P1");
+    S(support::format("bswap %s", w), 0.5, 1, "P0|P1");
+    S(support::format("adc %s,%s", w, w), 0.5, 1, "P0|P6");
+    S(support::format("sbb %s,%s", w, w), 0.5, 1, "P0|P6");
+    S(support::format("rol i,%s", w), 0.5, 1, "P0|P6");
+    S(support::format("ror i,%s", w), 0.5, 1, "P0|P6");
+    S(support::format("sete %s", w), 0.5, 1, "P0|P6");
+    S(support::format("setne %s", w), 0.5, 1, "P0|P6");
+  }
+  F("div r64", 21.0, 21, "21xP1");  // integer divide, non-pipelined
+  F("idiv r64", 21.0, 21, "21xP1");
+  F("mul r64", 1.0, 4, "P1;P5");
+  F("xchg r64,r64", 1.0, 2, "P0|P1;P5|P6");
+  F("movzwl m16,r32", 1.0 / 3, 5, kLd);
+  F("movsbl m8,r32", 1.0 / 3, 5, kLd);
+
+  return mm;
+}
+
+}  // namespace incore::uarch::detail

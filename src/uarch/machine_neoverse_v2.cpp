@@ -1,0 +1,376 @@
+// Machine model: Arm Neoverse V2 (Nvidia Grace CPU Superchip).
+//
+// Port layout (17 ports), compiled from Arm's Software Optimization Guide as
+// summarized in the paper's Fig. 1:
+//   B0,B1         branch
+//   I0..I3        single-cycle integer ALU
+//   M0,M1         multi-cycle integer (also shifts-with-ALU, MUL, DIV, SVE
+//                 predicate generation)
+//   LD0..LD2      load pipes, 128 bit each (3 loads/cy)
+//   ST0,ST1       store-data pipes, 128 bit each (2 stores/cy)
+//   V0..V3        FP/ASIMD/SVE pipes, 128 bit each
+//
+// Headline values anchored to the paper's Table III:
+//   VEC(2xDP) ADD/MUL/FMA: 4/cy (8 elem/cy), lat 2/3/4
+//   scalar   ADD/MUL/FMA: 4/cy,               lat 2/3/4
+//   VEC FDIV: 0.4 elem/cy (inv 5),  lat 5;  scalar FDIV: inv 2.5, lat 12
+//   gather:  1/4 cache line per cycle, lat 9
+
+#include "uarch/model.hpp"
+
+#include <string>
+
+#include "support/strings.hpp"
+
+namespace incore::uarch::detail {
+
+MachineModel build_neoverse_v2() {
+  MachineModel mm("neoverse-v2", Micro::NeoverseV2, asmir::Isa::AArch64,
+                  {"B0", "B1", "I0", "I1", "I2", "I3", "M0", "M1", "LD0",
+                   "LD1", "LD2", "ST0", "ST1", "V0", "V1", "V2", "V3"});
+  mm.simd_width_bits = 128;
+  mm.l1_load_latency = 4.0;
+  mm.loads_per_cycle = 3;
+  mm.stores_per_cycle = 2;
+  CoreResources& r = mm.resources();
+  r.decode_width = 8;
+  r.rename_width = 8;
+  r.retire_width = 8;
+  r.rob_size = 320;
+  r.scheduler_size = 120;
+  r.load_queue = 96;
+  r.store_queue = 64;
+
+  auto F = [&mm](const char* form, double tp, double lat, const char* ports) {
+    mm.add(form, tp, lat, ports);
+  };
+
+  // ---- Integer ALU -------------------------------------------------------
+  const char* kAluAll = "I0|I1|I2|I3|M0|M1";  // 6 integer units
+  const char* kAluM = "M0|M1";
+  for (const char* w : {"r64", "r32"}) {
+    for (const char* op : {"add", "sub", "and", "orr", "eor", "bic", "orn",
+                           "eon", "neg", "mvn"}) {
+      F(support::format("%s %s,%s,%s", op, w, w, w).c_str(), 1.0 / 6, 1, kAluAll);
+      F(support::format("%s %s,%s,i", op, w, w).c_str(), 1.0 / 6, 1, kAluAll);
+      // Shifted-register forms execute on the multi-cycle pipes.
+      F(support::format("%s %s,%s,%s,i", op, w, w, w).c_str(), 0.5, 2, kAluM);
+    }
+    for (const char* op : {"adds", "subs", "ands", "bics"}) {
+      F(support::format("%s %s,%s,%s", op, w, w, w).c_str(), 1.0 / 6, 1, kAluAll);
+      F(support::format("%s %s,%s,i", op, w, w).c_str(), 1.0 / 6, 1, kAluAll);
+    }
+    for (const char* op : {"lsl", "lsr", "asr", "ror"}) {
+      F(support::format("%s %s,%s,i", op, w, w).c_str(), 1.0 / 6, 1, kAluAll);
+      F(support::format("%s %s,%s,%s", op, w, w, w).c_str(), 0.5, 2, kAluM);
+    }
+    F(support::format("cmp %s,%s", w, w).c_str(), 1.0 / 6, 1, kAluAll);
+    F(support::format("cmp %s,i", w).c_str(), 1.0 / 6, 1, kAluAll);
+    F(support::format("cmn %s,i", w).c_str(), 1.0 / 6, 1, kAluAll);
+    F(support::format("tst %s,%s", w, w).c_str(), 1.0 / 6, 1, kAluAll);
+    F(support::format("tst %s,i", w).c_str(), 1.0 / 6, 1, kAluAll);
+    F(support::format("mov %s,%s", w, w).c_str(), 1.0 / 6, 1, kAluAll);
+    F(support::format("mov %s,i", w).c_str(), 1.0 / 6, 1, kAluAll);
+    F(support::format("movz %s,i", w).c_str(), 1.0 / 6, 1, kAluAll);
+    F(support::format("movz %s,i,i", w).c_str(), 1.0 / 6, 1, kAluAll);
+    F(support::format("movk %s,i", w).c_str(), 1.0 / 6, 1, kAluAll);
+    F(support::format("movk %s,i,i", w).c_str(), 1.0 / 6, 1, kAluAll);
+    F(support::format("mul %s,%s,%s", w, w, w).c_str(), 0.5, 2, kAluM);
+    F(support::format("madd %s,%s,%s,%s", w, w, w, w).c_str(), 0.5, 2, kAluM);
+    F(support::format("msub %s,%s,%s,%s", w, w, w, w).c_str(), 0.5, 2, kAluM);
+    F(support::format("smull %s,%s,%s", w, w, w).c_str(), 0.5, 2, kAluM);
+    F(support::format("sdiv %s,%s,%s", w, w, w).c_str(), 5.0, 12, "5xM0");
+    F(support::format("udiv %s,%s,%s", w, w, w).c_str(), 5.0, 12, "5xM0");
+    F(support::format("csel %s,%s,%s", w, w, w).c_str(), 0.25, 1, "I0|I1|I2|I3");
+    F(support::format("cset %s", w).c_str(), 0.25, 1, "I0|I1|I2|I3");
+  }
+  F("sxtw r64,r32", 1.0 / 6, 1, kAluAll);
+  F("uxtw r64,r32", 1.0 / 6, 1, kAluAll);
+  F("sbfiz r64,r64,i,i", 0.5, 2, kAluM);
+  F("ubfiz r64,r64,i,i", 0.5, 2, kAluM);
+  F("adrp r64,l", 1.0 / 6, 1, kAluAll);
+  F("adr r64,l", 1.0 / 6, 1, kAluAll);
+  F("nop", 0.125, 0, "");
+
+  // ---- Branches ----------------------------------------------------------
+  const char* kBr = "B0|B1";
+  F("b l", 0.5, 1, kBr);
+  F("b", 0.5, 1, kBr);  // mnemonic fallback for "b.<cond>" is separate below
+  F("ret", 0.5, 1, kBr);
+  F("ret r64", 0.5, 1, kBr);
+  F("bl l", 0.5, 1, kBr);
+  F("cbz r64,l", 0.5, 1, kBr);
+  F("cbnz r64,l", 0.5, 1, kBr);
+  F("cbz r32,l", 0.5, 1, kBr);
+  F("cbnz r32,l", 0.5, 1, kBr);
+  F("tbz r64,i,l", 0.5, 1, kBr);
+  F("tbnz r64,i,l", 0.5, 1, kBr);
+  for (const char* cc : {"eq", "ne", "lt", "le", "gt", "ge", "lo", "ls", "hi",
+                         "hs", "mi", "pl", "cc", "cs", "any", "none", "last",
+                         "nlast", "first", "vs", "vc"}) {
+    F(support::format("b.%s l", cc).c_str(), 0.5, 1, kBr);
+  }
+
+  // ---- Loads -------------------------------------------------------------
+  const char* kLd = "LD0|LD1|LD2";
+  // Integer loads: 4-cycle L1 latency, 3/cy.
+  F("ldr r64,m64", 1.0 / 3, 4, kLd);
+  F("ldr r32,m32", 1.0 / 3, 4, kLd);
+  F("ldrsw r64,m32", 1.0 / 3, 4, kLd);
+  F("ldp r64,r64,m128", 1.0 / 3, 4, kLd);
+  F("ldp r32,r32,m64", 1.0 / 3, 4, kLd);
+  // FP/vector loads: 6-cycle L1 latency.
+  F("ldr v128,m128", 1.0 / 3, 6, kLd);
+  F("ldr v64,m64", 1.0 / 3, 6, kLd);
+  F("ldr v32,m32", 1.0 / 3, 6, kLd);
+  F("ldur v128,m128", 1.0 / 3, 6, kLd);
+  F("ldur v64,m64", 1.0 / 3, 6, kLd);
+  F("ldp v128,v128,m256", 2.0 / 3, 6, "2xLD0|LD1|LD2");
+  F("ldp v64,v64,m128", 1.0 / 3, 6, kLd);
+  F("ld1 v128,m128", 1.0 / 3, 6, kLd);
+  F("ld1 v128,v128,m256", 2.0 / 3, 6, "2xLD0|LD1|LD2");
+  F("ld1r v128,m64", 1.0 / 3, 8, "LD0|LD1|LD2;0.25xV0|V1|V2|V3");
+  // SVE contiguous loads (z = 128 bit on V2).
+  F("ld1d v128,p,m128", 1.0 / 3, 6, kLd);
+  F("ld1w v128,p,m128", 1.0 / 3, 6, kLd);
+  F("ld1rd v128,p,m64", 1.0 / 3, 8, "LD0|LD1|LD2;0.25xV0|V1|V2|V3");
+  F("ldnt1d v128,p,m128", 1.0 / 3, 6, kLd);
+  // SVE gather: paper Table III: 1/4 cache line per cycle, latency 9.
+  // A 128-bit z gather fetches 2 elements (worst case 2 lines -> 8 cy).
+  F("ld1d v128,p,g128", 8.0, 9, "2xLD0|LD1|LD2");
+  F("ld1w v128,p,g128", 8.0, 9, "2xLD0|LD1|LD2");
+  // Synthetic micro-ops for folded accesses (rare on AArch64).
+  F("_load.m32", 1.0 / 3, 4, kLd);
+  F("_load.m64", 1.0 / 3, 4, kLd);
+  F("_load.m128", 1.0 / 3, 6, kLd);
+  F("_load.m256", 2.0 / 3, 6, "2xLD0|LD1|LD2");
+  F("_gather.m128", 8.0, 9, "2xLD0|LD1|LD2");
+  F("prfm i,m64", 1.0 / 3, 0, kLd);
+  F("prfm l,m64", 1.0 / 3, 0, kLd);
+
+  // ---- Stores ------------------------------------------------------------
+  const char* kSt = "ST0|ST1";
+  F("str r64,m64", 0.5, 1, kSt);
+  F("str r32,m32", 0.5, 1, kSt);
+  F("stp r64,r64,m128", 0.5, 1, kSt);
+  F("str v128,m128", 0.5, 1, kSt);
+  F("str v64,m64", 0.5, 1, kSt);
+  F("str v32,m32", 0.5, 1, kSt);
+  F("stur v128,m128", 0.5, 1, kSt);
+  F("stur v64,m64", 0.5, 1, kSt);
+  F("stp v128,v128,m256", 1.0, 1, "2xST0|ST1");
+  F("stp v64,v64,m128", 0.5, 1, kSt);
+  F("st1 v128,m128", 0.5, 1, kSt);
+  F("st1 v128,v128,m256", 1.0, 1, "2xST0|ST1");
+  F("st1d v128,p,m128", 0.5, 1, kSt);
+  F("st1w v128,p,m128", 0.5, 1, kSt);
+  F("stnt1d v128,p,m128", 0.5, 1, kSt);
+  F("_store.m32", 0.5, 1, kSt);
+  F("_store.m64", 0.5, 1, kSt);
+  F("_store.m128", 0.5, 1, kSt);
+  F("_store.m256", 1.0, 1, "2xST0|ST1");
+
+  // ---- FP / ASIMD / SVE --------------------------------------------------
+  const char* kV = "V0|V1|V2|V3";
+  // Latencies per Table III: ADD 2, MUL 3, FMA 4.
+  for (const char* w : {"v128", "v64", "v32"}) {
+    for (const char* op : {"fadd", "fsub", "fmax", "fmin", "fmaxnm", "fminnm",
+                           "fabd"}) {
+      F(support::format("%s %s,%s,%s", op, w, w, w).c_str(), 0.25, 2, kV);
+    }
+    F(support::format("fmul %s,%s,%s", w, w, w).c_str(), 0.25, 3, kV);
+    for (const char* op : {"fmla", "fmls"}) {
+      F(support::format("%s %s,%s,%s", op, w, w, w).c_str(), 0.25, 4, kV);
+    }
+    for (const char* op : {"fneg", "fabs"}) {
+      F(support::format("%s %s,%s", op, w, w).c_str(), 0.25, 2, kV);
+    }
+    F(support::format("fsqrt %s,%s", w, w).c_str(), 7.0, 13, "7xV0");
+  }
+  // Scalar 4-operand forms (A64 fmadd family): latency 4 per Table III.
+  for (const char* w : {"v64", "v32"}) {
+    for (const char* op : {"fmadd", "fmsub", "fnmadd", "fnmsub"}) {
+      F(support::format("%s %s,%s,%s,%s", op, w, w, w, w).c_str(), 0.25, 4, kV);
+    }
+    F(support::format("fdiv %s,%s,%s", w, w, w).c_str(), 2.5, 12, "2.5xV0");
+    F(support::format("fsqrt %s,%s", w, w).c_str(), 7.0, 13, "7xV0");
+    F(support::format("fcmp %s,%s", w, w).c_str(), 0.5, 2, "V0|V1");
+    F(support::format("fcmpe %s,%s", w, w).c_str(), 0.5, 2, "V0|V1");
+    F(support::format("fcsel %s,%s,%s", w, w, w).c_str(), 0.25, 2, kV);
+  }
+  // Vector divide: Table III gives 0.4 DP elem/cy (inv 5) and latency 5.
+  F("fdiv v128,v128,v128", 5.0, 5, "5xV0");
+  // SVE predicated arithmetic (merging forms read the destination).
+  for (const char* op : {"fadd", "fsub", "fmax", "fmin", "fmaxnm", "fminnm"}) {
+    F(support::format("%s v128,p,v128,v128", op).c_str(), 0.25, 2, kV);
+  }
+  F("fmul v128,p,v128,v128", 0.25, 3, kV);
+  for (const char* op : {"fmla", "fmls", "fmad", "fmsb", "fnmla"}) {
+    F(support::format("%s v128,p,v128,v128", op).c_str(), 0.25, 4, kV);
+    F(support::format("%s v128,p,v128,v128,v128", op).c_str(), 0.25, 4, kV);
+  }
+  F("fdiv v128,p,v128,v128", 5.0, 5, "5xV0");
+  F("fdivr v128,p,v128,v128", 5.0, 5, "5xV0");
+  F("fneg v128,p,v128", 0.25, 2, kV);
+  F("fabs v128,p,v128", 0.25, 2, kV);
+  F("fcmgt p,p,v128,v128", 0.5, 2, "V0|V1");
+  F("fcmge p,p,v128,v128", 0.5, 2, "V0|V1");
+  F("sel v128,p,v128,v128", 0.25, 2, kV);
+  // Reductions.
+  F("faddp v128,v128,v128", 0.5, 4, "V0|V1|V2|V3");
+  F("faddp v64,v128", 0.5, 4, "V0|V1|V2|V3");
+  F("faddv v64,p,v128", 1.0, 6, "2xV0|V1");
+  F("fadda v64,p,v64,v128", 4.0, 8, "4xV0");
+  F("addv v32,v128", 0.5, 4, "V0|V1");
+  // Moves / permutes / converts.
+  F("movi v128,i", 0.25, 2, kV);
+  F("movi v64,i", 0.25, 2, kV);
+  F("fmov v64,i", 0.25, 2, kV);
+  F("fmov v32,i", 0.25, 2, kV);
+  F("fmov v64,v64", 0.25, 2, kV);
+  F("fmov v64,r64", 0.5, 3, "M0|M1");
+  F("fmov r64,v64", 0.5, 2, "V0|V1");
+  F("mov v128,v128", 0.25, 2, kV);
+  F("mov v64,v64", 0.25, 2, kV);
+  F("mov v64,v128", 0.25, 2, kV);  // lane extract alias (mov d0, v1.d[1])
+  F("dup v128,r64", 0.5, 3, "M0|M1;0.25xV0|V1|V2|V3");
+  F("dup v128,v128", 0.25, 2, kV);
+  F("ins v128,r64", 0.5, 3, "M0|M1;0.25xV0|V1|V2|V3");
+  F("ext v128,v128,v128,i", 0.25, 2, kV);
+  F("zip1 v128,v128,v128", 0.25, 2, kV);
+  F("zip2 v128,v128,v128", 0.25, 2, kV);
+  F("uzp1 v128,v128,v128", 0.25, 2, kV);
+  F("uzp2 v128,v128,v128", 0.25, 2, kV);
+  F("trn1 v128,v128,v128", 0.25, 2, kV);
+  F("trn2 v128,v128,v128", 0.25, 2, kV);
+  for (const char* w : {"v128", "v64", "v32"}) {
+    F(support::format("scvtf %s,%s", w, w).c_str(), 0.25, 3, kV);
+    F(support::format("ucvtf %s,%s", w, w).c_str(), 0.25, 3, kV);
+    F(support::format("fcvt %s,%s", w, w).c_str(), 0.25, 3, kV);
+    F(support::format("fcvtzs %s,%s", w, w).c_str(), 0.25, 3, kV);
+  }
+  F("scvtf v64,r64", 0.5, 6, "M0|M1;0.5xV0|V1");
+  F("scvtf v64,r32", 0.5, 6, "M0|M1;0.5xV0|V1");
+  F("scvtf v128,p,v128", 0.25, 3, kV);
+  F("fcvtzs r64,v64", 0.5, 5, "V0|V1;0.5xM0|M1");
+
+  // ---- SVE predicate / loop control --------------------------------------
+  F("whilelo p,r64,r64", 0.5, 2, kAluM);
+  F("whilelt p,r64,r64", 0.5, 2, kAluM);
+  F("ptrue p", 0.5, 2, kAluM);
+  F("ptrue p,i", 0.5, 2, kAluM);
+  F("ptest p,p", 0.5, 1, kAluM);
+  F("pfalse p", 0.5, 1, kAluM);
+  F("incb r64", 1.0 / 6, 1, kAluAll);
+  F("incw r64", 1.0 / 6, 1, kAluAll);
+  F("incd r64", 1.0 / 6, 1, kAluAll);
+  F("cntb r64", 1.0 / 6, 1, kAluAll);
+  F("cntw r64", 1.0 / 6, 1, kAluAll);
+  F("cntd r64", 1.0 / 6, 1, kAluAll);
+  F("index v128,r64,i", 0.5, 4, "M0|M1;0.25xV0|V1|V2|V3");
+  F("index v128,i,i", 0.5, 4, "M0|M1;0.25xV0|V1|V2|V3");
+  F("dup v128,i", 0.25, 2, kV);
+
+  // ---- Extended coverage: NEON/SVE integer and permutes ------------------
+  for (const char* w : {"v128", "v64"}) {
+    for (const char* op : {"add", "sub", "smin", "smax", "umin", "umax",
+                           "abs", "neg"}) {
+      bool unary = std::string(op) == "abs" || std::string(op) == "neg";
+      if (unary) {
+        F(support::format("%s %s,%s", op, w, w).c_str(), 0.25, 2, kV);
+      } else {
+        F(support::format("%s %s,%s,%s", op, w, w, w).c_str(), 0.25, 2, kV);
+      }
+    }
+    for (const char* op : {"and", "orr", "eor", "bic"}) {
+      F(support::format("%s %s,%s,%s", op, w, w, w).c_str(), 0.25, 2, kV);
+    }
+    F(support::format("mul %s,%s,%s", w, w, w).c_str(), 0.5, 4, "V0|V1");
+    F(support::format("shl %s,%s,i", w, w).c_str(), 0.5, 2, "V1|V3");
+    F(support::format("ushr %s,%s,i", w, w).c_str(), 0.5, 2, "V1|V3");
+    F(support::format("sshr %s,%s,i", w, w).c_str(), 0.5, 2, "V1|V3");
+    F(support::format("cnt %s,%s", w, w).c_str(), 0.5, 2, "V0|V1");
+    F(support::format("addp %s,%s,%s", w, w, w).c_str(), 0.5, 2, "V1|V3");
+    F(support::format("rev64 %s,%s", w, w).c_str(), 0.25, 2, kV);
+  }
+  // SVE integer / predicated forms.
+  F("add v128,p,v128,v128", 0.25, 2, kV);
+  F("sub v128,p,v128,v128", 0.25, 2, kV);
+  F("mul v128,p,v128,v128", 0.5, 4, "V0|V1");
+  F("and v128,p,v128,v128", 0.25, 2, kV);
+  F("orr v128,p,v128,v128", 0.25, 2, kV);
+  F("eor v128,p,v128,v128", 0.25, 2, kV);
+  F("lsl v128,p,v128,v128", 0.5, 2, "V1|V3");
+  F("asr v128,p,v128,v128", 0.5, 2, "V1|V3");
+  F("cmpgt p,p,v128,v128", 0.5, 2, "V0|V1");
+  F("cmpeq p,p,v128,v128", 0.5, 2, "V0|V1");
+  F("cmplo p,p,v128,v128", 0.5, 2, "V0|V1");
+  F("movprfx v128,v128", 0.25, 2, kV);     // often zero-cycle via rename
+  F("movprfx v128,p,v128", 0.25, 2, kV);
+  F("splice v128,p,v128,v128", 0.5, 4, "V1|V3");
+  F("compact v128,p,v128", 1.0, 4, "V0");
+  F("lastb r64,p,v128", 1.0, 6, "V1;0.5xM0|M1");
+  F("punpklo p,p", 0.5, 2, kAluM);
+  F("punpkhi p,p", 0.5, 2, kAluM);
+  F("uzp1 p,p,p", 0.5, 2, kAluM);
+  F("brka p,p,p", 1.0, 2, "M0");
+  F("and p,p,p,p", 0.5, 1, kAluM);
+  // FP rounding / reciprocal family.
+  for (const char* w : {"v128", "v64"}) {
+    for (const char* op : {"frintm", "frinta", "frintp", "frintz", "frinte",
+                           "frecpe", "frsqrte"}) {
+      F(support::format("%s %s,%s", op, w, w).c_str(), 0.25, 3, kV);
+    }
+    F(support::format("frecps %s,%s,%s", w, w, w).c_str(), 0.25, 4, kV);
+    F(support::format("frsqrts %s,%s,%s", w, w, w).c_str(), 0.25, 4, kV);
+    F(support::format("fmaxv v32,%s", w).c_str(), 1.0, 6, "2xV0|V1");
+    F(support::format("fminv v32,%s", w).c_str(), 1.0, 6, "2xV0|V1");
+  }
+  F("fmaxnmv v64,p,v128", 1.0, 6, "2xV0|V1");
+  // More A64 integer.
+  for (const char* w : {"r64", "r32"}) {
+    for (const char* op : {"csinc", "csinv", "csneg", "cinc", "cneg"}) {
+      F(support::format("%s %s,%s,%s", op, w, w, w).c_str(), 0.25, 1,
+        "I0|I1|I2|I3");
+    }
+    F(support::format("rbit %s,%s", w, w).c_str(), 1.0 / 6, 1, kAluAll);
+    F(support::format("rev %s,%s", w, w).c_str(), 1.0 / 6, 1, kAluAll);
+    F(support::format("clz %s,%s", w, w).c_str(), 1.0 / 6, 1, kAluAll);
+    F(support::format("extr %s,%s,%s,i", w, w, w).c_str(), 0.5, 3, kAluM);
+    F(support::format("bfi %s,%s,i,i", w, w).c_str(), 0.5, 2, kAluM);
+    F(support::format("ubfx %s,%s,i,i", w, w).c_str(), 1.0 / 6, 1, kAluAll);
+    F(support::format("sbfx %s,%s,i,i", w, w).c_str(), 1.0 / 6, 1, kAluAll);
+    F(support::format("ccmp %s,%s,i,l", w, w).c_str(), 0.5, 1, kAluM);
+    F(support::format("ccmp %s,i,i,l", w).c_str(), 0.5, 1, kAluM);
+  }
+  F("smulh r64,r64,r64", 1.0, 3, "M0");
+  F("umulh r64,r64,r64", 1.0, 3, "M0");
+  // Narrow loads/stores and structure forms.
+  F("ldrb r32,m8", 1.0 / 3, 4, kLd);
+  F("ldrh r32,m16", 1.0 / 3, 4, kLd);
+  F("strb r32,m8", 0.5, 1, kSt);
+  F("strh r32,m16", 0.5, 1, kSt);
+  F("ld2 v128,v128,m256", 1.0, 8, "2xLD0|LD1|LD2;0.5xV1|V3");
+  F("st2 v128,v128,m256", 1.5, 4, "2xST0|ST1;0.75xV1|V3");
+  F("ld1b v128,p,m128", 1.0 / 3, 6, kLd);
+  F("st1b v128,p,m128", 0.5, 1, kSt);
+  F("ldp r64,r64,m128,i", 1.0 / 3, 4, kLd);  // writeback pair forms
+  F("ld3 v128,v128,v128,m384", 1.5, 9, "3xLD0|LD1|LD2;1xV1|V3");
+
+  // Late accumulator forwarding on the fused multiply-accumulate family
+  // (Arm SOG: accumulates forward in 2 cycles).  Consumed only when the
+  // analyzer/testbed enable the feature; the defaults keep the paper's
+  // OSACA-equivalent behaviour (full latency in the chain).
+  for (const char* f :
+       {"fmla v128,v128,v128", "fmla v64,v64,v64", "fmla v32,v32,v32",
+        "fmls v128,v128,v128", "fmls v64,v64,v64", "fmls v32,v32,v32",
+        "fmla v128,p,v128,v128", "fmls v128,p,v128,v128",
+        "fmadd v64,v64,v64,v64", "fmadd v32,v32,v32,v32",
+        "fmsub v64,v64,v64,v64", "fnmadd v64,v64,v64,v64"}) {
+    mm.set_accumulator_latency(f, 2.0);
+  }
+
+  return mm;
+}
+
+}  // namespace incore::uarch::detail

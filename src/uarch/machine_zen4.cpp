@@ -1,0 +1,329 @@
+// Machine model: AMD Zen 4 (Genoa, EPYC 9684X).
+//
+// Port layout (13 ports):
+//   ALU0..ALU3    integer ALUs (4 units; branches resolve on ALU0/ALU1)
+//   AGU0..AGU2    address generation: loads on AGU0/AGU1 (2x256-bit loads/cy),
+//                 store addresses on AGU2 (1 store/cy)
+//   FP0..FP3      FP/vector pipes (FMUL/FMA on FP0/FP1, FADD on FP2/FP3)
+//   FST0,FST1     FP store-data pipes (a 256-bit store occupies both)
+//
+// Zen 4 executes AVX-512 by double-pumping the 256-bit datapath: every
+// 512-bit op is two 256-bit micro-ops on the same ports.
+//
+// Headline values anchored to the paper's Table III:
+//   VEC(4xDP) ADD/MUL/FMA: 2/cy -> 8 elem/cy, lat 3/3/4
+//   scalar    ADD/MUL/FMA: 2/cy,              lat 3/3/4
+//   VEC FDIV ymm: inv 5 (0.8 elem/cy), lat 13; scalar: inv 5, lat 13
+//   gather: 1/8 cache line per cycle, lat 13
+
+#include "uarch/model.hpp"
+
+#include <string>
+
+#include "support/strings.hpp"
+
+namespace incore::uarch::detail {
+
+MachineModel build_zen4() {
+  MachineModel mm("zen4", Micro::Zen4, asmir::Isa::X86_64,
+                  {"ALU0", "ALU1", "ALU2", "ALU3", "AGU0", "AGU1", "AGU2",
+                   "FP0", "FP1", "FP2", "FP3", "FST0", "FST1"});
+  mm.simd_width_bits = 256;
+  mm.l1_load_latency = 4.0;
+  mm.loads_per_cycle = 2;
+  mm.stores_per_cycle = 1;
+  CoreResources& r = mm.resources();
+  r.decode_width = 6;  // op-cache sustained
+  r.rename_width = 6;
+  r.retire_width = 6;
+  r.rob_size = 320;
+  r.scheduler_size = 96;
+  r.load_queue = 88;
+  r.store_queue = 64;
+
+  auto F = [&mm](const char* form, double tp, double lat, const char* ports) {
+    mm.add(form, tp, lat, ports);
+  };
+  auto S = [&mm](const std::string& form, double tp, double lat,
+                 const char* ports) { mm.add(form, tp, lat, ports); };
+
+  // ---- Integer ALU -------------------------------------------------------
+  const char* kAlu = "ALU0|ALU1|ALU2|ALU3";
+  for (const char* w : {"r64", "r32"}) {
+    for (const char* op : {"add", "sub", "and", "or", "xor"}) {
+      S(support::format("%s %s,%s", op, w, w), 0.25, 1, kAlu);
+      S(support::format("%s i,%s", op, w), 0.25, 1, kAlu);
+    }
+    for (const char* op : {"inc", "dec", "neg", "not"}) {
+      S(support::format("%s %s", op, w), 0.25, 1, kAlu);
+    }
+    S(support::format("cmp %s,%s", w, w), 0.25, 1, kAlu);
+    S(support::format("cmp i,%s", w), 0.25, 1, kAlu);
+    S(support::format("test %s,%s", w, w), 0.25, 1, kAlu);
+    S(support::format("test i,%s", w), 0.25, 1, kAlu);
+    S(support::format("mov %s,%s", w, w), 0.25, 1, kAlu);  // pre-elimination
+    S(support::format("mov i,%s", w), 0.25, 1, kAlu);
+    for (const char* op : {"shl", "sal", "shr", "sar"}) {
+      S(support::format("%s i,%s", op, w), 0.5, 1, "ALU1|ALU2");
+      S(support::format("%s %s", op, w), 0.5, 1, "ALU1|ALU2");
+    }
+    S(support::format("imul %s,%s", w, w), 1.0, 3, "ALU1");
+    S(support::format("imul i,%s,%s", w, w), 1.0, 3, "ALU1");
+    S(support::format("lea m64,%s", w), 0.25, 1, kAlu);
+    S(support::format("cmove %s,%s", w, w), 0.25, 1, kAlu);
+    S(support::format("cmovne %s,%s", w, w), 0.25, 1, kAlu);
+    S(support::format("cmovl %s,%s", w, w), 0.25, 1, kAlu);
+    S(support::format("cmovg %s,%s", w, w), 0.25, 1, kAlu);
+  }
+  F("movslq r32,r64", 0.25, 1, kAlu);
+  F("nop", 0.125, 0, "");
+
+  // ---- Branches ----------------------------------------------------------
+  for (const char* b : {"jmp", "je", "jne", "jz", "jnz", "jg", "jge", "jl",
+                        "jle", "ja", "jae", "jb", "jbe", "js", "jns"}) {
+    S(support::format("%s l", b), 0.5, 1, "ALU0|ALU1");
+  }
+  F("call l", 1.0, 2, "ALU0|ALU1;FST0|FST1;AGU2");
+  F("ret", 1.0, 2, "ALU0|ALU1;AGU0|AGU1");
+
+  // ---- Loads -------------------------------------------------------------
+  const char* kLd = "AGU0|AGU1";
+  F("mov m64,r64", 0.5, 4, kLd);
+  F("mov m32,r32", 0.5, 4, kLd);
+  F("movslq m32,r64", 0.5, 4, kLd);
+  F("movzbl m8,r32", 0.5, 4, kLd);
+  for (const char* m : {"vmovupd", "vmovapd", "vmovups", "vmovaps", "vmovdqu",
+                        "vmovdqa", "vmovdqu64", "vmovdqa64"}) {
+    S(support::format("%s m512,v512", m), 1.0, 7, "2xAGU0|AGU1");
+    S(support::format("%s m256,v256", m), 0.5, 7, kLd);
+    S(support::format("%s m128,v128", m), 0.5, 7, kLd);
+  }
+  for (const char* m : {"movupd", "movapd", "movsd", "vmovsd", "movss",
+                        "vmovss"}) {
+    int w = (std::string(m).find("sd") != std::string::npos) ? 64
+            : (std::string(m).find("ss") != std::string::npos) ? 32
+                                                               : 128;
+    S(support::format("%s m%d,v128", m, w), 0.5, 7, kLd);
+  }
+  F("vbroadcastsd m64,v512", 1.0, 8, "2xAGU0|AGU1");
+  F("vbroadcastsd m64,v256", 0.5, 8, kLd);
+  F("vmovddup m64,v128", 0.5, 8, kLd);
+  F("_load.m8", 0.5, 4, kLd);
+  F("_load.m16", 0.5, 4, kLd);
+  F("_load.m32", 0.5, 4, kLd);
+  F("_load.m64", 0.5, 4, kLd);
+  F("_load.m128", 0.5, 7, kLd);
+  F("_load.m256", 0.5, 7, kLd);
+  F("_load.m512", 1.0, 7, "2xAGU0|AGU1");
+  // Gathers: Table III: 1/8 cache line per cycle, latency 13.  A ymm gather
+  // collects 4 DP elements (worst case 4 lines -> 32 cy).
+  F("vgatherdpd g256,v256,k", 32.0, 13, "4xAGU0|AGU1");
+  F("vgatherqpd g256,v256,k", 32.0, 13, "4xAGU0|AGU1");
+  F("vgatherdpd g512,v512,k", 64.0, 13, "8xAGU0|AGU1");
+  F("vgatherqpd g512,v512,k", 64.0, 13, "8xAGU0|AGU1");
+  F("_gather.m256", 32.0, 13, "4xAGU0|AGU1");
+  F("_gather.m512", 64.0, 13, "8xAGU0|AGU1");
+
+  // ---- Stores ------------------------------------------------------------
+  // Store-data pipes FST0/FST1; one store-address AGU -> 1 store/cy.
+  F("mov r64,m64", 1.0, 1, "FST0|FST1;AGU2");
+  F("mov r32,m32", 1.0, 1, "FST0|FST1;AGU2");
+  F("mov i,m64", 1.0, 1, "FST0|FST1;AGU2");
+  F("mov i,m32", 1.0, 1, "FST0|FST1;AGU2");
+  for (const char* m : {"vmovupd", "vmovapd", "vmovups", "vmovaps",
+                        "vmovdqu64"}) {
+    S(support::format("%s v512,m512", m), 2.0, 1, "2xFST0;2xFST1;2xAGU2");
+    S(support::format("%s v256,m256", m), 1.0, 1, "FST0;FST1;AGU2");
+    S(support::format("%s v128,m128", m), 1.0, 1, "FST0|FST1;AGU2");
+  }
+  F("movupd v128,m128", 1.0, 1, "FST0|FST1;AGU2");
+  F("movapd v128,m128", 1.0, 1, "FST0|FST1;AGU2");
+  F("movsd v128,m64", 1.0, 1, "FST0|FST1;AGU2");
+  F("vmovsd v128,m64", 1.0, 1, "FST0|FST1;AGU2");
+  // Non-temporal stores.
+  F("vmovntpd v512,m512", 2.0, 1, "2xFST0;2xFST1;2xAGU2");
+  F("vmovntpd v256,m256", 1.0, 1, "FST0;FST1;AGU2");
+  F("movntpd v128,m128", 1.0, 1, "FST0|FST1;AGU2");
+  F("movnti r64,m64", 1.0, 1, "FST0|FST1;AGU2");
+  F("_store.m32", 1.0, 1, "FST0|FST1;AGU2");
+  F("_store.m64", 1.0, 1, "FST0|FST1;AGU2");
+  F("_store.m128", 1.0, 1, "FST0|FST1;AGU2");
+  F("_store.m256", 1.0, 1, "FST0;FST1;AGU2");
+  F("_store.m512", 2.0, 1, "2xFST0;2xFST1;2xAGU2");
+
+  // ---- FP / vector arithmetic -------------------------------------------
+  // FADD on FP2/FP3 (lat 3), FMUL/FMA on FP0/FP1 (lat 3/4).
+  const char* kFAdd = "FP2|FP3";
+  const char* kFMul = "FP0|FP1";
+  for (const char* wreg : {"v256", "v128"}) {
+    for (const char* op : {"vaddpd", "vsubpd", "vaddps", "vsubps", "vmaxpd",
+                           "vminpd"}) {
+      S(support::format("%s %s,%s,%s", op, wreg, wreg, wreg), 0.5, 3, kFAdd);
+    }
+    for (const char* op : {"vmulpd", "vmulps"}) {
+      S(support::format("%s %s,%s,%s", op, wreg, wreg, wreg), 0.5, 3, kFMul);
+    }
+    for (const char* fam : {"vfmadd", "vfmsub", "vfnmadd", "vfnmsub"}) {
+      for (const char* v : {"132", "213", "231"}) {
+        S(support::format("%s%spd %s,%s,%s", fam, v, wreg, wreg, wreg), 0.5, 4,
+          kFMul);
+      }
+    }
+  }
+  // 512-bit forms: double-pumped (2 micro-ops, inv throughput 1).
+  for (const char* op : {"vaddpd", "vsubpd", "vmaxpd", "vminpd"}) {
+    S(support::format("%s v512,v512,v512", op), 1.0, 3, "2xFP2|FP3");
+  }
+  F("vmulpd v512,v512,v512", 1.0, 3, "2xFP0|FP1");
+  for (const char* fam : {"vfmadd", "vfmsub", "vfnmadd", "vfnmsub"}) {
+    for (const char* v : {"132", "213", "231"}) {
+      S(support::format("%s%spd v512,v512,v512", fam, v), 1.0, 4, "2xFP0|FP1");
+    }
+  }
+  // Scalar arithmetic: ADD lat 3, MUL 3, FMA 4 (Table III).
+  for (const char* op : {"addsd", "vaddsd", "subsd", "vsubsd", "addss",
+                         "vaddss", "maxsd", "vmaxsd", "minsd", "vminsd"}) {
+    bool three_op = op[0] == 'v';
+    S(three_op ? support::format("%s v128,v128,v128", op)
+               : support::format("%s v128,v128", op),
+      0.5, 3, kFAdd);
+  }
+  for (const char* op : {"mulsd", "vmulsd", "mulss", "vmulss"}) {
+    bool three_op = op[0] == 'v';
+    S(three_op ? support::format("%s v128,v128,v128", op)
+               : support::format("%s v128,v128", op),
+      0.5, 3, kFMul);
+  }
+  for (const char* fam : {"vfmadd", "vfmsub", "vfnmadd", "vfnmsub"}) {
+    for (const char* v : {"132", "213", "231"}) {
+      S(support::format("%s%ssd v128,v128,v128", fam, v), 0.5, 4, kFMul);
+    }
+  }
+  // Divide / sqrt: divider behind FP1 (non-pipelined).
+  F("vdivpd v512,v512,v512", 10.0, 13, "10xFP1");
+  F("vdivpd v256,v256,v256", 5.0, 13, "5xFP1");
+  F("vdivpd v128,v128,v128", 4.0, 13, "4xFP1");
+  F("divpd v128,v128", 4.0, 13, "4xFP1");
+  F("divsd v128,v128", 6.5, 13, "6.5xFP1");   // model value; silicon measures ~5
+  F("vdivsd v128,v128,v128", 6.5, 13, "6.5xFP1");
+  F("divss v128,v128", 3.5, 10, "3.5xFP1");
+  F("vdivss v128,v128,v128", 3.5, 10, "3.5xFP1");
+  F("vsqrtpd v256,v256", 9.0, 21, "9xFP1");
+  F("sqrtsd v128,v128", 9.0, 21, "9xFP1");
+  F("vsqrtsd v128,v128,v128", 9.0, 21, "9xFP1");
+  // Bitwise / blend / moves.
+  for (const char* wreg : {"v256", "v128"}) {
+    for (const char* op : {"vxorpd", "vandpd", "vorpd", "vxorps", "vandps"}) {
+      S(support::format("%s %s,%s,%s", op, wreg, wreg, wreg), 0.25, 1,
+        "FP0|FP1|FP2|FP3");
+    }
+    S(support::format("vblendvpd %s,%s,%s,%s", wreg, wreg, wreg, wreg), 0.5, 1,
+      "FP0|FP1");
+    S(support::format("vmovapd %s,%s", wreg, wreg), 0.25, 1, "FP0|FP1|FP2|FP3");
+    S(support::format("vmovupd %s,%s", wreg, wreg), 0.25, 1, "FP0|FP1|FP2|FP3");
+  }
+  F("vxorpd v512,v512,v512", 0.5, 1, "2xFP0|FP1|FP2|FP3");
+  F("vmovapd v512,v512", 0.5, 1, "2xFP0|FP1|FP2|FP3");
+  F("xorpd v128,v128", 0.25, 1, "FP0|FP1|FP2|FP3");
+  F("movapd v128,v128", 0.25, 1, "FP0|FP1|FP2|FP3");
+  F("movsd v128,v128", 0.5, 1, "FP0|FP1|FP2|FP3");
+  F("vmovsd v128,v128,v128", 0.5, 1, "FP0|FP1|FP2|FP3");
+  // Shuffles / permutes (FP1/FP2 shuffle network).
+  F("vextractf128 i,v256,v128", 1.0, 4, "FP1|FP2");
+  F("vextractf64x4 i,v512,v256", 1.0, 4, "FP1|FP2");
+  F("vextractf64x2 i,v512,v128", 1.0, 4, "FP1|FP2");
+  F("vperm2f128 i,v256,v256,v256", 1.0, 4, "FP1|FP2");
+  F("vpermilpd i,v128,v128", 0.5, 1, "FP1|FP2");
+  F("vpermilpd i,v256,v256", 0.5, 1, "FP1|FP2");
+  F("vunpckhpd v128,v128,v128", 0.5, 1, "FP1|FP2");
+  F("unpckhpd v128,v128", 0.5, 1, "FP1|FP2");
+  F("vshufpd i,v256,v256,v256", 0.5, 1, "FP1|FP2");
+  F("vhaddpd v128,v128,v128", 2.0, 6, "FP1|FP2;2xFP2");
+  F("haddpd v128,v128", 2.0, 6, "FP1|FP2;2xFP2");
+  F("vbroadcastsd v128,v512", 1.0, 4, "2xFP1|FP2");
+  F("vbroadcastsd v128,v256", 1.0, 4, "FP1|FP2");
+  // Converts.
+  F("vcvtsi2sd r64,v128,v128", 1.0, 10, "ALU1;FP0|FP1");
+  F("vcvtsi2sd r32,v128,v128", 1.0, 10, "ALU1;FP0|FP1");
+  F("cvtsi2sd r64,v128", 1.0, 10, "ALU1;FP0|FP1");
+  F("vcvttsd2si v128,r64", 1.0, 10, "FP0|FP1;ALU1");
+  F("cvttsd2si v128,r64", 1.0, 10, "FP0|FP1;ALU1");
+  F("vcvtdq2pd v128,v256", 1.0, 7, "FP1|FP2;FP0|FP1");
+  // AVX-512 mask handling (Zen 4 supports AVX-512 with k registers).
+  F("vcmppd i,v512,v512,k", 2.0, 5, "2xFP0|FP1");
+  F("vcmppd i,v256,v256,k", 1.0, 5, "FP0|FP1");
+  F("vcmppd i,v256,v256,v256", 0.5, 4, "FP0|FP1");
+  F("kmovw k,k", 0.5, 1, "FP0|FP1");
+  F("kmovw r32,k", 1.0, 3, "FP1");
+  F("kmovw k,r32", 1.0, 3, "FP1");
+  F("kmovb k,r32", 1.0, 3, "FP1");
+  F("kortestw k,k", 1.0, 3, "FP1");
+  F("kandw k,k,k", 0.5, 1, "FP0|FP1");
+  F("knotw k,k", 0.5, 1, "FP0|FP1");
+  F("vzeroupper", 0.25, 0, "");
+
+  // ---- Extended coverage: integer SIMD -----------------------------------
+  for (const char* wreg : {"v256", "v128"}) {
+    const char* all_fp = "FP0|FP1|FP2|FP3";
+    for (const char* op : {"vpaddd", "vpaddq", "vpsubd", "vpsubq", "vpminsd",
+                           "vpmaxsd", "vpabsd"}) {
+      S(support::format("%s %s,%s,%s", op, wreg, wreg, wreg), 0.25, 1, all_fp);
+    }
+    for (const char* op : {"vpand", "vpor", "vpxor", "vpandq", "vporq",
+                           "vpxorq", "vpandn"}) {
+      S(support::format("%s %s,%s,%s", op, wreg, wreg, wreg), 0.25, 1, all_fp);
+    }
+    S(support::format("vpmulld %s,%s,%s", wreg, wreg, wreg), 0.5, 3,
+      "FP0|FP1");
+    for (const char* op : {"vpsllq", "vpsrlq", "vpslld", "vpsrld"}) {
+      S(support::format("%s i,%s,%s", op, wreg, wreg), 0.5, 1, "FP1|FP2");
+    }
+    for (const char* op : {"vaddpd", "vmulpd", "vfmadd231pd"}) {
+      S(support::format("%s %s,%s,%s,k", op, wreg, wreg, wreg), 0.5,
+        std::string(op) == "vfmadd231pd" ? 4 : 3,
+        std::string(op) == "vaddpd" ? "FP2|FP3" : "FP0|FP1");
+    }
+    S(support::format("vmovupd %s,%s,k", wreg, wreg), 0.5, 1, all_fp);
+  }
+  // 512-bit double-pumped integer SIMD.
+  for (const char* op : {"vpaddd", "vpaddq", "vpxorq", "vpandq"}) {
+    S(support::format("%s v512,v512,v512", op), 0.5, 1,
+      "2xFP0|FP1|FP2|FP3");
+  }
+  F("vmovupd m512,v512,k", 1.0, 8, "2xAGU0|AGU1");
+  F("vmovupd m256,v256,k", 0.5, 8, kLd);
+  F("vmovupd v512,m512,k", 2.0, 1, "2xFST0;2xFST1;2xAGU2");
+  F("vmovupd v256,m256,k", 1.0, 1, "FST0;FST1;AGU2");
+  // Single precision / conversions.
+  F("vdivps v256,v256,v256", 4.0, 10, "4xFP1");
+  F("vsqrtps v256,v256", 7.0, 18, "7xFP1");
+  F("vcvtpd2ps v512,v256", 2.0, 7, "2xFP1|FP2");
+  F("vcvtps2pd v256,v512", 2.0, 7, "2xFP1|FP2");
+  F("vcvtdq2pd v256,v512", 2.0, 7, "2xFP1|FP2");
+  F("vpermpd i,v256,v256", 1.0, 4, "FP1|FP2");
+  F("vpermd v256,v256,v256", 1.0, 4, "FP1|FP2");
+  F("vinsertf128 i,v128,v256,v256", 1.0, 4, "FP1|FP2");
+  F("vpbroadcastd v128,v256", 1.0, 4, "FP1|FP2");
+  // Integer scalar odds and ends.
+  for (const char* w : {"r64", "r32"}) {
+    S(support::format("popcnt %s,%s", w, w), 0.25, 1, kAlu);
+    S(support::format("lzcnt %s,%s", w, w), 0.25, 1, kAlu);
+    S(support::format("tzcnt %s,%s", w, w), 0.25, 1, kAlu);
+    S(support::format("bswap %s", w), 0.5, 1, "ALU0|ALU1");
+    S(support::format("adc %s,%s", w, w), 0.25, 1, kAlu);
+    S(support::format("sbb %s,%s", w, w), 0.25, 1, kAlu);
+    S(support::format("rol i,%s", w), 0.5, 1, "ALU1|ALU2");
+    S(support::format("ror i,%s", w), 0.5, 1, "ALU1|ALU2");
+    S(support::format("sete %s", w), 0.25, 1, kAlu);
+    S(support::format("setne %s", w), 0.25, 1, kAlu);
+  }
+  F("div r64", 14.0, 14, "14xALU2");  // Zen 4's fast radix divider
+  F("idiv r64", 14.0, 14, "14xALU2");
+  F("mul r64", 1.0, 3, "ALU1");
+  F("movzwl m16,r32", 0.5, 4, kLd);
+  F("movsbl m8,r32", 0.5, 4, kLd);
+
+  return mm;
+}
+
+}  // namespace incore::uarch::detail

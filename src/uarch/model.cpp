@@ -1,0 +1,306 @@
+#include "uarch/model.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdlib>
+#include <unordered_set>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace incore::uarch {
+
+using support::ModelError;
+using support::UnknownInstruction;
+using support::format;
+using support::split;
+using support::trim;
+
+const char* to_string(Micro m) {
+  switch (m) {
+    case Micro::NeoverseV2: return "Neoverse V2";
+    case Micro::GoldenCove: return "Golden Cove";
+    case Micro::Zen4: return "Zen 4";
+  }
+  return "?";
+}
+
+const char* cpu_short_name(Micro m) {
+  switch (m) {
+    case Micro::NeoverseV2: return "GCS";
+    case Micro::GoldenCove: return "SPR";
+    case Micro::Zen4: return "Genoa";
+  }
+  return "?";
+}
+
+double InstrPerf::total_uops() const {
+  if (uops > 0.0) return uops;
+  double n = 0.0;
+  for (const PortUse& pu : port_uses) n += pu.cycles;
+  return std::max(n, 1.0);
+}
+
+MachineModel::MachineModel(std::string name, Micro micro, asmir::Isa isa,
+                           std::vector<std::string> ports)
+    : name_(std::move(name)), micro_(micro), isa_(isa), ports_(std::move(ports)) {
+  if (ports_.size() > 32)
+    throw ModelError("too many ports in model " + name_);
+}
+
+int MachineModel::port_index(std::string_view port_name) const {
+  for (std::size_t i = 0; i < ports_.size(); ++i) {
+    if (ports_[i] == port_name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+PortMask MachineModel::mask(std::string_view spec) const {
+  PortMask m = 0;
+  for (std::string_view p : split(spec, '|')) {
+    p = trim(p);
+    int idx = port_index(p);
+    if (idx < 0)
+      throw ModelError("unknown port '" + std::string(p) + "' in model " + name_);
+    m |= (PortMask{1} << idx);
+  }
+  return m;
+}
+
+void MachineModel::add(std::string_view form, double inverse_throughput,
+                       double latency, std::string_view ports_spec,
+                       double uops) {
+  InstrPerf perf;
+  perf.inverse_throughput = inverse_throughput;
+  perf.latency = latency;
+  perf.uops = uops;
+  for (std::string_view term : split(ports_spec, ';')) {
+    term = trim(term);
+    if (term.empty()) continue;
+    double cycles = 1.0;
+    std::string_view port_list = term;
+    if (auto x = term.find('x'); x != std::string_view::npos) {
+      // Only treat as multiplier if the prefix parses as a number.
+      std::string head(term.substr(0, x));
+      char* end = nullptr;
+      double v = std::strtod(head.c_str(), &end);
+      if (end == head.c_str() + head.size() && !head.empty()) {
+        cycles = v;
+        port_list = term.substr(x + 1);
+      }
+    }
+    perf.port_uses.push_back(PortUse{mask(port_list), cycles});
+  }
+  table_.emplace(std::string(form), std::move(perf));
+}
+
+void MachineModel::set(std::string_view form, double inverse_throughput,
+                       double latency, std::string_view ports_spec,
+                       double uops) {
+  table_.erase(std::string(form));
+  add(form, inverse_throughput, latency, ports_spec, uops);
+}
+
+void MachineModel::set_accumulator_latency(std::string_view form,
+                                           double latency) {
+  auto it = table_.find(std::string(form));
+  if (it == table_.end())
+    throw ModelError("set_accumulator_latency: unknown form '" +
+                     std::string(form) + "' in " + name_);
+  it->second.accumulator_latency = latency;
+}
+
+const InstrPerf* MachineModel::find(const std::string& form) const {
+  auto it = table_.find(form);
+  return it == table_.end() ? nullptr : &it->second;
+}
+
+const InstrPerf* MachineModel::find_mnemonic_fallback(
+    const std::string& mnemonic) const {
+  return find(mnemonic);
+}
+
+namespace {
+
+/// Builds the register-only compute form of an instruction with a folded
+/// memory access: every "mNNN" token is replaced by a register token
+/// matching the instruction's register operands (a folded scalar-SD load
+/// still computes in a 128-bit register).
+std::string reg_equivalent_form(const asmir::Instruction& ins) {
+  int vector_width = 0;
+  for (const auto& op : ins.ops) {
+    if (op.is_reg() && op.reg().cls == asmir::RegClass::Vector) {
+      vector_width = std::max(vector_width, op.reg().width_bits);
+    }
+  }
+  std::string out = ins.mnemonic;
+  if (!ins.ops.empty()) out += ' ';
+  for (std::size_t i = 0; i < ins.ops.size(); ++i) {
+    if (i) out += ',';
+    const auto& op = ins.ops[i];
+    if (op.is_mem()) {
+      int w = op.mem().width_bits;
+      if (vector_width > 0) {
+        out += support::format("v%d", vector_width);
+      } else {
+        out += w <= 32 ? "r32" : "r64";
+      }
+    } else {
+      out += asmir::form_token(op);
+    }
+  }
+  return out;
+}
+
+/// Mnemonic families whose only work is the memory transfer itself; they
+/// may decompose without a compute component.  Anything else with a folded
+/// access must resolve its compute form.
+bool is_pure_transfer(const std::string& m) {
+  static const std::unordered_set<std::string> kTransfer = {
+      "mov",      "movzbl",   "movslq",  "movsbl",    "movzwl",
+      "vmovupd",  "vmovapd",  "vmovups", "vmovaps",   "vmovdqu",
+      "vmovdqa",  "vmovdqu64","vmovdqa64", "movupd",  "movapd",
+      "movsd",    "vmovsd",   "movss",   "vmovss",    "vmovntpd",
+      "movntpd",  "movnti",   "vbroadcastsd", "vmovddup",
+      "ldr", "ldur", "ldp", "ldnp", "ldrsw", "ld1", "ld1r", "ld1d",
+      "ld1w", "ld1rd", "ldnt1d", "str", "stur", "stp", "stnp", "st1",
+      "st1d", "st1w", "stnt1d", "push", "pop", "prfm"};
+  return kTransfer.contains(m);
+}
+
+void append_uses(Resolved& r, const InstrPerf& perf) {
+  for (const PortUse& pu : perf.port_uses) r.port_uses.push_back(pu);
+  r.inverse_throughput = std::max(r.inverse_throughput, perf.inverse_throughput);
+  r.uops += perf.total_uops();
+}
+
+}  // namespace
+
+Resolved MachineModel::resolve(const asmir::Instruction& ins) const {
+  Resolved r;
+  r.uops = 0.0;
+  r.inverse_throughput = 0.0;
+  const std::string form = ins.form();
+
+  if (const InstrPerf* perf = find(form)) {
+    append_uses(r, *perf);
+    r.latency = perf->latency;
+    r.chain_latency = perf->latency;
+    r.accumulator_latency = perf->accumulator_latency;
+    r.has_load = ins.is_load;
+    r.has_store = ins.is_store;
+    const asmir::MemOperand* mem = ins.mem_operand();
+    r.is_gather = mem && mem->is_gather;
+    if (ins.is_load) r.load_latency = perf->latency;
+    return r;
+  }
+
+  // Folded-access decomposition: split memory micro-ops from the compute op.
+  const asmir::MemOperand* mem = ins.mem_operand();
+  if (mem != nullptr) {
+    bool load = false;
+    bool store = false;
+    for (const auto& op : ins.ops) {
+      if (op.is_mem()) {
+        load |= op.read;
+        store |= op.write;
+      }
+    }
+    const int w = mem->width_bits;
+    const InstrPerf* load_perf =
+        load ? find(format(mem->is_gather ? "_gather.m%d" : "_load.m%d", w))
+             : nullptr;
+    const InstrPerf* store_perf = store ? find(format("_store.m%d", w)) : nullptr;
+    const InstrPerf* compute = find(reg_equivalent_form(ins));
+    // Pure transfers may decompose without a compute component; a folded
+    // arithmetic instruction must resolve its compute form.
+    const bool pure_mem = is_pure_transfer(ins.mnemonic);
+    bool ok = (!load || load_perf != nullptr) && (!store || store_perf != nullptr) &&
+              (pure_mem || compute != nullptr) && (load || store);
+    if (ok) {
+      double lat = 0.0;
+      if (load_perf) {
+        append_uses(r, *load_perf);
+        r.load_latency = load_perf->latency;
+        lat += load_perf->latency;
+        r.has_load = true;
+      }
+      if (compute) {
+        append_uses(r, *compute);
+        lat += compute->latency;
+        r.chain_latency = compute->latency;
+        r.accumulator_latency = compute->accumulator_latency;
+      } else {
+        r.chain_latency = load_perf ? load_perf->latency : 1.0;
+      }
+      if (store_perf) {
+        append_uses(r, *store_perf);
+        r.has_store = true;
+        // Store latency does not extend the dependency chain to consumers.
+      }
+      r.latency = std::max(lat, 1.0);
+      r.is_gather = mem->is_gather;
+      return r;
+    }
+  }
+
+  if (const InstrPerf* perf = find_mnemonic_fallback(ins.mnemonic)) {
+    append_uses(r, *perf);
+    r.latency = perf->latency;
+    r.chain_latency = perf->latency;
+    r.has_load = ins.is_load;
+    r.has_store = ins.is_store;
+    if (ins.is_load) r.load_latency = perf->latency;
+    return r;
+  }
+  throw UnknownInstruction(form + " (machine " + name_ + ")");
+}
+
+std::vector<std::string> MachineModel::forms() const {
+  std::vector<std::string> out;
+  out.reserve(table_.size());
+  for (const auto& [form, perf] : table_) out.push_back(form);
+  return out;
+}
+
+int MachineModel::count_ports_matching(std::string_view prefix) const {
+  int n = 0;
+  for (const auto& p : ports_) {
+    if (support::starts_with(p, prefix)) ++n;
+  }
+  return n;
+}
+
+void MachineModel::validate() const {
+  for (const auto& [form, perf] : table_) {
+    if (perf.port_uses.empty() && perf.inverse_throughput > 0.0) {
+      // Zero-uop forms (eliminated moves, nops) are fine.
+      continue;
+    }
+    for (const PortUse& pu : perf.port_uses) {
+      if (pu.mask == 0)
+        throw ModelError("form '" + form + "' uses an empty port set in " + name_);
+      if (pu.cycles <= 0.0)
+        throw ModelError("form '" + form + "' has non-positive occupancy in " +
+                         name_);
+      if (pu.mask >> ports_.size())
+        throw ModelError("form '" + form + "' references ports outside model " +
+                         name_);
+    }
+    // The declared reciprocal throughput must be achievable: for each
+    // occupancy term, cycles spread over |ports| alternatives bounds the
+    // steady-state rate from below.
+    for (const PortUse& pu : perf.port_uses) {
+      int width = std::popcount(pu.mask);
+      double implied = pu.cycles / static_cast<double>(width);
+      if (perf.inverse_throughput + 1e-9 < implied)
+        throw ModelError(format(
+            "form '%s' in %s declares inverse throughput %.3f below the "
+            "port-implied bound %.3f",
+            form.c_str(), name_.c_str(), perf.inverse_throughput, implied));
+    }
+  }
+}
+
+}  // namespace incore::uarch

@@ -1,0 +1,176 @@
+#pragma once
+// Microarchitecture (port) models.
+//
+// A MachineModel is the paper's "in-core model": the set of issue ports, the
+// out-of-order resource sizes, and a database mapping instruction *forms*
+// (mnemonic + operand signature, e.g. "vfmadd231pd v512,v512,v512") to their
+// performance descriptor: port occupation in cycles, reciprocal throughput
+// and latency.  Port occupation follows the OSACA convention: each PortUse
+// names a set of alternative ports and the number of cycles of occupancy the
+// instruction contributes to (a balanced assignment over) that set.
+// Non-pipelined units (dividers) are expressed as multi-cycle occupancy.
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "asmir/ir.hpp"
+
+namespace incore::uarch {
+
+enum class Micro : std::uint8_t { NeoverseV2, GoldenCove, Zen4 };
+
+[[nodiscard]] const char* to_string(Micro m);
+/// Marketing name of the CPU built around the microarchitecture, as used in
+/// the paper ("GCS", "SPR", "Genoa").
+[[nodiscard]] const char* cpu_short_name(Micro m);
+
+/// Bitmask over a machine's ports (max 32 ports; the largest model, Neoverse
+/// V2, has 17).
+using PortMask = std::uint32_t;
+
+struct PortUse {
+  PortMask mask = 0;   // alternative ports
+  double cycles = 1.0; // occupancy contributed to the set
+};
+
+struct InstrPerf {
+  /// Reciprocal (inverse) throughput in cycles per instruction, steady state.
+  double inverse_throughput = 1.0;
+  /// Result latency in cycles (worst source -> destination).
+  double latency = 1.0;
+  std::vector<PortUse> port_uses;
+  /// Number of micro-ops for front-end/ROB accounting (defaults to the
+  /// number of port uses).
+  double uops = 0.0;
+  /// Late accumulator forwarding: effective latency of the destination-
+  /// accumulator input of FMA-class instructions (0 = no late forwarding).
+  /// Neoverse V2 forwards fused accumulates in 2 cycles.
+  double accumulator_latency = 0.0;
+
+  [[nodiscard]] double total_uops() const;
+};
+
+/// Outcome of resolving one IR instruction against the model, after folded
+/// loads/stores are decomposed into synthetic "_load.mN" / "_store.mN" ops.
+struct Resolved {
+  double accumulator_latency = 0.0;  // see InstrPerf::accumulator_latency
+  std::vector<PortUse> port_uses;   // combined occupancy
+  double inverse_throughput = 1.0;  // max over components
+  double latency = 1.0;             // total source->dest latency
+  double load_latency = 0.0;        // portion contributed by an L1 load
+  /// Latency of the value-producing (compute) component alone: for a folded
+  /// load+compute instruction this excludes the load, because an OoO core
+  /// issues the load micro-op ahead of the recurrence -- register chains
+  /// through the destination see only this part.
+  double chain_latency = 1.0;
+  double uops = 1.0;
+  bool has_load = false;
+  bool has_store = false;
+  bool is_gather = false;
+};
+
+/// Front-end and out-of-order resource description (used by the MCA-style
+/// comparator and the execution testbed, not by the static analyzer).
+struct CoreResources {
+  int decode_width = 4;     // instructions fetched+decoded per cycle
+  int rename_width = 6;     // micro-ops renamed/allocated per cycle
+  int retire_width = 6;     // micro-ops retired per cycle
+  int rob_size = 256;
+  int scheduler_size = 96;  // unified reservation-station entries
+  int load_queue = 64;
+  int store_queue = 48;
+};
+
+class MachineModel {
+ public:
+  MachineModel(std::string name, Micro micro, asmir::Isa isa,
+               std::vector<std::string> ports);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] Micro micro() const { return micro_; }
+  [[nodiscard]] asmir::Isa isa() const { return isa_; }
+  [[nodiscard]] const std::vector<std::string>& ports() const { return ports_; }
+  [[nodiscard]] std::size_t port_count() const { return ports_.size(); }
+
+  [[nodiscard]] int port_index(std::string_view port_name) const;
+  /// Mask from a '|'-separated list, e.g. "V0|V1|V2|V3".
+  [[nodiscard]] PortMask mask(std::string_view spec) const;
+
+  CoreResources& resources() { return res_; }
+  [[nodiscard]] const CoreResources& resources() const { return res_; }
+
+  int simd_width_bits = 128;
+  double l1_load_latency = 4.0;
+  /// Issue-width caps independent of AGU port counts.
+  int loads_per_cycle = 2;
+  int stores_per_cycle = 1;
+
+  /// Registers an instruction form.  `ports_spec` is a ';'-separated list of
+  /// occupancy terms "CYCLESxPORT|PORT|..." (CYCLES may be fractional and
+  /// defaults to 1), e.g. "1xP0|P5" or "16xP0".  Throws ModelError for
+  /// unknown ports.
+  void add(std::string_view form, double inverse_throughput, double latency,
+           std::string_view ports_spec, double uops = 0.0);
+
+  /// Sets the late-forwarding accumulator latency of an existing form.
+  void set_accumulator_latency(std::string_view form, double latency);
+
+  /// Overwrites or inserts a form (used by what-if model editing).
+  void set(std::string_view form, double inverse_throughput, double latency,
+           std::string_view ports_spec, double uops = 0.0);
+
+  /// Exact-form lookup; nullptr when absent.
+  [[nodiscard]] const InstrPerf* find(const std::string& form) const;
+
+  /// Full resolution incl. folded-access decomposition and mnemonic
+  /// fallback.  Throws support::UnknownInstruction when nothing applies.
+  [[nodiscard]] Resolved resolve(const asmir::Instruction& ins) const;
+
+  [[nodiscard]] std::size_t table_size() const { return table_.size(); }
+
+  /// All registered form keys (unordered).  For introspection and tests.
+  [[nodiscard]] std::vector<std::string> forms() const;
+
+  /// Model introspection used by the Table II bench.
+  [[nodiscard]] int count_ports_matching(std::string_view prefix) const;
+
+  /// Validates internal consistency (every referenced port exists; declared
+  /// reciprocal throughput is achievable given the port occupancies).
+  /// Throws support::ModelError on violations.
+  void validate() const;
+
+ private:
+  [[nodiscard]] const InstrPerf* find_mnemonic_fallback(
+      const std::string& mnemonic) const;
+
+  std::string name_;
+  Micro micro_;
+  asmir::Isa isa_;
+  std::vector<std::string> ports_;
+  CoreResources res_;
+  std::unordered_map<std::string, InstrPerf> table_;
+};
+
+/// Global registry of the three modeled microarchitectures.  Models are
+/// constructed once and immutable afterwards.
+[[nodiscard]] const MachineModel& machine(Micro m);
+
+/// All modeled microarchitectures, in paper order (GCS, SPR, Genoa).
+[[nodiscard]] const std::vector<Micro>& all_micros();
+
+/// The previous-generation Intel server core (Sunny Cove), modeled for the
+/// paper's generational ADD-latency comparison.  Not part of the testbed
+/// trio, hence outside the Micro registry.
+[[nodiscard]] const MachineModel& ice_lake_sp();
+
+namespace detail {
+MachineModel build_neoverse_v2();
+MachineModel build_golden_cove();
+MachineModel build_zen4();
+}  // namespace detail
+
+}  // namespace incore::uarch

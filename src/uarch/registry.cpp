@@ -1,0 +1,35 @@
+#include "uarch/model.hpp"
+
+namespace incore::uarch {
+
+const MachineModel& machine(Micro m) {
+  static const MachineModel v2 = [] {
+    MachineModel mm = detail::build_neoverse_v2();
+    mm.validate();
+    return mm;
+  }();
+  static const MachineModel gc = [] {
+    MachineModel mm = detail::build_golden_cove();
+    mm.validate();
+    return mm;
+  }();
+  static const MachineModel z4 = [] {
+    MachineModel mm = detail::build_zen4();
+    mm.validate();
+    return mm;
+  }();
+  switch (m) {
+    case Micro::NeoverseV2: return v2;
+    case Micro::GoldenCove: return gc;
+    case Micro::Zen4: return z4;
+  }
+  return v2;
+}
+
+const std::vector<Micro>& all_micros() {
+  static const std::vector<Micro> micros = {
+      Micro::NeoverseV2, Micro::GoldenCove, Micro::Zen4};
+  return micros;
+}
+
+}  // namespace incore::uarch

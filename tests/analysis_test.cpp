@@ -1,0 +1,349 @@
+// Unit tests for the OSACA-style analyzer: port balancing optimality,
+// dependency analysis, and end-to-end loop-body predictions.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+
+#include "analysis/analyze.hpp"
+#include "analysis/depgraph.hpp"
+#include "analysis/portpressure.hpp"
+#include "asmir/parser.hpp"
+#include "support/rng.hpp"
+#include "uarch/model.hpp"
+
+using namespace incore;
+using analysis::OccupancyGroup;
+using analysis::balance_ports;
+using analysis::balance_ports_naive;
+
+// ----------------------------------------------------------- port balancing
+
+TEST(PortBalance, SingleGroupSplitsAcrossPorts) {
+  std::array<OccupancyGroup, 1> g{OccupancyGroup{0b11, 2.0, 0}};
+  auto res = balance_ports(g, 2);
+  EXPECT_NEAR(res.bottleneck_cycles, 1.0, 1e-6);
+  EXPECT_NEAR(res.port_load[0] + res.port_load[1], 2.0, 1e-6);
+}
+
+TEST(PortBalance, RestrictedGroupForcesLoad) {
+  // One group can only use port 0; the flexible group should move away.
+  std::array<OccupancyGroup, 2> g{OccupancyGroup{0b01, 1.0, 0},
+                                  OccupancyGroup{0b11, 1.0, 1}};
+  auto res = balance_ports(g, 2);
+  EXPECT_NEAR(res.bottleneck_cycles, 1.0, 1e-6);
+  EXPECT_NEAR(res.port_load[1], 1.0, 1e-5);
+}
+
+TEST(PortBalance, NaiveIsWorseOnAsymmetricInstance) {
+  // Naive halves everything; optimal shifts flexible work off port 0.
+  std::array<OccupancyGroup, 3> g{OccupancyGroup{0b01, 1.0, 0},
+                                  OccupancyGroup{0b11, 1.0, 1},
+                                  OccupancyGroup{0b11, 1.0, 2}};
+  auto opt = balance_ports(g, 2);
+  auto naive = balance_ports_naive(g, 2);
+  EXPECT_NEAR(opt.bottleneck_cycles, 1.5, 1e-6);
+  EXPECT_NEAR(naive.bottleneck_cycles, 2.0, 1e-6);
+}
+
+TEST(PortBalance, EmptyInput) {
+  auto res = balance_ports({}, 4);
+  EXPECT_EQ(res.bottleneck_cycles, 0.0);
+}
+
+TEST(PortBalance, ConservationOfWork) {
+  support::Rng rng(42);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<OccupancyGroup> g;
+    double total = 0.0;
+    int ports = 3 + static_cast<int>(rng.below(4));
+    for (int i = 0; i < 8; ++i) {
+      std::uint32_t mask =
+          static_cast<std::uint32_t>(rng.below((1u << ports) - 1) + 1);
+      double cycles = 0.5 + rng.uniform() * 3.0;
+      g.push_back(OccupancyGroup{mask, cycles, i});
+      total += cycles;
+    }
+    auto res = balance_ports(g, ports);
+    double sum = 0.0;
+    for (double l : res.port_load) sum += l;
+    EXPECT_NEAR(sum, total, 1e-4);
+    // Bottleneck equals the max port load.
+    double mx = *std::max_element(res.port_load.begin(), res.port_load.end());
+    EXPECT_NEAR(res.bottleneck_cycles, mx, 1e-9);
+  }
+}
+
+// Brute-force optimality check on tiny instances: compare the LP optimum
+// against an exhaustive fractional search over a discretized simplex.
+TEST(PortBalance, MatchesBruteForceOnTinyInstances) {
+  // Two groups over two ports; enumerate splits of group cycles at 1e-3.
+  struct Inst { std::uint32_t m1, m2; double c1, c2; double expected; };
+  const Inst cases[] = {
+      {0b11, 0b11, 2.0, 2.0, 2.0},   // 4 cycles over 2 ports
+      {0b01, 0b10, 1.0, 3.0, 3.0},   // pinned: port1 gets 3
+      {0b01, 0b11, 2.0, 2.0, 2.0},   // flexible moves fully to port 1
+      {0b11, 0b10, 0.5, 2.0, 2.0},   // port 1 dominated by pinned group
+  };
+  for (const auto& c : cases) {
+    std::array<OccupancyGroup, 2> g{OccupancyGroup{c.m1, c.c1, 0},
+                                    OccupancyGroup{c.m2, c.c2, 1}};
+    auto res = balance_ports(g, 2);
+    EXPECT_NEAR(res.bottleneck_cycles, c.expected, 1e-5);
+  }
+}
+
+TEST(PortBalance, OptimalNeverWorseThanNaive) {
+  support::Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<OccupancyGroup> g;
+    int ports = 2 + static_cast<int>(rng.below(5));
+    int n = 2 + static_cast<int>(rng.below(8));
+    for (int i = 0; i < n; ++i) {
+      std::uint32_t mask =
+          static_cast<std::uint32_t>(rng.below((1u << ports) - 1) + 1);
+      g.push_back(OccupancyGroup{mask, 0.25 + rng.uniform() * 2.0, i});
+    }
+    auto opt = balance_ports(g, ports);
+    auto naive = balance_ports_naive(g, ports);
+    EXPECT_LE(opt.bottleneck_cycles, naive.bottleneck_cycles + 1e-6);
+  }
+}
+
+// ---------------------------------------------------------- dependency graph
+
+namespace {
+
+asmir::Program aarch64(const char* text) {
+  return asmir::parse(text, asmir::Isa::AArch64);
+}
+asmir::Program x86(const char* text) {
+  return asmir::parse(text, asmir::Isa::X86_64);
+}
+
+}  // namespace
+
+TEST(DepGraph, IndependentInstructionsHaveNoLcd) {
+  auto prog = aarch64(
+      "fadd v0.2d, v10.2d, v11.2d\n"
+      "fadd v1.2d, v12.2d, v13.2d\n");
+  auto dep = analysis::analyze_dependencies(
+      prog, uarch::machine(uarch::Micro::NeoverseV2));
+  EXPECT_EQ(dep.loop_carried_cycles, 0.0);
+  EXPECT_NEAR(dep.critical_path_cycles, 2.0, 1e-9);
+}
+
+TEST(DepGraph, AccumulatorChainGivesLcd) {
+  // fmla into v0 every iteration: LCD = FMA latency (4 on V2).
+  auto prog = aarch64("fmla v0.2d, v1.2d, v2.2d\n");
+  auto dep = analysis::analyze_dependencies(
+      prog, uarch::machine(uarch::Micro::NeoverseV2));
+  EXPECT_NEAR(dep.loop_carried_cycles, 4.0, 1e-9);
+  ASSERT_EQ(dep.lcd_chain.size(), 1u);
+  EXPECT_EQ(dep.lcd_chain[0], 0);
+}
+
+TEST(DepGraph, PointerIncrementIsOneCycleLcd) {
+  auto prog = aarch64("add x8, x8, #64\n");
+  auto dep = analysis::analyze_dependencies(
+      prog, uarch::machine(uarch::Micro::NeoverseV2));
+  EXPECT_NEAR(dep.loop_carried_cycles, 1.0, 1e-9);
+}
+
+TEST(DepGraph, ChainThroughTwoInstructions) {
+  // v0 <- fmul(v0) would be lat 3; here fmul then fadd back into the
+  // recurrence: LCD = 3 + 2 = 5 on V2.
+  auto prog = aarch64(
+      "fmul v1.2d, v0.2d, v2.2d\n"
+      "fadd v0.2d, v1.2d, v3.2d\n");
+  auto dep = analysis::analyze_dependencies(
+      prog, uarch::machine(uarch::Micro::NeoverseV2));
+  EXPECT_NEAR(dep.loop_carried_cycles, 5.0, 1e-9);
+  EXPECT_EQ(dep.lcd_chain.size(), 2u);
+}
+
+TEST(DepGraph, ZeroIdiomBreaksDependency) {
+  // xor-zeroing resets the accumulator each iteration: no loop-carried dep
+  // through ymm0.
+  auto prog = x86(
+      "vxorpd %ymm0, %ymm0, %ymm0\n"
+      "vaddpd %ymm1, %ymm0, %ymm0\n");
+  auto dep = analysis::analyze_dependencies(
+      prog, uarch::machine(uarch::Micro::Zen4));
+  EXPECT_EQ(dep.loop_carried_cycles, 0.0);
+}
+
+TEST(DepGraph, ZeroRegisterCarriesNoDependency) {
+  auto prog = aarch64(
+      "add x0, x1, xzr\n"
+      "add x1, x0, #1\n");
+  auto dep = analysis::analyze_dependencies(
+      prog, uarch::machine(uarch::Micro::NeoverseV2));
+  // x0 -> x1 -> (next iter) x0: LCD 2 (two 1-cycle adds), not broken by xzr.
+  EXPECT_NEAR(dep.loop_carried_cycles, 2.0, 1e-9);
+}
+
+TEST(DepGraph, FlagDependencyTracked) {
+  auto prog = x86(
+      "subq $1, %rdx\n"
+      "jne .L2\n");
+  auto dep = analysis::analyze_dependencies(
+      prog, uarch::machine(uarch::Micro::GoldenCove));
+  ASSERT_FALSE(dep.edges.empty());
+  bool has_flag_edge = false;
+  for (const auto& e : dep.edges) {
+    if (e.from == 0 && e.to == 1) has_flag_edge = true;
+  }
+  EXPECT_TRUE(has_flag_edge);
+}
+
+TEST(DepGraph, StoreToLoadForwardingSameLocation) {
+  auto prog = x86(
+      "vmovsd %xmm0, 8(%rsp)\n"
+      "vmovsd 8(%rsp), %xmm1\n");
+  analysis::DepOptions opt;
+  opt.store_forward_latency = 6.0;
+  auto dep = analysis::analyze_dependencies(
+      prog, uarch::machine(uarch::Micro::GoldenCove), opt);
+  bool found = false;
+  for (const auto& e : dep.edges) {
+    if (e.from == 0 && e.to == 1 && e.weight == 6.0) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(DepGraph, DifferentDisplacementsDoNotAlias) {
+  auto prog = x86(
+      "vmovsd %xmm0, 8(%rsp)\n"
+      "vmovsd 16(%rsp), %xmm1\n");
+  auto dep = analysis::analyze_dependencies(
+      prog, uarch::machine(uarch::Micro::GoldenCove));
+  for (const auto& e : dep.edges) {
+    EXPECT_FALSE(e.from == 0 && e.to == 1);
+  }
+}
+
+TEST(DepGraph, MoveLatencyOptionControlsChain) {
+  // Recurrence with an fmov in the chain: kept by default (OSACA view),
+  // dropped when keep_move_latency=false (renaming view).
+  auto prog = aarch64(
+      "fmadd d0, d1, d2, d3\n"
+      "fmov d3, d0\n");
+  analysis::DepOptions keep;
+  auto with_move = analysis::analyze_dependencies(
+      prog, uarch::machine(uarch::Micro::NeoverseV2), keep);
+  analysis::DepOptions rename;
+  rename.keep_move_latency = false;
+  auto without_move = analysis::analyze_dependencies(
+      prog, uarch::machine(uarch::Micro::NeoverseV2), rename);
+  EXPECT_NEAR(with_move.loop_carried_cycles, 6.0, 1e-9);   // 4 (fmadd) + 2 (fmov)
+  EXPECT_NEAR(without_move.loop_carried_cycles, 4.0, 1e-9);
+}
+
+// --------------------------------------------------------------- end-to-end
+
+TEST(Analyze, ThroughputBoundSimpleTriad) {
+  // Schoenauer triad body (AVX-512, one element batch):
+  //   a[i] = b[i] + c[i] * d[i]
+  auto prog = x86(
+      "vmovupd (%rax,%rcx), %zmm0\n"
+      "vmovupd (%rbx,%rcx), %zmm1\n"
+      "vfmadd231pd (%rdx,%rcx), %zmm1, %zmm0\n"
+      "vmovupd %zmm0, (%rsi,%rcx)\n"
+      "addq $64, %rcx\n"
+      "cmpq %rdi, %rcx\n"
+      "jne .L2\n");
+  auto rep =
+      analysis::analyze(prog, uarch::machine(uarch::Micro::GoldenCove));
+  // 3 x 512-bit loads on 2 load ports: TP bound 1.5 cy/iter.
+  EXPECT_NEAR(rep.throughput_cycles(), 1.5, 1e-5);
+  // Pointer bump is the only recurrence: 1 cy.
+  EXPECT_NEAR(rep.loop_carried_cycles(), 1.0, 1e-9);
+  EXPECT_NEAR(rep.predicted_cycles(), 1.5, 1e-5);
+}
+
+TEST(Analyze, LatencyBoundKernel) {
+  // Pure dependent FMA chain on Zen 4: prediction = LCD = 4 cy.
+  auto prog = x86("vfmadd231pd %ymm1, %ymm2, %ymm0\n");
+  auto rep = analysis::analyze(prog, uarch::machine(uarch::Micro::Zen4));
+  EXPECT_NEAR(rep.throughput_cycles(), 0.5, 1e-5);
+  EXPECT_NEAR(rep.loop_carried_cycles(), 4.0, 1e-9);
+  EXPECT_NEAR(rep.predicted_cycles(), 4.0, 1e-9);
+}
+
+TEST(Analyze, PortLoadSumsMatchOccupancy) {
+  auto prog = aarch64(
+      "ldr q0, [x1], #16\n"
+      "fadd v1.2d, v0.2d, v2.2d\n"
+      "str q1, [x2], #16\n"
+      "subs x3, x3, #2\n"
+      "b.ne .L1\n");
+  auto rep =
+      analysis::analyze(prog, uarch::machine(uarch::Micro::NeoverseV2));
+  double total_load = 0.0;
+  for (double l : rep.port_load()) total_load += l;
+  // ldr(1) + fadd(1) + str(1) + subs(1) + b.ne(1) = 5 cycles of occupancy.
+  EXPECT_NEAR(total_load, 5.0, 1e-4);
+  EXPECT_EQ(rep.instructions().size(), 5u);
+}
+
+TEST(Analyze, VectorVsScalarThroughputOrdering) {
+  // The same computation vectorized must never predict slower than scalar.
+  auto scalar = aarch64(
+      "ldr d0, [x1], #8\n"
+      "fadd d1, d0, d2\n"
+      "str d1, [x2], #8\n");
+  auto vec = aarch64(
+      "ldr q0, [x1], #16\n"
+      "fadd v1.2d, v0.2d, v2.2d\n"
+      "str q1, [x2], #16\n");
+  const auto& mm = uarch::machine(uarch::Micro::NeoverseV2);
+  auto rs = analysis::analyze(scalar, mm);
+  auto rv = analysis::analyze(vec, mm);
+  // Per element: vector processes 2 per iteration.
+  EXPECT_LE(rv.predicted_cycles() / 2.0, rs.predicted_cycles() + 1e-9);
+}
+
+TEST(Analyze, TableRenders) {
+  auto prog = x86("vaddpd %ymm0, %ymm1, %ymm2\n");
+  auto rep = analysis::analyze(prog, uarch::machine(uarch::Micro::Zen4));
+  std::string table = rep.to_table();
+  EXPECT_NE(table.find("throughput bound"), std::string::npos);
+  EXPECT_NE(table.find("vaddpd"), std::string::npos);
+}
+
+TEST(Analyze, DivThroughputDominates) {
+  // Divider occupancy must drive the TP bound (non-pipelined modeling).
+  auto prog = x86("vdivpd %zmm1, %zmm2, %zmm0\n");
+  auto rep =
+      analysis::analyze(prog, uarch::machine(uarch::Micro::GoldenCove));
+  EXPECT_NEAR(rep.throughput_cycles(), 16.0, 1e-4);
+}
+
+TEST(DepGraph, AccumulatorForwardingOptional) {
+  // fmla accumulator chain on V2: full latency 4 by default (OSACA view);
+  // 2 cycles with late accumulator forwarding enabled.
+  auto prog = aarch64("fmla v0.2d, v1.2d, v2.2d\n");
+  const auto& mm = uarch::machine(uarch::Micro::NeoverseV2);
+  auto plain = analysis::analyze_dependencies(prog, mm);
+  EXPECT_NEAR(plain.loop_carried_cycles, 4.0, 1e-9);
+  analysis::DepOptions opt;
+  opt.model_accumulator_forwarding = true;
+  auto fwd = analysis::analyze_dependencies(prog, mm, opt);
+  EXPECT_NEAR(fwd.loop_carried_cycles, 2.0, 1e-9);
+}
+
+TEST(DepGraph, AccumulatorForwardingOnlyAffectsAccInput) {
+  // Chain through a *multiplicand* keeps the full latency either way.
+  auto prog = aarch64(
+      "fmla v0.2d, v1.2d, v2.2d\n"
+      "fmul v1.2d, v0.2d, v3.2d\n");
+  const auto& mm = uarch::machine(uarch::Micro::NeoverseV2);
+  analysis::DepOptions opt;
+  opt.model_accumulator_forwarding = true;
+  auto fwd = analysis::analyze_dependencies(prog, mm, opt);
+  // v0 -> fmul (4, full) -> v1 -> fmla multiplicand... the recurrence
+  // includes a non-accumulator hop, so it stays well above 2 cy.
+  EXPECT_GT(fwd.loop_carried_cycles, 4.0);
+}

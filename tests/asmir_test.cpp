@@ -1,0 +1,369 @@
+// Unit tests for the assembly IR and both textual front ends.
+
+#include <gtest/gtest.h>
+
+#include "asmir/ir.hpp"
+#include "asmir/parser.hpp"
+#include "support/error.hpp"
+
+using namespace incore;
+using asmir::Isa;
+using asmir::OperandKind;
+using asmir::RegClass;
+
+namespace {
+
+asmir::Instruction parse_one(const char* text, Isa isa) {
+  asmir::Program p = asmir::parse(text, isa);
+  EXPECT_EQ(p.size(), 1u) << text;
+  return p.code.at(0);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- AArch64
+
+TEST(ParseAArch64, SimpleAdd) {
+  auto ins = parse_one("add x0, x1, x2", Isa::AArch64);
+  EXPECT_EQ(ins.mnemonic, "add");
+  EXPECT_EQ(ins.form(), "add r64,r64,r64");
+  ASSERT_EQ(ins.ops.size(), 3u);
+  EXPECT_TRUE(ins.ops[0].write);
+  EXPECT_FALSE(ins.ops[0].read);
+  EXPECT_TRUE(ins.ops[1].read);
+  EXPECT_TRUE(ins.ops[2].read);
+}
+
+TEST(ParseAArch64, ShiftedAddGetsDistinctForm) {
+  auto ins = parse_one("add x0, x1, x2, lsl #3", Isa::AArch64);
+  EXPECT_EQ(ins.form(), "add r64,r64,r64,i");
+}
+
+TEST(ParseAArch64, ImmediateOperand) {
+  auto ins = parse_one("add x8, x8, #64", Isa::AArch64);
+  EXPECT_EQ(ins.form(), "add r64,r64,i");
+  EXPECT_EQ(ins.ops[2].imm().value, 64);
+}
+
+TEST(ParseAArch64, NeonFmlaDestIsReadWrite) {
+  auto ins = parse_one("fmla v0.2d, v1.2d, v2.2d", Isa::AArch64);
+  EXPECT_EQ(ins.form(), "fmla v128,v128,v128");
+  EXPECT_TRUE(ins.ops[0].read);
+  EXPECT_TRUE(ins.ops[0].write);
+}
+
+TEST(ParseAArch64, NeonFaddDestIsWriteOnly) {
+  auto ins = parse_one("fadd v0.2d, v1.2d, v2.2d", Isa::AArch64);
+  EXPECT_FALSE(ins.ops[0].read);
+  EXPECT_TRUE(ins.ops[0].write);
+}
+
+TEST(ParseAArch64, ScalarRegistersWidth) {
+  auto ins = parse_one("fadd d0, d1, d2", Isa::AArch64);
+  EXPECT_EQ(ins.form(), "fadd v64,v64,v64");
+  EXPECT_EQ(ins.ops[0].reg().width_bits, 64);
+  EXPECT_EQ(ins.ops[0].reg().cls, RegClass::Vector);
+}
+
+TEST(ParseAArch64, SvePredicatedMergingReadsDest) {
+  auto ins = parse_one("fadd z0.d, p0/m, z0.d, z1.d", Isa::AArch64);
+  EXPECT_EQ(ins.form(), "fadd v128,p,v128,v128");
+  EXPECT_TRUE(ins.merging_predication);
+  EXPECT_TRUE(ins.ops[0].read);
+  EXPECT_TRUE(ins.ops[0].write);
+}
+
+TEST(ParseAArch64, LoadWithOffset) {
+  auto ins = parse_one("ldr q0, [x1, #16]", Isa::AArch64);
+  EXPECT_TRUE(ins.is_load);
+  EXPECT_EQ(ins.form(), "ldr v128,m128");
+  const asmir::MemOperand* m = ins.mem_operand();
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->displacement, 16);
+  ASSERT_TRUE(m->base.has_value());
+  EXPECT_EQ(m->base->index, 1);
+  EXPECT_FALSE(m->base_writeback);
+}
+
+TEST(ParseAArch64, PostIndexWritesBase) {
+  auto ins = parse_one("ldr x0, [x1], #8", Isa::AArch64);
+  const asmir::MemOperand* m = ins.mem_operand();
+  ASSERT_NE(m, nullptr);
+  EXPECT_TRUE(m->base_writeback);
+  auto writes = ins.writes();
+  // x0 (dest) and x1 (write-back base).
+  ASSERT_EQ(writes.size(), 2u);
+}
+
+TEST(ParseAArch64, PreIndexWritesBase) {
+  auto ins = parse_one("str x0, [x1, #8]!", Isa::AArch64);
+  EXPECT_TRUE(ins.is_store);
+  EXPECT_TRUE(ins.mem_operand()->base_writeback);
+}
+
+TEST(ParseAArch64, StoreDataIsRead) {
+  auto ins = parse_one("str q0, [x1]", Isa::AArch64);
+  EXPECT_TRUE(ins.is_store);
+  EXPECT_FALSE(ins.is_load);
+  EXPECT_TRUE(ins.ops[0].read);
+  EXPECT_FALSE(ins.ops[0].write);
+}
+
+TEST(ParseAArch64, LoadPairWidth) {
+  auto ins = parse_one("ldp x2, x3, [x4]", Isa::AArch64);
+  EXPECT_EQ(ins.form(), "ldp r64,r64,m128");
+  EXPECT_TRUE(ins.ops[0].write);
+  EXPECT_TRUE(ins.ops[1].write);
+}
+
+TEST(ParseAArch64, SveLoadWithBracedList) {
+  auto ins = parse_one("ld1d {z0.d}, p0/z, [x1, x2, lsl #3]", Isa::AArch64);
+  EXPECT_EQ(ins.form(), "ld1d v128,p,m128");
+  EXPECT_TRUE(ins.is_load);
+  const asmir::MemOperand* m = ins.mem_operand();
+  EXPECT_EQ(m->scale, 8);
+  EXPECT_FALSE(m->is_gather);
+}
+
+TEST(ParseAArch64, SveGatherDetected) {
+  auto ins = parse_one("ld1d {z0.d}, p0/z, [x1, z2.d, lsl #3]", Isa::AArch64);
+  EXPECT_EQ(ins.form(), "ld1d v128,p,g128");
+  EXPECT_TRUE(ins.mem_operand()->is_gather);
+}
+
+TEST(ParseAArch64, SveMulVlDisplacement) {
+  auto ins = parse_one("ld1d {z0.d}, p0/z, [x1, #2, mul vl]", Isa::AArch64);
+  EXPECT_EQ(ins.mem_operand()->displacement, 2 * 16);  // 128-bit VL
+}
+
+TEST(ParseAArch64, CompareWritesFlagsOnly) {
+  auto ins = parse_one("cmp x1, x2", Isa::AArch64);
+  EXPECT_TRUE(ins.writes_flags);
+  EXPECT_TRUE(ins.writes().size() == 1);  // flags only
+}
+
+TEST(ParseAArch64, SubsWritesRegisterAndFlags) {
+  auto ins = parse_one("subs x1, x1, #1", Isa::AArch64);
+  EXPECT_TRUE(ins.writes_flags);
+  auto w = ins.writes();
+  ASSERT_EQ(w.size(), 2u);
+}
+
+TEST(ParseAArch64, ConditionalBranchReadsFlags) {
+  auto ins = parse_one("b.ne .L4", Isa::AArch64);
+  EXPECT_TRUE(ins.is_branch);
+  EXPECT_TRUE(ins.reads_flags);
+  EXPECT_EQ(ins.form(), "b.ne l");
+}
+
+TEST(ParseAArch64, CbnzBranchReadsRegister) {
+  auto ins = parse_one("cbnz x5, .L10", Isa::AArch64);
+  EXPECT_TRUE(ins.is_branch);
+  EXPECT_FALSE(ins.reads_flags);
+  EXPECT_EQ(ins.reads().size(), 1u);
+}
+
+TEST(ParseAArch64, WhileloWritesPredicateAndFlags) {
+  auto ins = parse_one("whilelo p0.d, x3, x4", Isa::AArch64);
+  EXPECT_EQ(ins.form(), "whilelo p,r64,r64");
+  EXPECT_TRUE(ins.writes_flags);
+  EXPECT_TRUE(ins.ops[0].write);
+}
+
+TEST(ParseAArch64, ZeroRegisterRecognized) {
+  auto ins = parse_one("add x0, x1, xzr", Isa::AArch64);
+  EXPECT_EQ(ins.ops[2].reg().index, 31);
+}
+
+TEST(ParseAArch64, SkipsLabelsDirectivesComments) {
+  asmir::Program p = asmir::parse(
+      ".L4:\n"
+      "\t.align 4\n"
+      "\t// comment only\n"
+      "\tfadd v0.2d, v1.2d, v2.2d // trailing\n",
+      Isa::AArch64);
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_EQ(p.code[0].mnemonic, "fadd");
+}
+
+TEST(ParseAArch64, MarkedRegionExtraction) {
+  asmir::Program p = asmir::parse(
+      "mov x0, #0\n"
+      "// OSACA-BEGIN\n"
+      "fadd v0.2d, v1.2d, v2.2d\n"
+      "// OSACA-END\n"
+      "ret\n",
+      Isa::AArch64);
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_EQ(p.code[0].mnemonic, "fadd");
+}
+
+TEST(ParseAArch64, FmaddFourOperand) {
+  auto ins = parse_one("fmadd d0, d1, d2, d3", Isa::AArch64);
+  EXPECT_EQ(ins.form(), "fmadd v64,v64,v64,v64");
+  EXPECT_FALSE(ins.ops[0].read);  // separate addend, dest write-only
+  EXPECT_TRUE(ins.ops[3].read);
+}
+
+// ---------------------------------------------------------------- x86-64
+
+TEST(ParseX86, AttAddDestIsLastAndRmw) {
+  auto ins = parse_one("addq %rax, %rbx", Isa::X86_64);
+  EXPECT_EQ(ins.mnemonic, "add");
+  EXPECT_EQ(ins.form(), "add r64,r64");
+  EXPECT_TRUE(ins.ops[1].read);
+  EXPECT_TRUE(ins.ops[1].write);
+  EXPECT_TRUE(ins.writes_flags);
+}
+
+TEST(ParseX86, MovRegDestWriteOnly) {
+  auto ins = parse_one("movq %rax, %rbx", Isa::X86_64);
+  EXPECT_FALSE(ins.ops[1].read);
+  EXPECT_TRUE(ins.ops[1].write);
+  EXPECT_FALSE(ins.writes_flags);
+}
+
+TEST(ParseX86, LoadForm) {
+  auto ins = parse_one("movq 8(%rax), %rbx", Isa::X86_64);
+  EXPECT_TRUE(ins.is_load);
+  EXPECT_FALSE(ins.is_store);
+  EXPECT_EQ(ins.form(), "mov m64,r64");
+  EXPECT_EQ(ins.mem_operand()->displacement, 8);
+}
+
+TEST(ParseX86, StoreForm) {
+  auto ins = parse_one("movq %rbx, 8(%rax)", Isa::X86_64);
+  EXPECT_TRUE(ins.is_store);
+  EXPECT_FALSE(ins.is_load);
+  EXPECT_EQ(ins.form(), "mov r64,m64");
+}
+
+TEST(ParseX86, MemoryOperandFull) {
+  auto ins = parse_one("vmovupd 32(%rax,%rbx,8), %ymm1", Isa::X86_64);
+  const asmir::MemOperand* m = ins.mem_operand();
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->displacement, 32);
+  EXPECT_EQ(m->scale, 8);
+  ASSERT_TRUE(m->index.has_value());
+  EXPECT_EQ(m->width_bits, 256);
+  EXPECT_EQ(ins.form(), "vmovupd m256,v256");
+}
+
+TEST(ParseX86, FmaDestReadWrite) {
+  auto ins = parse_one("vfmadd231pd %zmm0, %zmm1, %zmm2", Isa::X86_64);
+  EXPECT_EQ(ins.form(), "vfmadd231pd v512,v512,v512");
+  EXPECT_TRUE(ins.ops[2].read);
+  EXPECT_TRUE(ins.ops[2].write);
+}
+
+TEST(ParseX86, ThreeOpAvxDestWriteOnly) {
+  auto ins = parse_one("vaddpd %ymm0, %ymm1, %ymm2", Isa::X86_64);
+  EXPECT_FALSE(ins.ops[2].read);
+  EXPECT_TRUE(ins.ops[2].write);
+}
+
+TEST(ParseX86, ScalarSdMemWidthIs64) {
+  auto ins = parse_one("vaddsd 8(%rax), %xmm1, %xmm2", Isa::X86_64);
+  EXPECT_EQ(ins.form(), "vaddsd m64,v128,v128");
+  EXPECT_TRUE(ins.is_load);
+}
+
+TEST(ParseX86, CmpWritesFlagsNotRegister) {
+  auto ins = parse_one("cmpq %rax, %rbx", Isa::X86_64);
+  EXPECT_TRUE(ins.writes_flags);
+  EXPECT_EQ(ins.writes().size(), 1u);  // flags only
+  EXPECT_TRUE(ins.ops[1].read);
+  EXPECT_FALSE(ins.ops[1].write);
+}
+
+TEST(ParseX86, BranchReadsFlags) {
+  auto ins = parse_one("jne .L3", Isa::X86_64);
+  EXPECT_TRUE(ins.is_branch);
+  EXPECT_TRUE(ins.reads_flags);
+  EXPECT_EQ(ins.form(), "jne l");
+}
+
+TEST(ParseX86, LeaHasNoMemoryAccess) {
+  auto ins = parse_one("leaq 8(%rax,%rbx), %rcx", Isa::X86_64);
+  EXPECT_EQ(ins.mnemonic, "lea");
+  EXPECT_FALSE(ins.is_load);
+  EXPECT_FALSE(ins.is_store);
+  // Address registers still count as reads.
+  EXPECT_EQ(ins.reads().size(), 2u);
+}
+
+TEST(ParseX86, MaskAnnotationParsed) {
+  auto ins = parse_one("vmovupd (%rax), %zmm1{%k1}{z}", Isa::X86_64);
+  EXPECT_EQ(ins.form(), "vmovupd m512,v512,k");
+  // Zeroing mask: destination not read.
+  EXPECT_FALSE(ins.ops[1].read);
+}
+
+TEST(ParseX86, MergeMaskingReadsDest) {
+  auto ins = parse_one("vaddpd %zmm0, %zmm1, %zmm2{%k2}", Isa::X86_64);
+  EXPECT_TRUE(ins.ops[2].read);
+  EXPECT_TRUE(ins.ops[2].write);
+}
+
+TEST(ParseX86, GatherDetected) {
+  auto ins = parse_one("vgatherdpd (%rax,%ymm1,8), %zmm2{%k1}", Isa::X86_64);
+  EXPECT_EQ(ins.form(), "vgatherdpd g512,v512,k");
+  EXPECT_TRUE(ins.mem_operand()->is_gather);
+}
+
+TEST(ParseX86, NonTemporalStoreForm) {
+  auto ins = parse_one("vmovntpd %zmm0, (%rdi)", Isa::X86_64);
+  EXPECT_TRUE(ins.is_store);
+  EXPECT_EQ(ins.form(), "vmovntpd v512,m512");
+}
+
+TEST(ParseX86, ImmediateOperand) {
+  auto ins = parse_one("addq $64, %rax", Isa::X86_64);
+  EXPECT_EQ(ins.form(), "add i,r64");
+  EXPECT_EQ(ins.ops[0].imm().value, 64);
+}
+
+TEST(ParseX86, SuffixStrippingDoesNotMangleSse) {
+  auto ins = parse_one("movsd %xmm0, %xmm1", Isa::X86_64);
+  EXPECT_EQ(ins.mnemonic, "movsd");
+}
+
+TEST(ParseX86, IncIsRmw) {
+  auto ins = parse_one("incq %rsi", Isa::X86_64);
+  EXPECT_EQ(ins.form(), "inc r64");
+  EXPECT_TRUE(ins.ops[0].read);
+  EXPECT_TRUE(ins.ops[0].write);
+}
+
+TEST(ParseX86, CommentsAndLabelsSkipped) {
+  asmir::Program p = asmir::parse(
+      ".L3:   # loop head\n"
+      "  .p2align 4\n"
+      "  vaddpd %ymm0, %ymm1, %ymm2  # body\n"
+      "  jne .L3\n",
+      Isa::X86_64);
+  ASSERT_EQ(p.size(), 2u);
+}
+
+TEST(ParseX86, RegisterAliasingRoots) {
+  auto a = parse_one("movl %eax, %ebx", Isa::X86_64);
+  auto b = parse_one("movq %rax, %rbx", Isa::X86_64);
+  EXPECT_EQ(a.ops[0].reg().root_id(), b.ops[0].reg().root_id());
+  auto x = parse_one("vaddpd %xmm1, %xmm1, %xmm1", Isa::X86_64);
+  auto z = parse_one("vaddpd %zmm1, %zmm1, %zmm1", Isa::X86_64);
+  EXPECT_EQ(x.ops[0].reg().root_id(), z.ops[0].reg().root_id());
+}
+
+TEST(Ir, FormTokenRendering) {
+  asmir::Operand imm = asmir::Operand::make_imm(5);
+  EXPECT_EQ(asmir::form_token(imm), "i");
+  asmir::Operand lbl = asmir::Operand::make_label("x");
+  EXPECT_EQ(asmir::form_token(lbl), "l");
+}
+
+TEST(Ir, RegisterNames) {
+  asmir::Register r{RegClass::Vector, 3, 512};
+  EXPECT_EQ(r.name(Isa::X86_64), "zmm3");
+  asmir::Register d{RegClass::Vector, 2, 64};
+  EXPECT_EQ(d.name(Isa::AArch64), "d2");
+}

@@ -1,0 +1,206 @@
+// Tests for the trace-driven cache hierarchy: LRU/set mechanics, exclusive
+// fill/evict cascading, claim detection, and cross-validation against the
+// analytic traffic model.
+
+#include <gtest/gtest.h>
+
+#include "memsim/cachesim.hpp"
+
+using namespace incore;
+using memsim::CacheConfig;
+using memsim::CacheHierarchy;
+using memsim::CacheLevel;
+using memsim::ClaimDetector;
+using memsim::StoreKind;
+using memsim::WaMechanism;
+using uarch::Micro;
+
+TEST(CacheLevel, HitAfterInsert) {
+  CacheLevel c(CacheConfig{1024, 4, 64});
+  EXPECT_FALSE(c.probe(7, false));
+  c.insert(7, false, nullptr);
+  EXPECT_TRUE(c.probe(7, false));
+  EXPECT_EQ(c.stats().hits, 1u);
+  EXPECT_EQ(c.stats().misses, 1u);
+}
+
+TEST(CacheLevel, LruEvictsOldest) {
+  // 4 ways, 4 sets (1 KiB / 64 B / 4 ways); fill one set past capacity.
+  CacheLevel c(CacheConfig{1024, 4, 64});
+  const std::uint64_t set_stride = c.sets();
+  for (int i = 0; i < 4; ++i)
+    c.insert(static_cast<std::uint64_t>(i) * set_stride, false, nullptr);
+  // Touch line 0 so line 1*stride becomes LRU.
+  EXPECT_TRUE(c.probe(0, false));
+  CacheLevel::Evicted ev;
+  c.insert(4 * set_stride, false, &ev);
+  EXPECT_TRUE(ev.valid);
+  EXPECT_EQ(ev.line_addr, 1 * set_stride);
+}
+
+TEST(CacheLevel, DirtyBitTracked) {
+  CacheLevel c(CacheConfig{1024, 4, 64});
+  c.insert(3, true, nullptr);
+  bool dirty = false;
+  EXPECT_TRUE(c.remove(3, &dirty));
+  EXPECT_TRUE(dirty);
+  EXPECT_FALSE(c.remove(3, &dirty));  // already gone
+}
+
+TEST(CacheLevel, DrainReturnsAllValidLines) {
+  CacheLevel c(CacheConfig{1024, 4, 64});
+  c.insert(1, true, nullptr);
+  c.insert(2, false, nullptr);
+  auto drained = c.drain();
+  EXPECT_EQ(drained.size(), 2u);
+  EXPECT_FALSE(c.probe(1, false));
+}
+
+TEST(ClaimDetector, WarmupThenClaims) {
+  ClaimDetector d(2);
+  EXPECT_FALSE(d.should_claim(100));  // run 0
+  EXPECT_FALSE(d.should_claim(101));  // run 1
+  EXPECT_TRUE(d.should_claim(102));   // run 2 >= warmup
+  EXPECT_TRUE(d.should_claim(103));
+}
+
+TEST(ClaimDetector, NonSequentialResets) {
+  ClaimDetector d(2);
+  (void)d.should_claim(100);
+  (void)d.should_claim(101);
+  EXPECT_TRUE(d.should_claim(102));
+  EXPECT_FALSE(d.should_claim(500));  // stream break
+  EXPECT_FALSE(d.should_claim(501));
+  EXPECT_TRUE(d.should_claim(502));
+}
+
+TEST(ClaimDetector, PageBoundaryResets) {
+  ClaimDetector d(2);
+  // Lines 62, 63 warm up; line 64 starts a new 4 KiB page -> reset.
+  (void)d.should_claim(62);
+  (void)d.should_claim(63);
+  EXPECT_FALSE(d.should_claim(64));
+}
+
+TEST(CacheHierarchy, SmallWorkingSetStaysInL1) {
+  auto h = CacheHierarchy::for_machine(Micro::Zen4);
+  for (int rep = 0; rep < 4; ++rep) {
+    for (std::uint64_t a = 0; a < 16 * 1024; a += 64) h.load(a);
+  }
+  // First sweep misses; the remaining three hit in L1.
+  EXPECT_EQ(h.memory().lines_read, 16u * 1024 / 64);
+  h.drain();
+  EXPECT_EQ(h.memory().lines_written, 0u);  // loads never dirty lines
+}
+
+TEST(CacheHierarchy, ExclusiveFillPromotesFromL2) {
+  auto h = CacheHierarchy::for_machine(Micro::Zen4);
+  // Stream larger than L1 (32 KiB) but well within L2 (1 MiB).
+  const std::uint64_t kBytes = 256 * 1024;
+  for (std::uint64_t a = 0; a < kBytes; a += 64) h.load(a);
+  std::uint64_t first_pass_reads = h.memory().lines_read;
+  for (std::uint64_t a = 0; a < kBytes; a += 64) h.load(a);
+  // Second pass is served from L2 (promotions), not memory.
+  EXPECT_EQ(h.memory().lines_read, first_pass_reads);
+}
+
+TEST(CacheHierarchy, StoreStreamGenoaPaysWriteAllocate) {
+  auto h = CacheHierarchy::for_machine(Micro::Zen4);
+  double ratio = h.store_stream_ratio(1 << 20, 8 * 1024 * 1024,
+                                      StoreKind::Standard);
+  EXPECT_NEAR(ratio, 2.0, 0.02);
+}
+
+TEST(CacheHierarchy, StoreStreamGraceClaims) {
+  auto h = CacheHierarchy::for_machine(Micro::NeoverseV2);
+  double ratio = h.store_stream_ratio(1 << 20, 8 * 1024 * 1024,
+                                      StoreKind::Standard);
+  // Analytic model: 1 + warmup/page = 1 + 2/64.
+  EXPECT_NEAR(ratio, 1.0 + 2.0 / 64.0, 0.02);
+}
+
+TEST(CacheHierarchy, NonTemporalBypassesEverywhere) {
+  for (Micro m : uarch::all_micros()) {
+    auto h = CacheHierarchy::for_machine(m);
+    double ratio = h.store_stream_ratio(1 << 20, 4 * 1024 * 1024,
+                                        StoreKind::NonTemporal);
+    EXPECT_NEAR(ratio, 1.0, 1e-9);
+    EXPECT_EQ(h.memory().lines_read, 0u);
+  }
+}
+
+TEST(CacheHierarchy, TraceMatchesAnalyticModelSingleCore) {
+  // Cross-validation: the trace-level ratio equals the analytic model's
+  // single-core prediction on Grace and Genoa (SPR's SpecI2M is bandwidth-
+  // gated and analytic-only; a single core below threshold behaves like
+  // "no evasion", which the trace model reproduces too).
+  struct Case { Micro m; };
+  for (Micro m : {Micro::NeoverseV2, Micro::Zen4, Micro::GoldenCove}) {
+    auto h = CacheHierarchy::for_machine(m);
+    double trace = h.store_stream_ratio(0, 16 * 1024 * 1024,
+                                        StoreKind::Standard);
+    memsim::System sys(memsim::preset(m));
+    double analytic =
+        sys.run_store_benchmark(1, 16.0 * 1024 * 1024, StoreKind::Standard)
+            .ratio();
+    EXPECT_NEAR(trace, analytic, 0.05) << uarch::cpu_short_name(m);
+  }
+}
+
+TEST(CacheHierarchy, TrafficConservation) {
+  auto h = CacheHierarchy::for_machine(Micro::GoldenCove);
+  const std::uint64_t kLines = 4096;
+  for (std::uint64_t i = 0; i < kLines; ++i)
+    h.store(i * 64, StoreKind::Standard);
+  h.drain();
+  // Every stored line eventually reaches memory exactly once.
+  EXPECT_EQ(h.memory().lines_written, kLines);
+  EXPECT_EQ(h.stored_lines(), kLines);
+}
+
+// ------------------------------------------------------- multi-core trace
+
+#include "memsim/multicore.hpp"
+
+TEST(MultiCoreTrace, MatchesAnalyticAcrossCoreCounts) {
+  for (Micro m : uarch::all_micros()) {
+    auto cfg = memsim::preset(m);
+    memsim::System analytic(cfg);
+    for (int cores : {1, 4, 8, 13, 26}) {
+      if (cores > cfg.cores) continue;
+      for (auto kind : {StoreKind::Standard, StoreKind::NonTemporal}) {
+        auto trace = memsim::simulate_store_benchmark_trace(cfg, cores,
+                                                            20000, kind);
+        double bytes = trace.traffic.bytes_stored;
+        auto closed = analytic.run_store_benchmark(cores, bytes, kind);
+        EXPECT_NEAR(trace.traffic.ratio(), closed.ratio(), 0.01)
+            << uarch::cpu_short_name(m) << " cores=" << cores;
+      }
+    }
+  }
+}
+
+TEST(MultiCoreTrace, SprConversionRealizedExactly) {
+  auto cfg = memsim::preset(Micro::GoldenCove);
+  auto trace = memsim::simulate_store_benchmark_trace(
+      cfg, 13, 50000, StoreKind::Standard);
+  memsim::System analytic(cfg);
+  auto dr = analytic.solve_domain(13, StoreKind::Standard);
+  EXPECT_NEAR(trace.conversion, dr.conversion, 1e-3);
+  EXPECT_GT(trace.conversion, 0.2);  // near the 25% cap at full domain
+}
+
+TEST(MultiCoreTrace, TrafficConservationManyCores) {
+  auto cfg = memsim::preset(Micro::Zen4);
+  auto t = memsim::simulate_store_benchmark_trace(cfg, 32, 10000,
+                                                  StoreKind::Standard);
+  EXPECT_DOUBLE_EQ(t.traffic.bytes_written_mem, t.traffic.bytes_stored);
+  EXPECT_DOUBLE_EQ(t.traffic.bytes_read_mem, t.traffic.bytes_stored);
+}
+
+TEST(MultiCoreTrace, ZeroCores) {
+  auto cfg = memsim::preset(Micro::Zen4);
+  auto t = memsim::simulate_store_benchmark_trace(cfg, 0, 1000,
+                                                  StoreKind::Standard);
+  EXPECT_EQ(t.traffic.bytes_stored, 0.0);
+}

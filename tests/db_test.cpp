@@ -1,0 +1,150 @@
+// Database-wide consistency sweeps over every instruction form of every
+// machine model: plausibility bounds on latencies and reciprocal
+// throughputs, structural invariants of load/store/synthetic forms, and
+// width-scaling relationships between vector variants of the same
+// operation.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "support/strings.hpp"
+#include "uarch/model.hpp"
+
+using namespace incore;
+using uarch::MachineModel;
+using uarch::Micro;
+using uarch::machine;
+
+namespace {
+
+const std::vector<const MachineModel*>& all_models() {
+  static const std::vector<const MachineModel*> models = {
+      &machine(Micro::NeoverseV2), &machine(Micro::GoldenCove),
+      &machine(Micro::Zen4), &uarch::ice_lake_sp()};
+  return models;
+}
+
+}  // namespace
+
+TEST(Database, EveryFormHasPlausibleNumbers) {
+  for (const MachineModel* mm : all_models()) {
+    for (const std::string& form : mm->forms()) {
+      const uarch::InstrPerf* p = mm->find(form);
+      ASSERT_NE(p, nullptr);
+      EXPECT_GE(p->latency, 0.0) << mm->name() << " " << form;
+      EXPECT_LE(p->latency, 32.0) << mm->name() << " " << form;
+      EXPECT_GT(p->inverse_throughput, 0.0) << mm->name() << " " << form;
+      EXPECT_LE(p->inverse_throughput, 64.0) << mm->name() << " " << form;
+      EXPECT_LE(p->port_uses.size(), 8u) << mm->name() << " " << form;
+    }
+  }
+}
+
+TEST(Database, SyntheticAccessFormsCoverCommonWidths) {
+  for (const MachineModel* mm : all_models()) {
+    for (int w : {32, 64, 128, 256}) {
+      EXPECT_NE(mm->find(support::format("_load.m%d", w)), nullptr)
+          << mm->name() << " width " << w;
+      EXPECT_NE(mm->find(support::format("_store.m%d", w)), nullptr)
+          << mm->name() << " width " << w;
+    }
+  }
+  // 512-bit only exists on the x86 models.
+  EXPECT_NE(machine(Micro::GoldenCove).find("_load.m512"), nullptr);
+  EXPECT_NE(machine(Micro::Zen4).find("_load.m512"), nullptr);
+  EXPECT_EQ(machine(Micro::NeoverseV2).find("_load.m512"), nullptr);
+}
+
+TEST(Database, LoadLatencyDominatesStoreLatency) {
+  // Loads carry the L1 access latency; store-data results do not feed
+  // consumers and carry a nominal cycle.
+  for (const MachineModel* mm : all_models()) {
+    for (int w : {64, 128, 256}) {
+      const auto* ld = mm->find(support::format("_load.m%d", w));
+      const auto* st = mm->find(support::format("_store.m%d", w));
+      ASSERT_NE(ld, nullptr);
+      ASSERT_NE(st, nullptr);
+      EXPECT_GT(ld->latency, st->latency) << mm->name() << " width " << w;
+    }
+  }
+}
+
+TEST(Database, WiderVectorsNeverSlowerPerElement) {
+  struct Family {
+    Micro m;
+    const char* narrow;
+    int narrow_elems;
+    const char* wide;
+    int wide_elems;
+  };
+  const Family fams[] = {
+      {Micro::GoldenCove, "vaddpd v256,v256,v256", 4,
+       "vaddpd v512,v512,v512", 8},
+      {Micro::GoldenCove, "vfmadd231pd v256,v256,v256", 4,
+       "vfmadd231pd v512,v512,v512", 8},
+      {Micro::Zen4, "vaddpd v128,v128,v128", 2, "vaddpd v256,v256,v256", 4},
+      {Micro::Zen4, "vaddpd v256,v256,v256", 4, "vaddpd v512,v512,v512", 8},
+      {Micro::NeoverseV2, "fadd v64,v64,v64", 1, "fadd v128,v128,v128", 2},
+  };
+  for (const auto& f : fams) {
+    const auto& mm = machine(f.m);
+    const auto* n = mm.find(f.narrow);
+    const auto* w = mm.find(f.wide);
+    ASSERT_NE(n, nullptr) << f.narrow;
+    ASSERT_NE(w, nullptr) << f.wide;
+    double narrow_rate = f.narrow_elems / n->inverse_throughput;
+    double wide_rate = f.wide_elems / w->inverse_throughput;
+    EXPECT_GE(wide_rate, narrow_rate - 1e-9) << f.wide;
+  }
+}
+
+TEST(Database, DividersAreNonPipelined) {
+  // Every divide form must declare reciprocal throughput comparable to (or
+  // above) a pipelined op -- the serialization the analyzer depends on.
+  for (const MachineModel* mm : all_models()) {
+    for (const std::string& form : mm->forms()) {
+      if (form.find("div") == std::string::npos) continue;
+      if (form[0] == '_') continue;
+      const auto* p = mm->find(form);
+      EXPECT_GE(p->inverse_throughput, 2.0) << mm->name() << " " << form;
+    }
+  }
+}
+
+TEST(Database, GatherFormsUseGatherTokens) {
+  for (const MachineModel* mm : all_models()) {
+    for (const std::string& form : mm->forms()) {
+      if (form.find("gather") == std::string::npos || form[0] == '_')
+        continue;
+      bool has_gather_token = form.find(" g") != std::string::npos ||
+                              form.find(",g") != std::string::npos;
+      EXPECT_TRUE(has_gather_token)
+          << mm->name() << " " << form << " should use a gather token";
+    }
+  }
+}
+
+TEST(Database, FmaLatencyAtLeastMulLatency) {
+  struct Pair { Micro m; const char* mul; const char* fma; };
+  const Pair pairs[] = {
+      {Micro::GoldenCove, "vmulpd v512,v512,v512",
+       "vfmadd231pd v512,v512,v512"},
+      {Micro::Zen4, "vmulpd v256,v256,v256", "vfmadd231pd v256,v256,v256"},
+      {Micro::NeoverseV2, "fmul v128,v128,v128", "fmla v128,v128,v128"},
+  };
+  for (const auto& p : pairs) {
+    const auto& mm = machine(p.m);
+    EXPECT_GE(mm.find(p.fma)->latency, mm.find(p.mul)->latency) << p.fma;
+  }
+}
+
+TEST(Database, TableIIISelectionIsBestWidth) {
+  // The paper reports the best width per instruction; verify our models
+  // agree on which width that is.
+  const auto& z4 = machine(Micro::Zen4);
+  double ymm_div = 4.0 / z4.find("vdivpd v256,v256,v256")->inverse_throughput;
+  double zmm_div = 8.0 / z4.find("vdivpd v512,v512,v512")->inverse_throughput;
+  EXPECT_GE(ymm_div, zmm_div);  // ymm divide is Zen 4's best (0.8 elem/cy)
+}

@@ -1,0 +1,147 @@
+// Tests for the Execution-Cache-Memory composition (the paper's stated
+// future work): in-core split, transfer terms, data-location monotonicity,
+// write-allocate handling and the saturation law.
+
+#include <gtest/gtest.h>
+
+#include "ecm/ecm.hpp"
+#include "kernels/kernels.hpp"
+#include "uarch/model.hpp"
+
+using namespace incore;
+using ecm::DataLocation;
+using kernels::Compiler;
+using kernels::Kernel;
+using kernels::OptLevel;
+using uarch::Micro;
+
+namespace {
+
+kernels::Variant triad(Micro m) {
+  return {Kernel::SchoenauerTriad, kernels::compilers_for(m).front(),
+          OptLevel::O3, m};
+}
+
+}  // namespace
+
+TEST(EcmHierarchy, PresetsExistForAllMachines) {
+  for (Micro m : uarch::all_micros()) {
+    auto h = ecm::hierarchy(m);
+    EXPECT_GT(h.cy_per_cl_l1_l2, 0.0);
+    EXPECT_GT(h.cy_per_cl_l2_l3, 0.0);
+    // Canonical ECM: the per-line memory term reflects the *saturated*
+    // socket bandwidth and is therefore small per core.
+    EXPECT_GT(h.cy_per_cl_l3_mem, 0.0);
+    EXPECT_NEAR(h.socket_cl_per_cy * h.cy_per_cl_l3_mem, 1.0, 1e-9);
+  }
+}
+
+TEST(EcmHierarchy, OnlyGraceEvadesWriteAllocates) {
+  EXPECT_TRUE(ecm::hierarchy(Micro::NeoverseV2).write_allocate_evaded);
+  EXPECT_FALSE(ecm::hierarchy(Micro::GoldenCove).write_allocate_evaded);
+  EXPECT_FALSE(ecm::hierarchy(Micro::Zen4).write_allocate_evaded);
+}
+
+TEST(EcmTraffic, TriadLineCounts) {
+  // Schoenauer triad: 3 loads + 1 store per element.
+  auto v = triad(Micro::GoldenCove);
+  auto g = kernels::generate(v);
+  auto t = ecm::traffic_for(v, g.elements_per_iteration);
+  double elems = g.elements_per_iteration;
+  EXPECT_DOUBLE_EQ(t.load_lines, 3.0 * elems / 8.0);
+  EXPECT_DOUBLE_EQ(t.store_lines, elems / 8.0);
+  EXPECT_DOUBLE_EQ(t.wa_lines, t.store_lines);
+}
+
+TEST(EcmPrediction, MonotoneInDataLocation) {
+  for (Micro m : uarch::all_micros()) {
+    auto p = ecm::predict_kernel(triad(m));
+    double l1 = p.cycles(DataLocation::L1);
+    double l2 = p.cycles(DataLocation::L2);
+    double l3 = p.cycles(DataLocation::L3);
+    double mem = p.cycles(DataLocation::Memory);
+    EXPECT_LE(l1, l2);
+    EXPECT_LE(l2, l3);
+    EXPECT_LE(l3, mem);
+    EXPECT_GT(mem, 0.0);
+  }
+}
+
+TEST(EcmPrediction, L1EqualsInCoreBound) {
+  // With data in L1 the ECM prediction is the in-core model itself.
+  auto v = triad(Micro::Zen4);
+  auto g = kernels::generate(v);
+  auto rep = analysis::analyze(g.program, uarch::machine(v.target));
+  auto p = ecm::predict_kernel(v);
+  EXPECT_NEAR(p.cycles(DataLocation::L1),
+              std::max(p.t_ol, p.t_nol), 1e-9);
+  EXPECT_LE(p.cycles(DataLocation::L1), rep.predicted_cycles() + 1e-6);
+}
+
+TEST(EcmPrediction, WriteAllocateChargesExtraLines) {
+  // The same store-only kernel moves fewer lines on Grace (claimed) than on
+  // Genoa (write-allocated): INIT writes 1 line / 8 elements.
+  auto genoa = ecm::predict_kernel(
+      {Kernel::Init, Compiler::Gcc, OptLevel::O3, Micro::Zen4});
+  auto grace = ecm::predict_kernel(
+      {Kernel::Init, Compiler::Gcc, OptLevel::O3, Micro::NeoverseV2});
+  auto gn = kernels::generate(
+      kernels::Variant{Kernel::Init, Compiler::Gcc, OptLevel::O3, Micro::Zen4});
+  auto gg = kernels::generate(kernels::Variant{Kernel::Init, Compiler::Gcc,
+                                               OptLevel::O3,
+                                               Micro::NeoverseV2});
+  double genoa_lines = genoa.mem_lines_per_iter / gn.elements_per_iteration;
+  double grace_lines = grace.mem_lines_per_iter / gg.elements_per_iteration;
+  EXPECT_NEAR(genoa_lines, 2.0 / 8.0, 1e-9);  // store + write-allocate
+  EXPECT_NEAR(grace_lines, 1.0 / 8.0, 1e-9);  // store only
+}
+
+TEST(EcmPrediction, SaturationCoresReasonable) {
+  for (Micro m : uarch::all_micros()) {
+    auto p = ecm::predict_kernel(triad(m));
+    int n = p.saturation_cores(ecm::hierarchy(m));
+    EXPECT_GE(n, 2);   // streaming triads never saturate with one core
+    EXPECT_LE(n, 64);  // ...and well within a socket
+  }
+}
+
+TEST(EcmPrediction, MulticoreScalesThenSaturates) {
+  auto v = triad(Micro::GoldenCove);
+  auto p = ecm::predict_kernel(v);
+  auto h = ecm::hierarchy(Micro::GoldenCove);
+  double t1 = p.multicore_cycles(1, h);
+  double t2 = p.multicore_cycles(2, h);
+  double t_many = p.multicore_cycles(52, h);
+  EXPECT_NEAR(t2, t1 / 2.0, 1e-9);  // linear regime
+  EXPECT_LT(t_many, t2);
+  // Beyond saturation, more cores do not help.
+  EXPECT_NEAR(p.multicore_cycles(52, h), p.multicore_cycles(40, h), 1e-9);
+}
+
+TEST(EcmSplit, MemPortsSeparatedFromCompute) {
+  // A load-only kernel has T_nOL > 0 and tiny T_OL.
+  auto v = kernels::Variant{Kernel::SumReduction, Compiler::OneApi,
+                            OptLevel::O3, Micro::GoldenCove};
+  auto g = kernels::generate(v);
+  auto rep = analysis::analyze(g.program, uarch::machine(v.target));
+  auto split = ecm::split_in_core(rep);
+  EXPECT_GT(split.t_nol, 0.0);
+  EXPECT_GT(split.t_ol, 0.0);  // adds + loop control
+}
+
+TEST(EcmNames, LocationStrings) {
+  EXPECT_STREQ(ecm::to_string(DataLocation::L1), "L1");
+  EXPECT_STREQ(ecm::to_string(DataLocation::Memory), "MEM");
+}
+
+TEST(EcmPrediction, ComputeOnlyKernelsScaleLinearly) {
+  // pi moves no data: no saturation, linear scaling with cores.
+  kernels::Variant v{Kernel::Pi, Compiler::Gcc, OptLevel::O2,
+                     Micro::NeoverseV2};
+  auto p = ecm::predict_kernel(v);
+  auto h = ecm::hierarchy(Micro::NeoverseV2);
+  EXPECT_GT(p.saturation_cores(h), 72);
+  double t1 = p.multicore_cycles(1, h);
+  double t72 = p.multicore_cycles(72, h);
+  EXPECT_NEAR(t72, t1 / 72.0, 1e-9);
+}

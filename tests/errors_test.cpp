@@ -1,0 +1,91 @@
+// Negative-path tests: malformed assembly, model-consistency violations,
+// and the documented failure modes of form resolution.
+
+#include <gtest/gtest.h>
+
+#include "asmir/parser.hpp"
+#include "support/error.hpp"
+#include "uarch/model.hpp"
+
+using namespace incore;
+using asmir::Isa;
+
+TEST(ParseErrors, MalformedAArch64Memory) {
+  EXPECT_THROW((void)asmir::parse("ldr x0, [x1", Isa::AArch64),
+               support::ParseError);
+}
+
+TEST(ParseErrors, MalformedX86Memory) {
+  EXPECT_THROW((void)asmir::parse("movq 8(%rax, %rbx\n", Isa::X86_64),
+               support::ParseError);
+}
+
+TEST(ParseErrors, ErrorCarriesLineNumber) {
+  try {
+    (void)asmir::parse("nop\nldr x0, [x1\n", Isa::AArch64);
+    FAIL() << "expected ParseError";
+  } catch (const support::ParseError& e) {
+    EXPECT_EQ(e.line(), 2);
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(ParseErrors, EmptyInputYieldsEmptyProgram) {
+  EXPECT_TRUE(asmir::parse("", Isa::X86_64).empty());
+  EXPECT_TRUE(asmir::parse("\n\n  # only comments\n", Isa::X86_64).empty());
+  EXPECT_TRUE(asmir::parse(".align 4\n.L1:\n", Isa::AArch64).empty());
+}
+
+TEST(ParseErrors, MarkersWithoutEndIgnored) {
+  // BEGIN without END: fall back to the whole text.
+  auto p = asmir::parse("# LLVM-MCA-BEGIN\nnop\n", Isa::X86_64);
+  EXPECT_EQ(p.size(), 1u);
+}
+
+TEST(ModelErrors, UnknownInstructionNamesTheFormAndMachine) {
+  auto p = asmir::parse("bogus %rax, %rbx\n", Isa::X86_64);
+  try {
+    (void)uarch::machine(uarch::Micro::GoldenCove).resolve(p.code[0]);
+    FAIL() << "expected UnknownInstruction";
+  } catch (const support::UnknownInstruction& e) {
+    std::string what = e.what();
+    EXPECT_NE(what.find("bogus"), std::string::npos);
+    EXPECT_NE(what.find("golden-cove"), std::string::npos);
+  }
+}
+
+TEST(ModelErrors, ValidateRejectsUnknownPort) {
+  uarch::MachineModel mm("toy", uarch::Micro::Zen4, Isa::X86_64, {"A", "B"});
+  EXPECT_THROW(mm.add("op r64,r64", 1.0, 1.0, "A|C"), support::ModelError);
+}
+
+TEST(ModelErrors, ValidateRejectsUnachievableThroughput) {
+  uarch::MachineModel mm("toy", uarch::Micro::Zen4, Isa::X86_64, {"A", "B"});
+  // Occupancy 4 over 2 ports implies >= 2 cy/instr; declaring 1 is a lie.
+  mm.add("op r64,r64", 1.0, 1.0, "4xA|B");
+  EXPECT_THROW(mm.validate(), support::ModelError);
+}
+
+TEST(ModelErrors, ValidateAcceptsConsistentModel) {
+  uarch::MachineModel mm("toy", uarch::Micro::Zen4, Isa::X86_64, {"A", "B"});
+  mm.add("op r64,r64", 2.0, 1.0, "4xA|B");
+  EXPECT_NO_THROW(mm.validate());
+}
+
+TEST(ModelErrors, TooManyPortsRejected) {
+  std::vector<std::string> ports(33, "P");
+  for (std::size_t i = 0; i < ports.size(); ++i)
+    ports[i] = "P" + std::to_string(i);
+  EXPECT_THROW(
+      uarch::MachineModel("toy", uarch::Micro::Zen4, Isa::X86_64, ports),
+      support::ModelError);
+}
+
+TEST(ModelErrors, FoldedUnknownComputeThrows) {
+  // A folded arithmetic instruction whose compute form is absent must not
+  // silently degrade to a pure load.
+  auto p = asmir::parse("vfrobpd (%rax), %ymm1, %ymm2\n", Isa::X86_64);
+  EXPECT_THROW(
+      (void)uarch::machine(uarch::Micro::GoldenCove).resolve(p.code[0]),
+      support::UnknownInstruction);
+}

@@ -1,0 +1,247 @@
+// Integration tests: the paper's headline claims, asserted over the full
+// 416-block validation matrix and the node-level models.  These are the
+// repository's "does it still reproduce the paper" gate.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "analysis/analyze.hpp"
+#include "exec/exec.hpp"
+#include "kernels/kernels.hpp"
+#include "mca/mca.hpp"
+#include "memsim/memsim.hpp"
+#include "power/power.hpp"
+#include "report/report.hpp"
+#include "uarch/model.hpp"
+
+using namespace incore;
+using uarch::Micro;
+
+namespace {
+
+struct MatrixResults {
+  std::vector<double> osaca_rpe;
+  std::vector<double> mca_rpe;
+  std::map<std::string, double> osaca_by_label;
+  int blocks = 0;
+};
+
+/// Runs the full Fig. 3 pipeline once and caches it for all tests.
+const MatrixResults& matrix_results() {
+  static const MatrixResults r = [] {
+    MatrixResults out;
+    for (const kernels::Variant& v : kernels::test_matrix()) {
+      auto g = kernels::generate(v);
+      const auto& mm = uarch::machine(v.target);
+      auto rep = analysis::analyze(g.program, mm);
+      auto meas = exec::run(g.program, mm);
+      auto pred = mca::simulate(g.program, mm);
+      double m = meas.cycles_per_iteration;
+      double ro = (m - rep.predicted_cycles()) / m;
+      double rm = (m - pred.cycles_per_iteration) / m;
+      out.osaca_rpe.push_back(ro);
+      out.mca_rpe.push_back(rm);
+      out.osaca_by_label[v.label()] = ro;
+      ++out.blocks;
+    }
+    return out;
+  }();
+  return r;
+}
+
+}  // namespace
+
+TEST(PaperClaims, MatrixHas416Blocks) {
+  EXPECT_EQ(matrix_results().blocks, 416);
+}
+
+TEST(PaperClaims, OsacaIsALowerBoundForAlmostAllBlocks) {
+  // Paper: 96% of predictions right of the zero line.
+  auto s = report::summarize_rpe(matrix_results().osaca_rpe);
+  EXPECT_GE(s.fraction_right, 0.94);
+}
+
+TEST(PaperClaims, OsacaAccuracyBuckets) {
+  // Paper: 37% within +10%, 44% within +20%.  Our testbed is noise-free, so
+  // the bound is at least as tight.
+  auto s = report::summarize_rpe(matrix_results().osaca_rpe);
+  EXPECT_GE(s.fraction_in10, 0.35);
+  EXPECT_GE(s.fraction_in20, 0.42);
+}
+
+TEST(PaperClaims, OsacaAtMostOneBlockOffByFactorTwo) {
+  auto s = report::summarize_rpe(matrix_results().osaca_rpe);
+  EXPECT_LE(s.off_by_2x, 1);  // paper: exactly 1
+}
+
+TEST(PaperClaims, GaussSeidelOutliersOnV2) {
+  // Paper: "a few versions of the Gauss-Seidel kernel for the Neoverse V2,
+  // where OSACA (correctly) predicts a register dependency that the CPU can
+  // overcome by register renaming".
+  const auto& by_label = matrix_results().osaca_by_label;
+  int left = 0;
+  for (const char* opt : {"O1", "O2", "O3"}) {
+    auto it = by_label.find(std::string("gauss-seidel-2d-5pt-gcc-") + opt +
+                            "-GCS");
+    ASSERT_NE(it, by_label.end());
+    if (it->second < -0.1) ++left;
+  }
+  EXPECT_EQ(left, 3);
+  // The Ofast version has no fmov in the chain: not an outlier.
+  auto ofast = by_label.find("gauss-seidel-2d-5pt-gcc-Ofast-GCS");
+  ASSERT_NE(ofast, by_label.end());
+  EXPECT_GE(ofast->second, -0.05);
+}
+
+TEST(PaperClaims, PiKernelOutlierOnGenoaOnly) {
+  // Paper: "the pi kernel for Zen 4, where our model assumes a lower
+  // throughput for the scalar divide than we measure".
+  const auto& by_label = matrix_results().osaca_by_label;
+  EXPECT_LT(by_label.at("pi-gcc-O2-Genoa"), -0.1);
+  EXPECT_GE(by_label.at("pi-gcc-O2-SPR"), -0.05);
+  EXPECT_GE(by_label.at("pi-gcc-O2-GCS"), -0.05);
+}
+
+TEST(PaperClaims, McaMostlyOverPredicts) {
+  // Paper: LLVM-MCA predicts 75% of kernels slower than the measurement.
+  // Deterministic ties count as neither; require a clear left-heavy skew.
+  int slower = 0, faster = 0;
+  for (double r : matrix_results().mca_rpe) {
+    if (r < -0.005) ++slower;
+    if (r > 0.005) ++faster;
+  }
+  EXPECT_GT(slower, faster);
+  EXPECT_GE(static_cast<double>(slower) / matrix_results().blocks, 0.35);
+}
+
+TEST(PaperClaims, McaWorstOnNeoverseV2BestOnZen4) {
+  // Paper |RPE|: GC 35%, V2 52%, Zen4 16%.
+  std::map<Micro, std::vector<double>> per;
+  int i = 0;
+  for (const kernels::Variant& v : kernels::test_matrix()) {
+    per[v.target].push_back(matrix_results().mca_rpe[i++]);
+  }
+  auto abs_mean = [](const std::vector<double>& xs) {
+    double s = 0;
+    for (double x : xs) s += std::abs(x);
+    return s / xs.size();
+  };
+  double v2 = abs_mean(per[Micro::NeoverseV2]);
+  double gc = abs_mean(per[Micro::GoldenCove]);
+  double z4 = abs_mean(per[Micro::Zen4]);
+  EXPECT_GT(v2, gc);
+  EXPECT_GT(gc, z4);
+}
+
+TEST(PaperClaims, OsacaBeatsOrMatchesMcaOnUnderPrediction) {
+  // Paper: the OSACA model's under-prediction errors are smaller than
+  // LLVM-MCA's on Golden Cove and V2.
+  auto so = report::summarize_rpe(matrix_results().osaca_rpe);
+  auto sm = report::summarize_rpe(matrix_results().mca_rpe);
+  EXPECT_LE(so.mean_abs_rpe, sm.mean_abs_rpe);
+}
+
+TEST(PaperClaims, Figure2Plateaus) {
+  EXPECT_NEAR(power::sustained_frequency(Micro::GoldenCove,
+                                         power::IsaClass::Avx512, 52),
+              2.0, 0.05);
+  EXPECT_NEAR(
+      power::sustained_frequency(Micro::GoldenCove, power::IsaClass::Sse, 52),
+      3.0, 0.05);
+  EXPECT_NEAR(
+      power::sustained_frequency(Micro::Zen4, power::IsaClass::Avx512, 96),
+      3.1, 0.05);
+  EXPECT_DOUBLE_EQ(power::sustained_frequency(
+                       Micro::NeoverseV2, power::IsaClass::Sve, 72),
+                   3.4);
+}
+
+TEST(PaperClaims, Figure4Endpoints) {
+  constexpr double kSet = 40e9;
+  memsim::System gcs(memsim::preset(Micro::NeoverseV2));
+  memsim::System spr(memsim::preset(Micro::GoldenCove));
+  memsim::System genoa(memsim::preset(Micro::Zen4));
+  EXPECT_LT(gcs.run_store_benchmark(72, kSet, memsim::StoreKind::Standard)
+                .ratio(),
+            1.05);
+  double spr_full =
+      spr.run_store_benchmark(52, kSet, memsim::StoreKind::Standard).ratio();
+  EXPECT_GE(spr_full, 1.74);
+  EXPECT_LE(spr_full, 1.80);
+  EXPECT_NEAR(spr.run_store_benchmark(52, kSet, memsim::StoreKind::NonTemporal)
+                  .ratio(),
+              1.10, 0.03);
+  EXPECT_NEAR(
+      genoa.run_store_benchmark(96, kSet, memsim::StoreKind::Standard).ratio(),
+      2.0, 1e-9);
+  EXPECT_NEAR(genoa
+                  .run_store_benchmark(96, kSet,
+                                       memsim::StoreKind::NonTemporal)
+                  .ratio(),
+              1.0, 1e-9);
+}
+
+TEST(PaperClaims, TableIPeaks) {
+  EXPECT_NEAR(power::peak_flops(Micro::NeoverseV2).theoretical_tflops, 3.92,
+              0.02);
+  EXPECT_NEAR(power::peak_flops(Micro::GoldenCove).theoretical_tflops, 6.32,
+              0.02);
+  EXPECT_NEAR(power::peak_flops(Micro::Zen4).theoretical_tflops, 8.52, 0.02);
+}
+
+TEST(PaperClaims, VectorThroughputOrderingTableIII) {
+  // Golden Cove wins every vector throughput; V2 wins scalar throughput.
+  const auto& glc = uarch::machine(Micro::GoldenCove);
+  const auto& v2 = uarch::machine(Micro::NeoverseV2);
+  const auto& z4 = uarch::machine(Micro::Zen4);
+  double glc_fma =
+      8.0 / glc.find("vfmadd231pd v512,v512,v512")->inverse_throughput;
+  double v2_fma = 2.0 / v2.find("fmla v128,v128,v128")->inverse_throughput;
+  double z4_fma =
+      4.0 / z4.find("vfmadd231pd v256,v256,v256")->inverse_throughput;
+  EXPECT_GT(glc_fma, v2_fma);
+  EXPECT_GT(glc_fma, z4_fma);
+  double v2_scalar = 1.0 / v2.find("fadd v64,v64,v64")->inverse_throughput;
+  double glc_scalar =
+      1.0 / glc.find("vaddsd v128,v128,v128")->inverse_throughput;
+  EXPECT_GT(v2_scalar, glc_scalar);
+}
+
+TEST(PaperClaims, V2LatencyAdvantageTableIII) {
+  // "the superiority of the Neoverse V2 which shows a lower or even latency
+  // for every single instruction".
+  const auto& glc = uarch::machine(Micro::GoldenCove);
+  const auto& v2 = uarch::machine(Micro::NeoverseV2);
+  const auto& z4 = uarch::machine(Micro::Zen4);
+  struct Pair { const char* v2f; const char* x86f; };
+  const Pair pairs[] = {
+      {"fadd v128,v128,v128", "vaddpd v512,v512,v512"},
+      {"fmul v128,v128,v128", "vmulpd v512,v512,v512"},
+      {"fmla v128,v128,v128", "vfmadd231pd v512,v512,v512"},
+  };
+  for (const auto& p : pairs) {
+    double lv2 = v2.find(p.v2f)->latency;
+    EXPECT_LE(lv2, glc.find(p.x86f)->latency) << p.v2f;
+  }
+  const Pair zpairs[] = {
+      {"fadd v128,v128,v128", "vaddpd v256,v256,v256"},
+      {"fmla v128,v128,v128", "vfmadd231pd v256,v256,v256"},
+  };
+  for (const auto& p : zpairs) {
+    EXPECT_LE(v2.find(p.v2f)->latency, z4.find(p.x86f)->latency) << p.v2f;
+  }
+}
+
+TEST(PaperClaims, BandwidthEfficiencyOrdering) {
+  // §II: Genoa 78% < GCS ~86% < SPR ~90%.
+  auto eff = [](Micro m) {
+    memsim::System sys(memsim::preset(m));
+    return sys.achieved_bw(sys.config().cores, 2.0 / 3.0) /
+           sys.config().theoretical_bw_gbs;
+  };
+  EXPECT_LT(eff(Micro::Zen4), eff(Micro::NeoverseV2));
+  EXPECT_LT(eff(Micro::NeoverseV2), eff(Micro::GoldenCove));
+}

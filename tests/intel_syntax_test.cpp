@@ -1,0 +1,80 @@
+// Tests for the Intel-syntax x86 front end (translation to AT&T + parse).
+
+#include <gtest/gtest.h>
+
+#include "analysis/analyze.hpp"
+#include "asmir/parser.hpp"
+#include "uarch/model.hpp"
+
+using namespace incore;
+using asmir::Isa;
+using asmir::detail::intel_to_att_line;
+
+TEST(IntelSyntax, TranslateRegisterForms) {
+  EXPECT_EQ(intel_to_att_line("vaddpd zmm0, zmm1, zmm2"),
+            "vaddpd %zmm2, %zmm1, %zmm0");
+  EXPECT_EQ(intel_to_att_line("add rax, rbx"), "add %rbx, %rax");
+  EXPECT_EQ(intel_to_att_line("add rax, 64"), "add $64, %rax");
+}
+
+TEST(IntelSyntax, TranslateMemoryForms) {
+  EXPECT_EQ(intel_to_att_line("mov rax, qword ptr [rbx+rcx*8+16]"),
+            "mov 16(%rbx,%rcx,8), %rax");
+  EXPECT_EQ(intel_to_att_line("vmovupd ymm1, ymmword ptr [rsi]"),
+            "vmovupd (%rsi), %ymm1");
+  EXPECT_EQ(intel_to_att_line("vmovupd [rdi+32], ymm0"),
+            "vmovupd %ymm0, 32(%rdi)");
+  EXPECT_EQ(intel_to_att_line("mov rax, [rbx-8]"), "mov -8(%rbx), %rax");
+}
+
+TEST(IntelSyntax, MaskAnnotations) {
+  EXPECT_EQ(intel_to_att_line("vmovupd zmm1 {k1}{z}, [rax]"),
+            "vmovupd (%rax), %zmm1{%k1}{z}");
+}
+
+TEST(IntelSyntax, AutoDetectionParsesTriad) {
+  const char* intel =
+      "loop:\n"
+      "  vmovupd zmm0, zmmword ptr [rsi+rcx]\n"
+      "  vfmadd231pd zmm0, zmm15, zmmword ptr [rdx+rcx]\n"
+      "  vmovupd zmmword ptr [rax+rcx], zmm0\n"
+      "  add rcx, 64\n"
+      "  cmp rcx, rdi\n"
+      "  jne loop\n";
+  asmir::Program p = asmir::parse(intel, Isa::X86_64);
+  ASSERT_EQ(p.size(), 6u);
+  EXPECT_EQ(p.code[0].form(), "vmovupd m512,v512");
+  EXPECT_EQ(p.code[1].form(), "vfmadd231pd m512,v512,v512");
+  EXPECT_TRUE(p.code[2].is_store);
+  // And it analyzes identically to the AT&T twin.
+  const auto& mm = uarch::machine(uarch::Micro::GoldenCove);
+  auto rep = analysis::analyze(p, mm);
+  const char* att =
+      "vmovupd (%rsi,%rcx), %zmm0\n"
+      "vfmadd231pd (%rdx,%rcx), %zmm15, %zmm0\n"
+      "vmovupd %zmm0, (%rax,%rcx)\n"
+      "addq $64, %rcx\n"
+      "cmpq %rdi, %rcx\n"
+      "jne loop\n";
+  auto rep2 = analysis::analyze(asmir::parse(att, Isa::X86_64), mm);
+  EXPECT_DOUBLE_EQ(rep.predicted_cycles(), rep2.predicted_cycles());
+  EXPECT_DOUBLE_EQ(rep.throughput_cycles(), rep2.throughput_cycles());
+}
+
+TEST(IntelSyntax, AttNotMisdetected) {
+  const char* att = "vaddpd %ymm0, %ymm1, %ymm2\n";
+  EXPECT_FALSE(asmir::detail::looks_like_intel_syntax(att));
+  asmir::Program p = asmir::parse(att, Isa::X86_64);
+  EXPECT_EQ(p.code[0].form(), "vaddpd v256,v256,v256");
+}
+
+TEST(IntelSyntax, IntelCommentsStripped) {
+  asmir::Program p = asmir::parse("add rax, rbx ; accumulate\n", Isa::X86_64);
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_EQ(p.code[0].form(), "add r64,r64");
+}
+
+TEST(IntelSyntax, ScaleBeforeRegister) {
+  EXPECT_EQ(intel_to_att_line("mov rax, [rbx+8*rcx]"),
+            "mov (%rbx,%rcx,8), %rax");
+}

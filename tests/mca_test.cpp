@@ -1,0 +1,114 @@
+// Tests for the LLVM-MCA-style comparator: its characteristic pessimism
+// relative to the testbed, and the per-arch scheduling-model quality
+// ordering reported in the paper (worst on Neoverse V2, best on Zen 4).
+
+#include <gtest/gtest.h>
+
+#include "analysis/analyze.hpp"
+#include "asmir/parser.hpp"
+#include "exec/exec.hpp"
+#include "mca/mca.hpp"
+#include "uarch/model.hpp"
+
+using namespace incore;
+using uarch::Micro;
+using uarch::machine;
+
+TEST(Mca, ConfigDisablesRenameOptimizations) {
+  auto cfg = mca::sched_model_config(Micro::NeoverseV2);
+  EXPECT_FALSE(cfg.move_elimination);
+  EXPECT_FALSE(cfg.zero_idiom_elimination);
+  EXPECT_FALSE(cfg.dynamic_port_selection);
+  EXPECT_EQ(cfg.taken_branch_bubble, 0.0);
+}
+
+TEST(Mca, V2LatenciesInflated) {
+  // A latency-bound FMA chain: V2 silicon 4 cy, LLVM model 4+2.
+  const auto& mm = machine(Micro::NeoverseV2);
+  auto prog = asmir::parse(
+      "fmla v0.2d, v1.2d, v2.2d\n"
+      "subs x9, x9, #1\n"
+      "b.ne .L\n",
+      mm.isa());
+  auto meas = exec::run(prog, mm);
+  auto pred = mca::simulate(prog, mm);
+  EXPECT_NEAR(meas.cycles_per_iteration, 4.0, 0.5);
+  EXPECT_NEAR(pred.cycles_per_iteration, 6.0, 0.5);
+  EXPECT_GT(pred.cycles_per_iteration, meas.cycles_per_iteration + 1.0);
+}
+
+TEST(Mca, Zen4ModelIsAccurateOnLatency) {
+  const auto& mm = machine(Micro::Zen4);
+  auto prog = asmir::parse(
+      "vfmadd231pd %ymm1, %ymm2, %ymm0\n"
+      "subq $1, %r9\n"
+      "jne .L\n",
+      mm.isa());
+  auto meas = exec::run(prog, mm);
+  auto pred = mca::simulate(prog, mm);
+  // Mildly conservative tables: within about a cycle of the measurement.
+  EXPECT_NEAR(pred.cycles_per_iteration, meas.cycles_per_iteration, 1.1);
+}
+
+TEST(Mca, IgnoresBranchOverheadSoCanUnderpredict) {
+  // Fetch-bound loop: the testbed pays the per-iteration fetch-redirect
+  // bubble, MCA does not -> MCA lands *below* the measurement (a
+  // right-of-zero case in Fig. 3, which the paper reports for ~25% of
+  // kernels).
+  const auto& mm = machine(Micro::Zen4);
+  auto prog = asmir::parse(
+      "vxorpd %ymm0, %ymm1, %ymm2\n"
+      "vxorpd %ymm3, %ymm4, %ymm5\n"
+      "vxorpd %ymm6, %ymm7, %ymm8\n"
+      "vxorpd %ymm9, %ymm10, %ymm11\n"
+      "subq $1, %r9\n"
+      "jne .L\n",
+      mm.isa());
+  auto meas = exec::run(prog, mm);
+  auto pred = mca::simulate(prog, mm);
+  EXPECT_LT(pred.cycles_per_iteration, meas.cycles_per_iteration);
+}
+
+TEST(Mca, StaticBindingNeverBeatsDynamicByMuch) {
+  // On a port-asymmetric mix, static binding must not be faster than the
+  // dynamic testbed scheduling (same tables on Zen 4).
+  const auto& mm = machine(Micro::Zen4);
+  auto prog = asmir::parse(
+      "vaddpd %ymm1, %ymm2, %ymm0\n"
+      "vmulpd %ymm3, %ymm4, %ymm5\n"
+      "vfmadd231pd %ymm6, %ymm7, %ymm8\n"
+      "vaddpd %ymm9, %ymm10, %ymm11\n"
+      "subq $1, %r9\n"
+      "jne .L\n",
+      mm.isa());
+  auto pred = mca::simulate(prog, mm);
+  auto cfg = mca::sched_model_config(Micro::Zen4);
+  cfg.dynamic_port_selection = true;
+  auto dyn = exec::simulate_loop(prog, mm, cfg);
+  EXPECT_GE(pred.cycles_per_iteration, dyn.cycles_per_iteration - 0.05);
+}
+
+TEST(Mca, ReportsResourcePressure) {
+  const auto& mm = machine(Micro::GoldenCove);
+  auto prog = asmir::parse("vaddpd %zmm1, %zmm2, %zmm0\n", mm.isa());
+  auto pred = mca::simulate(prog, mm);
+  EXPECT_EQ(pred.resource_pressure.size(), mm.port_count());
+}
+
+TEST(Mca, OverPredictsTypicalStreamingKernelOnV2) {
+  const auto& mm = machine(Micro::NeoverseV2);
+  auto prog = asmir::parse(
+      "ldr q0, [x1], #16\n"
+      "ldr q1, [x2], #16\n"
+      "fadd v0.2d, v0.2d, v1.2d\n"
+      "str q0, [x3], #16\n"
+      "subs x9, x9, #2\n"
+      "b.ne .L\n",
+      mm.isa());
+  auto meas = exec::run(prog, mm);
+  auto pred = mca::simulate(prog, mm);
+  auto rep = analysis::analyze(prog, mm);
+  // Paper ordering: OSACA bound <= measurement <= MCA prediction (typical).
+  EXPECT_LE(rep.predicted_cycles(), meas.cycles_per_iteration + 0.05);
+  EXPECT_GE(pred.cycles_per_iteration, meas.cycles_per_iteration - 0.05);
+}

@@ -1,0 +1,155 @@
+// Tests for the memory-traffic simulator: protocol behaviour per mechanism,
+// traffic conservation, bandwidth saturation, and the Fig. 4 curve shapes.
+
+#include <gtest/gtest.h>
+
+#include "memsim/memsim.hpp"
+
+using namespace incore;
+using memsim::StoreKind;
+using memsim::System;
+using memsim::WaMechanism;
+using uarch::Micro;
+
+namespace {
+constexpr double kSet = 40e9;  // the paper's 40 GB working set
+}
+
+TEST(MemsimPresets, MechanismsMatchPaper) {
+  EXPECT_EQ(memsim::preset(Micro::NeoverseV2).wa, WaMechanism::AutomaticClaim);
+  EXPECT_EQ(memsim::preset(Micro::GoldenCove).wa, WaMechanism::SpecI2M);
+  EXPECT_EQ(memsim::preset(Micro::Zen4).wa, WaMechanism::None);
+}
+
+TEST(MemsimPresets, CoreCountsAndDomains) {
+  EXPECT_EQ(memsim::preset(Micro::NeoverseV2).cores, 72);
+  EXPECT_EQ(memsim::preset(Micro::GoldenCove).cores, 52);
+  EXPECT_EQ(memsim::preset(Micro::GoldenCove).cores_per_domain, 13);
+  EXPECT_EQ(memsim::preset(Micro::Zen4).cores, 96);
+}
+
+TEST(Memsim, TrafficConservationAndAccounting) {
+  for (Micro m : uarch::all_micros()) {
+    System sys(memsim::preset(m));
+    for (int cores : {1, 4, 16}) {
+      for (auto kind : {StoreKind::Standard, StoreKind::NonTemporal}) {
+        auto t = sys.run_store_benchmark(cores, kSet, kind);
+        EXPECT_NEAR(t.bytes_stored, kSet, 1.0);
+        // Every stored byte reaches memory exactly once.
+        EXPECT_NEAR(t.bytes_written_mem, kSet, 1.0);
+        // Reads never exceed one line per stored line.
+        EXPECT_LE(t.bytes_read_mem, kSet + 1.0);
+        EXPECT_GE(t.bytes_read_mem, -1e-9);
+        EXPECT_GE(t.ratio(), 1.0 - 1e-9);
+        EXPECT_LE(t.ratio(), 2.0 + 1e-9);
+      }
+    }
+  }
+}
+
+TEST(Memsim, GraceAutomaticClaimIsNextToOptimal) {
+  System sys(memsim::preset(Micro::NeoverseV2));
+  for (int cores : {1, 8, 36, 72}) {
+    auto t = sys.run_store_benchmark(cores, kSet, StoreKind::Standard);
+    EXPECT_LT(t.ratio(), 1.05) << cores;
+    EXPECT_GE(t.ratio(), 1.0) << cores;
+  }
+}
+
+TEST(Memsim, GenoaStandardStoresAlwaysPayWriteAllocate) {
+  System sys(memsim::preset(Micro::Zen4));
+  for (int cores : {1, 24, 48, 96}) {
+    auto t = sys.run_store_benchmark(cores, kSet, StoreKind::Standard);
+    EXPECT_NEAR(t.ratio(), 2.0, 1e-9) << cores;
+  }
+}
+
+TEST(Memsim, GenoaNonTemporalStoresArePerfect) {
+  System sys(memsim::preset(Micro::Zen4));
+  for (int cores : {1, 48, 96}) {
+    auto t = sys.run_store_benchmark(cores, kSet, StoreKind::NonTemporal);
+    EXPECT_NEAR(t.ratio(), 1.0, 1e-9) << cores;
+  }
+}
+
+TEST(Memsim, SprSpecI2MOnlyKicksInNearSaturation) {
+  System sys(memsim::preset(Micro::GoldenCove));
+  auto low = sys.run_store_benchmark(2, kSet, StoreKind::Standard);
+  EXPECT_NEAR(low.ratio(), 2.0, 1e-6);  // no conversion at low utilization
+  auto high = sys.run_store_benchmark(13, kSet, StoreKind::Standard);
+  EXPECT_LT(high.ratio(), 1.85);   // conversion active
+  EXPECT_GE(high.ratio(), 1.74);   // ...but bounded by ~25%
+}
+
+TEST(Memsim, SprSpecI2MReductionCappedAt25Percent) {
+  System sys(memsim::preset(Micro::GoldenCove));
+  for (int cores = 1; cores <= 52; ++cores) {
+    auto t = sys.run_store_benchmark(cores, kSet, StoreKind::Standard);
+    EXPECT_GE(t.ratio(), 2.0 - 0.2500001) << cores;
+  }
+}
+
+TEST(Memsim, SprNtStoresHaveResidualTraffic) {
+  System sys(memsim::preset(Micro::GoldenCove));
+  auto one = sys.run_store_benchmark(1, kSet, StoreKind::NonTemporal);
+  EXPECT_LT(one.ratio(), 1.02);  // clean for very small core counts
+  auto many = sys.run_store_benchmark(13, kSet, StoreKind::NonTemporal);
+  EXPECT_NEAR(many.ratio(), 1.10, 0.02);  // ~10% residual under load
+}
+
+TEST(Memsim, RatioMonotonicallyImprovesWithCoresOnSpr) {
+  System sys(memsim::preset(Micro::GoldenCove));
+  double prev = 2.01;
+  for (int cores = 1; cores <= 13; ++cores) {
+    double r = sys.run_store_benchmark(cores, kSet, StoreKind::Standard).ratio();
+    EXPECT_LE(r, prev + 1e-9) << cores;
+    prev = r;
+  }
+}
+
+TEST(Memsim, BandwidthEfficienciesMatchTableI) {
+  // Paper: GCS 87%, SPR 90%, Genoa 78% of theoretical peak.
+  struct Case { Micro m; double eff; };
+  for (auto [m, eff] : {Case{Micro::NeoverseV2, 0.855},
+                        Case{Micro::GoldenCove, 0.889},
+                        Case{Micro::Zen4, 0.781}}) {
+    System sys(memsim::preset(m));
+    double measured = sys.achieved_bw(sys.config().cores, 2.0 / 3.0);
+    double ratio = measured / sys.config().theoretical_bw_gbs;
+    EXPECT_NEAR(ratio, eff, 0.02) << sys.config().name;
+  }
+}
+
+TEST(Memsim, BandwidthSaturatesWithCores) {
+  System sys(memsim::preset(Micro::NeoverseV2));
+  double half = sys.achieved_bw(8);
+  double full = sys.achieved_bw(72);
+  EXPECT_GT(full, half - 1e-9);
+  EXPECT_LE(full, sys.effective_peak_bw() + 1e-9);
+  // One core never saturates the socket.
+  EXPECT_LT(sys.achieved_bw(1), 0.25 * full);
+}
+
+TEST(Memsim, LineTrafficDetectorWarmup) {
+  auto cfg = memsim::preset(Micro::NeoverseV2);
+  // First lines of a page pay the write-allocate until detection.
+  auto first = memsim::line_traffic(cfg, StoreKind::Standard, 0, 0.5, 0, 0);
+  EXPECT_EQ(first.read, 64.0);
+  auto later = memsim::line_traffic(cfg, StoreKind::Standard, 10, 0.5, 0, 0);
+  EXPECT_EQ(later.read, 0.0);
+  EXPECT_EQ(later.write, 64.0);
+}
+
+TEST(Memsim, LineTrafficSpecI2MGatedByUtilization) {
+  auto cfg = memsim::preset(Micro::GoldenCove);
+  auto idle = memsim::line_traffic(cfg, StoreKind::Standard, 5, 0.2, 0.25, 0);
+  EXPECT_EQ(idle.read, 64.0);  // below threshold: full RFO
+  auto busy = memsim::line_traffic(cfg, StoreKind::Standard, 5, 0.99, 0.25, 0);
+  EXPECT_NEAR(busy.read, 48.0, 1e-9);  // 25% converted
+}
+
+TEST(Memsim, ZeroCoresOrBytes) {
+  System sys(memsim::preset(Micro::Zen4));
+  EXPECT_EQ(sys.run_store_benchmark(0, kSet, StoreKind::Standard).ratio(), 0.0);
+  EXPECT_EQ(sys.run_store_benchmark(4, 0.0, StoreKind::Standard).ratio(), 0.0);
+}

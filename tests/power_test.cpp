@@ -1,0 +1,136 @@
+// Tests for the TDP/frequency model: the paper's Fig. 2 plateaus and
+// Table I peak-flop bookkeeping.
+
+#include <gtest/gtest.h>
+
+#include "power/power.hpp"
+
+using namespace incore;
+using power::IsaClass;
+using power::sustained_frequency;
+using uarch::Micro;
+
+TEST(Power, GraceIsFlatAcrossCoresAndIsas) {
+  for (IsaClass isa : power::isa_classes_for(Micro::NeoverseV2)) {
+    for (int n : {1, 16, 36, 72}) {
+      EXPECT_DOUBLE_EQ(sustained_frequency(Micro::NeoverseV2, isa, n), 3.4);
+    }
+  }
+}
+
+TEST(Power, SprAvx512LicenseCapFromTheStart) {
+  // "different behavior right from the start": even one core cannot reach
+  // the 3.8 GHz turbo with AVX-512.
+  double one_core = sustained_frequency(Micro::GoldenCove, IsaClass::Avx512, 1);
+  EXPECT_LT(one_core, 3.8);
+  EXPECT_NEAR(one_core, 3.5, 0.01);
+  double sse = sustained_frequency(Micro::GoldenCove, IsaClass::Sse, 1);
+  EXPECT_NEAR(sse, 3.8, 0.01);
+}
+
+TEST(Power, SprFullSocketPlateaus) {
+  // Paper: AVX-512 at 2.0 GHz (53% of turbo), SSE/AVX at 3.0 GHz (78%).
+  double avx512 = sustained_frequency(Micro::GoldenCove, IsaClass::Avx512, 52);
+  EXPECT_NEAR(avx512, 2.0, 0.05);
+  double sse = sustained_frequency(Micro::GoldenCove, IsaClass::Sse, 52);
+  EXPECT_NEAR(sse, 3.0, 0.05);
+  double avx = sustained_frequency(Micro::GoldenCove, IsaClass::Avx, 52);
+  EXPECT_NEAR(avx, 3.0, 0.05);
+}
+
+TEST(Power, GenoaFullSocketPlateau) {
+  // Paper: ~3.1 GHz (84% of the 3.7 GHz turbo), identical for all ISAs.
+  double a512 = sustained_frequency(Micro::Zen4, IsaClass::Avx512, 96);
+  EXPECT_NEAR(a512, 3.1, 0.05);
+  double sse = sustained_frequency(Micro::Zen4, IsaClass::Sse, 96);
+  EXPECT_NEAR(sse, a512, 1e-9);
+  double scalar = sustained_frequency(Micro::Zen4, IsaClass::Scalar, 96);
+  EXPECT_NEAR(scalar, a512, 1e-9);
+}
+
+TEST(Power, FrequencyMonotonicallyDecreasesWithCores) {
+  for (Micro m : {Micro::GoldenCove, Micro::Zen4}) {
+    for (IsaClass isa : power::isa_classes_for(m)) {
+      double prev = 10.0;
+      for (int n = 1; n <= power::chip(m).cores; n += 3) {
+        double f = sustained_frequency(m, isa, n);
+        EXPECT_LE(f, prev + 1e-9);
+        EXPECT_GT(f, 0.8);
+        prev = f;
+      }
+    }
+  }
+}
+
+TEST(Power, HeavierIsaNeverFaster) {
+  for (int n : {1, 13, 26, 52}) {
+    double sse = sustained_frequency(Micro::GoldenCove, IsaClass::Sse, n);
+    double avx = sustained_frequency(Micro::GoldenCove, IsaClass::Avx, n);
+    double a512 = sustained_frequency(Micro::GoldenCove, IsaClass::Avx512, n);
+    EXPECT_LE(a512, avx + 1e-9);
+    EXPECT_LE(avx, sse + 1e-9);
+  }
+}
+
+TEST(Power, TableIPeakFlops) {
+  // Theoretical peaks (Table I): 3.92 / 6.32 / 8.52 Tflop/s.
+  auto gcs = power::peak_flops(Micro::NeoverseV2);
+  EXPECT_NEAR(gcs.theoretical_tflops, 3.92, 0.02);
+  auto spr = power::peak_flops(Micro::GoldenCove);
+  EXPECT_NEAR(spr.theoretical_tflops, 6.32, 0.02);
+  auto genoa = power::peak_flops(Micro::Zen4);
+  EXPECT_NEAR(genoa.theoretical_tflops, 8.52, 0.02);
+  // Achievable ordering matches the paper: Genoa > GCS > SPR.
+  EXPECT_GT(genoa.achievable_tflops, gcs.achievable_tflops);
+  EXPECT_GT(gcs.achievable_tflops, spr.achievable_tflops);
+  // GCS achieves nearly its theoretical peak; SPR barely half.
+  EXPECT_GT(gcs.achievable_tflops / gcs.theoretical_tflops, 0.95);
+  EXPECT_LT(spr.achievable_tflops / spr.theoretical_tflops, 0.6);
+}
+
+TEST(Power, IsaClassesPerMachine) {
+  EXPECT_EQ(power::isa_classes_for(Micro::NeoverseV2).size(), 3u);
+  EXPECT_EQ(power::isa_classes_for(Micro::GoldenCove).size(), 4u);
+  EXPECT_STREQ(power::to_string(IsaClass::Avx512), "AVX-512");
+}
+
+// --------------------------------------------------------------- thermal
+
+#include "power/thermal.hpp"
+
+TEST(Thermal, TraceConvergesToSteadyStateModel) {
+  for (Micro m : {Micro::GoldenCove, Micro::Zen4}) {
+    for (IsaClass isa : {IsaClass::Sse, IsaClass::Avx512}) {
+      int cores = power::chip(m).cores;
+      auto trace = power::simulate_thermal_trace(m, isa, cores, 600.0);
+      double sustained = power::sustained_from_trace(trace);
+      double model = power::sustained_frequency(m, isa, cores);
+      EXPECT_NEAR(sustained, model, 0.15)
+          << power::chip(m).name << " " << power::to_string(isa);
+    }
+  }
+}
+
+TEST(Thermal, BoostPhaseThenThrottle) {
+  auto trace = power::simulate_thermal_trace(Micro::GoldenCove,
+                                             IsaClass::Avx512, 52, 600.0);
+  // Starts at the license cap, ends near 2.0 GHz.
+  EXPECT_NEAR(trace.front().frequency_ghz, 3.5, 1e-9);
+  EXPECT_LT(trace.back().frequency_ghz, 2.3);
+  // Temperature rises monotonically early on.
+  EXPECT_GT(trace[100].temperature_c, trace[0].temperature_c);
+}
+
+TEST(Thermal, GraceTraceIsFlat) {
+  auto trace = power::simulate_thermal_trace(Micro::NeoverseV2,
+                                             IsaClass::Sve, 72, 300.0);
+  for (const auto& s : trace) EXPECT_DOUBLE_EQ(s.frequency_ghz, 3.4);
+}
+
+TEST(Thermal, PowerNeverWildlyExceedsTdpSteadyState) {
+  auto trace = power::simulate_thermal_trace(Micro::Zen4, IsaClass::Avx512,
+                                             96, 600.0);
+  // After convergence the governor holds the package near/below TDP.
+  double p_late = trace[trace.size() - 10].power_w;
+  EXPECT_LT(p_late, power::chip(Micro::Zen4).tdp_w * 1.05);
+}

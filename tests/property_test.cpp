@@ -1,0 +1,160 @@
+// Property-based tests: randomized programs assembled from known-good
+// instruction forms must never crash any component, and the fundamental
+// model relationships must hold on every sample:
+//   * the analyzer's bound is positive and finite;
+//   * the testbed measurement dominates the bound (no moves/zero idioms in
+//     the generated programs, so the two documented exception classes are
+//     excluded by construction);
+//   * analysis is deterministic.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/analyze.hpp"
+#include "analysis/dot.hpp"
+#include "asmir/parser.hpp"
+#include "asmir/printer.hpp"
+#include "exec/exec.hpp"
+#include "mca/mca.hpp"
+#include "support/rng.hpp"
+#include "support/strings.hpp"
+#include "uarch/model.hpp"
+
+using namespace incore;
+using support::Rng;
+using support::format;
+
+namespace {
+
+/// Random but well-formed x86 loop bodies.
+std::string random_x86_body(Rng& rng) {
+  static const char* kTemplates[] = {
+      "vaddpd %%ymm%d, %%ymm%d, %%ymm%d",
+      "vmulpd %%ymm%d, %%ymm%d, %%ymm%d",
+      "vfmadd231pd %%ymm%d, %%ymm%d, %%ymm%d",
+      "vaddsd %%xmm%d, %%xmm%d, %%xmm%d",
+      "vmovupd (%%rax,%%rcx), %%ymm%d",
+      "vmovupd %%ymm%d, 32(%%rbx,%%rcx)",
+      "vxorpd %%ymm%d, %%ymm%d, %%ymm%d",
+      "vdivpd %%ymm%d, %%ymm%d, %%ymm%d",  // (vdivsd excluded: Zen 4 override)
+      "addq $8, %%r%d",
+      "imulq %%r%d, %%r%d",
+  };
+  int n = 2 + static_cast<int>(rng.below(10));
+  std::string body;
+  for (int i = 0; i < n; ++i) {
+    const char* t = kTemplates[rng.below(std::size(kTemplates))];
+    int a = 1 + static_cast<int>(rng.below(7));  // ymm1..7 / r9..r15
+    int b = 1 + static_cast<int>(rng.below(7));
+    int c = 1 + static_cast<int>(rng.below(7));
+    if (std::string(t).find("%%r%d") != std::string::npos) {
+      body += format(t, 8 + a, 8 + b, 8 + c);
+    } else {
+      body += format(t, a, b, c);
+    }
+    body += "\n";
+  }
+  body += "addq $32, %rcx\ncmpq %rdi, %rcx\njne .L9\n";
+  return body;
+}
+
+/// Random but well-formed AArch64 loop bodies.
+std::string random_aarch64_body(Rng& rng) {
+  static const char* kTemplates[] = {
+      "fadd v%d.2d, v%d.2d, v%d.2d",
+      "fmul v%d.2d, v%d.2d, v%d.2d",
+      "fmla v%d.2d, v%d.2d, v%d.2d",
+      "fadd d%d, d%d, d%d",
+      "ldr q%d, [x1, #%d]",
+      "str q%d, [x2, #%d]",
+      "add x%d, x%d, #8",
+      "fdiv d%d, d%d, d%d",
+  };
+  int n = 2 + static_cast<int>(rng.below(10));
+  std::string body;
+  for (int i = 0; i < n; ++i) {
+    const char* t = kTemplates[rng.below(std::size(kTemplates))];
+    std::string st = t;
+    if (st.find("[x1") != std::string::npos ||
+        st.find("[x2") != std::string::npos) {
+      body += format(t, 1 + static_cast<int>(rng.below(7)),
+                     16 * static_cast<int>(rng.below(8)));
+    } else if (st.find("add x") != std::string::npos) {
+      int r = 8 + static_cast<int>(rng.below(4));
+      body += format(t, r, r);
+    } else {
+      body += format(t, 1 + static_cast<int>(rng.below(7)),
+                     1 + static_cast<int>(rng.below(7)),
+                     1 + static_cast<int>(rng.below(7)));
+    }
+    body += "\n";
+  }
+  body += "subs x6, x6, #4\nb.ne .L9\n";
+  return body;
+}
+
+}  // namespace
+
+TEST(Property, RandomX86ProgramsNeverCrashAnyComponent) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 60; ++trial) {
+    std::string body = random_x86_body(rng);
+    for (uarch::Micro m : {uarch::Micro::GoldenCove, uarch::Micro::Zen4}) {
+      const auto& mm = uarch::machine(m);
+      asmir::Program p;
+      ASSERT_NO_THROW(p = asmir::parse(body, mm.isa())) << body;
+      analysis::Report rep;
+      ASSERT_NO_THROW(rep = analysis::analyze(p, mm)) << body;
+      EXPECT_GT(rep.predicted_cycles(), 0.0) << body;
+      EXPECT_LT(rep.predicted_cycles(), 1e4) << body;
+      auto meas = exec::run(p, mm);
+      EXPECT_GE(meas.cycles_per_iteration, rep.predicted_cycles() - 0.05)
+          << body;
+      ASSERT_NO_THROW((void)mca::simulate(p, mm)) << body;
+      ASSERT_NO_THROW((void)analysis::to_dot(p, mm)) << body;
+      ASSERT_NO_THROW((void)asmir::to_text(p)) << body;
+    }
+  }
+}
+
+TEST(Property, RandomAArch64ProgramsNeverCrashAnyComponent) {
+  Rng rng(77);
+  const auto& mm = uarch::machine(uarch::Micro::NeoverseV2);
+  for (int trial = 0; trial < 60; ++trial) {
+    std::string body = random_aarch64_body(rng);
+    asmir::Program p;
+    ASSERT_NO_THROW(p = asmir::parse(body, mm.isa())) << body;
+    analysis::Report rep;
+    ASSERT_NO_THROW(rep = analysis::analyze(p, mm)) << body;
+    auto meas = exec::run(p, mm);
+    EXPECT_GE(meas.cycles_per_iteration, rep.predicted_cycles() - 0.05)
+        << body;
+  }
+}
+
+TEST(Property, AnalysisIsDeterministic) {
+  Rng rng(5);
+  std::string body = random_x86_body(rng);
+  const auto& mm = uarch::machine(uarch::Micro::GoldenCove);
+  auto p = asmir::parse(body, mm.isa());
+  auto r1 = analysis::analyze(p, mm);
+  auto r2 = analysis::analyze(p, mm);
+  EXPECT_DOUBLE_EQ(r1.predicted_cycles(), r2.predicted_cycles());
+  EXPECT_DOUBLE_EQ(r1.throughput_cycles(), r2.throughput_cycles());
+  auto m1 = exec::run(p, mm);
+  auto m2 = exec::run(p, mm);
+  EXPECT_DOUBLE_EQ(m1.cycles_per_iteration, m2.cycles_per_iteration);
+}
+
+TEST(Property, DotExportIsWellFormed) {
+  const auto& mm = uarch::machine(uarch::Micro::NeoverseV2);
+  auto p = asmir::parse(
+      "fmadd d0, d1, d2, d0\nsubs x6, x6, #1\nb.ne .L1\n", mm.isa());
+  std::string dot = analysis::to_dot(p, mm);
+  EXPECT_NE(dot.find("digraph deps {"), std::string::npos);
+  EXPECT_NE(dot.find("lightcoral"), std::string::npos);  // LCD highlighted
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);  // carried edge
+  EXPECT_EQ(dot.back(), '\n');
+}

@@ -1,0 +1,88 @@
+// Tests for the reporting helpers.
+
+#include <gtest/gtest.h>
+
+#include "report/report.hpp"
+
+using namespace incore;
+
+TEST(ReportTable, AlignsColumns) {
+  report::Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name", "23"});
+  std::string s = t.to_string();
+  EXPECT_NE(s.find("| name "), std::string::npos);
+  EXPECT_NE(s.find("| longer-name |"), std::string::npos);
+  // Header rule present.
+  EXPECT_NE(s.find("|---"), std::string::npos);
+}
+
+TEST(ReportTable, ShortRowsArePadded) {
+  report::Table t({"a", "b", "c"});
+  t.add_row({"1"});
+  EXPECT_NO_THROW((void)t.to_string());
+}
+
+TEST(RpeHistogram, RendersZeroMarkerAndCounts) {
+  support::Histogram h(-1.0, 1.0, 20);
+  h.add(0.05);
+  h.add(0.05);
+  h.add(-0.45);
+  std::string s = report::render_rpe_histogram(h, "test");
+  EXPECT_NE(s.find("test"), std::string::npos);
+  EXPECT_NE(s.find("##"), std::string::npos);
+  // Zero-line marker on the first right-side bucket.
+  EXPECT_NE(s.find("> +0.0..+0.1"), std::string::npos);
+}
+
+TEST(RpeSummary, CountsBucketsLikeThePaper) {
+  std::vector<double> rpes = {0.05, 0.15, 0.25, -0.05, -1.2, 0.0};
+  auto s = report::summarize_rpe(rpes);
+  EXPECT_EQ(s.total, 6);
+  // 0.05, 0.15, 0.25, 0.0 are right of the line.
+  EXPECT_NEAR(s.fraction_right, 4.0 / 6.0, 1e-9);
+  EXPECT_NEAR(s.fraction_in10, 2.0 / 6.0, 1e-9);  // 0.05 and 0.0
+  EXPECT_NEAR(s.fraction_in20, 3.0 / 6.0, 1e-9);  // + 0.15
+  EXPECT_EQ(s.off_by_2x, 1);                      // the -1.2 sample
+}
+
+TEST(RpeSummary, EmptyInput) {
+  auto s = report::summarize_rpe({});
+  EXPECT_EQ(s.total, 0);
+  EXPECT_EQ(s.fraction_right, 0.0);
+}
+
+TEST(RpeSummary, TiesCountAsRight) {
+  // Deterministic simulators can tie exactly; a tie achieves the bound.
+  auto s = report::summarize_rpe({0.0, 0.0, -0.001});
+  EXPECT_NEAR(s.fraction_right, 1.0, 1e-9);
+}
+
+// ----------------------------------------------------------------- JSON
+
+#include "analysis/analyze.hpp"
+#include "asmir/parser.hpp"
+#include "report/json.hpp"
+#include "uarch/model.hpp"
+
+TEST(Json, EscapesSpecials) {
+  EXPECT_EQ(report::json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(report::json_escape("plain"), "plain");
+}
+
+TEST(Json, ReportSerializes) {
+  auto prog = asmir::parse("vaddpd %ymm0, %ymm1, %ymm2\n",
+                           asmir::Isa::X86_64);
+  auto rep = analysis::analyze(prog, uarch::machine(uarch::Micro::Zen4));
+  std::string j = report::to_json(rep);
+  EXPECT_NE(j.find("\"machine\": \"zen4\""), std::string::npos);
+  EXPECT_NE(j.find("\"predicted_cycles\""), std::string::npos);
+  EXPECT_NE(j.find("vaddpd"), std::string::npos);
+  EXPECT_NE(j.find("\"port_pressure\""), std::string::npos);
+  // Balanced braces/brackets (cheap well-formedness check).
+  auto count = [&](char c) {
+    return std::count(j.begin(), j.end(), c);
+  };
+  EXPECT_EQ(count('{'), count('}'));
+  EXPECT_EQ(count('['), count(']'));
+}

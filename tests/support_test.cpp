@@ -1,0 +1,195 @@
+// Unit tests for the support utilities.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/csv.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/strings.hpp"
+
+namespace su = incore::support;
+
+TEST(Strings, TrimRemovesSurroundingWhitespace) {
+  EXPECT_EQ(su::trim("  hello \t"), "hello");
+  EXPECT_EQ(su::trim(""), "");
+  EXPECT_EQ(su::trim("   "), "");
+  EXPECT_EQ(su::trim("x"), "x");
+}
+
+TEST(Strings, SplitPreservesEmptyFields) {
+  auto parts = su::split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(Strings, SplitSingleField) {
+  auto parts = su::split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Strings, SplitToplevelRespectsBrackets) {
+  auto parts = su::split_toplevel("x0, [x1, #16], x2", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(su::trim(parts[0]), "x0");
+  EXPECT_EQ(su::trim(parts[1]), "[x1, #16]");
+  EXPECT_EQ(su::trim(parts[2]), "x2");
+}
+
+TEST(Strings, SplitToplevelRespectsParens) {
+  auto parts = su::split_toplevel("8(%rax,%rbx,4), %ymm1", ',');
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(su::trim(parts[0]), "8(%rax,%rbx,4)");
+}
+
+TEST(Strings, SplitLinesHandlesCrLfAndNoTrailingNewline) {
+  auto lines = su::split_lines("a\r\nb\nc");
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "a");
+  EXPECT_EQ(lines[1], "b");
+  EXPECT_EQ(lines[2], "c");
+}
+
+TEST(Strings, PrefixSuffix) {
+  EXPECT_TRUE(su::starts_with("vfmadd231pd", "vfmadd"));
+  EXPECT_FALSE(su::starts_with("add", "addq"));
+  EXPECT_TRUE(su::ends_with("vaddsd", "sd"));
+  EXPECT_FALSE(su::ends_with("sd", "vaddsd"));
+}
+
+TEST(Strings, ToLower) { EXPECT_EQ(su::to_lower("FmLa Z0.D"), "fmla z0.d"); }
+
+TEST(Strings, FormatBasic) {
+  EXPECT_EQ(su::format("%s=%d", "x", 42), "x=42");
+  EXPECT_EQ(su::format("%.2f", 1.5), "1.50");
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(su::join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(su::join({}, ","), "");
+}
+
+TEST(Strings, ParseIntDecimalHexAndPrefixes) {
+  long long v = 0;
+  EXPECT_TRUE(su::parse_int("42", v));
+  EXPECT_EQ(v, 42);
+  EXPECT_TRUE(su::parse_int("#-8", v));
+  EXPECT_EQ(v, -8);
+  EXPECT_TRUE(su::parse_int("$0x10", v));
+  EXPECT_EQ(v, 16);
+  EXPECT_TRUE(su::parse_int(" #3 ", v));
+  EXPECT_EQ(v, 3);
+  EXPECT_FALSE(su::parse_int("xyz", v));
+  EXPECT_FALSE(su::parse_int("", v));
+  EXPECT_FALSE(su::parse_int("1.5", v));
+}
+
+TEST(Stats, MeanAndStddev) {
+  const double xs[] = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(su::mean(xs), 2.5);
+  EXPECT_NEAR(su::stddev(xs), 1.2909944, 1e-6);
+  EXPECT_DOUBLE_EQ(su::mean({}), 0.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const double xs[] = {10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(su::percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(su::percentile(xs, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(su::percentile(xs, 0.5), 25.0);
+}
+
+TEST(Stats, HistogramBucketsAndOverflow) {
+  su::Histogram h(-1.0, 1.0, 20);  // Fig. 3 configuration
+  h.add(0.05);   // bucket [0.0, 0.1)
+  h.add(-0.05);  // bucket [-0.1, 0.0)
+  h.add(5.0);    // clamps to last bucket
+  h.add(-5.0);   // clamps to bucket 0
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.count(10), 1u);
+  EXPECT_EQ(h.count(9), 1u);
+  EXPECT_EQ(h.count(19), 1u);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_NEAR(h.bucket_lo(10), 0.0, 1e-12);
+  EXPECT_NEAR(h.bucket_hi(10), 0.1, 1e-12);
+}
+
+TEST(Stats, HistogramFractionIn) {
+  su::Histogram h(-1.0, 1.0, 20);
+  for (double x : {0.05, 0.15, 0.5, -0.3}) h.add(x);
+  EXPECT_DOUBLE_EQ(h.fraction_in(0.0, 0.2), 0.5);
+  EXPECT_DOUBLE_EQ(h.fraction_in(-1.0, 0.0), 0.25);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  su::Rng a(123);
+  su::Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  su::Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, BelowRespectsBound) {
+  su::Rng r(9);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.below(17), 17u);
+  EXPECT_EQ(r.below(0), 0u);
+}
+
+TEST(Csv, QuotesSpecialCharacters) {
+  std::ostringstream os;
+  su::CsvWriter w(os);
+  w.row({"plain", "with,comma", "with\"quote"});
+  EXPECT_EQ(os.str(), "plain,\"with,comma\",\"with\"\"quote\"\n");
+}
+
+TEST(Csv, RowValuesFormatsNumbers) {
+  std::ostringstream os;
+  su::CsvWriter w(os);
+  w.row_values({1.0, 2.5});
+  EXPECT_EQ(os.str(), "1,2.5\n");
+}
+
+// -------------------------------------------------------------------- KS
+
+#include "support/ks.hpp"
+
+TEST(Ks, IdenticalSamplesGiveHighPValue) {
+  std::vector<double> a;
+  for (int i = 0; i < 200; ++i) a.push_back(i * 0.01);
+  auto r = su::ks_test(a, a);
+  EXPECT_NEAR(r.statistic, 0.0, 1e-12);
+  EXPECT_GT(r.p_value, 0.99);
+}
+
+TEST(Ks, ShiftedSamplesDetected) {
+  std::vector<double> a, b;
+  for (int i = 0; i < 300; ++i) {
+    a.push_back(i * 0.01);
+    b.push_back(i * 0.01 + 0.8);  // clear shift
+  }
+  auto r = su::ks_test(a, b);
+  EXPECT_GT(r.statistic, 0.2);
+  EXPECT_LT(r.p_value, 1e-6);
+}
+
+TEST(Ks, EmptyInputSafe) {
+  auto r = su::ks_test({}, {});
+  EXPECT_EQ(r.statistic, 0.0);
+  EXPECT_EQ(r.p_value, 1.0);
+}
+
+TEST(Ks, KolmogorovQBoundaries) {
+  EXPECT_DOUBLE_EQ(su::kolmogorov_q(0.0), 1.0);
+  EXPECT_LT(su::kolmogorov_q(2.0), 0.001);
+  EXPECT_GT(su::kolmogorov_q(0.3), 0.99);
+}

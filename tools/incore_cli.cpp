@@ -1,0 +1,342 @@
+// incore-cli — the command-line face of the library (the OSACA-workflow
+// equivalent).
+//
+//   incore-cli machines
+//       List the modeled microarchitectures and their key features.
+//   incore-cli analyze <machine> [file.s] [--json]
+//       Static in-core analysis of a loop body (stdin when no file), with
+//       the port-pressure table, the LLVM-MCA-style comparator and the
+//       testbed measurement; --json emits a machine-readable report.
+//   incore-cli kernels
+//       List the validation kernels and their properties.
+//   incore-cli emit <machine> <kernel> <compiler> <O1|O2|O3|Ofast>
+//       Print the assembly a compiler personality generates.
+//   incore-cli tput <machine> <instruction template>
+//   incore-cli lat  <machine> <instruction template>
+//       Instruction microbenchmarks ({d}/{s} register placeholders).
+//   incore-cli ecm <machine> <kernel>
+//       ECM decomposition for a kernel at -O3.
+
+#include <cstdio>
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "analysis/analyze.hpp"
+#include "analysis/dot.hpp"
+#include "asmir/parser.hpp"
+#include "ecm/ecm.hpp"
+#include "exec/exec.hpp"
+#include "kernels/kernels.hpp"
+#include "mca/mca.hpp"
+#include "power/power.hpp"
+#include "report/json.hpp"
+#include "support/error.hpp"
+#include "uarch/model.hpp"
+
+using namespace incore;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: incore-cli <command> [...]\n"
+      "  machines                         list modeled microarchitectures\n"
+      "  analyze <machine> [file.s]       in-core analysis of a loop body\n"
+      "  kernels                          list validation kernels\n"
+      "  emit <machine> <kernel> <cc> <O> render a compiler personality\n"
+      "  tput <machine> <template>        instruction throughput microbench\n"
+      "  lat <machine> <template>         instruction latency microbench\n"
+      "  ecm <machine> <kernel>           ECM decomposition at -O3\n"
+      "  dot <machine> [file.s]           dependency graph as Graphviz DOT\n"
+      "  timeline <machine> [file.s]      pipeline timeline (llvm-mca style)\n"
+      "  forms <machine> [substring]      list instruction-form database\n"
+      "machines: gcs spr genoa; compilers: gcc clang icx armclang\n");
+  return 2;
+}
+
+bool parse_machine(const std::string& name, uarch::Micro& out) {
+  if (name == "gcs" || name == "grace" || name == "v2") {
+    out = uarch::Micro::NeoverseV2;
+  } else if (name == "spr" || name == "goldencove") {
+    out = uarch::Micro::GoldenCove;
+  } else if (name == "genoa" || name == "zen4") {
+    out = uarch::Micro::Zen4;
+  } else {
+    std::fprintf(stderr, "unknown machine '%s'\n", name.c_str());
+    return false;
+  }
+  return true;
+}
+
+int cmd_machines() {
+  for (uarch::Micro m : uarch::all_micros()) {
+    const auto& mm = uarch::machine(m);
+    const auto& chip = power::chip(m);
+    std::printf("%-6s %-12s %2zu ports, SIMD %2d B, %d cores, TDP %.0f W, "
+                "%zu instruction forms\n",
+                uarch::cpu_short_name(m), uarch::to_string(m),
+                mm.port_count(), mm.simd_width_bits / 8, chip.cores,
+                chip.tdp_w, mm.table_size());
+  }
+  return 0;
+}
+
+int cmd_analyze(const std::string& machine_name, const char* path,
+                bool json) {
+  uarch::Micro micro;
+  if (!parse_machine(machine_name, micro)) return 2;
+  std::string text;
+  if (path != nullptr) {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", path);
+      return 1;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    text = ss.str();
+  } else {
+    std::ostringstream ss;
+    ss << std::cin.rdbuf();
+    text = ss.str();
+  }
+  const auto& mm = uarch::machine(micro);
+  asmir::Program prog = asmir::parse(text, mm.isa());
+  if (prog.empty()) {
+    std::fprintf(stderr, "no instructions parsed\n");
+    return 1;
+  }
+  auto rep = analysis::analyze(prog, mm);
+  if (json) {
+    std::fputs(report::to_json(rep).c_str(), stdout);
+    return 0;
+  }
+  std::fputs(rep.to_table().c_str(), stdout);
+  auto meas = exec::run(prog, mm);
+  auto cmp = mca::simulate(prog, mm);
+  std::printf("\ntestbed measurement: %.2f cy/iter | LLVM-MCA comparator: "
+              "%.2f cy/iter\n",
+              meas.cycles_per_iteration, cmp.cycles_per_iteration);
+  return 0;
+}
+
+int cmd_dot(const std::string& machine_name, const char* path) {
+  uarch::Micro micro;
+  if (!parse_machine(machine_name, micro)) return 2;
+  std::string text;
+  if (path != nullptr) {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", path);
+      return 1;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    text = ss.str();
+  } else {
+    std::ostringstream ss;
+    ss << std::cin.rdbuf();
+    text = ss.str();
+  }
+  const auto& mm = uarch::machine(micro);
+  asmir::Program prog = asmir::parse(text, mm.isa());
+  std::fputs(analysis::to_dot(prog, mm).c_str(), stdout);
+  return 0;
+}
+
+int cmd_timeline(const std::string& machine_name, const char* path) {
+  uarch::Micro micro;
+  if (!parse_machine(machine_name, micro)) return 2;
+  std::string text;
+  if (path != nullptr) {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", path);
+      return 1;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    text = ss.str();
+  } else {
+    std::ostringstream ss;
+    ss << std::cin.rdbuf();
+    text = ss.str();
+  }
+  const auto& mm = uarch::machine(micro);
+  asmir::Program prog = asmir::parse(text, mm.isa());
+  auto cfg = exec::testbed_config(micro);
+  cfg.timeline_iterations = 3;
+  auto r = exec::simulate_loop(prog, mm, cfg);
+  std::fputs(exec::render_timeline(r.timeline, prog).c_str(), stdout);
+  std::printf("\nsteady state: %.2f cy/iter\n", r.cycles_per_iteration);
+  return 0;
+}
+
+int cmd_forms(const std::string& machine_name, const char* filter) {
+  uarch::Micro micro;
+  if (!parse_machine(machine_name, micro)) return 2;
+  const auto& mm = uarch::machine(micro);
+  auto forms = mm.forms();
+  std::sort(forms.begin(), forms.end());
+  int shown = 0;
+  for (const std::string& f : forms) {
+    if (filter != nullptr && f.find(filter) == std::string::npos) continue;
+    const auto* p = mm.find(f);
+    std::printf("%-40s inv %6.3f cy  lat %4.1f cy\n", f.c_str(),
+                p->inverse_throughput, p->latency);
+    ++shown;
+  }
+  std::printf("%d forms\n", shown);
+  return 0;
+}
+
+int cmd_kernels() {
+  for (kernels::Kernel k : kernels::all_kernels()) {
+    const auto& ki = kernels::info(k);
+    std::printf("%-20s %2d loads, %d stores, %4.1f flops/elem%s%s%s\n",
+                ki.name, ki.loads_per_element, ki.stores_per_element,
+                ki.flops_per_element, ki.is_reduction ? ", reduction" : "",
+                ki.has_recurrence ? ", recurrence" : "",
+                ki.has_divide ? ", divide" : "");
+  }
+  return 0;
+}
+
+int cmd_emit(const std::string& machine_name, const std::string& kernel_name,
+             const std::string& cc_name, const std::string& opt_name) {
+  uarch::Micro micro;
+  if (!parse_machine(machine_name, micro)) return 2;
+  kernels::Variant v{};
+  v.target = micro;
+  bool found = false;
+  for (kernels::Kernel k : kernels::all_kernels()) {
+    if (kernel_name == kernels::to_string(k)) {
+      v.kernel = k;
+      found = true;
+    }
+  }
+  if (!found) {
+    std::fprintf(stderr, "unknown kernel '%s' (try: incore-cli kernels)\n",
+                 kernel_name.c_str());
+    return 2;
+  }
+  found = false;
+  for (kernels::Compiler c :
+       {kernels::Compiler::Gcc, kernels::Compiler::Clang,
+        kernels::Compiler::OneApi, kernels::Compiler::ArmClang}) {
+    if (cc_name == kernels::to_string(c)) {
+      v.compiler = c;
+      found = true;
+    }
+  }
+  if (!found) {
+    std::fprintf(stderr, "unknown compiler '%s'\n", cc_name.c_str());
+    return 2;
+  }
+  found = false;
+  for (kernels::OptLevel o : {kernels::OptLevel::O1, kernels::OptLevel::O2,
+                              kernels::OptLevel::O3, kernels::OptLevel::Ofast}) {
+    if (opt_name == kernels::to_string(o)) {
+      v.opt = o;
+      found = true;
+    }
+  }
+  if (!found) {
+    std::fprintf(stderr, "unknown optimization level '%s'\n",
+                 opt_name.c_str());
+    return 2;
+  }
+  auto g = kernels::generate(v);
+  std::printf("# %s (%d elements/iteration)\n%s", v.label().c_str(),
+              g.elements_per_iteration, g.assembly.c_str());
+  return 0;
+}
+
+int cmd_microbench(const std::string& machine_name, const std::string& tmpl,
+                   bool latency) {
+  uarch::Micro micro;
+  if (!parse_machine(machine_name, micro)) return 2;
+  const auto& mm = uarch::machine(micro);
+  if (latency) {
+    std::printf("latency: %.2f cy\n", exec::measure_latency(tmpl, mm));
+  } else {
+    double inv = exec::measure_inverse_throughput(tmpl, mm);
+    std::printf("inverse throughput: %.3f cy (%.2f instructions/cy)\n", inv,
+                1.0 / inv);
+  }
+  return 0;
+}
+
+int cmd_ecm(const std::string& machine_name, const std::string& kernel_name) {
+  uarch::Micro micro;
+  if (!parse_machine(machine_name, micro)) return 2;
+  kernels::Variant v{};
+  v.target = micro;
+  v.opt = kernels::OptLevel::O3;
+  v.compiler = kernels::compilers_for(micro).front();
+  bool found = false;
+  for (kernels::Kernel k : kernels::all_kernels()) {
+    if (kernel_name == kernels::to_string(k)) {
+      v.kernel = k;
+      found = true;
+    }
+  }
+  if (!found) {
+    std::fprintf(stderr, "unknown kernel '%s'\n", kernel_name.c_str());
+    return 2;
+  }
+  auto p = ecm::predict_kernel(v);
+  auto h = ecm::hierarchy(micro);
+  std::printf("T_OL %.2f | T_nOL %.2f | L1-L2 %.2f | L2-L3 %.2f | "
+              "L3-Mem %.2f cy/iter\n",
+              p.t_ol, p.t_nol, p.t_l1l2, p.t_l2l3, p.t_l3mem);
+  for (auto loc : {ecm::DataLocation::L1, ecm::DataLocation::L2,
+                   ecm::DataLocation::L3, ecm::DataLocation::Memory}) {
+    std::printf("  %-4s %.2f cy/iter\n", ecm::to_string(loc), p.cycles(loc));
+  }
+  std::printf("saturates at %d cores\n", p.saturation_cores(h));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "machines") return cmd_machines();
+    if (cmd == "kernels") return cmd_kernels();
+    if (cmd == "analyze" && argc >= 3) {
+      bool json = false;
+      const char* file = nullptr;
+      for (int i = 3; i < argc; ++i) {
+        if (std::string(argv[i]) == "--json") {
+          json = true;
+        } else {
+          file = argv[i];
+        }
+      }
+      return cmd_analyze(argv[2], file, json);
+    }
+    if (cmd == "emit" && argc == 6)
+      return cmd_emit(argv[2], argv[3], argv[4], argv[5]);
+    if (cmd == "tput" && argc == 4) return cmd_microbench(argv[2], argv[3], false);
+    if (cmd == "lat" && argc == 4) return cmd_microbench(argv[2], argv[3], true);
+    if (cmd == "ecm" && argc == 4) return cmd_ecm(argv[2], argv[3]);
+    if (cmd == "dot" && argc >= 3)
+      return cmd_dot(argv[2], argc > 3 ? argv[3] : nullptr);
+    if (cmd == "timeline" && argc >= 3)
+      return cmd_timeline(argv[2], argc > 3 ? argv[3] : nullptr);
+    if (cmd == "forms" && argc >= 3)
+      return cmd_forms(argv[2], argc > 3 ? argv[3] : nullptr);
+  } catch (const support::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
