@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fma_forwarding.dir/ablation_fma_forwarding.cpp.o"
+  "CMakeFiles/ablation_fma_forwarding.dir/ablation_fma_forwarding.cpp.o.d"
+  "ablation_fma_forwarding"
+  "ablation_fma_forwarding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fma_forwarding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

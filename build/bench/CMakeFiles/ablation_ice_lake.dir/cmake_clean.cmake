@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ice_lake.dir/ablation_ice_lake.cpp.o"
+  "CMakeFiles/ablation_ice_lake.dir/ablation_ice_lake.cpp.o.d"
+  "ablation_ice_lake"
+  "ablation_ice_lake.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ice_lake.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

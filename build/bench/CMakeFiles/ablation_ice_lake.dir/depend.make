@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_ice_lake.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_port_balancer.dir/ablation_port_balancer.cpp.o"
+  "CMakeFiles/ablation_port_balancer.dir/ablation_port_balancer.cpp.o.d"
+  "ablation_port_balancer"
+  "ablation_port_balancer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_port_balancer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_speci2m.dir/ablation_speci2m.cpp.o"
+  "CMakeFiles/ablation_speci2m.dir/ablation_speci2m.cpp.o.d"
+  "ablation_speci2m"
+  "ablation_speci2m.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_speci2m.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

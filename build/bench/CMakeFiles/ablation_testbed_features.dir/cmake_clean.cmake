@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_testbed_features.dir/ablation_testbed_features.cpp.o"
+  "CMakeFiles/ablation_testbed_features.dir/ablation_testbed_features.cpp.o.d"
+  "ablation_testbed_features"
+  "ablation_testbed_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_testbed_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bandwidth_curves.dir/bandwidth_curves.cpp.o"
+  "CMakeFiles/bandwidth_curves.dir/bandwidth_curves.cpp.o.d"
+  "bandwidth_curves"
+  "bandwidth_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bandwidth_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

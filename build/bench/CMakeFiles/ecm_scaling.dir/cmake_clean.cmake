@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecm_scaling.dir/ecm_scaling.cpp.o"
+  "CMakeFiles/ecm_scaling.dir/ecm_scaling.cpp.o.d"
+  "ecm_scaling"
+  "ecm_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecm_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

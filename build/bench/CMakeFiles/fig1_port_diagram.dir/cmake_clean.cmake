@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_port_diagram.dir/fig1_port_diagram.cpp.o"
+  "CMakeFiles/fig1_port_diagram.dir/fig1_port_diagram.cpp.o.d"
+  "fig1_port_diagram"
+  "fig1_port_diagram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_port_diagram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

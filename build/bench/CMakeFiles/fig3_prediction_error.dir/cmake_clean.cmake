@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_prediction_error.dir/fig3_prediction_error.cpp.o"
+  "CMakeFiles/fig3_prediction_error.dir/fig3_prediction_error.cpp.o.d"
+  "fig3_prediction_error"
+  "fig3_prediction_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_prediction_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_wa_evasion.dir/fig4_wa_evasion.cpp.o"
+  "CMakeFiles/fig4_wa_evasion.dir/fig4_wa_evasion.cpp.o.d"
+  "fig4_wa_evasion"
+  "fig4_wa_evasion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_wa_evasion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/node_winner.dir/node_winner.cpp.o"
+  "CMakeFiles/node_winner.dir/node_winner.cpp.o.d"
+  "node_winner"
+  "node_winner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/node_winner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_tooling.dir/perf_tooling.cpp.o"
+  "CMakeFiles/perf_tooling.dir/perf_tooling.cpp.o.d"
+  "perf_tooling"
+  "perf_tooling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_tooling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roofline_ceilings.dir/roofline_ceilings.cpp.o"
+  "CMakeFiles/roofline_ceilings.dir/roofline_ceilings.cpp.o.d"
+  "roofline_ceilings"
+  "roofline_ceilings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roofline_ceilings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_core_features.dir/table2_core_features.cpp.o"
+  "CMakeFiles/table2_core_features.dir/table2_core_features.cpp.o.d"
+  "table2_core_features"
+  "table2_core_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_core_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whatif_models.dir/whatif_models.cpp.o"
+  "CMakeFiles/whatif_models.dir/whatif_models.cpp.o.d"
+  "whatif_models"
+  "whatif_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whatif_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

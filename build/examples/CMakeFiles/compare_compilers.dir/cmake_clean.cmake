@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_compilers.dir/compare_compilers.cpp.o"
+  "CMakeFiles/compare_compilers.dir/compare_compilers.cpp.o.d"
+  "compare_compilers"
+  "compare_compilers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_compilers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

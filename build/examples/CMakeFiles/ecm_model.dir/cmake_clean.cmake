@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecm_model.dir/ecm_model.cpp.o"
+  "CMakeFiles/ecm_model.dir/ecm_model.cpp.o.d"
+  "ecm_model"
+  "ecm_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecm_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frequency_explorer.dir/frequency_explorer.cpp.o"
+  "CMakeFiles/frequency_explorer.dir/frequency_explorer.cpp.o.d"
+  "frequency_explorer"
+  "frequency_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frequency_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stencil_analysis.dir/stencil_analysis.cpp.o"
+  "CMakeFiles/stencil_analysis.dir/stencil_analysis.cpp.o.d"
+  "stencil_analysis"
+  "stencil_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stencil_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wa_evasion_explorer.dir/wa_evasion_explorer.cpp.o"
+  "CMakeFiles/wa_evasion_explorer.dir/wa_evasion_explorer.cpp.o.d"
+  "wa_evasion_explorer"
+  "wa_evasion_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wa_evasion_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for wa_evasion_explorer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[example_quickstart]=] "/root/repo/build/examples/quickstart")
+set_tests_properties([=[example_quickstart]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_quickstart_gcs]=] "/root/repo/build/examples/quickstart" "gcs")
+set_tests_properties([=[example_quickstart_gcs]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_stencil_analysis]=] "/root/repo/build/examples/stencil_analysis")
+set_tests_properties([=[example_stencil_analysis]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_wa_evasion]=] "/root/repo/build/examples/wa_evasion_explorer" "spr" "13" "nt")
+set_tests_properties([=[example_wa_evasion]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_frequency]=] "/root/repo/build/examples/frequency_explorer" "genoa" "96")
+set_tests_properties([=[example_frequency]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_compare_compilers]=] "/root/repo/build/examples/compare_compilers" "sum" "genoa")
+set_tests_properties([=[example_compare_compilers]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_ecm_model]=] "/root/repo/build/examples/ecm_model" "stream-triad" "gcs")
+set_tests_properties([=[example_ecm_model]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_unroll_advisor]=] "/root/repo/build/examples/unroll_advisor" "triad" "genoa")
+set_tests_properties([=[example_unroll_advisor]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")

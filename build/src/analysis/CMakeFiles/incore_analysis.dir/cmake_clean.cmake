@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incore_analysis.dir/analyze.cpp.o"
+  "CMakeFiles/incore_analysis.dir/analyze.cpp.o.d"
+  "CMakeFiles/incore_analysis.dir/depgraph.cpp.o"
+  "CMakeFiles/incore_analysis.dir/depgraph.cpp.o.d"
+  "CMakeFiles/incore_analysis.dir/dot.cpp.o"
+  "CMakeFiles/incore_analysis.dir/dot.cpp.o.d"
+  "CMakeFiles/incore_analysis.dir/portpressure.cpp.o"
+  "CMakeFiles/incore_analysis.dir/portpressure.cpp.o.d"
+  "libincore_analysis.a"
+  "libincore_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incore_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/asmir/ir.cpp" "src/asmir/CMakeFiles/incore_asmir.dir/ir.cpp.o" "gcc" "src/asmir/CMakeFiles/incore_asmir.dir/ir.cpp.o.d"
+  "/root/repo/src/asmir/parse_aarch64.cpp" "src/asmir/CMakeFiles/incore_asmir.dir/parse_aarch64.cpp.o" "gcc" "src/asmir/CMakeFiles/incore_asmir.dir/parse_aarch64.cpp.o.d"
+  "/root/repo/src/asmir/parse_x86.cpp" "src/asmir/CMakeFiles/incore_asmir.dir/parse_x86.cpp.o" "gcc" "src/asmir/CMakeFiles/incore_asmir.dir/parse_x86.cpp.o.d"
+  "/root/repo/src/asmir/parse_x86_intel.cpp" "src/asmir/CMakeFiles/incore_asmir.dir/parse_x86_intel.cpp.o" "gcc" "src/asmir/CMakeFiles/incore_asmir.dir/parse_x86_intel.cpp.o.d"
+  "/root/repo/src/asmir/parser.cpp" "src/asmir/CMakeFiles/incore_asmir.dir/parser.cpp.o" "gcc" "src/asmir/CMakeFiles/incore_asmir.dir/parser.cpp.o.d"
+  "/root/repo/src/asmir/printer.cpp" "src/asmir/CMakeFiles/incore_asmir.dir/printer.cpp.o" "gcc" "src/asmir/CMakeFiles/incore_asmir.dir/printer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/incore_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

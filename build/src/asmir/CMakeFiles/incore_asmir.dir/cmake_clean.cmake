@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incore_asmir.dir/ir.cpp.o"
+  "CMakeFiles/incore_asmir.dir/ir.cpp.o.d"
+  "CMakeFiles/incore_asmir.dir/parse_aarch64.cpp.o"
+  "CMakeFiles/incore_asmir.dir/parse_aarch64.cpp.o.d"
+  "CMakeFiles/incore_asmir.dir/parse_x86.cpp.o"
+  "CMakeFiles/incore_asmir.dir/parse_x86.cpp.o.d"
+  "CMakeFiles/incore_asmir.dir/parse_x86_intel.cpp.o"
+  "CMakeFiles/incore_asmir.dir/parse_x86_intel.cpp.o.d"
+  "CMakeFiles/incore_asmir.dir/parser.cpp.o"
+  "CMakeFiles/incore_asmir.dir/parser.cpp.o.d"
+  "CMakeFiles/incore_asmir.dir/printer.cpp.o"
+  "CMakeFiles/incore_asmir.dir/printer.cpp.o.d"
+  "libincore_asmir.a"
+  "libincore_asmir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incore_asmir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

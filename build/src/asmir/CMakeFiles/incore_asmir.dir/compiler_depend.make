@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for incore_asmir.
+# This may be replaced when dependencies are built.

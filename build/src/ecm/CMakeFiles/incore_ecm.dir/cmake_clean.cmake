@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incore_ecm.dir/ecm.cpp.o"
+  "CMakeFiles/incore_ecm.dir/ecm.cpp.o.d"
+  "libincore_ecm.a"
+  "libincore_ecm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incore_ecm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incore_exec.dir/exec.cpp.o"
+  "CMakeFiles/incore_exec.dir/exec.cpp.o.d"
+  "CMakeFiles/incore_exec.dir/pipeline.cpp.o"
+  "CMakeFiles/incore_exec.dir/pipeline.cpp.o.d"
+  "libincore_exec.a"
+  "libincore_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incore_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incore_kernels.dir/codegen_aarch64.cpp.o"
+  "CMakeFiles/incore_kernels.dir/codegen_aarch64.cpp.o.d"
+  "CMakeFiles/incore_kernels.dir/codegen_x86.cpp.o"
+  "CMakeFiles/incore_kernels.dir/codegen_x86.cpp.o.d"
+  "CMakeFiles/incore_kernels.dir/kernels.cpp.o"
+  "CMakeFiles/incore_kernels.dir/kernels.cpp.o.d"
+  "libincore_kernels.a"
+  "libincore_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incore_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

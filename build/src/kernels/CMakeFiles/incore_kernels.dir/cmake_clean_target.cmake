@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libincore_kernels.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incore_mca.dir/mca.cpp.o"
+  "CMakeFiles/incore_mca.dir/mca.cpp.o.d"
+  "libincore_mca.a"
+  "libincore_mca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incore_mca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

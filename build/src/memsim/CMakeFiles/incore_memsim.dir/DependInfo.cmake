@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memsim/cachesim.cpp" "src/memsim/CMakeFiles/incore_memsim.dir/cachesim.cpp.o" "gcc" "src/memsim/CMakeFiles/incore_memsim.dir/cachesim.cpp.o.d"
+  "/root/repo/src/memsim/memsim.cpp" "src/memsim/CMakeFiles/incore_memsim.dir/memsim.cpp.o" "gcc" "src/memsim/CMakeFiles/incore_memsim.dir/memsim.cpp.o.d"
+  "/root/repo/src/memsim/multicore.cpp" "src/memsim/CMakeFiles/incore_memsim.dir/multicore.cpp.o" "gcc" "src/memsim/CMakeFiles/incore_memsim.dir/multicore.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/uarch/CMakeFiles/incore_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/incore_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/asmir/CMakeFiles/incore_asmir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incore_memsim.dir/cachesim.cpp.o"
+  "CMakeFiles/incore_memsim.dir/cachesim.cpp.o.d"
+  "CMakeFiles/incore_memsim.dir/memsim.cpp.o"
+  "CMakeFiles/incore_memsim.dir/memsim.cpp.o.d"
+  "CMakeFiles/incore_memsim.dir/multicore.cpp.o"
+  "CMakeFiles/incore_memsim.dir/multicore.cpp.o.d"
+  "libincore_memsim.a"
+  "libincore_memsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incore_memsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incore_power.dir/power.cpp.o"
+  "CMakeFiles/incore_power.dir/power.cpp.o.d"
+  "CMakeFiles/incore_power.dir/thermal.cpp.o"
+  "CMakeFiles/incore_power.dir/thermal.cpp.o.d"
+  "libincore_power.a"
+  "libincore_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incore_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incore_report.dir/json.cpp.o"
+  "CMakeFiles/incore_report.dir/json.cpp.o.d"
+  "CMakeFiles/incore_report.dir/report.cpp.o"
+  "CMakeFiles/incore_report.dir/report.cpp.o.d"
+  "libincore_report.a"
+  "libincore_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incore_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incore_roofline.dir/roofline.cpp.o"
+  "CMakeFiles/incore_roofline.dir/roofline.cpp.o.d"
+  "libincore_roofline.a"
+  "libincore_roofline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incore_roofline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incore_support.dir/csv.cpp.o"
+  "CMakeFiles/incore_support.dir/csv.cpp.o.d"
+  "CMakeFiles/incore_support.dir/ks.cpp.o"
+  "CMakeFiles/incore_support.dir/ks.cpp.o.d"
+  "CMakeFiles/incore_support.dir/stats.cpp.o"
+  "CMakeFiles/incore_support.dir/stats.cpp.o.d"
+  "CMakeFiles/incore_support.dir/strings.cpp.o"
+  "CMakeFiles/incore_support.dir/strings.cpp.o.d"
+  "libincore_support.a"
+  "libincore_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incore_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

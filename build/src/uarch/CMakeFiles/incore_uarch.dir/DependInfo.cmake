@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/uarch/machine_golden_cove.cpp" "src/uarch/CMakeFiles/incore_uarch.dir/machine_golden_cove.cpp.o" "gcc" "src/uarch/CMakeFiles/incore_uarch.dir/machine_golden_cove.cpp.o.d"
+  "/root/repo/src/uarch/machine_ice_lake.cpp" "src/uarch/CMakeFiles/incore_uarch.dir/machine_ice_lake.cpp.o" "gcc" "src/uarch/CMakeFiles/incore_uarch.dir/machine_ice_lake.cpp.o.d"
+  "/root/repo/src/uarch/machine_neoverse_v2.cpp" "src/uarch/CMakeFiles/incore_uarch.dir/machine_neoverse_v2.cpp.o" "gcc" "src/uarch/CMakeFiles/incore_uarch.dir/machine_neoverse_v2.cpp.o.d"
+  "/root/repo/src/uarch/machine_zen4.cpp" "src/uarch/CMakeFiles/incore_uarch.dir/machine_zen4.cpp.o" "gcc" "src/uarch/CMakeFiles/incore_uarch.dir/machine_zen4.cpp.o.d"
+  "/root/repo/src/uarch/model.cpp" "src/uarch/CMakeFiles/incore_uarch.dir/model.cpp.o" "gcc" "src/uarch/CMakeFiles/incore_uarch.dir/model.cpp.o.d"
+  "/root/repo/src/uarch/registry.cpp" "src/uarch/CMakeFiles/incore_uarch.dir/registry.cpp.o" "gcc" "src/uarch/CMakeFiles/incore_uarch.dir/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/asmir/CMakeFiles/incore_asmir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/incore_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

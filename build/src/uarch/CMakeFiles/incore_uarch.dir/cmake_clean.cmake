@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incore_uarch.dir/machine_golden_cove.cpp.o"
+  "CMakeFiles/incore_uarch.dir/machine_golden_cove.cpp.o.d"
+  "CMakeFiles/incore_uarch.dir/machine_ice_lake.cpp.o"
+  "CMakeFiles/incore_uarch.dir/machine_ice_lake.cpp.o.d"
+  "CMakeFiles/incore_uarch.dir/machine_neoverse_v2.cpp.o"
+  "CMakeFiles/incore_uarch.dir/machine_neoverse_v2.cpp.o.d"
+  "CMakeFiles/incore_uarch.dir/machine_zen4.cpp.o"
+  "CMakeFiles/incore_uarch.dir/machine_zen4.cpp.o.d"
+  "CMakeFiles/incore_uarch.dir/model.cpp.o"
+  "CMakeFiles/incore_uarch.dir/model.cpp.o.d"
+  "CMakeFiles/incore_uarch.dir/registry.cpp.o"
+  "CMakeFiles/incore_uarch.dir/registry.cpp.o.d"
+  "libincore_uarch.a"
+  "libincore_uarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incore_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

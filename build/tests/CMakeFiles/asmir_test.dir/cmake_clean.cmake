@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asmir_test.dir/asmir_test.cpp.o"
+  "CMakeFiles/asmir_test.dir/asmir_test.cpp.o.d"
+  "asmir_test"
+  "asmir_test.pdb"
+  "asmir_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asmir_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ecm_test.cpp" "tests/CMakeFiles/ecm_test.dir/ecm_test.cpp.o" "gcc" "tests/CMakeFiles/ecm_test.dir/ecm_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ecm/CMakeFiles/incore_ecm.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/incore_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/incore_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/incore_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/incore_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/incore_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/asmir/CMakeFiles/incore_asmir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/incore_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

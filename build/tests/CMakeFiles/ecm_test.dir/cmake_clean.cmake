@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecm_test.dir/ecm_test.cpp.o"
+  "CMakeFiles/ecm_test.dir/ecm_test.cpp.o.d"
+  "ecm_test"
+  "ecm_test.pdb"
+  "ecm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

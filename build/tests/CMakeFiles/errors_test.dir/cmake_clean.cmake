@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/errors_test.dir/errors_test.cpp.o"
+  "CMakeFiles/errors_test.dir/errors_test.cpp.o.d"
+  "errors_test"
+  "errors_test.pdb"
+  "errors_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/errors_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

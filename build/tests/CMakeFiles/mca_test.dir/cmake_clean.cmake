@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mca_test.dir/mca_test.cpp.o"
+  "CMakeFiles/mca_test.dir/mca_test.cpp.o.d"
+  "mca_test"
+  "mca_test.pdb"
+  "mca_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mca_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incore-cli.dir/incore_cli.cpp.o"
+  "CMakeFiles/incore-cli.dir/incore_cli.cpp.o.d"
+  "incore-cli"
+  "incore-cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incore-cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[cli_machines]=] "/root/repo/build/tools/incore-cli" "machines")
+set_tests_properties([=[cli_machines]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[cli_kernels]=] "/root/repo/build/tools/incore-cli" "kernels")
+set_tests_properties([=[cli_kernels]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[cli_emit]=] "/root/repo/build/tools/incore-cli" "emit" "spr" "stream-triad" "icx" "O3")
+set_tests_properties([=[cli_emit]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[cli_tput]=] "/root/repo/build/tools/incore-cli" "tput" "gcs" "fadd v{d}.2d, v{s}.2d, v28.2d")
+set_tests_properties([=[cli_tput]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[cli_ecm]=] "/root/repo/build/tools/incore-cli" "ecm" "genoa" "add")
+set_tests_properties([=[cli_ecm]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[cli_forms]=] "/root/repo/build/tools/incore-cli" "forms" "spr" "vfmadd")
+set_tests_properties([=[cli_forms]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[cli_usage_error]=] "/root/repo/build/tools/incore-cli" "bogus")
+set_tests_properties([=[cli_usage_error]=] PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
