@@ -41,6 +41,7 @@ Report analyze(const asmir::Program& prog, const uarch::MachineModel& mm,
     ir.form = prog.code[i].form();
     ir.latency = resolved[i].latency;
     ir.inverse_throughput = resolved[i].inverse_throughput;
+    ir.used_fallback = resolved[i].used_fallback;
     ir.port_pressure.assign(ports, 0.0);
   }
   for (std::size_t g = 0; g < groups.size(); ++g) {
@@ -60,6 +61,7 @@ std::string Report::to_table() const {
   out += format("%-40s", "instruction");
   for (const auto& p : mm_->ports()) out += format(" %6s", p.c_str());
   out += "   LCD\n";
+  bool any_fallback = false;
   for (const auto& ir : instructions_) {
     std::string text = ir.text.substr(0, 39);
     out += format("%-40s", text.c_str());
@@ -71,7 +73,15 @@ std::string Report::to_table() const {
       }
     }
     out += ir.on_lcd ? "     *" : "";
+    if (ir.used_fallback) {
+      out += ir.on_lcd ? " !" : "      !";
+      any_fallback = true;
+    }
     out += '\n';
+  }
+  if (any_fallback) {
+    out += "(!) form not in the model; mnemonic-fallback estimate -- run "
+           "`incore-cli lint` for details\n";
   }
   out += format("%-40s", "-- port load --");
   for (double v : port_load_) out += format(" %6.2f", v);

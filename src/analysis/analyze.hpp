@@ -26,6 +26,10 @@ struct InstructionReport {
   double inverse_throughput = 0.0;
   std::vector<double> port_pressure; // per-port contribution (cycles)
   bool on_lcd = false;
+  /// The form missed the model's table and was resolved via the
+  /// bare-mnemonic fallback: latency/throughput are mnemonic-level guesses.
+  /// Rendered as '!' in to_table() and exported in the JSON report.
+  bool used_fallback = false;
 };
 
 class Report {

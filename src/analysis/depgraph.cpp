@@ -71,6 +71,20 @@ struct MemKey {
   }
 };
 
+/// Same symbolic address class: identical base/index roots at identical
+/// versions.  Only then are displacement ranges comparable.
+bool same_address_class(const MemKey& a, const MemKey& b) {
+  return a.base == b.base && a.index == b.index && a.base_ver == b.base_ver &&
+         a.index_ver == b.index_ver;
+}
+
+/// Byte ranges [disp, disp + width/8) of two same-class accesses intersect.
+bool bytes_overlap(const MemKey& a, const MemKey& b) {
+  const long long a_hi = a.disp + std::max(a.width / 8, 1);
+  const long long b_hi = b.disp + std::max(b.width / 8, 1);
+  return a.disp < b_hi && b.disp < a_hi;
+}
+
 std::optional<MemKey> mem_key(const Instruction& ins,
                               const std::map<std::uint32_t, int>& reg_version) {
   const MemOperand* m = ins.mem_operand();
@@ -173,7 +187,12 @@ DepResult analyze_dependencies(const Program& prog,
   };
 
   std::map<std::uint32_t, int> last_writer;  // register root -> node id
-  std::map<MemKey, int> last_store;          // location -> main node id
+  // Stores in program order; a load depends on the *latest* store whose
+  // byte range overlaps its own (same symbolic base/index at the same
+  // version).  Kept as a list because overlap is an interval query, not an
+  // exact-key lookup: a store to [base] and a narrower load from [base+4]
+  // must still be ordered.
+  std::vector<std::pair<MemKey, int>> stores;  // (location, main node id)
   std::map<std::uint32_t, int> reg_version;
   const std::uint32_t kFlagsRoot = Register{RegClass::Flags, 0, 1}.root_id();
 
@@ -229,10 +248,14 @@ DepResult analyze_dependencies(const Program& prog,
       }
       if (ins.is_load) {
         if (auto key = mem_key(ins, reg_version)) {
-          auto it = last_store.find(*key);
-          if (it != last_store.end())
-            add_edge_w(it->second, split ? load_id(pos) : node,
-                       opt.store_forward_latency);
+          for (auto it = stores.rbegin(); it != stores.rend(); ++it) {
+            if (same_address_class(it->first, *key) &&
+                bytes_overlap(it->first, *key)) {
+              add_edge_w(it->second, split ? load_id(pos) : node,
+                         opt.store_forward_latency);
+              break;
+            }
+          }
         }
       }
       if (has_writeback[static_cast<std::size_t>(i)]) {
@@ -244,7 +267,15 @@ DepResult analyze_dependencies(const Program& prog,
     }
 
     if (ins.is_store) {
-      if (auto key = mem_key(ins, reg_version)) last_store[*key] = node;
+      if (auto key = mem_key(ins, reg_version)) {
+        // A store fully covering an earlier one supersedes it; otherwise
+        // both stay visible to later overlap queries.
+        std::erase_if(stores, [&](const auto& s) {
+          return same_address_class(s.first, *key) && s.first.disp == key->disp &&
+                 s.first.width <= key->width;
+        });
+        stores.emplace_back(*key, node);
+      }
     }
     for (const Register& r : ins.writes()) {
       if (is_zero_register(prog, r)) continue;

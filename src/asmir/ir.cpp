@@ -16,10 +16,18 @@ const char* to_string(Isa isa) {
 
 std::string Register::name(Isa isa) const {
   switch (cls) {
-    case RegClass::Gpr:
+    case RegClass::Gpr: {
       if (isa == Isa::AArch64)
         return format("%c%d", width_bits == 32 ? 'w' : 'x', index);
-      return format("r%d.%d", index, width_bits);
+      static const char* k64[] = {"rax", "rcx", "rdx", "rbx", "rsi", "rdi",
+                                  "rbp", "r7?", "r8",  "r9",  "r10", "r11",
+                                  "r12", "r13", "r14", "r15"};
+      static const char* k32[] = {"eax",  "ecx",  "edx",  "ebx",  "esi",
+                                  "edi",  "ebp",  "e7?",  "r8d",  "r9d",
+                                  "r10d", "r11d", "r12d", "r13d", "r14d",
+                                  "r15d"};
+      return width_bits == 32 ? k32[index & 15] : k64[index & 15];
+    }
     case RegClass::Vector:
       if (isa == Isa::AArch64) {
         if (width_bits <= 64) return format("d%d", index);

@@ -11,18 +11,6 @@ namespace {
 std::string reg_text(const Register& r, Isa isa) {
   if (isa == Isa::X86_64) {
     if (r.cls == RegClass::Sp) return r.index == 1 ? "%rip" : "%rsp";
-    if (r.cls == RegClass::Gpr) {
-      static const char* k64[] = {"rax", "rcx", "rdx", "rbx", "rsi", "rdi",
-                                  "rbp", "r7?", "r8",  "r9",  "r10", "r11",
-                                  "r12", "r13", "r14", "r15"};
-      static const char* k32[] = {"eax",  "ecx",  "edx",  "ebx", "esi",
-                                  "edi",  "ebp",  "e7?",  "r8d", "r9d",
-                                  "r10d", "r11d", "r12d", "r13d", "r14d",
-                                  "r15d"};
-      const char* name = r.width_bits == 32 ? k32[r.index & 15]
-                                            : k64[r.index & 15];
-      return std::string("%") + name;
-    }
     return "%" + r.name(isa);
   }
   // AArch64.

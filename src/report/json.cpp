@@ -51,14 +51,42 @@ std::string to_json(const analysis::Report& rep) {
     const auto& ir = instrs[i];
     out += format(
         "    {\"text\": \"%s\", \"form\": \"%s\", \"latency\": %.6g, "
-        "\"inverse_throughput\": %.6g, \"on_lcd\": %s, \"port_pressure\": [",
+        "\"inverse_throughput\": %.6g, \"on_lcd\": %s, "
+        "\"used_fallback\": %s, \"port_pressure\": [",
         json_escape(ir.text).c_str(), json_escape(ir.form).c_str(),
-        ir.latency, ir.inverse_throughput, ir.on_lcd ? "true" : "false");
+        ir.latency, ir.inverse_throughput, ir.on_lcd ? "true" : "false",
+        ir.used_fallback ? "true" : "false");
     for (std::size_t p = 0; p < ir.port_pressure.size(); ++p) {
       out += format("%s%.4g", p ? ", " : "", ir.port_pressure[p]);
     }
     out += "]}";
     out += i + 1 < instrs.size() ? ",\n" : "\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+std::string to_json(const verify::DiagnosticSink& sink) {
+  using verify::Severity;
+  std::string out = "{\n";
+  out += format("  \"errors\": %zu,\n  \"warnings\": %zu,\n"
+                "  \"notes\": %zu,\n",
+                sink.errors(), sink.warnings(), sink.count(Severity::Note));
+  out += "  \"diagnostics\": [\n";
+  const auto& diags = sink.diagnostics();
+  for (std::size_t i = 0; i < diags.size(); ++i) {
+    const verify::Diagnostic& d = diags[i];
+    out += format(
+        "    {\"severity\": \"%s\", \"code\": \"%s\", \"location\": \"%s\", "
+        "\"message\": \"%s\", \"notes\": [",
+        verify::to_string(d.severity), json_escape(d.code).c_str(),
+        json_escape(d.location).c_str(), json_escape(d.message).c_str());
+    for (std::size_t n = 0; n < d.notes.size(); ++n) {
+      out += format("%s\"%s\"", n ? ", " : "",
+                    json_escape(d.notes[n]).c_str());
+    }
+    out += "]}";
+    out += i + 1 < diags.size() ? ",\n" : "\n";
   }
   out += "  ]\n}\n";
   return out;

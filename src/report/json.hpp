@@ -6,12 +6,18 @@
 #include <string>
 
 #include "analysis/analyze.hpp"
+#include "verify/diagnostics.hpp"
 
 namespace incore::report {
 
 /// Serializes an analysis report: bounds, per-port loads, per-instruction
-/// rows (form, latency, reciprocal throughput, port pressure, LCD flag).
+/// rows (form, latency, reciprocal throughput, port pressure, LCD and
+/// mnemonic-fallback flags).
 [[nodiscard]] std::string to_json(const analysis::Report& rep);
+
+/// Serializes verifier diagnostics: severity tallies plus one object per
+/// diagnostic (severity, code, location, message, notes).
+[[nodiscard]] std::string to_json(const verify::DiagnosticSink& sink);
 
 /// JSON string escaping helper (exposed for tests).
 [[nodiscard]] std::string json_escape(const std::string& s);

@@ -193,7 +193,7 @@ MachineModel build_neoverse_v2() {
       F(support::format("%s %s,%s,%s,%s", op, w, w, w, w).c_str(), 0.25, 4, kV);
     }
     F(support::format("fdiv %s,%s,%s", w, w, w).c_str(), 2.5, 12, "2.5xV0");
-    F(support::format("fsqrt %s,%s", w, w).c_str(), 7.0, 13, "7xV0");
+    // (fsqrt for these widths is already registered by the loop above.)
     F(support::format("fcmp %s,%s", w, w).c_str(), 0.5, 2, "V0|V1");
     F(support::format("fcmpe %s,%s", w, w).c_str(), 0.5, 2, "V0|V1");
     F(support::format("fcsel %s,%s,%s", w, w, w).c_str(), 0.25, 2, kV);

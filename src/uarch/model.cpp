@@ -92,7 +92,23 @@ void MachineModel::add(std::string_view form, double inverse_throughput,
     }
     perf.port_uses.push_back(PortUse{mask(port_list), cycles});
   }
-  table_.emplace(std::string(form), std::move(perf));
+  std::string key(form);
+  if (table_.contains(key)) {
+    switch (on_duplicate_) {
+      case OnDuplicate::Reject:
+        throw ModelError("duplicate form '" + key + "' in model " + name_);
+      case OnDuplicate::Warn:
+        duplicate_forms_.push_back(key);
+        return;  // first registration wins, as before
+      case OnDuplicate::Overwrite:
+        break;
+    }
+  }
+  table_.insert_or_assign(std::move(key), std::move(perf));
+}
+
+void MachineModel::set_perf(std::string_view form, InstrPerf perf) {
+  table_.insert_or_assign(std::string(form), std::move(perf));
 }
 
 void MachineModel::set(std::string_view form, double inverse_throughput,
@@ -241,6 +257,7 @@ Resolved MachineModel::resolve(const asmir::Instruction& ins) const {
       }
       r.latency = std::max(lat, 1.0);
       r.is_gather = mem->is_gather;
+      r.decomposed = true;
       return r;
     }
   }
@@ -252,6 +269,9 @@ Resolved MachineModel::resolve(const asmir::Instruction& ins) const {
     r.has_load = ins.is_load;
     r.has_store = ins.is_store;
     if (ins.is_load) r.load_latency = perf->latency;
+    // Only a degradation when the instruction actually has operands: the
+    // bare-mnemonic key *is* the exact form of operand-less instructions.
+    r.used_fallback = !ins.ops.empty();
     return r;
   }
   throw UnknownInstruction(form + " (machine " + name_ + ")");

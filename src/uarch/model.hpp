@@ -37,6 +37,15 @@ struct PortUse {
   double cycles = 1.0; // occupancy contributed to the set
 };
 
+/// Policy for `MachineModel::add` when the form key is already registered.
+/// The historical behaviour (silently keeping the first registration) hid
+/// typos in hand-written models; the default now rejects re-registration.
+enum class OnDuplicate : std::uint8_t {
+  Reject,     // throw support::ModelError (default)
+  Warn,       // keep the first entry, record the key in duplicate_forms()
+  Overwrite,  // last write wins (what-if model editing)
+};
+
 struct InstrPerf {
   /// Reciprocal (inverse) throughput in cycles per instruction, steady state.
   double inverse_throughput = 1.0;
@@ -71,6 +80,13 @@ struct Resolved {
   bool has_load = false;
   bool has_store = false;
   bool is_gather = false;
+  /// The form missed the table and resolved through the bare-mnemonic
+  /// fallback entry: latency/throughput are a guess at mnemonic granularity.
+  bool used_fallback = false;
+  /// The form resolved via folded-access decomposition into synthetic
+  /// "_load.mN"/"_store.mN" micro-ops plus the register-equivalent compute
+  /// form (the normal path for folded memory operands).
+  bool decomposed = false;
 };
 
 /// Front-end and out-of-order resource description (used by the MCA-style
@@ -112,9 +128,26 @@ class MachineModel {
   /// Registers an instruction form.  `ports_spec` is a ';'-separated list of
   /// occupancy terms "CYCLESxPORT|PORT|..." (CYCLES may be fractional and
   /// defaults to 1), e.g. "1xP0|P5" or "16xP0".  Throws ModelError for
-  /// unknown ports.
+  /// unknown ports, and (under the default OnDuplicate::Reject policy) for
+  /// re-registration of an existing form key.
   void add(std::string_view form, double inverse_throughput, double latency,
            std::string_view ports_spec, double uops = 0.0);
+
+  /// Re-registration policy for add(); see OnDuplicate.
+  void set_on_duplicate(OnDuplicate policy) { on_duplicate_ = policy; }
+  [[nodiscard]] OnDuplicate on_duplicate() const { return on_duplicate_; }
+  /// Form keys whose re-registration was suppressed under OnDuplicate::Warn,
+  /// in registration order.  Consumed by the model verifier (diagnostic
+  /// VM007).
+  [[nodiscard]] const std::vector<std::string>& duplicate_forms() const {
+    return duplicate_forms_;
+  }
+
+  /// Raw insertion bypassing the ports-spec parser: overwrites or inserts
+  /// the descriptor as given, without any consistency checking.  Intended
+  /// for what-if model editing and for verifier tests that need to build
+  /// deliberately corrupted fixtures.
+  void set_perf(std::string_view form, InstrPerf perf);
 
   /// Sets the late-forwarding accumulator latency of an existing form.
   void set_accumulator_latency(std::string_view form, double latency);
@@ -129,6 +162,13 @@ class MachineModel {
   /// Full resolution incl. folded-access decomposition and mnemonic
   /// fallback.  Throws support::UnknownInstruction when nothing applies.
   [[nodiscard]] Resolved resolve(const asmir::Instruction& ins) const;
+
+  /// Bare-mnemonic lookup used as the last resolution resort (exposed so the
+  /// verifier can classify resolution paths without re-running resolve()).
+  [[nodiscard]] const InstrPerf* find_fallback(
+      const std::string& mnemonic) const {
+    return find_mnemonic_fallback(mnemonic);
+  }
 
   [[nodiscard]] std::size_t table_size() const { return table_.size(); }
 
@@ -153,6 +193,8 @@ class MachineModel {
   std::vector<std::string> ports_;
   CoreResources res_;
   std::unordered_map<std::string, InstrPerf> table_;
+  OnDuplicate on_duplicate_ = OnDuplicate::Reject;
+  std::vector<std::string> duplicate_forms_;
 };
 
 /// Global registry of the three modeled microarchitectures.  Models are

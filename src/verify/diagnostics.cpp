@@ -1,0 +1,88 @@
+#include "verify/diagnostics.hpp"
+
+#include "support/strings.hpp"
+
+namespace incore::verify {
+
+const char* to_string(Severity s) {
+  switch (s) {
+    case Severity::Note: return "note";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+  }
+  return "?";
+}
+
+std::span<const CodeInfo> all_codes() {
+  static const CodeInfo kCodes[] = {
+      {"VM001", Severity::Error,
+       "port use references ports outside the machine"},
+      {"VM002", Severity::Error, "port use has an empty port set"},
+      {"VM003", Severity::Error, "port use has non-positive occupancy"},
+      {"VM004", Severity::Error,
+       "declared inverse throughput below the optimal-balance bound"},
+      {"VM005", Severity::Error, "accumulator latency exceeds result latency"},
+      {"VM006", Severity::Warning,
+       "declared micro-op count below the number of occupancy groups"},
+      {"VM007", Severity::Warning,
+       "re-registration of an existing form key was suppressed"},
+      {"VM008", Severity::Note,
+       "bare-mnemonic entry shadows operand forms (acts as a fallback)"},
+      {"VM009", Severity::Error,
+       "non-finite or negative timing value in a form descriptor"},
+      {"VM010", Severity::Warning,
+       "cross-model coverage gap: form exact in one model, degraded in "
+       "another"},
+      {"VK001", Severity::Note,
+       "register read before any write in the loop body (loop-carried)"},
+      {"VK002", Severity::Warning,
+       "instruction resolved only via mnemonic fallback"},
+      {"VK003", Severity::Error, "instruction form not resolvable"},
+      {"VK004", Severity::Warning,
+       "unreachable instruction after an unconditional branch"},
+      {"VK005", Severity::Warning, "unmatched analysis region markers"},
+      {"VK006", Severity::Note,
+       "no analysis region markers; the whole file is analyzed"},
+  };
+  return kCodes;
+}
+
+void DiagnosticSink::report(Severity severity, std::string code,
+                            std::string location, std::string message,
+                            std::vector<std::string> notes) {
+  diags_.push_back(Diagnostic{severity, std::move(code), std::move(location),
+                              std::move(message), std::move(notes)});
+}
+
+std::size_t DiagnosticSink::count(Severity s) const {
+  std::size_t n = 0;
+  for (const Diagnostic& d : diags_) {
+    if (d.severity == s) ++n;
+  }
+  return n;
+}
+
+std::string DiagnosticSink::to_text(Severity min_severity) const {
+  std::string out;
+  for (const Diagnostic& d : diags_) {
+    if (d.severity < min_severity) continue;
+    out += support::format("%s[%s] %s: %s\n", to_string(d.severity),
+                           d.code.c_str(), d.location.c_str(),
+                           d.message.c_str());
+    for (const std::string& n : d.notes) {
+      out += support::format("  note: %s\n", n.c_str());
+    }
+  }
+  return out;
+}
+
+std::string DiagnosticSink::summary() const {
+  auto plural = [](std::size_t n) { return n == 1 ? "" : "s"; };
+  const std::size_t e = errors();
+  const std::size_t w = warnings();
+  const std::size_t n = count(Severity::Note);
+  return support::format("%zu error%s, %zu warning%s, %zu note%s", e,
+                         plural(e), w, plural(w), n, plural(n));
+}
+
+}  // namespace incore::verify

@@ -1,0 +1,72 @@
+#pragma once
+// Structured diagnostics for the model & kernel verifier.
+//
+// Every lint pass reports through a DiagnosticSink instead of throwing: a
+// single run surfaces *all* problems of a model or kernel at once, each as a
+// Diagnostic carrying a stable code (VMnnn for machine-model lints, VKnnn
+// for kernel lints), a severity, a human-readable location and optional
+// elaborating notes.  The codes are documented in docs/linting.md and
+// enumerated programmatically via all_codes() so the CLI and the docs can
+// never drift apart.
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace incore::verify {
+
+enum class Severity : std::uint8_t { Note, Warning, Error };
+
+[[nodiscard]] const char* to_string(Severity s);
+
+struct Diagnostic {
+  Severity severity = Severity::Warning;
+  std::string code;      // stable identifier, e.g. "VM004"
+  std::string location;  // e.g. "model 'zen4', form 'vaddpd v256,v256,v256'"
+  std::string message;   // one-line description of the violation
+  std::vector<std::string> notes;  // elaboration / fix hints
+};
+
+/// Registry entry for a diagnostic code (drives docs and `lint --codes`).
+struct CodeInfo {
+  const char* code;
+  Severity severity;  // default severity this code is emitted with
+  const char* summary;
+};
+
+/// All diagnostic codes the verifier can emit, in code order.
+[[nodiscard]] std::span<const CodeInfo> all_codes();
+
+/// Collects diagnostics from the lint passes.  Not thread-safe; create one
+/// sink per verification run.
+class DiagnosticSink {
+ public:
+  void report(Severity severity, std::string code, std::string location,
+              std::string message, std::vector<std::string> notes = {});
+
+  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const {
+    return diags_;
+  }
+  [[nodiscard]] std::size_t count(Severity s) const;
+  [[nodiscard]] std::size_t errors() const { return count(Severity::Error); }
+  [[nodiscard]] std::size_t warnings() const {
+    return count(Severity::Warning);
+  }
+  [[nodiscard]] bool has_errors() const { return errors() > 0; }
+  [[nodiscard]] bool empty() const { return diags_.empty(); }
+
+  /// Compiler-style text rendering:
+  ///   error[VM001] model 'toy', form 'op r64': <message>
+  ///     note: <note>
+  /// Diagnostics below `min_severity` are omitted.
+  [[nodiscard]] std::string to_text(Severity min_severity = Severity::Note) const;
+
+  /// One-line tally, e.g. "2 errors, 1 warning, 3 notes".
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  std::vector<Diagnostic> diags_;
+};
+
+}  // namespace incore::verify

@@ -1,0 +1,164 @@
+#include "verify/kernel_lints.hpp"
+
+#include <map>
+#include <set>
+
+#include "support/strings.hpp"
+#include "verify/model_lints.hpp"
+
+namespace incore::verify {
+
+using asmir::Instruction;
+using asmir::Program;
+using asmir::RegClass;
+using asmir::Register;
+using support::format;
+
+namespace {
+
+std::string ins_location(std::string_view name, const Instruction& ins) {
+  return format("kernel '%.*s', line %d: '%s'",
+                static_cast<int>(name.size()), name.data(), ins.line,
+                ins.raw.c_str());
+}
+
+bool is_zero_register(const Program& prog, const Register& r) {
+  return prog.isa == asmir::Isa::AArch64 && r.cls == RegClass::Gpr &&
+         r.index == 31;
+}
+
+/// Registers whose liveness across iterations is structural rather than a
+/// data recurrence: stack pointer and flags.
+bool is_ignored_root(const Register& r) {
+  return r.cls == RegClass::Sp || r.cls == RegClass::Flags;
+}
+
+bool is_unconditional_branch(const Program& prog, const Instruction& ins) {
+  if (!ins.is_branch && ins.mnemonic != "ret" && ins.mnemonic != "retq")
+    return false;
+  if (prog.isa == asmir::Isa::X86_64) {
+    return ins.mnemonic == "jmp" || ins.mnemonic == "jmpq" ||
+           ins.mnemonic == "ret" || ins.mnemonic == "retq";
+  }
+  return ins.mnemonic == "b" || ins.mnemonic == "br" || ins.mnemonic == "ret";
+}
+
+}  // namespace
+
+std::size_t lint_program(const Program& prog, const uarch::MachineModel& mm,
+                         std::string_view name, DiagnosticSink& sink,
+                         const KernelLintOptions& opt) {
+  const std::size_t before = sink.diagnostics().size();
+
+  // --- resolution-path degradations (VK002 / VK003) ---
+  for (const Instruction& ins : prog.code) {
+    switch (classify_resolution(mm, ins)) {
+      case ResolutionKind::Fallback:
+        sink.report(
+            Severity::Warning, "VK002", ins_location(name, ins),
+            format("form '%s' is not in model '%s'; resolved via the "
+                   "bare-mnemonic entry '%s' (mnemonic-level estimate)",
+                   ins.form().c_str(), mm.name().c_str(),
+                   ins.mnemonic.c_str()),
+            {"add the exact form to the model to remove the guess"});
+        break;
+      case ResolutionKind::Missing:
+        sink.report(
+            Severity::Error, "VK003", ins_location(name, ins),
+            format("form '%s' cannot be resolved against model '%s'; "
+                   "analysis would fail",
+                   ins.form().c_str(), mm.name().c_str()));
+        break;
+      case ResolutionKind::Exact:
+      case ResolutionKind::Decomposed:
+        break;
+    }
+  }
+
+  // --- registers read before any in-body write (VK001) ---
+  if (opt.flag_loop_carried_inputs) {
+    std::set<std::uint32_t> written;
+    std::set<std::uint32_t> ever_written;
+    struct FirstRead {
+      const Instruction* ins;
+      std::string reg_name;
+    };
+    std::map<std::uint32_t, FirstRead> read_first;
+    for (const Instruction& ins : prog.code) {
+      for (const Register& r : ins.reads()) {
+        if (is_ignored_root(r) || is_zero_register(prog, r)) continue;
+        const std::uint32_t root = r.root_id();
+        if (!written.contains(root) && !read_first.contains(root)) {
+          read_first.emplace(root, FirstRead{&ins, r.name(prog.isa)});
+        }
+      }
+      for (const Register& r : ins.writes()) {
+        if (is_ignored_root(r) || is_zero_register(prog, r)) continue;
+        written.insert(r.root_id());
+        ever_written.insert(r.root_id());
+      }
+    }
+    for (const auto& [root, first] : read_first) {
+      if (!ever_written.contains(root)) continue;  // pure input, no LCD edge
+      sink.report(
+          Severity::Note, "VK001", ins_location(name, *first.ins),
+          format("register '%s' is read before any write in the loop body "
+                 "and written later: this is a loop-carried dependency",
+                 first.reg_name.c_str()),
+          {"intended for accumulators and induction variables; for "
+           "temporaries it signals a spurious LCD edge"});
+    }
+  }
+
+  // --- unreachable instructions after unconditional branches (VK004) ---
+  for (std::size_t i = 0; i + 1 < prog.code.size(); ++i) {
+    if (is_unconditional_branch(prog, prog.code[i])) {
+      sink.report(
+          Severity::Warning, "VK004", ins_location(name, prog.code[i]),
+          format("%zu instruction(s) after this unconditional branch are "
+                 "unreachable within the loop body",
+                 prog.code.size() - i - 1),
+          {"the analyzer still charges their port pressure; trim the "
+           "marked region to the loop body"});
+      break;  // one diagnostic per program is enough
+    }
+  }
+
+  return sink.diagnostics().size() - before;
+}
+
+std::size_t lint_source_markers(std::string_view text, std::string_view name,
+                                DiagnosticSink& sink) {
+  const std::size_t before = sink.diagnostics().size();
+  const std::string loc = format("kernel '%.*s'",
+                                 static_cast<int>(name.size()), name.data());
+  const bool osaca_begin = text.find("OSACA-BEGIN") != std::string_view::npos;
+  const bool osaca_end = text.find("OSACA-END") != std::string_view::npos;
+  const bool mca_begin =
+      text.find("LLVM-MCA-BEGIN") != std::string_view::npos;
+  const bool mca_end = text.find("LLVM-MCA-END") != std::string_view::npos;
+  const bool any_begin = osaca_begin || mca_begin;
+  const bool any_end = osaca_end || mca_end;
+
+  if (any_begin && !any_end) {
+    sink.report(Severity::Warning, "VK005", loc,
+                "analysis region BEGIN marker without a matching END; the "
+                "whole file is analyzed instead");
+  } else if (any_end && !any_begin) {
+    sink.report(Severity::Warning, "VK005", loc,
+                "analysis region END marker without a matching BEGIN; the "
+                "whole file is analyzed instead");
+  } else if ((osaca_begin && mca_end && !osaca_end && !mca_begin) ||
+             (mca_begin && osaca_end && !mca_end && !osaca_begin)) {
+    sink.report(Severity::Warning, "VK005", loc,
+                "mismatched marker dialects (OSACA BEGIN with LLVM-MCA END "
+                "or vice versa)");
+  } else if (!any_begin && !any_end) {
+    sink.report(Severity::Note, "VK006", loc,
+                "no OSACA/LLVM-MCA region markers; every instruction in the "
+                "file is treated as loop body");
+  }
+  return sink.diagnostics().size() - before;
+}
+
+}  // namespace incore::verify

@@ -1,0 +1,37 @@
+#pragma once
+// Kernel (assembly) lint suite (VKnnn diagnostics).
+//
+// Static checks over a parsed loop body against a machine model, run before
+// any analysis: resolution-path degradations (mnemonic fallback, missing
+// forms), registers that enter the iteration live (candidate loop-carried
+// dependencies), unreachable code after unconditional branches, and — on
+// the raw source text — missing or unmatched OSACA/LLVM-MCA region markers.
+
+#include <string>
+#include <string_view>
+
+#include "asmir/ir.hpp"
+#include "uarch/model.hpp"
+#include "verify/diagnostics.hpp"
+
+namespace incore::verify {
+
+struct KernelLintOptions {
+  /// Emit VK001 notes for registers read before their first in-body write.
+  bool flag_loop_carried_inputs = true;
+};
+
+/// Lints a parsed loop body against `mm`.  `name` labels the diagnostics
+/// (file name or kernel id).  Returns the number of diagnostics emitted.
+std::size_t lint_program(const asmir::Program& prog,
+                         const uarch::MachineModel& mm, std::string_view name,
+                         DiagnosticSink& sink,
+                         const KernelLintOptions& opt = {});
+
+/// Lints the raw assembly text for analysis region markers
+/// (OSACA-BEGIN/OSACA-END or LLVM-MCA-BEGIN/LLVM-MCA-END): VK005 for
+/// unmatched pairs, VK006 when no markers are present at all.
+std::size_t lint_source_markers(std::string_view text, std::string_view name,
+                                DiagnosticSink& sink);
+
+}  // namespace incore::verify

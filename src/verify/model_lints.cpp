@@ -1,0 +1,218 @@
+#include "verify/model_lints.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "analysis/portpressure.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace incore::verify {
+
+using support::format;
+using uarch::InstrPerf;
+using uarch::MachineModel;
+using uarch::PortUse;
+
+const char* to_string(ResolutionKind k) {
+  switch (k) {
+    case ResolutionKind::Exact: return "exact";
+    case ResolutionKind::Decomposed: return "decomposed";
+    case ResolutionKind::Fallback: return "fallback";
+    case ResolutionKind::Missing: return "missing";
+  }
+  return "?";
+}
+
+ResolutionKind classify_resolution(const MachineModel& mm,
+                                   const asmir::Instruction& ins) {
+  try {
+    const uarch::Resolved r = mm.resolve(ins);
+    if (r.used_fallback) return ResolutionKind::Fallback;
+    if (r.decomposed) return ResolutionKind::Decomposed;
+    return ResolutionKind::Exact;
+  } catch (const support::UnknownInstruction&) {
+    return ResolutionKind::Missing;
+  }
+}
+
+namespace {
+
+std::string form_location(const MachineModel& mm, const std::string& form) {
+  return format("model '%s', form '%s'", mm.name().c_str(), form.c_str());
+}
+
+/// Best achievable reciprocal throughput of one instruction instance: the
+/// minimized max-port load of its occupancy groups under optimal fractional
+/// balancing (same solver the analyzer uses for whole loop bodies).
+double optimal_inverse_throughput(const InstrPerf& perf, int port_count) {
+  std::vector<analysis::OccupancyGroup> groups;
+  groups.reserve(perf.port_uses.size());
+  for (const PortUse& pu : perf.port_uses) {
+    groups.push_back(analysis::OccupancyGroup{pu.mask, pu.cycles, -1});
+  }
+  return analysis::balance_ports(groups, port_count).bottleneck_cycles;
+}
+
+}  // namespace
+
+std::size_t lint_model(const MachineModel& mm, DiagnosticSink& sink,
+                       const ModelLintOptions& opt) {
+  const std::size_t before = sink.diagnostics().size();
+  const int port_count = static_cast<int>(mm.port_count());
+  const uarch::PortMask machine_mask =
+      port_count >= 32 ? ~uarch::PortMask{0}
+                       : ((uarch::PortMask{1} << port_count) - 1);
+
+  std::vector<std::string> forms = mm.forms();
+  std::sort(forms.begin(), forms.end());
+
+  // First operand-ful token per mnemonic, for the shadowing lint.
+  std::set<std::string> mnemonics_with_operands;
+  for (const std::string& form : forms) {
+    auto space = form.find(' ');
+    if (space != std::string::npos)
+      mnemonics_with_operands.insert(form.substr(0, space));
+  }
+
+  for (const std::string& form : forms) {
+    const InstrPerf* perf = mm.find(form);
+    const std::string loc = form_location(mm, form);
+
+    bool structurally_sound = true;
+    for (std::size_t g = 0; g < perf->port_uses.size(); ++g) {
+      const PortUse& pu = perf->port_uses[g];
+      if (pu.mask == 0) {
+        sink.report(Severity::Error, "VM002", loc,
+                    format("occupancy group %zu has an empty port set", g));
+        structurally_sound = false;
+      } else if ((pu.mask & ~machine_mask) != 0) {
+        sink.report(
+            Severity::Error, "VM001", loc,
+            format("occupancy group %zu references ports outside the "
+                   "machine (mask 0x%x, machine has %d ports)",
+                   g, pu.mask & ~machine_mask, port_count));
+        structurally_sound = false;
+      }
+      if (pu.cycles <= 0.0 || !std::isfinite(pu.cycles)) {
+        sink.report(Severity::Error, "VM003", loc,
+                    format("occupancy group %zu has non-positive occupancy "
+                           "%.3f cycles",
+                           g, pu.cycles));
+        structurally_sound = false;
+      }
+    }
+
+    const std::pair<double, const char*> timings[] = {
+        {perf->inverse_throughput, "inverse throughput"},
+        {perf->latency, "latency"},
+        {perf->uops, "uops"},
+        {perf->accumulator_latency, "accumulator latency"}};
+    for (auto [value, what] : timings) {
+      if (!std::isfinite(value) || value < 0.0) {
+        sink.report(Severity::Error, "VM009", loc,
+                    format("%s is %g (must be finite and non-negative)", what,
+                           value));
+        structurally_sound = false;
+      }
+    }
+
+    if (structurally_sound && !perf->port_uses.empty()) {
+      const double optimum = optimal_inverse_throughput(*perf, port_count);
+      if (perf->inverse_throughput + opt.throughput_tolerance < optimum) {
+        sink.report(
+            Severity::Error, "VM004", loc,
+            format("declared inverse throughput %.4f cy is below the best "
+                   "achievable %.4f cy under optimal port balancing",
+                   perf->inverse_throughput, optimum),
+            {"the occupancy groups cannot drain faster than the "
+             "water-filling optimum; raise the inverse throughput or widen "
+             "the port sets"});
+      }
+    }
+
+    if (perf->accumulator_latency > perf->latency) {
+      sink.report(
+          Severity::Error, "VM005", loc,
+          format("accumulator latency %.2f cy exceeds result latency %.2f cy",
+                 perf->accumulator_latency, perf->latency));
+    }
+
+    if (perf->uops > 0.0 &&
+        perf->uops + 1e-9 < static_cast<double>(perf->port_uses.size())) {
+      sink.report(
+          Severity::Warning, "VM006", loc,
+          format("declared %.2f uops but %zu occupancy groups (each group "
+                 "needs at least one micro-op to issue)",
+                 perf->uops, perf->port_uses.size()));
+    }
+
+    if (form.find(' ') == std::string::npos && form[0] != '_' &&
+        mnemonics_with_operands.contains(form)) {
+      sink.report(
+          Severity::Note, "VM008", loc,
+          "bare-mnemonic entry shadows the operand forms of the same "
+          "mnemonic: any unmatched operand signature silently resolves here");
+    }
+  }
+
+  for (const std::string& dup : mm.duplicate_forms()) {
+    sink.report(Severity::Warning, "VM007", form_location(mm, dup),
+                "form was registered more than once; the first registration "
+                "is in effect",
+                {"check the model builder for a copy-paste or loop overlap"});
+  }
+
+  return sink.diagnostics().size() - before;
+}
+
+std::size_t lint_cross_model_coverage(
+    std::span<const CorpusEntry> corpus,
+    std::span<const uarch::MachineModel* const> models, DiagnosticSink& sink) {
+  const std::size_t before = sink.diagnostics().size();
+
+  // form key -> (example instruction index into its program, entry index).
+  struct Needed {
+    const asmir::Instruction* ins;
+    const CorpusEntry* entry;
+  };
+  std::map<std::string, Needed> needed;
+  for (const CorpusEntry& e : corpus) {
+    if (e.program == nullptr || e.target == nullptr) continue;
+    for (const asmir::Instruction& ins : e.program->code) {
+      needed.emplace(ins.form(), Needed{&ins, &e});
+    }
+  }
+
+  std::set<std::pair<std::string, std::string>> reported;  // (model, form)
+  for (const auto& [form, need] : needed) {
+    const uarch::MachineModel& target = *need.entry->target;
+    const ResolutionKind on_target = classify_resolution(target, *need.ins);
+    if (on_target == ResolutionKind::Fallback ||
+        on_target == ResolutionKind::Missing) {
+      continue;  // the per-kernel lints already flag the target itself
+    }
+    for (const uarch::MachineModel* mm : models) {
+      if (mm == nullptr || mm == &target || mm->isa() != target.isa()) continue;
+      const ResolutionKind kind = classify_resolution(*mm, *need.ins);
+      if (kind != ResolutionKind::Fallback && kind != ResolutionKind::Missing)
+        continue;
+      if (!reported.emplace(mm->name(), form).second) continue;
+      sink.report(
+          Severity::Warning, "VM010",
+          form_location(*mm, form),
+          format("form resolves '%s' here but '%s' on model '%s' (needed by "
+                 "kernel '%s')",
+                 to_string(kind), to_string(on_target),
+                 target.name().c_str(), need.entry->name.c_str()),
+          {"add the form to the weaker model or accept the degraded "
+           "mnemonic-level estimate"});
+    }
+  }
+  return sink.diagnostics().size() - before;
+}
+
+}  // namespace incore::verify

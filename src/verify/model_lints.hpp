@@ -1,0 +1,64 @@
+#pragma once
+// Machine-model lint suite (VMnnn diagnostics).
+//
+// Checks every InstrPerf of a MachineModel for internal contradictions
+// *before* any analysis runs, so a typo in a hand-written model fails loudly
+// instead of quietly corrupting predictions.  The throughput check reuses
+// the exact water-filling port balancer from the analyzer: the declared
+// reciprocal throughput of a form must be achievable under an optimal
+// fractional assignment of its occupancy groups, which is strictly stronger
+// than the per-group bound MachineModel::validate() enforces.
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "asmir/ir.hpp"
+#include "uarch/model.hpp"
+#include "verify/diagnostics.hpp"
+
+namespace incore::verify {
+
+/// How one instruction resolved against a model.
+enum class ResolutionKind : std::uint8_t {
+  Exact,       // form key present in the table
+  Decomposed,  // folded access split into _load/_store + compute form
+  Fallback,    // bare-mnemonic guess
+  Missing,     // resolve() would throw UnknownInstruction
+};
+
+[[nodiscard]] const char* to_string(ResolutionKind k);
+
+/// Classifies the resolution path of `ins` without throwing.
+[[nodiscard]] ResolutionKind classify_resolution(const uarch::MachineModel& mm,
+                                                 const asmir::Instruction& ins);
+
+struct ModelLintOptions {
+  /// Slack allowed between the declared inverse throughput and the
+  /// water-filling optimum before VM004 fires.
+  double throughput_tolerance = 1e-6;
+};
+
+/// Runs every per-form lint over the model, reporting into `sink`.
+/// Returns the number of diagnostics emitted.
+std::size_t lint_model(const uarch::MachineModel& mm, DiagnosticSink& sink,
+                       const ModelLintOptions& opt = {});
+
+/// A kernel attributed to the machine model its codegen targeted, as used by
+/// the cross-model coverage lint.
+struct CorpusEntry {
+  std::string name;                       // e.g. "stream-triad/gcc/O3"
+  const asmir::Program* program = nullptr;
+  const uarch::MachineModel* target = nullptr;
+};
+
+/// Cross-model coverage diff (VM010): for every instruction form some corpus
+/// kernel needs, a model of the same ISA that only reaches the form through
+/// the mnemonic fallback (or not at all) while the kernel's target model
+/// resolves it exactly is reported.  Forms are deduplicated across the
+/// corpus; at most one diagnostic per (form, model) pair.
+std::size_t lint_cross_model_coverage(
+    std::span<const CorpusEntry> corpus,
+    std::span<const uarch::MachineModel* const> models, DiagnosticSink& sink);
+
+}  // namespace incore::verify

@@ -1,0 +1,132 @@
+// Store-to-load memory dependency detection in the dependency graph:
+// symbolic same-base matching with overlapping displacement ranges, version
+// sensitivity of the base register, and edge deduplication.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+
+#include "analysis/depgraph.hpp"
+#include "asmir/parser.hpp"
+#include "uarch/model.hpp"
+
+using namespace incore;
+using analysis::DepResult;
+using asmir::Isa;
+
+namespace {
+
+DepResult deps(const char* text) {
+  auto prog = asmir::parse(text, Isa::X86_64);
+  return analysis::analyze_dependencies(prog,
+                                        uarch::machine(uarch::Micro::GoldenCove));
+}
+
+std::size_t count_edges(const DepResult& r, int from, int to,
+                        bool loop_carried) {
+  std::size_t n = 0;
+  for (const auto& e : r.edges) {
+    if (e.from == from && e.to == to && e.loop_carried == loop_carried) ++n;
+  }
+  return n;
+}
+
+bool has_edge(const DepResult& r, int from, int to, bool loop_carried) {
+  return count_edges(r, from, to, loop_carried) > 0;
+}
+
+double edge_weight(const DepResult& r, int from, int to, bool loop_carried) {
+  for (const auto& e : r.edges) {
+    if (e.from == from && e.to == to && e.loop_carried == loop_carried)
+      return e.weight;
+  }
+  return -1.0;
+}
+
+}  // namespace
+
+TEST(StoreToLoad, SameAddressForwards) {
+  auto r = deps(
+      "movq %rax, (%rdi)\n"
+      "movq (%rdi), %rbx\n");
+  ASSERT_TRUE(has_edge(r, 0, 1, false));
+  // The edge carries the store-forwarding latency, not the store's latency.
+  EXPECT_DOUBLE_EQ(edge_weight(r, 0, 1, false),
+                   analysis::DepOptions{}.store_forward_latency);
+}
+
+TEST(StoreToLoad, PartialByteOverlapForwards) {
+  // 8-byte store at [0,8), 4-byte load at [4,8): ranges intersect.
+  auto r = deps(
+      "movq %rax, (%rdi)\n"
+      "movl 4(%rdi), %ebx\n");
+  EXPECT_TRUE(has_edge(r, 0, 1, false));
+}
+
+TEST(StoreToLoad, DisjointDisplacementRangesDoNotForward) {
+  // 8-byte store at [0,8), 4-byte load at [8,12): adjacent but disjoint.
+  auto r = deps(
+      "movq %rax, (%rdi)\n"
+      "movl 8(%rdi), %ebx\n");
+  EXPECT_FALSE(has_edge(r, 0, 1, false));
+  EXPECT_FALSE(has_edge(r, 0, 1, true));
+}
+
+TEST(StoreToLoad, DifferentBaseRegistersDoNotForward) {
+  auto r = deps(
+      "movq %rax, (%rdi)\n"
+      "movq (%rsi), %rbx\n");
+  EXPECT_FALSE(has_edge(r, 0, 1, false));
+}
+
+TEST(StoreToLoad, BaseRedefinitionBreaksTheMatch) {
+  // After `add $8, %rdi` the load addresses a *different* symbolic location
+  // than the store, even though both are written "(%rdi)".
+  auto r = deps(
+      "movq %rax, (%rdi)\n"
+      "addq $8, %rdi\n"
+      "movq (%rdi), %rbx\n");
+  EXPECT_FALSE(has_edge(r, 0, 2, false));
+}
+
+TEST(StoreToLoad, LatestOverlappingStoreWins) {
+  // Two full-width stores to the same location: the load depends on the
+  // nearest one only.
+  auto r = deps(
+      "movq %rax, (%rdi)\n"
+      "movq %rbx, (%rdi)\n"
+      "movq (%rdi), %rcx\n");
+  EXPECT_TRUE(has_edge(r, 1, 2, false));
+  EXPECT_FALSE(has_edge(r, 0, 2, false));
+}
+
+TEST(StoreToLoad, MemoryRecurrenceIsLoopCarried) {
+  // Load-modify-store through a fixed location: the store in iteration i
+  // feeds the load in iteration i+1, binding the LCD.
+  auto r = deps(
+      "movq (%rdi), %rax\n"
+      "addq %rbx, %rax\n"
+      "movq %rax, (%rdi)\n");
+  ASSERT_TRUE(has_edge(r, 2, 0, true));
+  EXPECT_GE(r.loop_carried_cycles,
+            analysis::DepOptions{}.store_forward_latency);
+}
+
+TEST(DepEdges, DuplicateRegisterReadsAreDeduplicated) {
+  // %ymm3 is read twice by the consumer; only one edge must remain.
+  auto r = deps(
+      "vmulpd %ymm1, %ymm2, %ymm3\n"
+      "vaddpd %ymm3, %ymm3, %ymm4\n");
+  EXPECT_EQ(count_edges(r, 0, 1, false), 1u);
+}
+
+TEST(DepEdges, OneStoreFeedsEveryOverlappingLoadExactlyOnce) {
+  // Two loads of the same stored location: each consumer gets its own edge
+  // from the store, and neither pair is duplicated.
+  auto r = deps(
+      "movq %rax, (%rdi)\n"
+      "movq (%rdi), %rax\n"
+      "movq (%rdi), %rax\n");
+  EXPECT_EQ(count_edges(r, 0, 1, false), 1u);
+  EXPECT_EQ(count_edges(r, 0, 2, false), 1u);
+}

@@ -1,0 +1,428 @@
+// Verifier tests: the diagnostics engine, the model lint suite over
+// deliberately corrupted fixtures, the kernel lint suite, and the guarantee
+// that every bundled model lints clean (the acceptance gate the CLI's
+// `lint --all-models` enforces in ctest).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "asmir/parser.hpp"
+#include "report/json.hpp"
+#include "support/error.hpp"
+#include "uarch/model.hpp"
+#include "verify/diagnostics.hpp"
+#include "verify/kernel_lints.hpp"
+#include "verify/model_lints.hpp"
+
+using namespace incore;
+using asmir::Isa;
+using uarch::InstrPerf;
+using uarch::MachineModel;
+using uarch::Micro;
+using uarch::PortUse;
+using verify::DiagnosticSink;
+using verify::ResolutionKind;
+using verify::Severity;
+
+namespace {
+
+MachineModel toy_model() {
+  MachineModel mm("toy", Micro::Zen4, Isa::X86_64, {"P0", "P1"});
+  mm.add("add r64,r64", 0.5, 1, "P0|P1");
+  mm.add("add i,r64", 0.5, 1, "P0|P1");
+  mm.add("_load.m64", 1.0, 4, "P0");
+  mm.add("_store.m64", 1.0, 1, "P1");
+  mm.add("addpd", 0.5, 3, "P0|P1");  // bare mnemonic: fallback entry
+  return mm;
+}
+
+bool has_code(const DiagnosticSink& sink, std::string_view code) {
+  for (const auto& d : sink.diagnostics()) {
+    if (d.code == code) return true;
+  }
+  return false;
+}
+
+std::size_t count_code(const DiagnosticSink& sink, std::string_view code) {
+  std::size_t n = 0;
+  for (const auto& d : sink.diagnostics()) {
+    if (d.code == code) ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- diagnostics
+
+TEST(DiagnosticSink, CountsAndSummary) {
+  DiagnosticSink sink;
+  sink.report(Severity::Error, "VM001", "here", "bad");
+  sink.report(Severity::Warning, "VM006", "there", "meh");
+  sink.report(Severity::Note, "VK001", "loc", "fyi");
+  EXPECT_EQ(sink.errors(), 1u);
+  EXPECT_EQ(sink.warnings(), 1u);
+  EXPECT_EQ(sink.count(Severity::Note), 1u);
+  EXPECT_TRUE(sink.has_errors());
+  EXPECT_EQ(sink.summary(), "1 error, 1 warning, 1 note");
+}
+
+TEST(DiagnosticSink, TextRenderingAndSeverityFilter) {
+  DiagnosticSink sink;
+  sink.report(Severity::Error, "VM004", "model 'toy', form 'op r64'",
+              "too fast", {"raise it"});
+  sink.report(Severity::Note, "VK006", "kernel 'k'", "no markers");
+  std::string all = sink.to_text(Severity::Note);
+  EXPECT_NE(all.find("error[VM004] model 'toy', form 'op r64': too fast"),
+            std::string::npos);
+  EXPECT_NE(all.find("  note: raise it"), std::string::npos);
+  EXPECT_NE(all.find("note[VK006]"), std::string::npos);
+  std::string errors_only = sink.to_text(Severity::Error);
+  EXPECT_NE(errors_only.find("VM004"), std::string::npos);
+  EXPECT_EQ(errors_only.find("VK006"), std::string::npos);
+}
+
+TEST(DiagnosticSink, CodeRegistryIsOrderedAndUnique) {
+  auto codes = verify::all_codes();
+  ASSERT_GT(codes.size(), 10u);
+  std::set<std::string> seen;
+  for (const auto& info : codes) {
+    EXPECT_TRUE(seen.insert(info.code).second) << "duplicate " << info.code;
+    EXPECT_TRUE(info.summary != nullptr && info.summary[0] != '\0');
+  }
+  // Model codes first, kernel codes second, each family in code order.
+  for (std::size_t i = 1; i < codes.size(); ++i) {
+    std::string prev = codes[i - 1].code, cur = codes[i].code;
+    if (prev[1] == cur[1]) EXPECT_LT(prev, cur);
+    else EXPECT_TRUE(prev[1] == 'M' && cur[1] == 'K');
+  }
+}
+
+// ----------------------------------------------------- bundled models clean
+
+class BundledModelLint : public ::testing::TestWithParam<Micro> {};
+
+TEST_P(BundledModelLint, NoErrorsOrWarnings) {
+  DiagnosticSink sink;
+  verify::lint_model(uarch::machine(GetParam()), sink);
+  EXPECT_EQ(sink.errors(), 0u) << sink.to_text();
+  EXPECT_EQ(sink.warnings(), 0u) << sink.to_text();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMicros, BundledModelLint,
+                         ::testing::Values(Micro::NeoverseV2,
+                                           Micro::GoldenCove, Micro::Zen4));
+
+TEST(BundledModels, IceLakeSpLintsClean) {
+  DiagnosticSink sink;
+  verify::lint_model(uarch::ice_lake_sp(), sink);
+  EXPECT_EQ(sink.errors(), 0u) << sink.to_text();
+}
+
+// ------------------------------------------------- corrupted model fixtures
+
+TEST(ModelLints, BadPortMaskIsVM001) {
+  MachineModel mm = toy_model();
+  InstrPerf perf;
+  perf.inverse_throughput = 1.0;
+  perf.latency = 1.0;
+  perf.port_uses = {PortUse{1u << 5, 1.0}};  // port 5 of a 2-port machine
+  mm.set_perf("bad r64,r64", perf);
+  DiagnosticSink sink;
+  verify::lint_model(mm, sink);
+  EXPECT_TRUE(has_code(sink, "VM001")) << sink.to_text();
+  EXPECT_TRUE(sink.has_errors());
+}
+
+TEST(ModelLints, EmptyPortSetIsVM002) {
+  MachineModel mm = toy_model();
+  InstrPerf perf;
+  perf.port_uses = {PortUse{0, 1.0}};
+  mm.set_perf("bad r64,r64", perf);
+  DiagnosticSink sink;
+  verify::lint_model(mm, sink);
+  EXPECT_TRUE(has_code(sink, "VM002"));
+}
+
+TEST(ModelLints, NonPositiveOccupancyIsVM003) {
+  MachineModel mm = toy_model();
+  InstrPerf perf;
+  perf.port_uses = {PortUse{0b01, -2.0}};
+  mm.set_perf("bad r64,r64", perf);
+  DiagnosticSink sink;
+  verify::lint_model(mm, sink);
+  EXPECT_TRUE(has_code(sink, "VM003"));
+}
+
+TEST(ModelLints, UnderstatedThroughputIsVM004) {
+  // Two 1-cycle groups contending for the same single port: the optimum is
+  // 2 cy/instr, so a declared 1.0 is unachievable.
+  MachineModel mm = toy_model();
+  InstrPerf perf;
+  perf.inverse_throughput = 1.0;
+  perf.latency = 3.0;
+  perf.port_uses = {PortUse{0b01, 1.0}, PortUse{0b01, 1.0}};
+  mm.set_perf("bad r64,r64", perf);
+  DiagnosticSink sink;
+  verify::lint_model(mm, sink);
+  EXPECT_TRUE(has_code(sink, "VM004")) << sink.to_text();
+}
+
+TEST(ModelLints, WaterFillingIsStrongerThanPerGroupBound) {
+  // Each group alone passes the per-group bound cycles/|ports| = 0.5 that
+  // MachineModel::validate() checks, but together the two groups load the
+  // two ports to 1.0 cy -- only the exact balancer catches the contention.
+  MachineModel mm = toy_model();
+  InstrPerf perf;
+  perf.inverse_throughput = 0.6;
+  perf.latency = 1.0;
+  perf.port_uses = {PortUse{0b11, 1.0}, PortUse{0b11, 1.0}};
+  mm.set_perf("bad r64,r64", perf);
+  EXPECT_NO_THROW(mm.validate());  // legacy check is blind to this
+  DiagnosticSink sink;
+  verify::lint_model(mm, sink);
+  EXPECT_TRUE(has_code(sink, "VM004")) << sink.to_text();
+}
+
+TEST(ModelLints, AccumulatorLatencyAboveLatencyIsVM005) {
+  MachineModel mm = toy_model();
+  InstrPerf perf;
+  perf.inverse_throughput = 1.0;
+  perf.latency = 2.0;
+  perf.accumulator_latency = 4.0;
+  perf.port_uses = {PortUse{0b01, 1.0}};
+  mm.set_perf("bad v128,v128,v128", perf);
+  DiagnosticSink sink;
+  verify::lint_model(mm, sink);
+  EXPECT_TRUE(has_code(sink, "VM005"));
+}
+
+TEST(ModelLints, UopsBelowGroupCountIsVM006) {
+  MachineModel mm = toy_model();
+  InstrPerf perf;
+  perf.inverse_throughput = 1.0;
+  perf.latency = 1.0;
+  perf.uops = 1.0;
+  perf.port_uses = {PortUse{0b01, 1.0}, PortUse{0b10, 1.0}};
+  mm.set_perf("bad r64,m64", perf);
+  DiagnosticSink sink;
+  verify::lint_model(mm, sink);
+  EXPECT_TRUE(has_code(sink, "VM006"));
+  EXPECT_FALSE(sink.has_errors()) << sink.to_text();  // warning, not error
+}
+
+TEST(ModelLints, NonFiniteTimingIsVM009) {
+  MachineModel mm = toy_model();
+  InstrPerf perf;
+  perf.inverse_throughput = std::nan("");
+  perf.latency = 1.0;
+  perf.port_uses = {PortUse{0b01, 1.0}};
+  mm.set_perf("bad r64,r64", perf);
+  DiagnosticSink sink;
+  verify::lint_model(mm, sink);
+  EXPECT_TRUE(has_code(sink, "VM009"));
+}
+
+TEST(ModelLints, ShadowingBareMnemonicIsVM008) {
+  MachineModel mm = toy_model();
+  mm.add("addpd v128,v128", 0.5, 3, "P0|P1");  // now 'addpd' shadows this
+  DiagnosticSink sink;
+  verify::lint_model(mm, sink);
+  EXPECT_TRUE(has_code(sink, "VM008"));
+}
+
+// ------------------------------------------------------ duplicate handling
+
+TEST(DuplicateForms, AddRejectsReRegistrationByDefault) {
+  MachineModel mm = toy_model();
+  EXPECT_THROW(mm.add("add r64,r64", 1.0, 1, "P0"), support::ModelError);
+}
+
+TEST(DuplicateForms, WarnPolicyKeepsFirstAndRecords) {
+  MachineModel mm = toy_model();
+  mm.set_on_duplicate(uarch::OnDuplicate::Warn);
+  mm.add("add r64,r64", 7.0, 9, "P0");
+  ASSERT_EQ(mm.duplicate_forms().size(), 1u);
+  EXPECT_EQ(mm.duplicate_forms()[0], "add r64,r64");
+  // First registration is still in effect.
+  EXPECT_DOUBLE_EQ(mm.find("add r64,r64")->inverse_throughput, 0.5);
+  DiagnosticSink sink;
+  verify::lint_model(mm, sink);
+  EXPECT_EQ(count_code(sink, "VM007"), 1u);
+}
+
+TEST(DuplicateForms, OverwritePolicyIsLastWriteWins) {
+  MachineModel mm = toy_model();
+  mm.set_on_duplicate(uarch::OnDuplicate::Overwrite);
+  mm.add("add r64,r64", 7.0, 9, "P0");
+  EXPECT_DOUBLE_EQ(mm.find("add r64,r64")->inverse_throughput, 7.0);
+  EXPECT_TRUE(mm.duplicate_forms().empty());
+}
+
+TEST(DuplicateForms, SetStillOverwritesUnderRejectPolicy) {
+  MachineModel mm = toy_model();
+  EXPECT_NO_THROW(mm.set("add r64,r64", 2.0, 2, "P0"));
+  EXPECT_DOUBLE_EQ(mm.find("add r64,r64")->inverse_throughput, 2.0);
+}
+
+// ------------------------------------------------------------ kernel lints
+
+TEST(ResolutionClassifier, DistinguishesAllFourPaths) {
+  MachineModel mm = toy_model();
+  auto one = [](const char* text) {
+    return asmir::parse(text, Isa::X86_64).code.at(0);
+  };
+  EXPECT_EQ(verify::classify_resolution(mm, one("addq %rbx, %rax\n")),
+            ResolutionKind::Exact);
+  EXPECT_EQ(verify::classify_resolution(mm, one("addq (%rdi), %rax\n")),
+            ResolutionKind::Decomposed);
+  EXPECT_EQ(verify::classify_resolution(mm, one("addpd %xmm1, %xmm0\n")),
+            ResolutionKind::Fallback);
+  EXPECT_EQ(verify::classify_resolution(mm, one("bogus %rax, %rbx\n")),
+            ResolutionKind::Missing);
+}
+
+TEST(KernelLints, FallbackResolutionIsVK002) {
+  MachineModel mm = toy_model();
+  auto prog = asmir::parse("addpd %xmm1, %xmm0\n", Isa::X86_64);
+  DiagnosticSink sink;
+  verify::lint_program(prog, mm, "k.s", sink);
+  EXPECT_TRUE(has_code(sink, "VK002")) << sink.to_text();
+  EXPECT_FALSE(sink.has_errors());
+}
+
+TEST(KernelLints, MissingFormIsVK003Error) {
+  MachineModel mm = toy_model();
+  auto prog = asmir::parse("bogus %rax, %rbx\n", Isa::X86_64);
+  DiagnosticSink sink;
+  verify::lint_program(prog, mm, "k.s", sink);
+  EXPECT_TRUE(has_code(sink, "VK003"));
+  EXPECT_TRUE(sink.has_errors());
+}
+
+TEST(KernelLints, LoopCarriedReadBeforeWriteIsVK001) {
+  // %rax is read before its only write -> loop-carried; %rbx is read-only
+  // (a pure input) and must not be flagged.
+  MachineModel mm = toy_model();
+  auto prog = asmir::parse("addq %rbx, %rax\n", Isa::X86_64);
+  DiagnosticSink sink;
+  verify::lint_program(prog, mm, "k.s", sink);
+  ASSERT_EQ(count_code(sink, "VK001"), 1u) << sink.to_text();
+  bool mentions_rax = false;
+  for (const auto& d : sink.diagnostics()) {
+    if (d.code == "VK001" && d.message.find("rax") != std::string::npos)
+      mentions_rax = true;
+  }
+  EXPECT_TRUE(mentions_rax) << sink.to_text();
+}
+
+TEST(KernelLints, LoopCarriedNotesCanBeDisabled) {
+  MachineModel mm = toy_model();
+  auto prog = asmir::parse("addq %rbx, %rax\n", Isa::X86_64);
+  DiagnosticSink sink;
+  verify::KernelLintOptions opt;
+  opt.flag_loop_carried_inputs = false;
+  verify::lint_program(prog, mm, "k.s", sink, opt);
+  EXPECT_EQ(count_code(sink, "VK001"), 0u);
+}
+
+TEST(KernelLints, UnreachableAfterUnconditionalBranchIsVK004) {
+  const auto& mm = uarch::machine(Micro::GoldenCove);
+  auto prog = asmir::parse("jmp .L1\naddq %rbx, %rax\n", Isa::X86_64);
+  DiagnosticSink sink;
+  verify::lint_program(prog, mm, "k.s", sink);
+  EXPECT_TRUE(has_code(sink, "VK004")) << sink.to_text();
+}
+
+TEST(KernelLints, ConditionalBranchDoesNotTriggerVK004) {
+  const auto& mm = uarch::machine(Micro::GoldenCove);
+  auto prog = asmir::parse("jne .L1\naddq %rbx, %rax\n", Isa::X86_64);
+  DiagnosticSink sink;
+  verify::lint_program(prog, mm, "k.s", sink);
+  EXPECT_FALSE(has_code(sink, "VK004"));
+}
+
+TEST(MarkerLints, UnmatchedBeginIsVK005) {
+  DiagnosticSink sink;
+  verify::lint_source_markers("# LLVM-MCA-BEGIN\nnop\n", "k.s", sink);
+  EXPECT_TRUE(has_code(sink, "VK005"));
+}
+
+TEST(MarkerLints, NoMarkersIsVK006Note) {
+  DiagnosticSink sink;
+  verify::lint_source_markers("nop\n", "k.s", sink);
+  EXPECT_TRUE(has_code(sink, "VK006"));
+  EXPECT_EQ(sink.errors(), 0u);
+}
+
+TEST(MarkerLints, MatchedMarkersAreSilent) {
+  DiagnosticSink sink;
+  verify::lint_source_markers("# OSACA-BEGIN\nnop\n# OSACA-END\n", "k.s",
+                              sink);
+  EXPECT_TRUE(sink.empty()) << sink.to_text();
+}
+
+// ----------------------------------------------------- cross-model coverage
+
+TEST(CoverageLints, ExactVsFallbackAcrossModelsIsVM010) {
+  MachineModel a("model-a", Micro::Zen4, Isa::X86_64, {"P0", "P1"});
+  a.add("mulpd v128,v128", 0.5, 3, "P0|P1");
+  MachineModel b("model-b", Micro::Zen4, Isa::X86_64, {"P0", "P1"});
+  b.add("mulpd", 1.0, 4, "P0");  // mnemonic-level only
+
+  auto prog = asmir::parse("mulpd %xmm1, %xmm0\n", Isa::X86_64);
+  const verify::CorpusEntry entry{"toy-kernel", &prog, &a};
+  const uarch::MachineModel* models[] = {&a, &b};
+  DiagnosticSink sink;
+  verify::lint_cross_model_coverage({&entry, 1}, models, sink);
+  ASSERT_EQ(count_code(sink, "VM010"), 1u) << sink.to_text();
+  const auto& d = sink.diagnostics().front();
+  EXPECT_NE(d.location.find("model-b"), std::string::npos);
+  EXPECT_NE(d.message.find("toy-kernel"), std::string::npos);
+}
+
+TEST(CoverageLints, SameCoverageIsSilent) {
+  MachineModel a("model-a", Micro::Zen4, Isa::X86_64, {"P0"});
+  a.add("mulpd v128,v128", 0.5, 3, "P0");
+  MachineModel b("model-b", Micro::Zen4, Isa::X86_64, {"P0"});
+  b.add("mulpd v128,v128", 1.0, 4, "P0");
+
+  auto prog = asmir::parse("mulpd %xmm1, %xmm0\n", Isa::X86_64);
+  const verify::CorpusEntry entry{"toy-kernel", &prog, &a};
+  const uarch::MachineModel* models[] = {&a, &b};
+  DiagnosticSink sink;
+  verify::lint_cross_model_coverage({&entry, 1}, models, sink);
+  EXPECT_EQ(count_code(sink, "VM010"), 0u) << sink.to_text();
+}
+
+// ------------------------------------------------------------- JSON export
+
+TEST(DiagnosticsJson, SerializesCodesAndTallies) {
+  DiagnosticSink sink;
+  sink.report(Severity::Error, "VM004", "model 'toy', form 'op \"x\"'",
+              "too fast", {"raise it"});
+  std::string j = report::to_json(sink);
+  EXPECT_NE(j.find("\"errors\": 1"), std::string::npos);
+  EXPECT_NE(j.find("\"code\": \"VM004\""), std::string::npos);
+  EXPECT_NE(j.find("\"severity\": \"error\""), std::string::npos);
+  EXPECT_NE(j.find("raise it"), std::string::npos);
+  // Location quotes must be escaped.
+  EXPECT_NE(j.find("op \\\"x\\\""), std::string::npos);
+  auto count = [&](char c) { return std::count(j.begin(), j.end(), c); };
+  EXPECT_EQ(count('{'), count('}'));
+  EXPECT_EQ(count('['), count(']'));
+}
+
+// ---------------------------------------------------- fallback surfacing
+
+TEST(FallbackSurfacing, ResolveSetsUsedFallbackFlag) {
+  MachineModel mm = toy_model();
+  auto prog = asmir::parse("addpd %xmm1, %xmm0\naddq %rbx, %rax\n",
+                           Isa::X86_64);
+  EXPECT_TRUE(mm.resolve(prog.code[0]).used_fallback);
+  EXPECT_FALSE(mm.resolve(prog.code[1]).used_fallback);
+  EXPECT_FALSE(mm.resolve(prog.code[1]).decomposed);
+}

@@ -22,8 +22,11 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <set>
 #include <sstream>
 #include <string>
+
+#include <vector>
 
 #include "analysis/analyze.hpp"
 #include "analysis/dot.hpp"
@@ -36,6 +39,9 @@
 #include "report/json.hpp"
 #include "support/error.hpp"
 #include "uarch/model.hpp"
+#include "verify/diagnostics.hpp"
+#include "verify/kernel_lints.hpp"
+#include "verify/model_lints.hpp"
 
 using namespace incore;
 
@@ -55,6 +61,10 @@ int usage() {
       "  dot <machine> [file.s]           dependency graph as Graphviz DOT\n"
       "  timeline <machine> [file.s]      pipeline timeline (llvm-mca style)\n"
       "  forms <machine> [substring]      list instruction-form database\n"
+      "  lint --all-models                verify every bundled model + the\n"
+      "                                   generated kernel corpus\n"
+      "  lint <machine> [file.s]          verify one model (and a kernel)\n"
+      "       lint flags: --json --werror --verbose --codes\n"
       "machines: gcs spr genoa; compilers: gcc clang icx armclang\n");
   return 2;
 }
@@ -303,6 +313,152 @@ int cmd_ecm(const std::string& machine_name, const std::string& kernel_name) {
   return 0;
 }
 
+// ------------------------------------------------------------------ lint
+
+/// The four bundled machine models: the paper's testbed trio plus the
+/// auxiliary Ice Lake SP generational-comparison model.
+std::vector<const uarch::MachineModel*> bundled_models() {
+  std::vector<const uarch::MachineModel*> models;
+  for (uarch::Micro m : uarch::all_micros()) models.push_back(&uarch::machine(m));
+  models.push_back(&uarch::ice_lake_sp());
+  return models;
+}
+
+int finish_lint(const verify::DiagnosticSink& sink, bool json, bool werror,
+                bool verbose) {
+  if (json) {
+    std::fputs(report::to_json(sink).c_str(), stdout);
+  } else {
+    std::fputs(
+        sink.to_text(verbose ? verify::Severity::Note
+                             : verify::Severity::Warning)
+            .c_str(),
+        stdout);
+    std::printf("lint: %s\n", sink.summary().c_str());
+    if (!verbose && sink.count(verify::Severity::Note) > 0) {
+      std::printf("(re-run with --verbose to see the notes)\n");
+    }
+  }
+  if (sink.has_errors()) return 1;
+  if (werror && sink.warnings() > 0) return 1;
+  return 0;
+}
+
+int cmd_lint_codes() {
+  for (const verify::CodeInfo& c : verify::all_codes()) {
+    std::printf("%-6s %-8s %s\n", c.code, verify::to_string(c.severity),
+                c.summary);
+  }
+  return 0;
+}
+
+int cmd_lint_all(bool json, bool werror, bool verbose) {
+  verify::DiagnosticSink sink;
+  const auto models = bundled_models();
+  for (const uarch::MachineModel* mm : models) {
+    verify::lint_model(*mm, sink);
+  }
+
+  // The generated kernel corpus, deduplicated by (target, assembly): the
+  // 416-variant matrix collapses to the unique codegen blocks.
+  struct CorpusItem {
+    std::string label;
+    kernels::GeneratedKernel gen;
+    const uarch::MachineModel* target;
+  };
+  std::vector<CorpusItem> items;
+  {
+    std::set<std::string> seen;
+    for (const kernels::Variant& v : kernels::test_matrix()) {
+      kernels::GeneratedKernel g = kernels::generate(v);
+      std::string key = uarch::machine(v.target).name() + '\x01' + g.assembly;
+      if (!seen.insert(std::move(key)).second) continue;
+      items.push_back(
+          CorpusItem{v.label(), std::move(g), &uarch::machine(v.target)});
+    }
+  }
+  // Compiler-generated kernels legitimately carry accumulators and
+  // induction variables across iterations; suppress the VK001 notes here
+  // (they stay on for user-supplied files).
+  verify::KernelLintOptions kopt;
+  kopt.flag_loop_carried_inputs = false;
+  std::vector<verify::CorpusEntry> corpus;
+  corpus.reserve(items.size());
+  for (const CorpusItem& it : items) {
+    verify::lint_program(it.gen.program, *it.target, it.label, sink, kopt);
+    corpus.push_back(
+        verify::CorpusEntry{it.label, &it.gen.program, it.target});
+  }
+
+  // Cross-model coverage over the testbed trio (the auxiliary Ice Lake SP
+  // model is deliberately minimal and excluded from the diff).
+  std::vector<const uarch::MachineModel*> trio;
+  for (uarch::Micro m : uarch::all_micros()) trio.push_back(&uarch::machine(m));
+  verify::lint_cross_model_coverage(corpus, trio, sink);
+
+  if (!json) {
+    std::printf("linted %zu models, %zu unique corpus kernels\n",
+                models.size(), items.size());
+  }
+  return finish_lint(sink, json, werror, verbose);
+}
+
+int cmd_lint_one(const std::string& machine_name, const char* path, bool json,
+                 bool werror, bool verbose) {
+  uarch::Micro micro;
+  if (!parse_machine(machine_name, micro)) return 2;
+  const auto& mm = uarch::machine(micro);
+  verify::DiagnosticSink sink;
+  verify::lint_model(mm, sink);
+  if (path != nullptr) {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", path);
+      return 1;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const std::string text = ss.str();
+    verify::lint_source_markers(text, path, sink);
+    asmir::Program prog = asmir::parse(text, mm.isa());
+    verify::lint_program(prog, mm, path, sink);
+  }
+  return finish_lint(sink, json, werror, verbose);
+}
+
+int cmd_lint(int argc, char** argv) {
+  bool json = false;
+  bool werror = false;
+  bool verbose = false;
+  bool all = false;
+  std::string machine_name;
+  const char* file = nullptr;
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--json") {
+      json = true;
+    } else if (a == "--werror") {
+      werror = true;
+    } else if (a == "--verbose") {
+      verbose = true;
+    } else if (a == "--all-models") {
+      all = true;
+    } else if (a == "--codes") {
+      return cmd_lint_codes();
+    } else if (a.starts_with("--")) {
+      std::fprintf(stderr, "unknown lint flag '%s'\n", a.c_str());
+      return usage();
+    } else if (machine_name.empty()) {
+      machine_name = a;
+    } else {
+      file = argv[i];
+    }
+  }
+  if (all) return cmd_lint_all(json, werror, verbose);
+  if (machine_name.empty()) return usage();
+  return cmd_lint_one(machine_name, file, json, werror, verbose);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -334,6 +490,7 @@ int main(int argc, char** argv) {
       return cmd_timeline(argv[2], argc > 3 ? argv[3] : nullptr);
     if (cmd == "forms" && argc >= 3)
       return cmd_forms(argv[2], argc > 3 ? argv[3] : nullptr);
+    if (cmd == "lint" && argc >= 3) return cmd_lint(argc, argv);
   } catch (const support::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
