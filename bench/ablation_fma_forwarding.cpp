@@ -8,11 +8,11 @@
 
 #include <cstdio>
 
-#include "analysis/analyze.hpp"
-#include "asmir/parser.hpp"
-#include "exec/exec.hpp"
+#include "analysis/depgraph.hpp"
+#include "driver/sweep.hpp"
 #include "kernels/kernels.hpp"
 #include "support/strings.hpp"
+#include "support/threadpool.hpp"
 #include "uarch/model.hpp"
 
 using namespace incore;
@@ -22,32 +22,41 @@ int main() {
       "Ablation: Neoverse V2 late accumulator forwarding (2 cy vs 4 cy)\n\n");
   const auto& mm = uarch::machine(uarch::Micro::NeoverseV2);
 
-  // Micro-kernel: single fused accumulator chain.
-  auto chain = asmir::parse(
-      "fmla v0.2d, v1.2d, v2.2d\nsubs x9, x9, #1\nb.ne .L\n", mm.isa());
+  // The two model configurations under comparison, as driver predictors.
   analysis::DepOptions fwd;
   fwd.model_accumulator_forwarding = true;
+  const driver::InCorePredictor base("osaca");
+  const driver::InCorePredictor with_fwd("osaca-fwd", fwd);
+
+  // Micro-kernel: single fused accumulator chain.
+  const std::string chain =
+      "fmla v0.2d, v1.2d, v2.2d\nsubs x9, x9, #1\nb.ne .L\n";
   std::printf("single fmla chain: LCD %.1f cy (default) vs %.1f cy "
               "(forwarding)\n\n",
-              analysis::analyze(chain, mm).loop_carried_cycles(),
-              analysis::analyze(chain, mm, fwd).loop_carried_cycles());
+              driver::predict_assembly(base, chain, mm).loop_carried_cycles,
+              driver::predict_assembly(with_fwd, chain, mm)
+                  .loop_carried_cycles);
 
-  // Effect across the GCS half of the validation matrix.
+  // Effect across the GCS half of the validation matrix: one sweep with
+  // both model configurations, deduplicated and parallel.
+  driver::SweepOptions opt;
+  opt.machines = {uarch::Micro::NeoverseV2};
+  const driver::SweepResult res =
+      driver::sweep(driver::filter_matrix(opt), {&base, &with_fwd},
+                    support::ThreadPool::default_jobs());
   int affected = 0, total = 0;
   double worst_change = 0;
   std::string worst;
-  for (const kernels::Variant& v : kernels::test_matrix()) {
-    if (v.target != uarch::Micro::NeoverseV2) continue;
-    auto g = kernels::generate(v);
-    double base = analysis::analyze(g.program, mm).predicted_cycles();
-    double with = analysis::analyze(g.program, mm, fwd).predicted_cycles();
+  for (const driver::SweepRow& row : res.rows) {
+    double base_cy = row.predictions[0].cycles_per_iteration;
+    double with_cy = row.predictions[1].cycles_per_iteration;
     ++total;
-    if (with < base - 1e-6) {
+    if (with_cy < base_cy - 1e-6) {
       ++affected;
-      double change = (base - with) / base;
+      double change = (base_cy - with_cy) / base_cy;
       if (change > worst_change) {
         worst_change = change;
-        worst = v.label();
+        worst = row.variant.label();
       }
     }
   }

@@ -10,27 +10,33 @@
 #include <functional>
 #include <vector>
 
+#include "driver/sweep.hpp"
 #include "exec/exec.hpp"
 #include "kernels/kernels.hpp"
 #include "support/strings.hpp"
+#include "support/threadpool.hpp"
 #include "uarch/model.hpp"
 
 using namespace incore;
 
 namespace {
 
+/// Mean measured cycles/element over the matrix for one testbed
+/// configuration, via the sweep driver: duplicate blocks simulate once and
+/// the unique ones fan out over the worker pool.
 double mean_cycles(const std::function<exec::PipelineConfig(uarch::Micro)>&
                        config_for) {
+  const driver::TestbedPredictor testbed("testbed", config_for);
+  const driver::SweepResult res =
+      driver::sweep(kernels::test_matrix(), {&testbed},
+                    support::ThreadPool::default_jobs());
   double sum = 0.0;
-  int n = 0;
-  for (const kernels::Variant& v : kernels::test_matrix()) {
-    auto gen = kernels::generate(v);
-    const auto& mm = uarch::machine(v.target);
-    auto meas = exec::run(gen.program, mm, config_for(v.target));
-    sum += meas.cycles_per_iteration / gen.elements_per_iteration;
-    ++n;
+  for (const driver::SweepRow& row : res.rows) {
+    const driver::Block& b = res.blocks[row.block_index];
+    sum += row.predictions.front().cycles_per_iteration /
+           b.gen.elements_per_iteration;
   }
-  return sum / n;
+  return sum / static_cast<double>(res.rows.size());
 }
 
 }  // namespace

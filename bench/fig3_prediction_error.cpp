@@ -15,18 +15,15 @@
 #include <cstdio>
 #include <iostream>
 #include <map>
-#include <set>
 #include <vector>
 
-#include "analysis/analyze.hpp"
-#include "exec/exec.hpp"
-#include "kernels/kernels.hpp"
-#include "mca/mca.hpp"
+#include "driver/sweep.hpp"
 #include "report/report.hpp"
 #include "support/csv.hpp"
 #include "support/ks.hpp"
 #include "support/stats.hpp"
 #include "support/strings.hpp"
+#include "support/threadpool.hpp"
 #include "uarch/model.hpp"
 
 using namespace incore;
@@ -41,24 +38,25 @@ int main(int argc, char** argv) {
     double osaca;
     double mca;
   };
-  std::vector<Sample> samples;
-  std::set<std::string> unique_asm;
 
-  for (const kernels::Variant& v : kernels::test_matrix()) {
-    auto gen = kernels::generate(v);
-    unique_asm.insert(gen.assembly);
-    const auto& mm = uarch::machine(v.target);
-    auto rep = analysis::analyze(gen.program, mm);
-    auto meas = exec::run(gen.program, mm);
-    auto pred = mca::simulate(gen.program, mm);
-    samples.push_back(Sample{v, meas.cycles_per_iteration,
-                             rep.predicted_cycles(),
-                             pred.cycles_per_iteration});
+  // The whole matrix through the sweep driver: dedup collapses the 416
+  // cells to the unique blocks, the worker pool fans the three models out,
+  // and the rows come back in deterministic matrix order.
+  driver::SweepOptions opt;
+  opt.jobs = support::ThreadPool::default_jobs();
+  const driver::SweepResult res = driver::sweep(opt);
+  std::vector<Sample> samples;
+  samples.reserve(res.rows.size());
+  for (const driver::SweepRow& row : res.rows) {
+    samples.push_back(Sample{
+        row.variant, res.find(row, "testbed")->cycles_per_iteration,
+        res.find(row, "osaca")->cycles_per_iteration,
+        res.find(row, "mca")->cycles_per_iteration});
   }
 
   std::printf("Fig. 3: relative prediction error over %zu test blocks "
               "(%zu unique assembly representations)\n\n",
-              samples.size(), unique_asm.size());
+              samples.size(), res.stats.unique_assemblies);
 
   auto rpe = [](double measured, double predicted) {
     return (measured - predicted) / measured;

@@ -6,13 +6,14 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <map>
 
-#include "ecm/ecm.hpp"
-#include "kernels/kernels.hpp"
+#include "driver/sweep.hpp"
 #include "power/power.hpp"
 #include "report/report.hpp"
 #include "roofline/roofline.hpp"
 #include "support/strings.hpp"
+#include "support/threadpool.hpp"
 #include "uarch/model.hpp"
 
 using namespace incore;
@@ -20,18 +21,18 @@ using support::format;
 
 namespace {
 
-/// Predicted full-socket useful rate in Gelem/s for a kernel on a machine.
-double node_rate_gelem(const kernels::Variant& v) {
-  auto p = ecm::predict_kernel(v);
-  auto h = ecm::hierarchy(v.target);
-  auto g = kernels::generate(v);
-  const auto& chip = power::chip(v.target);
-  power::IsaClass isa = v.target == uarch::Micro::NeoverseV2
+/// Full-socket useful rate in Gelem/s from a swept node-throughput cell.
+double node_rate_gelem(const driver::SweepResult& res,
+                       const driver::SweepRow& row) {
+  const uarch::Micro m = row.variant.target;
+  const auto& chip = power::chip(m);
+  power::IsaClass isa = m == uarch::Micro::NeoverseV2
                             ? power::IsaClass::Sve
                             : power::IsaClass::Avx512;
-  double f_ghz = power::sustained_frequency(v.target, isa, chip.cores);
-  double cyc = p.multicore_cycles(chip.cores, h);
-  return g.elements_per_iteration / cyc * f_ghz;  // Gelem/s
+  double f_ghz = power::sustained_frequency(m, isa, chip.cores);
+  double cyc = row.predictions.front().cycles_per_iteration;
+  const driver::Block& b = res.blocks[row.block_index];
+  return b.gen.elements_per_iteration / cyc * f_ghz;  // Gelem/s
 }
 
 }  // namespace
@@ -40,14 +41,29 @@ int main() {
   std::printf(
       "Node-level winner per kernel (full socket, -O3, preferred "
       "compiler)\n\n");
+
+  // One sweep covers the whole table: 13 kernels x 3 machines, preferred
+  // compiler (gcc everywhere) at -O3, evaluated by the ECM node-throughput
+  // predictor on the worker pool.
+  driver::SweepOptions opt;
+  opt.compilers = {kernels::Compiler::Gcc};
+  opt.opt_levels = {kernels::OptLevel::O3};
+  opt.jobs = support::ThreadPool::default_jobs();
+  const driver::EcmPredictor node = driver::EcmPredictor::node_throughput();
+  const driver::SweepResult res =
+      driver::sweep(driver::filter_matrix(opt), {&node}, opt.jobs);
+  std::map<std::pair<kernels::Kernel, uarch::Micro>, double> rate;
+  for (const driver::SweepRow& row : res.rows) {
+    rate[{row.variant.kernel, row.variant.target}] =
+        node_rate_gelem(res, row);
+  }
+
   report::Table t({"kernel", "GCS", "SPR", "Genoa", "winner", "factor"});
   int wins_gcs = 0, wins_spr = 0, wins_genoa = 0;
   for (kernels::Kernel k : kernels::all_kernels()) {
     std::vector<double> rates;
     for (uarch::Micro m : uarch::all_micros()) {
-      kernels::Variant v{k, kernels::compilers_for(m).front(),
-                         kernels::OptLevel::O3, m};
-      rates.push_back(node_rate_gelem(v));
+      rates.push_back(rate.at({k, m}));
     }
     int best = static_cast<int>(
         std::max_element(rates.begin(), rates.end()) - rates.begin());

@@ -11,8 +11,7 @@
 
 #include <cstdio>
 
-#include "analysis/analyze.hpp"
-#include "asmir/parser.hpp"
+#include "driver/predictor.hpp"
 #include "kernels/kernels.hpp"
 #include "support/strings.hpp"
 #include "uarch/model.hpp"
@@ -55,9 +54,11 @@ uarch::MachineModel spr_slow_add() {
   return mm;
 }
 
+/// What-if editing composes naturally with the driver: the predictor is
+/// model-agnostic, so the edited MachineModel just rides along.
 double predict(const uarch::MachineModel& mm, const std::string& body) {
-  auto prog = asmir::parse(body, mm.isa());
-  return analysis::analyze(prog, mm).predicted_cycles();
+  const driver::InCorePredictor osaca;
+  return driver::predict_assembly(osaca, body, mm).cycles_per_iteration;
 }
 
 }  // namespace

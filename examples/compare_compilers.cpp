@@ -9,9 +9,9 @@
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
-#include "analysis/analyze.hpp"
-#include "exec/exec.hpp"
+#include "driver/sweep.hpp"
 #include "kernels/kernels.hpp"
 #include "support/strings.hpp"
 #include "uarch/model.hpp"
@@ -26,31 +26,34 @@ int main(int argc, char** argv) {
     }
   }
   uarch::Micro micro = uarch::Micro::GoldenCove;
-  if (argc > 2) {
-    std::string m = argv[2];
-    if (m == "gcs") micro = uarch::Micro::NeoverseV2;
-    if (m == "genoa") micro = uarch::Micro::Zen4;
-  }
+  if (argc > 2) (void)uarch::micro_from_name(argv[2], micro);
 
   std::printf("kernel %s on %s\n", kernels::to_string(kernel),
               uarch::cpu_short_name(micro));
-  const auto& mm = uarch::machine(micro);
+
+  // One sweep over this kernel's compiler personalities at -O1 and -O3,
+  // evaluated by the in-core bound and the testbed measurement.
+  std::vector<kernels::Variant> matrix;
   for (kernels::Compiler cc : kernels::compilers_for(micro)) {
     for (kernels::OptLevel o :
          {kernels::OptLevel::O1, kernels::OptLevel::O3}) {
-      kernels::Variant v{kernel, cc, o, micro};
-      auto g = kernels::generate(v);
-      auto rep = analysis::analyze(g.program, mm);
-      auto meas = exec::run(g.program, mm);
-      std::printf(
-          "\n--- %s -%s  (%d elem/iter, bound %.2f cy/iter, measured %.2f, "
-          "%.2f cy/elem)\n",
-          kernels::to_string(cc), kernels::to_string(o),
-          g.elements_per_iteration, rep.predicted_cycles(),
-          meas.cycles_per_iteration,
-          meas.cycles_per_iteration / g.elements_per_iteration);
-      std::fputs(g.assembly.c_str(), stdout);
+      matrix.push_back(kernels::Variant{kernel, cc, o, micro});
     }
+  }
+  const driver::InCorePredictor osaca;
+  const driver::TestbedPredictor testbed;
+  const driver::SweepResult res = driver::sweep(matrix, {&osaca, &testbed});
+  for (const driver::SweepRow& row : res.rows) {
+    const driver::Block& b = res.blocks[row.block_index];
+    const double bound = row.predictions[0].cycles_per_iteration;
+    const double meas = row.predictions[1].cycles_per_iteration;
+    std::printf(
+        "\n--- %s -%s  (%d elem/iter, bound %.2f cy/iter, measured %.2f, "
+        "%.2f cy/elem)\n",
+        kernels::to_string(row.variant.compiler),
+        kernels::to_string(row.variant.opt), b.gen.elements_per_iteration,
+        bound, meas, meas / b.gen.elements_per_iteration);
+    std::fputs(b.gen.assembly.c_str(), stdout);
   }
   return 0;
 }

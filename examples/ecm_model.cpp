@@ -23,11 +23,7 @@ int main(int argc, char** argv) {
     }
   }
   uarch::Micro micro = uarch::Micro::GoldenCove;
-  if (argc > 2) {
-    std::string m = argv[2];
-    if (m == "gcs") micro = uarch::Micro::NeoverseV2;
-    if (m == "genoa") micro = uarch::Micro::Zen4;
-  }
+  if (argc > 2) (void)uarch::micro_from_name(argv[2], micro);
 
   kernels::Variant v{kernel, kernels::compilers_for(micro).front(),
                      kernels::OptLevel::O3, micro};

@@ -14,11 +14,7 @@ using namespace incore;
 
 int main(int argc, char** argv) {
   uarch::Micro micro = uarch::Micro::GoldenCove;
-  if (argc > 1) {
-    std::string m = argv[1];
-    if (m == "gcs") micro = uarch::Micro::NeoverseV2;
-    if (m == "genoa") micro = uarch::Micro::Zen4;
-  }
+  if (argc > 1) (void)uarch::micro_from_name(argv[1], micro);
   const auto& chip = power::chip(micro);
   int cores = argc > 2 ? std::atoi(argv[2]) : chip.cores;
 

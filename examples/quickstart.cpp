@@ -32,17 +32,11 @@ std::string default_kernel(uarch::Micro micro) {
   return kernels::generate(v).assembly;
 }
 
-uarch::Micro parse_micro(const std::string& name) {
-  if (name == "gcs" || name == "grace") return uarch::Micro::NeoverseV2;
-  if (name == "genoa" || name == "zen4") return uarch::Micro::Zen4;
-  return uarch::Micro::GoldenCove;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
-  uarch::Micro micro =
-      argc > 1 ? parse_micro(argv[1]) : uarch::Micro::GoldenCove;
+  uarch::Micro micro = uarch::Micro::GoldenCove;
+  if (argc > 1) (void)uarch::micro_from_name(argv[1], micro);
   std::string text = default_kernel(micro);
   if (argc > 2) {
     std::ifstream in(argv[2]);

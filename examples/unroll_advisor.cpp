@@ -72,11 +72,7 @@ std::string triad_body(uarch::Micro m, int u) {
 int main(int argc, char** argv) {
   const bool triad = argc > 1 && std::string(argv[1]) == "triad";
   uarch::Micro micro = uarch::Micro::GoldenCove;
-  if (argc > 2) {
-    std::string m = argv[2];
-    if (m == "gcs") micro = uarch::Micro::NeoverseV2;
-    if (m == "genoa") micro = uarch::Micro::Zen4;
-  }
+  if (argc > 2) (void)uarch::micro_from_name(argv[2], micro);
   const auto& mm = uarch::machine(micro);
   std::printf("%s on %s: cycles per element vs. unroll factor\n\n",
               triad ? "stream triad" : "sum reduction",

@@ -18,11 +18,7 @@ using memsim::StoreKind;
 
 int main(int argc, char** argv) {
   uarch::Micro micro = uarch::Micro::GoldenCove;
-  if (argc > 1) {
-    std::string m = argv[1];
-    if (m == "gcs") micro = uarch::Micro::NeoverseV2;
-    if (m == "genoa") micro = uarch::Micro::Zen4;
-  }
+  if (argc > 1) (void)uarch::micro_from_name(argv[1], micro);
   memsim::System sys(memsim::preset(micro));
   int cores = argc > 2 ? std::atoi(argv[2]) : sys.config().cores;
   StoreKind kind = (argc > 3 && std::string(argv[3]) == "nt")

@@ -1,0 +1,193 @@
+#include "driver/predictor.hpp"
+
+#include <chrono>
+#include <exception>
+#include <utility>
+
+#include "analysis/analyze.hpp"
+#include "asmir/parser.hpp"
+#include "exec/exec.hpp"
+#include "mca/mca.hpp"
+#include "power/power.hpp"
+#include "support/hash.hpp"
+
+namespace incore::driver {
+
+namespace {
+
+/// Runs `fn` (which fills in the model-specific fields), stamping the id,
+/// the ok/error status and the wall time.
+template <typename Fn>
+Prediction timed_predict(const std::string& id, Fn&& fn) {
+  Prediction p;
+  p.model = id;
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    fn(p);
+    p.ok = true;
+  } catch (const std::exception& e) {
+    p.ok = false;
+    p.error = e.what();
+    p.cycles_per_iteration = 0.0;
+  }
+  p.wall_time_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+  return p;
+}
+
+}  // namespace
+
+Block make_block(const kernels::Variant& v) {
+  Block b;
+  b.variant = v;
+  b.gen = kernels::generate(v);
+  b.mm = &uarch::machine(v.target);
+  b.text_hash = support::hex64(support::fnv1a64(b.gen.assembly));
+  b.hash = support::hex64(
+      support::fnv1a64(b.mm->name() + '\x01' + b.gen.assembly));
+  return b;
+}
+
+Block make_block(std::string assembly_text, const uarch::MachineModel& mm) {
+  Block b;
+  b.gen.assembly = std::move(assembly_text);
+  b.gen.program = asmir::parse(b.gen.assembly, mm.isa());
+  b.gen.elements_per_iteration = 1;
+  b.mm = &mm;
+  b.text_hash = support::hex64(support::fnv1a64(b.gen.assembly));
+  b.hash =
+      support::hex64(support::fnv1a64(mm.name() + '\x01' + b.gen.assembly));
+  return b;
+}
+
+// ------------------------------------------------------------------ in-core
+
+InCorePredictor::InCorePredictor(std::string id,
+                                 analysis::DepOptions dep_options)
+    : id_(std::move(id)), dep_(dep_options) {}
+
+Prediction InCorePredictor::predict(const Block& b) const {
+  return timed_predict(id_, [&](Prediction& p) {
+    const analysis::Report rep = analysis::analyze(b.gen.program, *b.mm, dep_);
+    p.cycles_per_iteration = rep.predicted_cycles();
+    p.throughput_cycles = rep.throughput_cycles();
+    p.loop_carried_cycles = rep.loop_carried_cycles();
+    p.critical_path_cycles = rep.critical_path_cycles();
+  });
+}
+
+// ---------------------------------------------------------------------- mca
+
+McaPredictor::McaPredictor(std::string id) : id_(std::move(id)) {}
+
+Prediction McaPredictor::predict(const Block& b) const {
+  return timed_predict(id_, [&](Prediction& p) {
+    p.cycles_per_iteration = mca::simulate(b.gen.program, *b.mm)
+                                 .cycles_per_iteration;
+  });
+}
+
+// ------------------------------------------------------------------ testbed
+
+TestbedPredictor::TestbedPredictor(std::string id, ConfigFn config)
+    : id_(std::move(id)), config_(std::move(config)) {}
+
+Prediction TestbedPredictor::predict(const Block& b) const {
+  return timed_predict(id_, [&](Prediction& p) {
+    const exec::Measurement m =
+        config_ ? exec::run(b.gen.program, *b.mm, config_(b.mm->micro()))
+                : exec::run(b.gen.program, *b.mm);
+    p.cycles_per_iteration = m.cycles_per_iteration;
+  });
+}
+
+// ---------------------------------------------------------------------- ecm
+
+EcmPredictor::EcmPredictor(ecm::DataLocation loc, std::string id)
+    : EcmPredictor(loc, false,
+                   id.empty() ? std::string("ecm-") + ecm::to_string(loc)
+                              : std::move(id)) {}
+
+EcmPredictor::EcmPredictor(ecm::DataLocation loc, bool node, std::string id)
+    : id_(std::move(id)), loc_(loc), node_(node) {}
+
+EcmPredictor EcmPredictor::node_throughput(std::string id) {
+  return EcmPredictor(ecm::DataLocation::Memory, true, std::move(id));
+}
+
+Prediction EcmPredictor::predict(const Block& b) const {
+  return timed_predict(id_, [&](Prediction& p) {
+    const analysis::Report rep = analysis::analyze(b.gen.program, *b.mm);
+    const ecm::Traffic tr =
+        ecm::traffic_for(b.variant, b.gen.elements_per_iteration);
+    const ecm::HierarchyParams h = ecm::hierarchy(b.variant.target);
+    const ecm::Prediction ep = ecm::predict(rep, tr, h);
+    p.cycles_per_iteration =
+        node_ ? ep.multicore_cycles(power::chip(b.variant.target).cores, h)
+              : ep.cycles(loc_);
+  });
+}
+
+// ----------------------------------------------------------------- registry
+
+const char* to_string(Model m) {
+  switch (m) {
+    case Model::InCore: return "osaca";
+    case Model::Mca: return "mca";
+    case Model::Testbed: return "testbed";
+  }
+  return "?";
+}
+
+bool model_from_name(std::string_view name, Model& out) {
+  if (name == "osaca" || name == "incore" || name == "analysis") {
+    out = Model::InCore;
+  } else if (name == "mca" || name == "llvm-mca") {
+    out = Model::Mca;
+  } else if (name == "testbed" || name == "exec" || name == "measured") {
+    out = Model::Testbed;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const std::vector<Model>& all_models() {
+  static const std::vector<Model> models = {Model::InCore, Model::Mca,
+                                            Model::Testbed};
+  return models;
+}
+
+std::unique_ptr<Predictor> make_predictor(Model m) {
+  switch (m) {
+    case Model::InCore: return std::make_unique<InCorePredictor>();
+    case Model::Mca: return std::make_unique<McaPredictor>();
+    case Model::Testbed: return std::make_unique<TestbedPredictor>();
+  }
+  return nullptr;
+}
+
+Prediction predict_program(const asmir::Program& prog,
+                           const uarch::MachineModel& mm, Model m) {
+  Block b;
+  b.gen.program = prog;
+  b.gen.elements_per_iteration = 1;
+  b.mm = &mm;
+  return make_predictor(m)->predict(b);
+}
+
+Prediction predict_assembly(const Predictor& p, const std::string& text,
+                            const uarch::MachineModel& mm) {
+  try {
+    return p.predict(make_block(text, mm));
+  } catch (const std::exception& e) {
+    Prediction bad;
+    bad.model = p.id();
+    bad.ok = false;
+    bad.error = e.what();
+    return bad;
+  }
+}
+
+}  // namespace incore::driver

@@ -1,0 +1,168 @@
+#pragma once
+// The unified predictor driver: one interface over the repository's three
+// "run a model on a block" back ends — the OSACA-style static analyzer
+// (analysis::analyze), the LLVM-MCA-style comparator (mca::simulate) and
+// the execution testbed (exec::run) — plus the ECM composition for
+// node-level studies.
+//
+// Before this layer existed, every bench, example and CLI command
+// hand-rolled the same generate → parse → analyze/simulate/run glue against
+// three incompatible result structs.  A Predictor turns each back end into
+// "Block in, Prediction out", which is what the sweep engine (sweep.hpp)
+// batches, deduplicates and parallelizes.
+//
+// Thread-safety contract: predict() is const and called concurrently from
+// the sweep worker pool.  Adapters must only read the (immutable) block and
+// machine model; per-call state stays on the stack.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/depgraph.hpp"
+#include "asmir/ir.hpp"
+#include "ecm/ecm.hpp"
+#include "exec/pipeline.hpp"
+#include "kernels/kernels.hpp"
+#include "uarch/model.hpp"
+
+namespace incore::driver {
+
+/// The evaluation unit: one generated kernel variant bound to its target
+/// machine model, with its dedup identity precomputed.
+struct Block {
+  kernels::Variant variant{};
+  kernels::GeneratedKernel gen;
+  const uarch::MachineModel* mm = nullptr;
+  /// Dedup key: hex FNV-1a of (machine name, assembly text).  Two matrix
+  /// cells with equal hash get identical predictions from every model.
+  std::string hash;
+  /// Machine-independent assembly-content hash (the paper's "unique
+  /// assembly representations" count).
+  std::string text_hash;
+};
+
+/// Builds a Block (generate + hash) for a variant.  The machine model is
+/// taken from the global registry.
+[[nodiscard]] Block make_block(const kernels::Variant& v);
+
+/// Builds a Block around externally supplied assembly (CLI / what-if paths
+/// that analyze user text rather than generated kernels).  The variant is
+/// synthetic; elements_per_iteration defaults to 1.
+[[nodiscard]] Block make_block(std::string assembly_text,
+                               const uarch::MachineModel& mm);
+
+/// One model's verdict on one block.
+struct Prediction {
+  std::string model;      // predictor id ("osaca", "mca", "testbed", ...)
+  bool ok = false;
+  std::string error;      // set when !ok (e.g. unknown instruction form)
+  double cycles_per_iteration = 0.0;
+
+  // Per-bound breakdown.  Populated by the in-core predictor; zero for the
+  // simulators (they produce a single number).
+  double throughput_cycles = 0.0;
+  double loop_carried_cycles = 0.0;
+  double critical_path_cycles = 0.0;
+
+  /// Wall time of the predictor call.  Never serialized (it would break the
+  /// jobs-independence of sweep output); aggregate timing lives in
+  /// SweepStats.
+  std::int64_t wall_time_ns = 0;
+};
+
+class Predictor {
+ public:
+  virtual ~Predictor() = default;
+  /// Stable identifier used in CSV/JSON column names and memo keys.
+  [[nodiscard]] virtual const std::string& id() const = 0;
+  /// Evaluates one block.  Must be thread-safe; must not throw (failures
+  /// are reported through Prediction::ok / error).
+  [[nodiscard]] virtual Prediction predict(const Block& b) const = 0;
+};
+
+/// OSACA-style static lower bound (analysis::analyze).
+class InCorePredictor final : public Predictor {
+ public:
+  explicit InCorePredictor(std::string id = "osaca",
+                           analysis::DepOptions dep_options = {});
+  [[nodiscard]] const std::string& id() const override { return id_; }
+  [[nodiscard]] Prediction predict(const Block& b) const override;
+
+ private:
+  std::string id_;
+  analysis::DepOptions dep_;
+};
+
+/// LLVM-MCA-style comparator (mca::simulate).
+class McaPredictor final : public Predictor {
+ public:
+  explicit McaPredictor(std::string id = "mca");
+  [[nodiscard]] const std::string& id() const override { return id_; }
+  [[nodiscard]] Prediction predict(const Block& b) const override;
+
+ private:
+  std::string id_;
+};
+
+/// Execution-testbed "measurement" (exec::run).  An optional config factory
+/// substitutes modified silicon (the testbed-feature ablations).
+class TestbedPredictor final : public Predictor {
+ public:
+  using ConfigFn = std::function<exec::PipelineConfig(uarch::Micro)>;
+  explicit TestbedPredictor(std::string id = "testbed",
+                            ConfigFn config = nullptr);
+  [[nodiscard]] const std::string& id() const override { return id_; }
+  [[nodiscard]] Prediction predict(const Block& b) const override;
+
+ private:
+  std::string id_;
+  ConfigFn config_;
+};
+
+/// ECM composition (in-core + memory hierarchy).  Predicts single-core
+/// cycles with data resident in `loc`, or — in node mode — full-socket
+/// inverse-throughput cycles at the chip's core count.
+class EcmPredictor final : public Predictor {
+ public:
+  explicit EcmPredictor(ecm::DataLocation loc, std::string id = "");
+  /// Full-socket saturated cycles/iteration (memory-resident data).
+  [[nodiscard]] static EcmPredictor node_throughput(std::string id =
+                                                        "ecm-node");
+  [[nodiscard]] const std::string& id() const override { return id_; }
+  [[nodiscard]] Prediction predict(const Block& b) const override;
+
+ private:
+  EcmPredictor(ecm::DataLocation loc, bool node, std::string id);
+  std::string id_;
+  ecm::DataLocation loc_ = ecm::DataLocation::Memory;
+  bool node_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Model registry: the three program-level models of the paper's Fig. 3.
+// ---------------------------------------------------------------------------
+
+enum class Model : std::uint8_t { InCore, Mca, Testbed };
+
+[[nodiscard]] const char* to_string(Model m);
+/// Accepts the canonical ids plus common aliases ("osaca", "incore",
+/// "analysis"; "mca", "llvm-mca"; "testbed", "exec", "measured").
+[[nodiscard]] bool model_from_name(std::string_view name, Model& out);
+/// Paper order: OSACA bound, MCA comparator, testbed measurement.
+[[nodiscard]] const std::vector<Model>& all_models();
+
+[[nodiscard]] std::unique_ptr<Predictor> make_predictor(Model m);
+
+/// One-shot convenience: evaluate a parsed program (no kernel context).
+[[nodiscard]] Prediction predict_program(const asmir::Program& prog,
+                                         const uarch::MachineModel& mm,
+                                         Model m);
+/// One-shot convenience over a specific predictor and raw assembly text.
+[[nodiscard]] Prediction predict_assembly(const Predictor& p,
+                                          const std::string& text,
+                                          const uarch::MachineModel& mm);
+
+}  // namespace incore::driver

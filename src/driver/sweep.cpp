@@ -1,0 +1,231 @@
+#include "driver/sweep.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "report/json.hpp"
+#include "support/csv.hpp"
+#include "support/strings.hpp"
+#include "support/threadpool.hpp"
+
+#include <sstream>
+
+namespace incore::driver {
+
+using support::format;
+
+namespace {
+
+template <typename T>
+bool keeps(const std::vector<T>& filter, T value) {
+  return filter.empty() ||
+         std::find(filter.begin(), filter.end(), value) != filter.end();
+}
+
+}  // namespace
+
+std::vector<kernels::Variant> filter_matrix(const SweepOptions& opt) {
+  std::vector<kernels::Variant> out;
+  for (const kernels::Variant& v : kernels::test_matrix()) {
+    if (!keeps(opt.kernels, v.kernel)) continue;
+    if (!keeps(opt.machines, v.target)) continue;
+    if (!keeps(opt.compilers, v.compiler)) continue;
+    if (!keeps(opt.opt_levels, v.opt)) continue;
+    out.push_back(v);
+  }
+  return out;
+}
+
+const Prediction* SweepResult::find(const SweepRow& row,
+                                    std::string_view model_id) const {
+  for (std::size_t m = 0; m < model_ids.size(); ++m) {
+    if (model_ids[m] == model_id) return &row.predictions[m];
+  }
+  return nullptr;
+}
+
+SweepResult sweep(const std::vector<kernels::Variant>& matrix,
+                  const std::vector<const Predictor*>& predictors, int jobs) {
+  SweepResult r;
+  r.model_ids.reserve(predictors.size());
+  for (const Predictor* p : predictors) r.model_ids.push_back(p->id());
+
+  // Phase 1+2 (serial): codegen, hash, dedup.  Codegen is microseconds per
+  // block; the predictors are where the time goes.
+  std::unordered_map<std::string, std::size_t> block_of_hash;
+  std::unordered_set<std::string> assemblies;
+  std::vector<std::size_t> cell_block;  // per matrix cell -> unique block
+  cell_block.reserve(matrix.size());
+  for (const kernels::Variant& v : matrix) {
+    Block b = make_block(v);
+    assemblies.insert(b.text_hash);
+    auto [it, inserted] = block_of_hash.emplace(b.hash, r.blocks.size());
+    if (inserted) r.blocks.push_back(std::move(b));
+    cell_block.push_back(it->second);
+  }
+
+  // Phase 3 (parallel): one task per (unique block, predictor), memoized
+  // into a pre-sized slot table indexed by block*P + predictor.  Slot
+  // discipline keeps the result independent of scheduling.
+  const std::size_t P = predictors.size();
+  std::vector<Prediction> memo(r.blocks.size() * P);
+  const auto t0 = std::chrono::steady_clock::now();
+  support::parallel_for(
+      memo.size(), jobs,
+      [&](std::size_t t) {
+        const Block& b = r.blocks[t / P];
+        memo[t] = predictors[t % P]->predict(b);  // never throws
+      });
+  r.stats.wall_time_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+
+  // Phase 4 (serial): matrix-ordered rows referencing the memoized results.
+  r.rows.reserve(matrix.size());
+  for (std::size_t c = 0; c < matrix.size(); ++c) {
+    SweepRow row;
+    row.variant = matrix[c];
+    row.block_index = cell_block[c];
+    row.predictions.assign(memo.begin() + static_cast<std::ptrdiff_t>(
+                                              row.block_index * P),
+                           memo.begin() + static_cast<std::ptrdiff_t>(
+                                              (row.block_index + 1) * P));
+    r.rows.push_back(std::move(row));
+  }
+
+  r.stats.cells = matrix.size();
+  r.stats.unique_blocks = r.blocks.size();
+  r.stats.unique_assemblies = assemblies.size();
+  r.stats.evaluations = memo.size();
+  r.stats.dedup_hits = (matrix.size() - r.blocks.size()) * P;
+  r.stats.jobs = std::max(1, jobs);
+  for (const Prediction& p : memo) {
+    if (!p.ok) ++r.stats.failed;
+  }
+  return r;
+}
+
+SweepResult sweep(const SweepOptions& opt) {
+  const std::vector<Model>& models =
+      opt.models.empty() ? all_models() : opt.models;
+  std::vector<std::unique_ptr<Predictor>> owned;
+  std::vector<const Predictor*> predictors;
+  owned.reserve(models.size());
+  for (Model m : models) {
+    owned.push_back(make_predictor(m));
+    predictors.push_back(owned.back().get());
+  }
+  return sweep(filter_matrix(opt), predictors, opt.jobs);
+}
+
+// ------------------------------------------------------------------- output
+
+std::string to_csv(const SweepResult& r) {
+  std::ostringstream os;
+  support::CsvWriter csv(os);
+  std::vector<std::string> header = {"variant", "kernel",  "compiler",
+                                     "opt",     "machine", "block_hash",
+                                     "elements_per_iter"};
+  for (const std::string& id : r.model_ids) header.push_back(id + "_cy");
+  csv.header(header);
+  for (const SweepRow& row : r.rows) {
+    const Block& b = r.blocks[row.block_index];
+    std::vector<std::string> fields = {
+        row.variant.label(),
+        kernels::to_string(row.variant.kernel),
+        kernels::to_string(row.variant.compiler),
+        kernels::to_string(row.variant.opt),
+        uarch::cpu_short_name(row.variant.target),
+        b.hash,
+        format("%d", b.gen.elements_per_iteration)};
+    for (const Prediction& p : row.predictions) {
+      fields.push_back(p.ok ? format("%.4f", p.cycles_per_iteration)
+                            : std::string());
+    }
+    csv.row(fields);
+  }
+  return os.str();
+}
+
+std::string to_json(const SweepResult& r) {
+  std::string out = "{\n";
+  out += "  \"models\": [";
+  for (std::size_t m = 0; m < r.model_ids.size(); ++m) {
+    out += format("%s\"%s\"", m ? ", " : "", r.model_ids[m].c_str());
+  }
+  out += "],\n";
+  out += format(
+      "  \"stats\": {\"cells\": %zu, \"unique_blocks\": %zu, "
+      "\"unique_assemblies\": %zu, \"evaluations\": %zu, \"dedup_hits\": "
+      "%zu, \"failed\": %zu},\n",
+      r.stats.cells, r.stats.unique_blocks, r.stats.unique_assemblies,
+      r.stats.evaluations, r.stats.dedup_hits, r.stats.failed);
+  out += "  \"cells\": [\n";
+  for (std::size_t c = 0; c < r.rows.size(); ++c) {
+    const SweepRow& row = r.rows[c];
+    const Block& b = r.blocks[row.block_index];
+    out += format(
+        "    {\"variant\": \"%s\", \"kernel\": \"%s\", \"compiler\": \"%s\", "
+        "\"opt\": \"%s\", \"machine\": \"%s\", \"block_hash\": \"%s\", "
+        "\"elements_per_iter\": %d, \"predictions\": {",
+        row.variant.label().c_str(), kernels::to_string(row.variant.kernel),
+        kernels::to_string(row.variant.compiler),
+        kernels::to_string(row.variant.opt),
+        uarch::cpu_short_name(row.variant.target), b.hash.c_str(),
+        b.gen.elements_per_iteration);
+    for (std::size_t m = 0; m < row.predictions.size(); ++m) {
+      const Prediction& p = row.predictions[m];
+      out += m ? ", " : "";
+      if (p.ok) {
+        out += format("\"%s\": {\"ok\": true, \"cycles_per_iteration\": %.6g",
+                      p.model.c_str(), p.cycles_per_iteration);
+        if (p.throughput_cycles > 0 || p.loop_carried_cycles > 0 ||
+            p.critical_path_cycles > 0) {
+          out += format(
+              ", \"throughput_cycles\": %.6g, \"loop_carried_cycles\": %.6g, "
+              "\"critical_path_cycles\": %.6g",
+              p.throughput_cycles, p.loop_carried_cycles,
+              p.critical_path_cycles);
+        }
+        out += "}";
+      } else {
+        out += format("\"%s\": {\"ok\": false, \"error\": \"%s\"}",
+                      p.model.c_str(),
+                      report::json_escape(p.error).c_str());
+      }
+    }
+    out += "}}";
+    out += c + 1 < r.rows.size() ? ",\n" : "\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+std::vector<ModelErrorStats> error_stats(const SweepResult& r,
+                                         std::string_view reference) {
+  std::size_t ref = r.model_ids.size();
+  for (std::size_t m = 0; m < r.model_ids.size(); ++m) {
+    if (r.model_ids[m] == reference) ref = m;
+  }
+  std::vector<ModelErrorStats> out;
+  if (ref == r.model_ids.size()) return out;
+  for (std::size_t m = 0; m < r.model_ids.size(); ++m) {
+    if (m == ref) continue;
+    ModelErrorStats s;
+    s.model = r.model_ids[m];
+    for (const SweepRow& row : r.rows) {
+      const Prediction& p = row.predictions[m];
+      const Prediction& q = row.predictions[ref];
+      if (!p.ok || !q.ok || q.cycles_per_iteration == 0) continue;
+      s.rpes.push_back((q.cycles_per_iteration - p.cycles_per_iteration) /
+                       q.cycles_per_iteration);
+    }
+    s.rpe = report::summarize_rpe(s.rpes);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace incore::driver

@@ -1,0 +1,107 @@
+#pragma once
+// The matrix sweep engine: evaluates kernel variants × predictors with
+// content-hash deduplication, per-(hash, model) memoization and a bounded
+// worker pool — the paper's Fig. 3 / Table 4 workflow made first-class.
+//
+// Pipeline:
+//   1. codegen (serial, cheap): every variant is rendered and hashed;
+//   2. dedup: variants collapse to unique (machine, assembly) blocks —
+//      the 416-cell matrix holds only a few hundred unique blocks, so
+//      every model evaluates each unique block exactly once;
+//   3. evaluation (parallel): unique-block × predictor tasks fan out over
+//      a support::ThreadPool; each task writes its own result slot, so
+//      output is byte-identical for any --jobs value;
+//   4. assembly: matrix-ordered rows referencing the memoized predictions.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "driver/predictor.hpp"
+#include "report/report.hpp"
+
+namespace incore::driver {
+
+struct SweepOptions {
+  /// Worker threads for predictor evaluation; <= 1 runs inline.
+  int jobs = 1;
+  /// Models to run; empty means all three (OSACA, MCA, testbed).
+  std::vector<Model> models;
+  // Matrix filters; an empty filter keeps every value of that axis.
+  std::vector<kernels::Kernel> kernels;
+  std::vector<uarch::Micro> machines;
+  std::vector<kernels::Compiler> compilers;
+  std::vector<kernels::OptLevel> opt_levels;
+};
+
+/// The paper's test matrix restricted by the options' filters, in
+/// deterministic (paper) order.
+[[nodiscard]] std::vector<kernels::Variant> filter_matrix(
+    const SweepOptions& opt);
+
+/// One matrix cell: its variant, the unique block it deduplicated to, and
+/// one prediction per requested model (order of SweepResult::model_ids).
+struct SweepRow {
+  kernels::Variant variant{};
+  std::size_t block_index = 0;  // into SweepResult::blocks
+  std::vector<Prediction> predictions;
+};
+
+struct SweepStats {
+  std::size_t cells = 0;              // matrix cells (variants swept)
+  std::size_t unique_blocks = 0;      // distinct (machine, assembly)
+  std::size_t unique_assemblies = 0;  // distinct assembly text
+  std::size_t evaluations = 0;        // predictor calls actually made
+  std::size_t dedup_hits = 0;         // cell×model results served from memo
+  std::size_t failed = 0;             // evaluations with !ok
+  int jobs = 1;
+  /// Total wall time of the evaluation phase.  Never serialized.
+  std::int64_t wall_time_ns = 0;
+};
+
+struct SweepResult {
+  std::vector<std::string> model_ids;  // predictor order
+  std::vector<Block> blocks;           // unique blocks, first-seen order
+  std::vector<SweepRow> rows;          // matrix order
+  SweepStats stats;
+
+  /// The row's prediction for a model id; nullptr when absent.
+  [[nodiscard]] const Prediction* find(const SweepRow& row,
+                                       std::string_view model_id) const;
+};
+
+/// Core entry point: evaluates `matrix` against `predictors` (non-owning;
+/// must outlive the call) on `jobs` workers.
+[[nodiscard]] SweepResult sweep(const std::vector<kernels::Variant>& matrix,
+                                const std::vector<const Predictor*>& predictors,
+                                int jobs = 1);
+
+/// Convenience: builds the filtered matrix and the standard model
+/// predictors from the options.
+[[nodiscard]] SweepResult sweep(const SweepOptions& opt);
+
+// ---------------------------------------------------------------- reporting
+
+/// Matrix CSV: one line per cell with the variant axes, the dedup hash,
+/// elements/iteration and one cycles/iteration column per model (empty on
+/// evaluation failure).  Deterministic: independent of stats.jobs.
+[[nodiscard]] std::string to_csv(const SweepResult& r);
+
+/// JSON document: stats, model list and per-cell predictions with the
+/// per-bound breakdown.  Deterministic: wall times are excluded.
+[[nodiscard]] std::string to_json(const SweepResult& r);
+
+struct ModelErrorStats {
+  std::string model;
+  report::RpeSummary rpe;
+  std::vector<double> rpes;  // per contributing row, matrix order
+};
+
+/// Relative prediction error of every non-reference model against
+/// `reference` (RPE = (ref - pred) / ref), over rows where both
+/// evaluations succeeded.  Empty when the reference model was not swept.
+[[nodiscard]] std::vector<ModelErrorStats> error_stats(
+    const SweepResult& r, std::string_view reference = "testbed");
+
+}  // namespace incore::driver

@@ -66,6 +66,51 @@ std::string to_json(const analysis::Report& rep) {
   return out;
 }
 
+namespace {
+
+/// Shared port-keyed array rendering: ["P0", ...] alongside values.
+std::string ports_and_values(const uarch::MachineModel& mm,
+                             const std::vector<double>& values,
+                             const char* values_key) {
+  std::string out = "  \"ports\": [";
+  const auto& names = mm.ports();
+  for (std::size_t p = 0; p < names.size(); ++p) {
+    out += format("%s\"%s\"", p ? ", " : "", names[p].c_str());
+  }
+  out += format("],\n  \"%s\": [", values_key);
+  for (std::size_t p = 0; p < values.size(); ++p) {
+    out += format("%s%.6g", p ? ", " : "", values[p]);
+  }
+  out += "],\n";
+  return out;
+}
+
+}  // namespace
+
+std::string to_json(const mca::Result& res, const uarch::MachineModel& mm) {
+  std::string out = "{\n";
+  out += format("  \"machine\": \"%s\",\n  \"model\": \"mca\",\n",
+                mm.name().c_str());
+  out += ports_and_values(mm, res.resource_pressure, "resource_pressure");
+  out += format("  \"cycles_per_iteration\": %.6g\n}\n",
+                res.cycles_per_iteration);
+  return out;
+}
+
+std::string to_json(const exec::Measurement& meas,
+                    const uarch::MachineModel& mm) {
+  std::string out = "{\n";
+  out += format("  \"machine\": \"%s\",\n  \"model\": \"testbed\",\n",
+                mm.name().c_str());
+  out += ports_and_values(mm, meas.port_utilization, "port_utilization");
+  out += format(
+      "  \"backpressure_cycles\": %llu,\n  \"cycles_per_iteration\": "
+      "%.6g\n}\n",
+      static_cast<unsigned long long>(meas.backpressure_cycles),
+      meas.cycles_per_iteration);
+  return out;
+}
+
 std::string to_json(const verify::DiagnosticSink& sink) {
   using verify::Severity;
   std::string out = "{\n";

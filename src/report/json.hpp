@@ -6,6 +6,8 @@
 #include <string>
 
 #include "analysis/analyze.hpp"
+#include "exec/exec.hpp"
+#include "mca/mca.hpp"
 #include "verify/diagnostics.hpp"
 
 namespace incore::report {
@@ -14,6 +16,17 @@ namespace incore::report {
 /// rows (form, latency, reciprocal throughput, port pressure, LCD and
 /// mnemonic-fallback flags).
 [[nodiscard]] std::string to_json(const analysis::Report& rep);
+
+/// Serializes the LLVM-MCA-style comparator result: cycles/iteration plus
+/// the per-port resource pressure (port names supplied by the caller's
+/// machine model via `mm`).
+[[nodiscard]] std::string to_json(const mca::Result& res,
+                                  const uarch::MachineModel& mm);
+
+/// Serializes a testbed measurement: cycles/iteration, per-port
+/// utilization and back-pressure cycles.
+[[nodiscard]] std::string to_json(const exec::Measurement& meas,
+                                  const uarch::MachineModel& mm);
 
 /// Serializes verifier diagnostics: severity tallies plus one object per
 /// diagnostic (severity, code, location, message, notes).

@@ -1,0 +1,33 @@
+#pragma once
+// Content hashing used for deduplication keys (the sweep driver memoizes
+// predictor results by assembly-content hash).  FNV-1a is enough: keys are
+// short, the universe is a few hundred blocks, and the hash is part of the
+// serialized output, so it must be stable across platforms and runs.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace incore::support {
+
+[[nodiscard]] constexpr std::uint64_t fnv1a64(std::string_view data) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Fixed-width (16 digit) lowercase hex rendering of a 64-bit hash.
+[[nodiscard]] inline std::string hex64(std::uint64_t value) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[value & 0xf];
+    value >>= 4;
+  }
+  return out;
+}
+
+}  // namespace incore::support

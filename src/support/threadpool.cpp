@@ -1,0 +1,90 @@
+#include "support/threadpool.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+namespace incore::support {
+
+ThreadPool::ThreadPool(int threads) {
+  const int n = std::max(1, threads);
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push(std::move(task));
+    ++in_flight_;
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+int ThreadPool::default_jobs(int cap) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int n = hw == 0 ? 1 : static_cast<int>(hw);
+  return std::clamp(n, 1, std::max(1, cap));
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to run
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+    }
+    cv_done_.notify_all();
+  }
+}
+
+void parallel_for(std::size_t n, int jobs,
+                  const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (jobs <= 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  const int workers =
+      static_cast<int>(std::min<std::size_t>(static_cast<std::size_t>(jobs), n));
+  // Shared atomic cursor: workers claim the next index when free.  Which
+  // worker runs which index varies run to run; the caller's slot discipline
+  // makes that invisible.
+  std::atomic<std::size_t> next{0};
+  ThreadPool pool(workers);
+  for (int w = 0; w < workers; ++w) {
+    pool.submit([&next, n, &fn] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        fn(i);
+      }
+    });
+  }
+  pool.wait();
+}
+
+}  // namespace incore::support

@@ -1,0 +1,64 @@
+#pragma once
+// Small fixed-size worker pool used by the sweep driver to fan predictor
+// evaluations out over a bounded number of threads.
+//
+// Design constraints, in order:
+//  * determinism of the *callers* must be easy: the pool never reorders
+//    results (tasks write into pre-assigned slots), and parallel_for hands
+//    out indices so output depends only on the index, never on scheduling;
+//  * tasks are coarse (milliseconds), so a mutex-protected FIFO is plenty;
+//  * tasks must not throw — callers are expected to capture failures into
+//    their result slot (the sweep driver records them as Prediction errors).
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace incore::support {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (clamped to at least 1).
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task.  Tasks must not throw.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void wait();
+
+  [[nodiscard]] int size() const { return static_cast<int>(workers_.size()); }
+
+  /// A sensible default worker count for CLI `--jobs 0` style requests:
+  /// the hardware concurrency, clamped to [1, cap].
+  [[nodiscard]] static int default_jobs(int cap = 8);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;   // signals workers: work or shutdown
+  std::condition_variable cv_done_;   // signals wait(): everything drained
+  std::size_t in_flight_ = 0;         // queued + currently executing
+  bool stop_ = false;
+};
+
+/// Runs fn(0), ..., fn(n-1) across `jobs` pool workers and returns when all
+/// calls completed.  With jobs <= 1 the calls run inline on the calling
+/// thread, in index order.  `fn` must not throw and must only write state
+/// owned by its index (slot discipline), which makes the result independent
+/// of scheduling.
+void parallel_for(std::size_t n, int jobs,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace incore::support

@@ -204,6 +204,16 @@ class MachineModel {
 /// All modeled microarchitectures, in paper order (GCS, SPR, Genoa).
 [[nodiscard]] const std::vector<Micro>& all_micros();
 
+/// Parses a user-facing machine name (case-insensitive).  Accepts the short
+/// CPU names used throughout the CLI and examples plus common aliases:
+/// "gcs"/"grace"/"v2"/"neoverse-v2", "spr"/"goldencove"/"golden-cove"/
+/// "sapphire-rapids", "genoa"/"zen4".  Returns false (leaving `out`
+/// untouched) for anything else.
+[[nodiscard]] bool micro_from_name(std::string_view name, Micro& out);
+
+/// One-line help text listing the accepted machine names.
+[[nodiscard]] const char* machine_names_help();
+
 /// The previous-generation Intel server core (Sunny Cove), modeled for the
 /// paper's generational ADD-latency comparison.  Not part of the testbed
 /// trio, hence outside the Micro registry.

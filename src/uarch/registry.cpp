@@ -1,5 +1,7 @@
 #include "uarch/model.hpp"
 
+#include "support/strings.hpp"
+
 namespace incore::uarch {
 
 const MachineModel& machine(Micro m) {
@@ -30,6 +32,25 @@ const std::vector<Micro>& all_micros() {
   static const std::vector<Micro> micros = {
       Micro::NeoverseV2, Micro::GoldenCove, Micro::Zen4};
   return micros;
+}
+
+bool micro_from_name(std::string_view name, Micro& out) {
+  const std::string n = support::to_lower(name);
+  if (n == "gcs" || n == "grace" || n == "v2" || n == "neoverse-v2") {
+    out = Micro::NeoverseV2;
+  } else if (n == "spr" || n == "goldencove" || n == "golden-cove" ||
+             n == "sapphire-rapids") {
+    out = Micro::GoldenCove;
+  } else if (n == "genoa" || n == "zen4") {
+    out = Micro::Zen4;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* machine_names_help() {
+  return "gcs (grace, v2), spr (goldencove), genoa (zen4)";
 }
 
 }  // namespace incore::uarch

@@ -1,0 +1,273 @@
+// Tests for the driver layer: the predictor adapters against the raw back
+// ends, the sweep engine's dedup/memoization accounting, byte-identical
+// output regardless of the worker count, and the name registries the CLI
+// parses with.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "analysis/analyze.hpp"
+#include "driver/predictor.hpp"
+#include "driver/sweep.hpp"
+#include "exec/exec.hpp"
+#include "kernels/kernels.hpp"
+#include "mca/mca.hpp"
+#include "report/json.hpp"
+#include "uarch/model.hpp"
+
+using namespace incore;
+
+namespace {
+
+kernels::Variant triad_spr() {
+  return kernels::Variant{kernels::Kernel::StreamTriad, kernels::Compiler::Gcc,
+                          kernels::OptLevel::O3, uarch::Micro::GoldenCove};
+}
+
+/// Counts predict() calls — asserts the sweep's memoization contract:
+/// every unique block is evaluated exactly once per model.
+class CountingPredictor final : public driver::Predictor {
+ public:
+  explicit CountingPredictor(std::string id) : id_(std::move(id)) {}
+  [[nodiscard]] const std::string& id() const override { return id_; }
+  [[nodiscard]] driver::Prediction predict(
+      const driver::Block& b) const override {
+    calls.fetch_add(1, std::memory_order_relaxed);
+    driver::Prediction p;
+    p.model = id_;
+    p.ok = true;
+    p.cycles_per_iteration = static_cast<double>(b.gen.assembly.size());
+    return p;
+  }
+  mutable std::atomic<int> calls{0};
+
+ private:
+  std::string id_;
+};
+
+}  // namespace
+
+// ------------------------------------------------------------------ adapters
+
+TEST(Predictor, InCoreMatchesDirectAnalysis) {
+  driver::Block b = driver::make_block(triad_spr());
+  auto rep = analysis::analyze(b.gen.program, *b.mm);
+  driver::Prediction p = driver::InCorePredictor().predict(b);
+  ASSERT_TRUE(p.ok) << p.error;
+  EXPECT_EQ(p.model, "osaca");
+  EXPECT_DOUBLE_EQ(p.cycles_per_iteration, rep.predicted_cycles());
+  EXPECT_DOUBLE_EQ(p.throughput_cycles, rep.throughput_cycles());
+  EXPECT_DOUBLE_EQ(p.loop_carried_cycles, rep.loop_carried_cycles());
+  EXPECT_DOUBLE_EQ(p.critical_path_cycles, rep.critical_path_cycles());
+}
+
+TEST(Predictor, McaMatchesDirectSimulation) {
+  driver::Block b = driver::make_block(triad_spr());
+  auto res = mca::simulate(b.gen.program, *b.mm);
+  driver::Prediction p = driver::McaPredictor().predict(b);
+  ASSERT_TRUE(p.ok) << p.error;
+  EXPECT_EQ(p.model, "mca");
+  EXPECT_DOUBLE_EQ(p.cycles_per_iteration, res.cycles_per_iteration);
+}
+
+TEST(Predictor, TestbedMatchesDirectRun) {
+  driver::Block b = driver::make_block(triad_spr());
+  auto meas = exec::run(b.gen.program, *b.mm);
+  driver::Prediction p = driver::TestbedPredictor().predict(b);
+  ASSERT_TRUE(p.ok) << p.error;
+  EXPECT_EQ(p.model, "testbed");
+  EXPECT_DOUBLE_EQ(p.cycles_per_iteration, meas.cycles_per_iteration);
+}
+
+TEST(Predictor, FailureIsReportedNotThrown) {
+  const auto& mm = uarch::machine(uarch::Micro::GoldenCove);
+  driver::Prediction p = driver::predict_assembly(
+      driver::InCorePredictor(), "movsd ((((, %xmm0\n", mm);
+  EXPECT_FALSE(p.ok);
+  EXPECT_FALSE(p.error.empty());
+  EXPECT_EQ(p.model, "osaca");
+}
+
+TEST(Predictor, EcmNodeThroughputProducesCycles) {
+  driver::Block b = driver::make_block(triad_spr());
+  driver::Prediction p =
+      driver::EcmPredictor::node_throughput().predict(b);
+  ASSERT_TRUE(p.ok) << p.error;
+  EXPECT_GT(p.cycles_per_iteration, 0.0);
+}
+
+TEST(Predictor, PredictAssemblyAgreesWithBlockPath) {
+  driver::Block b = driver::make_block(triad_spr());
+  const driver::InCorePredictor osaca;
+  driver::Prediction via_text =
+      driver::predict_assembly(osaca, b.gen.assembly, *b.mm);
+  driver::Prediction via_block = osaca.predict(b);
+  ASSERT_TRUE(via_text.ok);
+  EXPECT_DOUBLE_EQ(via_text.cycles_per_iteration,
+                   via_block.cycles_per_iteration);
+}
+
+// --------------------------------------------------------------------- dedup
+
+TEST(Sweep, EveryUniqueBlockEvaluatedExactlyOncePerModel) {
+  const auto matrix = kernels::test_matrix();
+  CountingPredictor a("a"), bp("b");
+  driver::SweepResult res = driver::sweep(matrix, {&a, &bp}, 4);
+
+  EXPECT_EQ(res.stats.cells, matrix.size());
+  EXPECT_LT(res.stats.unique_blocks, res.stats.cells);
+  EXPECT_LE(res.stats.unique_assemblies, res.stats.unique_blocks);
+  // The memoization contract: one call per (unique block, model).
+  EXPECT_EQ(static_cast<std::size_t>(a.calls.load()),
+            res.stats.unique_blocks);
+  EXPECT_EQ(static_cast<std::size_t>(bp.calls.load()),
+            res.stats.unique_blocks);
+  EXPECT_EQ(res.stats.evaluations, res.stats.unique_blocks * 2);
+  EXPECT_EQ(res.stats.dedup_hits,
+            (res.stats.cells - res.stats.unique_blocks) * 2);
+  EXPECT_EQ(res.stats.failed, 0u);
+  EXPECT_EQ(res.rows.size(), matrix.size());
+}
+
+TEST(Sweep, RowsReferenceTheirMemoizedBlock) {
+  driver::SweepOptions opt;
+  opt.kernels = {kernels::Kernel::Add, kernels::Kernel::Copy};
+  CountingPredictor a("a");
+  driver::SweepResult res =
+      driver::sweep(driver::filter_matrix(opt), {&a}, 2);
+  for (const driver::SweepRow& row : res.rows) {
+    ASSERT_EQ(row.predictions.size(), 1u);
+    const driver::Block& b = res.blocks[row.block_index];
+    EXPECT_EQ(b.variant.target, row.variant.target);
+    // The counting predictor encodes the block identity in its result, so a
+    // misrouted memo slot shows up as a mismatched size.
+    EXPECT_DOUBLE_EQ(row.predictions[0].cycles_per_iteration,
+                     static_cast<double>(b.gen.assembly.size()));
+  }
+}
+
+TEST(Sweep, BlocksOnDifferentMachinesNeverShareAHash) {
+  const auto matrix = kernels::test_matrix();
+  CountingPredictor a("a");
+  driver::SweepResult res = driver::sweep(matrix, {&a}, 0);
+  for (const driver::SweepRow& row : res.rows) {
+    EXPECT_EQ(res.blocks[row.block_index].variant.target, row.variant.target);
+  }
+}
+
+// --------------------------------------------------------------- determinism
+
+TEST(Sweep, OutputIsIndependentOfJobCount) {
+  driver::SweepOptions opt;
+  opt.kernels = {kernels::Kernel::Add, kernels::Kernel::SumReduction};
+  opt.jobs = 1;
+  driver::SweepResult serial = driver::sweep(opt);
+  opt.jobs = 8;
+  driver::SweepResult parallel = driver::sweep(opt);
+
+  EXPECT_EQ(driver::to_csv(serial), driver::to_csv(parallel));
+  EXPECT_EQ(driver::to_json(serial), driver::to_json(parallel));
+  EXPECT_EQ(serial.stats.evaluations, parallel.stats.evaluations);
+  EXPECT_EQ(serial.stats.dedup_hits, parallel.stats.dedup_hits);
+}
+
+TEST(Sweep, CsvHasOneColumnPerModelAndOneRowPerCell) {
+  driver::SweepOptions opt;
+  opt.kernels = {kernels::Kernel::Add};
+  opt.models = {driver::Model::InCore, driver::Model::Testbed};
+  driver::SweepResult res = driver::sweep(opt);
+  std::string csv = driver::to_csv(res);
+  ASSERT_FALSE(csv.empty());
+  std::size_t lines = 0;
+  for (char c : csv) lines += c == '\n';
+  EXPECT_EQ(lines, 1 + res.rows.size());  // header + cells
+  EXPECT_NE(csv.find("osaca_cy"), std::string::npos);
+  EXPECT_NE(csv.find("testbed_cy"), std::string::npos);
+  EXPECT_EQ(csv.find("mca_cy"), std::string::npos);
+}
+
+TEST(Sweep, ErrorStatsComparesAgainstTestbed) {
+  driver::SweepOptions opt;
+  opt.kernels = {kernels::Kernel::Add, kernels::Kernel::Copy};
+  driver::SweepResult res = driver::sweep(opt);
+  auto stats = driver::error_stats(res);
+  ASSERT_EQ(stats.size(), 2u);  // osaca and mca vs the testbed
+  for (const driver::ModelErrorStats& s : stats) {
+    EXPECT_EQ(s.rpes.size(), res.rows.size());
+    EXPECT_NE(s.model, "testbed");
+  }
+}
+
+TEST(Sweep, FindLooksUpByModelId) {
+  driver::SweepOptions opt;
+  opt.kernels = {kernels::Kernel::Add};
+  opt.models = {driver::Model::InCore};
+  driver::SweepResult res = driver::sweep(opt);
+  ASSERT_FALSE(res.rows.empty());
+  EXPECT_NE(res.find(res.rows.front(), "osaca"), nullptr);
+  EXPECT_EQ(res.find(res.rows.front(), "does-not-exist"), nullptr);
+}
+
+// ---------------------------------------------------------------- registries
+
+TEST(Registry, MicroFromNameAcceptsAliases) {
+  uarch::Micro m = uarch::Micro::GoldenCove;
+  EXPECT_TRUE(uarch::micro_from_name("gcs", m));
+  EXPECT_EQ(m, uarch::Micro::NeoverseV2);
+  EXPECT_TRUE(uarch::micro_from_name("Grace", m));
+  EXPECT_EQ(m, uarch::Micro::NeoverseV2);
+  EXPECT_TRUE(uarch::micro_from_name("SPR", m));
+  EXPECT_EQ(m, uarch::Micro::GoldenCove);
+  EXPECT_TRUE(uarch::micro_from_name("sapphire-rapids", m));
+  EXPECT_EQ(m, uarch::Micro::GoldenCove);
+  EXPECT_TRUE(uarch::micro_from_name("genoa", m));
+  EXPECT_EQ(m, uarch::Micro::Zen4);
+  EXPECT_TRUE(uarch::micro_from_name("zen4", m));
+  EXPECT_EQ(m, uarch::Micro::Zen4);
+}
+
+TEST(Registry, MicroFromNameRejectsUnknownAndLeavesOutputAlone) {
+  uarch::Micro m = uarch::Micro::Zen4;
+  EXPECT_FALSE(uarch::micro_from_name("m7g", m));
+  EXPECT_EQ(m, uarch::Micro::Zen4);
+  EXPECT_NE(uarch::machine_names_help(), nullptr);
+}
+
+TEST(Registry, ModelFromNameAcceptsAliases) {
+  driver::Model m{};
+  EXPECT_TRUE(driver::model_from_name("osaca", m));
+  EXPECT_EQ(m, driver::Model::InCore);
+  EXPECT_TRUE(driver::model_from_name("llvm-mca", m));
+  EXPECT_EQ(m, driver::Model::Mca);
+  EXPECT_TRUE(driver::model_from_name("measured", m));
+  EXPECT_EQ(m, driver::Model::Testbed);
+  EXPECT_FALSE(driver::model_from_name("crystal-ball", m));
+  for (driver::Model mm : driver::all_models()) {
+    driver::Model back{};
+    EXPECT_TRUE(driver::model_from_name(driver::to_string(mm), back));
+    EXPECT_EQ(back, mm);
+  }
+}
+
+// -------------------------------------------------------- result serializers
+
+TEST(ReportJson, McaResultSerializes) {
+  driver::Block b = driver::make_block(triad_spr());
+  auto res = mca::simulate(b.gen.program, *b.mm);
+  std::string json = report::to_json(res, *b.mm);
+  EXPECT_NE(json.find("\"model\": \"mca\""), std::string::npos);
+  EXPECT_NE(json.find("\"resource_pressure\""), std::string::npos);
+  EXPECT_NE(json.find("\"cycles_per_iteration\""), std::string::npos);
+}
+
+TEST(ReportJson, MeasurementSerializes) {
+  driver::Block b = driver::make_block(triad_spr());
+  auto meas = exec::run(b.gen.program, *b.mm);
+  std::string json = report::to_json(meas, *b.mm);
+  EXPECT_NE(json.find("\"model\": \"testbed\""), std::string::npos);
+  EXPECT_NE(json.find("\"port_utilization\""), std::string::npos);
+  EXPECT_NE(json.find("\"backpressure_cycles\""), std::string::npos);
+}

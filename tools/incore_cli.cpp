@@ -19,8 +19,10 @@
 
 #include <cstdio>
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <set>
 #include <sstream>
@@ -31,6 +33,8 @@
 #include "analysis/analyze.hpp"
 #include "analysis/dot.hpp"
 #include "asmir/parser.hpp"
+#include "driver/predictor.hpp"
+#include "driver/sweep.hpp"
 #include "ecm/ecm.hpp"
 #include "exec/exec.hpp"
 #include "kernels/kernels.hpp"
@@ -38,6 +42,8 @@
 #include "power/power.hpp"
 #include "report/json.hpp"
 #include "support/error.hpp"
+#include "support/strings.hpp"
+#include "support/threadpool.hpp"
 #include "uarch/model.hpp"
 #include "verify/diagnostics.hpp"
 #include "verify/kernel_lints.hpp"
@@ -53,6 +59,11 @@ int usage() {
       "usage: incore-cli <command> [...]\n"
       "  machines                         list modeled microarchitectures\n"
       "  analyze <machine> [file.s]       in-core analysis of a loop body\n"
+      "       --json emits analysis + LLVM-MCA + testbed as one document\n"
+      "  sweep                            evaluate the validation matrix\n"
+      "       sweep flags: --jobs N (0 = auto) --models m1,m2 --kernels k1,..\n"
+      "                    --machines m1,.. --compilers c1,.. --opt O1,..\n"
+      "                    --csv --json   (models: osaca mca testbed)\n"
       "  kernels                          list validation kernels\n"
       "  emit <machine> <kernel> <cc> <O> render a compiler personality\n"
       "  tput <machine> <template>        instruction throughput microbench\n"
@@ -70,17 +81,10 @@ int usage() {
 }
 
 bool parse_machine(const std::string& name, uarch::Micro& out) {
-  if (name == "gcs" || name == "grace" || name == "v2") {
-    out = uarch::Micro::NeoverseV2;
-  } else if (name == "spr" || name == "goldencove") {
-    out = uarch::Micro::GoldenCove;
-  } else if (name == "genoa" || name == "zen4") {
-    out = uarch::Micro::Zen4;
-  } else {
-    std::fprintf(stderr, "unknown machine '%s'\n", name.c_str());
-    return false;
-  }
-  return true;
+  if (uarch::micro_from_name(name, out)) return true;
+  std::fprintf(stderr, "unknown machine '%s' (known: %s)\n", name.c_str(),
+               uarch::machine_names_help());
+  return false;
 }
 
 int cmd_machines() {
@@ -123,16 +127,169 @@ int cmd_analyze(const std::string& machine_name, const char* path,
   }
   auto rep = analysis::analyze(prog, mm);
   if (json) {
-    std::fputs(report::to_json(rep).c_str(), stdout);
+    // One document covering all three models (report::to_json has a
+    // serialization for each result type).
+    auto cmp = mca::simulate(prog, mm);
+    auto meas = exec::run(prog, mm);
+    std::printf("{\n\"analysis\": %s,\n\"mca\": %s,\n\"testbed\": %s}\n",
+                report::to_json(rep).c_str(),
+                report::to_json(cmp, mm).c_str(),
+                report::to_json(meas, mm).c_str());
     return 0;
   }
   std::fputs(rep.to_table().c_str(), stdout);
-  auto meas = exec::run(prog, mm);
-  auto cmp = mca::simulate(prog, mm);
+  const driver::Prediction meas =
+      driver::predict_program(prog, mm, driver::Model::Testbed);
+  const driver::Prediction cmp =
+      driver::predict_program(prog, mm, driver::Model::Mca);
   std::printf("\ntestbed measurement: %.2f cy/iter | LLVM-MCA comparator: "
               "%.2f cy/iter\n",
               meas.cycles_per_iteration, cmp.cycles_per_iteration);
   return 0;
+}
+
+// ------------------------------------------------------------------ sweep
+
+bool parse_list(const std::string& flag, const std::string& arg,
+                const std::function<bool(const std::string&)>& add) {
+  for (std::string_view part : support::split(arg, ',')) {
+    const std::string item(support::trim(part));
+    if (item.empty() || !add(item)) {
+      std::fprintf(stderr, "%s: unknown value '%s'\n", flag.c_str(),
+                   item.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+int cmd_sweep(int argc, char** argv) {
+  driver::SweepOptions opt;
+  enum class Out : std::uint8_t { Text, Csv, Json };
+  Out out = Out::Text;
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", a.c_str());
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (a == "--csv") {
+      out = Out::Csv;
+    } else if (a == "--json") {
+      out = Out::Json;
+    } else if (a == "--jobs") {
+      const char* v = value();
+      if (v == nullptr) return 2;
+      opt.jobs = std::atoi(v);
+      if (opt.jobs <= 0) opt.jobs = support::ThreadPool::default_jobs();
+    } else if (a == "--models") {
+      const char* v = value();
+      if (v == nullptr ||
+          !parse_list(a, v, [&](const std::string& s) {
+            driver::Model m;
+            if (!driver::model_from_name(s, m)) return false;
+            opt.models.push_back(m);
+            return true;
+          })) {
+        return 2;
+      }
+    } else if (a == "--machines") {
+      const char* v = value();
+      if (v == nullptr || !parse_list(a, v, [&](const std::string& s) {
+            uarch::Micro m;
+            if (!uarch::micro_from_name(s, m)) return false;
+            opt.machines.push_back(m);
+            return true;
+          })) {
+        return 2;
+      }
+    } else if (a == "--kernels") {
+      const char* v = value();
+      if (v == nullptr || !parse_list(a, v, [&](const std::string& s) {
+            for (kernels::Kernel k : kernels::all_kernels()) {
+              if (s == kernels::to_string(k)) {
+                opt.kernels.push_back(k);
+                return true;
+              }
+            }
+            return false;
+          })) {
+        return 2;
+      }
+    } else if (a == "--compilers") {
+      const char* v = value();
+      if (v == nullptr || !parse_list(a, v, [&](const std::string& s) {
+            for (kernels::Compiler c :
+                 {kernels::Compiler::Gcc, kernels::Compiler::Clang,
+                  kernels::Compiler::OneApi, kernels::Compiler::ArmClang}) {
+              if (s == kernels::to_string(c)) {
+                opt.compilers.push_back(c);
+                return true;
+              }
+            }
+            return false;
+          })) {
+        return 2;
+      }
+    } else if (a == "--opt") {
+      const char* v = value();
+      if (v == nullptr || !parse_list(a, v, [&](const std::string& s) {
+            for (kernels::OptLevel o :
+                 {kernels::OptLevel::O1, kernels::OptLevel::O2,
+                  kernels::OptLevel::O3, kernels::OptLevel::Ofast}) {
+              if (s == kernels::to_string(o)) {
+                opt.opt_levels.push_back(o);
+                return true;
+              }
+            }
+            return false;
+          })) {
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr, "unknown sweep flag '%s'\n", a.c_str());
+      return usage();
+    }
+  }
+
+  const driver::SweepResult r = driver::sweep(opt);
+  if (r.rows.empty()) {
+    std::fprintf(stderr, "sweep: the filters leave an empty matrix\n");
+    return 1;
+  }
+  if (out == Out::Csv) {
+    std::fputs(driver::to_csv(r).c_str(), stdout);
+  } else if (out == Out::Json) {
+    std::fputs(driver::to_json(r).c_str(), stdout);
+  } else {
+    const auto& st = r.stats;
+    std::printf("sweep: %zu matrix cells -> %zu unique blocks (%zu unique "
+                "assemblies)\n",
+                st.cells, st.unique_blocks, st.unique_assemblies);
+    std::printf(
+        "       %zu evaluations across %zu models, %zu dedup hits "
+        "(%.0f%% of cell-results memoized), jobs %d, %.1f ms\n",
+        st.evaluations, r.model_ids.size(), st.dedup_hits,
+        st.cells ? 100.0 * static_cast<double>(st.dedup_hits) /
+                       static_cast<double>(st.cells * r.model_ids.size())
+                 : 0.0,
+        st.jobs, static_cast<double>(st.wall_time_ns) / 1e6);
+    if (st.failed > 0) {
+      std::printf("       %zu evaluations FAILED\n", st.failed);
+    }
+    for (const driver::ModelErrorStats& s : driver::error_stats(r)) {
+      std::printf(
+          "  %-8s vs testbed: %3zu blocks | right of zero %3.0f%% | within "
+          "+10%%/+20%%: %.0f%%/%.0f%% | mean |RPE| %.0f%% | off by >2x: %d\n",
+          s.model.c_str(), s.rpes.size(), 100 * s.rpe.fraction_right,
+          100 * s.rpe.fraction_in10, 100 * s.rpe.fraction_in20,
+          100 * s.rpe.mean_abs_rpe, s.rpe.off_by_2x);
+    }
+  }
+  return r.stats.failed > 0 ? 1 : 0;
 }
 
 int cmd_dot(const std::string& machine_name, const char* path) {
@@ -479,6 +636,7 @@ int main(int argc, char** argv) {
       }
       return cmd_analyze(argv[2], file, json);
     }
+    if (cmd == "sweep") return cmd_sweep(argc, argv);
     if (cmd == "emit" && argc == 6)
       return cmd_emit(argv[2], argv[3], argv[4], argv[5]);
     if (cmd == "tput" && argc == 4) return cmd_microbench(argv[2], argv[3], false);
