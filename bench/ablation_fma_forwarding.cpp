@@ -40,7 +40,7 @@ int main() {
   // Effect across the GCS half of the validation matrix: one sweep with
   // both model configurations, deduplicated and parallel.
   driver::SweepOptions opt;
-  opt.machines = {uarch::Micro::NeoverseV2};
+  opt.machines = {uarch::machine_ref(uarch::Micro::NeoverseV2)};
   const driver::SweepResult res =
       driver::sweep(driver::filter_matrix(opt), {&base, &with_fwd},
                     support::ThreadPool::default_jobs());

@@ -12,6 +12,7 @@
 #include "report/report.hpp"
 #include "support/strings.hpp"
 #include "uarch/model.hpp"
+#include "uarch/registry.hpp"
 
 using namespace incore;
 using support::format;
@@ -25,8 +26,8 @@ double latency_of(const uarch::MachineModel& mm, const char* tmpl) {
 }  // namespace
 
 int main() {
-  const uarch::MachineModel& icl = uarch::ice_lake_sp();
-  const uarch::MachineModel& glc = uarch::machine(uarch::Micro::GoldenCove);
+  const uarch::MachineModel& icl = *uarch::resolve_machine("icelake").model;
+  const uarch::MachineModel& glc = *uarch::resolve_machine("spr").model;
 
   std::printf("Generational ablation: Ice Lake SP vs. Golden Cove (SPR)\n\n");
   report::Table t({"metric", "Ice Lake SP", "Golden Cove"});

@@ -39,10 +39,14 @@ Prediction timed_predict(const std::string& id, Fn&& fn) {
 }  // namespace
 
 Block make_block(const kernels::Variant& v) {
+  return make_block(v, uarch::machine(v.target));
+}
+
+Block make_block(const kernels::Variant& v, const uarch::MachineModel& mm) {
   Block b;
   b.variant = v;
   b.gen = kernels::generate(v);
-  b.mm = &uarch::machine(v.target);
+  b.mm = &mm;
   b.text_hash = support::hex64(support::fnv1a64(b.gen.assembly));
   b.hash = support::hex64(
       support::fnv1a64(b.mm->name() + '\x01' + b.gen.assembly));

@@ -48,6 +48,12 @@ struct Block {
 /// taken from the global registry.
 [[nodiscard]] Block make_block(const kernels::Variant& v);
 
+/// Same, but binds the block to an explicitly supplied machine model
+/// (an .mdf-loaded model or what-if clone) instead of the registry's
+/// built-in for v.target.  The model must outlive the block.
+[[nodiscard]] Block make_block(const kernels::Variant& v,
+                               const uarch::MachineModel& mm);
+
 /// Builds a Block around externally supplied assembly (CLI / what-if paths
 /// that analyze user text rather than generated kernels).  The variant is
 /// synthetic; elements_per_iteration defaults to 1.

@@ -7,6 +7,7 @@
 
 #include "report/json.hpp"
 #include "support/csv.hpp"
+#include "support/error.hpp"
 #include "support/strings.hpp"
 #include "support/threadpool.hpp"
 
@@ -30,7 +31,13 @@ std::vector<kernels::Variant> filter_matrix(const SweepOptions& opt) {
   std::vector<kernels::Variant> out;
   for (const kernels::Variant& v : kernels::test_matrix()) {
     if (!keeps(opt.kernels, v.kernel)) continue;
-    if (!keeps(opt.machines, v.target)) continue;
+    if (!opt.machines.empty()) {
+      bool hit = false;
+      for (const uarch::MachineRef& m : opt.machines) {
+        hit |= m.model != nullptr && m.model->micro() == v.target;
+      }
+      if (!hit) continue;
+    }
     if (!keeps(opt.compilers, v.compiler)) continue;
     if (!keeps(opt.opt_levels, v.opt)) continue;
     out.push_back(v);
@@ -47,7 +54,8 @@ const Prediction* SweepResult::find(const SweepRow& row,
 }
 
 SweepResult sweep(const std::vector<kernels::Variant>& matrix,
-                  const std::vector<const Predictor*>& predictors, int jobs) {
+                  const std::vector<const Predictor*>& predictors, int jobs,
+                  const MachineResolver& machines) {
   SweepResult r;
   r.model_ids.reserve(predictors.size());
   for (const Predictor* p : predictors) r.model_ids.push_back(p->id());
@@ -59,7 +67,7 @@ SweepResult sweep(const std::vector<kernels::Variant>& matrix,
   std::vector<std::size_t> cell_block;  // per matrix cell -> unique block
   cell_block.reserve(matrix.size());
   for (const kernels::Variant& v : matrix) {
-    Block b = make_block(v);
+    Block b = machines ? make_block(v, machines(v.target)) : make_block(v);
     assemblies.insert(b.text_hash);
     auto [it, inserted] = block_of_hash.emplace(b.hash, r.blocks.size());
     if (inserted) r.blocks.push_back(std::move(b));
@@ -117,7 +125,28 @@ SweepResult sweep(const SweepOptions& opt) {
     owned.push_back(make_predictor(m));
     predictors.push_back(owned.back().get());
   }
-  return sweep(filter_matrix(opt), predictors, opt.jobs);
+  // Substitute the selected machines for the built-in models.  The codegen
+  // personality is keyed by the family tag, so two machines of the same
+  // family in one sweep would be ambiguous.
+  std::unordered_map<uarch::Micro, const uarch::MachineModel*> by_family;
+  for (const uarch::MachineRef& m : opt.machines) {
+    if (m.model == nullptr) continue;
+    auto [it, inserted] = by_family.emplace(m.model->micro(), m.model);
+    if (!inserted && it->second != m.model) {
+      throw support::ModelError(
+          "sweep: machines '" + std::string(it->second->name()) + "' and '" +
+          m.model->name() + "' both map to codegen family " +
+          uarch::cpu_short_name(m.model->micro()));
+    }
+  }
+  MachineResolver resolver;
+  if (!by_family.empty()) {
+    resolver = [by_family](uarch::Micro micro) -> const uarch::MachineModel& {
+      auto it = by_family.find(micro);
+      return it != by_family.end() ? *it->second : uarch::machine(micro);
+    };
+  }
+  return sweep(filter_matrix(opt), predictors, opt.jobs, resolver);
 }
 
 // ------------------------------------------------------------------- output

@@ -20,6 +20,7 @@
 
 #include "driver/predictor.hpp"
 #include "report/report.hpp"
+#include "uarch/registry.hpp"
 
 namespace incore::driver {
 
@@ -30,7 +31,12 @@ struct SweepOptions {
   std::vector<Model> models;
   // Matrix filters; an empty filter keeps every value of that axis.
   std::vector<kernels::Kernel> kernels;
-  std::vector<uarch::Micro> machines;
+  /// Machines to sweep; empty means the built-in paper trio.  A ref may
+  /// point at a built-in model, a .mdf-loaded model or a registered
+  /// what-if clone; its family tag (model->micro()) selects the codegen
+  /// personality, so at most one machine per family is allowed in a
+  /// single sweep (ModelError otherwise).
+  std::vector<uarch::MachineRef> machines;
   std::vector<kernels::Compiler> compilers;
   std::vector<kernels::OptLevel> opt_levels;
 };
@@ -71,11 +77,18 @@ struct SweepResult {
                                        std::string_view model_id) const;
 };
 
+/// Maps a variant's family tag to the machine model its blocks are built
+/// against.  The default (an empty function) uses the built-in models;
+/// sweep(SweepOptions) substitutes .mdf-loaded or what-if models here.
+using MachineResolver =
+    std::function<const uarch::MachineModel&(uarch::Micro)>;
+
 /// Core entry point: evaluates `matrix` against `predictors` (non-owning;
 /// must outlive the call) on `jobs` workers.
 [[nodiscard]] SweepResult sweep(const std::vector<kernels::Variant>& matrix,
                                 const std::vector<const Predictor*>& predictors,
-                                int jobs = 1);
+                                int jobs = 1,
+                                const MachineResolver& machines = {});
 
 /// Convenience: builds the filtered matrix and the standard model
 /// predictors from the options.

@@ -1,0 +1,40 @@
+#include "uarch/builder.hpp"
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace incore::uarch::detail {
+
+std::string port_group(const MachineModel& mm,
+                       std::initializer_list<std::string_view> ports) {
+  std::string out;
+  for (std::string_view p : ports) {
+    if (mm.port_index(p) < 0)
+      throw support::ModelError("port_group: unknown port '" + std::string(p) +
+                                "' in model " + mm.name());
+    if (!out.empty()) out += '|';
+    out += p;
+  }
+  return out;
+}
+
+std::string port_group_matching(
+    const MachineModel& mm, std::initializer_list<std::string_view> prefixes) {
+  std::string out;
+  for (std::string_view prefix : prefixes) {
+    bool matched = false;
+    for (const std::string& p : mm.ports()) {
+      if (!support::starts_with(p, prefix)) continue;
+      if (!out.empty()) out += '|';
+      out += p;
+      matched = true;
+    }
+    if (!matched)
+      throw support::ModelError("port_group_matching: no port starts with '" +
+                                std::string(prefix) + "' in model " +
+                                mm.name());
+  }
+  return out;
+}
+
+}  // namespace incore::uarch::detail

@@ -1,0 +1,47 @@
+#pragma once
+// Shared registration helpers for the hand-written machine builders.
+//
+// Every builder used to declare its own pair of F/S lambdas around
+// MachineModel::add plus a set of '|'-joined port-group string literals;
+// the four copies drifted in small ways (const char* vs std::string
+// overloads).  FormReg is the single shim, and the port_group helpers
+// derive the group strings from the model's declared port list instead of
+// repeating them by hand.
+
+#include <initializer_list>
+#include <string>
+#include <string_view>
+
+#include "uarch/model.hpp"
+
+namespace incore::uarch::detail {
+
+/// Form-registration shim: `F(form, inverse_throughput, latency, ports)`
+/// accepts literals and support::format() temporaries alike.
+class FormReg {
+ public:
+  explicit FormReg(MachineModel& mm) : mm_(&mm) {}
+  void operator()(std::string_view form, double inverse_throughput,
+                  double latency, std::string_view ports_spec) const {
+    mm_->add(form, inverse_throughput, latency, ports_spec);
+  }
+
+ private:
+  MachineModel* mm_;
+};
+
+/// '|'-joins explicit port names: port_group({"P0", "P1", "P5"}).
+/// Validates each name against the model's declared ports (throws
+/// support::ModelError), so a typo fails at build time instead of
+/// resolving to an empty mask.
+[[nodiscard]] std::string port_group(
+    const MachineModel& mm, std::initializer_list<std::string_view> ports);
+
+/// All declared ports whose name starts with one of `prefixes`, in
+/// declaration order: port_group_matching(mm, {"I", "M"}) on Neoverse V2
+/// yields "I0|I1|I2|I3|M0|M1".  Throws support::ModelError when a prefix
+/// matches nothing.
+[[nodiscard]] std::string port_group_matching(
+    const MachineModel& mm, std::initializer_list<std::string_view> prefixes);
+
+}  // namespace incore::uarch::detail

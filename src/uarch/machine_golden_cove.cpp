@@ -16,11 +16,11 @@
 //   VEC FDIV zmm: inv 16 (0.5 elem/cy), lat 14; scalar: inv 4, lat 14
 //   gather: 1/3 cache line per cycle, lat 20
 
-#include "uarch/model.hpp"
-
 #include <string>
 
 #include "support/strings.hpp"
+#include "uarch/builder.hpp"
+#include "uarch/model.hpp"
 
 namespace incore::uarch::detail {
 
@@ -41,39 +41,35 @@ MachineModel build_golden_cove() {
   r.load_queue = 192;
   r.store_queue = 114;
 
-  auto F = [&mm](const char* form, double tp, double lat, const char* ports) {
-    mm.add(form, tp, lat, ports);
-  };
-  auto S = [&mm](const std::string& form, double tp, double lat,
-                 const char* ports) { mm.add(form, tp, lat, ports); };
+  const FormReg F(mm);
 
   // ---- Integer ALU -------------------------------------------------------
-  const char* kAlu = "P0|P1|P5|P6|P10";
+  const std::string kAlu = port_group(mm, {"P0", "P1", "P5", "P6", "P10"});
   for (const char* w : {"r64", "r32"}) {
     for (const char* op : {"add", "sub", "and", "or", "xor"}) {
-      S(support::format("%s %s,%s", op, w, w), 0.2, 1, kAlu);
-      S(support::format("%s i,%s", op, w), 0.2, 1, kAlu);
+      F(support::format("%s %s,%s", op, w, w), 0.2, 1, kAlu);
+      F(support::format("%s i,%s", op, w), 0.2, 1, kAlu);
     }
     for (const char* op : {"inc", "dec", "neg", "not"}) {
-      S(support::format("%s %s", op, w), 0.2, 1, kAlu);
+      F(support::format("%s %s", op, w), 0.2, 1, kAlu);
     }
-    S(support::format("cmp %s,%s", w, w), 0.2, 1, kAlu);
-    S(support::format("cmp i,%s", w), 0.2, 1, kAlu);
-    S(support::format("test %s,%s", w, w), 0.2, 1, kAlu);
-    S(support::format("test i,%s", w), 0.2, 1, kAlu);
-    S(support::format("mov %s,%s", w, w), 0.2, 1, kAlu);  // pre-elimination
-    S(support::format("mov i,%s", w), 0.2, 1, kAlu);
+    F(support::format("cmp %s,%s", w, w), 0.2, 1, kAlu);
+    F(support::format("cmp i,%s", w), 0.2, 1, kAlu);
+    F(support::format("test %s,%s", w, w), 0.2, 1, kAlu);
+    F(support::format("test i,%s", w), 0.2, 1, kAlu);
+    F(support::format("mov %s,%s", w, w), 0.2, 1, kAlu);  // pre-elimination
+    F(support::format("mov i,%s", w), 0.2, 1, kAlu);
     for (const char* op : {"shl", "sal", "shr", "sar"}) {
-      S(support::format("%s i,%s", op, w), 0.5, 1, "P0|P6");
-      S(support::format("%s %s", op, w), 0.5, 1, "P0|P6");
+      F(support::format("%s i,%s", op, w), 0.5, 1, "P0|P6");
+      F(support::format("%s %s", op, w), 0.5, 1, "P0|P6");
     }
-    S(support::format("imul %s,%s", w, w), 1.0, 3, "P1");
-    S(support::format("imul i,%s,%s", w, w), 1.0, 3, "P1");
-    S(support::format("lea m64,%s", w), 0.5, 1, "P1|P5");
-    S(support::format("cmove %s,%s", w, w), 0.5, 1, "P0|P6");
-    S(support::format("cmovne %s,%s", w, w), 0.5, 1, "P0|P6");
-    S(support::format("cmovl %s,%s", w, w), 0.5, 1, "P0|P6");
-    S(support::format("cmovg %s,%s", w, w), 0.5, 1, "P0|P6");
+    F(support::format("imul %s,%s", w, w), 1.0, 3, "P1");
+    F(support::format("imul i,%s,%s", w, w), 1.0, 3, "P1");
+    F(support::format("lea m64,%s", w), 0.5, 1, "P1|P5");
+    F(support::format("cmove %s,%s", w, w), 0.5, 1, "P0|P6");
+    F(support::format("cmovne %s,%s", w, w), 0.5, 1, "P0|P6");
+    F(support::format("cmovl %s,%s", w, w), 0.5, 1, "P0|P6");
+    F(support::format("cmovg %s,%s", w, w), 0.5, 1, "P0|P6");
   }
   F("movslq r32,r64", 0.2, 1, kAlu);
   F("movzbl m8,r32", 0.5, 5, "P2|P3|P11");
@@ -82,29 +78,29 @@ MachineModel build_golden_cove() {
   // ---- Branches ----------------------------------------------------------
   for (const char* b : {"jmp", "je", "jne", "jz", "jnz", "jg", "jge", "jl",
                         "jle", "ja", "jae", "jb", "jbe", "js", "jns"}) {
-    S(support::format("%s l", b), 0.5, 1, "P6|P0");
+    F(support::format("%s l", b), 0.5, 1, "P6|P0");
   }
   F("call l", 1.0, 2, "P6;P4|P9;P7|P8");
   F("ret", 1.0, 2, "P6;P2|P3|P11");
 
   // ---- Loads -------------------------------------------------------------
-  const char* kLd = "P2|P3|P11";   // <=256-bit loads: 3/cy
-  const char* kLd512 = "P2|P3";    // 512-bit loads: 2/cy
+  const std::string kLd = port_group(mm, {"P2", "P3", "P11"});  // <=256-bit loads: 3/cy
+  const std::string kLd512 = port_group(mm, {"P2", "P3"});     // 512-bit loads: 2/cy
   F("mov m64,r64", 1.0 / 3, 5, kLd);
   F("mov m32,r32", 1.0 / 3, 5, kLd);
   F("movslq m32,r64", 1.0 / 3, 5, kLd);
   for (const char* m : {"vmovupd", "vmovapd", "vmovups", "vmovaps", "vmovdqu",
                         "vmovdqa", "vmovdqu64", "vmovdqa64"}) {
-    S(support::format("%s m512,v512", m), 0.5, 7, kLd512);
-    S(support::format("%s m256,v256", m), 1.0 / 3, 7, kLd);
-    S(support::format("%s m128,v128", m), 1.0 / 3, 7, kLd);
+    F(support::format("%s m512,v512", m), 0.5, 7, kLd512);
+    F(support::format("%s m256,v256", m), 1.0 / 3, 7, kLd);
+    F(support::format("%s m128,v128", m), 1.0 / 3, 7, kLd);
   }
   for (const char* m : {"movupd", "movapd", "movsd", "vmovsd", "movss",
                         "vmovss"}) {
     int w = (std::string(m).find("sd") != std::string::npos) ? 64
             : (std::string(m).find("ss") != std::string::npos) ? 32
                                                                : 128;
-    S(support::format("%s m%d,v128", m, w), 1.0 / 3, 7, kLd);
+    F(support::format("%s m%d,v128", m, w), 1.0 / 3, 7, kLd);
   }
   F("vbroadcastsd m64,v512", 0.5, 8, kLd512);
   F("vbroadcastsd m64,v256", 1.0 / 3, 8, kLd);
@@ -127,8 +123,8 @@ MachineModel build_golden_cove() {
 
   // ---- Stores ------------------------------------------------------------
   // Store = data micro-op + address micro-op.
-  const char* kStD = "P4|P9";
-  const char* kStA = "P7|P8";
+  const std::string kStD = port_group(mm, {"P4", "P9"});
+  const std::string kStA = port_group(mm, {"P7", "P8"});
   const std::string std_ports = std::string(kStD) + ";" + kStA;
   const std::string st512_ports = std::string("P4;P9;") + kStA;
   F("mov r64,m64", 0.5, 1, std_ports.c_str());
@@ -137,9 +133,9 @@ MachineModel build_golden_cove() {
   F("mov i,m32", 0.5, 1, std_ports.c_str());
   for (const char* m : {"vmovupd", "vmovapd", "vmovups", "vmovaps", "vmovdqu",
                         "vmovdqa64"}) {
-    S(support::format("%s v512,m512", m), 1.0, 1, st512_ports.c_str());
-    S(support::format("%s v256,m256", m), 0.5, 1, std_ports.c_str());
-    S(support::format("%s v128,m128", m), 0.5, 1, std_ports.c_str());
+    F(support::format("%s v512,m512", m), 1.0, 1, st512_ports.c_str());
+    F(support::format("%s v256,m256", m), 0.5, 1, std_ports.c_str());
+    F(support::format("%s v128,m128", m), 0.5, 1, std_ports.c_str());
   }
   F("movupd v128,m128", 0.5, 1, std_ports.c_str());
   F("movapd v128,m128", 0.5, 1, std_ports.c_str());
@@ -162,20 +158,20 @@ MachineModel build_golden_cove() {
   const Widths add_w[] = {{"v512", "P0|P5"}, {"v256", "P1|P5"}, {"v128", "P1|P5"}};
   for (const auto& [wreg, ports] : add_w) {
     for (const char* op : {"vaddpd", "vsubpd", "vaddps", "vsubps"}) {
-      S(support::format("%s %s,%s,%s", op, wreg, wreg, wreg), 0.5, 2, ports);
+      F(support::format("%s %s,%s,%s", op, wreg, wreg, wreg), 0.5, 2, ports);
     }
     for (const char* op : {"vmaxpd", "vminpd"}) {
-      S(support::format("%s %s,%s,%s", op, wreg, wreg, wreg), 0.5, 2, ports);
+      F(support::format("%s %s,%s,%s", op, wreg, wreg, wreg), 0.5, 2, ports);
     }
   }
   const Widths mul_w[] = {{"v512", "P0|P5"}, {"v256", "P0|P5"}, {"v128", "P0|P5"}};
   for (const auto& [wreg, ports] : mul_w) {
     for (const char* op : {"vmulpd", "vmulps"}) {
-      S(support::format("%s %s,%s,%s", op, wreg, wreg, wreg), 0.5, 4, ports);
+      F(support::format("%s %s,%s,%s", op, wreg, wreg, wreg), 0.5, 4, ports);
     }
     for (const char* fam : {"vfmadd", "vfmsub", "vfnmadd", "vfnmsub"}) {
       for (const char* v : {"132", "213", "231"}) {
-        S(support::format("%s%spd %s,%s,%s", fam, v, wreg, wreg, wreg), 0.5, 4,
+        F(support::format("%s%spd %s,%s,%s", fam, v, wreg, wreg, wreg), 0.5, 4,
           ports);
       }
     }
@@ -184,19 +180,19 @@ MachineModel build_golden_cove() {
   for (const char* op : {"addsd", "vaddsd", "subsd", "vsubsd", "addss",
                          "vaddss", "maxsd", "vmaxsd", "minsd", "vminsd"}) {
     bool three_op = op[0] == 'v';
-    S(three_op ? support::format("%s v128,v128,v128", op)
+    F(three_op ? support::format("%s v128,v128,v128", op)
                : support::format("%s v128,v128", op),
       0.5, 2, "P1|P5");
   }
   for (const char* op : {"mulsd", "vmulsd", "mulss", "vmulss"}) {
     bool three_op = op[0] == 'v';
-    S(three_op ? support::format("%s v128,v128,v128", op)
+    F(three_op ? support::format("%s v128,v128,v128", op)
                : support::format("%s v128,v128", op),
       0.5, 4, "P0|P5");
   }
   for (const char* fam : {"vfmadd", "vfmsub", "vfnmadd", "vfnmsub"}) {
     for (const char* v : {"132", "213", "231"}) {
-      S(support::format("%s%ssd v128,v128,v128", fam, v), 0.5, 5, "P0|P5");
+      F(support::format("%s%ssd v128,v128,v128", fam, v), 0.5, 5, "P0|P5");
     }
   }
   // Divide / sqrt: one divider unit behind P0 (non-pipelined).
@@ -215,13 +211,13 @@ MachineModel build_golden_cove() {
   // Bitwise / blend / moves.
   for (const auto& [wreg, ports] : add_w) {
     for (const char* op : {"vxorpd", "vandpd", "vorpd", "vxorps", "vandps"}) {
-      S(support::format("%s %s,%s,%s", op, wreg, wreg, wreg), 1.0 / 3, 1,
+      F(support::format("%s %s,%s,%s", op, wreg, wreg, wreg), 1.0 / 3, 1,
         "P0|P1|P5");
     }
-    S(support::format("vblendvpd %s,%s,%s,%s", wreg, wreg, wreg, wreg), 0.5, 3,
+    F(support::format("vblendvpd %s,%s,%s,%s", wreg, wreg, wreg, wreg), 0.5, 3,
       "P0|P1|P5");
-    S(support::format("vmovapd %s,%s", wreg, wreg), 1.0 / 3, 1, "P0|P1|P5");
-    S(support::format("vmovupd %s,%s", wreg, wreg), 1.0 / 3, 1, "P0|P1|P5");
+    F(support::format("vmovapd %s,%s", wreg, wreg), 1.0 / 3, 1, "P0|P1|P5");
+    F(support::format("vmovupd %s,%s", wreg, wreg), 1.0 / 3, 1, "P0|P1|P5");
   }
   F("xorpd v128,v128", 1.0 / 3, 1, "P0|P1|P5");
   F("movapd v128,v128", 1.0 / 3, 1, "P0|P1|P5");
@@ -268,27 +264,27 @@ MachineModel build_golden_cove() {
     double tp = zmm ? 0.5 : 1.0 / 3.0;
     for (const char* op : {"vpaddd", "vpaddq", "vpsubd", "vpsubq", "vpminsd",
                            "vpmaxsd", "vpabsd"}) {
-      S(support::format("%s %s,%s,%s", op, wreg, wreg, wreg), tp, 1, ports);
+      F(support::format("%s %s,%s,%s", op, wreg, wreg, wreg), tp, 1, ports);
     }
     for (const char* op : {"vpand", "vpor", "vpxor", "vpandq", "vporq",
                            "vpxorq", "vpandn"}) {
-      S(support::format("%s %s,%s,%s", op, wreg, wreg, wreg), tp, 1, ports);
+      F(support::format("%s %s,%s,%s", op, wreg, wreg, wreg), tp, 1, ports);
     }
-    S(support::format("vpmulld %s,%s,%s", wreg, wreg, wreg), 2.0, 10,
+    F(support::format("vpmulld %s,%s,%s", wreg, wreg, wreg), 2.0, 10,
       zmm ? "2xP0" : "2xP0|P1");
-    S(support::format("vpmullq %s,%s,%s", wreg, wreg, wreg), 3.0, 15,
+    F(support::format("vpmullq %s,%s,%s", wreg, wreg, wreg), 3.0, 15,
       zmm ? "3xP0" : "3xP0|P1");
     for (const char* op : {"vpsllq", "vpsrlq", "vpslld", "vpsrld"}) {
-      S(support::format("%s i,%s,%s", op, wreg, wreg), 0.5, 1,
+      F(support::format("%s i,%s,%s", op, wreg, wreg), 0.5, 1,
         zmm ? "P0|P5" : "P0|P1");
     }
     // Merge-masked arithmetic: same pipes, the mask is read alongside.
     for (const char* op : {"vaddpd", "vmulpd", "vfmadd231pd"}) {
-      S(support::format("%s %s,%s,%s,k", op, wreg, wreg, wreg), 0.5,
+      F(support::format("%s %s,%s,%s,k", op, wreg, wreg, wreg), 0.5,
         std::string(op) == "vaddpd" ? 2 : 4, zmm ? "P0|P5" : "P0|P5");
     }
-    S(support::format("vmovupd %s,%s,k", wreg, wreg), 0.5, 1, "P0|P5");
-    S(support::format("vpbroadcastd %s,%s", "v128", wreg), 1.0, 3, "P5");
+    F(support::format("vmovupd %s,%s,k", wreg, wreg), 0.5, 1, "P0|P5");
+    F(support::format("vpbroadcastd %s,%s", "v128", wreg), 1.0, 3, "P5");
   }
   // Masked loads/stores.
   F("vmovupd m512,v512,k", 0.5, 8, kLd512);
@@ -311,16 +307,16 @@ MachineModel build_golden_cove() {
   F("vshuff64x2 i,v512,v512,v512", 1.0, 3, "P5");
   // Integer scalar odds and ends.
   for (const char* w : {"r64", "r32"}) {
-    S(support::format("popcnt %s,%s", w, w), 1.0, 3, "P1");
-    S(support::format("lzcnt %s,%s", w, w), 1.0, 3, "P1");
-    S(support::format("tzcnt %s,%s", w, w), 1.0, 3, "P1");
-    S(support::format("bswap %s", w), 0.5, 1, "P0|P1");
-    S(support::format("adc %s,%s", w, w), 0.5, 1, "P0|P6");
-    S(support::format("sbb %s,%s", w, w), 0.5, 1, "P0|P6");
-    S(support::format("rol i,%s", w), 0.5, 1, "P0|P6");
-    S(support::format("ror i,%s", w), 0.5, 1, "P0|P6");
-    S(support::format("sete %s", w), 0.5, 1, "P0|P6");
-    S(support::format("setne %s", w), 0.5, 1, "P0|P6");
+    F(support::format("popcnt %s,%s", w, w), 1.0, 3, "P1");
+    F(support::format("lzcnt %s,%s", w, w), 1.0, 3, "P1");
+    F(support::format("tzcnt %s,%s", w, w), 1.0, 3, "P1");
+    F(support::format("bswap %s", w), 0.5, 1, "P0|P1");
+    F(support::format("adc %s,%s", w, w), 0.5, 1, "P0|P6");
+    F(support::format("sbb %s,%s", w, w), 0.5, 1, "P0|P6");
+    F(support::format("rol i,%s", w), 0.5, 1, "P0|P6");
+    F(support::format("ror i,%s", w), 0.5, 1, "P0|P6");
+    F(support::format("sete %s", w), 0.5, 1, "P0|P6");
+    F(support::format("setne %s", w), 0.5, 1, "P0|P6");
   }
   F("div r64", 21.0, 21, "21xP1");  // integer divide, non-pipelined
   F("idiv r64", 21.0, 21, "21xP1");

@@ -7,18 +7,19 @@
 //
 // The port layout is the 10-port Sunny Cove arrangement; only the forms
 // needed by the comparison benches and the kernel suite are modeled.
-// Ice Lake SP is *not* part of the paper's testbed trio, so this model is
-// exposed through its own accessor rather than the Micro enum; its
-// CoreResources use Sunny Cove sizes.
-
-#include "uarch/model.hpp"
+// Ice Lake SP is *not* part of the paper's testbed trio; it is registered
+// in the MachineRegistry under the name "icelake" and its CoreResources
+// use Sunny Cove sizes.
 
 #include <string>
 
 #include "support/strings.hpp"
+#include "uarch/builder.hpp"
+#include "uarch/model.hpp"
+#include "uarch/registry.hpp"
 
 namespace incore::uarch {
-namespace {
+namespace detail {
 
 MachineModel build_ice_lake_sp() {
   // Reuses the Golden Cove micro tag (same ISA family and vendor); the
@@ -39,43 +40,39 @@ MachineModel build_ice_lake_sp() {
   r.load_queue = 128;
   r.store_queue = 72;
 
-  auto F = [&mm](const char* form, double tp, double lat, const char* ports) {
-    mm.add(form, tp, lat, ports);
-  };
-  auto S = [&mm](const std::string& form, double tp, double lat,
-                 const char* ports) { mm.add(form, tp, lat, ports); };
+  const FormReg F(mm);
 
-  const char* kAlu = "P0|P1|P5|P6";
+  const std::string kAlu = port_group(mm, {"P0", "P1", "P5", "P6"});
   for (const char* w : {"r64", "r32"}) {
     for (const char* op : {"add", "sub", "and", "or", "xor"}) {
-      S(support::format("%s %s,%s", op, w, w), 0.25, 1, kAlu);
-      S(support::format("%s i,%s", op, w), 0.25, 1, kAlu);
+      F(support::format("%s %s,%s", op, w, w), 0.25, 1, kAlu);
+      F(support::format("%s i,%s", op, w), 0.25, 1, kAlu);
     }
     for (const char* op : {"inc", "dec", "neg", "not"}) {
-      S(support::format("%s %s", op, w), 0.25, 1, kAlu);
+      F(support::format("%s %s", op, w), 0.25, 1, kAlu);
     }
-    S(support::format("cmp %s,%s", w, w), 0.25, 1, kAlu);
-    S(support::format("cmp i,%s", w), 0.25, 1, kAlu);
-    S(support::format("test %s,%s", w, w), 0.25, 1, kAlu);
-    S(support::format("mov %s,%s", w, w), 0.25, 1, kAlu);
-    S(support::format("mov i,%s", w), 0.25, 1, kAlu);
-    S(support::format("imul %s,%s", w, w), 1.0, 3, "P1");
-    S(support::format("lea m64,%s", w), 0.5, 1, "P1|P5");
+    F(support::format("cmp %s,%s", w, w), 0.25, 1, kAlu);
+    F(support::format("cmp i,%s", w), 0.25, 1, kAlu);
+    F(support::format("test %s,%s", w, w), 0.25, 1, kAlu);
+    F(support::format("mov %s,%s", w, w), 0.25, 1, kAlu);
+    F(support::format("mov i,%s", w), 0.25, 1, kAlu);
+    F(support::format("imul %s,%s", w, w), 1.0, 3, "P1");
+    F(support::format("lea m64,%s", w), 0.5, 1, "P1|P5");
   }
   F("nop", 0.2, 0, "");
   for (const char* b : {"jmp", "je", "jne", "jz", "jnz", "jg", "jge", "jl",
                         "jle", "ja", "jae", "jb", "jbe"}) {
-    S(support::format("%s l", b), 0.5, 1, "P6|P0");
+    F(support::format("%s l", b), 0.5, 1, "P6|P0");
   }
 
   // Loads: 2/cy (P2/P3); stores: one 512-bit store data port (P4) + AGUs.
-  const char* kLd = "P2|P3";
+  const std::string kLd = port_group(mm, {"P2", "P3"});
   F("mov m64,r64", 0.5, 5, kLd);
   F("mov m32,r32", 0.5, 5, kLd);
   for (const char* m : {"vmovupd", "vmovapd"}) {
-    S(support::format("%s m512,v512", m), 0.5, 7, kLd);
-    S(support::format("%s m256,v256", m), 0.5, 7, kLd);
-    S(support::format("%s m128,v128", m), 0.5, 7, kLd);
+    F(support::format("%s m512,v512", m), 0.5, 7, kLd);
+    F(support::format("%s m256,v256", m), 0.5, 7, kLd);
+    F(support::format("%s m128,v128", m), 0.5, 7, kLd);
   }
   F("vmovsd m64,v128", 0.5, 7, kLd);
   F("_load.m32", 0.5, 5, kLd);
@@ -86,9 +83,9 @@ MachineModel build_ice_lake_sp() {
   F("mov r64,m64", 1.0, 1, "P4;P7|P8");
   F("mov r32,m32", 1.0, 1, "P4;P7|P8");
   for (const char* m : {"vmovupd", "vmovapd"}) {
-    S(support::format("%s v512,m512", m), 1.0, 1, "P4;P7|P8");
-    S(support::format("%s v256,m256", m), 1.0, 1, "P4;P7|P8");
-    S(support::format("%s v128,m128", m), 1.0, 1, "P4;P7|P8");
+    F(support::format("%s v512,m512", m), 1.0, 1, "P4;P7|P8");
+    F(support::format("%s v256,m256", m), 1.0, 1, "P4;P7|P8");
+    F(support::format("%s v128,m128", m), 1.0, 1, "P4;P7|P8");
   }
   F("vmovsd v128,m64", 1.0, 1, "P4;P7|P8");
   F("vmovntpd v512,m512", 1.0, 1, "P4;P7|P8");
@@ -102,29 +99,29 @@ MachineModel build_ice_lake_sp() {
   // Sunny Cove has no dedicated FP adder: ADD latency 4 (the paper's point).
   for (const char* wreg : {"v512", "v256", "v128"}) {
     for (const char* op : {"vaddpd", "vsubpd", "vmulpd", "vmaxpd", "vminpd"}) {
-      S(support::format("%s %s,%s,%s", op, wreg, wreg, wreg), 0.5, 4,
+      F(support::format("%s %s,%s,%s", op, wreg, wreg, wreg), 0.5, 4,
         "P0|P5");
     }
     for (const char* fam : {"vfmadd", "vfmsub", "vfnmadd"}) {
       for (const char* v : {"132", "213", "231"}) {
-        S(support::format("%s%spd %s,%s,%s", fam, v, wreg, wreg, wreg), 0.5,
+        F(support::format("%s%spd %s,%s,%s", fam, v, wreg, wreg, wreg), 0.5,
           4, "P0|P5");
       }
     }
-    S(support::format("vxorpd %s,%s,%s", wreg, wreg, wreg), 0.5, 1, "P0|P5");
-    S(support::format("vmovapd %s,%s", wreg, wreg), 0.5, 1, "P0|P5");
-    S(support::format("vmovupd %s,%s", wreg, wreg), 0.5, 1, "P0|P5");
+    F(support::format("vxorpd %s,%s,%s", wreg, wreg, wreg), 0.5, 1, "P0|P5");
+    F(support::format("vmovapd %s,%s", wreg, wreg), 0.5, 1, "P0|P5");
+    F(support::format("vmovupd %s,%s", wreg, wreg), 0.5, 1, "P0|P5");
   }
   for (const char* op : {"addsd", "vaddsd", "subsd", "vsubsd", "mulsd",
                          "vmulsd"}) {
     bool three_op = op[0] == 'v';
-    S(three_op ? support::format("%s v128,v128,v128", op)
+    F(three_op ? support::format("%s v128,v128,v128", op)
                : support::format("%s v128,v128", op),
       0.5, 4, "P0|P5");
   }
   for (const char* fam : {"vfmadd", "vfmsub", "vfnmadd"}) {
     for (const char* v : {"132", "213", "231"}) {
-      S(support::format("%s%ssd v128,v128,v128", fam, v), 0.5, 4, "P0|P5");
+      F(support::format("%s%ssd v128,v128,v128", fam, v), 0.5, 4, "P0|P5");
     }
   }
   F("vdivpd v512,v512,v512", 16.0, 15, "16xP0");
@@ -137,15 +134,11 @@ MachineModel build_ice_lake_sp() {
   return mm;
 }
 
-}  // namespace
+}  // namespace detail
 
 const MachineModel& ice_lake_sp() {
-  static const MachineModel mm = [] {
-    MachineModel m = build_ice_lake_sp();
-    m.validate();
-    return m;
-  }();
-  return mm;
+  // Built, validated and cached by the registry like every other machine.
+  return *resolve_machine("icelake").model;
 }
 
 }  // namespace incore::uarch

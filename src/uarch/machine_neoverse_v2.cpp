@@ -16,11 +16,11 @@
 //   VEC FDIV: 0.4 elem/cy (inv 5),  lat 5;  scalar FDIV: inv 2.5, lat 12
 //   gather:  1/4 cache line per cycle, lat 9
 
-#include "uarch/model.hpp"
-
 #include <string>
 
 #include "support/strings.hpp"
+#include "uarch/builder.hpp"
+#include "uarch/model.hpp"
 
 namespace incore::uarch::detail {
 
@@ -41,13 +41,11 @@ MachineModel build_neoverse_v2() {
   r.load_queue = 96;
   r.store_queue = 64;
 
-  auto F = [&mm](const char* form, double tp, double lat, const char* ports) {
-    mm.add(form, tp, lat, ports);
-  };
+  const FormReg F(mm);
 
   // ---- Integer ALU -------------------------------------------------------
-  const char* kAluAll = "I0|I1|I2|I3|M0|M1";  // 6 integer units
-  const char* kAluM = "M0|M1";
+  const std::string kAluAll = port_group_matching(mm, {"I", "M"});  // 6 int units
+  const std::string kAluM = port_group_matching(mm, {"M"});
   for (const char* w : {"r64", "r32"}) {
     for (const char* op : {"add", "sub", "and", "orr", "eor", "bic", "orn",
                            "eon", "neg", "mvn"}) {
@@ -93,7 +91,7 @@ MachineModel build_neoverse_v2() {
   F("nop", 0.125, 0, "");
 
   // ---- Branches ----------------------------------------------------------
-  const char* kBr = "B0|B1";
+  const std::string kBr = port_group_matching(mm, {"B"});
   F("b l", 0.5, 1, kBr);
   F("b", 0.5, 1, kBr);  // mnemonic fallback for "b.<cond>" is separate below
   F("ret", 0.5, 1, kBr);
@@ -112,7 +110,7 @@ MachineModel build_neoverse_v2() {
   }
 
   // ---- Loads -------------------------------------------------------------
-  const char* kLd = "LD0|LD1|LD2";
+  const std::string kLd = port_group_matching(mm, {"LD"});
   // Integer loads: 4-cycle L1 latency, 3/cy.
   F("ldr r64,m64", 1.0 / 3, 4, kLd);
   F("ldr r32,m32", 1.0 / 3, 4, kLd);
@@ -149,7 +147,7 @@ MachineModel build_neoverse_v2() {
   F("prfm l,m64", 1.0 / 3, 0, kLd);
 
   // ---- Stores ------------------------------------------------------------
-  const char* kSt = "ST0|ST1";
+  const std::string kSt = port_group_matching(mm, {"ST"});
   F("str r64,m64", 0.5, 1, kSt);
   F("str r32,m32", 0.5, 1, kSt);
   F("stp r64,r64,m128", 0.5, 1, kSt);
@@ -171,7 +169,7 @@ MachineModel build_neoverse_v2() {
   F("_store.m256", 1.0, 1, "2xST0|ST1");
 
   // ---- FP / ASIMD / SVE --------------------------------------------------
-  const char* kV = "V0|V1|V2|V3";
+  const std::string kV = port_group_matching(mm, {"V"});
   // Latencies per Table III: ADD 2, MUL 3, FMA 4.
   for (const char* w : {"v128", "v64", "v32"}) {
     for (const char* op : {"fadd", "fsub", "fmax", "fmin", "fmaxnm", "fminnm",

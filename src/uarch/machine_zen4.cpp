@@ -16,11 +16,11 @@
 //   VEC FDIV ymm: inv 5 (0.8 elem/cy), lat 13; scalar: inv 5, lat 13
 //   gather: 1/8 cache line per cycle, lat 13
 
-#include "uarch/model.hpp"
-
 #include <string>
 
 #include "support/strings.hpp"
+#include "uarch/builder.hpp"
+#include "uarch/model.hpp"
 
 namespace incore::uarch::detail {
 
@@ -41,39 +41,35 @@ MachineModel build_zen4() {
   r.load_queue = 88;
   r.store_queue = 64;
 
-  auto F = [&mm](const char* form, double tp, double lat, const char* ports) {
-    mm.add(form, tp, lat, ports);
-  };
-  auto S = [&mm](const std::string& form, double tp, double lat,
-                 const char* ports) { mm.add(form, tp, lat, ports); };
+  const FormReg F(mm);
 
   // ---- Integer ALU -------------------------------------------------------
-  const char* kAlu = "ALU0|ALU1|ALU2|ALU3";
+  const std::string kAlu = port_group_matching(mm, {"ALU"});
   for (const char* w : {"r64", "r32"}) {
     for (const char* op : {"add", "sub", "and", "or", "xor"}) {
-      S(support::format("%s %s,%s", op, w, w), 0.25, 1, kAlu);
-      S(support::format("%s i,%s", op, w), 0.25, 1, kAlu);
+      F(support::format("%s %s,%s", op, w, w), 0.25, 1, kAlu);
+      F(support::format("%s i,%s", op, w), 0.25, 1, kAlu);
     }
     for (const char* op : {"inc", "dec", "neg", "not"}) {
-      S(support::format("%s %s", op, w), 0.25, 1, kAlu);
+      F(support::format("%s %s", op, w), 0.25, 1, kAlu);
     }
-    S(support::format("cmp %s,%s", w, w), 0.25, 1, kAlu);
-    S(support::format("cmp i,%s", w), 0.25, 1, kAlu);
-    S(support::format("test %s,%s", w, w), 0.25, 1, kAlu);
-    S(support::format("test i,%s", w), 0.25, 1, kAlu);
-    S(support::format("mov %s,%s", w, w), 0.25, 1, kAlu);  // pre-elimination
-    S(support::format("mov i,%s", w), 0.25, 1, kAlu);
+    F(support::format("cmp %s,%s", w, w), 0.25, 1, kAlu);
+    F(support::format("cmp i,%s", w), 0.25, 1, kAlu);
+    F(support::format("test %s,%s", w, w), 0.25, 1, kAlu);
+    F(support::format("test i,%s", w), 0.25, 1, kAlu);
+    F(support::format("mov %s,%s", w, w), 0.25, 1, kAlu);  // pre-elimination
+    F(support::format("mov i,%s", w), 0.25, 1, kAlu);
     for (const char* op : {"shl", "sal", "shr", "sar"}) {
-      S(support::format("%s i,%s", op, w), 0.5, 1, "ALU1|ALU2");
-      S(support::format("%s %s", op, w), 0.5, 1, "ALU1|ALU2");
+      F(support::format("%s i,%s", op, w), 0.5, 1, "ALU1|ALU2");
+      F(support::format("%s %s", op, w), 0.5, 1, "ALU1|ALU2");
     }
-    S(support::format("imul %s,%s", w, w), 1.0, 3, "ALU1");
-    S(support::format("imul i,%s,%s", w, w), 1.0, 3, "ALU1");
-    S(support::format("lea m64,%s", w), 0.25, 1, kAlu);
-    S(support::format("cmove %s,%s", w, w), 0.25, 1, kAlu);
-    S(support::format("cmovne %s,%s", w, w), 0.25, 1, kAlu);
-    S(support::format("cmovl %s,%s", w, w), 0.25, 1, kAlu);
-    S(support::format("cmovg %s,%s", w, w), 0.25, 1, kAlu);
+    F(support::format("imul %s,%s", w, w), 1.0, 3, "ALU1");
+    F(support::format("imul i,%s,%s", w, w), 1.0, 3, "ALU1");
+    F(support::format("lea m64,%s", w), 0.25, 1, kAlu);
+    F(support::format("cmove %s,%s", w, w), 0.25, 1, kAlu);
+    F(support::format("cmovne %s,%s", w, w), 0.25, 1, kAlu);
+    F(support::format("cmovl %s,%s", w, w), 0.25, 1, kAlu);
+    F(support::format("cmovg %s,%s", w, w), 0.25, 1, kAlu);
   }
   F("movslq r32,r64", 0.25, 1, kAlu);
   F("nop", 0.125, 0, "");
@@ -81,29 +77,29 @@ MachineModel build_zen4() {
   // ---- Branches ----------------------------------------------------------
   for (const char* b : {"jmp", "je", "jne", "jz", "jnz", "jg", "jge", "jl",
                         "jle", "ja", "jae", "jb", "jbe", "js", "jns"}) {
-    S(support::format("%s l", b), 0.5, 1, "ALU0|ALU1");
+    F(support::format("%s l", b), 0.5, 1, "ALU0|ALU1");
   }
   F("call l", 1.0, 2, "ALU0|ALU1;FST0|FST1;AGU2");
   F("ret", 1.0, 2, "ALU0|ALU1;AGU0|AGU1");
 
   // ---- Loads -------------------------------------------------------------
-  const char* kLd = "AGU0|AGU1";
+  const std::string kLd = port_group(mm, {"AGU0", "AGU1"});
   F("mov m64,r64", 0.5, 4, kLd);
   F("mov m32,r32", 0.5, 4, kLd);
   F("movslq m32,r64", 0.5, 4, kLd);
   F("movzbl m8,r32", 0.5, 4, kLd);
   for (const char* m : {"vmovupd", "vmovapd", "vmovups", "vmovaps", "vmovdqu",
                         "vmovdqa", "vmovdqu64", "vmovdqa64"}) {
-    S(support::format("%s m512,v512", m), 1.0, 7, "2xAGU0|AGU1");
-    S(support::format("%s m256,v256", m), 0.5, 7, kLd);
-    S(support::format("%s m128,v128", m), 0.5, 7, kLd);
+    F(support::format("%s m512,v512", m), 1.0, 7, "2xAGU0|AGU1");
+    F(support::format("%s m256,v256", m), 0.5, 7, kLd);
+    F(support::format("%s m128,v128", m), 0.5, 7, kLd);
   }
   for (const char* m : {"movupd", "movapd", "movsd", "vmovsd", "movss",
                         "vmovss"}) {
     int w = (std::string(m).find("sd") != std::string::npos) ? 64
             : (std::string(m).find("ss") != std::string::npos) ? 32
                                                                : 128;
-    S(support::format("%s m%d,v128", m, w), 0.5, 7, kLd);
+    F(support::format("%s m%d,v128", m, w), 0.5, 7, kLd);
   }
   F("vbroadcastsd m64,v512", 1.0, 8, "2xAGU0|AGU1");
   F("vbroadcastsd m64,v256", 0.5, 8, kLd);
@@ -132,9 +128,9 @@ MachineModel build_zen4() {
   F("mov i,m32", 1.0, 1, "FST0|FST1;AGU2");
   for (const char* m : {"vmovupd", "vmovapd", "vmovups", "vmovaps",
                         "vmovdqu64"}) {
-    S(support::format("%s v512,m512", m), 2.0, 1, "2xFST0;2xFST1;2xAGU2");
-    S(support::format("%s v256,m256", m), 1.0, 1, "FST0;FST1;AGU2");
-    S(support::format("%s v128,m128", m), 1.0, 1, "FST0|FST1;AGU2");
+    F(support::format("%s v512,m512", m), 2.0, 1, "2xFST0;2xFST1;2xAGU2");
+    F(support::format("%s v256,m256", m), 1.0, 1, "FST0;FST1;AGU2");
+    F(support::format("%s v128,m128", m), 1.0, 1, "FST0|FST1;AGU2");
   }
   F("movupd v128,m128", 1.0, 1, "FST0|FST1;AGU2");
   F("movapd v128,m128", 1.0, 1, "FST0|FST1;AGU2");
@@ -153,50 +149,50 @@ MachineModel build_zen4() {
 
   // ---- FP / vector arithmetic -------------------------------------------
   // FADD on FP2/FP3 (lat 3), FMUL/FMA on FP0/FP1 (lat 3/4).
-  const char* kFAdd = "FP2|FP3";
-  const char* kFMul = "FP0|FP1";
+  const std::string kFAdd = port_group(mm, {"FP2", "FP3"});
+  const std::string kFMul = port_group(mm, {"FP0", "FP1"});
   for (const char* wreg : {"v256", "v128"}) {
     for (const char* op : {"vaddpd", "vsubpd", "vaddps", "vsubps", "vmaxpd",
                            "vminpd"}) {
-      S(support::format("%s %s,%s,%s", op, wreg, wreg, wreg), 0.5, 3, kFAdd);
+      F(support::format("%s %s,%s,%s", op, wreg, wreg, wreg), 0.5, 3, kFAdd);
     }
     for (const char* op : {"vmulpd", "vmulps"}) {
-      S(support::format("%s %s,%s,%s", op, wreg, wreg, wreg), 0.5, 3, kFMul);
+      F(support::format("%s %s,%s,%s", op, wreg, wreg, wreg), 0.5, 3, kFMul);
     }
     for (const char* fam : {"vfmadd", "vfmsub", "vfnmadd", "vfnmsub"}) {
       for (const char* v : {"132", "213", "231"}) {
-        S(support::format("%s%spd %s,%s,%s", fam, v, wreg, wreg, wreg), 0.5, 4,
+        F(support::format("%s%spd %s,%s,%s", fam, v, wreg, wreg, wreg), 0.5, 4,
           kFMul);
       }
     }
   }
   // 512-bit forms: double-pumped (2 micro-ops, inv throughput 1).
   for (const char* op : {"vaddpd", "vsubpd", "vmaxpd", "vminpd"}) {
-    S(support::format("%s v512,v512,v512", op), 1.0, 3, "2xFP2|FP3");
+    F(support::format("%s v512,v512,v512", op), 1.0, 3, "2xFP2|FP3");
   }
   F("vmulpd v512,v512,v512", 1.0, 3, "2xFP0|FP1");
   for (const char* fam : {"vfmadd", "vfmsub", "vfnmadd", "vfnmsub"}) {
     for (const char* v : {"132", "213", "231"}) {
-      S(support::format("%s%spd v512,v512,v512", fam, v), 1.0, 4, "2xFP0|FP1");
+      F(support::format("%s%spd v512,v512,v512", fam, v), 1.0, 4, "2xFP0|FP1");
     }
   }
   // Scalar arithmetic: ADD lat 3, MUL 3, FMA 4 (Table III).
   for (const char* op : {"addsd", "vaddsd", "subsd", "vsubsd", "addss",
                          "vaddss", "maxsd", "vmaxsd", "minsd", "vminsd"}) {
     bool three_op = op[0] == 'v';
-    S(three_op ? support::format("%s v128,v128,v128", op)
+    F(three_op ? support::format("%s v128,v128,v128", op)
                : support::format("%s v128,v128", op),
       0.5, 3, kFAdd);
   }
   for (const char* op : {"mulsd", "vmulsd", "mulss", "vmulss"}) {
     bool three_op = op[0] == 'v';
-    S(three_op ? support::format("%s v128,v128,v128", op)
+    F(three_op ? support::format("%s v128,v128,v128", op)
                : support::format("%s v128,v128", op),
       0.5, 3, kFMul);
   }
   for (const char* fam : {"vfmadd", "vfmsub", "vfnmadd", "vfnmsub"}) {
     for (const char* v : {"132", "213", "231"}) {
-      S(support::format("%s%ssd v128,v128,v128", fam, v), 0.5, 4, kFMul);
+      F(support::format("%s%ssd v128,v128,v128", fam, v), 0.5, 4, kFMul);
     }
   }
   // Divide / sqrt: divider behind FP1 (non-pipelined).
@@ -214,13 +210,13 @@ MachineModel build_zen4() {
   // Bitwise / blend / moves.
   for (const char* wreg : {"v256", "v128"}) {
     for (const char* op : {"vxorpd", "vandpd", "vorpd", "vxorps", "vandps"}) {
-      S(support::format("%s %s,%s,%s", op, wreg, wreg, wreg), 0.25, 1,
+      F(support::format("%s %s,%s,%s", op, wreg, wreg, wreg), 0.25, 1,
         "FP0|FP1|FP2|FP3");
     }
-    S(support::format("vblendvpd %s,%s,%s,%s", wreg, wreg, wreg, wreg), 0.5, 1,
+    F(support::format("vblendvpd %s,%s,%s,%s", wreg, wreg, wreg, wreg), 0.5, 1,
       "FP0|FP1");
-    S(support::format("vmovapd %s,%s", wreg, wreg), 0.25, 1, "FP0|FP1|FP2|FP3");
-    S(support::format("vmovupd %s,%s", wreg, wreg), 0.25, 1, "FP0|FP1|FP2|FP3");
+    F(support::format("vmovapd %s,%s", wreg, wreg), 0.25, 1, "FP0|FP1|FP2|FP3");
+    F(support::format("vmovupd %s,%s", wreg, wreg), 0.25, 1, "FP0|FP1|FP2|FP3");
   }
   F("vxorpd v512,v512,v512", 0.5, 1, "2xFP0|FP1|FP2|FP3");
   F("vmovapd v512,v512", 0.5, 1, "2xFP0|FP1|FP2|FP3");
@@ -267,27 +263,27 @@ MachineModel build_zen4() {
     const char* all_fp = "FP0|FP1|FP2|FP3";
     for (const char* op : {"vpaddd", "vpaddq", "vpsubd", "vpsubq", "vpminsd",
                            "vpmaxsd", "vpabsd"}) {
-      S(support::format("%s %s,%s,%s", op, wreg, wreg, wreg), 0.25, 1, all_fp);
+      F(support::format("%s %s,%s,%s", op, wreg, wreg, wreg), 0.25, 1, all_fp);
     }
     for (const char* op : {"vpand", "vpor", "vpxor", "vpandq", "vporq",
                            "vpxorq", "vpandn"}) {
-      S(support::format("%s %s,%s,%s", op, wreg, wreg, wreg), 0.25, 1, all_fp);
+      F(support::format("%s %s,%s,%s", op, wreg, wreg, wreg), 0.25, 1, all_fp);
     }
-    S(support::format("vpmulld %s,%s,%s", wreg, wreg, wreg), 0.5, 3,
+    F(support::format("vpmulld %s,%s,%s", wreg, wreg, wreg), 0.5, 3,
       "FP0|FP1");
     for (const char* op : {"vpsllq", "vpsrlq", "vpslld", "vpsrld"}) {
-      S(support::format("%s i,%s,%s", op, wreg, wreg), 0.5, 1, "FP1|FP2");
+      F(support::format("%s i,%s,%s", op, wreg, wreg), 0.5, 1, "FP1|FP2");
     }
     for (const char* op : {"vaddpd", "vmulpd", "vfmadd231pd"}) {
-      S(support::format("%s %s,%s,%s,k", op, wreg, wreg, wreg), 0.5,
+      F(support::format("%s %s,%s,%s,k", op, wreg, wreg, wreg), 0.5,
         std::string(op) == "vfmadd231pd" ? 4 : 3,
         std::string(op) == "vaddpd" ? "FP2|FP3" : "FP0|FP1");
     }
-    S(support::format("vmovupd %s,%s,k", wreg, wreg), 0.5, 1, all_fp);
+    F(support::format("vmovupd %s,%s,k", wreg, wreg), 0.5, 1, all_fp);
   }
   // 512-bit double-pumped integer SIMD.
   for (const char* op : {"vpaddd", "vpaddq", "vpxorq", "vpandq"}) {
-    S(support::format("%s v512,v512,v512", op), 0.5, 1,
+    F(support::format("%s v512,v512,v512", op), 0.5, 1,
       "2xFP0|FP1|FP2|FP3");
   }
   F("vmovupd m512,v512,k", 1.0, 8, "2xAGU0|AGU1");
@@ -306,16 +302,16 @@ MachineModel build_zen4() {
   F("vpbroadcastd v128,v256", 1.0, 4, "FP1|FP2");
   // Integer scalar odds and ends.
   for (const char* w : {"r64", "r32"}) {
-    S(support::format("popcnt %s,%s", w, w), 0.25, 1, kAlu);
-    S(support::format("lzcnt %s,%s", w, w), 0.25, 1, kAlu);
-    S(support::format("tzcnt %s,%s", w, w), 0.25, 1, kAlu);
-    S(support::format("bswap %s", w), 0.5, 1, "ALU0|ALU1");
-    S(support::format("adc %s,%s", w, w), 0.25, 1, kAlu);
-    S(support::format("sbb %s,%s", w, w), 0.25, 1, kAlu);
-    S(support::format("rol i,%s", w), 0.5, 1, "ALU1|ALU2");
-    S(support::format("ror i,%s", w), 0.5, 1, "ALU1|ALU2");
-    S(support::format("sete %s", w), 0.25, 1, kAlu);
-    S(support::format("setne %s", w), 0.25, 1, kAlu);
+    F(support::format("popcnt %s,%s", w, w), 0.25, 1, kAlu);
+    F(support::format("lzcnt %s,%s", w, w), 0.25, 1, kAlu);
+    F(support::format("tzcnt %s,%s", w, w), 0.25, 1, kAlu);
+    F(support::format("bswap %s", w), 0.5, 1, "ALU0|ALU1");
+    F(support::format("adc %s,%s", w, w), 0.25, 1, kAlu);
+    F(support::format("sbb %s,%s", w, w), 0.25, 1, kAlu);
+    F(support::format("rol i,%s", w), 0.5, 1, "ALU1|ALU2");
+    F(support::format("ror i,%s", w), 0.5, 1, "ALU1|ALU2");
+    F(support::format("sete %s", w), 0.25, 1, kAlu);
+    F(support::format("setne %s", w), 0.25, 1, kAlu);
   }
   F("div r64", 14.0, 14, "14xALU2");  // Zen 4's fast radix divider
   F("idiv r64", 14.0, 14, "14xALU2");

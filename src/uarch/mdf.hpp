@@ -1,0 +1,45 @@
+#pragma once
+// The machine-description file (MDF) layer: the declarative, line-oriented
+// text form of a MachineModel (grammar: docs/machine-format.md).
+//
+// This is what makes the machine model *data* in the OSACA sense: the
+// built-in models can be exported, edited, versioned and reloaded without
+// recompiling the stack, and a reloaded model is required to reproduce
+// byte-identical predictions (numbers are serialized with exact
+// double-round-trip precision and the form table is complete).
+
+#include <string>
+#include <string_view>
+
+#include "uarch/model.hpp"
+
+namespace incore::uarch {
+
+/// Parses an MDF document.  `source_name` is used in diagnostics
+/// ("<name>:<line>: message"); every failure throws support::ModelError
+/// with the offending line number.  The returned model has been
+/// validate()d.
+[[nodiscard]] MachineModel load_machine_string(std::string_view text,
+                                               std::string_view source_name =
+                                                   "<string>");
+
+/// Loads and validates an MDF file.  Throws support::ModelError when the
+/// file cannot be read or fails to parse/validate.
+[[nodiscard]] MachineModel load_machine_file(const std::string& path);
+
+/// Serializes a model to MDF text.  Deterministic: header fields in fixed
+/// order, forms sorted lexicographically, numbers in shortest
+/// exact-round-trip decimal form.  save → load → save is a fixed point.
+[[nodiscard]] std::string save_machine_string(const MachineModel& mm);
+
+/// Writes save_machine_string(mm) to `path`; throws support::ModelError on
+/// I/O failure.
+void save_machine_file(const MachineModel& mm, const std::string& path);
+
+/// Spelling of the family tag in MDF headers ("neoverse-v2", "golden-cove",
+/// "zen4") and the reverse mapping; family_from_name returns false for
+/// unknown spellings.
+[[nodiscard]] const char* family_name(Micro m);
+[[nodiscard]] bool family_from_name(std::string_view name, Micro& out);
+
+}  // namespace incore::uarch

@@ -21,6 +21,14 @@
 
 namespace incore::uarch {
 
+/// The paper-trio *family tag*.  This is no longer how the stack names
+/// machines (that is the MachineRegistry / MachineRef layer in
+/// registry.hpp); it survives as the key into trio-specific tables that
+/// live outside the MachineModel: ECM hierarchy parameters, chip power
+/// coefficients, testbed silicon configs and compiler-personality codegen.
+/// Every model — built-in, what-if clone or .mdf-loaded — carries one
+/// (`MachineModel::micro()`, the `family` header of the file format), so
+/// user models fall back to the tables of the trio member they derive from.
 enum class Micro : std::uint8_t { NeoverseV2, GoldenCove, Zen4 };
 
 [[nodiscard]] const char* to_string(Micro m);
@@ -197,32 +205,36 @@ class MachineModel {
   std::vector<std::string> duplicate_forms_;
 };
 
-/// Global registry of the three modeled microarchitectures.  Models are
-/// constructed once and immutable afterwards.
+/// The built-in model of a paper-trio member.  Models are constructed once
+/// (through the MachineRegistry, see registry.hpp) and immutable
+/// afterwards.  Throws support::ModelError for out-of-range values.
 [[nodiscard]] const MachineModel& machine(Micro m);
 
-/// All modeled microarchitectures, in paper order (GCS, SPR, Genoa).
+/// All paper-trio microarchitectures, in paper order (GCS, SPR, Genoa).
 [[nodiscard]] const std::vector<Micro>& all_micros();
 
-/// Parses a user-facing machine name (case-insensitive).  Accepts the short
-/// CPU names used throughout the CLI and examples plus common aliases:
-/// "gcs"/"grace"/"v2"/"neoverse-v2", "spr"/"goldencove"/"golden-cove"/
-/// "sapphire-rapids", "genoa"/"zen4".  Returns false (leaving `out`
-/// untouched) for anything else.
+/// Parses a user-facing name of a *trio* machine (case-insensitive),
+/// consulting the registry's alias table: "gcs"/"grace"/"v2"/"neoverse-v2",
+/// "spr"/"goldencove"/"golden-cove"/"sapphire-rapids", "genoa"/"zen4".
+/// Returns false (leaving `out` untouched) for anything else — including
+/// registered non-trio machines such as "icelake"; callers that should
+/// accept those (or .mdf paths) want uarch::resolve_machine instead.
 [[nodiscard]] bool micro_from_name(std::string_view name, Micro& out);
 
-/// One-line help text listing the accepted machine names.
+/// One-line help text listing the accepted machine names, generated from
+/// the registry.
 [[nodiscard]] const char* machine_names_help();
 
 /// The previous-generation Intel server core (Sunny Cove), modeled for the
-/// paper's generational ADD-latency comparison.  Not part of the testbed
-/// trio, hence outside the Micro registry.
+/// paper's generational ADD-latency comparison.  Not a testbed-trio member;
+/// registered in the MachineRegistry under the name "icelake".
 [[nodiscard]] const MachineModel& ice_lake_sp();
 
 namespace detail {
 MachineModel build_neoverse_v2();
 MachineModel build_golden_cove();
 MachineModel build_zen4();
+MachineModel build_ice_lake_sp();
 }  // namespace detail
 
 }  // namespace incore::uarch

@@ -16,7 +16,10 @@
 #include "kernels/kernels.hpp"
 #include "mca/mca.hpp"
 #include "report/json.hpp"
+#include "support/error.hpp"
+#include "uarch/mdf.hpp"
 #include "uarch/model.hpp"
+#include "uarch/registry.hpp"
 
 using namespace incore;
 
@@ -270,4 +273,57 @@ TEST(ReportJson, MeasurementSerializes) {
   EXPECT_NE(json.find("\"model\": \"testbed\""), std::string::npos);
   EXPECT_NE(json.find("\"port_utilization\""), std::string::npos);
   EXPECT_NE(json.find("\"backpressure_cycles\""), std::string::npos);
+}
+
+// ------------------------------------------------- machine-ref based sweeps
+
+TEST(Sweep, MachineFilterRestrictsTheMatrixByFamily) {
+  driver::SweepOptions opt;
+  opt.kernels = {kernels::Kernel::Add};
+  opt.models = {driver::Model::InCore};
+  opt.machines = {uarch::machine_ref(uarch::Micro::NeoverseV2)};
+  driver::SweepResult res = driver::sweep(opt);
+  ASSERT_FALSE(res.rows.empty());
+  for (const driver::SweepRow& row : res.rows) {
+    EXPECT_EQ(row.variant.target, uarch::Micro::NeoverseV2);
+  }
+}
+
+TEST(Sweep, LoadedModelSweepsByteIdenticalToBuiltin) {
+  // The tentpole acceptance criterion, in-process: an exported+reloaded
+  // model must reproduce the built-in sweep output byte for byte.
+  const uarch::MachineModel loaded = uarch::load_machine_string(
+      uarch::save_machine_string(uarch::machine(uarch::Micro::Zen4)));
+
+  driver::SweepOptions opt;
+  opt.kernels = {kernels::Kernel::Add, kernels::Kernel::SumReduction};
+  opt.machines = {uarch::machine_ref(uarch::Micro::Zen4)};
+  const driver::SweepResult builtin = driver::sweep(opt);
+
+  opt.machines = {uarch::MachineRef{"zen4-loaded", &loaded}};
+  const driver::SweepResult reloaded = driver::sweep(opt);
+
+  EXPECT_EQ(driver::to_csv(builtin), driver::to_csv(reloaded));
+  EXPECT_EQ(driver::to_json(builtin), driver::to_json(reloaded));
+}
+
+TEST(Sweep, TwoMachinesOfTheSameFamilyAreRejected) {
+  const uarch::MachineModel clone = uarch::machine(uarch::Micro::Zen4);
+  driver::SweepOptions opt;
+  opt.kernels = {kernels::Kernel::Add};
+  opt.machines = {uarch::machine_ref(uarch::Micro::Zen4),
+                  uarch::MachineRef{"genoa-clone", &clone}};
+  EXPECT_THROW((void)driver::sweep(opt), support::ModelError);
+}
+
+TEST(MakeBlock, ExplicitModelOverridesTheRegistryDefault) {
+  const uarch::MachineModel loaded = uarch::load_machine_string(
+      uarch::save_machine_string(uarch::machine(uarch::Micro::GoldenCove)));
+  const driver::Block a = driver::make_block(triad_spr());
+  const driver::Block b = driver::make_block(triad_spr(), loaded);
+  EXPECT_EQ(b.mm, &loaded);
+  // Same model name + same assembly -> same dedup hash: reloaded models
+  // keep the built-in identity.
+  EXPECT_EQ(a.hash, b.hash);
+  EXPECT_EQ(a.text_hash, b.text_hash);
 }

@@ -6,6 +6,7 @@
 #include "asmir/parser.hpp"
 #include "support/error.hpp"
 #include "uarch/model.hpp"
+#include "uarch/registry.hpp"
 
 using namespace incore;
 using uarch::MachineModel;
@@ -214,4 +215,87 @@ TEST(ModelApi, Names) {
   EXPECT_STREQ(uarch::to_string(Micro::NeoverseV2), "Neoverse V2");
   EXPECT_STREQ(uarch::cpu_short_name(Micro::GoldenCove), "SPR");
   EXPECT_EQ(uarch::all_micros().size(), 3u);
+}
+
+// ------------------------------------------------------------- registry
+
+TEST(MachineRegistry, InvalidMicroValueThrowsInsteadOfAliasing) {
+  // Regression: machine() used to silently return the Neoverse V2 model
+  // for out-of-range enum values.
+  EXPECT_THROW((void)machine(static_cast<Micro>(7)), support::ModelError);
+}
+
+TEST(MachineRegistry, ResolvesBuiltinNamesAndAliases) {
+  for (const char* spelling : {"gcs", "grace", "v2", "neoverse-v2", "GCS"}) {
+    uarch::MachineRef ref;
+    ASSERT_TRUE(uarch::try_resolve_machine(spelling, ref)) << spelling;
+    EXPECT_EQ(ref.name, "gcs");
+    EXPECT_EQ(ref.model, &machine(Micro::NeoverseV2)) << spelling;
+  }
+  uarch::MachineRef spr = uarch::resolve_machine("sapphire-rapids");
+  EXPECT_EQ(spr.model, &machine(Micro::GoldenCove));
+  uarch::MachineRef genoa = uarch::resolve_machine("zen4");
+  EXPECT_EQ(genoa.model, &machine(Micro::Zen4));
+}
+
+TEST(MachineRegistry, IceLakeIsRegisteredAsAuxiliaryModel) {
+  uarch::MachineRef ref;
+  ASSERT_TRUE(uarch::try_resolve_machine("icelake", ref));
+  EXPECT_EQ(ref.name, "icelake");
+  EXPECT_EQ(ref.model, &uarch::ice_lake_sp());
+  EXPECT_EQ(ref->micro(), Micro::GoldenCove);  // shares the family tag
+  // ... but micro_from_name stays trio-only: "icelake" must not alias SPR.
+  Micro out{};
+  EXPECT_FALSE(uarch::micro_from_name("icelake", out));
+}
+
+TEST(MachineRegistry, UnknownNameFailsWithoutThrowing) {
+  uarch::MachineRef ref;
+  EXPECT_FALSE(uarch::try_resolve_machine("m7g", ref));
+  EXPECT_FALSE(ref);
+  EXPECT_THROW((void)uarch::resolve_machine("m7g"), support::ModelError);
+}
+
+TEST(MachineRegistry, BuiltinsListTrioThenAuxiliaries) {
+  const auto builtins = uarch::MachineRegistry::instance().builtins();
+  ASSERT_GE(builtins.size(), 4u);
+  EXPECT_EQ(builtins[0].name, "gcs");
+  EXPECT_EQ(builtins[1].name, "spr");
+  EXPECT_EQ(builtins[2].name, "genoa");
+  EXPECT_EQ(builtins[3].name, "icelake");
+  const auto trio = uarch::MachineRegistry::instance().trio();
+  ASSERT_EQ(trio.size(), 3u);
+  EXPECT_EQ(trio[2].model, &machine(Micro::Zen4));
+}
+
+TEST(MachineRegistry, AddModelRegistersWhatIfClone) {
+  MachineModel clone = machine(Micro::Zen4);  // copy
+  clone.set("vdivpd v256,v256,v256", 2.5, 11.0, "5xFP0|FP1");
+  uarch::MachineRef ref = uarch::MachineRegistry::instance().add_model(
+      "genoa-fastdiv-test", std::move(clone));
+  EXPECT_EQ(ref.name, "genoa-fastdiv-test");
+  uarch::MachineRef back = uarch::resolve_machine("genoa-fastdiv-test");
+  EXPECT_EQ(back.model, ref.model);
+  EXPECT_NE(back.model, &machine(Micro::Zen4));
+}
+
+TEST(MachineRegistry, AddModelCannotShadowABuiltin) {
+  EXPECT_THROW((void)uarch::MachineRegistry::instance().add_model(
+                   "gcs", machine(Micro::NeoverseV2)),
+               support::ModelError);
+}
+
+TEST(MachineRegistry, MachineRefBridgeMatchesBuiltins) {
+  for (Micro m : uarch::all_micros()) {
+    uarch::MachineRef ref = uarch::machine_ref(m);
+    EXPECT_EQ(ref.model, &machine(m));
+    EXPECT_TRUE(static_cast<bool>(ref));
+  }
+}
+
+TEST(MachineRegistry, NamesHelpMentionsEveryBuiltinAndFiles) {
+  const std::string help = uarch::machine_names_help();
+  for (const char* name : {"gcs", "spr", "genoa", "icelake", ".mdf"}) {
+    EXPECT_NE(help.find(name), std::string::npos) << name;
+  }
 }

@@ -44,7 +44,9 @@
 #include "support/error.hpp"
 #include "support/strings.hpp"
 #include "support/threadpool.hpp"
+#include "uarch/mdf.hpp"
 #include "uarch/model.hpp"
+#include "uarch/registry.hpp"
 #include "verify/diagnostics.hpp"
 #include "verify/kernel_lints.hpp"
 #include "verify/model_lints.hpp"
@@ -57,13 +59,17 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: incore-cli <command> [...]\n"
-      "  machines                         list modeled microarchitectures\n"
+      "  machines                         list registered machine models\n"
       "  analyze <machine> [file.s]       in-core analysis of a loop body\n"
       "       --json emits analysis + LLVM-MCA + testbed as one document\n"
+      "       --machine-file <m.mdf> analyzes against a loaded description\n"
       "  sweep                            evaluate the validation matrix\n"
       "       sweep flags: --jobs N (0 = auto) --models m1,m2 --kernels k1,..\n"
       "                    --machines m1,.. --compilers c1,.. --opt O1,..\n"
-      "                    --csv --json   (models: osaca mca testbed)\n"
+      "                    --machine-file <m.mdf> --csv --json\n"
+      "                    (models: osaca mca testbed)\n"
+      "  export-model <machine> [-o file] write a model as a .mdf machine-\n"
+      "                                   description file (stdout default)\n"
       "  kernels                          list validation kernels\n"
       "  emit <machine> <kernel> <cc> <O> render a compiler personality\n"
       "  tput <machine> <template>        instruction throughput microbench\n"
@@ -76,50 +82,93 @@ int usage() {
       "                                   generated kernel corpus\n"
       "  lint <machine> [file.s]          verify one model (and a kernel)\n"
       "       lint flags: --json --werror --verbose --codes\n"
-      "machines: gcs spr genoa; compilers: gcc clang icx armclang\n");
+      "            --machine-file <m.mdf> lints a loaded description\n"
+      "machines: gcs spr genoa icelake, or a .mdf file path;\n"
+      "compilers: gcc clang icx armclang\n");
   return 2;
 }
 
-bool parse_machine(const std::string& name, uarch::Micro& out) {
-  if (uarch::micro_from_name(name, out)) return true;
+/// Resolves a machine name, alias or .mdf path to a registry ref.  Load
+/// errors from malformed files propagate to main()'s error handler so the
+/// user sees the file:line diagnostic.
+bool parse_machine(const std::string& name, uarch::MachineRef& out) {
+  if (uarch::try_resolve_machine(name, out)) return true;
   std::fprintf(stderr, "unknown machine '%s' (known: %s)\n", name.c_str(),
                uarch::machine_names_help());
   return false;
 }
 
-int cmd_machines() {
-  for (uarch::Micro m : uarch::all_micros()) {
-    const auto& mm = uarch::machine(m);
-    const auto& chip = power::chip(m);
-    std::printf("%-6s %-12s %2zu ports, SIMD %2d B, %d cores, TDP %.0f W, "
-                "%zu instruction forms\n",
-                uarch::cpu_short_name(m), uarch::to_string(m),
-                mm.port_count(), mm.simd_width_bits / 8, chip.cores,
-                chip.tdp_w, mm.table_size());
-  }
-  return 0;
-}
-
-int cmd_analyze(const std::string& machine_name, const char* path,
-                bool json) {
-  uarch::Micro micro;
-  if (!parse_machine(machine_name, micro)) return 2;
-  std::string text;
+/// Reads a file (or stdin when path is null) into `text`.
+bool read_input(const char* path, std::string& text) {
+  std::ostringstream ss;
   if (path != nullptr) {
     std::ifstream in(path);
     if (!in) {
       std::fprintf(stderr, "cannot open %s\n", path);
-      return 1;
+      return false;
     }
-    std::ostringstream ss;
     ss << in.rdbuf();
-    text = ss.str();
   } else {
-    std::ostringstream ss;
     ss << std::cin.rdbuf();
-    text = ss.str();
   }
-  const auto& mm = uarch::machine(micro);
+  text = ss.str();
+  return true;
+}
+
+int cmd_machines() {
+  auto& reg = uarch::MachineRegistry::instance();
+  for (const uarch::MachineRef& ref : reg.builtins()) {
+    const auto& mm = *ref.model;
+    std::string silicon = "aux model";
+    if (auto trio = reg.trio_tag(ref.name)) {
+      const auto& chip = power::chip(*trio);
+      silicon = support::format("%d cores, TDP %.0f W", chip.cores,
+                                chip.tdp_w);
+    }
+    std::printf("%-8s %-12s %2zu ports, SIMD %2d B, %s, "
+                "%zu instruction forms\n",
+                ref.name.c_str(), uarch::to_string(mm.micro()),
+                mm.port_count(), mm.simd_width_bits / 8, silicon.c_str(),
+                mm.table_size());
+  }
+  std::printf("(any command also accepts a .mdf machine-description file "
+              "path; see docs/machine-format.md)\n");
+  return 0;
+}
+
+int cmd_analyze(int argc, char** argv) {
+  bool json = false;
+  std::string machine_name;
+  const char* machine_file = nullptr;
+  const char* path = nullptr;
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--json") {
+      json = true;
+    } else if (a == "--machine-file") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--machine-file needs a value\n");
+        return 2;
+      }
+      machine_file = argv[++i];
+    } else if (a.starts_with("--")) {
+      std::fprintf(stderr, "unknown analyze flag '%s'\n", a.c_str());
+      return usage();
+    } else if (machine_name.empty() && machine_file == nullptr) {
+      machine_name = a;
+    } else {
+      path = argv[i];
+    }
+  }
+  if (machine_name.empty() && machine_file == nullptr) return usage();
+  uarch::MachineRef ref;
+  if (!parse_machine(machine_file != nullptr ? machine_file : machine_name,
+                     ref)) {
+    return 2;
+  }
+  std::string text;
+  if (!read_input(path, text)) return 1;
+  const auto& mm = *ref.model;
   asmir::Program prog = asmir::parse(text, mm.isa());
   if (prog.empty()) {
     std::fprintf(stderr, "no instructions parsed\n");
@@ -199,13 +248,17 @@ int cmd_sweep(int argc, char** argv) {
     } else if (a == "--machines") {
       const char* v = value();
       if (v == nullptr || !parse_list(a, v, [&](const std::string& s) {
-            uarch::Micro m;
-            if (!uarch::micro_from_name(s, m)) return false;
-            opt.machines.push_back(m);
+            uarch::MachineRef ref;
+            if (!uarch::try_resolve_machine(s, ref)) return false;
+            opt.machines.push_back(std::move(ref));
             return true;
           })) {
         return 2;
       }
+    } else if (a == "--machine-file") {
+      const char* v = value();
+      if (v == nullptr) return 2;
+      opt.machines.push_back(uarch::resolve_machine(v));
     } else if (a == "--kernels") {
       const char* v = value();
       if (v == nullptr || !parse_list(a, v, [&](const std::string& s) {
@@ -293,50 +346,24 @@ int cmd_sweep(int argc, char** argv) {
 }
 
 int cmd_dot(const std::string& machine_name, const char* path) {
-  uarch::Micro micro;
-  if (!parse_machine(machine_name, micro)) return 2;
+  uarch::MachineRef ref;
+  if (!parse_machine(machine_name, ref)) return 2;
   std::string text;
-  if (path != nullptr) {
-    std::ifstream in(path);
-    if (!in) {
-      std::fprintf(stderr, "cannot open %s\n", path);
-      return 1;
-    }
-    std::ostringstream ss;
-    ss << in.rdbuf();
-    text = ss.str();
-  } else {
-    std::ostringstream ss;
-    ss << std::cin.rdbuf();
-    text = ss.str();
-  }
-  const auto& mm = uarch::machine(micro);
+  if (!read_input(path, text)) return 1;
+  const auto& mm = *ref.model;
   asmir::Program prog = asmir::parse(text, mm.isa());
   std::fputs(analysis::to_dot(prog, mm).c_str(), stdout);
   return 0;
 }
 
 int cmd_timeline(const std::string& machine_name, const char* path) {
-  uarch::Micro micro;
-  if (!parse_machine(machine_name, micro)) return 2;
+  uarch::MachineRef ref;
+  if (!parse_machine(machine_name, ref)) return 2;
   std::string text;
-  if (path != nullptr) {
-    std::ifstream in(path);
-    if (!in) {
-      std::fprintf(stderr, "cannot open %s\n", path);
-      return 1;
-    }
-    std::ostringstream ss;
-    ss << in.rdbuf();
-    text = ss.str();
-  } else {
-    std::ostringstream ss;
-    ss << std::cin.rdbuf();
-    text = ss.str();
-  }
-  const auto& mm = uarch::machine(micro);
+  if (!read_input(path, text)) return 1;
+  const auto& mm = *ref.model;
   asmir::Program prog = asmir::parse(text, mm.isa());
-  auto cfg = exec::testbed_config(micro);
+  auto cfg = exec::testbed_config(mm.micro());
   cfg.timeline_iterations = 3;
   auto r = exec::simulate_loop(prog, mm, cfg);
   std::fputs(exec::render_timeline(r.timeline, prog).c_str(), stdout);
@@ -345,9 +372,9 @@ int cmd_timeline(const std::string& machine_name, const char* path) {
 }
 
 int cmd_forms(const std::string& machine_name, const char* filter) {
-  uarch::Micro micro;
-  if (!parse_machine(machine_name, micro)) return 2;
-  const auto& mm = uarch::machine(micro);
+  uarch::MachineRef ref;
+  if (!parse_machine(machine_name, ref)) return 2;
+  const auto& mm = *ref.model;
   auto forms = mm.forms();
   std::sort(forms.begin(), forms.end());
   int shown = 0;
@@ -376,10 +403,10 @@ int cmd_kernels() {
 
 int cmd_emit(const std::string& machine_name, const std::string& kernel_name,
              const std::string& cc_name, const std::string& opt_name) {
-  uarch::Micro micro;
-  if (!parse_machine(machine_name, micro)) return 2;
+  uarch::MachineRef ref;
+  if (!parse_machine(machine_name, ref)) return 2;
   kernels::Variant v{};
-  v.target = micro;
+  v.target = ref->micro();
   bool found = false;
   for (kernels::Kernel k : kernels::all_kernels()) {
     if (kernel_name == kernels::to_string(k)) {
@@ -426,9 +453,9 @@ int cmd_emit(const std::string& machine_name, const std::string& kernel_name,
 
 int cmd_microbench(const std::string& machine_name, const std::string& tmpl,
                    bool latency) {
-  uarch::Micro micro;
-  if (!parse_machine(machine_name, micro)) return 2;
-  const auto& mm = uarch::machine(micro);
+  uarch::MachineRef ref;
+  if (!parse_machine(machine_name, ref)) return 2;
+  const auto& mm = *ref.model;
   if (latency) {
     std::printf("latency: %.2f cy\n", exec::measure_latency(tmpl, mm));
   } else {
@@ -440,8 +467,9 @@ int cmd_microbench(const std::string& machine_name, const std::string& tmpl,
 }
 
 int cmd_ecm(const std::string& machine_name, const std::string& kernel_name) {
-  uarch::Micro micro;
-  if (!parse_machine(machine_name, micro)) return 2;
+  uarch::MachineRef ref;
+  if (!parse_machine(machine_name, ref)) return 2;
+  const uarch::Micro micro = ref->micro();
   kernels::Variant v{};
   v.target = micro;
   v.opt = kernels::OptLevel::O3;
@@ -470,14 +498,49 @@ int cmd_ecm(const std::string& machine_name, const std::string& kernel_name) {
   return 0;
 }
 
+// ----------------------------------------------------------- export-model
+
+int cmd_export_model(int argc, char** argv) {
+  std::string machine_name;
+  const char* out_path = nullptr;
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "-o" || a == "--output") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", a.c_str());
+        return 2;
+      }
+      out_path = argv[++i];
+    } else if (a.starts_with("-")) {
+      std::fprintf(stderr, "unknown export-model flag '%s'\n", a.c_str());
+      return usage();
+    } else if (machine_name.empty()) {
+      machine_name = a;
+    } else {
+      return usage();
+    }
+  }
+  if (machine_name.empty()) return usage();
+  uarch::MachineRef ref;
+  if (!parse_machine(machine_name, ref)) return 2;
+  if (out_path != nullptr) {
+    uarch::save_machine_file(*ref.model, out_path);
+  } else {
+    std::fputs(uarch::save_machine_string(*ref.model).c_str(), stdout);
+  }
+  return 0;
+}
+
 // ------------------------------------------------------------------ lint
 
-/// The four bundled machine models: the paper's testbed trio plus the
-/// auxiliary Ice Lake SP generational-comparison model.
+/// The bundled machine models: the paper's testbed trio plus the auxiliary
+/// Ice Lake SP generational-comparison model, straight from the registry.
 std::vector<const uarch::MachineModel*> bundled_models() {
   std::vector<const uarch::MachineModel*> models;
-  for (uarch::Micro m : uarch::all_micros()) models.push_back(&uarch::machine(m));
-  models.push_back(&uarch::ice_lake_sp());
+  for (const uarch::MachineRef& ref :
+       uarch::MachineRegistry::instance().builtins()) {
+    models.push_back(ref.model);
+  }
   return models;
 }
 
@@ -562,9 +625,9 @@ int cmd_lint_all(bool json, bool werror, bool verbose) {
 
 int cmd_lint_one(const std::string& machine_name, const char* path, bool json,
                  bool werror, bool verbose) {
-  uarch::Micro micro;
-  if (!parse_machine(machine_name, micro)) return 2;
-  const auto& mm = uarch::machine(micro);
+  uarch::MachineRef ref;
+  if (!parse_machine(machine_name, ref)) return 2;
+  const auto& mm = *ref.model;
   verify::DiagnosticSink sink;
   verify::lint_model(mm, sink);
   if (path != nullptr) {
@@ -602,6 +665,12 @@ int cmd_lint(int argc, char** argv) {
       all = true;
     } else if (a == "--codes") {
       return cmd_lint_codes();
+    } else if (a == "--machine-file") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--machine-file needs a value\n");
+        return 2;
+      }
+      machine_name = argv[++i];
     } else if (a.starts_with("--")) {
       std::fprintf(stderr, "unknown lint flag '%s'\n", a.c_str());
       return usage();
@@ -624,19 +693,10 @@ int main(int argc, char** argv) {
   try {
     if (cmd == "machines") return cmd_machines();
     if (cmd == "kernels") return cmd_kernels();
-    if (cmd == "analyze" && argc >= 3) {
-      bool json = false;
-      const char* file = nullptr;
-      for (int i = 3; i < argc; ++i) {
-        if (std::string(argv[i]) == "--json") {
-          json = true;
-        } else {
-          file = argv[i];
-        }
-      }
-      return cmd_analyze(argv[2], file, json);
-    }
+    if (cmd == "analyze" && argc >= 3) return cmd_analyze(argc, argv);
     if (cmd == "sweep") return cmd_sweep(argc, argv);
+    if (cmd == "export-model" && argc >= 3)
+      return cmd_export_model(argc, argv);
     if (cmd == "emit" && argc == 6)
       return cmd_emit(argv[2], argv[3], argv[4], argv[5]);
     if (cmd == "tput" && argc == 4) return cmd_microbench(argv[2], argv[3], false);
