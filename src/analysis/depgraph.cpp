@@ -5,6 +5,8 @@
 #include <optional>
 #include <tuple>
 
+#include "dataflow/dataflow.hpp"
+
 namespace incore::analysis {
 namespace {
 
@@ -14,50 +16,12 @@ using asmir::Program;
 using asmir::RegClass;
 using asmir::Register;
 
-bool is_zero_register(const Program& prog, const Register& r) {
-  return prog.isa == asmir::Isa::AArch64 && r.cls == RegClass::Gpr &&
-         r.index == 31;
-}
-
-/// xor %rax,%rax / vxorpd %ymm0,%ymm0,%ymm0 / eor x0,x0,x0: recognized by
-/// renamers as dependency-free zeroing.
-bool is_zero_idiom(const Instruction& ins) {
-  const std::string& m = ins.mnemonic;
-  bool xor_like = m == "xor" || m == "xorpd" || m == "xorps" || m == "pxor" ||
-                  m == "vxorpd" || m == "vxorps" || m == "vpxor" ||
-                  m == "vpxord" || m == "eor";
-  if (!xor_like) return false;
-  std::optional<Register> first;
-  for (const auto& op : ins.ops) {
-    if (!op.is_reg()) return false;
-    if (!first) {
-      first = op.reg();
-    } else if (op.reg().root_id() != first->root_id()) {
-      return false;
-    }
-  }
-  return first.has_value();
-}
-
-bool is_register_move(const Instruction& ins) {
-  static const char* kMoves[] = {"mov",     "fmov",    "movapd",  "movaps",
-                                 "vmovapd", "vmovaps", "vmovupd", "vmovups",
-                                 "vmovdqa", "vmovdqa64"};
-  bool name_match = false;
-  for (const char* m : kMoves) {
-    if (ins.mnemonic == m) {
-      name_match = true;
-      break;
-    }
-  }
-  if (!name_match || ins.ops.size() != 2) return false;
-  return ins.ops[0].is_reg() && ins.ops[1].is_reg();
-}
-
 /// Key identifying a memory location symbolically.  Address registers are
 /// *versioned*: a write to the base or index register (e.g. the loop's
 /// pointer bump) renames the symbolic location, so streaming accesses to
-/// a[i] in consecutive iterations do not falsely alias.
+/// a[i] in consecutive iterations do not falsely alias.  This is the
+/// default (conservative) store-to-load matcher; `alias_precise_stores`
+/// swaps in the dataflow engine's delta-tracking alias queries.
 struct MemKey {
   std::uint32_t base = 0;
   std::uint32_t index = 0;
@@ -83,6 +47,14 @@ bool bytes_overlap(const MemKey& a, const MemKey& b) {
   const long long a_hi = a.disp + std::max(a.width / 8, 1);
   const long long b_hi = b.disp + std::max(b.width / 8, 1);
   return a.disp < b_hi && b.disp < a_hi;
+}
+
+/// The store's byte range fully covers the load's: older stores cannot
+/// contribute any byte of the loaded value.
+bool bytes_cover(const MemKey& store, const MemKey& load) {
+  const long long s_hi = store.disp + std::max(store.width / 8, 1);
+  const long long l_hi = load.disp + std::max(load.width / 8, 1);
+  return store.disp <= load.disp && l_hi <= s_hi;
 }
 
 std::optional<MemKey> mem_key(const Instruction& ins,
@@ -118,12 +90,20 @@ std::optional<MemKey> mem_key(const Instruction& ins,
 // a folded `vaddsd (mem), %xmm0, %xmm0` ahead of the accumulator recurrence,
 // so the recurrence sees only the add latency; and the pointer bump of a
 // post-indexed access never waits for load data or store values.
+//
+// Producer resolution runs on the dataflow engine's reaching definitions:
+// each semantic read carries the body index of its def and whether the def
+// is in the previous iteration, which maps directly onto the two-copy
+// unroll (a loop-carried read in copy c consumes copy c-1; copy 0 has no
+// upstream copy, exactly like the old empty last-writer map).
 DepResult analyze_dependencies(const Program& prog,
                                const uarch::MachineModel& mm,
                                const DepOptions& opt) {
   DepResult res;
   const int n = static_cast<int>(prog.code.size());
   if (n == 0) return res;
+
+  const dataflow::Analysis df = dataflow::analyze(prog);
 
   std::vector<double> chain_lat(static_cast<std::size_t>(n), 1.0);
   std::vector<double> load_lat(static_cast<std::size_t>(n), 0.0);
@@ -135,8 +115,9 @@ DepResult analyze_dependencies(const Program& prog,
   std::vector<bool> zero_idiom(static_cast<std::size_t>(n), false);
   std::vector<bool> has_writeback(static_cast<std::size_t>(n), false);
   std::vector<std::uint32_t> wb_root(static_cast<std::size_t>(n), 0);
+  const bool moves_renamed = opt.rename_moves || !opt.keep_move_latency;
   for (int i = 0; i < n; ++i) {
-    const Instruction& ins = prog.code[i];
+    const Instruction& ins = prog.code[static_cast<std::size_t>(i)];
     const uarch::Resolved r = mm.resolve(ins);
     chain_lat[i] = r.chain_latency;
     full_lat[i] = r.latency;
@@ -148,13 +129,15 @@ DepResult analyze_dependencies(const Program& prog,
         if (op.is_reg() && op.read && op.write) acc_root[i] = op.reg().root_id();
       }
     }
-    zero_idiom[i] = is_zero_idiom(ins);
+    const dataflow::RenameClass rc = df.instrs[static_cast<std::size_t>(i)].rename;
+    zero_idiom[i] = opt.recognize_zero_idioms &&
+                    rc == dataflow::RenameClass::ZeroIdiom;
     if (zero_idiom[i]) chain_lat[i] = full_lat[i] = 0.0;
-    if (!opt.keep_move_latency && is_register_move(ins))
+    if (moves_renamed && rc == dataflow::RenameClass::EliminableMove)
       chain_lat[i] = full_lat[i] = 0.0;
     const MemOperand* m = ins.mem_operand();
     if (m && m->base_writeback && m->base &&
-        !is_zero_register(prog, *m->base)) {
+        !dataflow::is_zero_register(prog, *m->base)) {
       has_writeback[i] = true;
       wb_root[i] = m->base->root_id();
     }
@@ -186,19 +169,45 @@ DepResult analyze_dependencies(const Program& prog,
     in_edges[static_cast<std::size_t>(to)].push_back({from, w});
   };
 
-  std::map<std::uint32_t, int> last_writer;  // register root -> node id
+  // Producer node of a semantic read at unroll position `pos`, or -1 when
+  // the value comes from outside the window (live-in, or loop-carried into
+  // copy 0).  A definition whose root is the post/pre-index write-back lands
+  // on the AGU slot, all others on the main slot.
+  auto producer_of = [&](int pos, const dataflow::RegRead& rd) {
+    if (rd.def == dataflow::kLiveIn) return -1;
+    const int def_copy = pos / n - (rd.loop_carried ? 1 : 0);
+    if (def_copy < 0) return -1;
+    const int def_pos = def_copy * n + rd.def;
+    const bool via_agu =
+        has_writeback[static_cast<std::size_t>(rd.def)] &&
+        wb_root[static_cast<std::size_t>(rd.def)] == rd.reg.root_id();
+    return via_agu ? agu_id(def_pos) : main_id(def_pos);
+  };
+
   // Stores in program order; a load depends on the *latest* store whose
-  // byte range overlaps its own (same symbolic base/index at the same
-  // version).  Kept as a list because overlap is an interval query, not an
-  // exact-key lookup: a store to [base] and a narrower load from [base+4]
-  // must still be ordered.
-  std::vector<std::pair<MemKey, int>> stores;  // (location, main node id)
+  // byte range overlaps its own, and keeps searching older stores until one
+  // fully covers the loaded bytes (a wider or offset load can consume bytes
+  // from several narrower stores).
+  struct StoreRec {
+    MemKey key;           // versioned-address key (default matcher)
+    int access = -1;      // index into df.accesses (precise matcher)
+    int copy = 0;         // unroll copy the store executed in
+    int node = 0;         // main node id
+  };
+  std::vector<StoreRec> stores;
   std::map<std::uint32_t, int> reg_version;
-  const std::uint32_t kFlagsRoot = Register{RegClass::Flags, 0, 1}.root_id();
+
+  // df.accesses index per body position (-1 when the instruction has none).
+  std::vector<int> access_of(static_cast<std::size_t>(n), -1);
+  for (std::size_t ai = 0; ai < df.accesses.size(); ++ai)
+    access_of[static_cast<std::size_t>(df.accesses[ai].instr)] =
+        static_cast<int>(ai);
 
   for (int pos = 0; pos < total_positions; ++pos) {
     const int i = pos % n;
+    const int copy = pos / n;
     const Instruction& ins = prog.code[static_cast<std::size_t>(i)];
+    const dataflow::InstrDataflow& idf = df.instrs[static_cast<std::size_t>(i)];
     const int node = main_id(pos);
     const bool skip_inputs = zero_idiom[static_cast<std::size_t>(i)];
     const bool split = split_load[static_cast<std::size_t>(i)];
@@ -207,9 +216,9 @@ DepResult analyze_dependencies(const Program& prog,
     std::uint32_t addr_roots[2] = {0, 0};
     int n_addr = 0;
     if (const MemOperand* m = ins.mem_operand()) {
-      if (m->base && !is_zero_register(prog, *m->base))
+      if (m->base && !dataflow::is_zero_register(prog, *m->base))
         addr_roots[n_addr++] = m->base->root_id();
-      if (m->index && !is_zero_register(prog, *m->index))
+      if (m->index && !dataflow::is_zero_register(prog, *m->index))
         addr_roots[n_addr++] = m->index->root_id();
     }
     auto is_addr_root = [&](std::uint32_t root) {
@@ -220,48 +229,77 @@ DepResult analyze_dependencies(const Program& prog,
     };
 
     if (!skip_inputs) {
-      for (const Register& r : ins.reads()) {
-        if (is_zero_register(prog, r)) continue;
-        const std::uint32_t root = r.root_id();
-        auto it = last_writer.find(root);
-        if (it == last_writer.end()) continue;
+      for (const dataflow::RegRead& rd : idf.reads) {
+        // Synthetic merge inputs (partial-write false dependencies) are
+        // lint-level information, not timing edges.
+        if (rd.implicit && rd.merge) continue;
+        const int from = producer_of(pos, rd);
+        if (from < 0) continue;
+        const std::uint32_t root = rd.reg.root_id();
         if (split && is_addr_root(root)) {
-          add_edge(it->second, load_id(pos));
+          add_edge(from, load_id(pos));
         } else if (root == acc_root[static_cast<std::size_t>(i)] &&
                    acc_lat[static_cast<std::size_t>(i)] > 0) {
           // Late accumulator forwarding: the result appears acc_lat after
           // the accumulator input instead of chain_lat after issue:
           //   result(v) >= result(u) + acc_lat(v)
           // expressed as an edge weight relative to v's own latency.
-          double w = node_weight(it->second) -
+          double w = node_weight(from) -
                      (chain_lat[static_cast<std::size_t>(i)] -
                       acc_lat[static_cast<std::size_t>(i)]);
-          add_edge_w(it->second, node, w);
+          add_edge_w(from, node, w);
         } else {
-          add_edge(it->second, node);
+          add_edge(from, node);
         }
       }
       if (split) add_edge(load_id(pos), node);  // load feeds the compute
-      if (ins.reads_flags) {
-        auto it = last_writer.find(kFlagsRoot);
-        if (it != last_writer.end()) add_edge(it->second, node);
-      }
       if (ins.is_load) {
-        if (auto key = mem_key(ins, reg_version)) {
+        const int la = access_of[static_cast<std::size_t>(i)];
+        const auto lkey = mem_key(ins, reg_version);
+        if (opt.alias_precise_stores ? la >= 0 : lkey.has_value()) {
           for (auto it = stores.rbegin(); it != stores.rend(); ++it) {
-            if (same_address_class(it->first, *key) &&
-                bytes_overlap(it->first, *key)) {
-              add_edge_w(it->second, split ? load_id(pos) : node,
+            bool overlap = false;
+            bool covers = false;
+            if (opt.alias_precise_stores) {
+              if (it->access < 0) continue;
+              const dataflow::MemAccess& st =
+                  df.accesses[static_cast<std::size_t>(it->access)];
+              const dataflow::MemAccess& ld =
+                  df.accesses[static_cast<std::size_t>(la)];
+              const dataflow::Alias rel =
+                  copy == it->copy ? df.alias(st, ld)
+                                   : df.alias_next_iteration(st, ld);
+              overlap = rel == dataflow::Alias::MustOverlap;
+              if (overlap) {
+                // Coverage in the precise model: the store's byte range
+                // contains the load's, shifted by one stride when the pair
+                // crosses the back edge.
+                const long long shift =
+                    copy != it->copy && ld.stride_bytes ? *ld.stride_bytes : 0;
+                const long long s_lo = st.effective_displacement();
+                const long long s_hi = s_lo + std::max(st.width_bits / 8, 1);
+                const long long l_lo = ld.effective_displacement() + shift;
+                const long long l_hi = l_lo + std::max(ld.width_bits / 8, 1);
+                covers = s_lo <= l_lo && l_hi <= s_hi;
+              }
+            } else {
+              overlap = same_address_class(it->key, *lkey) &&
+                        bytes_overlap(it->key, *lkey);
+              covers = overlap && bytes_cover(it->key, *lkey);
+            }
+            if (overlap) {
+              add_edge_w(it->node, split ? load_id(pos) : node,
                          opt.store_forward_latency);
-              break;
+              if (covers) break;  // older stores cannot supply any byte
             }
           }
         }
       }
       if (has_writeback[static_cast<std::size_t>(i)]) {
-        for (int a = 0; a < n_addr; ++a) {
-          auto it = last_writer.find(addr_roots[a]);
-          if (it != last_writer.end()) add_edge(it->second, agu_id(pos));
+        for (const dataflow::RegRead& rd : idf.reads) {
+          if (!rd.address) continue;
+          const int from = producer_of(pos, rd);
+          if (from >= 0) add_edge(from, agu_id(pos));
         }
       }
     }
@@ -270,24 +308,16 @@ DepResult analyze_dependencies(const Program& prog,
       if (auto key = mem_key(ins, reg_version)) {
         // A store fully covering an earlier one supersedes it; otherwise
         // both stay visible to later overlap queries.
-        std::erase_if(stores, [&](const auto& s) {
-          return same_address_class(s.first, *key) && s.first.disp == key->disp &&
-                 s.first.width <= key->width;
+        std::erase_if(stores, [&](const StoreRec& s) {
+          return same_address_class(s.key, *key) && s.key.disp == key->disp &&
+                 s.key.width <= key->width;
         });
-        stores.emplace_back(*key, node);
+        stores.push_back(StoreRec{*key, access_of[static_cast<std::size_t>(i)],
+                                  copy, node});
       }
     }
-    for (const Register& r : ins.writes()) {
-      if (is_zero_register(prog, r)) continue;
-      const std::uint32_t root = r.root_id();
-      if (has_writeback[static_cast<std::size_t>(i)] &&
-          root == wb_root[static_cast<std::size_t>(i)]) {
-        last_writer[root] = agu_id(pos);
-      } else {
-        last_writer[root] = node;
-      }
-      ++reg_version[root];
-    }
+    for (const dataflow::RegWrite& w : idf.writes)
+      ++reg_version[w.reg.root_id()];
   }
 
   // Longest path DP in node-id order.  Edges within a position only go from

@@ -47,6 +47,21 @@ struct DepOptions {
   /// V2 forwards accumulates in 2 cycles).  Off by default: OSACA-equivalent
   /// behaviour charges the full latency on the chain.
   bool model_accumulator_forwarding = false;
+  /// Treat recognized zeroing idioms (xor r,r / eor x,x,x) as rename-time:
+  /// no input dependencies and zero latency.  On by default (this has
+  /// always been the analyzer's behaviour); turning it off gives the
+  /// strictly syntactic dependence graph.
+  bool recognize_zero_idioms = true;
+  /// Eliminate register-to-register moves at rename time (zero latency on
+  /// every chain through them), independent of `keep_move_latency`.  This is
+  /// the static counterpart of the testbed's move elimination and what
+  /// `analyze --rename-aware` switches on.
+  bool rename_moves = false;
+  /// Match store-to-load pairs with the dataflow alias engine instead of
+  /// the versioned-address heuristic: constant pointer bumps between the
+  /// store and the load no longer hide the dependency, and loop-carried
+  /// memory recurrences are proven via per-iteration stride.
+  bool alias_precise_stores = false;
 };
 
 [[nodiscard]] DepResult analyze_dependencies(const asmir::Program& prog,

@@ -38,4 +38,43 @@ std::string to_dot(const asmir::Program& prog, const uarch::MachineModel& mm,
   return out;
 }
 
+std::string to_dot(const dataflow::Analysis& df) {
+  const asmir::Program& prog = *df.prog;
+  std::string out = "digraph defuse {\n";
+  out += "  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n";
+  std::size_t carried = 0;
+  for (const dataflow::DefUseEdge& e : df.chains)
+    carried += e.loop_carried ? 1 : 0;
+  out += format("  label=\"def-use | %zu chains (%zu loop-carried)\";\n",
+                df.chains.size(), carried);
+  for (std::size_t i = 0; i < prog.code.size(); ++i) {
+    std::string escaped;
+    for (char c : prog.code[i].raw) {
+      if (c == '"' || c == '\\') escaped += '\\';
+      escaped += c;
+    }
+    const dataflow::RenameClass rc = df.instrs[i].rename;
+    const char* style = "";
+    if (rc == dataflow::RenameClass::ZeroIdiom ||
+        rc == dataflow::RenameClass::EliminableMove) {
+      style = ", style=filled, fillcolor=lightblue";
+    } else if (rc == dataflow::RenameClass::DependencyBreaking) {
+      style = ", style=filled, fillcolor=lightyellow";
+    }
+    out += format("  n%zu [label=\"%zu: %s\"%s];\n", i, i, escaped.c_str(),
+                  style);
+  }
+  for (const dataflow::DefUseEdge& e : df.chains) {
+    std::string attrs = format("label=\"%s\"", e.reg.name(prog.isa).c_str());
+    if (e.loop_carried) {
+      attrs += ", style=dashed";
+    } else if (e.address) {
+      attrs += ", style=dotted";
+    }
+    out += format("  n%d -> n%d [%s];\n", e.def, e.use, attrs.c_str());
+  }
+  out += "}\n";
+  return out;
+}
+
 }  // namespace incore::analysis

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "analysis/analyze.hpp"
+#include "dataflow/dataflow.hpp"
 
 namespace incore::analysis {
 
@@ -14,5 +15,12 @@ namespace incore::analysis {
 [[nodiscard]] std::string to_dot(const asmir::Program& prog,
                                  const uarch::MachineModel& mm,
                                  const DepOptions& opt = {});
+
+/// Renders the dataflow engine's def-use chains as a DOT digraph: one node
+/// per instruction (zero idioms and eliminable moves tinted), solid edges
+/// for same-iteration chains, dashed for loop-carried ones, dotted for
+/// address-generation inputs.  Model-free: pairs with `incore-cli dataflow
+/// --dot`.
+[[nodiscard]] std::string to_dot(const dataflow::Analysis& df);
 
 }  // namespace incore::analysis

@@ -1,0 +1,412 @@
+#include "dataflow/dataflow.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <tuple>
+#include <utility>
+
+#include "support/strings.hpp"
+
+namespace incore::dataflow {
+namespace {
+
+using asmir::Instruction;
+using asmir::Isa;
+using asmir::MemOperand;
+using asmir::Operand;
+using asmir::Program;
+using asmir::RegClass;
+using asmir::Register;
+
+constexpr std::uint32_t kNoBase = 0xffffffffu;
+constexpr std::uint32_t kNoIndex = 0xfffffffeu;
+
+/// The write does not fully define the architectural root: the remaining
+/// bytes/lanes merge from the previous contents.  Note the asymmetry with
+/// 32-bit GPR writes, which zero-extend to the full register on both ISAs
+/// and therefore cut the dependency on the old value.
+bool is_partial_write(const Program& prog, const Instruction& ins,
+                      const Register& dest) {
+  if ((dest.cls == RegClass::Gpr || dest.cls == RegClass::Sp) &&
+      dest.width_bits < 32) {
+    return true;  // 8/16-bit GPR writes merge; 32-bit ones zero-extend
+  }
+  const std::string& m = ins.mnemonic;
+  if (prog.isa == Isa::AArch64) {
+    // Bit-field inserts modify a slice of the destination.
+    if (m == "movk" || m == "ins" || m == "bfi" || m == "bfxil") return true;
+    // Merging predication ("/m"): inactive lanes keep their old value.
+    if (ins.merging_predication && dest.cls == RegClass::Vector) return true;
+    return false;
+  }
+  if (dest.cls != RegClass::Vector) return false;
+  // VEX/EVEX-encoded ('v'-prefixed) writes zero the untouched upper bits;
+  // legacy-SSE scalar forms preserve them -- the classic partial-register
+  // false dependency.
+  if (!m.empty() && m[0] == 'v') return false;
+  if ((m == "movsd" || m == "movss") && ins.ops.size() == 2 &&
+      ins.ops[0].is_reg() && ins.ops[1].is_reg()) {
+    return true;  // reg-reg form merges the low element only
+  }
+  if (support::starts_with(m, "cvtsi2") || m == "cvtsd2ss" ||
+      m == "cvtss2sd") {
+    return true;
+  }
+  if (support::starts_with(m, "pinsr") || m == "insertps") return true;
+  return false;
+}
+
+/// The write advances its own root by a compile-time constant
+/// (add x1, x1, #8 / addq $8, %rdi / incq %rdx / lea 8(%rdi), %rdi).
+std::optional<long long> constant_increment(const Instruction& ins,
+                                            const Register& dest) {
+  if (dest.cls != RegClass::Gpr && dest.cls != RegClass::Sp)
+    return std::nullopt;
+  const std::string& m = ins.mnemonic;
+  const std::uint32_t root = dest.root_id();
+  if (m == "inc" || m == "dec") {
+    if (ins.ops.size() == 1 && ins.ops[0].is_reg()) {
+      return m == "inc" ? +1 : -1;
+    }
+    return std::nullopt;
+  }
+  if (m == "add" || m == "sub") {
+    long long imm = 0;
+    int n_imm = 0;
+    bool same_root_read = false;
+    bool other_input = false;
+    for (const Operand& op : ins.ops) {
+      if (op.kind == asmir::OperandKind::Imm) {
+        ++n_imm;
+        imm = op.imm().value;
+      } else if (op.is_reg() && op.read) {
+        if (op.reg().root_id() == root) {
+          same_root_read = true;
+        } else {
+          other_input = true;
+        }
+      } else if (op.is_mem()) {
+        other_input = true;
+      }
+    }
+    if (n_imm == 1 && same_root_read && !other_input)
+      return m == "add" ? imm : -imm;
+    return std::nullopt;
+  }
+  if (m == "lea") {
+    const MemOperand* mem = ins.mem_operand();
+    if (mem && mem->base && mem->base->root_id() == root && !mem->index)
+      return mem->displacement;
+  }
+  return std::nullopt;
+}
+
+/// Symbolic state of one address register root while walking the body.
+struct RootState {
+  int epoch = 0;       // bumped by every non-constant redefinition
+  long long delta = 0; // constant advance accumulated within this epoch
+};
+
+/// Per-iteration summary of how a root moves.
+struct RootStride {
+  bool all_increments = true;  // every in-body write is a constant advance
+  long long total = 0;         // net advance over one iteration, in bytes
+};
+
+bool ranges_overlap(long long a_lo, int a_width_bits, long long b_lo,
+                    int b_width_bits) {
+  const long long a_hi = a_lo + std::max(a_width_bits / 8, 1);
+  const long long b_hi = b_lo + std::max(b_width_bits / 8, 1);
+  return a_lo < b_hi && b_lo < a_hi;
+}
+
+bool same_address_class(const MemAccess& a, const MemAccess& b) {
+  if (a.base != b.base || a.base_epoch != b.base_epoch) return false;
+  if (a.index != b.index || a.index_epoch != b.index_epoch) return false;
+  // Scale matters only when an index register participates.
+  if (a.index != kNoIndex && a.scale != b.scale) return false;
+  return true;
+}
+
+}  // namespace
+
+const char* to_string(Alias a) {
+  switch (a) {
+    case Alias::NoAlias: return "no-alias";
+    case Alias::MayAlias: return "may-alias";
+    case Alias::MustOverlap: return "must-overlap";
+  }
+  return "?";
+}
+
+bool is_zero_register(const Program& prog, const Register& r) {
+  return prog.isa == Isa::AArch64 && r.cls == RegClass::Gpr && r.index == 31;
+}
+
+Alias Analysis::alias(const MemAccess& a, const MemAccess& b) const {
+  if (a.is_gather || b.is_gather) return Alias::MayAlias;
+  if (!same_address_class(a, b)) return Alias::MayAlias;
+  return ranges_overlap(a.effective_displacement(), a.width_bits,
+                        b.effective_displacement(), b.width_bits)
+             ? Alias::MustOverlap
+             : Alias::NoAlias;
+}
+
+Alias Analysis::alias_next_iteration(const MemAccess& a,
+                                     const MemAccess& b) const {
+  if (a.is_gather || b.is_gather) return Alias::MayAlias;
+  // Crossing the back edge is only sound when the address registers move by
+  // a provable constant per iteration (no epoch bumps anywhere in the body).
+  if (!b.stride_bytes) return Alias::MayAlias;
+  if (!same_address_class(a, b)) return Alias::MayAlias;
+  return ranges_overlap(a.effective_displacement(), a.width_bits,
+                        b.effective_displacement() + *b.stride_bytes,
+                        b.width_bits)
+             ? Alias::MustOverlap
+             : Alias::NoAlias;
+}
+
+bool Analysis::defined_in_body(const Register& r) const {
+  const std::uint32_t root = r.root_id();
+  for (const InstrDataflow& id : instrs) {
+    for (const RegWrite& w : id.writes) {
+      if (w.reg.root_id() == root) return true;
+    }
+  }
+  return false;
+}
+
+Analysis analyze(const Program& prog) {
+  Analysis out;
+  out.prog = &prog;
+  const int n = static_cast<int>(prog.code.size());
+  out.instrs.resize(static_cast<std::size_t>(n));
+
+  // ---- Pass 1: per-instruction semantic read/write sets. ----------------
+  //
+  // Read order deliberately mirrors Instruction::reads(): explicit register
+  // reads and memory address registers per operand position, then the
+  // implicit flags read; synthetic merge reads (partial writes whose IR
+  // destination is not marked read) are appended last so consumers that
+  // must match the positional view can stop before them.
+  for (int i = 0; i < n; ++i) {
+    const Instruction& ins = prog.code[static_cast<std::size_t>(i)];
+    InstrDataflow& id = out.instrs[static_cast<std::size_t>(i)];
+    id.rename = classify_rename(ins);
+
+    for (const Operand& op : ins.ops) {
+      if (op.is_reg() && op.write) {
+        const Register& r = op.reg();
+        if (is_zero_register(prog, r)) continue;  // writes to xzr vanish
+        RegWrite w;
+        w.reg = r;
+        w.partial = is_partial_write(prog, ins, r);
+        w.increment = constant_increment(ins, r);
+        id.writes.push_back(w);
+      }
+      if (op.is_mem() && op.mem().base_writeback && op.mem().base &&
+          !is_zero_register(prog, *op.mem().base)) {
+        RegWrite w;
+        w.reg = *op.mem().base;
+        w.implicit = true;
+        // Pre- and post-index forms both advance the base by the stored
+        // displacement once the access retires.
+        w.increment = op.mem().displacement;
+        id.writes.push_back(w);
+      }
+    }
+    if (ins.writes_flags) {
+      RegWrite w;
+      w.reg = Register{RegClass::Flags, 0, 1};
+      w.implicit = true;
+      id.writes.push_back(w);
+    }
+
+    for (const Operand& op : ins.ops) {
+      if (op.is_reg() && op.read) {
+        const Register& r = op.reg();
+        if (is_zero_register(prog, r)) continue;  // xzr reads carry nothing
+        RegRead rd;
+        rd.reg = r;
+        // An explicit read of a partially-written destination is the merge
+        // input (movk / merging predication): the old contents flow in.
+        rd.merge = op.write && is_partial_write(prog, ins, r);
+        id.reads.push_back(rd);
+      }
+      if (op.is_mem()) {
+        const MemOperand& m = op.mem();
+        for (const std::optional<Register>& ar : {m.base, m.index}) {
+          if (!ar || is_zero_register(prog, *ar)) continue;
+          RegRead rd;
+          rd.reg = *ar;
+          rd.address = true;
+          id.reads.push_back(rd);
+        }
+      }
+    }
+    if (ins.reads_flags) {
+      RegRead rd;
+      rd.reg = Register{RegClass::Flags, 0, 1};
+      rd.implicit = true;
+      id.reads.push_back(rd);
+    }
+    // Synthetic merge reads: partial writes whose destination the IR does
+    // not mark as read (reg-reg movsd, cvtsi2sd, pinsr...).
+    for (const RegWrite& w : id.writes) {
+      if (!w.partial) continue;
+      bool already_read = false;
+      for (const RegRead& rd : id.reads) {
+        if (rd.reg.root_id() == w.reg.root_id()) already_read = true;
+      }
+      if (already_read) continue;
+      RegRead rd;
+      rd.reg = w.reg;
+      rd.implicit = true;
+      rd.merge = true;
+      id.reads.push_back(rd);
+    }
+  }
+
+  // ---- Pass 2: reaching definitions with loop back-edge. ----------------
+  std::map<std::uint32_t, int> final_writer;  // state at the end of the body
+  for (int i = 0; i < n; ++i) {
+    for (const RegWrite& w : out.instrs[static_cast<std::size_t>(i)].writes)
+      final_writer[w.reg.root_id()] = i;
+  }
+
+  std::map<std::uint32_t, int> last_writer;
+  std::set<std::uint32_t> live_in_seen;
+  for (int i = 0; i < n; ++i) {
+    InstrDataflow& id = out.instrs[static_cast<std::size_t>(i)];
+    for (RegRead& rd : id.reads) {
+      const std::uint32_t root = rd.reg.root_id();
+      auto it = last_writer.find(root);
+      if (it != last_writer.end()) {
+        rd.def = it->second;
+      } else {
+        // No definition yet this iteration: in steady state the value comes
+        // from the previous iteration's last writer, or from outside the
+        // loop when the body never defines the root.
+        auto fin = final_writer.find(root);
+        if (fin != final_writer.end()) {
+          rd.def = fin->second;
+          rd.loop_carried = true;
+        } else {
+          rd.def = kLiveIn;
+        }
+        if (live_in_seen.insert(root).second) out.live_in.push_back(rd.reg);
+      }
+    }
+    for (const RegWrite& w : id.writes) last_writer[w.reg.root_id()] = i;
+  }
+  for (const Register& r : out.live_in) {
+    if (final_writer.contains(r.root_id())) out.live_out.push_back(r);
+  }
+
+  // ---- Def-use chains (deduplicated, sorted by (def, use)). -------------
+  std::map<std::tuple<int, int, std::uint32_t, bool, bool, bool>, DefUseEdge>
+      dedup;
+  for (int i = 0; i < n; ++i) {
+    for (const RegRead& rd : out.instrs[static_cast<std::size_t>(i)].reads) {
+      if (rd.def == kLiveIn) continue;
+      DefUseEdge e;
+      e.def = rd.def;
+      e.use = i;
+      e.reg = rd.reg;
+      e.loop_carried = rd.loop_carried;
+      e.address = rd.address;
+      e.merge = rd.merge;
+      dedup.emplace(std::make_tuple(e.def, e.use, rd.reg.root_id(),
+                                    e.loop_carried, e.address, e.merge),
+                    e);
+    }
+  }
+  out.chains.reserve(dedup.size());
+  for (const auto& [key, e] : dedup) out.chains.push_back(e);
+
+  // Dead-write marking: a definition nothing consumes before the root is
+  // redefined (in this or the next iteration).
+  std::set<std::pair<int, std::uint32_t>> consumed;
+  for (const DefUseEdge& e : out.chains)
+    consumed.insert({e.def, e.reg.root_id()});
+  for (int i = 0; i < n; ++i) {
+    for (RegWrite& w : out.instrs[static_cast<std::size_t>(i)].writes)
+      w.dead = !consumed.contains({i, w.reg.root_id()});
+  }
+
+  // ---- Pass 3: symbolic memory summary. ---------------------------------
+  std::map<std::uint32_t, RootState> addr_state;
+  std::map<std::uint32_t, RootStride> root_stride;
+  for (int i = 0; i < n; ++i) {
+    const Instruction& ins = prog.code[static_cast<std::size_t>(i)];
+    InstrDataflow& id = out.instrs[static_cast<std::size_t>(i)];
+    const MemOperand* m = ins.mem_operand();
+    if (m && (ins.is_load || ins.is_store)) {
+      MemAccess a;
+      a.instr = i;
+      a.is_load = ins.is_load;
+      a.is_store = ins.is_store;
+      a.is_gather = m->is_gather;
+      a.scale = m->scale;
+      a.displacement = m->displacement;
+      a.width_bits = m->width_bits;
+      if (m->base) {
+        a.base = m->base->root_id();
+        const RootState& st = addr_state[a.base];
+        a.base_epoch = st.epoch;
+        a.base_delta = st.delta;
+      }
+      if (m->index) {
+        a.index = m->index->root_id();
+        const RootState& st = addr_state[a.index];
+        a.index_epoch = st.epoch;
+        a.index_delta = st.delta;
+      }
+      id.mem = a;
+    }
+    // Apply this instruction's register effects to the symbolic state
+    // *after* recording the access: addresses use the pre-update values
+    // (the IR folds a pre-index adjustment into the displacement).
+    for (const RegWrite& w : id.writes) {
+      RootState& st = addr_state[w.reg.root_id()];
+      RootStride& rs = root_stride[w.reg.root_id()];
+      if (w.increment) {
+        st.delta += *w.increment;
+        rs.total += *w.increment;
+      } else {
+        ++st.epoch;
+        st.delta = 0;
+        rs.all_increments = false;
+      }
+    }
+  }
+  // Stride: defined when every in-body write of each participating address
+  // root is a provable constant advance.
+  auto per_iter = [&root_stride](std::uint32_t root) -> std::optional<long long> {
+    auto it = root_stride.find(root);
+    if (it == root_stride.end()) return 0;  // never written: stationary
+    if (!it->second.all_increments) return std::nullopt;
+    return it->second.total;
+  };
+  for (int i = 0; i < n; ++i) {
+    InstrDataflow& id = out.instrs[static_cast<std::size_t>(i)];
+    if (!id.mem) continue;
+    MemAccess& a = *id.mem;
+    if (!a.is_gather) {
+      std::optional<long long> base_adv =
+          a.base == kNoBase ? std::optional<long long>(0) : per_iter(a.base);
+      std::optional<long long> index_adv =
+          a.index == kNoIndex ? std::optional<long long>(0) : per_iter(a.index);
+      if (base_adv && index_adv) {
+        a.stride_bytes =
+            *base_adv + static_cast<long long>(a.scale) * *index_adv;
+      }
+    }
+    out.accesses.push_back(a);
+  }
+
+  return out;
+}
+
+}  // namespace incore::dataflow

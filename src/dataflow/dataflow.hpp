@@ -1,0 +1,161 @@
+#pragma once
+// Static dataflow analysis over a parsed loop body.
+//
+// For each instruction the pass computes the *semantic* register read and
+// write sets -- the positional operand view of asmir plus the architecture
+// rules the IR cannot express: implicit flag reads/writes, AArch64
+// zero-register semantics (xzr/wzr never carry a dependency), 32-bit GPR
+// writes zero-extending to the full register on both ISAs, and partial
+// writes (reg-reg movsd/movss, cvtsi2sd, AArch64 ins/movk, SVE merging
+// predication) that implicitly read the destination's previous contents.
+//
+// On top of the per-instruction sets the pass derives SSA-style def-use
+// chains with reaching definitions across the loop back-edge, live-in /
+// live-out register sets, a rename-time classification per instruction
+// (idioms.hpp), and a symbolic summary of every memory access (base, index,
+// scale, displacement, inferred per-iteration stride) that supports
+// must/may/no-alias queries -- including across constant pointer bumps and
+// across the back edge.
+//
+// The pass is machine-model-free: it depends only on the IR, so the
+// verifier can lint kernels without resolving them against a model, and the
+// depgraph can consume it without layering cycles.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "asmir/ir.hpp"
+#include "dataflow/idioms.hpp"
+
+namespace incore::dataflow {
+
+inline constexpr int kLiveIn = -1;  // reaching definition outside the body
+
+/// AArch64 zero register (xzr/wzr): reads carry no dependency, writes are
+/// discarded.  Always false for x86-64 programs.
+[[nodiscard]] bool is_zero_register(const asmir::Program& prog,
+                                    const asmir::Register& r);
+
+/// One semantic register read.
+struct RegRead {
+  asmir::Register reg;
+  bool address = false;   // feeds address generation (memory base/index)
+  bool implicit = false;  // not a source operand: flags or a merge input
+  /// The read exists only because the write merges the result into the
+  /// destination's previous contents (partial-register false dependency).
+  bool merge = false;
+  /// Body index of the reaching definition, or kLiveIn.
+  int def = kLiveIn;
+  /// The reaching definition is in the *previous* iteration.
+  bool loop_carried = false;
+};
+
+/// One semantic register write.
+struct RegWrite {
+  asmir::Register reg;
+  bool implicit = false;  // flags or a post/pre-index base write-back
+  /// Defines only part of the architectural root; the rest merges from the
+  /// previous contents (see the matching RegRead with merge=true).
+  bool partial = false;
+  /// No chain consumes this definition before the root is redefined: in
+  /// steady state the value is never observed.
+  bool dead = false;
+  /// The write is a provable constant advance of its own root
+  /// (add x1, x1, #8 / addq $8, %rdi / post-index write-back): the value,
+  /// in bytes, the root moves by.  Drives stride and alias reasoning.
+  std::optional<long long> increment;
+};
+
+/// Symbolic summary of one memory access.  Address registers are tracked by
+/// (root, epoch, delta): a non-constant redefinition of the root opens a new
+/// epoch (incomparable addresses), while constant increments accumulate into
+/// delta so accesses before and after a pointer bump stay comparable.
+struct MemAccess {
+  int instr = -1;
+  bool is_load = false;
+  bool is_store = false;
+  bool is_gather = false;
+  std::uint32_t base = 0xffffffffu;   // register root id, or ~0 when absent
+  std::uint32_t index = 0xfffffffeu;
+  int base_epoch = 0;
+  int index_epoch = 0;
+  long long base_delta = 0;   // constant adjustment applied before this access
+  long long index_delta = 0;
+  int scale = 1;
+  long long displacement = 0;
+  int width_bits = 0;
+  /// Per-iteration advance of the full address in bytes, when every
+  /// definition of the address registers is a provable constant increment.
+  std::optional<long long> stride_bytes;
+
+  /// Displacement normalized to epoch origin: comparable between two
+  /// accesses with identical (base, index, epoch) coordinates.
+  [[nodiscard]] long long effective_displacement() const {
+    return displacement + base_delta +
+           static_cast<long long>(scale) * index_delta;
+  }
+};
+
+enum class Alias : std::uint8_t {
+  NoAlias,      // provably disjoint byte ranges
+  MayAlias,     // not comparable symbolically
+  MustOverlap,  // provably intersecting byte ranges
+};
+
+[[nodiscard]] const char* to_string(Alias a);
+
+/// One def-use chain edge at register-root granularity.
+struct DefUseEdge {
+  int def = 0;
+  int use = 0;
+  asmir::Register reg;       // as mentioned at the use site
+  bool loop_carried = false; // def reaches the use through the back edge
+  bool address = false;      // the use is an address input
+  bool merge = false;        // the use is a partial-write merge input
+};
+
+struct InstrDataflow {
+  std::vector<RegRead> reads;
+  std::vector<RegWrite> writes;
+  RenameClass rename = RenameClass::None;
+  std::optional<MemAccess> mem;  // first memory operand, when present
+};
+
+struct Analysis {
+  const asmir::Program* prog = nullptr;
+  std::vector<InstrDataflow> instrs;
+  /// Deduplicated def-use chains, in (def, use) order.
+  std::vector<DefUseEdge> chains;
+  /// Registers (one representative mention per root) read before any
+  /// in-body definition: the values the iteration consumes from outside.
+  std::vector<asmir::Register> live_in;
+  /// Live-in roots that the body also redefines: the values handed to the
+  /// next iteration (accumulators, induction variables, recurrences).
+  std::vector<asmir::Register> live_out;
+  /// All memory accesses in program order (mirrors instrs[i].mem).
+  std::vector<MemAccess> accesses;
+
+  /// Alias relation between two accesses of the *same* iteration.
+  [[nodiscard]] Alias alias(const MemAccess& a, const MemAccess& b) const;
+  /// Alias relation between `a` in iteration i and `b` in iteration i+1
+  /// (requires a provable stride for b's address registers).
+  [[nodiscard]] Alias alias_next_iteration(const MemAccess& a,
+                                           const MemAccess& b) const;
+
+  /// True when the root of `r` has at least one in-body definition.
+  [[nodiscard]] bool defined_in_body(const asmir::Register& r) const;
+};
+
+/// Runs the full pass.  Cost is O(instructions * operands).
+[[nodiscard]] Analysis analyze(const asmir::Program& prog);
+
+/// Human-readable rendering: per-instruction chains, rename classes,
+/// liveness summary, memory summary and the alias matrix.
+[[nodiscard]] std::string to_text(const Analysis& a);
+
+/// Machine-readable rendering of the same content.
+[[nodiscard]] std::string to_json(const Analysis& a);
+
+}  // namespace incore::dataflow

@@ -1,0 +1,88 @@
+#include "dataflow/idioms.hpp"
+
+#include <optional>
+
+namespace incore::dataflow {
+
+using asmir::Instruction;
+using asmir::Register;
+
+const char* to_string(RenameClass c) {
+  switch (c) {
+    case RenameClass::None: return "none";
+    case RenameClass::ZeroIdiom: return "zero-idiom";
+    case RenameClass::EliminableMove: return "eliminable-move";
+    case RenameClass::DependencyBreaking: return "dependency-breaking";
+  }
+  return "?";
+}
+
+namespace {
+
+/// All operands are registers sharing one architectural root.
+bool all_same_register(const Instruction& ins) {
+  std::optional<Register> first;
+  for (const auto& op : ins.ops) {
+    if (!op.is_reg()) return false;
+    if (!first) {
+      first = op.reg();
+    } else if (op.reg().root_id() != first->root_id()) {
+      return false;
+    }
+  }
+  return first.has_value();
+}
+
+}  // namespace
+
+bool is_zero_idiom(const Instruction& ins) {
+  const std::string& m = ins.mnemonic;
+  bool xor_like = m == "xor" || m == "xorpd" || m == "xorps" || m == "pxor" ||
+                  m == "vxorpd" || m == "vxorps" || m == "vpxor" ||
+                  m == "vpxord" || m == "eor";
+  if (!xor_like) return false;
+  return all_same_register(ins);
+}
+
+bool is_register_move(const Instruction& ins) {
+  static const char* kMoves[] = {"mov",     "fmov",    "movapd",  "movaps",
+                                 "vmovapd", "vmovaps", "vmovupd", "vmovups",
+                                 "vmovdqa", "vmovdqa64"};
+  bool name_match = false;
+  for (const char* m : kMoves) {
+    if (ins.mnemonic == m) {
+      name_match = true;
+      break;
+    }
+  }
+  if (!name_match || ins.ops.size() != 2) return false;
+  return ins.ops[0].is_reg() && ins.ops[1].is_reg();
+}
+
+bool is_dependency_breaking(const Instruction& ins) {
+  if (is_zero_idiom(ins)) return true;
+  // Same-source subtract/compare shapes the x86 renamers break: the result
+  // (zero / all-ones) is known without reading the source.
+  static const char* kBreaking[] = {
+      "sub",     "psubb",   "psubw",   "psubd",   "psubq",   "vpsubb",
+      "vpsubw",  "vpsubd",  "vpsubq",  "pcmpgtb", "pcmpgtw", "pcmpgtd",
+      "pcmpgtq", "vpcmpgtb", "vpcmpgtw", "vpcmpgtd", "vpcmpgtq"};
+  bool name_match = false;
+  for (const char* m : kBreaking) {
+    if (ins.mnemonic == m) {
+      name_match = true;
+      break;
+    }
+  }
+  if (!name_match) return false;
+  return all_same_register(ins);
+}
+
+RenameClass classify_rename(const Instruction& ins) {
+  if (is_zero_idiom(ins)) return RenameClass::ZeroIdiom;
+  if (is_register_move(ins)) return RenameClass::EliminableMove;
+  if (is_dependency_breaking(ins)) return RenameClass::DependencyBreaking;
+  return RenameClass::None;
+}
+
+}  // namespace incore::dataflow

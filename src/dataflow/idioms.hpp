@@ -1,0 +1,50 @@
+#pragma once
+// Rename-time idiom classification, shared by every layer of the stack.
+//
+// Modern renamers special-case a small set of instruction shapes: zeroing
+// idioms (xor/eor of a register with itself) break the dependency on the
+// source and usually retire without an execution micro-op; plain
+// register-to-register moves are executed "for free" at rename by pointing
+// the new architectural register at the old physical one (move
+// elimination); and a few same-source ALU forms produce a value that is
+// independent of the input without being zero (dependency breaking).
+//
+// This table used to live as private helpers inside exec/pipeline.cpp and
+// analysis/depgraph.cpp; promoting it here guarantees the execution testbed
+// and every static pass classify instructions identically -- the
+// paper's Gauss-Seidel discrepancy on Neoverse V2 is precisely a
+// move-elimination effect that a static pass can only reproduce if it
+// shares the testbed's idiom knowledge.
+
+#include "asmir/ir.hpp"
+
+namespace incore::dataflow {
+
+enum class RenameClass : std::uint8_t {
+  None,                // executes normally
+  ZeroIdiom,           // recognized zeroing: no input dependency, no latency
+  EliminableMove,      // reg-to-reg copy a renamer can eliminate
+  DependencyBreaking,  // result independent of the (identical) sources, but
+                       // still occupies an execution port
+};
+
+[[nodiscard]] const char* to_string(RenameClass c);
+
+/// xor %rax,%rax / vxorpd %ymm0,%ymm0,%ymm0 / eor x0,x0,x0: recognized by
+/// renamers as dependency-free zeroing.
+[[nodiscard]] bool is_zero_idiom(const asmir::Instruction& ins);
+
+/// Plain register-to-register copy (mov/fmov/vmovapd...), the shape move
+/// elimination applies to.
+[[nodiscard]] bool is_register_move(const asmir::Instruction& ins);
+
+/// Same-source ALU forms (sub r,r / pcmpgtd x,x / psubq x,x ...) whose
+/// result does not depend on the source value.  Every zero idiom is also
+/// dependency-breaking.
+[[nodiscard]] bool is_dependency_breaking(const asmir::Instruction& ins);
+
+/// Combined classification; ZeroIdiom wins over EliminableMove wins over
+/// DependencyBreaking.
+[[nodiscard]] RenameClass classify_rename(const asmir::Instruction& ins);
+
+}  // namespace incore::dataflow

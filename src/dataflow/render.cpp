@@ -1,0 +1,245 @@
+// Text and JSON renderings of a dataflow::Analysis.
+//
+// The text form is the `incore-cli dataflow` default: per-instruction
+// chains, rename classes and memory summaries followed by liveness and the
+// pairwise alias matrix.  The JSON form carries the same content for
+// machine consumption.
+
+#include <string>
+
+#include "dataflow/dataflow.hpp"
+#include "support/strings.hpp"
+
+namespace incore::dataflow {
+namespace {
+
+using support::format;
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += format("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string reg_name(const Analysis& a, const asmir::Register& r) {
+  return r.name(a.prog->isa);
+}
+
+std::string def_ref(const RegRead& rd) {
+  if (rd.def == kLiveIn) return "live-in";
+  std::string out = format("#%d", rd.def);
+  if (rd.loop_carried) out += "^";  // reaches through the back edge
+  return out;
+}
+
+std::string access_kind(const MemAccess& m) {
+  if (m.is_load && m.is_store) return "load+store";
+  if (m.is_store) return "store";
+  return "load";
+}
+
+/// "[x1 + x2*8 + 16]" -- symbolic address with epoch marks when renamed.
+std::string address_expr(const Analysis& a, const MemAccess& m) {
+  const asmir::MemOperand* mo =
+      a.prog->code[static_cast<std::size_t>(m.instr)].mem_operand();
+  std::string out = "[";
+  bool any = false;
+  if (mo && mo->base) {
+    out += reg_name(a, *mo->base);
+    if (m.base_epoch) out += format("'%d", m.base_epoch);
+    any = true;
+  }
+  if (mo && mo->index) {
+    if (any) out += " + ";
+    out += reg_name(a, *mo->index);
+    if (m.index_epoch) out += format("'%d", m.index_epoch);
+    if (m.scale != 1) out += format("*%d", m.scale);
+    any = true;
+  }
+  if (m.displacement != 0 || !any) {
+    if (any) out += m.displacement < 0 ? " - " : " + ";
+    out += format("%lld", any && m.displacement < 0 ? -m.displacement
+                                                    : m.displacement);
+  }
+  out += "]";
+  return out;
+}
+
+std::string reg_list(const Analysis& a, const std::vector<asmir::Register>& v) {
+  if (v.empty()) return "(none)";
+  std::string out;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i) out += ", ";
+    out += reg_name(a, v[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_text(const Analysis& a) {
+  const asmir::Program& prog = *a.prog;
+  std::string out = format("dataflow: %s, %zu instructions\n\n",
+                           asmir::to_string(prog.isa), prog.code.size());
+  for (std::size_t i = 0; i < prog.code.size(); ++i) {
+    const InstrDataflow& id = a.instrs[i];
+    out += format("#%-3zu %s\n", i, prog.code[i].raw.c_str());
+    std::string reads;
+    for (const RegRead& rd : id.reads) {
+      if (!reads.empty()) reads += "  ";
+      reads += format("%s<-%s", reg_name(a, rd.reg).c_str(),
+                      def_ref(rd).c_str());
+      if (rd.address) reads += "[addr]";
+      if (rd.merge) reads += "[merge]";
+    }
+    if (!reads.empty()) out += "     reads:  " + reads + "\n";
+    std::string writes;
+    for (const RegWrite& w : id.writes) {
+      if (!writes.empty()) writes += "  ";
+      writes += reg_name(a, w.reg);
+      if (w.partial) writes += "[partial]";
+      if (w.dead) writes += "[dead]";
+      if (w.increment) writes += format("[+%lld]", *w.increment);
+    }
+    if (!writes.empty()) out += "     writes: " + writes + "\n";
+    if (id.rename != RenameClass::None)
+      out += format("     rename: %s\n", to_string(id.rename));
+    if (id.mem) {
+      out += format("     mem:    %s %db %s", access_kind(*id.mem).c_str(),
+                    id.mem->width_bits, address_expr(a, *id.mem).c_str());
+      if (id.mem->stride_bytes)
+        out += format("  stride %+lldB/iter", *id.mem->stride_bytes);
+      out += "\n";
+    }
+  }
+  out += format("\nlive-in:  %s\n", reg_list(a, a.live_in).c_str());
+  out += format("live-out: %s\n", reg_list(a, a.live_out).c_str());
+
+  std::size_t carried = 0;
+  for (const DefUseEdge& e : a.chains) carried += e.loop_carried ? 1 : 0;
+  out += format("chains:   %zu edges (%zu loop-carried)\n", a.chains.size(),
+                carried);
+
+  if (a.accesses.size() > 1) {
+    out += "\nalias matrix (same iteration / next iteration):\n";
+    for (std::size_t i = 0; i < a.accesses.size(); ++i) {
+      for (std::size_t j = i + 1; j < a.accesses.size(); ++j) {
+        const MemAccess& x = a.accesses[i];
+        const MemAccess& y = a.accesses[j];
+        out += format("  #%-3d %-10s vs #%-3d %-10s : %-12s / %s\n", x.instr,
+                      access_kind(x).c_str(), y.instr, access_kind(y).c_str(),
+                      to_string(a.alias(x, y)),
+                      to_string(a.alias_next_iteration(x, y)));
+      }
+    }
+  }
+  return out;
+}
+
+std::string to_json(const Analysis& a) {
+  const asmir::Program& prog = *a.prog;
+  std::string out = "{\n";
+  out += format("  \"isa\": \"%s\",\n", asmir::to_string(prog.isa));
+  out += "  \"instructions\": [\n";
+  for (std::size_t i = 0; i < prog.code.size(); ++i) {
+    const InstrDataflow& id = a.instrs[i];
+    out += format("    {\"index\": %zu, \"raw\": \"%s\", \"rename\": \"%s\",",
+                  i, json_escape(prog.code[i].raw).c_str(),
+                  to_string(id.rename));
+    out += " \"reads\": [";
+    for (std::size_t k = 0; k < id.reads.size(); ++k) {
+      const RegRead& rd = id.reads[k];
+      if (k) out += ", ";
+      out += format("{\"reg\": \"%s\", \"def\": %d, \"loop_carried\": %s, "
+                    "\"address\": %s, \"merge\": %s}",
+                    reg_name(a, rd.reg).c_str(), rd.def,
+                    rd.loop_carried ? "true" : "false",
+                    rd.address ? "true" : "false",
+                    rd.merge ? "true" : "false");
+    }
+    out += "], \"writes\": [";
+    for (std::size_t k = 0; k < id.writes.size(); ++k) {
+      const RegWrite& w = id.writes[k];
+      if (k) out += ", ";
+      out += format("{\"reg\": \"%s\", \"partial\": %s, \"dead\": %s",
+                    reg_name(a, w.reg).c_str(), w.partial ? "true" : "false",
+                    w.dead ? "true" : "false");
+      if (w.increment) out += format(", \"increment\": %lld", *w.increment);
+      out += "}";
+    }
+    out += "]}";
+    out += i + 1 < prog.code.size() ? ",\n" : "\n";
+  }
+  out += "  ],\n";
+
+  out += "  \"chains\": [\n";
+  for (std::size_t i = 0; i < a.chains.size(); ++i) {
+    const DefUseEdge& e = a.chains[i];
+    out += format("    {\"def\": %d, \"use\": %d, \"reg\": \"%s\", "
+                  "\"loop_carried\": %s, \"address\": %s, \"merge\": %s}%s\n",
+                  e.def, e.use, reg_name(a, e.reg).c_str(),
+                  e.loop_carried ? "true" : "false",
+                  e.address ? "true" : "false", e.merge ? "true" : "false",
+                  i + 1 < a.chains.size() ? "," : "");
+  }
+  out += "  ],\n";
+
+  auto reg_array = [&](const std::vector<asmir::Register>& v) {
+    std::string s = "[";
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      if (i) s += ", ";
+      s += format("\"%s\"", reg_name(a, v[i]).c_str());
+    }
+    return s + "]";
+  };
+  out += format("  \"live_in\": %s,\n", reg_array(a.live_in).c_str());
+  out += format("  \"live_out\": %s,\n", reg_array(a.live_out).c_str());
+
+  out += "  \"accesses\": [\n";
+  for (std::size_t i = 0; i < a.accesses.size(); ++i) {
+    const MemAccess& m = a.accesses[i];
+    out += format("    {\"instr\": %d, \"kind\": \"%s\", \"width_bits\": %d, "
+                  "\"address\": \"%s\", \"displacement\": %lld",
+                  m.instr, access_kind(m).c_str(), m.width_bits,
+                  json_escape(address_expr(a, m)).c_str(),
+                  m.effective_displacement());
+    if (m.stride_bytes) out += format(", \"stride_bytes\": %lld",
+                                      *m.stride_bytes);
+    if (m.is_gather) out += ", \"gather\": true";
+    out += format("}%s\n", i + 1 < a.accesses.size() ? "," : "");
+  }
+  out += "  ],\n";
+
+  out += "  \"alias\": [\n";
+  std::string pairs;
+  for (std::size_t i = 0; i < a.accesses.size(); ++i) {
+    for (std::size_t j = i + 1; j < a.accesses.size(); ++j) {
+      const MemAccess& x = a.accesses[i];
+      const MemAccess& y = a.accesses[j];
+      if (!pairs.empty()) pairs += ",\n";
+      pairs += format("    {\"a\": %d, \"b\": %d, \"same_iteration\": \"%s\", "
+                      "\"next_iteration\": \"%s\"}",
+                      x.instr, y.instr, to_string(a.alias(x, y)),
+                      to_string(a.alias_next_iteration(x, y)));
+    }
+  }
+  if (!pairs.empty()) out += pairs + "\n";
+  out += "  ]\n}\n";
+  return out;
+}
+
+}  // namespace incore::dataflow

@@ -8,6 +8,7 @@
 #include <optional>
 #include <tuple>
 
+#include "dataflow/dataflow.hpp"
 #include "support/error.hpp"
 
 namespace incore::exec {
@@ -39,43 +40,13 @@ struct MemKey {
   }
 };
 
-bool is_zero_register(const Program& prog, const Register& r) {
-  return prog.isa == asmir::Isa::AArch64 && r.cls == RegClass::Gpr &&
-         r.index == 31;
-}
+using dataflow::is_zero_register;
 
-bool is_zero_idiom(const Instruction& ins) {
-  const std::string& m = ins.mnemonic;
-  bool xor_like = m == "xor" || m == "xorpd" || m == "xorps" || m == "pxor" ||
-                  m == "vxorpd" || m == "vxorps" || m == "vpxor" ||
-                  m == "vpxord" || m == "eor";
-  if (!xor_like) return false;
-  std::optional<Register> first;
-  for (const auto& op : ins.ops) {
-    if (!op.is_reg()) return false;
-    if (!first) {
-      first = op.reg();
-    } else if (op.reg().root_id() != first->root_id()) {
-      return false;
-    }
-  }
-  return first.has_value();
-}
-
-bool is_register_move(const Instruction& ins) {
-  static const char* kMoves[] = {"mov",     "fmov",    "movapd",  "movaps",
-                                 "vmovapd", "vmovaps", "vmovupd", "vmovups",
-                                 "vmovdqa", "vmovdqa64"};
-  bool name_match = false;
-  for (const char* m : kMoves) {
-    if (ins.mnemonic == m) {
-      name_match = true;
-      break;
-    }
-  }
-  if (!name_match || ins.ops.size() != 2) return false;
-  return ins.ops[0].is_reg() && ins.ops[1].is_reg();
-}
+// Rename-time idiom recognition (zero idioms, eliminable moves) comes from
+// the shared dataflow table so the testbed and the static passes can never
+// disagree: see dataflow/idioms.hpp.
+using dataflow::is_zero_idiom;
+using dataflow::is_register_move;
 
 /// Static (per program position) description after model resolution and
 /// config transforms.

@@ -1,0 +1,196 @@
+#include "verify/dataflow_lints.hpp"
+
+#include <set>
+
+#include "dataflow/dataflow.hpp"
+#include "support/strings.hpp"
+
+namespace incore::verify {
+
+namespace {
+
+using asmir::Instruction;
+using asmir::Program;
+using asmir::RegClass;
+using asmir::Register;
+using support::format;
+
+std::string ins_location(std::string_view name, const Instruction& ins) {
+  return format("kernel '%.*s', line %d: '%s'",
+                static_cast<int>(name.size()), name.data(), ins.line,
+                ins.raw.c_str());
+}
+
+/// Roots whose liveness is structural, not a data recurrence.
+bool is_ignored_root(const Register& r) {
+  return r.cls == RegClass::Sp || r.cls == RegClass::Flags;
+}
+
+}  // namespace
+
+std::size_t lint_dataflow(const Program& prog, std::string_view name,
+                          DiagnosticSink& sink) {
+  const std::size_t before = sink.diagnostics().size();
+  const dataflow::Analysis df = dataflow::analyze(prog);
+  const int n = static_cast<int>(prog.code.size());
+
+  // --- VK007: dead write (never read before the next redefinition) ---
+  // Only explicit register destinations count: implicit flag updates and
+  // address write-backs are structural, and in steady state an unread flag
+  // result is the common case, not a bug.
+  for (int i = 0; i < n; ++i) {
+    const Instruction& ins = prog.code[static_cast<std::size_t>(i)];
+    for (const dataflow::RegWrite& w :
+         df.instrs[static_cast<std::size_t>(i)].writes) {
+      if (!w.dead || w.implicit || is_ignored_root(w.reg)) continue;
+      sink.report(
+          Severity::Warning, "VK007", ins_location(name, ins),
+          format("write to '%s' is never read before the register is "
+                 "redefined: the value is dead in steady state",
+                 w.reg.name(prog.isa).c_str()),
+          {"the instruction still occupies ports and the ROB; if the value "
+           "matters only after the loop, this is fine"});
+    }
+  }
+
+  // --- VK008: partial-register write serializing iterations ---
+  // A partial write merges the untouched bytes/lanes from the previous
+  // contents; when that merge input reaches through the back edge, every
+  // iteration waits on the previous one for a value it never really uses.
+  // Merging predication is excluded: its merge input is real semantics.
+  for (int i = 0; i < n; ++i) {
+    const Instruction& ins = prog.code[static_cast<std::size_t>(i)];
+    if (ins.merging_predication) continue;
+    const dataflow::InstrDataflow& id = df.instrs[static_cast<std::size_t>(i)];
+    for (const dataflow::RegWrite& w : id.writes) {
+      if (!w.partial) continue;
+      for (const dataflow::RegRead& rd : id.reads) {
+        if (rd.merge && rd.loop_carried &&
+            rd.reg.root_id() == w.reg.root_id()) {
+          sink.report(
+              Severity::Warning, "VK008", ins_location(name, ins),
+              format("partial write to '%s' merges bytes produced in the "
+                     "previous iteration: a false loop-carried dependency",
+                     w.reg.name(prog.isa).c_str()),
+              {"use a full-width or zero-extending form (or a VEX encoding "
+               "on x86) to cut the merge"});
+          break;
+        }
+      }
+    }
+  }
+
+  // --- VK009: store-to-load pair with mismatched widths ---
+  // Forwarding networks handle a load fully contained in one older store;
+  // a load that is wider than, or straddles, the forwarded store stalls
+  // until the store drains.  Checked within the iteration and across the
+  // back edge.
+  for (const dataflow::MemAccess& st : df.accesses) {
+    if (!st.is_store) continue;
+    for (const dataflow::MemAccess& ld : df.accesses) {
+      if (!ld.is_load) continue;
+      const bool same_iter =
+          ld.instr > st.instr &&
+          df.alias(st, ld) == dataflow::Alias::MustOverlap;
+      const bool next_iter =
+          df.alias_next_iteration(st, ld) == dataflow::Alias::MustOverlap;
+      if (!same_iter && !next_iter) continue;
+      const long long shift =
+          !same_iter && ld.stride_bytes ? *ld.stride_bytes : 0;
+      const long long s_lo = st.effective_displacement();
+      const long long s_hi = s_lo + std::max(st.width_bits / 8, 1);
+      const long long l_lo = ld.effective_displacement() + shift;
+      const long long l_hi = l_lo + std::max(ld.width_bits / 8, 1);
+      if (s_lo <= l_lo && l_hi <= s_hi && st.width_bits == ld.width_bits)
+        continue;  // exact or contained same-width forward: fast path
+      if (s_lo <= l_lo && l_hi <= s_hi) continue;  // contained: forwardable
+      sink.report(
+          Severity::Warning, "VK009",
+          ins_location(name, prog.code[static_cast<std::size_t>(ld.instr)]),
+          format("load (%d bits) overlaps the store at line %d (%d bits) "
+                 "without being contained in it: store-to-load forwarding "
+                 "will stall",
+                 ld.width_bits,
+                 prog.code[static_cast<std::size_t>(st.instr)].line,
+                 st.width_bits),
+          {"match the access widths or separate the locations"});
+    }
+  }
+
+  // --- VK010: flag-register recurrence ---
+  // A flags value consumed from the previous iteration serializes the loop
+  // on the flag-producing instruction (classic ADC/SBB chains).
+  for (int i = 0; i < n; ++i) {
+    for (const dataflow::RegRead& rd :
+         df.instrs[static_cast<std::size_t>(i)].reads) {
+      if (rd.reg.cls != RegClass::Flags || !rd.loop_carried) continue;
+      sink.report(
+          Severity::Note, "VK010",
+          ins_location(name, prog.code[static_cast<std::size_t>(i)]),
+          format("flags are consumed from the previous iteration (producer "
+                 "at line %d): the flag register is a loop-carried "
+                 "dependency",
+                 prog.code[static_cast<std::size_t>(rd.def)].line));
+    }
+  }
+
+  // --- VK011: zero idiom discards its syntactic input dependency ---
+  for (int i = 0; i < n; ++i) {
+    const dataflow::InstrDataflow& id = df.instrs[static_cast<std::size_t>(i)];
+    if (id.rename != dataflow::RenameClass::ZeroIdiom) continue;
+    for (const dataflow::RegRead& rd : id.reads) {
+      if (rd.def == dataflow::kLiveIn) continue;
+      sink.report(
+          Severity::Note, "VK011",
+          ins_location(name, prog.code[static_cast<std::size_t>(i)]),
+          format("zero idiom: the apparent dependency on '%s' (defined at "
+                 "line %d%s) is broken at rename",
+                 rd.reg.name(prog.isa).c_str(),
+                 prog.code[static_cast<std::size_t>(rd.def)].line,
+                 rd.loop_carried ? ", previous iteration" : ""));
+      break;  // one note per idiom
+    }
+  }
+
+  // --- VK012: live-in register also written (accumulator detection) ---
+  for (const Register& r : df.live_out) {
+    if (is_ignored_root(r)) continue;
+    const std::uint32_t root = r.root_id();
+    // Gather the defining instructions and how they use the root.
+    bool all_increment = true;
+    bool all_read_self = true;
+    int first_def = -1;
+    for (int i = 0; i < n; ++i) {
+      const dataflow::InstrDataflow& id =
+          df.instrs[static_cast<std::size_t>(i)];
+      bool writes_root = false;
+      for (const dataflow::RegWrite& w : id.writes) {
+        if (w.reg.root_id() == root) {
+          writes_root = true;
+          if (!w.increment) all_increment = false;
+        }
+      }
+      if (!writes_root) continue;
+      if (first_def < 0) first_def = i;
+      bool reads_root = false;
+      for (const dataflow::RegRead& rd : id.reads) {
+        if (rd.reg.root_id() == root && !rd.merge) reads_root = true;
+      }
+      if (!reads_root) all_read_self = false;
+    }
+    if (first_def < 0) continue;
+    const char* kind = all_increment          ? "induction variable"
+                       : all_read_self        ? "accumulator"
+                                              : "loop-carried recurrence";
+    sink.report(
+        Severity::Note, "VK012",
+        ins_location(name, prog.code[static_cast<std::size_t>(first_def)]),
+        format("register '%s' enters the iteration live and is redefined: "
+               "%s (loop-carried dependency)",
+               r.name(prog.isa).c_str(), kind));
+  }
+
+  return sink.diagnostics().size() - before;
+}
+
+}  // namespace incore::verify

@@ -1,0 +1,27 @@
+#pragma once
+// Dataflow-driven kernel lints (VK007..VK012).
+//
+// These checks run on the dataflow engine's def-use chains, liveness and
+// alias summaries rather than on syntactic operand positions, so they are
+// machine-model-free: dead writes never observed in steady state, partial-
+// register writes that serialize iterations, store-to-load pairs whose
+// widths defeat forwarding, flag recurrences, zero idioms whose syntactic
+// self-dependency the renamer discards, and accumulator / induction-
+// variable detection over the live-in/live-out sets.
+//
+// Called from lint_program(); exposed separately so tests and tools can
+// lint a kernel without resolving it against any machine model.
+
+#include <string_view>
+
+#include "asmir/ir.hpp"
+#include "verify/diagnostics.hpp"
+
+namespace incore::verify {
+
+/// Runs VK007..VK012 over `prog`.  Returns the number of diagnostics
+/// emitted.
+std::size_t lint_dataflow(const asmir::Program& prog, std::string_view name,
+                          DiagnosticSink& sink);
+
+}  // namespace incore::verify

@@ -43,6 +43,19 @@ std::span<const CodeInfo> all_codes() {
       {"VK005", Severity::Warning, "unmatched analysis region markers"},
       {"VK006", Severity::Note,
        "no analysis region markers; the whole file is analyzed"},
+      {"VK007", Severity::Warning,
+       "register write never read before its next redefinition (dead)"},
+      {"VK008", Severity::Warning,
+       "partial-register write merges bytes across iterations (false "
+       "loop-carried dependency)"},
+      {"VK009", Severity::Warning,
+       "store-to-load pair with mismatched widths defeats forwarding"},
+      {"VK010", Severity::Note,
+       "flag register is consumed from the previous iteration"},
+      {"VK011", Severity::Note,
+       "zero idiom's syntactic input dependency is broken at rename"},
+      {"VK012", Severity::Note,
+       "live-in register is redefined: accumulator / induction recurrence"},
   };
   return kCodes;
 }

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "support/strings.hpp"
+#include "verify/dataflow_lints.hpp"
 #include "verify/model_lints.hpp"
 
 namespace incore::verify {
@@ -123,6 +124,9 @@ std::size_t lint_program(const Program& prog, const uarch::MachineModel& mm,
       break;  // one diagnostic per program is enough
     }
   }
+
+  // --- dataflow-driven lints (VK007..VK012) ---
+  lint_dataflow(prog, name, sink);
 
   return sink.diagnostics().size() - before;
 }

@@ -112,6 +112,99 @@ TEST(StoreToLoad, MemoryRecurrenceIsLoopCarried) {
             analysis::DepOptions{}.store_forward_latency);
 }
 
+TEST(StoreToLoad, NarrowStoreDoesNotHideOlderBytes) {
+  // An 8-byte load over a 4-byte store must also reach past it to the older
+  // 8-byte store that supplies the remaining bytes.
+  auto r = deps(
+      "movq %rax, (%rdi)\n"
+      "movl %ebx, (%rdi)\n"
+      "movq (%rdi), %rcx\n");
+  EXPECT_TRUE(has_edge(r, 1, 2, false));
+  EXPECT_TRUE(has_edge(r, 0, 2, false));
+}
+
+TEST(StoreToLoad, CoveringStoreStopsTheSearch) {
+  // The newest store fully contains the narrower load: the older store
+  // cannot supply any byte.
+  auto r = deps(
+      "movq %rax, (%rdi)\n"
+      "movq %rbx, (%rdi)\n"
+      "movl 4(%rdi), %ecx\n");
+  EXPECT_TRUE(has_edge(r, 1, 2, false));
+  EXPECT_FALSE(has_edge(r, 0, 2, false));
+}
+
+TEST(DepOptions, ZeroIdiomRecognitionCanBeDisabled) {
+  const char* text =
+      "vxorpd %ymm0, %ymm0, %ymm0\n"
+      "vaddpd %ymm0, %ymm1, %ymm2\n";
+  auto r = deps(text);
+  EXPECT_FALSE(has_edge(r, 0, 0, true));  // idiom: no self-dependency
+  EXPECT_DOUBLE_EQ(edge_weight(r, 0, 1, false), 0.0);
+
+  auto prog = asmir::parse(text, Isa::X86_64);
+  analysis::DepOptions opt;
+  opt.recognize_zero_idioms = false;
+  auto s = analysis::analyze_dependencies(
+      prog, uarch::machine(uarch::Micro::GoldenCove), opt);
+  EXPECT_TRUE(has_edge(s, 0, 0, true));  // strictly syntactic graph
+  EXPECT_GT(edge_weight(s, 0, 1, false), 0.0);
+}
+
+TEST(DepOptions, RenameMovesZeroesEliminableMoveLatency) {
+  // add -> move -> mul -> (back edge) add: eliminating the move removes its
+  // latency from the loop-carried recurrence.
+  const char* text =
+      "vaddpd %ymm0, %ymm1, %ymm2\n"
+      "vmovapd %ymm2, %ymm3\n"
+      "vmulpd %ymm3, %ymm4, %ymm0\n";
+  auto prog = asmir::parse(text, Isa::X86_64);
+  const auto& mm = uarch::machine(uarch::Micro::GoldenCove);
+  auto base = analysis::analyze_dependencies(prog, mm);
+  analysis::DepOptions opt;
+  opt.rename_moves = true;
+  auto aware = analysis::analyze_dependencies(prog, mm, opt);
+  EXPECT_DOUBLE_EQ(edge_weight(aware, 1, 2, false), 0.0);
+  EXPECT_GT(edge_weight(base, 1, 2, false), 0.0);
+  EXPECT_LT(aware.loop_carried_cycles, base.loop_carried_cycles);
+}
+
+TEST(DepOptions, PreciseAliasSeesThroughPointerBumps) {
+  // The load reads the just-stored location in post-bump coordinates; the
+  // versioned-key matcher cannot relate the two, the dataflow engine can.
+  const char* text =
+      "movq %rax, (%rdi)\n"
+      "addq $8, %rdi\n"
+      "movq -8(%rdi), %rbx\n";
+  auto prog = asmir::parse(text, Isa::X86_64);
+  const auto& mm = uarch::machine(uarch::Micro::GoldenCove);
+  auto base = analysis::analyze_dependencies(prog, mm);
+  EXPECT_FALSE(has_edge(base, 0, 2, false));
+  analysis::DepOptions opt;
+  opt.alias_precise_stores = true;
+  auto precise = analysis::analyze_dependencies(prog, mm, opt);
+  ASSERT_TRUE(has_edge(precise, 0, 2, false));
+  EXPECT_DOUBLE_EQ(edge_weight(precise, 0, 2, false),
+                   analysis::DepOptions{}.store_forward_latency);
+}
+
+TEST(DepOptions, PreciseAliasFindsBackEdgeMemoryRecurrence) {
+  // Store [rdi] in iteration i feeds the load [rdi-8] of iteration i+1.
+  const char* text =
+      "movq %rax, (%rdi)\n"
+      "movq -8(%rdi), %rbx\n"
+      "addq $8, %rdi\n";
+  auto prog = asmir::parse(text, Isa::X86_64);
+  const auto& mm = uarch::machine(uarch::Micro::GoldenCove);
+  auto base = analysis::analyze_dependencies(prog, mm);
+  EXPECT_FALSE(has_edge(base, 0, 1, true));
+  analysis::DepOptions opt;
+  opt.alias_precise_stores = true;
+  auto precise = analysis::analyze_dependencies(prog, mm, opt);
+  EXPECT_TRUE(has_edge(precise, 0, 1, true));
+  EXPECT_FALSE(has_edge(precise, 0, 1, false));
+}
+
 TEST(DepEdges, DuplicateRegisterReadsAreDeduplicated) {
   // %ymm3 is read twice by the consumer; only one edge must remain.
   auto r = deps(

@@ -13,6 +13,7 @@
 #include "report/json.hpp"
 #include "support/error.hpp"
 #include "uarch/model.hpp"
+#include "verify/dataflow_lints.hpp"
 #include "verify/diagnostics.hpp"
 #include "verify/kernel_lints.hpp"
 #include "verify/model_lints.hpp"
@@ -343,6 +344,106 @@ TEST(KernelLints, ConditionalBranchDoesNotTriggerVK004) {
   DiagnosticSink sink;
   verify::lint_program(prog, mm, "k.s", sink);
   EXPECT_FALSE(has_code(sink, "VK004"));
+}
+
+// ---------------------------------------------------- dataflow lint family
+
+TEST(DataflowLints, DeadWriteIsVK007) {
+  auto prog = asmir::parse("movq %rax, %rbx\nmovq %rcx, %rbx\n", Isa::X86_64);
+  DiagnosticSink sink;
+  verify::lint_dataflow(prog, "k.s", sink);
+  EXPECT_EQ(count_code(sink, "VK007"), 2u) << sink.to_text();  // both unread
+  EXPECT_FALSE(sink.has_errors());
+}
+
+TEST(DataflowLints, ConsumedWritesAreNotVK007) {
+  auto prog = asmir::parse("addq %rbx, %rax\nmovq %rax, (%rdi)\n",
+                           Isa::X86_64);
+  DiagnosticSink sink;
+  verify::lint_dataflow(prog, "k.s", sink);
+  EXPECT_EQ(count_code(sink, "VK007"), 0u) << sink.to_text();
+}
+
+TEST(DataflowLints, PartialRegisterSerializationIsVK008) {
+  // Reg-reg movsd merges the upper xmm0 lanes produced last iteration.
+  auto prog = asmir::parse("movsd %xmm1, %xmm0\nmulsd %xmm2, %xmm0\n",
+                           Isa::X86_64);
+  DiagnosticSink sink;
+  verify::lint_dataflow(prog, "k.s", sink);
+  EXPECT_GE(count_code(sink, "VK008"), 1u) << sink.to_text();
+}
+
+TEST(DataflowLints, VexMoveDoesNotTriggerVK008) {
+  auto prog = asmir::parse("vmovapd %xmm1, %xmm0\nvmulpd %xmm2, %xmm0, %xmm0\n",
+                           Isa::X86_64);
+  DiagnosticSink sink;
+  verify::lint_dataflow(prog, "k.s", sink);
+  EXPECT_EQ(count_code(sink, "VK008"), 0u) << sink.to_text();
+}
+
+TEST(DataflowLints, WidthMismatchedForwardingIsVK009) {
+  // 4-byte store, 8-byte load of the same location: not contained.
+  auto prog = asmir::parse("movl %eax, (%rdi)\nmovq (%rdi), %rbx\n",
+                           Isa::X86_64);
+  DiagnosticSink sink;
+  verify::lint_dataflow(prog, "k.s", sink);
+  EXPECT_GE(count_code(sink, "VK009"), 1u) << sink.to_text();
+
+  // Contained load forwards cleanly: no diagnostic.
+  auto ok = asmir::parse("movq %rax, (%rdi)\nmovl 4(%rdi), %ebx\n",
+                         Isa::X86_64);
+  DiagnosticSink sink2;
+  verify::lint_dataflow(ok, "k.s", sink2);
+  EXPECT_EQ(count_code(sink2, "VK009"), 0u) << sink2.to_text();
+}
+
+TEST(DataflowLints, FlagRecurrenceIsVK010) {
+  // adc consumes the carry it produced in the previous iteration.
+  auto prog = asmir::parse("adcq %rbx, %rax\n", Isa::X86_64);
+  DiagnosticSink sink;
+  verify::lint_dataflow(prog, "k.s", sink);
+  EXPECT_GE(count_code(sink, "VK010"), 1u) << sink.to_text();
+}
+
+TEST(DataflowLints, SameIterationFlagsAreNotVK010) {
+  auto prog = asmir::parse("subs x6, x6, #1\nb.ne .L3\n", Isa::AArch64);
+  DiagnosticSink sink;
+  verify::lint_dataflow(prog, "k.s", sink);
+  EXPECT_EQ(count_code(sink, "VK010"), 0u) << sink.to_text();
+}
+
+TEST(DataflowLints, ZeroIdiomBrokenDependencyIsVK011) {
+  auto prog = asmir::parse("xorl %eax, %eax\naddl %ebx, %eax\n", Isa::X86_64);
+  DiagnosticSink sink;
+  verify::lint_dataflow(prog, "k.s", sink);
+  EXPECT_EQ(count_code(sink, "VK011"), 1u) << sink.to_text();
+}
+
+TEST(DataflowLints, RecurrenceClassificationIsVK012) {
+  // rax: pure pointer bump -> induction variable; xmm-style accumulator via
+  // integer add -> accumulator.
+  auto prog = asmir::parse("addq $8, %rdi\naddq %rbx, %rax\n", Isa::X86_64);
+  DiagnosticSink sink;
+  verify::lint_dataflow(prog, "k.s", sink);
+  EXPECT_EQ(count_code(sink, "VK012"), 2u) << sink.to_text();
+  bool induction = false, accumulator = false;
+  for (const auto& d : sink.diagnostics()) {
+    if (d.code != "VK012") continue;
+    if (d.message.find("induction variable") != std::string::npos)
+      induction = true;
+    if (d.message.find("accumulator") != std::string::npos) accumulator = true;
+  }
+  EXPECT_TRUE(induction) << sink.to_text();
+  EXPECT_TRUE(accumulator) << sink.to_text();
+}
+
+TEST(DataflowLints, LintProgramRunsTheDataflowFamily) {
+  // The full kernel lint entry point must include the dataflow lints.
+  MachineModel mm = toy_model();
+  auto prog = asmir::parse("addq %rbx, %rax\n", Isa::X86_64);
+  DiagnosticSink sink;
+  verify::lint_program(prog, mm, "k.s", sink);
+  EXPECT_TRUE(has_code(sink, "VK012")) << sink.to_text();
 }
 
 TEST(MarkerLints, UnmatchedBeginIsVK005) {

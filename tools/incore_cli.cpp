@@ -33,6 +33,7 @@
 #include "analysis/analyze.hpp"
 #include "analysis/dot.hpp"
 #include "asmir/parser.hpp"
+#include "dataflow/dataflow.hpp"
 #include "driver/predictor.hpp"
 #include "driver/sweep.hpp"
 #include "ecm/ecm.hpp"
@@ -63,6 +64,13 @@ int usage() {
       "  analyze <machine> [file.s]       in-core analysis of a loop body\n"
       "       --json emits analysis + LLVM-MCA + testbed as one document\n"
       "       --machine-file <m.mdf> analyzes against a loaded description\n"
+      "       --rename-aware eliminates reg-reg moves at rename (static\n"
+      "                      counterpart of the testbed's move elimination)\n"
+      "       --dot <file> also writes the dependency graph as Graphviz DOT\n"
+      "  dataflow <isa|machine> [file.s]  def-use chains, liveness, rename\n"
+      "                                   classes and the alias matrix\n"
+      "       --json machine-readable output; --dot <file> def-use graph;\n"
+      "       isa: aarch64 or x86 (or any machine name)\n"
       "  sweep                            evaluate the validation matrix\n"
       "       sweep flags: --jobs N (0 = auto) --models m1,m2 --kernels k1,..\n"
       "                    --machines m1,.. --compilers c1,.. --opt O1,..\n"
@@ -136,15 +144,36 @@ int cmd_machines() {
   return 0;
 }
 
+/// Writes `content` to `path`, reporting failures on stderr.
+bool write_file(const char* path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return false;
+  }
+  out << content;
+  return true;
+}
+
 int cmd_analyze(int argc, char** argv) {
   bool json = false;
+  bool rename_aware = false;
   std::string machine_name;
   const char* machine_file = nullptr;
+  const char* dot_path = nullptr;
   const char* path = nullptr;
   for (int i = 2; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--json") {
       json = true;
+    } else if (a == "--rename-aware") {
+      rename_aware = true;
+    } else if (a == "--dot") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--dot needs a file path\n");
+        return 2;
+      }
+      dot_path = argv[++i];
     } else if (a == "--machine-file") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "--machine-file needs a value\n");
@@ -174,7 +203,13 @@ int cmd_analyze(int argc, char** argv) {
     std::fprintf(stderr, "no instructions parsed\n");
     return 1;
   }
-  auto rep = analysis::analyze(prog, mm);
+  analysis::DepOptions dopt;
+  dopt.rename_moves = rename_aware;
+  auto rep = analysis::analyze(prog, mm, dopt);
+  if (dot_path != nullptr &&
+      !write_file(dot_path, analysis::to_dot(prog, mm, dopt))) {
+    return 1;
+  }
   if (json) {
     // One document covering all three models (report::to_json has a
     // serialization for each result type).
@@ -186,6 +221,8 @@ int cmd_analyze(int argc, char** argv) {
                 report::to_json(meas, mm).c_str());
     return 0;
   }
+  if (rename_aware)
+    std::printf("(rename-aware: reg-reg moves eliminated on chains)\n");
   std::fputs(rep.to_table().c_str(), stdout);
   const driver::Prediction meas =
       driver::predict_program(prog, mm, driver::Model::Testbed);
@@ -353,6 +390,59 @@ int cmd_dot(const std::string& machine_name, const char* path) {
   const auto& mm = *ref.model;
   asmir::Program prog = asmir::parse(text, mm.isa());
   std::fputs(analysis::to_dot(prog, mm).c_str(), stdout);
+  return 0;
+}
+
+int cmd_dataflow(int argc, char** argv) {
+  bool json = false;
+  const char* dot_path = nullptr;
+  std::string target;
+  const char* path = nullptr;
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--json") {
+      json = true;
+    } else if (a == "--dot") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--dot needs a file path\n");
+        return 2;
+      }
+      dot_path = argv[++i];
+    } else if (a.starts_with("--")) {
+      std::fprintf(stderr, "unknown dataflow flag '%s'\n", a.c_str());
+      return usage();
+    } else if (target.empty()) {
+      target = a;
+    } else {
+      path = argv[i];
+    }
+  }
+  if (target.empty()) return usage();
+  // The pass is machine-model-free; only the parsing ISA is needed.  Accept
+  // an ISA keyword directly, or any machine name / .mdf path to borrow its
+  // ISA.
+  asmir::Isa isa;
+  if (target == "aarch64" || target == "arm") {
+    isa = asmir::Isa::AArch64;
+  } else if (target == "x86" || target == "x86-64" || target == "x86_64") {
+    isa = asmir::Isa::X86_64;
+  } else {
+    uarch::MachineRef ref;
+    if (!parse_machine(target, ref)) return 2;
+    isa = ref.model->isa();
+  }
+  std::string text;
+  if (!read_input(path, text)) return 1;
+  asmir::Program prog = asmir::parse(text, isa);
+  if (prog.empty()) {
+    std::fprintf(stderr, "no instructions parsed\n");
+    return 1;
+  }
+  const dataflow::Analysis df = dataflow::analyze(prog);
+  if (dot_path != nullptr && !write_file(dot_path, analysis::to_dot(df)))
+    return 1;
+  std::fputs((json ? dataflow::to_json(df) : dataflow::to_text(df)).c_str(),
+             stdout);
   return 0;
 }
 
@@ -694,6 +784,7 @@ int main(int argc, char** argv) {
     if (cmd == "machines") return cmd_machines();
     if (cmd == "kernels") return cmd_kernels();
     if (cmd == "analyze" && argc >= 3) return cmd_analyze(argc, argv);
+    if (cmd == "dataflow" && argc >= 3) return cmd_dataflow(argc, argv);
     if (cmd == "sweep") return cmd_sweep(argc, argv);
     if (cmd == "export-model" && argc >= 3)
       return cmd_export_model(argc, argv);
