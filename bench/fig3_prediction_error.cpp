@@ -17,6 +17,7 @@
 #include <map>
 #include <vector>
 
+#include "audit/audit.hpp"
 #include "driver/sweep.hpp"
 #include "report/report.hpp"
 #include "support/csv.hpp"
@@ -34,6 +35,7 @@ int main(int argc, char** argv) {
 
   struct Sample {
     kernels::Variant variant;
+    std::size_t block;  // into res.blocks / res.audit_verdicts
     double measured;
     double osaca;
     double mca;
@@ -41,15 +43,21 @@ int main(int argc, char** argv) {
 
   // The whole matrix through the sweep driver: dedup collapses the 416
   // cells to the unique blocks, the worker pool fans the three models out,
-  // and the rows come back in deterministic matrix order.
+  // and the rows come back in deterministic matrix order.  The audit hook
+  // attributes every block's model divergence alongside the predictions.
   driver::SweepOptions opt;
   opt.jobs = support::ThreadPool::default_jobs();
+  opt.audit = [](const driver::Block& b) {
+    verify::DiagnosticSink sink;
+    return audit::verdict_string(audit::audit_block(b, sink));
+  };
   const driver::SweepResult res = driver::sweep(opt);
   std::vector<Sample> samples;
   samples.reserve(res.rows.size());
   for (const driver::SweepRow& row : res.rows) {
     samples.push_back(Sample{
-        row.variant, res.find(row, "testbed")->cycles_per_iteration,
+        row.variant, row.block_index,
+        res.find(row, "testbed")->cycles_per_iteration,
         res.find(row, "osaca")->cycles_per_iteration,
         res.find(row, "mca")->cycles_per_iteration});
   }
@@ -113,13 +121,39 @@ int main(int argc, char** argv) {
         ks.p_value < 0.01 ? "clearly distinct" : "not distinguishable");
   }
 
-  // The paper's headline outliers, called out explicitly.
+  // The paper's headline outliers, called out explicitly, each tagged with
+  // the audit's attributed divergence cause for its unique block.
   std::printf("Outliers (prediction slower than measurement by > 5%%):\n");
   for (const Sample& s : samples) {
     double r = rpe(s.measured, s.osaca);
     if (r < -0.05) {
-      std::printf("  OSACA %-46s pred %.2f vs meas %.2f (RPE %+.2f)\n",
-                  s.variant.label().c_str(), s.osaca, s.measured, r);
+      std::printf("  OSACA %-46s pred %.2f vs meas %.2f (RPE %+.2f)  "
+                  "[audit: %s]\n",
+                  s.variant.label().c_str(), s.osaca, s.measured, r,
+                  res.audit_verdicts[s.block].c_str());
+    }
+  }
+
+  // Why the simulators exceed the in-core lower bound, per attributed
+  // cause over the unique blocks (the audit's VP009/VP010 classification).
+  {
+    std::map<std::string, std::size_t> causes;
+    for (const std::string& v : res.audit_verdicts) {
+      if (v.starts_with("divergent:")) {
+        // A verdict can carry several '+'-joined causes; count each.
+        const std::string tail = v.substr(std::string("divergent:").size());
+        for (std::string_view part : support::split(tail, '+')) {
+          ++causes[std::string(part)];
+        }
+      } else {
+        ++causes[v];
+      }
+    }
+    std::printf("\nDivergence attribution over %zu unique blocks "
+                "(simulator above the certified bound by > 5%%):\n",
+                res.audit_verdicts.size());
+    for (const auto& [cause, n] : causes) {
+      std::printf("  %-22s %3zu blocks\n", cause.c_str(), n);
     }
   }
 

@@ -350,6 +350,7 @@ DepResult analyze_dependencies(const Program& prog,
   std::vector<double> dist(static_cast<std::size_t>(total_nodes));
   std::vector<int> pred(static_cast<std::size_t>(total_nodes));
   std::vector<int> best_pred;
+  std::vector<double> best_dist;
   constexpr double kNegInf = -1e18;
   for (int k = 0; k < id_offset; ++k) {
     std::fill(dist.begin(), dist.end(), kNegInf);
@@ -375,6 +376,7 @@ DepResult analyze_dependencies(const Program& prog,
       res.loop_carried_cycles = dist[static_cast<std::size_t>(target)];
       best_k = k;
       best_pred = pred;
+      best_dist = dist;
     }
   }
   if (best_k >= 0) {
@@ -389,6 +391,30 @@ DepResult analyze_dependencies(const Program& prog,
     if (res.lcd_chain.size() > 1 &&
         res.lcd_chain.front() == res.lcd_chain.back()) {
       res.lcd_chain.pop_back();
+    }
+    // Per-link provenance: walk the same predecessor path forward and
+    // attribute each edge's weight (dist delta) to the chain element it
+    // leaves.  The chain is the consecutive-dedup of the path's positions,
+    // so every position change advances exactly one chain slot (wrapping
+    // when the path re-enters the first position in the second copy).
+    if (!res.lcd_chain.empty()) {
+      std::vector<int> path;
+      for (int v = best_k + id_offset; v != -1;
+           v = best_pred[static_cast<std::size_t>(v)]) {
+        path.push_back(v);
+        if (v == best_k) break;
+      }
+      std::reverse(path.begin(), path.end());
+      res.lcd_link_cycles.assign(res.lcd_chain.size(), 0.0);
+      std::size_t ci = 0;
+      for (std::size_t s = 0; s + 1 < path.size(); ++s) {
+        const int v = path[s + 1];
+        const double w = best_dist[static_cast<std::size_t>(v)] -
+                         best_dist[static_cast<std::size_t>(path[s])];
+        res.lcd_link_cycles[ci] += w;
+        if ((v / 3) % n != res.lcd_chain[ci])
+          ci = (ci + 1) % res.lcd_chain.size();
+      }
     }
   }
 

@@ -31,6 +31,10 @@ struct DepResult {
   double loop_carried_cycles = 0.0;
   /// Instruction indices on the binding recurrence (empty if none).
   std::vector<int> lcd_chain;
+  /// Latency contributed between lcd_chain[i] and lcd_chain[(i+1) % size]
+  /// (parallel to lcd_chain; sums to loop_carried_cycles).  The provenance
+  /// of the LCD bound: which link of the recurrence carries which cycles.
+  std::vector<double> lcd_link_cycles;
   /// All intra- and inter-iteration edges (deduplicated).
   std::vector<DepEdge> edges;
 };

@@ -178,6 +178,13 @@ PortPressureResult balance_ports(std::span<const OccupancyGroup> groups,
     max_load = std::max(max_load, l);
   }
   res.bottleneck_cycles = max_load;
+  if (max_load > 0.0) {
+    const double slack = 1e-6 * std::max(1.0, max_load);
+    for (int p = 0; p < port_count; ++p) {
+      if (res.port_load[static_cast<std::size_t>(p)] >= max_load - slack)
+        res.binding_ports.push_back(p);
+    }
+  }
   return res;
 }
 
@@ -200,6 +207,14 @@ PortPressureResult balance_ports_naive(std::span<const OccupancyGroup> groups,
   }
   for (double l : res.port_load)
     res.bottleneck_cycles = std::max(res.bottleneck_cycles, l);
+  if (res.bottleneck_cycles > 0.0) {
+    const double slack = 1e-6 * std::max(1.0, res.bottleneck_cycles);
+    for (int p = 0; p < port_count; ++p) {
+      if (res.port_load[static_cast<std::size_t>(p)] >=
+          res.bottleneck_cycles - slack)
+        res.binding_ports.push_back(p);
+    }
+  }
   return res;
 }
 

@@ -30,6 +30,9 @@ struct PortPressureResult {
   std::vector<double> port_load;
   /// Per-group, per-port assignment (rows parallel to the input groups).
   std::vector<std::vector<double>> assignment;
+  /// Ports whose load equals the bottleneck (within solver tolerance): the
+  /// binding resources that certify the bound.  Empty when the body is.
+  std::vector<int> binding_ports;
 };
 
 /// Solves the min-max balancing problem exactly (to `tolerance` cycles).

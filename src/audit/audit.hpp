@@ -1,0 +1,173 @@
+#pragma once
+// Prediction audit engine: cross-model bound certificates and divergence
+// attribution (the VP diagnostic family).
+//
+// The in-core prediction is a *provable lower bound* on cycles/iteration:
+// it assumes perfect scheduling, infinite out-of-order resources and
+// L1-resident data.  That makes a set of cross-model invariants machine
+// checkable:
+//
+//   * the prediction equals the max of two independently derived bound
+//     certificates (port-pressure water-filling, loop-carried critical
+//     path), each carrying provenance — the binding ports or the binding
+//     dependency cycle;
+//   * the MCA comparator and the execution testbed can never report fewer
+//     cycles than a floor derived from those certificates (the testbed
+//     floor is rename- and silicon-override-aware: move elimination and
+//     measured divider throughput legitimately beat the *model* bound);
+//   * no simulator beats its own dispatch-width bound (µops / width);
+//   * the fractional µop→port assignment behind the throughput bound is
+//     internally consistent, and adding an execution port can only lower
+//     the certified bound (monotonicity).
+//
+// When a simulator exceeds the in-core bound beyond a threshold, the audit
+// *attributes* the divergence: it diffs the analyzer's optimal fractional
+// port assignment against the simulator's realized port histogram and
+// issue statistics, and classifies the gap (dispatch-bound, scheduler
+// contention, port-binding mismatch, latency chain, form-DB gap) with
+// per-instruction contributions.
+//
+// Everything reports through verify::DiagnosticSink as codes VP001–VP010,
+// so `incore-cli audit` composes with the existing lint tooling, and the
+// whole pass is read-only: it never changes what analyze/sweep print.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "asmir/ir.hpp"
+#include "driver/predictor.hpp"
+#include "uarch/model.hpp"
+#include "verify/diagnostics.hpp"
+
+namespace incore::audit {
+
+/// Which independent derivation produced a bound certificate.
+enum class BoundKind : std::uint8_t { PortPressure, CriticalPath };
+
+/// A provable lower bound on cycles/iteration plus the provenance that
+/// certifies it: the binding resource (ports loaded to the bottleneck) or
+/// the binding dependency cycle (instruction chain with per-link cycles).
+struct Certificate {
+  BoundKind kind = BoundKind::PortPressure;
+  double cycles = 0.0;
+  // PortPressure provenance.
+  std::vector<int> binding_ports;            // indices into mm.ports()
+  std::vector<std::string> binding_port_names;
+  std::vector<double> port_load;             // optimal per-port load
+  // CriticalPath provenance.
+  std::vector<int> chain;                    // instruction indices
+  std::vector<double> chain_link_cycles;     // parallel; sums to cycles
+  /// One-line human-readable provenance, e.g.
+  /// "ports V0,V1,V2,V3 each loaded 4.00 cy" or
+  /// "recurrence fadd d0,... -> fadd d0,... carries 7.00 cy".
+  std::string provenance;
+};
+
+/// Divergence causes, in classifier priority order.
+enum class Cause : std::uint8_t {
+  None,                 // within threshold of the bound
+  FormDbGap,            // mnemonic-fallback resolution: the bound is a guess
+  DispatchBound,        // simulator pinned at its rename/dispatch width
+  PortBindingMismatch,  // realized port load above the optimal assignment
+  SchedulerContention,  // ports balanced, but issue/window pressure stalls
+  LatencyChain,         // observed tracks the dependency chain, not ports
+};
+
+/// Stable kebab-case slug ("dispatch-bound", ...) used in text, JSON and
+/// the sweep verdict column.
+[[nodiscard]] const char* to_string(Cause c);
+
+/// One instruction's share of a diverging resource.
+struct InstrContribution {
+  int instruction = -1;
+  std::string text;      // source assembly
+  double cycles = 0.0;   // contribution (cy/iter) to the diverging resource
+  std::string detail;    // e.g. "1.00 cy eligible on saturated port V1"
+};
+
+/// Attribution of one simulator's divergence from the certified bound.
+struct Attribution {
+  std::string model;     // "mca" or "testbed"
+  double observed = 0.0; // simulator cy/iter
+  double bound = 0.0;    // certified in-core bound it was compared against
+  double gap = 0.0;      // observed - bound
+  Cause cause = Cause::None;
+  std::string summary;   // one-line explanation of the classification
+  std::vector<InstrContribution> contributions;
+};
+
+struct AuditOptions {
+  /// Relative divergence (observed/bound - 1) above which an attribution
+  /// note (VP009/VP010) is emitted.
+  double divergence_threshold = 0.05;
+  /// Absolute tolerance for the internal equality checks (VP001–VP003,
+  /// VP007, VP008), scaled by max(1, magnitude).
+  double tolerance = 1e-6;
+  /// Relative slack for the simulator floor checks (VP004–VP006): the
+  /// pipeline's warmup/window accounting can shave a fraction of a cycle
+  /// off a steady-state average.
+  double floor_slack = 0.02;
+  /// Run the add-a-port monotonicity probe (VP008): re-balance with a
+  /// what-if machine that adds one universal execution port.
+  bool check_monotonicity = true;
+};
+
+/// Full audit verdict for one block.
+struct BlockAudit {
+  std::string location;   // diagnostic location prefix
+  bool evaluated = false; // false when a model failed to resolve the kernel
+  std::string error;      // set when !evaluated
+
+  Certificate port_certificate;   // kind == PortPressure
+  Certificate path_certificate;   // kind == CriticalPath
+  /// max of the two certificates == the in-core prediction (VP001).
+  double certified_bound = 0.0;
+  /// Rename- and override-aware floor used for the testbed check (VP005);
+  /// equals certified_bound unless the silicon legitimately beats the
+  /// model (move elimination, measured divider throughput).
+  double execution_floor = 0.0;
+  std::string floor_note;  // why the floor differs from the bound (if it does)
+
+  double incore_cycles = 0.0;     // analyzer prediction
+  double incore_tp = 0.0;         // analyzer throughput bound
+  double incore_lcd = 0.0;        // analyzer loop-carried bound
+  double mca_cycles = 0.0;
+  double testbed_cycles = 0.0;
+
+  std::optional<Attribution> mca_attribution;
+  std::optional<Attribution> testbed_attribution;
+  /// True when the audit emitted no error-severity VP diagnostic.
+  bool ok = true;
+  /// Error-severity codes this audit emitted (unique, in emission order).
+  std::vector<std::string> failed_codes;
+};
+
+/// Audits one parsed loop body on one machine: computes both certificates,
+/// runs the three models, checks VP001–VP008 into `sink` (location-prefixed
+/// with `location`) and attributes divergences as VP009/VP010 notes.
+[[nodiscard]] BlockAudit audit_program(const asmir::Program& prog,
+                                       const uarch::MachineModel& mm,
+                                       std::string location,
+                                       verify::DiagnosticSink& sink,
+                                       const AuditOptions& opt = {});
+
+/// Convenience over a driver block (kernel context used for the location).
+[[nodiscard]] BlockAudit audit_block(const driver::Block& b,
+                                     verify::DiagnosticSink& sink,
+                                     const AuditOptions& opt = {});
+
+/// Human-readable report: certificates with provenance, the model table,
+/// floor checks and attributions.
+[[nodiscard]] std::string to_text(const BlockAudit& a);
+
+/// JSON document (certificates, model cycles, attributions, diagnostics).
+[[nodiscard]] std::string to_json(const BlockAudit& a,
+                                  const verify::DiagnosticSink& sink);
+
+/// Compact verdict for the sweep's audit column: "pass",
+/// "divergent:<cause>[+<cause>]", "fail:<code>[+...]" or "error".
+[[nodiscard]] std::string verdict_string(const BlockAudit& a);
+
+}  // namespace incore::audit

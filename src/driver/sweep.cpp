@@ -55,7 +55,7 @@ const Prediction* SweepResult::find(const SweepRow& row,
 
 SweepResult sweep(const std::vector<kernels::Variant>& matrix,
                   const std::vector<const Predictor*>& predictors, int jobs,
-                  const MachineResolver& machines) {
+                  const MachineResolver& machines, const AuditHook& audit) {
   SweepResult r;
   r.model_ids.reserve(predictors.size());
   for (const Predictor* p : predictors) r.model_ids.push_back(p->id());
@@ -89,6 +89,15 @@ SweepResult sweep(const std::vector<kernels::Variant>& matrix,
   r.stats.wall_time_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
                              std::chrono::steady_clock::now() - t0)
                              .count();
+
+  // Optional audit pass: one verdict per unique block, same slot
+  // discipline, so the verdict column is --jobs-independent too.
+  if (audit) {
+    r.audit_verdicts.assign(r.blocks.size(), std::string());
+    support::parallel_for(r.blocks.size(), jobs, [&](std::size_t i) {
+      r.audit_verdicts[i] = audit(r.blocks[i]);
+    });
+  }
 
   // Phase 4 (serial): matrix-ordered rows referencing the memoized results.
   r.rows.reserve(matrix.size());
@@ -146,7 +155,7 @@ SweepResult sweep(const SweepOptions& opt) {
       return it != by_family.end() ? *it->second : uarch::machine(micro);
     };
   }
-  return sweep(filter_matrix(opt), predictors, opt.jobs, resolver);
+  return sweep(filter_matrix(opt), predictors, opt.jobs, resolver, opt.audit);
 }
 
 // ------------------------------------------------------------------- output
@@ -158,6 +167,8 @@ std::string to_csv(const SweepResult& r) {
                                      "opt",     "machine", "block_hash",
                                      "elements_per_iter"};
   for (const std::string& id : r.model_ids) header.push_back(id + "_cy");
+  const bool audited = !r.audit_verdicts.empty();
+  if (audited) header.push_back("audit_verdict");
   csv.header(header);
   for (const SweepRow& row : r.rows) {
     const Block& b = r.blocks[row.block_index];
@@ -173,6 +184,7 @@ std::string to_csv(const SweepResult& r) {
       fields.push_back(p.ok ? format("%.4f", p.cycles_per_iteration)
                             : std::string());
     }
+    if (audited) fields.push_back(r.audit_verdicts[row.block_index]);
     csv.row(fields);
   }
   return os.str();
@@ -204,6 +216,15 @@ std::string to_json(const SweepResult& r) {
         kernels::to_string(row.variant.opt),
         uarch::cpu_short_name(row.variant.target), b.hash.c_str(),
         b.gen.elements_per_iteration);
+    if (!r.audit_verdicts.empty()) {
+      // Splice the verdict ahead of the predictions object (the line above
+      // ends with `"predictions": {`).
+      const std::string tail = "\"predictions\": {";
+      out.insert(out.size() - tail.size(),
+                 format("\"audit_verdict\": \"%s\", ",
+                        report::json_escape(
+                            r.audit_verdicts[row.block_index]).c_str()));
+    }
     for (std::size_t m = 0; m < row.predictions.size(); ++m) {
       const Prediction& p = row.predictions[m];
       out += m ? ", " : "";

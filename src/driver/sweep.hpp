@@ -24,9 +24,20 @@
 
 namespace incore::driver {
 
+/// Optional prediction-audit hook: called once per *unique* block after the
+/// predictor evaluations, under the same slot-disciplined worker pool, and
+/// returns the block's audit verdict ("pass", "divergent:<cause>", ...).
+/// The driver stays audit-agnostic: the CLI installs audit::audit_block
+/// here, so src/driver/ does not depend on src/audit/.  Must be thread-safe.
+using AuditHook = std::function<std::string(const Block&)>;
+
 struct SweepOptions {
   /// Worker threads for predictor evaluation; <= 1 runs inline.
   int jobs = 1;
+  /// When set, every unique block is audited and the reports gain an
+  /// `audit_verdict` column (absent otherwise, keeping default output
+  /// byte-identical).
+  AuditHook audit;
   /// Models to run; empty means all three (OSACA, MCA, testbed).
   std::vector<Model> models;
   // Matrix filters; an empty filter keeps every value of that axis.
@@ -71,6 +82,8 @@ struct SweepResult {
   std::vector<Block> blocks;           // unique blocks, first-seen order
   std::vector<SweepRow> rows;          // matrix order
   SweepStats stats;
+  /// Per unique block (parallel to `blocks`); empty when no audit hook ran.
+  std::vector<std::string> audit_verdicts;
 
   /// The row's prediction for a model id; nullptr when absent.
   [[nodiscard]] const Prediction* find(const SweepRow& row,
@@ -88,7 +101,8 @@ using MachineResolver =
 [[nodiscard]] SweepResult sweep(const std::vector<kernels::Variant>& matrix,
                                 const std::vector<const Predictor*>& predictors,
                                 int jobs = 1,
-                                const MachineResolver& machines = {});
+                                const MachineResolver& machines = {},
+                                const AuditHook& audit = {});
 
 /// Convenience: builds the filtered matrix and the standard model
 /// predictors from the options.

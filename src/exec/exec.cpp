@@ -51,6 +51,11 @@ Measurement run(const asmir::Program& prog, const uarch::MachineModel& mm,
   m.cycles_per_iteration = r.cycles_per_iteration;
   m.port_utilization = r.port_utilization;
   m.backpressure_cycles = r.backpressure_cycles;
+  m.port_cycles = r.port_cycles;
+  m.uops_per_iteration = r.uops_per_iteration;
+  m.dispatch_width = r.dispatch_width;
+  m.eliminated_moves = r.eliminated_moves;
+  m.eliminated_zero_idioms = r.eliminated_zero_idioms;
   return m;
 }
 

@@ -23,6 +23,15 @@ struct Measurement {
   double cycles_per_iteration = 0.0;
   std::vector<double> port_utilization;
   std::uint64_t backpressure_cycles = 0;
+  /// Issue statistics (see PipelineResult): realized per-port busy cycles
+  /// per iteration, rename micro-ops per iteration, dispatch width in
+  /// effect, and rename-stage elimination counts.  Consumed by the
+  /// prediction audit's divergence attribution.
+  std::vector<double> port_cycles;
+  double uops_per_iteration = 0.0;
+  int dispatch_width = 0;
+  int eliminated_moves = 0;
+  int eliminated_zero_idioms = 0;
 };
 
 /// The realistic per-microarchitecture testbed configuration.

@@ -242,6 +242,15 @@ PipelineResult simulate_loop(const Program& prog,
     }
   }
 
+  result.dispatch_width = cfg.dispatch_width_override > 0
+                              ? cfg.dispatch_width_override
+                              : res.rename_width;
+  for (const StaticInstr& s : statics) {
+    result.uops_per_iteration += s.uop_count;
+    if (s.eliminated_move) ++result.eliminated_moves;
+    if (s.zero_idiom) ++result.eliminated_zero_idioms;
+  }
+
   // ---- Dynamic state -------------------------------------------------------
   const int total_iters = cfg.warmup_iterations + cfg.iterations;
   const std::uint64_t total_instrs =
@@ -632,10 +641,13 @@ PipelineResult simulate_loop(const Program& prog,
   result.cycles_per_iteration =
       (measure_end - measure_start) / measured_iters;
   result.port_utilization.assign(static_cast<std::size_t>(port_count), 0.0);
+  result.port_cycles.assign(static_cast<std::size_t>(port_count), 0.0);
   double window_cycles = std::max(1.0, measure_end - measure_start);
   for (int p = 0; p < port_count; ++p) {
     result.port_utilization[static_cast<std::size_t>(p)] =
         port_busy_measured[static_cast<std::size_t>(p)] / window_cycles;
+    result.port_cycles[static_cast<std::size_t>(p)] =
+        port_busy_measured[static_cast<std::size_t>(p)] / measured_iters;
   }
   return result;
 }

@@ -109,6 +109,17 @@ struct PipelineResult {
   std::vector<double> port_utilization;
   /// Dispatch stalls due to a full ROB / scheduler (cycles).
   std::uint64_t backpressure_cycles = 0;
+  /// Per-port busy cycles per measured iteration (absolute counterpart of
+  /// `port_utilization`; the realized port histogram the audit diffs).
+  std::vector<double> port_cycles;
+  /// Issue statistics for one loop body under this configuration: rename
+  /// micro-ops per iteration (rename-eliminated instructions still consume
+  /// rename bandwidth), the dispatch width in effect, and how many body
+  /// instructions the renamer eliminated.
+  double uops_per_iteration = 0.0;
+  int dispatch_width = 0;
+  int eliminated_moves = 0;
+  int eliminated_zero_idioms = 0;
   /// Recorded when PipelineConfig::timeline_iterations > 0.
   std::vector<TimelineEvent> timeline;
 };

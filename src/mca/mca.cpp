@@ -46,6 +46,9 @@ Result simulate(const asmir::Program& prog, const uarch::MachineModel& mm,
   Result out;
   out.cycles_per_iteration = r.cycles_per_iteration;
   out.resource_pressure = r.port_utilization;
+  out.port_cycles = r.port_cycles;
+  out.uops_per_iteration = r.uops_per_iteration;
+  out.dispatch_width = r.dispatch_width;
   return out;
 }
 

@@ -29,6 +29,11 @@ namespace incore::mca {
 struct Result {
   double cycles_per_iteration = 0.0;
   std::vector<double> resource_pressure;  // per model port
+  /// Realized per-port busy cycles per iteration and the dispatch width the
+  /// scheduling model advertises (for the prediction audit's attribution).
+  std::vector<double> port_cycles;
+  double uops_per_iteration = 0.0;
+  int dispatch_width = 0;
 };
 
 /// The per-microarchitecture LLVM scheduling-model approximation.

@@ -5,7 +5,7 @@
 namespace incore::support {
 
 std::string CsvWriter::escape(const std::string& f) {
-  bool needs_quote = f.find_first_of(",\"\n") != std::string::npos;
+  bool needs_quote = f.find_first_of(",\"\n\r") != std::string::npos;
   if (!needs_quote) return f;
   std::string out = "\"";
   for (char c : f) {

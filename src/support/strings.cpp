@@ -67,12 +67,11 @@ std::vector<std::string_view> split_lines(std::string_view s) {
 }
 
 bool starts_with(std::string_view s, std::string_view prefix) {
-  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+  return s.starts_with(prefix);
 }
 
 bool ends_with(std::string_view s, std::string_view suffix) {
-  return s.size() >= suffix.size() &&
-         s.substr(s.size() - suffix.size()) == suffix;
+  return s.ends_with(suffix);
 }
 
 std::string to_lower(std::string_view s) {

@@ -56,6 +56,29 @@ std::span<const CodeInfo> all_codes() {
        "zero idiom's syntactic input dependency is broken at rename"},
       {"VK012", Severity::Note,
        "live-in register is redefined: accumulator / induction recurrence"},
+      {"VP001", Severity::Error,
+       "in-core prediction differs from the max of its bound certificates"},
+      {"VP002", Severity::Error,
+       "port-pressure certificate differs from the analyzer throughput "
+       "bound"},
+      {"VP003", Severity::Error,
+       "critical-path certificate differs from the analyzer LCD bound"},
+      {"VP004", Severity::Error,
+       "MCA simulation below the certified in-core lower bound"},
+      {"VP005", Severity::Error,
+       "testbed measurement below the certified in-core lower bound"},
+      {"VP006", Severity::Error,
+       "simulated cycles below the dispatch-width bound (uops / width)"},
+      {"VP007", Severity::Error,
+       "fractional port assignment sums inconsistent with occupancy "
+       "cycles"},
+      {"VP008", Severity::Error,
+       "adding an execution port raised the certified throughput bound "
+       "(monotonicity violation)"},
+      {"VP009", Severity::Note,
+       "MCA diverges from the in-core bound: attributed cause"},
+      {"VP010", Severity::Note,
+       "testbed diverges from the in-core bound: attributed cause"},
   };
   return kCodes;
 }

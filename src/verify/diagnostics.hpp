@@ -4,7 +4,8 @@
 // Every lint pass reports through a DiagnosticSink instead of throwing: a
 // single run surfaces *all* problems of a model or kernel at once, each as a
 // Diagnostic carrying a stable code (VMnnn for machine-model lints, VKnnn
-// for kernel lints), a severity, a human-readable location and optional
+// for kernel lints, VPnnn for the cross-model prediction audit in
+// src/audit/), a severity, a human-readable location and optional
 // elaborating notes.  The codes are documented in docs/linting.md and
 // enumerated programmatically via all_codes() so the CLI and the docs can
 // never drift apart.

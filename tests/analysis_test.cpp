@@ -50,6 +50,47 @@ TEST(PortBalance, NaiveIsWorseOnAsymmetricInstance) {
 TEST(PortBalance, EmptyInput) {
   auto res = balance_ports({}, 4);
   EXPECT_EQ(res.bottleneck_cycles, 0.0);
+  // An empty body certifies a zero bound with no binding resource.
+  EXPECT_TRUE(res.binding_ports.empty());
+}
+
+TEST(PortBalance, ZeroThroughputGroupCertifiesNothing) {
+  // A form with zero occupancy (fully pipelined, modeled as 0 cy) loads no
+  // port; the certificate must not name a binding resource.
+  std::array<OccupancyGroup, 1> g{OccupancyGroup{0b11, 0.0, 0}};
+  auto res = balance_ports(g, 2);
+  EXPECT_EQ(res.bottleneck_cycles, 0.0);
+  EXPECT_TRUE(res.binding_ports.empty());
+}
+
+TEST(PortBalance, SinglePortMachineSerializesEverything) {
+  // One execution port: the bound is the plain sum of occupancies and the
+  // single port is the binding resource.
+  std::array<OccupancyGroup, 3> g{OccupancyGroup{0b1, 1.0, 0},
+                                  OccupancyGroup{0b1, 0.5, 1},
+                                  OccupancyGroup{0b1, 2.0, 2}};
+  auto res = balance_ports(g, 1);
+  EXPECT_NEAR(res.bottleneck_cycles, 3.5, 1e-6);
+  ASSERT_EQ(res.binding_ports.size(), 1u);
+  EXPECT_EQ(res.binding_ports[0], 0);
+}
+
+TEST(PortBalance, BindingPortsCarryTheBottleneckLoad) {
+  // Asymmetric instance: port 0 carries the pinned group plus its share;
+  // every reported binding port's load must equal the bottleneck.
+  std::array<OccupancyGroup, 3> g{OccupancyGroup{0b01, 1.0, 0},
+                                  OccupancyGroup{0b11, 1.0, 1},
+                                  OccupancyGroup{0b11, 1.0, 2}};
+  auto res = balance_ports(g, 2);
+  ASSERT_FALSE(res.binding_ports.empty());
+  for (int p : res.binding_ports) {
+    EXPECT_NEAR(res.port_load[static_cast<std::size_t>(p)],
+                res.bottleneck_cycles, 1e-5);
+  }
+  // The fully symmetric instance binds on both ports.
+  std::array<OccupancyGroup, 1> sym{OccupancyGroup{0b11, 2.0, 0}};
+  auto rsym = balance_ports(sym, 2);
+  EXPECT_EQ(rsym.binding_ports.size(), 2u);
 }
 
 TEST(PortBalance, ConservationOfWork) {
@@ -161,6 +202,39 @@ TEST(DepGraph, ChainThroughTwoInstructions) {
       prog, uarch::machine(uarch::Micro::NeoverseV2));
   EXPECT_NEAR(dep.loop_carried_cycles, 5.0, 1e-9);
   EXPECT_EQ(dep.lcd_chain.size(), 2u);
+}
+
+TEST(DepGraph, LcdLinkCyclesSumToBound) {
+  // The per-link latency attribution is parallel to the chain and accounts
+  // for every cycle of the loop-carried bound.
+  auto prog = aarch64(
+      "fmul v1.2d, v0.2d, v2.2d\n"
+      "fadd v0.2d, v1.2d, v3.2d\n");
+  auto dep = analysis::analyze_dependencies(
+      prog, uarch::machine(uarch::Micro::NeoverseV2));
+  ASSERT_EQ(dep.lcd_link_cycles.size(), dep.lcd_chain.size());
+  double sum = 0.0;
+  for (double w : dep.lcd_link_cycles) sum += w;
+  EXPECT_NEAR(sum, dep.loop_carried_cycles, 1e-9);
+  // fmul contributes its 3-cycle latency to the link into fadd, fadd its
+  // 2-cycle latency back around.
+  for (double w : dep.lcd_link_cycles) EXPECT_GT(w, 0.0);
+}
+
+TEST(DepGraph, LcdLinkCyclesSingleInstructionChain) {
+  auto prog = aarch64("fmla v0.2d, v1.2d, v2.2d\n");
+  auto dep = analysis::analyze_dependencies(
+      prog, uarch::machine(uarch::Micro::NeoverseV2));
+  ASSERT_EQ(dep.lcd_link_cycles.size(), 1u);
+  EXPECT_NEAR(dep.lcd_link_cycles[0], dep.loop_carried_cycles, 1e-9);
+}
+
+TEST(DepGraph, LcdLinkCyclesEmptyWithoutRecurrence) {
+  auto prog = aarch64("fadd v0.2d, v10.2d, v11.2d\n");
+  auto dep = analysis::analyze_dependencies(
+      prog, uarch::machine(uarch::Micro::NeoverseV2));
+  EXPECT_TRUE(dep.lcd_chain.empty());
+  EXPECT_TRUE(dep.lcd_link_cycles.empty());
 }
 
 TEST(DepGraph, ZeroIdiomBreaksDependency) {

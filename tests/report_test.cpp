@@ -70,6 +70,17 @@ TEST(Json, EscapesSpecials) {
   EXPECT_EQ(report::json_escape("plain"), "plain");
 }
 
+TEST(Json, EscapesControlCharacters) {
+  // Golden cases for every escape class: quotes, backslashes, the named
+  // control escapes and the \uXXXX fallback for the rest of C0.
+  EXPECT_EQ(report::json_escape("tab\there"), "tab\\there");
+  EXPECT_EQ(report::json_escape("cr\rlf\n"), "cr\\rlf\\n");
+  EXPECT_EQ(report::json_escape(std::string("nul\x01soh")), "nul\\u0001soh");
+  EXPECT_EQ(report::json_escape("q\"b\\n"), "q\\\"b\\\\n");
+  // Multi-byte UTF-8 passes through untouched.
+  EXPECT_EQ(report::json_escape("µop → port"), "µop → port");
+}
+
 TEST(Json, ReportSerializes) {
   auto prog = asmir::parse("vaddpd %ymm0, %ymm1, %ymm2\n",
                            asmir::Isa::X86_64);

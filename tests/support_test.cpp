@@ -152,6 +152,35 @@ TEST(Csv, QuotesSpecialCharacters) {
   EXPECT_EQ(os.str(), "plain,\"with,comma\",\"with\"\"quote\"\n");
 }
 
+TEST(Csv, QuotesNewlinesAndCarriageReturns) {
+  // RFC 4180: fields containing CR or LF must be quoted, or a consumer
+  // splits the record mid-field.  (The audit verdict and lint messages can
+  // carry embedded newlines.)
+  std::ostringstream os;
+  su::CsvWriter w(os);
+  w.row({"line1\nline2", "cr\rhere", "crlf\r\nboth"});
+  EXPECT_EQ(os.str(), "\"line1\nline2\",\"cr\rhere\",\"crlf\r\nboth\"\n");
+}
+
+TEST(Csv, BackslashesPassThroughUnquoted) {
+  // CSV has no backslash escape; a backslash alone needs no quoting.
+  std::ostringstream os;
+  su::CsvWriter w(os);
+  w.row({"a\\b", "c:\\path\\d", ""});
+  EXPECT_EQ(os.str(), "a\\b,c:\\path\\d,\n");
+}
+
+TEST(Csv, GoldenMixedRow) {
+  // One row exercising every escape class at once, pinned byte for byte.
+  std::ostringstream os;
+  su::CsvWriter w(os);
+  w.header({"id", "text"});
+  w.row({"1", "say \"hi\", then\nleave\\now"});
+  EXPECT_EQ(os.str(),
+            "id,text\n"
+            "1,\"say \"\"hi\"\", then\nleave\\now\"\n");
+}
+
 TEST(Csv, RowValuesFormatsNumbers) {
   std::ostringstream os;
   su::CsvWriter w(os);

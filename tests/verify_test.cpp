@@ -94,11 +94,15 @@ TEST(DiagnosticSink, CodeRegistryIsOrderedAndUnique) {
     EXPECT_TRUE(seen.insert(info.code).second) << "duplicate " << info.code;
     EXPECT_TRUE(info.summary != nullptr && info.summary[0] != '\0');
   }
-  // Model codes first, kernel codes second, each family in code order.
+  // Families in registration order (VM, then VK, then VP), each family in
+  // code order.
+  auto family_rank = [](char c) {
+    return c == 'M' ? 0 : c == 'K' ? 1 : c == 'P' ? 2 : 3;
+  };
   for (std::size_t i = 1; i < codes.size(); ++i) {
     std::string prev = codes[i - 1].code, cur = codes[i].code;
     if (prev[1] == cur[1]) EXPECT_LT(prev, cur);
-    else EXPECT_TRUE(prev[1] == 'M' && cur[1] == 'K');
+    else EXPECT_LT(family_rank(prev[1]), family_rank(cur[1]));
   }
 }
 

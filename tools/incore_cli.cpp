@@ -33,6 +33,7 @@
 #include "analysis/analyze.hpp"
 #include "analysis/dot.hpp"
 #include "asmir/parser.hpp"
+#include "audit/audit.hpp"
 #include "dataflow/dataflow.hpp"
 #include "driver/predictor.hpp"
 #include "driver/sweep.hpp"
@@ -75,7 +76,12 @@ int usage() {
       "       sweep flags: --jobs N (0 = auto) --models m1,m2 --kernels k1,..\n"
       "                    --machines m1,.. --compilers c1,.. --opt O1,..\n"
       "                    --machine-file <m.mdf> --csv --json\n"
+      "                    --audit adds a per-block audit_verdict column\n"
       "                    (models: osaca mca testbed)\n"
+      "  audit <machine> [file.s]         cross-model bound certificates +\n"
+      "                                   divergence attribution (VP lints)\n"
+      "  audit --all                      audit the whole generated corpus\n"
+      "       audit flags: --json --verbose --machine-file <m.mdf>\n"
       "  export-model <machine> [-o file] write a model as a .mdf machine-\n"
       "                                   description file (stdout default)\n"
       "  kernels                          list validation kernels\n"
@@ -89,7 +95,7 @@ int usage() {
       "  lint --all-models                verify every bundled model + the\n"
       "                                   generated kernel corpus\n"
       "  lint <machine> [file.s]          verify one model (and a kernel)\n"
-      "       lint flags: --json --werror --verbose --codes\n"
+      "       lint flags: --json --werror --verbose --codes --catalog\n"
       "            --machine-file <m.mdf> lints a loaded description\n"
       "machines: gcs spr genoa icelake, or a .mdf file path;\n"
       "compilers: gcc clang icx armclang\n");
@@ -266,6 +272,13 @@ int cmd_sweep(int argc, char** argv) {
       out = Out::Csv;
     } else if (a == "--json") {
       out = Out::Json;
+    } else if (a == "--audit") {
+      // The driver is audit-agnostic; the CLI installs the hook.  Each call
+      // gets its own sink: the verdict string carries the failed codes.
+      opt.audit = [](const driver::Block& b) {
+        verify::DiagnosticSink sink;
+        return audit::verdict_string(audit::audit_block(b, sink));
+      };
     } else if (a == "--jobs") {
       const char* v = value();
       if (v == nullptr) return 2;
@@ -369,6 +382,23 @@ int cmd_sweep(int argc, char** argv) {
         st.jobs, static_cast<double>(st.wall_time_ns) / 1e6);
     if (st.failed > 0) {
       std::printf("       %zu evaluations FAILED\n", st.failed);
+    }
+    if (!r.audit_verdicts.empty()) {
+      std::size_t pass = 0;
+      std::size_t divergent = 0;
+      std::size_t failed = 0;
+      for (const std::string& v : r.audit_verdicts) {
+        if (v == "pass") {
+          ++pass;
+        } else if (v.starts_with("divergent")) {
+          ++divergent;
+        } else {
+          ++failed;
+        }
+      }
+      std::printf("       audit: %zu pass, %zu divergent, %zu fail of %zu "
+                  "unique blocks\n",
+                  pass, divergent, failed, r.audit_verdicts.size());
     }
     for (const driver::ModelErrorStats& s : driver::error_stats(r)) {
       std::printf(
@@ -662,6 +692,65 @@ int cmd_lint_codes() {
   return 0;
 }
 
+/// Display name and doc page per diagnostic family; docs/linting.md stays
+/// the source of truth for VM/VK, docs/audit.md for VP.
+const char* family_title(std::string_view family) {
+  if (family == "VM") return "machine-model lints";
+  if (family == "VK") return "kernel & dataflow lints";
+  if (family == "VP") return "prediction-audit lints";
+  return "diagnostics";
+}
+
+const char* family_doc(std::string_view family) {
+  return family == "VP" ? "docs/audit.md" : "docs/linting.md";
+}
+
+int cmd_lint_catalog(bool json) {
+  // Group the registry by the two-letter family prefix, preserving
+  // registration order within and across families.
+  std::vector<std::pair<std::string, std::vector<const verify::CodeInfo*>>>
+      families;
+  for (const verify::CodeInfo& c : verify::all_codes()) {
+    const std::string fam = std::string(c.code).substr(0, 2);
+    if (families.empty() || families.back().first != fam) {
+      families.emplace_back(fam, std::vector<const verify::CodeInfo*>{});
+    }
+    families.back().second.push_back(&c);
+  }
+  if (json) {
+    std::string out = "{\n  \"families\": [\n";
+    for (std::size_t f = 0; f < families.size(); ++f) {
+      const auto& [fam, codes] = families[f];
+      out += support::format(
+          "    {\"family\": \"%s\", \"title\": \"%s\", \"doc\": \"%s\", "
+          "\"codes\": [\n",
+          fam.c_str(), family_title(fam), family_doc(fam));
+      for (std::size_t i = 0; i < codes.size(); ++i) {
+        out += support::format(
+            "      {\"code\": \"%s\", \"severity\": \"%s\", \"summary\": "
+            "\"%s\"}%s\n",
+            codes[i]->code, verify::to_string(codes[i]->severity),
+            report::json_escape(codes[i]->summary).c_str(),
+            i + 1 < codes.size() ? "," : "");
+      }
+      out += support::format("    ]}%s\n",
+                             f + 1 < families.size() ? "," : "");
+    }
+    out += "  ]\n}\n";
+    std::fputs(out.c_str(), stdout);
+    return 0;
+  }
+  for (const auto& [fam, codes] : families) {
+    std::printf("%s — %s (%s)\n", fam.c_str(), family_title(fam),
+                family_doc(fam));
+    for (const verify::CodeInfo* c : codes) {
+      std::printf("  %-6s %-8s %s\n", c->code, verify::to_string(c->severity),
+                  c->summary);
+    }
+  }
+  return 0;
+}
+
 int cmd_lint_all(bool json, bool werror, bool verbose) {
   verify::DiagnosticSink sink;
   const auto models = bundled_models();
@@ -741,6 +830,7 @@ int cmd_lint(int argc, char** argv) {
   bool werror = false;
   bool verbose = false;
   bool all = false;
+  bool catalog = false;
   std::string machine_name;
   const char* file = nullptr;
   for (int i = 2; i < argc; ++i) {
@@ -755,6 +845,8 @@ int cmd_lint(int argc, char** argv) {
       all = true;
     } else if (a == "--codes") {
       return cmd_lint_codes();
+    } else if (a == "--catalog") {
+      catalog = true;
     } else if (a == "--machine-file") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "--machine-file needs a value\n");
@@ -770,9 +862,116 @@ int cmd_lint(int argc, char** argv) {
       file = argv[i];
     }
   }
+  if (catalog) return cmd_lint_catalog(json);
   if (all) return cmd_lint_all(json, werror, verbose);
   if (machine_name.empty()) return usage();
   return cmd_lint_one(machine_name, file, json, werror, verbose);
+}
+
+// ------------------------------------------------------------------ audit
+
+int cmd_audit_all(bool json, bool verbose) {
+  // Same corpus and dedup discipline as `lint --all-models`: the matrix
+  // collapses to unique (machine, assembly) blocks, each audited once, in
+  // deterministic first-seen order.
+  std::vector<driver::Block> blocks;
+  {
+    std::set<std::string> seen;
+    for (const kernels::Variant& v : kernels::test_matrix()) {
+      driver::Block b = driver::make_block(v);
+      if (!seen.insert(b.hash).second) continue;
+      blocks.push_back(std::move(b));
+    }
+  }
+  verify::DiagnosticSink sink;
+  std::size_t pass = 0;
+  std::size_t divergent = 0;
+  std::size_t failed = 0;
+  for (const driver::Block& b : blocks) {
+    const audit::BlockAudit a = audit::audit_block(b, sink);
+    const std::string v = audit::verdict_string(a);
+    if (v == "pass") {
+      ++pass;
+    } else if (v.starts_with("divergent")) {
+      ++divergent;
+    } else {
+      ++failed;
+    }
+  }
+  if (!json) {
+    std::printf(
+        "audited %zu unique corpus blocks: %zu pass, %zu divergent, %zu "
+        "fail\n",
+        blocks.size(), pass, divergent, failed);
+  }
+  return finish_lint(sink, json, /*werror=*/false, verbose);
+}
+
+int cmd_audit_one(const std::string& machine_name, const char* path,
+                  bool json, bool verbose) {
+  uarch::MachineRef ref;
+  if (!parse_machine(machine_name, ref)) return 2;
+  const auto& mm = *ref.model;
+  std::string text;
+  if (!read_input(path, text)) return 1;
+  asmir::Program prog = asmir::parse(text, mm.isa());
+  if (prog.empty()) {
+    std::fprintf(stderr, "no instructions parsed\n");
+    return 1;
+  }
+  verify::DiagnosticSink sink;
+  const audit::BlockAudit a = audit::audit_program(
+      prog, mm, path != nullptr ? path : "<stdin>", sink);
+  if (json) {
+    std::fputs(audit::to_json(a, sink).c_str(), stdout);
+  } else {
+    std::fputs(audit::to_text(a).c_str(), stdout);
+    std::fputs(
+        sink.to_text(verbose ? verify::Severity::Note
+                             : verify::Severity::Warning)
+            .c_str(),
+        stdout);
+    std::printf("audit: %s\n", sink.summary().c_str());
+  }
+  // A block the audit could not evaluate (unresolvable form, analyzer
+  // throw) fires no VP invariant, but exiting 0 on it would hide the
+  // failure from CI.
+  if (!a.evaluated) return 1;
+  return sink.has_errors() ? 1 : 0;
+}
+
+int cmd_audit(int argc, char** argv) {
+  bool json = false;
+  bool verbose = false;
+  bool all = false;
+  std::string machine_name;
+  const char* file = nullptr;
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--json") {
+      json = true;
+    } else if (a == "--verbose") {
+      verbose = true;
+    } else if (a == "--all") {
+      all = true;
+    } else if (a == "--machine-file") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--machine-file needs a value\n");
+        return 2;
+      }
+      machine_name = argv[++i];
+    } else if (a.starts_with("--")) {
+      std::fprintf(stderr, "unknown audit flag '%s'\n", a.c_str());
+      return usage();
+    } else if (machine_name.empty()) {
+      machine_name = a;
+    } else {
+      file = argv[i];
+    }
+  }
+  if (all) return cmd_audit_all(json, verbose);
+  if (machine_name.empty()) return usage();
+  return cmd_audit_one(machine_name, file, json, verbose);
 }
 
 }  // namespace
@@ -800,6 +999,7 @@ int main(int argc, char** argv) {
     if (cmd == "forms" && argc >= 3)
       return cmd_forms(argv[2], argc > 3 ? argv[3] : nullptr);
     if (cmd == "lint" && argc >= 3) return cmd_lint(argc, argv);
+    if (cmd == "audit" && argc >= 3) return cmd_audit(argc, argv);
   } catch (const support::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

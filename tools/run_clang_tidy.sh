@@ -1,0 +1,39 @@
+#!/bin/sh
+# Standalone clang-tidy pass using the repo's .clang-tidy configuration.
+#
+#   tools/run_clang_tidy.sh [build-dir] [path ...]
+#
+# build-dir defaults to ./build and must contain compile_commands.json
+# (configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON, which
+# -DINCORE_TIDY=ON also sets).  Paths default to the directories the tidy
+# gate covers: src/support and src/audit.  Exit status is clang-tidy's, so
+# this composes with CI.
+set -eu
+
+repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build=${1:-"$repo/build"}
+[ $# -gt 0 ] && shift
+
+if ! command -v clang-tidy > /dev/null 2>&1; then
+  echo "run_clang_tidy.sh: clang-tidy not found on PATH" >&2
+  exit 127
+fi
+if [ ! -f "$build/compile_commands.json" ]; then
+  echo "run_clang_tidy.sh: $build/compile_commands.json missing;" >&2
+  echo "  configure with cmake -B \"$build\" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+  exit 2
+fi
+
+if [ $# -gt 0 ]; then
+  dirs="$*"
+else
+  dirs="$repo/src/support $repo/src/audit"
+fi
+
+files=""
+for d in $dirs; do
+  files="$files $(find "$d" -name '*.cpp' | sort)"
+done
+
+# shellcheck disable=SC2086
+exec clang-tidy -p "$build" --quiet $files
