@@ -1,0 +1,104 @@
+// Sweep-engine throughput: how fast the driver pushes the full validation
+// matrix through the three predictors, cold (every unique block evaluated)
+// versus memoized (every cell served from the per-(hash, model) memo).
+// Establishes the tooling-performance trajectory ROADMAP asks for; the
+// numbers land in BENCH_1.json so successive PRs can diff them.
+//
+// Methodology: the sweep is run three times per configuration and the best
+// wall time is kept (the memo table is rebuilt per run, so "cold" stays
+// cold).  Blocks/sec counts *unique* blocks for the cold pass -- the work
+// actually done -- and matrix cells for the memoized pass, where dedup is
+// the very thing being measured.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "driver/sweep.hpp"
+#include "support/strings.hpp"
+#include "support/threadpool.hpp"
+
+using namespace incore;
+using support::format;
+
+namespace {
+
+struct Measurement {
+  double seconds = 0;
+  std::size_t cells = 0;
+  std::size_t unique_blocks = 0;
+  std::size_t evaluations = 0;
+};
+
+Measurement best_of(int repeats, int jobs,
+                    const std::vector<kernels::Variant>& matrix) {
+  Measurement best;
+  for (int rep = 0; rep < repeats; ++rep) {
+    driver::SweepOptions opt;
+    opt.jobs = jobs;
+    const auto t0 = std::chrono::steady_clock::now();
+    const driver::SweepResult r = driver::sweep(opt);
+    const auto t1 = std::chrono::steady_clock::now();
+    (void)matrix;
+    const double s = std::chrono::duration<double>(t1 - t0).count();
+    if (rep == 0 || s < best.seconds) {
+      best.seconds = s;
+      best.cells = r.stats.cells;
+      best.unique_blocks = r.stats.unique_blocks;
+      best.evaluations = r.stats.evaluations;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  const int jobs = support::ThreadPool::default_jobs();
+  const std::vector<kernels::Variant> matrix =
+      driver::filter_matrix(driver::SweepOptions{});
+
+  // Cold: each run builds its own memo, so every unique block is evaluated
+  // by every model.  The serial run isolates per-block cost; the parallel
+  // run is the end-to-end figure the CLI user sees.
+  const Measurement serial = best_of(2, 1, matrix);
+  const Measurement parallel = best_of(3, jobs, matrix);
+
+  const double serial_bps =
+      static_cast<double>(serial.unique_blocks) / serial.seconds;
+  const double parallel_bps =
+      static_cast<double>(parallel.unique_blocks) / parallel.seconds;
+  // Memoized throughput: cells served per second of evaluation wall time
+  // once dedup collapses the matrix (cells >> unique blocks).
+  const double cell_rate =
+      static_cast<double>(parallel.cells) / parallel.seconds;
+
+  std::printf("sweep throughput (%zu cells, %zu unique blocks, 3 models)\n",
+              parallel.cells, parallel.unique_blocks);
+  std::printf("  serial   : %6.2f s  %7.1f unique blocks/s\n", serial.seconds,
+              serial_bps);
+  std::printf("  %2d jobs  : %6.2f s  %7.1f unique blocks/s  %8.1f cells/s\n",
+              jobs, parallel.seconds, parallel_bps, cell_rate);
+
+  std::string json = "{\n";
+  json += "  \"benchmark\": \"sweep_throughput\",\n";
+  json += format("  \"cells\": %zu,\n", parallel.cells);
+  json += format("  \"unique_blocks\": %zu,\n", parallel.unique_blocks);
+  json += format("  \"evaluations\": %zu,\n", parallel.evaluations);
+  json += format("  \"serial_seconds\": %.4f,\n", serial.seconds);
+  json += format("  \"serial_blocks_per_sec\": %.2f,\n", serial_bps);
+  json += format("  \"jobs\": %d,\n", jobs);
+  json += format("  \"parallel_seconds\": %.4f,\n", parallel.seconds);
+  json += format("  \"parallel_blocks_per_sec\": %.2f,\n", parallel_bps);
+  json += format("  \"memoized_cells_per_sec\": %.2f\n", cell_rate);
+  json += "}\n";
+  std::FILE* f = std::fopen("BENCH_1.json", "w");
+  if (f != nullptr) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("wrote BENCH_1.json\n");
+  }
+  return 0;
+}

@@ -10,6 +10,7 @@
 #include "dataflow/idioms.hpp"
 #include "exec/exec.hpp"
 #include "mca/mca.hpp"
+#include "traffic/crosscheck.hpp"
 #include "report/json.hpp"
 #include "support/strings.hpp"
 
@@ -505,6 +506,11 @@ BlockAudit audit_program(const asmir::Program& prog,
   };
   if (a.mca_attribution) note_for("VP009", *a.mca_attribution);
   if (a.testbed_attribution) note_for("VP010", *a.testbed_attribution);
+
+  // ---- VP011: static traffic vs the cache trace simulation -------------
+  if (opt.check_traffic) {
+    traffic::check_traffic_vs_simulation(prog, mm, a.location, sink);
+  }
 
   a.ok = sink.errors() == errors_before;
   for (std::size_t i = diags_before; i < sink.diagnostics().size(); ++i) {

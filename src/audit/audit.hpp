@@ -112,6 +112,10 @@ struct AuditOptions {
   /// Run the add-a-port monotonicity probe (VP008): re-balance with a
   /// what-if machine that adds one universal execution port.
   bool check_monotonicity = true;
+  /// Cross-validate the static traffic engine against the cache trace
+  /// simulator (VP011).  Off by default: the simulation costs real time
+  /// per block and is opt-in (`audit --traffic`).
+  bool check_traffic = false;
 };
 
 /// Full audit verdict for one block.

@@ -55,7 +55,8 @@ const Prediction* SweepResult::find(const SweepRow& row,
 
 SweepResult sweep(const std::vector<kernels::Variant>& matrix,
                   const std::vector<const Predictor*>& predictors, int jobs,
-                  const MachineResolver& machines, const AuditHook& audit) {
+                  const MachineResolver& machines, const AuditHook& audit,
+                  const TrafficHook& traffic) {
   SweepResult r;
   r.model_ids.reserve(predictors.size());
   for (const Predictor* p : predictors) r.model_ids.push_back(p->id());
@@ -96,6 +97,14 @@ SweepResult sweep(const std::vector<kernels::Variant>& matrix,
     r.audit_verdicts.assign(r.blocks.size(), std::string());
     support::parallel_for(r.blocks.size(), jobs, [&](std::size_t i) {
       r.audit_verdicts[i] = audit(r.blocks[i]);
+    });
+  }
+
+  // Optional traffic pass, same slot discipline as the audit pass.
+  if (traffic) {
+    r.traffic_lines.assign(r.blocks.size(), std::string());
+    support::parallel_for(r.blocks.size(), jobs, [&](std::size_t i) {
+      r.traffic_lines[i] = traffic(r.blocks[i]);
     });
   }
 
@@ -155,7 +164,8 @@ SweepResult sweep(const SweepOptions& opt) {
       return it != by_family.end() ? *it->second : uarch::machine(micro);
     };
   }
-  return sweep(filter_matrix(opt), predictors, opt.jobs, resolver, opt.audit);
+  return sweep(filter_matrix(opt), predictors, opt.jobs, resolver, opt.audit,
+               opt.traffic);
 }
 
 // ------------------------------------------------------------------- output
@@ -169,6 +179,8 @@ std::string to_csv(const SweepResult& r) {
   for (const std::string& id : r.model_ids) header.push_back(id + "_cy");
   const bool audited = !r.audit_verdicts.empty();
   if (audited) header.push_back("audit_verdict");
+  const bool trafficked = !r.traffic_lines.empty();
+  if (trafficked) header.push_back("traffic_lines");
   csv.header(header);
   for (const SweepRow& row : r.rows) {
     const Block& b = r.blocks[row.block_index];
@@ -185,6 +197,7 @@ std::string to_csv(const SweepResult& r) {
                             : std::string());
     }
     if (audited) fields.push_back(r.audit_verdicts[row.block_index]);
+    if (trafficked) fields.push_back(r.traffic_lines[row.block_index]);
     csv.row(fields);
   }
   return os.str();
@@ -224,6 +237,13 @@ std::string to_json(const SweepResult& r) {
                  format("\"audit_verdict\": \"%s\", ",
                         report::json_escape(
                             r.audit_verdicts[row.block_index]).c_str()));
+    }
+    if (!r.traffic_lines.empty()) {
+      const std::string tail = "\"predictions\": {";
+      out.insert(out.size() - tail.size(),
+                 format("\"traffic_lines\": \"%s\", ",
+                        report::json_escape(
+                            r.traffic_lines[row.block_index]).c_str()));
     }
     for (std::size_t m = 0; m < row.predictions.size(); ++m) {
       const Prediction& p = row.predictions[m];

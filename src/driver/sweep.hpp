@@ -31,6 +31,12 @@ namespace incore::driver {
 /// here, so src/driver/ does not depend on src/audit/.  Must be thread-safe.
 using AuditHook = std::function<std::string(const Block&)>;
 
+/// Optional traffic hook, same contract as AuditHook: called once per
+/// unique block and returns a compact per-iteration traffic summary for
+/// the `traffic_lines` column.  The driver stays traffic-agnostic: the CLI
+/// installs the static traffic engine here.  Must be thread-safe.
+using TrafficHook = std::function<std::string(const Block&)>;
+
 struct SweepOptions {
   /// Worker threads for predictor evaluation; <= 1 runs inline.
   int jobs = 1;
@@ -38,6 +44,9 @@ struct SweepOptions {
   /// `audit_verdict` column (absent otherwise, keeping default output
   /// byte-identical).
   AuditHook audit;
+  /// When set, the reports gain a `traffic_lines` column (absent
+  /// otherwise, keeping default output byte-identical).
+  TrafficHook traffic;
   /// Models to run; empty means all three (OSACA, MCA, testbed).
   std::vector<Model> models;
   // Matrix filters; an empty filter keeps every value of that axis.
@@ -84,6 +93,9 @@ struct SweepResult {
   SweepStats stats;
   /// Per unique block (parallel to `blocks`); empty when no audit hook ran.
   std::vector<std::string> audit_verdicts;
+  /// Per unique block (parallel to `blocks`); empty when no traffic hook
+  /// ran.
+  std::vector<std::string> traffic_lines;
 
   /// The row's prediction for a model id; nullptr when absent.
   [[nodiscard]] const Prediction* find(const SweepRow& row,
@@ -102,7 +114,8 @@ using MachineResolver =
                                 const std::vector<const Predictor*>& predictors,
                                 int jobs = 1,
                                 const MachineResolver& machines = {},
-                                const AuditHook& audit = {});
+                                const AuditHook& audit = {},
+                                const TrafficHook& traffic = {});
 
 /// Convenience: builds the filtered matrix and the standard model
 /// predictors from the options.

@@ -132,7 +132,11 @@ void CacheHierarchy::access(std::uint64_t line_addr, bool is_store,
     }
   }
   // Miss everywhere: claim allocates without a memory read.
-  if (!claim) ++mem_.lines_read;
+  if (claim) {
+    ++claimed_lines_;
+  } else {
+    ++mem_.lines_read;
+  }
   place(0, line_addr, is_store);
 }
 
@@ -197,6 +201,20 @@ CacheHierarchy CacheHierarchy::for_machine(uarch::Micro micro) {
   return CacheHierarchy(l1, l2, l3,
                         wa == WaMechanism::SpecI2M ? WaMechanism::None : wa,
                         preset(micro).claim_detector_warmup_lines);
+}
+
+CacheHierarchy CacheHierarchy::for_model(const uarch::MachineModel& mm) {
+  const uarch::CacheParams& c = mm.cache;
+  const CacheConfig l1{static_cast<std::size_t>(c.l1_bytes), c.l1_ways,
+                       c.line_bytes};
+  const CacheConfig l2{static_cast<std::size_t>(c.l2_bytes), c.l2_ways,
+                       c.line_bytes};
+  const CacheConfig l3{static_cast<std::size_t>(c.l3_bytes), c.l3_ways,
+                       c.line_bytes};
+  const WaMechanism wa = preset(mm.micro()).wa;
+  return CacheHierarchy(l1, l2, l3,
+                        wa == WaMechanism::SpecI2M ? WaMechanism::None : wa,
+                        preset(mm.micro()).claim_detector_warmup_lines);
 }
 
 }  // namespace incore::memsim

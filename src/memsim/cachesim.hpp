@@ -106,6 +106,9 @@ class CacheHierarchy {
   [[nodiscard]] const MemoryStats& memory() const { return mem_; }
   [[nodiscard]] const CacheLevel& level(int i) const { return levels_[i]; }
   [[nodiscard]] std::uint64_t stored_lines() const { return stored_lines_; }
+  /// Lines allocated by the claim detector without a memory read (Grace
+  /// automatic WA evasion).  Consumed by the traffic cross-validation.
+  [[nodiscard]] std::uint64_t claimed_lines() const { return claimed_lines_; }
 
   /// Run a sequential full-line store stream of `bytes` from `base`, drain,
   /// and return the Fig. 4 traffic ratio.
@@ -114,6 +117,12 @@ class CacheHierarchy {
 
   /// Per-machine hierarchy preset (per-core L1/L2 plus an L3 share).
   [[nodiscard]] static CacheHierarchy for_machine(uarch::Micro micro);
+  /// Hierarchy built from a model's cache geometry (the MDF `cache`
+  /// directive), so what-if cache edits flow into the trace simulator.
+  /// The WA mechanism still comes from the family preset; as in
+  /// for_machine, a single core below bandwidth saturation maps SpecI2M
+  /// to plain write-allocate.
+  [[nodiscard]] static CacheHierarchy for_model(const uarch::MachineModel& mm);
 
  private:
   /// Place a line into level `idx`, cascading victims downward; beyond the
@@ -127,6 +136,7 @@ class CacheHierarchy {
   ClaimDetector detector_;
   MemoryStats mem_;
   std::uint64_t stored_lines_ = 0;
+  std::uint64_t claimed_lines_ = 0;
 };
 
 }  // namespace incore::memsim

@@ -1,0 +1,409 @@
+#include "traffic/crosscheck.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <set>
+
+#include "dataflow/dataflow.hpp"
+#include "memsim/cachesim.hpp"
+#include "memsim/memsim.hpp"
+#include "support/strings.hpp"
+
+namespace incore::traffic {
+
+namespace {
+
+using dataflow::MemAccess;
+using support::format;
+
+[[nodiscard]] long long floor_div(long long a, long long b) {
+  return a >= 0 ? a / b : -((-a + b - 1) / b);
+}
+
+/// One per-iteration memory operation, pre-resolved for the replay loop.
+struct Op {
+  long long lo = 0;       // effective displacement
+  long long width = 1;    // bytes
+  long long stride = 0;   // per-iteration advance
+  long long base = 0;     // synthesized region base
+  bool is_load = false;
+  bool is_store = false;
+  bool nontemporal = false;
+};
+
+struct Snapshot {
+  std::uint64_t l1_miss, l1_evict, l2_hit, l2_evict, l3_hit;
+  std::uint64_t mem_read, mem_write, claimed;
+};
+
+[[nodiscard]] Snapshot snap(const memsim::CacheHierarchy& h) {
+  Snapshot s{};
+  s.l1_miss = h.level(0).stats().misses;
+  s.l1_evict = h.level(0).stats().evictions;
+  s.l2_hit = h.level(1).stats().hits;
+  s.l2_evict = h.level(1).stats().evictions;
+  s.l3_hit = h.level(2).stats().hits;
+  s.mem_read = h.memory().lines_read;
+  s.mem_write = h.memory().lines_written;
+  s.claimed = h.claimed_lines();
+  return s;
+}
+
+}  // namespace
+
+const char* to_string(Attribution a) {
+  switch (a) {
+    case Attribution::SymbolicStride: return "symbolic-stride";
+    case Attribution::GatherScatter: return "gather-scatter";
+    case Attribution::AliasResolution: return "alias-resolution";
+    case Attribution::LayerConditionBoundary:
+      return "layer-condition-boundary";
+    case Attribution::AssociativityConflict: return "associativity-conflict";
+    case Attribution::WriteAllocateModel: return "write-allocate-model";
+    case Attribution::WindowCapped: return "window-capped";
+  }
+  return "?";
+}
+
+Crosscheck crosscheck(const asmir::Program& prog,
+                      const uarch::MachineModel& mm,
+                      const CrosscheckOptions& opt) {
+  Crosscheck c;
+  c.statics = analyze(prog, mm);
+  const Result& r = c.statics;
+  const dataflow::Analysis df = dataflow::analyze(prog);
+  const int line = mm.cache.line_bytes;
+
+  // Unknowable layouts: skip with attribution instead of simulating a
+  // layout the static model never claimed to predict.
+  for (const Stream& s : r.streams) {
+    if (s.pattern == Pattern::Symbolic) {
+      c.attributions.push_back(Attribution::SymbolicStride);
+    } else if (s.pattern == Pattern::GatherScatter) {
+      c.attributions.push_back(Attribution::GatherScatter);
+    }
+  }
+  if (!c.attributions.empty() || df.accesses.empty()) {
+    c.skipped = true;
+    return c;
+  }
+
+  // --- synthesize the layout: disjoint regions, staggered by 68 lines so
+  // the streams land on decorrelated cache sets. ---
+  const long long total_cap = opt.max_total_iterations;
+  long long measure = opt.measure_iterations;
+
+  double agg_bytes = 0;        // leading-edge fill rate (drives warmup)
+  double agg_sweep_bytes = 0;  // all-band footprint (layer conditions)
+  long long max_span_iters = 0;
+  for (const Stream& s : r.streams) {
+    agg_bytes += s.lines_per_iter * line;
+    double stream_bytes = 0;
+    for (const Band& b : s.bands) stream_bytes += b.lines_per_iter;
+    if (s.bands.empty()) stream_bytes = s.lines_per_iter;
+    agg_sweep_bytes += stream_bytes * line;
+    const long long as = std::llabs(s.stride_bytes.value_or(0));
+    if (as > 0) max_span_iters = std::max(max_span_iters, s.span_bytes / as);
+  }
+  const double c123 = static_cast<double>(mm.cache.l1_bytes) +
+                      static_cast<double>(mm.cache.l2_bytes) +
+                      static_cast<double>(mm.cache.l3_bytes);
+  long long warmup =
+      agg_bytes > 0
+          ? static_cast<long long>(1.5 * c123 / agg_bytes) + max_span_iters +
+                1024
+          : max_span_iters + 1024;
+  bool capped = false;
+  if (warmup + measure > total_cap) {
+    warmup = std::max<long long>(total_cap - measure, 1024);
+    capped = true;
+  }
+  const long long total = warmup + measure;
+  c.warmup_iterations = warmup;
+  c.measured_iterations = measure;
+
+  std::vector<Op> ops;
+  {
+    std::vector<long long> base(r.streams.size(), 0);
+    long long cursor = 1ll << 30;
+    for (std::size_t si = 0; si < r.streams.size(); ++si) {
+      const Stream& s = r.streams[si];
+      const long long stride = s.stride_bytes.value_or(0);
+      long long min_lo = 0, max_hi = 1;
+      bool first = true;
+      for (int ai : s.accesses) {
+        const MemAccess& a = df.accesses[static_cast<std::size_t>(ai)];
+        const long long lo = a.effective_displacement();
+        const long long hi = lo + std::max<long long>(a.width_bits / 8, 1);
+        min_lo = first ? lo : std::min(min_lo, lo);
+        max_hi = first ? hi : std::max(max_hi, hi);
+        first = false;
+      }
+      const long long lo_range = min_lo + (stride < 0 ? stride * (total - 1) : 0);
+      const long long hi_range = max_hi + (stride > 0 ? stride * (total - 1) : 0);
+      base[si] = cursor - lo_range;
+      cursor += (hi_range - lo_range) + (1 << 20) + 68ll * line;
+    }
+    // Ops in program order (df.accesses is program order).
+    std::vector<std::size_t> stream_of(df.accesses.size(), 0);
+    for (std::size_t si = 0; si < r.streams.size(); ++si) {
+      for (int ai : r.streams[si].accesses) {
+        stream_of[static_cast<std::size_t>(ai)] = si;
+      }
+    }
+    for (std::size_t ai = 0; ai < df.accesses.size(); ++ai) {
+      const MemAccess& a = df.accesses[ai];
+      Op op;
+      op.lo = base[stream_of[ai]] + a.effective_displacement();
+      op.width = std::max<long long>(a.width_bits / 8, 1);
+      op.stride = r.streams[stream_of[ai]].stride_bytes.value_or(0);
+      op.is_load = a.is_load;
+      op.is_store = a.is_store;
+      op.nontemporal =
+          a.is_store &&
+          is_nontemporal_store(
+              prog.code[static_cast<std::size_t>(a.instr)].mnemonic,
+              prog.isa);
+      ops.push_back(op);
+    }
+  }
+
+  // --- replay: each access expands to one simulator call per touched
+  // line (the simulator's load/store process exactly one line). ---
+  memsim::CacheHierarchy hier = memsim::CacheHierarchy::for_model(mm);
+  Snapshot begin{};
+  for (long long i = 0; i < total; ++i) {
+    if (i == warmup) begin = snap(hier);
+    for (const Op& op : ops) {
+      const long long lo = op.lo + i * op.stride;
+      const long long l0 = floor_div(lo, line);
+      const long long l1 = floor_div(lo + op.width - 1, line);
+      for (long long l = l0; l <= l1; ++l) {
+        const auto addr = static_cast<std::uint64_t>(l * line);
+        if (op.nontemporal) {
+          hier.store(addr, memsim::StoreKind::NonTemporal);
+          continue;
+        }
+        if (op.is_load) hier.load(addr);
+        if (op.is_store) hier.store(addr, memsim::StoreKind::Standard);
+      }
+    }
+  }
+  // No drain: the window deltas are the steady-state rates.
+  const Snapshot end = snap(hier);
+  const double m = static_cast<double>(measure);
+  const Volumes& v = r.volumes;
+  auto rate = [&](std::uint64_t b, std::uint64_t e) {
+    return static_cast<double>(e - b) / m;
+  };
+  c.quantities = {
+      {"l1_miss", v.l1_miss, rate(begin.l1_miss, end.l1_miss), true},
+      {"l1_evict", v.l1_evict, rate(begin.l1_evict, end.l1_evict), true},
+      {"l2_hit", v.l2_hit, rate(begin.l2_hit, end.l2_hit), true},
+      {"l2_evict", v.l2_evict, rate(begin.l2_evict, end.l2_evict), true},
+      {"l3_hit", v.l3_hit, rate(begin.l3_hit, end.l3_hit), true},
+      {"mem_read", v.mem_read, rate(begin.mem_read, end.mem_read), true},
+      {"mem_write", v.mem_write, rate(begin.mem_write, end.mem_write), true},
+      {"claimed", v.claimed, rate(begin.claimed, end.claimed), true},
+  };
+
+  bool diverged = false;
+  for (Quantity& q : c.quantities) {
+    const double diff = std::fabs(q.statik - q.simulated);
+    const double scale = std::max(std::fabs(q.statik), std::fabs(q.simulated));
+    q.within = diff <= std::max(opt.tolerance * scale, opt.floor_lines);
+    if (scale > opt.floor_lines) {
+      c.max_rel_error = std::max(c.max_rel_error, diff / scale);
+    }
+    diverged |= !q.within;
+  }
+  if (!diverged) return c;
+
+  // --- attribution ---
+  if (capped) c.attributions.push_back(Attribution::WindowCapped);
+  // Cross-stream must-overlap: the static volumes double-count what the
+  // synthesized disjoint layout cannot reproduce.
+  bool overlap = false;
+  for (std::size_t i = 0; i < r.streams.size() && !overlap; ++i) {
+    for (std::size_t j = i + 1; j < r.streams.size() && !overlap; ++j) {
+      for (int ai : r.streams[i].accesses) {
+        for (int aj : r.streams[j].accesses) {
+          if (df.alias(df.accesses[static_cast<std::size_t>(ai)],
+                       df.accesses[static_cast<std::size_t>(aj)]) ==
+              dataflow::Alias::MustOverlap) {
+            overlap = true;
+            break;
+          }
+        }
+        if (overlap) break;
+      }
+    }
+  }
+  if (overlap) c.attributions.push_back(Attribution::AliasResolution);
+  // Reuse distance near a capacity edge: the serving level can flip.
+  const double caps[] = {static_cast<double>(mm.cache.l1_bytes),
+                         static_cast<double>(mm.cache.l1_bytes) +
+                             static_cast<double>(mm.cache.l2_bytes),
+                         c123};
+  bool boundary = false;
+  for (const Stream& s : r.streams) {
+    for (const Band& b : s.bands) {
+      if (b.leading) continue;
+      const double reuse = b.gap_iterations * agg_sweep_bytes;
+      for (double cap : caps) {
+        if (reuse >= 0.7 * cap && reuse <= 1.4 * cap) boundary = true;
+      }
+    }
+  }
+  if (boundary) c.attributions.push_back(Attribution::LayerConditionBoundary);
+  // Associativity conflicts: the layer condition reasons about capacity as
+  // if L1 were fully associative.  When the concurrently-live lines of the
+  // replayed layout alias to one L1 set beyond its ways (e.g. stencil rows
+  // a power-of-two apart), intra-line reuse thrashes between L1 and L2 and
+  // the static model undercounts L1 misses.  The band offsets causing this
+  // come from the code, not the synthesized bases, so the attribution
+  // transfers to any real layout with the same geometry.
+  {
+    const int ways = mm.cache.l1_ways;
+    const long long sets = std::max<long long>(
+        mm.cache.l1_bytes / (static_cast<long long>(line) * ways), 1);
+    std::map<long long, std::set<long long>> live;  // set index -> lines
+    for (const Op& op : ops) {
+      const long long l0 = op.lo / line;
+      const long long l1 = (op.lo + op.width - 1) / line;
+      for (long long l = l0; l <= l1; ++l) live[l % sets].insert(l);
+    }
+    for (const auto& [set_index, lines_in_set] : live) {
+      if (static_cast<long long>(lines_in_set.size()) > ways) {
+        c.attributions.push_back(Attribution::AssociativityConflict);
+        break;
+      }
+    }
+  }
+  // Store-side divergence on a claim-detecting machine.
+  if (memsim::preset(mm.micro()).wa == memsim::WaMechanism::AutomaticClaim) {
+    bool store_side_only = true;
+    bool any_store = false;
+    for (const Quantity& q : c.quantities) {
+      if (q.within) continue;
+      const std::string_view n = q.name;
+      if (n != "mem_read" && n != "mem_write" && n != "claimed") {
+        store_side_only = false;
+      }
+    }
+    for (const Stream& s : r.streams) any_store |= s.dirty_lines > 0;
+    if (store_side_only && any_store) {
+      c.attributions.push_back(Attribution::WriteAllocateModel);
+    }
+  }
+  c.ok = !c.attributions.empty();
+  return c;
+}
+
+std::size_t check_traffic_vs_simulation(const asmir::Program& prog,
+                                        const uarch::MachineModel& mm,
+                                        std::string location,
+                                        verify::DiagnosticSink& sink,
+                                        const CrosscheckOptions& opt) {
+  const std::size_t before = sink.diagnostics().size();
+  const Crosscheck c = crosscheck(prog, mm, opt);
+  const std::string& loc = location;
+  auto attribution_notes = [&] {
+    std::vector<std::string> notes;
+    for (Attribution a : c.attributions) {
+      notes.push_back(format("attributed: %s", to_string(a)));
+    }
+    return notes;
+  };
+  if (c.skipped) {
+    if (!c.attributions.empty()) {
+      sink.report(verify::Severity::Note, "VP011", loc,
+                  "traffic cross-validation skipped: the stream layout is "
+                  "not statically knowable",
+                  attribution_notes());
+    }
+    return sink.diagnostics().size() - before;
+  }
+  std::vector<std::string> divergent;
+  for (const Quantity& q : c.quantities) {
+    if (!q.within) {
+      divergent.push_back(format("%s: static %.3f vs simulated %.3f",
+                                 q.name, q.statik, q.simulated));
+    }
+  }
+  if (divergent.empty()) return 0;
+  if (c.ok) {
+    std::vector<std::string> notes = attribution_notes();
+    notes.insert(notes.end(), divergent.begin(), divergent.end());
+    sink.report(verify::Severity::Note, "VP011", loc,
+                format("static traffic diverges from the trace simulation "
+                       "(max relative error %.1f%%), attributed",
+                       100.0 * c.max_rel_error),
+                std::move(notes));
+  } else {
+    sink.report(verify::Severity::Error, "VP011", loc,
+                format("static traffic diverges from the trace simulation "
+                       "(max relative error %.1f%%) without attribution",
+                       100.0 * c.max_rel_error),
+                divergent);
+  }
+  return sink.diagnostics().size() - before;
+}
+
+std::string to_text(const Crosscheck& c) {
+  std::string out;
+  if (c.skipped) {
+    out += "cross-check: skipped (";
+    for (std::size_t i = 0; i < c.attributions.size(); ++i) {
+      out += format("%s%s", i ? ", " : "", to_string(c.attributions[i]));
+    }
+    if (c.attributions.empty()) out += "no memory accesses";
+    out += ")\n";
+    return out;
+  }
+  out += format("cross-check vs trace simulation (%lld warmup + %lld "
+                "measured iterations):\n",
+                c.warmup_iterations, c.measured_iterations);
+  out += "  quantity    static     simulated  status\n";
+  for (const Quantity& q : c.quantities) {
+    out += format("  %-10s %9.3f  %9.3f   %s\n", q.name, q.statik,
+                  q.simulated, q.within ? "ok" : "DIVERGED");
+  }
+  out += format("  max relative error %.2f%%  ->  %s\n",
+                100.0 * c.max_rel_error,
+                c.ok ? (c.attributions.empty() ? "agree" : "attributed")
+                     : "UNATTRIBUTED DIVERGENCE");
+  for (Attribution a : c.attributions) {
+    out += format("  attribution: %s\n", to_string(a));
+  }
+  return out;
+}
+
+std::string to_json(const Crosscheck& c) {
+  std::string out = "{\n";
+  out += format("  \"skipped\": %s,\n", c.skipped ? "true" : "false");
+  out += format("  \"ok\": %s,\n", c.ok ? "true" : "false");
+  out += format("  \"warmup_iterations\": %lld,\n", c.warmup_iterations);
+  out += format("  \"measured_iterations\": %lld,\n", c.measured_iterations);
+  out += format("  \"max_relative_error\": %.6f,\n", c.max_rel_error);
+  out += "  \"quantities\": [";
+  for (std::size_t i = 0; i < c.quantities.size(); ++i) {
+    const Quantity& q = c.quantities[i];
+    out += format(
+        "%s\n    {\"name\": \"%s\", \"static\": %.6f, \"simulated\": %.6f, "
+        "\"within\": %s}",
+        i ? "," : "", q.name, q.statik, q.simulated,
+        q.within ? "true" : "false");
+  }
+  out += c.quantities.empty() ? "],\n" : "\n  ],\n";
+  out += "  \"attributions\": [";
+  for (std::size_t i = 0; i < c.attributions.size(); ++i) {
+    out += format("%s\"%s\"", i ? ", " : "", to_string(c.attributions[i]));
+  }
+  out += "]\n}\n";
+  return out;
+}
+
+}  // namespace incore::traffic

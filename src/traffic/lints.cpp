@@ -1,0 +1,255 @@
+#include "traffic/lints.hpp"
+
+#include <cstdlib>
+
+#include "dataflow/dataflow.hpp"
+#include "memsim/memsim.hpp"
+#include "support/strings.hpp"
+#include "traffic/traffic.hpp"
+
+namespace incore::traffic {
+
+namespace {
+
+using asmir::Instruction;
+using asmir::Program;
+using dataflow::Alias;
+using dataflow::MemAccess;
+using support::format;
+using verify::DiagnosticSink;
+using verify::Severity;
+
+constexpr std::uint32_t kNoBase = 0xffffffffu;
+constexpr std::uint32_t kNoIndex = 0xfffffffeu;
+
+std::string ins_location(std::string_view name, const Instruction& ins) {
+  return format("kernel '%.*s', line %d: '%s'",
+                static_cast<int>(name.size()), name.data(), ins.line,
+                ins.raw.c_str());
+}
+
+std::string kernel_location(std::string_view name) {
+  return format("kernel '%.*s'", static_cast<int>(name.size()), name.data());
+}
+
+[[nodiscard]] asmir::Register root_register(std::uint32_t root) {
+  asmir::Register r;
+  r.cls = static_cast<asmir::RegClass>(root >> 8);
+  r.index = static_cast<int>(root & 0xffu);
+  r.width_bits = 64;
+  return r;
+}
+
+/// The instruction anchoring a stream's diagnostics: its first access.
+[[nodiscard]] const Instruction& anchor(const Program& prog,
+                                        const dataflow::Analysis& df,
+                                        const Stream& s) {
+  const MemAccess& a = df.accesses[static_cast<std::size_t>(s.accesses.front())];
+  return prog.code[static_cast<std::size_t>(a.instr)];
+}
+
+/// Same address-class coordinates: effective displacements comparable.
+[[nodiscard]] bool same_coords(const MemAccess& a, const MemAccess& b) {
+  return a.base == b.base && a.base_epoch == b.base_epoch &&
+         a.index == b.index && a.index_epoch == b.index_epoch &&
+         a.scale == b.scale;
+}
+
+/// True when every in-body definition of `root` is a provable constant
+/// increment (or there is none at all): the register sweeps linearly.
+[[nodiscard]] bool advances_linearly(const dataflow::Analysis& df,
+                                     std::uint32_t root) {
+  for (const dataflow::InstrDataflow& id : df.instrs) {
+    for (const dataflow::RegWrite& w : id.writes) {
+      if (w.reg.root_id() == root && !w.increment) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::size_t lint_traffic(const Program& prog, const uarch::MachineModel& mm,
+                         std::string_view name, DiagnosticSink& sink) {
+  const std::size_t before = sink.diagnostics().size();
+  const dataflow::Analysis df = dataflow::analyze(prog);
+  const Result r = analyze(prog, mm);
+  const asmir::Isa isa = prog.isa;
+
+  // --- VT001: streams with provably overlapping footprints ---
+  // Two streams sweep disjoint address classes by construction, so a
+  // MustOverlap access pair across streams means the address algebra proves
+  // the classes intersect: the per-stream volumes double-count those lines.
+  for (std::size_t i = 0; i < r.streams.size(); ++i) {
+    for (std::size_t j = i + 1; j < r.streams.size(); ++j) {
+      bool overlap = false;
+      for (int ai : r.streams[i].accesses) {
+        for (int aj : r.streams[j].accesses) {
+          if (df.alias(df.accesses[static_cast<std::size_t>(ai)],
+                       df.accesses[static_cast<std::size_t>(aj)]) ==
+              Alias::MustOverlap) {
+            overlap = true;
+            break;
+          }
+        }
+        if (overlap) break;
+      }
+      if (!overlap) continue;
+      sink.report(
+          Severity::Warning, "VT001",
+          ins_location(name, anchor(prog, df, r.streams[j])),
+          format("stream %s provably overlaps stream %s: their line "
+                 "traffic is double-counted in the volume model",
+                 r.streams[j].address_expr(isa).c_str(),
+                 r.streams[i].address_expr(isa).c_str()),
+          {"merge the address expressions or separate the buffers"});
+    }
+  }
+
+  // --- VT002: partial store-to-load overlap ---
+  // A load that provably overlaps an earlier store without being contained
+  // in it reads bytes from two sources: the access is split between the
+  // store buffer and the cache (and defeats forwarding, cf. VK009).
+  for (std::size_t si = 0; si < df.accesses.size(); ++si) {
+    const MemAccess& st = df.accesses[si];
+    if (!st.is_store) continue;
+    for (std::size_t li = 0; li < df.accesses.size(); ++li) {
+      const MemAccess& ld = df.accesses[li];
+      if (!ld.is_load || li == si) continue;
+      if (!same_coords(st, ld)) continue;
+      if (df.alias(st, ld) != Alias::MustOverlap) continue;
+      const long long s_lo = st.effective_displacement();
+      const long long s_hi = s_lo + std::max<long long>(st.width_bits / 8, 1);
+      const long long l_lo = ld.effective_displacement();
+      const long long l_hi = l_lo + std::max<long long>(ld.width_bits / 8, 1);
+      const bool contained = s_lo <= l_lo && l_hi <= s_hi;
+      if (contained) continue;
+      sink.report(
+          Severity::Warning, "VT002",
+          ins_location(name,
+                       prog.code[static_cast<std::size_t>(ld.instr)]),
+          format("load [%lld, %lld) partially overlaps the store "
+                 "[%lld, %lld): the access is split between forwarded "
+                 "bytes and the cache",
+                 l_lo, l_hi, s_lo, s_hi),
+          {"align the store to cover the load, or separate the ranges"});
+    }
+  }
+
+  for (const Stream& s : r.streams) {
+    // --- VT003: strided vector access wastes cache-line bytes ---
+    if (s.pattern == Pattern::Strided && s.width_bits >= 128 &&
+        s.lines_per_iter > 0) {
+      const int line = mm.cache.line_bytes;
+      double bytes_used = 0;
+      for (int ai : s.accesses) {
+        bytes_used += std::max<long long>(
+            df.accesses[static_cast<std::size_t>(ai)].width_bits / 8, 1);
+      }
+      const double util = bytes_used / (s.lines_per_iter * line);
+      sink.report(
+          Severity::Warning, "VT003",
+          ins_location(name, anchor(prog, df, s)),
+          format("%d-bit accesses on a stride-%lld stream use %.0f%% of "
+                 "each transferred %d-byte line",
+                 s.width_bits, s.stride_bytes.value_or(0),
+                 100.0 * std::min(util, 1.0), line),
+          {"a unit-stride layout (AoS -> SoA) makes every line byte count"});
+    }
+
+    // --- VT004: redundant reload of an unmodified stream ---
+    // Two loads of the same bytes in a store-free stream, with no store
+    // anywhere in the loop that could alias them: the second load re-reads
+    // a value that is still available in a register.
+    if (s.kind == StreamKind::Load) {
+      for (std::size_t x = 0; x < s.accesses.size(); ++x) {
+        for (std::size_t y = x + 1; y < s.accesses.size(); ++y) {
+          const MemAccess& a =
+              df.accesses[static_cast<std::size_t>(s.accesses[x])];
+          const MemAccess& b =
+              df.accesses[static_cast<std::size_t>(s.accesses[y])];
+          if (df.alias(a, b) != Alias::MustOverlap) continue;
+          bool store_may_intervene = false;
+          for (const MemAccess& other : df.accesses) {
+            if (!other.is_store) continue;
+            if (df.alias(other, a) != Alias::NoAlias ||
+                df.alias(other, b) != Alias::NoAlias) {
+              store_may_intervene = true;
+              break;
+            }
+          }
+          if (store_may_intervene) continue;
+          sink.report(
+              Severity::Note, "VT004",
+              ins_location(name,
+                           prog.code[static_cast<std::size_t>(b.instr)]),
+              format("reload of %s overlaps the load at line %d in an "
+                     "unmodified stream: the value is still available",
+                     s.address_expr(isa).c_str(),
+                     prog.code[static_cast<std::size_t>(a.instr)].line),
+              {"keeping the first load's result in a register saves a port "
+               "slot and an L1 access"});
+        }
+      }
+    }
+
+    // --- VT005: gather whose per-lane access pattern is strided ---
+    if (s.pattern == Pattern::GatherScatter && s.index_root != kNoIndex &&
+        !df.defined_in_body(root_register(s.index_root)) &&
+        s.base_root != kNoBase && advances_linearly(df, s.base_root)) {
+      sink.report(
+          Severity::Note, "VT005",
+          ins_location(name, anchor(prog, df, s)),
+          format("gather %s has loop-invariant indices: each lane sweeps "
+                 "memory at the base register's stride",
+                 s.address_expr(isa).c_str()),
+          {"per-lane the access is strided and prefetchable; if the "
+           "indices are affine, strided loads plus a shuffle avoid the "
+           "gather entirely"});
+    }
+
+    // --- VT006: write-allocate traffic avoidable with NT stores ---
+    if (s.kind == StreamKind::Store && s.pattern == Pattern::UnitStride &&
+        s.nt_store_line_ops <= 0 && s.store_first_lines > 0 &&
+        memsim::preset(mm.micro()).wa != memsim::WaMechanism::AutomaticClaim) {
+      sink.report(
+          Severity::Warning, "VT006",
+          ins_location(name, anchor(prog, df, s)),
+          format("store-only unit-stride stream %s write-allocates %.3f "
+                 "lines/iteration on %s",
+                 s.address_expr(isa).c_str(), s.store_first_lines,
+                 mm.name().c_str()),
+          {"non-temporal stores eliminate the read-for-ownership traffic "
+           "(this machine has no automatic write-allocate evasion)"});
+    }
+
+    // --- VT008: symbolic stride ---
+    if (s.pattern == Pattern::Symbolic) {
+      sink.report(
+          Severity::Warning, "VT008",
+          ins_location(name, anchor(prog, df, s)),
+          format("stream %s has no provable stride: its footprint and "
+                 "traffic are unbounded, the volume model excludes it",
+                 s.address_expr(isa).c_str()),
+          {"an address register is redefined by a non-constant operation "
+           "(e.g. a loaded pointer); the analytic volumes are a lower "
+           "bound"});
+    }
+  }
+
+  // --- VT007: more streams than the prefetcher tracks ---
+  if (r.hw_stream_count > mm.cache.prefetch_streams) {
+    sink.report(
+        Severity::Warning, "VT007", kernel_location(name),
+        format("%d sequential line streams exceed the hardware "
+               "prefetcher's %d tracked streams on %s",
+               r.hw_stream_count, mm.cache.prefetch_streams,
+               mm.name().c_str()),
+        {"excess streams fall back to demand misses; fuse buffers or "
+         "split the loop"});
+  }
+
+  return sink.diagnostics().size() - before;
+}
+
+}  // namespace incore::traffic

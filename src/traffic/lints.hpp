@@ -1,0 +1,29 @@
+#pragma once
+// Traffic lints (VT001..VT008).
+//
+// Diagnostics derived from the reconstructed memory streams: provably
+// overlapping streams (double-counted traffic), partial store-to-load
+// overlap, strided vector accesses that waste cache-line bytes, redundant
+// reloads, per-lane-strided gathers, write-allocate traffic avoidable with
+// non-temporal stores, stream counts beyond the hardware prefetcher's
+// tracking capacity, and symbolic strides with unbounded footprints.
+//
+// Machine-dependent (unlike the VK family): the stream patterns resolve
+// against a line size and the VT006/VT007 checks read the machine's
+// write-allocate mechanism and prefetcher capacity.
+
+#include <string_view>
+
+#include "asmir/ir.hpp"
+#include "uarch/model.hpp"
+#include "verify/diagnostics.hpp"
+
+namespace incore::traffic {
+
+/// Runs VT001..VT008 over `prog` against `mm`.  `name` labels the
+/// diagnostics.  Returns the number of diagnostics emitted.
+std::size_t lint_traffic(const asmir::Program& prog,
+                         const uarch::MachineModel& mm, std::string_view name,
+                         verify::DiagnosticSink& sink);
+
+}  // namespace incore::traffic

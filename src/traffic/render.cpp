@@ -1,0 +1,142 @@
+#include "traffic/traffic.hpp"
+
+#include "support/strings.hpp"
+
+namespace incore::traffic {
+
+namespace {
+
+using support::format;
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string stride_str(const Stream& s) {
+  if (!s.stride_bytes) return "?";
+  return format("%+lld", *s.stride_bytes);
+}
+
+}  // namespace
+
+std::string to_text(const Result& r) {
+  std::string out;
+  const int line = r.mm->cache.line_bytes;
+  out += format("traffic: %s (%zu stream%s, line %dB)\n",
+                r.mm->name().c_str(), r.streams.size(),
+                r.streams.size() == 1 ? "" : "s", line);
+  out += "\nstreams:\n";
+  for (std::size_t i = 0; i < r.streams.size(); ++i) {
+    const Stream& s = r.streams[i];
+    out += format("  #%zu %-20s %-5s %-14s stride %-6s width %db  "
+                  "%.3f lines/it (%zu access%s, %zu band%s)\n",
+                  i, s.address_expr(r.prog->isa).c_str(), to_string(s.kind),
+                  to_string(s.pattern), stride_str(s).c_str(), s.width_bits,
+                  s.lines_per_iter, s.accesses.size(),
+                  s.accesses.size() == 1 ? "" : "es", s.bands.size(),
+                  s.bands.size() == 1 ? "" : "s");
+    for (const Band& b : s.bands) {
+      if (b.leading) {
+        out += format("      band [%lld, %lld) leading  %.3f lines/it%s\n",
+                      b.lo, b.hi, b.lines_per_iter,
+                      b.has_store ? "  (stores)" : "");
+      } else {
+        out += format("      band [%lld, %lld) reuse@%-3s %.3f lines/it  "
+                      "gap %.0f iters%s\n",
+                      b.lo, b.hi, to_string(b.reuse), b.lines_per_iter,
+                      b.gap_iterations, b.has_store ? "  (stores)" : "");
+      }
+    }
+  }
+  const Volumes& v = r.volumes;
+  out += "\nvolumes (lines/iteration):\n";
+  out += format("  L1 miss   %8.3f   L1 evict  %8.3f\n", v.l1_miss,
+                v.l1_evict);
+  out += format("  L2 hit    %8.3f   L2 evict  %8.3f\n", v.l2_hit,
+                v.l2_evict);
+  out += format("  L3 hit    %8.3f\n", v.l3_hit);
+  out += format("  MEM read  %8.3f   MEM write %8.3f\n", v.mem_read,
+                v.mem_write);
+  if (v.claimed > 0) {
+    out += format("  claimed   %8.3f   (write-allocate evaded)\n", v.claimed);
+  }
+  out += format("\nbytes/iteration: L1<-%.1f  L1->%.1f  MEM %.1f%s\n",
+                v.bytes_in_l1(line), v.bytes_out_l1(line), v.bytes_mem(line),
+                r.exact ? ""
+                        : format("  (lower bound: %d unbounded stream%s)",
+                                 r.unbounded_streams,
+                                 r.unbounded_streams == 1 ? "" : "s")
+                              .c_str());
+  return out;
+}
+
+std::string to_json(const Result& r) {
+  std::string out = "{\n";
+  out += format("  \"machine\": \"%s\",\n",
+                json_escape(r.mm->name()).c_str());
+  out += format("  \"line_bytes\": %d,\n", r.mm->cache.line_bytes);
+  out += format("  \"exact\": %s,\n", r.exact ? "true" : "false");
+  out += format("  \"unbounded_streams\": %d,\n", r.unbounded_streams);
+  out += format("  \"hw_stream_count\": %d,\n", r.hw_stream_count);
+  out += "  \"streams\": [\n";
+  for (std::size_t i = 0; i < r.streams.size(); ++i) {
+    const Stream& s = r.streams[i];
+    out += format(
+        "    {\"address\": \"%s\", \"kind\": \"%s\", \"pattern\": \"%s\", ",
+        json_escape(s.address_expr(r.prog->isa)).c_str(), to_string(s.kind),
+        to_string(s.pattern));
+    if (s.stride_bytes) {
+      out += format("\"stride_bytes\": %lld, ", *s.stride_bytes);
+    } else {
+      out += "\"stride_bytes\": null, ";
+    }
+    out += format("\"width_bits\": %d, \"span_bytes\": %lld, ", s.width_bits,
+                  s.span_bytes);
+    out += format("\"lines_per_iter\": %.6f, \"load_first\": %.6f, "
+                  "\"store_first\": %.6f, \"dirty\": %.6f, "
+                  "\"nt_line_ops\": %.6f, ",
+                  s.lines_per_iter, s.load_first_lines, s.store_first_lines,
+                  s.dirty_lines, s.nt_store_line_ops);
+    out += "\"bands\": [";
+    for (std::size_t bi = 0; bi < s.bands.size(); ++bi) {
+      const Band& b = s.bands[bi];
+      out += format("%s{\"lo\": %lld, \"hi\": %lld, \"leading\": %s, "
+                    "\"lines_per_iter\": %.6f, \"gap_iterations\": %.3f, "
+                    "\"reuse\": \"%s\", \"has_store\": %s}",
+                    bi ? ", " : "", b.lo, b.hi, b.leading ? "true" : "false",
+                    b.lines_per_iter, b.gap_iterations,
+                    b.leading ? "new" : to_string(b.reuse),
+                    b.has_store ? "true" : "false");
+    }
+    out += format("]}%s\n", i + 1 < r.streams.size() ? "," : "");
+  }
+  out += "  ],\n";
+  const Volumes& v = r.volumes;
+  out += format(
+      "  \"volumes\": {\"l1_miss\": %.6f, \"l1_evict\": %.6f, "
+      "\"l2_hit\": %.6f, \"l2_evict\": %.6f, \"l3_hit\": %.6f, "
+      "\"mem_read\": %.6f, \"mem_write\": %.6f, \"claimed\": %.6f},\n",
+      v.l1_miss, v.l1_evict, v.l2_hit, v.l2_evict, v.l3_hit, v.mem_read,
+      v.mem_write, v.claimed);
+  out += format(
+      "  \"bytes_per_iteration\": {\"into_l1\": %.3f, \"out_of_l1\": %.3f, "
+      "\"memory\": %.3f}\n",
+      v.bytes_in_l1(r.mm->cache.line_bytes),
+      v.bytes_out_l1(r.mm->cache.line_bytes),
+      v.bytes_mem(r.mm->cache.line_bytes));
+  out += "}\n";
+  return out;
+}
+
+}  // namespace incore::traffic

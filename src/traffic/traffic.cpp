@@ -1,0 +1,608 @@
+#include "traffic/traffic.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <numeric>
+#include <tuple>
+#include <unordered_map>
+
+#include "memsim/cachesim.hpp"
+#include "memsim/memsim.hpp"
+#include "support/strings.hpp"
+
+namespace incore::traffic {
+
+namespace {
+
+using dataflow::MemAccess;
+
+constexpr std::uint32_t kNoBase = 0xffffffffu;
+constexpr std::uint32_t kNoIndex = 0xfffffffeu;
+/// Sentinel grouping key for accesses without a provable stride.
+constexpr long long kSymbolicStride = std::numeric_limits<long long>::min();
+/// Band replays beyond this many iterations fall back to the single-band
+/// approximation (keeps pathological displacement spans bounded).
+constexpr long long kMaxReplayMargin = 1 << 20;
+
+[[nodiscard]] long long floor_div(long long a, long long b) {
+  return a >= 0 ? a / b : -((-a + b - 1) / b);
+}
+
+[[nodiscard]] long long access_width_bytes(const MemAccess& a) {
+  return std::max<long long>(a.width_bits / 8, 1);
+}
+
+/// The address-class key: accesses with equal keys sweep memory together.
+struct StreamKey {
+  std::uint32_t base;
+  int base_epoch;
+  std::uint32_t index;
+  int index_epoch;
+  int scale;
+  long long stride;
+
+  [[nodiscard]] auto tie() const {
+    return std::tie(base, base_epoch, index, index_epoch, scale, stride);
+  }
+  bool operator<(const StreamKey& o) const { return tie() < o.tie(); }
+};
+
+[[nodiscard]] StreamKey key_of(const MemAccess& a) {
+  StreamKey k{};
+  k.base = a.base;
+  k.base_epoch = a.base != kNoBase ? a.base_epoch : 0;
+  k.index = a.index;
+  k.index_epoch = a.index != kNoIndex ? a.index_epoch : 0;
+  // Without an index register the scale is meaningless; normalize it so it
+  // cannot split one address class into two streams.
+  k.scale = a.index != kNoIndex ? a.scale : 1;
+  k.stride = a.stride_bytes ? *a.stride_bytes : kSymbolicStride;
+  return k;
+}
+
+/// One member access, pre-resolved for the periodic replay.
+struct Member {
+  long long lo = 0;       // effective displacement of the first byte
+  long long width = 1;    // bytes
+  bool is_load = false;
+  bool is_store = false;
+  bool nontemporal = false;
+  int access_index = 0;   // into dataflow::Analysis::accesses
+};
+
+struct Rates {
+  double lines = 0;        // new lines / iteration
+  double load_first = 0;
+  double store_first = 0;
+  double dirty = 0;
+  double nt_line_ops = 0;  // non-temporal store line-operations / iteration
+};
+
+/// Exact steady-state rates of one stream by replaying its periodic byte
+/// footprint: lines first touched in the middle third of a
+/// 3 x (span + period + slack) window are fully classified (first-touch
+/// kind, eventual dirtiness) by the time the replay ends.
+[[nodiscard]] Rates replay_rates(const std::vector<Member>& members,
+                                 long long stride, int line_bytes,
+                                 long long margin) {
+  Rates r;
+  struct LineState {
+    bool store_first = false;
+    bool dirty = false;
+    bool in_window = false;
+    bool counted_dirty = false;
+  };
+  std::unordered_map<long long, LineState> lines;
+  lines.reserve(static_cast<std::size_t>(
+      std::min<long long>(4 * margin, kMaxReplayMargin)));
+  long long new_lines = 0;
+  long long store_first = 0;
+  long long dirty = 0;
+  long long nt_ops = 0;
+  const long long window_lo = margin;
+  const long long window_hi = 2 * margin;
+  for (long long i = 0; i < 3 * margin; ++i) {
+    const bool in_window = i >= window_lo && i < window_hi;
+    for (const Member& m : members) {
+      const long long lo = m.lo + i * stride;
+      const long long l0 = floor_div(lo, line_bytes);
+      const long long l1 = floor_div(lo + m.width - 1, line_bytes);
+      if (m.nontemporal) {
+        if (in_window) nt_ops += l1 - l0 + 1;
+        continue;
+      }
+      for (long long l = l0; l <= l1; ++l) {
+        auto [it, fresh] = lines.try_emplace(l);
+        LineState& st = it->second;
+        if (fresh) {
+          st.store_first = m.is_store && !m.is_load;
+          st.in_window = in_window;
+          if (in_window) {
+            ++new_lines;
+            if (st.store_first) ++store_first;
+          }
+        }
+        if (m.is_store && !st.dirty) {
+          st.dirty = true;
+          if (st.in_window && !st.counted_dirty) {
+            st.counted_dirty = true;
+            ++dirty;
+          }
+        }
+      }
+    }
+  }
+  const double denom = static_cast<double>(margin);
+  r.lines = static_cast<double>(new_lines) / denom;
+  r.store_first = static_cast<double>(store_first) / denom;
+  r.load_first = r.lines - r.store_first;
+  r.dirty = static_cast<double>(dirty) / denom;
+  r.nt_line_ops = static_cast<double>(nt_ops) / denom;
+  return r;
+}
+
+/// Distinct-lines-per-iteration rate of a subset of members (a band).
+[[nodiscard]] double band_rate(const std::vector<Member>& members,
+                               long long stride, int line_bytes,
+                               long long margin) {
+  Rates r = replay_rates(members, stride, line_bytes, margin);
+  return r.lines;
+}
+
+/// Contiguity test: with the replayed lines known to advance at
+/// |stride|/line per iteration, coverage is unit-stride when the byte
+/// intervals of a long-enough window union into one gap-free range.
+[[nodiscard]] bool covers_contiguously(const std::vector<Member>& members,
+                                       long long stride, long long span,
+                                       long long iters_cap) {
+  const long long as = std::llabs(stride);
+  if (as == 0) return false;
+  const long long iters =
+      std::min<long long>(2 * (span / as + 1) + 16, iters_cap);
+  std::vector<std::pair<long long, long long>> ivals;
+  ivals.reserve(static_cast<std::size_t>(iters) * members.size());
+  for (long long i = 0; i < iters; ++i) {
+    for (const Member& m : members) {
+      const long long lo = m.lo + i * stride;
+      ivals.emplace_back(lo, lo + m.width);
+    }
+  }
+  std::sort(ivals.begin(), ivals.end());
+  // Interior holes only: the ends of the window are ragged by construction.
+  const long long guard = span + as;
+  const long long lo_guard = ivals.front().first + guard;
+  const long long hi_guard = ivals.back().second - guard;
+  long long cursor = ivals.front().first;
+  for (const auto& [lo, hi] : ivals) {
+    if (lo > cursor && cursor >= lo_guard && lo <= hi_guard) return false;
+    cursor = std::max(cursor, hi);
+  }
+  return true;
+}
+
+[[nodiscard]] bool is_vector_mnemonic_nt(const std::string& m) {
+  // x86: movnti / movntq / movntdq / movntps / movntpd / vmovnt*.
+  const std::string_view sv = m;
+  return sv.starts_with("movnt") || sv.starts_with("vmovnt");
+}
+
+/// Builds the streams of one dataflow analysis at the given line size.
+[[nodiscard]] std::vector<Stream> extract(const asmir::Program& prog,
+                                          const dataflow::Analysis& df,
+                                          int line_bytes) {
+  std::map<StreamKey, std::vector<int>> groups;
+  for (std::size_t i = 0; i < df.accesses.size(); ++i) {
+    groups[key_of(df.accesses[i])].push_back(static_cast<int>(i));
+  }
+
+  std::vector<Stream> streams;
+  streams.reserve(groups.size());
+  for (const auto& [key, members_idx] : groups) {
+    Stream s;
+    s.base_root = key.base;
+    s.index_root = key.index;
+    s.base_epoch = key.base_epoch;
+    s.index_epoch = key.index_epoch;
+    s.scale = key.scale;
+    s.accesses = members_idx;
+    if (key.stride != kSymbolicStride) s.stride_bytes = key.stride;
+
+    bool any_load = false;
+    bool any_store = false;
+    bool any_gather = false;
+    std::vector<Member> members;
+    members.reserve(members_idx.size());
+    for (int ai : members_idx) {
+      const MemAccess& a = df.accesses[static_cast<std::size_t>(ai)];
+      Member m;
+      m.lo = a.effective_displacement();
+      m.width = access_width_bytes(a);
+      m.is_load = a.is_load;
+      m.is_store = a.is_store;
+      m.access_index = ai;
+      m.nontemporal =
+          a.is_store &&
+          is_nontemporal_store(
+              prog.code[static_cast<std::size_t>(a.instr)].mnemonic,
+              prog.isa);
+      members.push_back(m);
+      any_load |= a.is_load;
+      any_store |= a.is_store;
+      any_gather |= a.is_gather;
+      s.width_bits = std::max(s.width_bits, a.width_bits);
+    }
+    s.kind = any_load && any_store ? StreamKind::ReadModifyWrite
+             : any_store          ? StreamKind::Store
+                                  : StreamKind::Load;
+
+    long long min_lo = members.front().lo;
+    long long max_hi = members.front().lo + members.front().width;
+    for (const Member& m : members) {
+      min_lo = std::min(min_lo, m.lo);
+      max_hi = std::max(max_hi, m.lo + m.width);
+    }
+    s.span_bytes = max_hi - min_lo;
+
+    if (any_gather) {
+      s.pattern = Pattern::GatherScatter;
+      streams.push_back(std::move(s));
+      continue;
+    }
+    if (!s.stride_bytes) {
+      s.pattern = Pattern::Symbolic;
+      streams.push_back(std::move(s));
+      continue;
+    }
+    const long long stride = *s.stride_bytes;
+    if (stride == 0) {
+      s.pattern = Pattern::Fixed;
+      Band b;
+      b.lo = min_lo;
+      b.hi = max_hi;
+      b.leading = true;
+      b.has_store = any_store;
+      s.bands.push_back(b);
+      streams.push_back(std::move(s));
+      continue;
+    }
+    const long long as = std::llabs(stride);
+    const long long period =
+        line_bytes / std::gcd(as, static_cast<long long>(line_bytes));
+
+    // --- band clustering: accesses whose ranges touch within one period
+    // sweep share a band; larger gaps separate reuse distances. ---
+    std::vector<Member> sorted = members;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const Member& a, const Member& b) { return a.lo < b.lo; });
+    struct RawBand {
+      long long lo, hi;
+      std::vector<Member> members;
+    };
+    std::vector<RawBand> raw;
+    for (const Member& m : sorted) {
+      if (!raw.empty() && m.lo - raw.back().hi <= line_bytes + as) {
+        raw.back().hi = std::max(raw.back().hi, m.lo + m.width);
+        raw.back().members.push_back(m);
+      } else {
+        raw.push_back(RawBand{m.lo, m.lo + m.width, {m}});
+      }
+    }
+    // Sweep order: the leading band is the one the advance runs into.
+    if (stride > 0) std::reverse(raw.begin(), raw.end());
+
+    // The replay window must span a whole number of line-coverage periods:
+    // otherwise the counted-lines / window ratio misstates the steady rate
+    // (e.g. 3 lines in a 14-iteration window instead of exactly 1/4).
+    const auto whole_periods = [&](long long iters) {
+      return (iters + period - 1) / period * period;
+    };
+    const long long span_iters = s.span_bytes / as + 1;
+    const long long margin =
+        std::min<long long>(whole_periods(span_iters + period + 8),
+                            kMaxReplayMargin / period * period);
+    const bool approximate =
+        whole_periods(span_iters + period + 8) > kMaxReplayMargin;
+
+    Rates rates;
+    if (approximate) {
+      // Span too large to replay: leading-band rates, whole-stream dirty.
+      rates = replay_rates(raw.front().members, stride, line_bytes,
+                           whole_periods(period + 8));
+      if (any_store) rates.dirty = rates.lines;
+    } else {
+      rates = replay_rates(members, stride, line_bytes, margin);
+    }
+    s.lines_per_iter = rates.lines;
+    s.load_first_lines = rates.load_first;
+    s.store_first_lines = rates.store_first;
+    s.dirty_lines = rates.dirty;
+    s.nt_store_line_ops = rates.nt_line_ops;
+
+    for (std::size_t bi = 0; bi < raw.size(); ++bi) {
+      Band b;
+      b.lo = raw[bi].lo;
+      b.hi = raw[bi].hi;
+      b.leading = bi == 0;
+      for (const Member& m : raw[bi].members) b.has_store |= m.is_store;
+      if (bi == 0) {
+        b.lines_per_iter = rates.lines;
+      } else {
+        b.lines_per_iter = band_rate(
+            raw[bi].members, stride, line_bytes,
+            std::min<long long>(
+                whole_periods((raw[bi].hi - raw[bi].lo) / as + period + 8),
+                kMaxReplayMargin / period * period));
+        const RawBand& ahead = raw[bi - 1];
+        const long long gap = stride > 0 ? ahead.lo - raw[bi].hi
+                                         : raw[bi].lo - ahead.hi;
+        b.gap_iterations =
+            static_cast<double>(std::max<long long>(gap, 0)) /
+            static_cast<double>(as);
+      }
+      s.bands.push_back(b);
+    }
+
+    const bool contiguous =
+        covers_contiguously(members, stride, s.span_bytes, 1 << 16);
+    s.pattern = contiguous ? Pattern::UnitStride : Pattern::Strided;
+    streams.push_back(std::move(s));
+  }
+  return streams;
+}
+
+/// Static model of the Grace streaming-write detector.  The detector's
+/// decision depends only on the store line sequence, never on cache state,
+/// so replaying memsim::ClaimDetector over the canonical synthesized line
+/// sequence reproduces the trace simulator's claim rate exactly.  A claim
+/// reduces memory reads only when the line's first touch is that very
+/// store (otherwise the store hits in cache and the claim flag is moot),
+/// so loads of the same streams participate as residency markers.
+[[nodiscard]] double claim_rate(const std::vector<Stream>& streams,
+                                const dataflow::Analysis& df,
+                                const asmir::Program& prog, int line_bytes,
+                                int warmup_lines) {
+  // Canonical disjoint stream bases (1 MiB spacing, staggered by 68 lines;
+  // crosscheck.cpp uses the same layout so the sequences agree).
+  struct Op {
+    std::size_t stream;
+    long long lo;
+    long long width;
+    bool is_store;
+    int order;  // program order (access index)
+  };
+  std::vector<Op> ops;
+  std::vector<long long> base(streams.size(), 0);
+  long long cursor = 1ll << 30;
+  bool any_store = false;
+  for (std::size_t si = 0; si < streams.size(); ++si) {
+    const Stream& s = streams[si];
+    base[si] = cursor;
+    cursor += (1 << 20) + 68ll * line_bytes;
+    // Symbolic and gather addresses are unknowable; the cross-check skips
+    // those blocks with an explicit attribution, and the static claim
+    // model conservatively ignores them too.
+    if (!s.stride_bytes || s.pattern == Pattern::GatherScatter) continue;
+    for (int ai : s.accesses) {
+      const MemAccess& a = df.accesses[static_cast<std::size_t>(ai)];
+      if (a.is_store &&
+          is_nontemporal_store(
+              prog.code[static_cast<std::size_t>(a.instr)].mnemonic,
+              prog.isa)) {
+        continue;  // NT stores bypass the hierarchy and the detector
+      }
+      ops.push_back(Op{si, a.effective_displacement(), access_width_bytes(a),
+                       a.is_store, ai});
+      any_store |= a.is_store;
+    }
+  }
+  if (!any_store) return 0.0;
+  std::sort(ops.begin(), ops.end(),
+            [](const Op& a, const Op& b) { return a.order < b.order; });
+
+  memsim::ClaimDetector detector(warmup_lines);
+  std::unordered_map<long long, bool> touched;
+  // Enough iterations for every advancing stream to cross several pages.
+  long long min_stride = 1 << 12;
+  for (const Op& op : ops) {
+    const long long st = std::llabs(*streams[op.stream].stride_bytes);
+    if (st > 0) min_stride = std::min(min_stride, st);
+  }
+  const long long total =
+      std::min<long long>(16 * 4096 / min_stride + 256, 1 << 18);
+  const long long window_lo = total / 2;
+  long long claims = 0;
+  for (long long i = 0; i < total; ++i) {
+    for (const Op& op : ops) {
+      const long long stride = *streams[op.stream].stride_bytes;
+      const long long lo = base[op.stream] + op.lo + i * stride;
+      const long long l0 = floor_div(lo, line_bytes);
+      const long long l1 = floor_div(lo + op.width - 1, line_bytes);
+      for (long long l = l0; l <= l1; ++l) {
+        bool claim = false;
+        if (op.is_store) {
+          claim = detector.should_claim(static_cast<std::uint64_t>(l));
+        }
+        auto [it, fresh] = touched.try_emplace(l, true);
+        (void)it;
+        if (claim && fresh && i >= window_lo) ++claims;
+      }
+    }
+  }
+  return static_cast<double>(claims) /
+         static_cast<double>(total - window_lo);
+}
+
+}  // namespace
+
+const char* to_string(StreamKind k) {
+  switch (k) {
+    case StreamKind::Load: return "load";
+    case StreamKind::Store: return "store";
+    case StreamKind::ReadModifyWrite: return "rmw";
+  }
+  return "?";
+}
+
+const char* to_string(Pattern p) {
+  switch (p) {
+    case Pattern::UnitStride: return "unit-stride";
+    case Pattern::Strided: return "strided";
+    case Pattern::GatherScatter: return "gather-scatter";
+    case Pattern::Fixed: return "fixed";
+    case Pattern::Symbolic: return "symbolic";
+  }
+  return "?";
+}
+
+const char* to_string(ReuseLevel l) {
+  switch (l) {
+    case ReuseLevel::L1: return "L1";
+    case ReuseLevel::L2: return "L2";
+    case ReuseLevel::L3: return "L3";
+    case ReuseLevel::Memory: return "MEM";
+  }
+  return "?";
+}
+
+bool is_nontemporal_store(const std::string& mnemonic, asmir::Isa isa) {
+  if (isa == asmir::Isa::AArch64) {
+    // stnp: non-temporal pair.  (SVE stnt1* would qualify too.)
+    return mnemonic == "stnp" || mnemonic.starts_with("stnt1");
+  }
+  return is_vector_mnemonic_nt(mnemonic);
+}
+
+std::string Stream::address_expr(asmir::Isa isa) const {
+  auto root_name = [&](std::uint32_t root) {
+    asmir::Register r;
+    r.cls = static_cast<asmir::RegClass>(root >> 8);
+    r.index = static_cast<int>(root & 0xffu);
+    r.width_bits = 64;
+    return r.name(isa);
+  };
+  std::string out = "[";
+  if (base_root != kNoBase) {
+    out += root_name(base_root);
+    if (base_epoch > 0) out += support::format("#%d", base_epoch);
+  }
+  if (index_root != kNoIndex) {
+    if (out.size() > 1) out += " + ";
+    out += root_name(index_root);
+    if (index_epoch > 0) out += support::format("#%d", index_epoch);
+    if (scale != 1) out += support::format("*%d", scale);
+  }
+  if (out.size() == 1) out += "<absolute>";
+  out += "]";
+  return out;
+}
+
+std::vector<Stream> extract_streams(const dataflow::Analysis& df) {
+  return extract(*df.prog, df, 64);
+}
+
+Result analyze(const asmir::Program& prog, const uarch::MachineModel& mm) {
+  Result r;
+  r.prog = &prog;
+  r.mm = &mm;
+  const dataflow::Analysis df = dataflow::analyze(prog);
+  const uarch::CacheParams& cp = mm.cache;
+  r.streams = extract(prog, df, cp.line_bytes);
+
+  // Aggregate sweep footprint drives every reuse distance.  Each band of
+  // every stream occupies its own moving window of cache, so the distinct
+  // lines between a touch and its re-touch accumulate over ALL bands --
+  // counting only the leading edges undercounts multi-band stencils by
+  // the band count and misplaces the layer condition.
+  double agg_bytes_per_iter = 0;
+  for (const Stream& s : r.streams) {
+    double stream_bytes = 0;
+    for (const Band& b : s.bands) stream_bytes += b.lines_per_iter;
+    if (s.bands.empty()) stream_bytes = s.lines_per_iter;
+    agg_bytes_per_iter += stream_bytes * cp.line_bytes;
+  }
+
+  const double c1 = static_cast<double>(cp.l1_bytes);
+  const double c12 = c1 + static_cast<double>(cp.l2_bytes);
+  const double c123 = c12 + static_cast<double>(cp.l3_bytes);
+
+  Volumes& v = r.volumes;
+  for (Stream& s : r.streams) {
+    if (s.pattern == Pattern::Symbolic || s.pattern == Pattern::GatherScatter) {
+      ++r.unbounded_streams;
+      r.exact = false;
+      continue;
+    }
+    if (s.pattern == Pattern::UnitStride || s.pattern == Pattern::Strided) {
+      r.hw_stream_count += static_cast<int>(s.bands.size());
+    }
+    const double lambda = s.lines_per_iter;
+    if (lambda <= 0 && s.nt_store_line_ops <= 0) continue;
+
+    // Leading-edge lifetime: fill, full descent, one write-back if dirty.
+    v.l1_miss += lambda;
+    v.l1_evict += lambda;
+    v.l2_evict += lambda;
+    v.mem_read += lambda;
+    v.mem_write += s.dirty_lines;
+    v.mem_write += s.nt_store_line_ops;
+
+    // Trailing bands: the layer condition picks the level serving each
+    // re-touch; the promotion and re-descent traffic follows the exclusive
+    // victim hierarchy.
+    for (Band& b : s.bands) {
+      if (b.leading) continue;
+      const double reuse_bytes = b.gap_iterations * agg_bytes_per_iter;
+      b.reuse = reuse_bytes <= c1    ? ReuseLevel::L1
+                : reuse_bytes <= c12 ? ReuseLevel::L2
+                : reuse_bytes <= c123 ? ReuseLevel::L3
+                                      : ReuseLevel::Memory;
+      const double rho = b.lines_per_iter;
+      switch (b.reuse) {
+        case ReuseLevel::L1:
+          break;
+        case ReuseLevel::L2:
+          v.l1_miss += rho;
+          v.l1_evict += rho;
+          v.l2_hit += rho;
+          break;
+        case ReuseLevel::L3:
+          v.l1_miss += rho;
+          v.l1_evict += rho;
+          v.l3_hit += rho;
+          v.l2_evict += rho;
+          break;
+        case ReuseLevel::Memory:
+          v.l1_miss += rho;
+          v.l1_evict += rho;
+          v.l2_evict += rho;
+          v.mem_read += rho;
+          if (b.has_store) v.mem_write += rho;
+          break;
+      }
+    }
+  }
+
+  // Write-allocate evasion: Grace's automatic claim, modeled by replaying
+  // the detector over the store line sequence.
+  if (memsim::preset(mm.micro()).wa == memsim::WaMechanism::AutomaticClaim) {
+    v.claimed =
+        claim_rate(r.streams, df, prog, cp.line_bytes,
+                   memsim::preset(mm.micro()).claim_detector_warmup_lines);
+    v.mem_read = std::max(0.0, v.mem_read - v.claimed);
+  }
+  return r;
+}
+
+ecm::Traffic to_ecm_traffic(const Result& r) {
+  ecm::Traffic t;
+  for (const Stream& s : r.streams) {
+    t.load_lines += s.load_first_lines;
+    t.store_lines += s.dirty_lines + s.nt_store_line_ops;
+    t.wa_lines += s.store_first_lines;
+  }
+  return t;
+}
+
+}  // namespace incore::traffic

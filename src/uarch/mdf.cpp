@@ -169,6 +169,11 @@ std::string save_machine_string(const MachineModel& mm) {
       "load_queue=%d store_queue=%d\n",
       r.decode_width, r.rename_width, r.retire_width, r.rob_size,
       r.scheduler_size, r.load_queue, r.store_queue);
+  const CacheParams& c = mm.cache;
+  out += format(
+      "cache l1=%lld/%d l2=%lld/%d l3=%lld/%d line=%d prefetch_streams=%d\n",
+      c.l1_bytes, c.l1_ways, c.l2_bytes, c.l2_ways, c.l3_bytes, c.l3_ways,
+      c.line_bytes, c.prefetch_streams);
 
   std::vector<std::string> forms = mm.forms();
   std::sort(forms.begin(), forms.end());
@@ -208,6 +213,7 @@ MachineModel load_machine_string(std::string_view text,
   std::optional<int> loads_per_cycle;
   std::optional<int> stores_per_cycle;
   CoreResources res;
+  std::optional<CacheParams> cache;
   std::optional<std::size_t> declared_forms;
   std::size_t parsed_forms = 0;
   std::optional<MachineModel> mm;
@@ -246,6 +252,7 @@ MachineModel load_machine_string(std::string_view text,
         if (l1_load_latency) mm->l1_load_latency = *l1_load_latency;
         if (loads_per_cycle) mm->loads_per_cycle = *loads_per_cycle;
         if (stores_per_cycle) mm->stores_per_cycle = *stores_per_cycle;
+        if (cache) mm->cache = *cache;
         mm->resources() = res;
       }
       // form <inv_tput> <latency> <uops> <acc_latency> <ports> <form text>
@@ -311,6 +318,49 @@ MachineModel load_machine_string(std::string_view text,
       loads_per_cycle = at.integer(rest, "loads_per_cycle");
     } else if (key == "stores_per_cycle") {
       stores_per_cycle = at.integer(rest, "stores_per_cycle");
+    } else if (key == "cache") {
+      // Missing levels keep the family default (backwards compatibility
+      // with pre-cache MDF files).
+      CacheParams c = cache.value_or(
+          family ? default_cache_params(*family) : CacheParams{});
+      for (std::string_view f : fields_of(rest)) {
+        const std::size_t eq = f.find('=');
+        if (eq == std::string_view::npos)
+          at.fail(format("cache expects key=value pairs, got '%s'",
+                         std::string(f).c_str()));
+        const std::string_view k = f.substr(0, eq);
+        const std::string_view v = f.substr(eq + 1);
+        auto level = [&](long long& bytes, int& ways) {
+          const std::size_t slash = v.find('/');
+          if (slash == std::string_view::npos)
+            at.fail(format("cache level '%s' expects <bytes>/<ways>, got "
+                           "'%s'",
+                           std::string(k).c_str(), std::string(v).c_str()));
+          bytes = static_cast<long long>(
+              at.number(v.substr(0, slash), "cache size"));
+          ways = at.integer(v.substr(slash + 1), "cache ways");
+          if (bytes <= 0 || ways <= 0)
+            at.fail(format("cache level '%s' must be positive",
+                           std::string(k).c_str()));
+        };
+        if (k == "l1") {
+          level(c.l1_bytes, c.l1_ways);
+        } else if (k == "l2") {
+          level(c.l2_bytes, c.l2_ways);
+        } else if (k == "l3") {
+          level(c.l3_bytes, c.l3_ways);
+        } else if (k == "line") {
+          c.line_bytes = at.integer(v, "cache line bytes");
+          if (c.line_bytes <= 0) at.fail("cache line bytes must be positive");
+        } else if (k == "prefetch_streams") {
+          c.prefetch_streams = at.integer(v, "prefetch_streams");
+          if (c.prefetch_streams <= 0)
+            at.fail("prefetch_streams must be positive");
+        } else {
+          at.fail(format("unknown cache field '%s'", std::string(k).c_str()));
+        }
+      }
+      cache = c;
     } else if (key == "forms") {
       declared_forms =
           static_cast<std::size_t>(at.integer(rest, "forms count"));

@@ -47,6 +47,43 @@ MachineModel::MachineModel(std::string name, Micro micro, asmir::Isa isa,
     : name_(std::move(name)), micro_(micro), isa_(isa), ports_(std::move(ports)) {
   if (ports_.size() > 32)
     throw ModelError("too many ports in model " + name_);
+  cache = default_cache_params(micro_);
+}
+
+CacheParams default_cache_params(Micro m) {
+  // Paper Table I geometry; l3_bytes is the per-core share of the socket's
+  // L3 (114 MiB/72 cores on GCS, 105 MiB/52 on SPR, 12x96 MiB/96 on Genoa).
+  CacheParams c;
+  switch (m) {
+    case Micro::NeoverseV2:
+      c.l1_bytes = 64 * 1024;
+      c.l1_ways = 4;
+      c.l2_bytes = 1024 * 1024;
+      c.l2_ways = 8;
+      c.l3_bytes = 114ll * 1024 * 1024 / 72;
+      c.l3_ways = 12;
+      c.prefetch_streams = 8;
+      break;
+    case Micro::GoldenCove:
+      c.l1_bytes = 48 * 1024;
+      c.l1_ways = 12;
+      c.l2_bytes = 2 * 1024 * 1024;
+      c.l2_ways = 16;
+      c.l3_bytes = 105ll * 1024 * 1024 / 52;
+      c.l3_ways = 15;
+      c.prefetch_streams = 16;
+      break;
+    case Micro::Zen4:
+      c.l1_bytes = 32 * 1024;
+      c.l1_ways = 8;
+      c.l2_bytes = 1024 * 1024;
+      c.l2_ways = 8;
+      c.l3_bytes = 1152ll * 1024 * 1024 / 96;
+      c.l3_ways = 16;
+      c.prefetch_streams = 24;
+      break;
+  }
+  return c;
 }
 
 int MachineModel::port_index(std::string_view port_name) const {

@@ -97,6 +97,24 @@ struct Resolved {
   bool decomposed = false;
 };
 
+/// Per-core cache-hierarchy geometry (the MDF `cache` directive).  Shared
+/// by the trace simulator (memsim::CacheHierarchy::for_model) and the
+/// static traffic engine (src/traffic/), so what-if edits to an .mdf file
+/// flow into both sides of the traffic cross-validation.  `l3_bytes` is the
+/// per-core L3 share, as in the paper's Table I.
+struct CacheParams {
+  long long l1_bytes = 32 * 1024;
+  int l1_ways = 8;
+  long long l2_bytes = 1024 * 1024;
+  int l2_ways = 8;
+  long long l3_bytes = 2 * 1024 * 1024;
+  int l3_ways = 16;
+  int line_bytes = 64;
+  /// Distinct access streams the hardware prefetchers can track
+  /// concurrently (drives the VT007 traffic lint).
+  int prefetch_streams = 16;
+};
+
 /// Front-end and out-of-order resource description (used by the MCA-style
 /// comparator and the execution testbed, not by the static analyzer).
 struct CoreResources {
@@ -129,6 +147,9 @@ class MachineModel {
 
   int simd_width_bits = 128;
   double l1_load_latency = 4.0;
+  /// Cache geometry; defaults to default_cache_params(micro()) at
+  /// construction, overridable by builders and the MDF `cache` directive.
+  CacheParams cache;
   /// Issue-width caps independent of AGU port counts.
   int loads_per_cycle = 2;
   int stores_per_cycle = 1;
@@ -204,6 +225,10 @@ class MachineModel {
   OnDuplicate on_duplicate_ = OnDuplicate::Reject;
   std::vector<std::string> duplicate_forms_;
 };
+
+/// Documented cache geometry of a paper-trio family (paper Table I), used
+/// as the construction-time default for every model of that family.
+[[nodiscard]] CacheParams default_cache_params(Micro m);
 
 /// The built-in model of a paper-trio member.  Models are constructed once
 /// (through the MachineRegistry, see registry.hpp) and immutable

@@ -79,6 +79,26 @@ std::span<const CodeInfo> all_codes() {
        "MCA diverges from the in-core bound: attributed cause"},
       {"VP010", Severity::Note,
        "testbed diverges from the in-core bound: attributed cause"},
+      {"VP011", Severity::Error,
+       "static traffic volumes diverge from the cache trace simulation "
+       "without attribution"},
+      {"VT001", Severity::Warning,
+       "memory streams provably overlap: their traffic is double-counted"},
+      {"VT002", Severity::Warning,
+       "partially overlapping store-to-load traffic splits the access"},
+      {"VT003", Severity::Warning,
+       "non-unit stride on a vectorized stream wastes cache-line bytes"},
+      {"VT004", Severity::Note,
+       "redundant reload of an unmodified stream (value stays available)"},
+      {"VT005", Severity::Note,
+       "gather with loop-invariant indices: per-lane access is strided"},
+      {"VT006", Severity::Warning,
+       "write-allocate traffic avoidable with streaming (non-temporal) "
+       "stores"},
+      {"VT007", Severity::Warning,
+       "stream count exceeds the hardware-prefetcher tracking capacity"},
+      {"VT008", Severity::Warning,
+       "symbolic stride: the stream's footprint and traffic are unbounded"},
   };
   return kCodes;
 }

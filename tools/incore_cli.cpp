@@ -46,6 +46,9 @@
 #include "support/error.hpp"
 #include "support/strings.hpp"
 #include "support/threadpool.hpp"
+#include "traffic/crosscheck.hpp"
+#include "traffic/lints.hpp"
+#include "traffic/traffic.hpp"
 #include "uarch/mdf.hpp"
 #include "uarch/model.hpp"
 #include "uarch/registry.hpp"
@@ -77,11 +80,14 @@ int usage() {
       "                    --machines m1,.. --compilers c1,.. --opt O1,..\n"
       "                    --machine-file <m.mdf> --csv --json\n"
       "                    --audit adds a per-block audit_verdict column\n"
+      "                    --traffic adds a traffic_lines column (memory\n"
+      "                    read/write cache lines per iteration)\n"
       "                    (models: osaca mca testbed)\n"
       "  audit <machine> [file.s]         cross-model bound certificates +\n"
       "                                   divergence attribution (VP lints)\n"
       "  audit --all                      audit the whole generated corpus\n"
       "       audit flags: --json --verbose --machine-file <m.mdf>\n"
+      "            --traffic adds the VP011 static-traffic cross-check\n"
       "  export-model <machine> [-o file] write a model as a .mdf machine-\n"
       "                                   description file (stdout default)\n"
       "  kernels                          list validation kernels\n"
@@ -89,6 +95,14 @@ int usage() {
       "  tput <machine> <template>        instruction throughput microbench\n"
       "  lat <machine> <template>         instruction latency microbench\n"
       "  ecm <machine> <kernel>           ECM decomposition at -O3\n"
+      "       --analytic derives the data traffic from the static stream\n"
+      "                  analysis instead of kernel metadata\n"
+      "  traffic <machine> [file.s]       static memory streams and\n"
+      "                                   analytic per-level data volumes\n"
+      "       traffic flags: --json --crosscheck (also replay through the\n"
+      "            cache trace simulator and compare) --machine-file <m.mdf>\n"
+      "  traffic --all                    cross-validate the static volumes\n"
+      "                                   of every unique corpus block\n"
       "  dot <machine> [file.s]           dependency graph as Graphviz DOT\n"
       "  timeline <machine> [file.s]      pipeline timeline (llvm-mca style)\n"
       "  forms <machine> [substring]      list instruction-form database\n"
@@ -278,6 +292,14 @@ int cmd_sweep(int argc, char** argv) {
       opt.audit = [](const driver::Block& b) {
         verify::DiagnosticSink sink;
         return audit::verdict_string(audit::audit_block(b, sink));
+      };
+    } else if (a == "--traffic") {
+      // Same hook discipline: memory read/write lines per iteration from
+      // the static stream analysis (no simulation).
+      opt.traffic = [](const driver::Block& b) {
+        const traffic::Result r = traffic::analyze(b.gen.program, *b.mm);
+        return support::format("%.3fr+%.3fw%s", r.volumes.mem_read,
+                               r.volumes.mem_write, r.exact ? "" : "+");
       };
     } else if (a == "--jobs") {
       const char* v = value();
@@ -586,7 +608,26 @@ int cmd_microbench(const std::string& machine_name, const std::string& tmpl,
   return 0;
 }
 
-int cmd_ecm(const std::string& machine_name, const std::string& kernel_name) {
+int cmd_ecm(int argc, char** argv) {
+  std::string machine_name;
+  std::string kernel_name;
+  bool analytic = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--analytic") {
+      analytic = true;
+    } else if (a.starts_with("--")) {
+      std::fprintf(stderr, "unknown ecm flag '%s'\n", a.c_str());
+      return usage();
+    } else if (machine_name.empty()) {
+      machine_name = a;
+    } else if (kernel_name.empty()) {
+      kernel_name = a;
+    } else {
+      return usage();
+    }
+  }
+  if (machine_name.empty() || kernel_name.empty()) return usage();
   uarch::MachineRef ref;
   if (!parse_machine(machine_name, ref)) return 2;
   const uarch::Micro micro = ref->micro();
@@ -605,7 +646,23 @@ int cmd_ecm(const std::string& machine_name, const std::string& kernel_name) {
     std::fprintf(stderr, "unknown kernel '%s'\n", kernel_name.c_str());
     return 2;
   }
-  auto p = ecm::predict_kernel(v);
+  ecm::Prediction p;
+  if (analytic) {
+    // Alternative input path: per-iteration line traffic from the static
+    // stream analysis instead of kernel metadata (works for any assembly,
+    // not just kernels with known element counts).
+    const kernels::GeneratedKernel g = kernels::generate(v);
+    const auto& mm = *ref.model;
+    const analysis::Report rep = analysis::analyze(g.program, mm);
+    const traffic::Result tr = traffic::analyze(g.program, mm);
+    const ecm::Traffic t = traffic::to_ecm_traffic(tr);
+    p = ecm::predict(rep, t, ecm::hierarchy(micro));
+    std::printf("analytic traffic: %.3f load + %.3f store + %.3f "
+                "write-allocate lines/iter (%zu streams)\n",
+                t.load_lines, t.store_lines, t.wa_lines, tr.streams.size());
+  } else {
+    p = ecm::predict_kernel(v);
+  }
   auto h = ecm::hierarchy(micro);
   std::printf("T_OL %.2f | T_nOL %.2f | L1-L2 %.2f | L2-L3 %.2f | "
               "L3-Mem %.2f cy/iter\n",
@@ -693,16 +750,20 @@ int cmd_lint_codes() {
 }
 
 /// Display name and doc page per diagnostic family; docs/linting.md stays
-/// the source of truth for VM/VK, docs/audit.md for VP.
+/// the source of truth for VM/VK, docs/audit.md for VP, docs/traffic.md
+/// for VT.
 const char* family_title(std::string_view family) {
   if (family == "VM") return "machine-model lints";
   if (family == "VK") return "kernel & dataflow lints";
   if (family == "VP") return "prediction-audit lints";
+  if (family == "VT") return "traffic lints";
   return "diagnostics";
 }
 
 const char* family_doc(std::string_view family) {
-  return family == "VP" ? "docs/audit.md" : "docs/linting.md";
+  if (family == "VP") return "docs/audit.md";
+  if (family == "VT") return "docs/traffic.md";
+  return "docs/linting.md";
 }
 
 int cmd_lint_catalog(bool json) {
@@ -785,6 +846,7 @@ int cmd_lint_all(bool json, bool werror, bool verbose) {
   corpus.reserve(items.size());
   for (const CorpusItem& it : items) {
     verify::lint_program(it.gen.program, *it.target, it.label, sink, kopt);
+    traffic::lint_traffic(it.gen.program, *it.target, it.label, sink);
     corpus.push_back(
         verify::CorpusEntry{it.label, &it.gen.program, it.target});
   }
@@ -821,6 +883,7 @@ int cmd_lint_one(const std::string& machine_name, const char* path, bool json,
     verify::lint_source_markers(text, path, sink);
     asmir::Program prog = asmir::parse(text, mm.isa());
     verify::lint_program(prog, mm, path, sink);
+    traffic::lint_traffic(prog, mm, path, sink);
   }
   return finish_lint(sink, json, werror, verbose);
 }
@@ -870,7 +933,7 @@ int cmd_lint(int argc, char** argv) {
 
 // ------------------------------------------------------------------ audit
 
-int cmd_audit_all(bool json, bool verbose) {
+int cmd_audit_all(bool json, bool verbose, bool traffic) {
   // Same corpus and dedup discipline as `lint --all-models`: the matrix
   // collapses to unique (machine, assembly) blocks, each audited once, in
   // deterministic first-seen order.
@@ -884,11 +947,13 @@ int cmd_audit_all(bool json, bool verbose) {
     }
   }
   verify::DiagnosticSink sink;
+  audit::AuditOptions aopt;
+  aopt.check_traffic = traffic;
   std::size_t pass = 0;
   std::size_t divergent = 0;
   std::size_t failed = 0;
   for (const driver::Block& b : blocks) {
-    const audit::BlockAudit a = audit::audit_block(b, sink);
+    const audit::BlockAudit a = audit::audit_block(b, sink, aopt);
     const std::string v = audit::verdict_string(a);
     if (v == "pass") {
       ++pass;
@@ -908,7 +973,7 @@ int cmd_audit_all(bool json, bool verbose) {
 }
 
 int cmd_audit_one(const std::string& machine_name, const char* path,
-                  bool json, bool verbose) {
+                  bool json, bool verbose, bool traffic) {
   uarch::MachineRef ref;
   if (!parse_machine(machine_name, ref)) return 2;
   const auto& mm = *ref.model;
@@ -920,8 +985,10 @@ int cmd_audit_one(const std::string& machine_name, const char* path,
     return 1;
   }
   verify::DiagnosticSink sink;
+  audit::AuditOptions aopt;
+  aopt.check_traffic = traffic;
   const audit::BlockAudit a = audit::audit_program(
-      prog, mm, path != nullptr ? path : "<stdin>", sink);
+      prog, mm, path != nullptr ? path : "<stdin>", sink, aopt);
   if (json) {
     std::fputs(audit::to_json(a, sink).c_str(), stdout);
   } else {
@@ -944,6 +1011,7 @@ int cmd_audit(int argc, char** argv) {
   bool json = false;
   bool verbose = false;
   bool all = false;
+  bool traffic = false;
   std::string machine_name;
   const char* file = nullptr;
   for (int i = 2; i < argc; ++i) {
@@ -954,6 +1022,8 @@ int cmd_audit(int argc, char** argv) {
       verbose = true;
     } else if (a == "--all") {
       all = true;
+    } else if (a == "--traffic") {
+      traffic = true;
     } else if (a == "--machine-file") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "--machine-file needs a value\n");
@@ -969,9 +1039,120 @@ int cmd_audit(int argc, char** argv) {
       file = argv[i];
     }
   }
-  if (all) return cmd_audit_all(json, verbose);
+  if (all) return cmd_audit_all(json, verbose, traffic);
   if (machine_name.empty()) return usage();
-  return cmd_audit_one(machine_name, file, json, verbose);
+  return cmd_audit_one(machine_name, file, json, verbose, traffic);
+}
+
+// ---------------------------------------------------------------- traffic
+
+int cmd_traffic_all(bool json, bool verbose) {
+  // Same corpus and dedup discipline as `audit --all`: every unique
+  // (machine, assembly) block is cross-validated against the trace
+  // simulator on its own target machine -- the VP011 gate.
+  std::vector<driver::Block> blocks;
+  {
+    std::set<std::string> seen;
+    for (const kernels::Variant& v : kernels::test_matrix()) {
+      driver::Block b = driver::make_block(v);
+      if (!seen.insert(b.hash).second) continue;
+      blocks.push_back(std::move(b));
+    }
+  }
+  verify::DiagnosticSink sink;
+  std::size_t agree = 0;
+  std::size_t attributed = 0;
+  std::size_t failed = 0;
+  for (const driver::Block& b : blocks) {
+    const std::size_t before = sink.diagnostics().size();
+    traffic::check_traffic_vs_simulation(
+        b.gen.program, *b.mm,
+        support::format("kernel '%s' on '%s'", b.variant.label().c_str(),
+                        b.mm->name().c_str()),
+        sink);
+    bool err = false;
+    for (std::size_t i = before; i < sink.diagnostics().size(); ++i) {
+      err |= sink.diagnostics()[i].severity == verify::Severity::Error;
+    }
+    if (err) {
+      ++failed;
+    } else if (sink.diagnostics().size() > before) {
+      ++attributed;
+    } else {
+      ++agree;
+    }
+  }
+  if (!json) {
+    std::printf(
+        "cross-validated %zu unique corpus blocks: %zu agree, %zu "
+        "attributed, %zu fail\n",
+        blocks.size(), agree, attributed, failed);
+  }
+  return finish_lint(sink, json, /*werror=*/false, verbose);
+}
+
+int cmd_traffic_one(const std::string& machine_name, const char* path,
+                    bool json, bool do_crosscheck) {
+  uarch::MachineRef ref;
+  if (!parse_machine(machine_name, ref)) return 2;
+  const auto& mm = *ref.model;
+  std::string text;
+  if (!read_input(path, text)) return 1;
+  asmir::Program prog = asmir::parse(text, mm.isa());
+  if (prog.empty()) {
+    std::fprintf(stderr, "no instructions parsed\n");
+    return 1;
+  }
+  const traffic::Result r = traffic::analyze(prog, mm);
+  if (!do_crosscheck) {
+    std::fputs((json ? traffic::to_json(r) : traffic::to_text(r)).c_str(),
+               stdout);
+    return 0;
+  }
+  const traffic::Crosscheck c = traffic::crosscheck(prog, mm);
+  if (json) {
+    std::printf("{\n\"traffic\": %s,\n\"crosscheck\": %s}\n",
+                traffic::to_json(r).c_str(), traffic::to_json(c).c_str());
+  } else {
+    std::fputs(traffic::to_text(r).c_str(), stdout);
+    std::fputs("\n", stdout);
+    std::fputs(traffic::to_text(c).c_str(), stdout);
+  }
+  return c.ok ? 0 : 1;
+}
+
+int cmd_traffic(int argc, char** argv) {
+  bool json = false;
+  bool all = false;
+  bool do_crosscheck = false;
+  std::string machine_name;
+  const char* file = nullptr;
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--json") {
+      json = true;
+    } else if (a == "--all") {
+      all = true;
+    } else if (a == "--crosscheck") {
+      do_crosscheck = true;
+    } else if (a == "--machine-file") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--machine-file needs a value\n");
+        return 2;
+      }
+      machine_name = argv[++i];
+    } else if (a.starts_with("--")) {
+      std::fprintf(stderr, "unknown traffic flag '%s'\n", a.c_str());
+      return usage();
+    } else if (machine_name.empty()) {
+      machine_name = a;
+    } else {
+      file = argv[i];
+    }
+  }
+  if (all) return cmd_traffic_all(json, /*verbose=*/do_crosscheck);
+  if (machine_name.empty()) return usage();
+  return cmd_traffic_one(machine_name, file, json, do_crosscheck);
 }
 
 }  // namespace
@@ -991,7 +1172,7 @@ int main(int argc, char** argv) {
       return cmd_emit(argv[2], argv[3], argv[4], argv[5]);
     if (cmd == "tput" && argc == 4) return cmd_microbench(argv[2], argv[3], false);
     if (cmd == "lat" && argc == 4) return cmd_microbench(argv[2], argv[3], true);
-    if (cmd == "ecm" && argc == 4) return cmd_ecm(argv[2], argv[3]);
+    if (cmd == "ecm" && argc >= 4) return cmd_ecm(argc, argv);
     if (cmd == "dot" && argc >= 3)
       return cmd_dot(argv[2], argc > 3 ? argv[3] : nullptr);
     if (cmd == "timeline" && argc >= 3)
@@ -1000,6 +1181,7 @@ int main(int argc, char** argv) {
       return cmd_forms(argv[2], argc > 3 ? argv[3] : nullptr);
     if (cmd == "lint" && argc >= 3) return cmd_lint(argc, argv);
     if (cmd == "audit" && argc >= 3) return cmd_audit(argc, argv);
+    if (cmd == "traffic" && argc >= 3) return cmd_traffic(argc, argv);
   } catch (const support::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

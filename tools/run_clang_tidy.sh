@@ -5,9 +5,8 @@
 #
 # build-dir defaults to ./build and must contain compile_commands.json
 # (configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON, which
-# -DINCORE_TIDY=ON also sets).  Paths default to the directories the tidy
-# gate covers: src/support and src/audit.  Exit status is clang-tidy's, so
-# this composes with CI.
+# -DINCORE_TIDY=ON also sets).  Paths default to the whole library tree
+# under src/.  Exit status is clang-tidy's, so this composes with CI.
 set -eu
 
 repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -27,7 +26,7 @@ fi
 if [ $# -gt 0 ]; then
   dirs="$*"
 else
-  dirs="$repo/src/support $repo/src/audit"
+  dirs="$repo/src"
 fi
 
 files=""
