@@ -1,0 +1,98 @@
+// Multicore-sweep throughput: how fast the driver pushes the validation
+// matrix through the cores axis -- the in-core model plus one ECM predictor
+// per sampled core count.  Extends the BENCH_1 trajectory to the N-core
+// driver; the numbers land in BENCH_2.json so successive PRs can diff them.
+//
+// Two figures matter here.  "Cold" is the first sweep of the process: every
+// unique block pays one full analytic ECM evaluation (in-core split +
+// traffic engine + claim replay), shared across all sampled core counts by
+// the predictor's per-block memo.  "Memoized" repeats the same sweep in the
+// same process: the ECM memo is warm, so cells cost only the in-core
+// analysis plus table lookups -- the interactive what-if loop the CLI user
+// iterates in.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "driver/predictor.hpp"
+#include "driver/sweep.hpp"
+#include "support/strings.hpp"
+#include "support/threadpool.hpp"
+
+using namespace incore;
+using support::format;
+
+namespace {
+
+struct Measurement {
+  double seconds = 0;
+  std::size_t cells = 0;
+  std::size_t unique_blocks = 0;
+  std::size_t evaluations = 0;
+};
+
+Measurement run_once(int jobs, const std::vector<int>& cores) {
+  driver::SweepOptions opt;
+  opt.jobs = jobs;
+  opt.models = {driver::Model::InCore};
+  opt.cores = cores;
+  const auto t0 = std::chrono::steady_clock::now();
+  const driver::SweepResult r = driver::sweep(opt);
+  const auto t1 = std::chrono::steady_clock::now();
+  Measurement m;
+  m.seconds = std::chrono::duration<double>(t1 - t0).count();
+  m.cells = r.stats.cells;
+  m.unique_blocks = r.stats.unique_blocks;
+  m.evaluations = r.stats.evaluations;
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  const int jobs = support::ThreadPool::default_jobs();
+  const std::vector<int> cores = {1, 2, 4, 8, 16, 32};
+  const int predictors = 1 + static_cast<int>(cores.size());
+
+  const Measurement cold = run_once(jobs, cores);
+  Measurement warm = run_once(jobs, cores);
+  const Measurement again = run_once(jobs, cores);
+  if (again.seconds < warm.seconds) warm = again;
+
+  const double cold_cells = static_cast<double>(cold.cells) / cold.seconds;
+  const double cold_eps =
+      static_cast<double>(cold.evaluations) / cold.seconds;
+  const double warm_cells = static_cast<double>(warm.cells) / warm.seconds;
+
+  std::printf(
+      "multicore sweep throughput (%zu cells, %zu unique blocks, "
+      "%d predictors: in-core + ecm-n{1,2,4,8,16,32}, %d jobs)\n",
+      cold.cells, cold.unique_blocks, predictors, jobs);
+  std::printf("  cold     : %6.2f s  %8.1f cells/s  %8.1f evaluations/s\n",
+              cold.seconds, cold_cells, cold_eps);
+  std::printf("  memoized : %6.2f s  %8.1f cells/s\n", warm.seconds,
+              warm_cells);
+
+  std::string json = "{\n";
+  json += "  \"benchmark\": \"multicore_sweep\",\n";
+  json += format("  \"cores_axis\": %d,\n", predictors - 1);
+  json += format("  \"jobs\": %d,\n", jobs);
+  json += format("  \"cells\": %zu,\n", cold.cells);
+  json += format("  \"unique_blocks\": %zu,\n", cold.unique_blocks);
+  json += format("  \"evaluations\": %zu,\n", cold.evaluations);
+  json += format("  \"cold_seconds\": %.4f,\n", cold.seconds);
+  json += format("  \"cold_cells_per_sec\": %.2f,\n", cold_cells);
+  json += format("  \"cold_evaluations_per_sec\": %.2f,\n", cold_eps);
+  json += format("  \"memoized_seconds\": %.4f,\n", warm.seconds);
+  json += format("  \"memoized_cells_per_sec\": %.2f\n", warm_cells);
+  json += "}\n";
+  std::FILE* f = std::fopen("BENCH_2.json", "w");
+  if (f != nullptr) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("wrote BENCH_2.json\n");
+  }
+  return 0;
+}

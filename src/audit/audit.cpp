@@ -8,6 +8,7 @@
 #include "analysis/depgraph.hpp"
 #include "analysis/portpressure.hpp"
 #include "dataflow/idioms.hpp"
+#include "ecm/crosscheck.hpp"
 #include "exec/exec.hpp"
 #include "mca/mca.hpp"
 #include "traffic/crosscheck.hpp"
@@ -510,6 +511,65 @@ BlockAudit audit_program(const asmir::Program& prog,
   // ---- VP011: static traffic vs the cache trace simulation -------------
   if (opt.check_traffic) {
     traffic::check_traffic_vs_simulation(prog, mm, a.location, sink);
+  }
+
+  // ---- VP012–VP014: the full-kernel ECM composition --------------------
+  if (opt.check_ecm) {
+    const analysis::Report rep = analysis::analyze(prog, mm);
+    const ecm::HierarchyParams h = ecm::hierarchy_for(mm);
+    const ecm::Prediction ep = ecm::predict_block(rep, prog, mm);
+
+    // VP012: the composition only ever *adds* transfer terms on top of the
+    // in-core split, so no ECM number may undercut the certified bound.
+    const double ecm_mem = ep.cycles(ecm::DataLocation::Memory);
+    if (ecm_mem < a.certified_bound - tol(a.certified_bound)) {
+      sink.report(verify::Severity::Error, "VP012", a.location,
+                  format("ECM predicts %.6g cy/iter with memory-resident "
+                         "data, below the certified in-core bound %.6g",
+                         ecm_mem, a.certified_bound),
+                  {a.port_certificate.provenance,
+                   a.path_certificate.provenance});
+    }
+
+    // VP013: socket cycles/iteration must fall monotonically with cores
+    // until saturation, then stay flat (the ECM saturation law).
+    std::vector<int> ns = opt.ecm_cores;
+    if (ns.empty()) {
+      for (int n = 1; n < h.socket_cores; n *= 2) ns.push_back(n);
+      ns.push_back(h.socket_cores);
+    }
+    const int n_sat = ep.t_l3mem > 0 ? ep.saturation_cores(h) : 0;
+    double prev = 0.0;
+    int prev_n = 0;
+    for (int n : ns) {
+      const double cy = ep.multicore_cycles(n, h);
+      if (prev_n > 0) {
+        if (cy > prev + tol(prev)) {
+          sink.report(
+              verify::Severity::Error, "VP013", a.location,
+              format("multicore ECM is not monotone: %.6g cy/iter at %d "
+                     "cores rises to %.6g at %d",
+                     prev, prev_n, cy, n));
+          break;
+        }
+        if (n_sat > 0 && prev_n >= n_sat &&
+            std::fabs(cy - prev) > tol(prev)) {
+          sink.report(
+              verify::Severity::Error, "VP013", a.location,
+              format("multicore ECM is not flat past saturation "
+                     "(n_sat=%d): %.6g cy/iter at %d cores vs %.6g at %d",
+                     n_sat, prev, prev_n, cy, n));
+          break;
+        }
+      }
+      prev = cy;
+      prev_n = n;
+    }
+
+    // VP014: analytic scaling vs the memory simulators, attributed.
+    ecm::ScalingOptions sopt;
+    sopt.cores = opt.ecm_cores;
+    ecm::check_scaling_vs_simulation(prog, mm, a.location, sink, sopt);
   }
 
   a.ok = sink.errors() == errors_before;

@@ -116,6 +116,15 @@ struct AuditOptions {
   /// simulator (VP011).  Off by default: the simulation costs real time
   /// per block and is opt-in (`audit --traffic`).
   bool check_traffic = false;
+  /// Audit the full-kernel ECM composition (VP012–VP014): the ECM never
+  /// undercuts the certified in-core bound, the N-core scaling curve is
+  /// monotone and flat past saturation, and the analytic law agrees with
+  /// the memory simulators (attributed when not).  Off by default
+  /// (`audit --ecm`); VP014 runs the trace simulators per block.
+  bool check_ecm = false;
+  /// Core counts the VP013 monotonicity check samples; empty = powers of
+  /// two up to the socket, socket included.
+  std::vector<int> ecm_cores;
 };
 
 /// Full audit verdict for one block.

@@ -1,15 +1,18 @@
 #include "driver/predictor.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <exception>
+#include <map>
+#include <mutex>
 #include <utility>
 
 #include "analysis/analyze.hpp"
 #include "asmir/parser.hpp"
 #include "exec/exec.hpp"
 #include "mca/mca.hpp"
-#include "power/power.hpp"
 #include "support/hash.hpp"
+#include "support/strings.hpp"
 
 namespace incore::driver {
 
@@ -37,6 +40,15 @@ Prediction timed_predict(const std::string& id, Fn&& fn) {
 }
 
 }  // namespace
+
+const char* to_string(PredictionScope s) {
+  switch (s) {
+    case PredictionScope::InCore: return "in-core";
+    case PredictionScope::SingleCoreEcm: return "single-core-ecm";
+    case PredictionScope::MultiCoreEcm: return "multi-core-ecm";
+  }
+  return "?";
+}
 
 Block make_block(const kernels::Variant& v) {
   return make_block(v, uarch::machine(v.target));
@@ -108,28 +120,84 @@ Prediction TestbedPredictor::predict(const Block& b) const {
 
 // ---------------------------------------------------------------------- ecm
 
-EcmPredictor::EcmPredictor(ecm::DataLocation loc, std::string id)
-    : EcmPredictor(loc, false,
+EcmPredictor::EcmPredictor(ecm::DataLocation loc, std::string id,
+                           ecm::TrafficSource source)
+    : EcmPredictor(loc, 0,
                    id.empty() ? std::string("ecm-") + ecm::to_string(loc)
-                              : std::move(id)) {}
+                              : std::move(id),
+                   source) {}
 
-EcmPredictor::EcmPredictor(ecm::DataLocation loc, bool node, std::string id)
-    : id_(std::move(id)), loc_(loc), node_(node) {}
+EcmPredictor::EcmPredictor(ecm::DataLocation loc, int cores, std::string id,
+                           ecm::TrafficSource source)
+    : id_(std::move(id)), loc_(loc), cores_(cores), source_(source) {}
 
 EcmPredictor EcmPredictor::node_throughput(std::string id) {
-  return EcmPredictor(ecm::DataLocation::Memory, true, std::move(id));
+  return EcmPredictor(ecm::DataLocation::Memory, -1, std::move(id),
+                      ecm::TrafficSource::Analytic);
 }
+
+EcmPredictor EcmPredictor::multicore(int cores, std::string id) {
+  return EcmPredictor(ecm::DataLocation::Memory, std::max(1, cores),
+                      id.empty() ? support::format("ecm-n%d", cores)
+                                 : std::move(id),
+                      ecm::TrafficSource::Analytic);
+}
+
+namespace {
+
+/// Memoizes the analytic ECM composition per block.  A cores-axis sweep
+/// instantiates one EcmPredictor per sampled core count, but the
+/// underlying analysis (in-core split + traffic engine + claim replay)
+/// depends only on the block, so N core points share one evaluation.
+/// The block hash covers (machine name, assembly); the composition also
+/// depends on the hierarchy constants, which a loaded what-if model can
+/// edit without renaming, so they join the key.
+ecm::Prediction analytic_ecm_for(const Block& b,
+                                 const analysis::Report& rep) {
+  static std::mutex mu;
+  static std::map<std::string, ecm::Prediction> memo;
+  const uarch::HierarchyParams& h = b.mm->hierarchy;
+  const std::string key =
+      b.hash + support::format("|%.17g|%.17g|%.17g|%.17g|%d|%d",
+                               h.cy_per_cl_l1_l2, h.cy_per_cl_l2_l3,
+                               h.cy_per_cl_l3_mem, h.socket_cl_per_cy,
+                               h.socket_cores,
+                               h.write_allocate_evaded ? 1 : 0);
+  {
+    const std::lock_guard<std::mutex> lock(mu);
+    auto it = memo.find(key);
+    if (it != memo.end()) return it->second;
+  }
+  const ecm::Prediction ep = ecm::predict_block(rep, b.gen.program, *b.mm);
+  const std::lock_guard<std::mutex> lock(mu);
+  return memo.emplace(key, ep).first->second;
+}
+
+}  // namespace
 
 Prediction EcmPredictor::predict(const Block& b) const {
   return timed_predict(id_, [&](Prediction& p) {
     const analysis::Report rep = analysis::analyze(b.gen.program, *b.mm);
-    const ecm::Traffic tr =
-        ecm::traffic_for(b.variant, b.gen.elements_per_iteration);
-    const ecm::HierarchyParams h = ecm::hierarchy(b.variant.target);
-    const ecm::Prediction ep = ecm::predict(rep, tr, h);
-    p.cycles_per_iteration =
-        node_ ? ep.multicore_cycles(power::chip(b.variant.target).cores, h)
-              : ep.cycles(loc_);
+    const ecm::HierarchyParams h = ecm::hierarchy_for(*b.mm);
+    const ecm::Prediction ep =
+        source_ == ecm::TrafficSource::LegacyStreaming
+            ? ecm::predict(rep,
+                           ecm::traffic_for(b.variant,
+                                            b.gen.elements_per_iteration),
+                           h)
+            : analytic_ecm_for(b, rep);
+    p.saturation_cores =
+        ep.t_l3mem > 0 ? std::min(ep.saturation_cores(h), h.socket_cores) : 0;
+    if (cores_ != 0) {
+      const int n = cores_ < 0 ? h.socket_cores : cores_;
+      p.scope = PredictionScope::MultiCoreEcm;
+      p.cores = n;
+      p.cycles_per_iteration = ep.multicore_cycles(n, h);
+    } else {
+      p.scope = PredictionScope::SingleCoreEcm;
+      p.cores = 1;
+      p.cycles_per_iteration = ep.cycles(loc_);
+    }
   });
 }
 

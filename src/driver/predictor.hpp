@@ -60,12 +60,32 @@ struct Block {
 [[nodiscard]] Block make_block(std::string assembly_text,
                                const uarch::MachineModel& mm);
 
+/// What a prediction's number means.  InCore covers the three program-level
+/// models (L1-resident lower bound / simulation / measurement); the ECM
+/// scopes extend the number to the full memory hierarchy, single- or
+/// N-core.  Only ECM scopes serialize the scope/cores fields, keeping the
+/// default (in-core) sweep output byte-identical to earlier releases.
+enum class PredictionScope : std::uint8_t {
+  InCore,         // cycles with data in L1 (or as simulated/measured)
+  SingleCoreEcm,  // full-hierarchy single-core ECM composition
+  MultiCoreEcm,   // socket-aggregate inverse throughput at `cores`
+};
+
+[[nodiscard]] const char* to_string(PredictionScope s);
+
 /// One model's verdict on one block.
 struct Prediction {
   std::string model;      // predictor id ("osaca", "mca", "testbed", ...)
   bool ok = false;
   std::string error;      // set when !ok (e.g. unknown instruction form)
   double cycles_per_iteration = 0.0;
+
+  /// Scope of the number above; ECM predictors also record the active core
+  /// count and the saturation point of the scaling curve (0 = the kernel
+  /// moves no memory traffic and never saturates).
+  PredictionScope scope = PredictionScope::InCore;
+  int cores = 1;
+  int saturation_cores = 0;
 
   // Per-bound breakdown.  Populated by the in-core predictor; zero for the
   // simulators (they produce a single number).
@@ -129,22 +149,33 @@ class TestbedPredictor final : public Predictor {
 };
 
 /// ECM composition (in-core + memory hierarchy).  Predicts single-core
-/// cycles with data resident in `loc`, or — in node mode — full-socket
-/// inverse-throughput cycles at the chip's core count.
+/// cycles with data resident in `loc`, or — with a core count — socket
+/// inverse-throughput cycles along the N-core scaling curve.  Since PR 7
+/// the transfer terms come from the static traffic engine against the
+/// block's own machine model (so .mdf `hierarchy` what-ifs flow through);
+/// the pre-PR-7 kernel-metadata streaming guess survives behind
+/// `source = LegacyStreaming` (the CLI's --legacy-traffic).
 class EcmPredictor final : public Predictor {
  public:
-  explicit EcmPredictor(ecm::DataLocation loc, std::string id = "");
+  explicit EcmPredictor(ecm::DataLocation loc, std::string id = "",
+                        ecm::TrafficSource source =
+                            ecm::TrafficSource::Analytic);
   /// Full-socket saturated cycles/iteration (memory-resident data).
   [[nodiscard]] static EcmPredictor node_throughput(std::string id =
                                                         "ecm-node");
+  /// Socket-aggregate cycles/iteration with `cores` active ("ecm-n<k>").
+  [[nodiscard]] static EcmPredictor multicore(int cores, std::string id = "");
   [[nodiscard]] const std::string& id() const override { return id_; }
   [[nodiscard]] Prediction predict(const Block& b) const override;
 
  private:
-  EcmPredictor(ecm::DataLocation loc, bool node, std::string id);
+  EcmPredictor(ecm::DataLocation loc, int cores, std::string id,
+               ecm::TrafficSource source);
   std::string id_;
   ecm::DataLocation loc_ = ecm::DataLocation::Memory;
-  bool node_ = false;
+  /// 0 = single-core; -1 = whole socket; >0 = explicit core count.
+  int cores_ = 0;
+  ecm::TrafficSource source_ = ecm::TrafficSource::Analytic;
 };
 
 // ---------------------------------------------------------------------------

@@ -138,9 +138,15 @@ SweepResult sweep(const SweepOptions& opt) {
       opt.models.empty() ? all_models() : opt.models;
   std::vector<std::unique_ptr<Predictor>> owned;
   std::vector<const Predictor*> predictors;
-  owned.reserve(models.size());
+  owned.reserve(models.size() + opt.cores.size());
   for (Model m : models) {
     owned.push_back(make_predictor(m));
+    predictors.push_back(owned.back().get());
+  }
+  // The N-core ECM axis rides after the models: one scaling-curve column
+  // per requested core count.
+  for (int n : opt.cores) {
+    owned.push_back(std::make_unique<EcmPredictor>(EcmPredictor::multicore(n)));
     predictors.push_back(owned.back().get());
   }
   // Substitute the selected machines for the built-in models.  The codegen
@@ -251,6 +257,11 @@ std::string to_json(const SweepResult& r) {
       if (p.ok) {
         out += format("\"%s\": {\"ok\": true, \"cycles_per_iteration\": %.6g",
                       p.model.c_str(), p.cycles_per_iteration);
+        if (p.scope != PredictionScope::InCore) {
+          out += format(
+              ", \"scope\": \"%s\", \"cores\": %d, \"saturation_cores\": %d",
+              to_string(p.scope), p.cores, p.saturation_cores);
+        }
         if (p.throughput_cycles > 0 || p.loop_carried_cycles > 0 ||
             p.critical_path_cycles > 0) {
           out += format(
@@ -270,6 +281,38 @@ std::string to_json(const SweepResult& r) {
     out += c + 1 < r.rows.size() ? ",\n" : "\n";
   }
   out += "  ]\n}\n";
+  return out;
+}
+
+std::string scaling_summary(const SweepResult& r) {
+  // Columns of the scaling curve: the ecm-n<k> predictors, in sweep order.
+  std::vector<std::size_t> cols;
+  for (std::size_t m = 0; m < r.model_ids.size(); ++m) {
+    if (support::starts_with(r.model_ids[m], "ecm-n")) cols.push_back(m);
+  }
+  if (cols.empty()) return {};
+  std::string out = "scaling curves (socket cycles/iteration vs cores):\n";
+  std::unordered_set<std::size_t> seen;
+  for (const SweepRow& row : r.rows) {
+    if (!seen.insert(row.block_index).second) continue;  // one line per block
+    out += format("  %-28s", row.variant.label().c_str());
+    int n_sat = 0;
+    bool saturated_marked = false;
+    for (std::size_t m : cols) {
+      const Prediction& p = row.predictions[m];
+      if (!p.ok) {
+        out += format("  %s:!", r.model_ids[m].c_str() + 4);
+        continue;
+      }
+      n_sat = p.saturation_cores;
+      const bool sat = n_sat > 0 && p.cores >= n_sat;
+      out += format("  n%d:%.3f%s", p.cores, p.cycles_per_iteration,
+                    sat && !saturated_marked ? "*" : "");
+      saturated_marked = saturated_marked || sat;
+    }
+    out += n_sat > 0 ? format("  n_sat=%d\n", n_sat)
+                     : std::string("  n_sat=-\n");
+  }
   return out;
 }
 

@@ -49,6 +49,11 @@ struct SweepOptions {
   TrafficHook traffic;
   /// Models to run; empty means all three (OSACA, MCA, testbed).
   std::vector<Model> models;
+  /// N-core ECM axis: for each entry k an `ecm-n<k>` predictor (full-kernel
+  /// socket inverse throughput with k cores active) is appended after the
+  /// models, so the reports gain one scaling-curve column per core count.
+  /// Empty (the default) adds nothing and keeps output byte-identical.
+  std::vector<int> cores;
   // Matrix filters; an empty filter keeps every value of that axis.
   std::vector<kernels::Kernel> kernels;
   /// Machines to sweep; empty means the built-in paper trio.  A ref may
@@ -131,6 +136,12 @@ using MachineResolver =
 /// JSON document: stats, model list and per-cell predictions with the
 /// per-bound breakdown.  Deterministic: wall times are excluded.
 [[nodiscard]] std::string to_json(const SweepResult& r);
+
+/// Scaling-curve digest of a sweep that ran with a cores axis: one line per
+/// unique block with cycles/iteration at each ecm-n<k> core count and the
+/// saturation point (marked in the curve; "-" when the kernel never
+/// saturates the interface).  Empty string when no ecm-n<k> model ran.
+[[nodiscard]] std::string scaling_summary(const SweepResult& r);
 
 struct ModelErrorStats {
   std::string model;

@@ -3,8 +3,6 @@
 #include <algorithm>
 #include <cmath>
 
-#include "memsim/memsim.hpp"
-#include "power/power.hpp"
 #include "support/strings.hpp"
 
 namespace incore::ecm {
@@ -19,44 +17,21 @@ const char* to_string(DataLocation loc) {
   return "?";
 }
 
-HierarchyParams hierarchy(uarch::Micro micro) {
+HierarchyParams hierarchy_for(const uarch::MachineModel& mm) {
+  const uarch::HierarchyParams& u = mm.hierarchy;
   HierarchyParams h;
-  const auto& mem = memsim::preset(micro);
-  const auto& chip = power::chip(micro);
-  // Canonical ECM convention: the memory transfer time per cache line is
-  // derived from the *saturated* socket bandwidth (Stengel et al.); the
-  // saturation law n_sat = ceil(T_ECM / T_L3Mem) then recovers the core
-  // count at which the interface fills.
-  const double f_ghz = chip.base_ghz;
-  memsim::System sys_for_mem(mem);
-  const double socket_bw = sys_for_mem.achieved_bw(mem.cores, 2.0 / 3.0);
-  h.cy_per_cl_l3_mem = 64.0 * f_ghz / socket_bw;
-  switch (micro) {
-    case uarch::Micro::NeoverseV2:
-      h.name = "GCS";
-      h.cy_per_cl_l1_l2 = 1.0;   // 64 B/cy L2 interface
-      h.cy_per_cl_l2_l3 = 2.0;   // mesh
-      h.write_allocate_evaded = true;  // automatic cache-line claim
-      break;
-    case uarch::Micro::GoldenCove:
-      h.name = "SPR";
-      h.cy_per_cl_l1_l2 = 1.0;
-      h.cy_per_cl_l2_l3 = 2.5;  // mesh hop
-      // SpecI2M only helps near interface saturation; single-core ECM
-      // transfers keep the write-allocate.
-      h.write_allocate_evaded = false;
-      break;
-    case uarch::Micro::Zen4:
-      h.name = "Genoa";
-      h.cy_per_cl_l1_l2 = 1.0;
-      h.cy_per_cl_l2_l3 = 1.5;  // per-CCD L3
-      h.write_allocate_evaded = false;
-      break;
-  }
-  // Socket cap in cache lines per cycle (the reciprocal of the per-line
-  // memory time, by construction).
-  h.socket_cl_per_cy = 1.0 / h.cy_per_cl_l3_mem;
+  h.name = uarch::cpu_short_name(mm.micro());
+  h.cy_per_cl_l1_l2 = u.cy_per_cl_l1_l2;
+  h.cy_per_cl_l2_l3 = u.cy_per_cl_l2_l3;
+  h.cy_per_cl_l3_mem = u.cy_per_cl_l3_mem;
+  h.write_allocate_evaded = u.write_allocate_evaded;
+  h.socket_cl_per_cy = u.socket_cl_per_cy;
+  h.socket_cores = u.socket_cores;
   return h;
+}
+
+HierarchyParams hierarchy(uarch::Micro micro) {
+  return hierarchy_for(uarch::machine(micro));
 }
 
 Traffic traffic_for(const kernels::Variant& v, int elements_per_iteration) {
@@ -70,6 +45,30 @@ Traffic traffic_for(const kernels::Variant& v, int elements_per_iteration) {
   // Every stored line must be owned first: one extra read line, unless the
   // machine claims lines automatically.
   t.wa_lines = t.store_lines;
+  return t;
+}
+
+Traffic traffic_from_streams(const traffic::Result& r) {
+  Traffic t;
+  for (const traffic::Stream& s : r.streams) {
+    t.load_lines += s.load_first_lines;
+    t.store_lines += s.dirty_lines + s.nt_store_line_ops;
+    t.wa_lines += s.store_first_lines;
+  }
+  return t;
+}
+
+BoundaryTraffic boundary_traffic(const traffic::Volumes& v) {
+  BoundaryTraffic t;
+  // Claimed lines allocate in L1 without moving data through any boundary;
+  // everything else that fills L1 crossed L1<->L2, and L1 victims cross it
+  // back down (exclusive hierarchy: every fill displaces).
+  t.lines_l1l2 = std::max(0.0, v.l1_miss - v.claimed) + v.l1_evict;
+  // Fills served below L2 (L3 hits and memory reads) cross L2<->L3 upward;
+  // L2 victims cross it downward.
+  t.lines_l2l3 = v.l3_hit + v.mem_read + v.l2_evict;
+  // The memory interface sees reads plus write-backs (incl. NT stores).
+  t.lines_l3mem = v.mem_read + v.mem_write;
   return t;
 }
 
@@ -132,30 +131,48 @@ InCoreSplit split_in_core(const analysis::Report& rep) {
   return s;
 }
 
-Prediction predict(const analysis::Report& rep, const Traffic& traffic,
+Prediction predict(const analysis::Report& rep, const BoundaryTraffic& t,
                    const HierarchyParams& h) {
   Prediction p;
   InCoreSplit split = split_in_core(rep);
   p.t_ol = split.t_ol;
   p.t_nol = split.t_nol;
-  const double wa = h.write_allocate_evaded ? 0.0 : traffic.wa_lines;
-  const double lines_l1l2 = traffic.load_lines + traffic.store_lines + wa;
-  const double lines_l2l3 = lines_l1l2;  // streaming: everything passes through
-  const double lines_l3mem = lines_l1l2;
-  p.t_l1l2 = lines_l1l2 * h.cy_per_cl_l1_l2;
-  p.t_l2l3 = lines_l2l3 * h.cy_per_cl_l2_l3;
-  p.t_l3mem = lines_l3mem * h.cy_per_cl_l3_mem;
-  p.mem_lines_per_iter = lines_l3mem;
+  p.t_l1l2 = t.lines_l1l2 * h.cy_per_cl_l1_l2;
+  p.t_l2l3 = t.lines_l2l3 * h.cy_per_cl_l2_l3;
+  p.t_l3mem = t.lines_l3mem * h.cy_per_cl_l3_mem;
+  p.mem_lines_per_iter = t.lines_l3mem;
   return p;
 }
 
-Prediction predict_kernel(const kernels::Variant& v) {
+Prediction predict(const analysis::Report& rep, const Traffic& traffic,
+                   const HierarchyParams& h) {
+  // Legacy streaming composition: one aggregate line count charged on every
+  // boundary, write-allocate included unless the machine evades it.
+  const double wa = h.write_allocate_evaded ? 0.0 : traffic.wa_lines;
+  const double lines = traffic.load_lines + traffic.store_lines + wa;
+  BoundaryTraffic t;
+  t.lines_l1l2 = lines;
+  t.lines_l2l3 = lines;
+  t.lines_l3mem = lines;
+  return predict(rep, t, h);
+}
+
+Prediction predict_block(const analysis::Report& rep,
+                         const asmir::Program& prog,
+                         const uarch::MachineModel& mm) {
+  const traffic::Result tr = traffic::analyze(prog, mm);
+  return predict(rep, boundary_traffic(tr.volumes), hierarchy_for(mm));
+}
+
+Prediction predict_kernel(const kernels::Variant& v, TrafficSource source) {
   auto g = kernels::generate(v);
   const auto& mm = uarch::machine(v.target);
   analysis::Report rep = analysis::analyze(g.program, mm);
-  HierarchyParams h = hierarchy(v.target);
-  Traffic t = traffic_for(v, g.elements_per_iteration);
-  return predict(rep, t, h);
+  if (source == TrafficSource::LegacyStreaming) {
+    return predict(rep, traffic_for(v, g.elements_per_iteration),
+                   hierarchy_for(mm));
+  }
+  return predict_block(rep, g.program, mm);
 }
 
 }  // namespace incore::ecm

@@ -12,17 +12,23 @@
 //   T_OL    = in-core cycles that overlap with data transfers (arithmetic
 //             port pressure, recurrences),
 //   T_nOL   = non-overlapping in-core cycles (L1 load/store port pressure),
-//   T_XY    = cache-line transfer cycles between adjacent memory levels,
-//             derived from the kernel's per-iteration traffic (including
-//             write-allocate lines, unless the machine's WA-evasion
-//             mechanism removes them) and the per-level bandwidths.
+//   T_XY    = cache-line transfer cycles between adjacent memory levels.
+//
+// The transfer terms are keyed on the static traffic engine (src/traffic/):
+// per-boundary line volumes with layer conditions, write-allocate evasion
+// and non-temporal stores resolved, against the machine's MDF-described
+// hierarchy (uarch::HierarchyParams, the `hierarchy` directive).  The
+// pre-PR-7 path — a streaming guess from kernel metadata — survives as
+// TrafficSource::LegacyStreaming for comparison only.
 //
 // Multicore scaling follows the ECM saturation law: performance scales
 // linearly with cores until the memory-transfer term saturates the
-// interface, at n_sat = ceil(T_ECM(Mem) / T_L3Mem).
+// interface, at n_sat = ceil(T_ECM(Mem) / T_L3Mem).  crosscheck.hpp
+// validates that law against the dynamic memory simulator.
 
 #include "analysis/analyze.hpp"
 #include "kernels/kernels.hpp"
+#include "traffic/traffic.hpp"
 #include "uarch/model.hpp"
 
 namespace incore::ecm {
@@ -33,7 +39,9 @@ enum class DataLocation { L1, L2, L3, Memory };
 [[nodiscard]] const char* to_string(DataLocation loc);
 
 /// Per-machine memory-hierarchy parameters, in cycles per 64 B cache line
-/// per adjacent-level transfer (single core).
+/// per adjacent-level transfer (single core).  Since PR 7 this is a view of
+/// uarch::HierarchyParams (the MDF `hierarchy` directive) plus the paper
+/// short name; what-if .mdf edits flow straight into ECM predictions.
 struct HierarchyParams {
   const char* name = "?";
   double cy_per_cl_l1_l2 = 1.0;
@@ -45,21 +53,56 @@ struct HierarchyParams {
   /// Socket-level memory bandwidth cap, in cache lines per cycle, for the
   /// saturation law.
   double socket_cl_per_cy = 8.0;
+  /// Cores on the socket: the upper end of the N-core prediction axis.
+  int socket_cores = 1;
 };
 
+/// Hierarchy parameters of a paper-trio member's built-in model.
 [[nodiscard]] HierarchyParams hierarchy(uarch::Micro micro);
 
-/// Per-iteration data traffic of a kernel codegen variant.
+/// Hierarchy parameters of an arbitrary model (.mdf-loaded or what-if):
+/// the model's own `hierarchy` directive, named after its family tag.
+[[nodiscard]] HierarchyParams hierarchy_for(const uarch::MachineModel& mm);
+
+/// Per-iteration data traffic of a kernel codegen variant, phrased as the
+/// legacy streaming aggregate (one line count per class, charged on every
+/// level).
 struct Traffic {
   double load_lines = 0;   // cache lines read per iteration
   double store_lines = 0;  // cache lines written per iteration
   double wa_lines = 0;     // extra write-allocate read lines
 };
 
-/// Derives per-iteration traffic from kernel metadata (loads/stores per
-/// element x elements per iteration), assuming streaming access.
+/// DEPRECATED (PR 7): derives per-iteration traffic from kernel metadata
+/// (loads/stores per element x elements per iteration), assuming streaming
+/// access.  Blind to layer conditions, NT stores and write-allocate
+/// evasion; kept only as the TrafficSource::LegacyStreaming fallback
+/// (`--legacy-traffic`).  New callers want boundary_traffic() over a
+/// traffic::Result.
 [[nodiscard]] Traffic traffic_for(const kernels::Variant& v,
                                   int elements_per_iteration);
+
+/// Streaming-aggregate view of a static traffic analysis (the successor of
+/// the old traffic::to_ecm_traffic, moved here when the ecm -> traffic
+/// dependency was inverted).
+[[nodiscard]] Traffic traffic_from_streams(const traffic::Result& r);
+
+/// Per-boundary line volumes for the ECM transfer terms, in cache lines
+/// per iteration crossing each adjacent-level boundary (both directions:
+/// fills toward the core plus victim write-backs away from it, matching
+/// the exclusive victim hierarchy the trace simulator meters).
+struct BoundaryTraffic {
+  double lines_l1l2 = 0;   // L1<->L2 boundary crossings
+  double lines_l2l3 = 0;   // L2<->L3 boundary crossings
+  double lines_l3mem = 0;  // memory-interface crossings
+};
+
+/// Maps the traffic engine's per-level volumes onto boundary crossings:
+///   L1<->L2: fills into L1 (minus claimed lines, which move no data) plus
+///            L1 victims;
+///   L2<->L3: fills served by L3 or memory plus L2 victims;
+///   L3<->Mem: memory reads plus write-backs/NT stores.
+[[nodiscard]] BoundaryTraffic boundary_traffic(const traffic::Volumes& v);
 
 struct Prediction {
   double t_ol = 0;      // overlapping in-core cycles / iteration
@@ -79,15 +122,34 @@ struct Prediction {
                                         const HierarchyParams& h) const;
 };
 
-/// Composes the in-core report with the hierarchy parameters.
-/// `mem_port_pressure` (T_nOL) is extracted from the report's per-port
-/// loads on the machine's load/store pipes.
+/// Composes the in-core report with per-boundary traffic (the analytic
+/// path: layer conditions and WA evasion already folded into `t`).
+[[nodiscard]] Prediction predict(const analysis::Report& rep,
+                                 const BoundaryTraffic& t,
+                                 const HierarchyParams& h);
+
+/// Legacy composition from the streaming aggregate: every line class is
+/// charged once per boundary (plus the write-allocate read unless evaded).
 [[nodiscard]] Prediction predict(const analysis::Report& rep,
                                  const Traffic& traffic,
                                  const HierarchyParams& h);
 
+/// Where predict_kernel derives its transfer-term traffic from.
+enum class TrafficSource : std::uint8_t {
+  Analytic,         // static traffic engine (default since PR 7)
+  LegacyStreaming,  // kernel-metadata streaming guess (--legacy-traffic)
+};
+
 /// Convenience: full pipeline for a kernel variant.
-[[nodiscard]] Prediction predict_kernel(const kernels::Variant& v);
+[[nodiscard]] Prediction predict_kernel(
+    const kernels::Variant& v,
+    TrafficSource source = TrafficSource::Analytic);
+
+/// Full pipeline for an already-analyzed block against an explicit model
+/// (the driver's EcmPredictor path; works for .mdf-loaded machines).
+[[nodiscard]] Prediction predict_block(const analysis::Report& rep,
+                                       const asmir::Program& prog,
+                                       const uarch::MachineModel& mm);
 
 /// T_nOL / T_OL split of an in-core report: the maximum pressure on
 /// load/store ports vs. the maximum of recurrence and remaining port

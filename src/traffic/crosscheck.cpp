@@ -10,28 +10,13 @@
 #include "memsim/cachesim.hpp"
 #include "memsim/memsim.hpp"
 #include "support/strings.hpp"
+#include "traffic/layout.hpp"
 
 namespace incore::traffic {
 
 namespace {
 
-using dataflow::MemAccess;
 using support::format;
-
-[[nodiscard]] long long floor_div(long long a, long long b) {
-  return a >= 0 ? a / b : -((-a + b - 1) / b);
-}
-
-/// One per-iteration memory operation, pre-resolved for the replay loop.
-struct Op {
-  long long lo = 0;       // effective displacement
-  long long width = 1;    // bytes
-  long long stride = 0;   // per-iteration advance
-  long long base = 0;     // synthesized region base
-  bool is_load = false;
-  bool is_store = false;
-  bool nontemporal = false;
-};
 
 struct Snapshot {
   std::uint64_t l1_miss, l1_evict, l2_hit, l2_evict, l3_hit;
@@ -90,85 +75,21 @@ Crosscheck crosscheck(const asmir::Program& prog,
     return c;
   }
 
-  // --- synthesize the layout: disjoint regions, staggered by 68 lines so
-  // the streams land on decorrelated cache sets. ---
-  const long long total_cap = opt.max_total_iterations;
-  long long measure = opt.measure_iterations;
-
-  double agg_bytes = 0;        // leading-edge fill rate (drives warmup)
-  double agg_sweep_bytes = 0;  // all-band footprint (layer conditions)
-  long long max_span_iters = 0;
-  for (const Stream& s : r.streams) {
-    agg_bytes += s.lines_per_iter * line;
-    double stream_bytes = 0;
-    for (const Band& b : s.bands) stream_bytes += b.lines_per_iter;
-    if (s.bands.empty()) stream_bytes = s.lines_per_iter;
-    agg_sweep_bytes += stream_bytes * line;
-    const long long as = std::llabs(s.stride_bytes.value_or(0));
-    if (as > 0) max_span_iters = std::max(max_span_iters, s.span_bytes / as);
+  // --- synthesize the layout (shared with the ECM scaling crosscheck). ---
+  const SyntheticLayout layout = synthesize_layout(
+      r, df, prog, mm, opt.measure_iterations, opt.max_total_iterations);
+  if (!layout.ok) {
+    c.skipped = true;
+    return c;
   }
-  const double c123 = static_cast<double>(mm.cache.l1_bytes) +
-                      static_cast<double>(mm.cache.l2_bytes) +
-                      static_cast<double>(mm.cache.l3_bytes);
-  long long warmup =
-      agg_bytes > 0
-          ? static_cast<long long>(1.5 * c123 / agg_bytes) + max_span_iters +
-                1024
-          : max_span_iters + 1024;
-  bool capped = false;
-  if (warmup + measure > total_cap) {
-    warmup = std::max<long long>(total_cap - measure, 1024);
-    capped = true;
-  }
+  const bool capped = layout.capped;
+  const double agg_sweep_bytes = layout.agg_sweep_bytes;
+  const std::vector<LayoutOp>& ops = layout.ops;
+  const long long warmup = layout.warmup_iterations;
+  const long long measure = layout.measure_iterations;
   const long long total = warmup + measure;
   c.warmup_iterations = warmup;
   c.measured_iterations = measure;
-
-  std::vector<Op> ops;
-  {
-    std::vector<long long> base(r.streams.size(), 0);
-    long long cursor = 1ll << 30;
-    for (std::size_t si = 0; si < r.streams.size(); ++si) {
-      const Stream& s = r.streams[si];
-      const long long stride = s.stride_bytes.value_or(0);
-      long long min_lo = 0, max_hi = 1;
-      bool first = true;
-      for (int ai : s.accesses) {
-        const MemAccess& a = df.accesses[static_cast<std::size_t>(ai)];
-        const long long lo = a.effective_displacement();
-        const long long hi = lo + std::max<long long>(a.width_bits / 8, 1);
-        min_lo = first ? lo : std::min(min_lo, lo);
-        max_hi = first ? hi : std::max(max_hi, hi);
-        first = false;
-      }
-      const long long lo_range = min_lo + (stride < 0 ? stride * (total - 1) : 0);
-      const long long hi_range = max_hi + (stride > 0 ? stride * (total - 1) : 0);
-      base[si] = cursor - lo_range;
-      cursor += (hi_range - lo_range) + (1 << 20) + 68ll * line;
-    }
-    // Ops in program order (df.accesses is program order).
-    std::vector<std::size_t> stream_of(df.accesses.size(), 0);
-    for (std::size_t si = 0; si < r.streams.size(); ++si) {
-      for (int ai : r.streams[si].accesses) {
-        stream_of[static_cast<std::size_t>(ai)] = si;
-      }
-    }
-    for (std::size_t ai = 0; ai < df.accesses.size(); ++ai) {
-      const MemAccess& a = df.accesses[ai];
-      Op op;
-      op.lo = base[stream_of[ai]] + a.effective_displacement();
-      op.width = std::max<long long>(a.width_bits / 8, 1);
-      op.stride = r.streams[stream_of[ai]].stride_bytes.value_or(0);
-      op.is_load = a.is_load;
-      op.is_store = a.is_store;
-      op.nontemporal =
-          a.is_store &&
-          is_nontemporal_store(
-              prog.code[static_cast<std::size_t>(a.instr)].mnemonic,
-              prog.isa);
-      ops.push_back(op);
-    }
-  }
 
   // --- replay: each access expands to one simulator call per touched
   // line (the simulator's load/store process exactly one line). ---
@@ -176,7 +97,7 @@ Crosscheck crosscheck(const asmir::Program& prog,
   Snapshot begin{};
   for (long long i = 0; i < total; ++i) {
     if (i == warmup) begin = snap(hier);
-    for (const Op& op : ops) {
+    for (const LayoutOp& op : ops) {
       const long long lo = op.lo + i * op.stride;
       const long long l0 = floor_div(lo, line);
       const long long l1 = floor_div(lo + op.width - 1, line);
@@ -246,7 +167,9 @@ Crosscheck crosscheck(const asmir::Program& prog,
   const double caps[] = {static_cast<double>(mm.cache.l1_bytes),
                          static_cast<double>(mm.cache.l1_bytes) +
                              static_cast<double>(mm.cache.l2_bytes),
-                         c123};
+                         static_cast<double>(mm.cache.l1_bytes) +
+                             static_cast<double>(mm.cache.l2_bytes) +
+                             static_cast<double>(mm.cache.l3_bytes)};
   bool boundary = false;
   for (const Stream& s : r.streams) {
     for (const Band& b : s.bands) {
@@ -270,7 +193,7 @@ Crosscheck crosscheck(const asmir::Program& prog,
     const long long sets = std::max<long long>(
         mm.cache.l1_bytes / (static_cast<long long>(line) * ways), 1);
     std::map<long long, std::set<long long>> live;  // set index -> lines
-    for (const Op& op : ops) {
+    for (const LayoutOp& op : ops) {
       const long long l0 = op.lo / line;
       const long long l1 = (op.lo + op.width - 1) / line;
       for (long long l = l0; l <= l1; ++l) live[l % sets].insert(l);

@@ -1,0 +1,104 @@
+#include "traffic/layout.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace incore::traffic {
+
+using dataflow::MemAccess;
+
+SyntheticLayout synthesize_layout(const Result& r,
+                                  const dataflow::Analysis& df,
+                                  const asmir::Program& prog,
+                                  const uarch::MachineModel& mm,
+                                  long long measure_iterations,
+                                  long long max_total_iterations) {
+  SyntheticLayout out;
+  out.measure_iterations = measure_iterations;
+  const int line = mm.cache.line_bytes;
+
+  // Unknowable layouts: the static model never claimed to predict these.
+  for (const Stream& s : r.streams) {
+    if (s.pattern == Pattern::Symbolic ||
+        s.pattern == Pattern::GatherScatter) {
+      return out;
+    }
+  }
+  if (df.accesses.empty()) return out;
+
+  // Warmup sizing: fill 1.5x the combined capacity at the aggregate
+  // leading-edge rate, plus the longest intra-stream span and slack.
+  double agg_bytes = 0;  // leading-edge fill rate
+  long long max_span_iters = 0;
+  for (const Stream& s : r.streams) {
+    agg_bytes += s.lines_per_iter * line;
+    double stream_bytes = 0;
+    for (const Band& b : s.bands) stream_bytes += b.lines_per_iter;
+    if (s.bands.empty()) stream_bytes = s.lines_per_iter;
+    out.agg_sweep_bytes += stream_bytes * line;
+    const long long as = std::llabs(s.stride_bytes.value_or(0));
+    if (as > 0) max_span_iters = std::max(max_span_iters, s.span_bytes / as);
+  }
+  const double c123 = static_cast<double>(mm.cache.l1_bytes) +
+                      static_cast<double>(mm.cache.l2_bytes) +
+                      static_cast<double>(mm.cache.l3_bytes);
+  long long warmup =
+      agg_bytes > 0
+          ? static_cast<long long>(1.5 * c123 / agg_bytes) + max_span_iters +
+                1024
+          : max_span_iters + 1024;
+  if (warmup + measure_iterations > max_total_iterations) {
+    warmup = std::max<long long>(max_total_iterations - measure_iterations,
+                                 1024);
+    out.capped = true;
+  }
+  out.warmup_iterations = warmup;
+  const long long total = warmup + measure_iterations;
+
+  // Disjoint regions, staggered by 68 lines to decorrelate cache sets.
+  std::vector<long long> base(r.streams.size(), 0);
+  long long cursor = 1ll << 30;
+  for (std::size_t si = 0; si < r.streams.size(); ++si) {
+    const Stream& s = r.streams[si];
+    const long long stride = s.stride_bytes.value_or(0);
+    long long min_lo = 0, max_hi = 1;
+    bool first = true;
+    for (int ai : s.accesses) {
+      const MemAccess& a = df.accesses[static_cast<std::size_t>(ai)];
+      const long long lo = a.effective_displacement();
+      const long long hi = lo + std::max<long long>(a.width_bits / 8, 1);
+      min_lo = first ? lo : std::min(min_lo, lo);
+      max_hi = first ? hi : std::max(max_hi, hi);
+      first = false;
+    }
+    const long long lo_range = min_lo + (stride < 0 ? stride * (total - 1) : 0);
+    const long long hi_range = max_hi + (stride > 0 ? stride * (total - 1) : 0);
+    base[si] = cursor - lo_range;
+    cursor += (hi_range - lo_range) + (1 << 20) + 68ll * line;
+  }
+  // Ops in program order (df.accesses is program order).
+  std::vector<std::size_t> stream_of(df.accesses.size(), 0);
+  for (std::size_t si = 0; si < r.streams.size(); ++si) {
+    for (int ai : r.streams[si].accesses) {
+      stream_of[static_cast<std::size_t>(ai)] = si;
+    }
+  }
+  for (std::size_t ai = 0; ai < df.accesses.size(); ++ai) {
+    const MemAccess& a = df.accesses[ai];
+    LayoutOp op;
+    op.lo = base[stream_of[ai]] + a.effective_displacement();
+    op.width = std::max<long long>(a.width_bits / 8, 1);
+    op.stride = r.streams[stream_of[ai]].stride_bytes.value_or(0);
+    op.is_load = a.is_load;
+    op.is_store = a.is_store;
+    op.nontemporal =
+        a.is_store &&
+        is_nontemporal_store(
+            prog.code[static_cast<std::size_t>(a.instr)].mnemonic, prog.isa);
+    out.ops.push_back(op);
+  }
+  out.ok = true;
+  return out;
+}
+
+}  // namespace incore::traffic

@@ -1,0 +1,60 @@
+#pragma once
+// Synthetic address layouts for trace-simulator replay.
+//
+// Both cross-validation engines — the traffic crosscheck (VP011,
+// crosscheck.hpp) and the ECM scaling crosscheck (src/ecm/crosscheck.hpp)
+// — need to turn the statically reconstructed streams into concrete
+// addresses the cache simulator can walk: disjoint multi-MiB regions per
+// stream, staggered by a non-power-of-two line count so the streams land
+// on decorrelated cache sets.  This helper owns that synthesis (hoisted
+// out of crosscheck.cpp when the ECM side grew its own replay) plus the
+// warmup sizing: enough iterations to fill 1.5x the combined cache
+// capacity, bounded by a hard cap so huge-L3 machines stay tractable.
+
+#include <vector>
+
+#include "asmir/ir.hpp"
+#include "dataflow/dataflow.hpp"
+#include "traffic/traffic.hpp"
+#include "uarch/model.hpp"
+
+namespace incore::traffic {
+
+/// One per-iteration memory operation, pre-resolved for a replay loop:
+/// at iteration i it touches bytes [lo + i*stride, lo + i*stride + width).
+struct LayoutOp {
+  long long lo = 0;      // synthesized region base + effective displacement
+  long long width = 1;   // bytes
+  long long stride = 0;  // per-iteration advance
+  bool is_load = false;
+  bool is_store = false;
+  bool nontemporal = false;
+};
+
+struct SyntheticLayout {
+  /// False when any stream is Symbolic or GatherScatter (or the program
+  /// has no memory accesses): no concrete layout exists and `ops` is empty.
+  bool ok = false;
+  std::vector<LayoutOp> ops;  // program order
+  long long warmup_iterations = 0;
+  long long measure_iterations = 0;
+  /// True when the warmup was truncated by `max_total_iterations`.
+  bool capped = false;
+  /// All-band footprint in bytes per iteration (drives layer-condition
+  /// boundary attribution).
+  double agg_sweep_bytes = 0;
+};
+
+/// Synthesizes a concrete layout for the streams of `r` (which must come
+/// from analyze(prog, mm) with `df` = dataflow::analyze(prog)).
+[[nodiscard]] SyntheticLayout synthesize_layout(
+    const Result& r, const dataflow::Analysis& df, const asmir::Program& prog,
+    const uarch::MachineModel& mm, long long measure_iterations,
+    long long max_total_iterations);
+
+/// Floored division (negative strides walk regions downward).
+[[nodiscard]] inline long long floor_div(long long a, long long b) {
+  return a >= 0 ? a / b : -((-a + b - 1) / b);
+}
+
+}  // namespace incore::traffic

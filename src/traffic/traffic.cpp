@@ -595,14 +595,4 @@ Result analyze(const asmir::Program& prog, const uarch::MachineModel& mm) {
   return r;
 }
 
-ecm::Traffic to_ecm_traffic(const Result& r) {
-  ecm::Traffic t;
-  for (const Stream& s : r.streams) {
-    t.load_lines += s.load_first_lines;
-    t.store_lines += s.dirty_lines + s.nt_store_line_ops;
-    t.wa_lines += s.store_first_lines;
-  }
-  return t;
-}
-
 }  // namespace incore::traffic

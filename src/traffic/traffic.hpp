@@ -32,7 +32,6 @@
 
 #include "asmir/ir.hpp"
 #include "dataflow/dataflow.hpp"
-#include "ecm/ecm.hpp"
 #include "uarch/model.hpp"
 
 namespace incore::traffic {
@@ -147,11 +146,6 @@ struct Result {
 /// geometry.  Never runs the trace simulator.
 [[nodiscard]] Result analyze(const asmir::Program& prog,
                              const uarch::MachineModel& mm);
-
-/// Alternative ECM input path: per-iteration line traffic derived from the
-/// static stream rates instead of kernel metadata (ecm::traffic_for), so
-/// ECM predictions can run simulator-free on arbitrary assembly.
-[[nodiscard]] ecm::Traffic to_ecm_traffic(const Result& r);
 
 /// Human-readable report: stream table, per-band reuse levels, volume table.
 [[nodiscard]] std::string to_text(const Result& r);

@@ -174,6 +174,13 @@ std::string save_machine_string(const MachineModel& mm) {
       "cache l1=%lld/%d l2=%lld/%d l3=%lld/%d line=%d prefetch_streams=%d\n",
       c.l1_bytes, c.l1_ways, c.l2_bytes, c.l2_ways, c.l3_bytes, c.l3_ways,
       c.line_bytes, c.prefetch_streams);
+  const HierarchyParams& h = mm.hierarchy;
+  out += "hierarchy l1_l2=" + round_trip_number(h.cy_per_cl_l1_l2) +
+         " l2_l3=" + round_trip_number(h.cy_per_cl_l2_l3) +
+         " l3_mem=" + round_trip_number(h.cy_per_cl_l3_mem) +
+         " socket_cl_per_cy=" + round_trip_number(h.socket_cl_per_cy) +
+         format(" cores=%d wa_evasion=%d\n", h.socket_cores,
+                h.write_allocate_evaded ? 1 : 0);
 
   std::vector<std::string> forms = mm.forms();
   std::sort(forms.begin(), forms.end());
@@ -214,6 +221,7 @@ MachineModel load_machine_string(std::string_view text,
   std::optional<int> stores_per_cycle;
   CoreResources res;
   std::optional<CacheParams> cache;
+  std::optional<HierarchyParams> hierarchy;
   std::optional<std::size_t> declared_forms;
   std::size_t parsed_forms = 0;
   std::optional<MachineModel> mm;
@@ -253,6 +261,7 @@ MachineModel load_machine_string(std::string_view text,
         if (loads_per_cycle) mm->loads_per_cycle = *loads_per_cycle;
         if (stores_per_cycle) mm->stores_per_cycle = *stores_per_cycle;
         if (cache) mm->cache = *cache;
+        if (hierarchy) mm->hierarchy = *hierarchy;
         mm->resources() = res;
       }
       // form <inv_tput> <latency> <uops> <acc_latency> <ports> <form text>
@@ -361,6 +370,48 @@ MachineModel load_machine_string(std::string_view text,
         }
       }
       cache = c;
+    } else if (key == "hierarchy") {
+      // Missing fields keep the family default (backwards compatibility
+      // with pre-hierarchy MDF files).
+      HierarchyParams h = hierarchy.value_or(
+          family ? default_hierarchy_params(*family) : HierarchyParams{});
+      for (std::string_view f : fields_of(rest)) {
+        const std::size_t eq = f.find('=');
+        if (eq == std::string_view::npos)
+          at.fail(format("hierarchy expects key=value pairs, got '%s'",
+                         std::string(f).c_str()));
+        const std::string_view k = f.substr(0, eq);
+        const std::string_view v = f.substr(eq + 1);
+        auto positive = [&](std::string_view what) {
+          const double d = at.number(v, what);
+          if (d <= 0)
+            at.fail(format("hierarchy field '%s' must be positive",
+                           std::string(k).c_str()));
+          return d;
+        };
+        if (k == "l1_l2") {
+          h.cy_per_cl_l1_l2 = positive("hierarchy l1_l2 cycles per line");
+        } else if (k == "l2_l3") {
+          h.cy_per_cl_l2_l3 = positive("hierarchy l2_l3 cycles per line");
+        } else if (k == "l3_mem") {
+          h.cy_per_cl_l3_mem = positive("hierarchy l3_mem cycles per line");
+        } else if (k == "socket_cl_per_cy") {
+          h.socket_cl_per_cy = positive("hierarchy socket lines per cycle");
+        } else if (k == "cores") {
+          h.socket_cores = at.integer(v, "hierarchy socket cores");
+          if (h.socket_cores <= 0)
+            at.fail("hierarchy field 'cores' must be positive");
+        } else if (k == "wa_evasion") {
+          const int b = at.integer(v, "hierarchy wa_evasion flag");
+          if (b != 0 && b != 1)
+            at.fail("hierarchy field 'wa_evasion' must be 0 or 1");
+          h.write_allocate_evaded = b == 1;
+        } else {
+          at.fail(
+              format("unknown hierarchy field '%s'", std::string(k).c_str()));
+        }
+      }
+      hierarchy = h;
     } else if (key == "forms") {
       declared_forms =
           static_cast<std::size_t>(at.integer(rest, "forms count"));

@@ -48,6 +48,7 @@ MachineModel::MachineModel(std::string name, Micro micro, asmir::Isa isa,
   if (ports_.size() > 32)
     throw ModelError("too many ports in model " + name_);
   cache = default_cache_params(micro_);
+  hierarchy = default_hierarchy_params(micro_);
 }
 
 CacheParams default_cache_params(Micro m) {
@@ -84,6 +85,45 @@ CacheParams default_cache_params(Micro m) {
       break;
   }
   return c;
+}
+
+HierarchyParams default_hierarchy_params(Micro m) {
+  // Per-level transfer costs follow the ECM convention (Stengel et al.,
+  // ICS'15).  L1<->L2 and L2<->L3 come from documented interface widths;
+  // cy_per_cl_l3_mem is 64 B times base frequency over the saturated socket
+  // bandwidth, evaluated once from the memsim preset and the power model
+  // (the exact doubles below; ecm_test pins them against that derivation so
+  // a preset change here or there fails loudly instead of drifting).
+  HierarchyParams h;
+  switch (m) {
+    case Micro::NeoverseV2:
+      h.cy_per_cl_l1_l2 = 1.0;  // 64 B/cy L2 interface
+      h.cy_per_cl_l2_l3 = 2.0;  // mesh
+      h.cy_per_cl_l3_mem = 0.46618315399183613;  // 64 B * 3.4 GHz / 466.8 GB/s
+      h.socket_cl_per_cy = 2.145079656862745;
+      h.socket_cores = 72;
+      h.write_allocate_evaded = true;  // automatic cache-line claim
+      break;
+    case Micro::GoldenCove:
+      h.cy_per_cl_l1_l2 = 1.0;
+      h.cy_per_cl_l2_l3 = 2.5;  // mesh hop
+      h.cy_per_cl_l3_mem = 0.46905537459283392;  // 64 B * 2.0 GHz / 272.9 GB/s
+      h.socket_cl_per_cy = 2.1319444444444442;
+      h.socket_cores = 52;
+      // SpecI2M only helps near interface saturation; single-core ECM
+      // transfers keep the write-allocate.
+      h.write_allocate_evaded = false;
+      break;
+    case Micro::Zen4:
+      h.cy_per_cl_l1_l2 = 1.0;
+      h.cy_per_cl_l2_l3 = 1.5;  // per-CCD L3
+      h.cy_per_cl_l3_mem = 0.45334620612684062;  // 64 B * 2.55 GHz / 360.0 GB/s
+      h.socket_cl_per_cy = 2.2058197167755993;
+      h.socket_cores = 96;
+      h.write_allocate_evaded = false;
+      break;
+  }
+  return h;
 }
 
 int MachineModel::port_index(std::string_view port_name) const {

@@ -115,6 +115,27 @@ struct CacheParams {
   int prefetch_streams = 16;
 };
 
+/// Memory-hierarchy transfer parameters for the ECM composition (the MDF
+/// `hierarchy` directive), in cycles per 64 B cache line per adjacent-level
+/// transfer with one core active.  The built-in defaults are the paper-trio
+/// values; `cy_per_cl_l3_mem` is derived from base frequency over saturated
+/// socket bandwidth (the memsim/power derivation is pinned by a drift test
+/// in ecm_test so these literals cannot silently diverge from it).
+struct HierarchyParams {
+  double cy_per_cl_l1_l2 = 1.0;
+  double cy_per_cl_l2_l3 = 2.0;
+  double cy_per_cl_l3_mem = 5.0;
+  /// Socket-level memory-bandwidth cap in cache lines per cycle, for the
+  /// multicore saturation law (the reciprocal of cy_per_cl_l3_mem for the
+  /// built-in machines; what-if edits may decouple the two).
+  double socket_cl_per_cy = 0.2;
+  /// Cores on the socket: the upper end of the N-core prediction axis.
+  int socket_cores = 1;
+  /// Write-allocate lines are charged on every level unless the machine
+  /// evades them (Grace's automatic cache-line claim).
+  bool write_allocate_evaded = false;
+};
+
 /// Front-end and out-of-order resource description (used by the MCA-style
 /// comparator and the execution testbed, not by the static analyzer).
 struct CoreResources {
@@ -150,6 +171,10 @@ class MachineModel {
   /// Cache geometry; defaults to default_cache_params(micro()) at
   /// construction, overridable by builders and the MDF `cache` directive.
   CacheParams cache;
+  /// ECM memory-hierarchy parameters; defaults to
+  /// default_hierarchy_params(micro()) at construction, overridable by the
+  /// MDF `hierarchy` directive (what-if memory systems).
+  HierarchyParams hierarchy;
   /// Issue-width caps independent of AGU port counts.
   int loads_per_cycle = 2;
   int stores_per_cycle = 1;
@@ -229,6 +254,10 @@ class MachineModel {
 /// Documented cache geometry of a paper-trio family (paper Table I), used
 /// as the construction-time default for every model of that family.
 [[nodiscard]] CacheParams default_cache_params(Micro m);
+
+/// Documented ECM hierarchy parameters of a paper-trio family, used as the
+/// construction-time default for every model of that family.
+[[nodiscard]] HierarchyParams default_hierarchy_params(Micro m);
 
 /// The built-in model of a paper-trio member.  Models are constructed once
 /// (through the MachineRegistry, see registry.hpp) and immutable

@@ -82,6 +82,13 @@ std::span<const CodeInfo> all_codes() {
       {"VP011", Severity::Error,
        "static traffic volumes diverge from the cache trace simulation "
        "without attribution"},
+      {"VP012", Severity::Error,
+       "ECM memory-resident prediction below the certified in-core bound"},
+      {"VP013", Severity::Error,
+       "multicore ECM curve not monotone, or not flat past saturation"},
+      {"VP014", Severity::Error,
+       "ECM scaling diverges from the memory simulators without "
+       "attribution"},
       {"VT001", Severity::Warning,
        "memory streams provably overlap: their traffic is double-counted"},
       {"VT002", Severity::Warning,

@@ -12,6 +12,7 @@
 #include "analysis/analyze.hpp"
 #include "driver/predictor.hpp"
 #include "driver/sweep.hpp"
+#include "ecm/ecm.hpp"
 #include "exec/exec.hpp"
 #include "kernels/kernels.hpp"
 #include "mca/mca.hpp"
@@ -326,4 +327,77 @@ TEST(MakeBlock, ExplicitModelOverridesTheRegistryDefault) {
   // keep the built-in identity.
   EXPECT_EQ(a.hash, b.hash);
   EXPECT_EQ(a.text_hash, b.text_hash);
+}
+
+// ------------------------------------------------------------- cores axis
+
+TEST(Sweep, CoresAxisAppendsMulticorePredictors) {
+  driver::SweepOptions opt;
+  opt.kernels = {kernels::Kernel::StreamTriad};
+  opt.machines = {uarch::machine_ref(uarch::Micro::GoldenCove)};
+  opt.models = {driver::Model::InCore};
+  opt.cores = {1, 4, 52};
+  driver::SweepResult res = driver::sweep(opt);
+  ASSERT_FALSE(res.rows.empty());
+  for (const driver::SweepRow& row : res.rows) {
+    const driver::Prediction* base = res.find(row, "osaca");
+    const driver::Prediction* n1 = res.find(row, "ecm-n1");
+    const driver::Prediction* n4 = res.find(row, "ecm-n4");
+    const driver::Prediction* n52 = res.find(row, "ecm-n52");
+    ASSERT_NE(base, nullptr);
+    ASSERT_NE(n1, nullptr);
+    ASSERT_NE(n4, nullptr);
+    ASSERT_NE(n52, nullptr);
+    EXPECT_EQ(base->scope, driver::PredictionScope::InCore);
+    EXPECT_EQ(n4->scope, driver::PredictionScope::MultiCoreEcm);
+    EXPECT_EQ(n4->cores, 4);
+    // One memory-bound kernel: more cores never hurt, and the single-core
+    // multicore point sits at or above the in-core bound.
+    EXPECT_LE(n4->cycles_per_iteration, n1->cycles_per_iteration + 1e-9);
+    EXPECT_LE(n52->cycles_per_iteration, n4->cycles_per_iteration + 1e-9);
+    EXPECT_GE(n1->cycles_per_iteration, base->cycles_per_iteration - 1e-9);
+    EXPECT_GT(n1->saturation_cores, 1);
+    EXPECT_LE(n1->saturation_cores, 52);
+  }
+  EXPECT_NE(driver::to_csv(res).find("ecm-n52_cy"), std::string::npos);
+  EXPECT_NE(driver::to_json(res).find("\"saturation_cores\""),
+            std::string::npos);
+  EXPECT_NE(driver::scaling_summary(res).find("n_sat"), std::string::npos);
+}
+
+TEST(Sweep, DefaultOutputUnchangedByCoresMachinery) {
+  // The cores axis is strictly additive: without it the sweep output must
+  // stay byte-identical to the pre-multicore driver (no scope/cores fields,
+  // no ecm-n columns, empty scaling summary).
+  driver::SweepOptions opt;
+  opt.kernels = {kernels::Kernel::Add};
+  opt.machines = {uarch::machine_ref(uarch::Micro::Zen4)};
+  driver::SweepResult res = driver::sweep(opt);
+  const std::string csv = driver::to_csv(res);
+  const std::string json = driver::to_json(res);
+  EXPECT_EQ(csv.find("ecm-n"), std::string::npos);
+  EXPECT_EQ(json.find("\"scope\""), std::string::npos);
+  EXPECT_EQ(json.find("\"saturation_cores\""), std::string::npos);
+  EXPECT_TRUE(driver::scaling_summary(res).empty());
+  for (const driver::SweepRow& row : res.rows) {
+    for (const driver::Prediction& p : row.predictions) {
+      EXPECT_EQ(p.scope, driver::PredictionScope::InCore);
+      EXPECT_EQ(p.cores, 1);
+    }
+  }
+}
+
+TEST(Predictor, MulticoreEcmAdapterMatchesEcmLibrary) {
+  driver::Block b = driver::make_block(triad_spr());
+  const auto ep = ecm::predict_block(
+      analysis::analyze(b.gen.program, *b.mm), b.gen.program, *b.mm);
+  const auto h = ecm::hierarchy_for(*b.mm);
+  driver::EcmPredictor four = driver::EcmPredictor::multicore(4);
+  driver::Prediction p = four.predict(b);
+  ASSERT_TRUE(p.ok);
+  EXPECT_EQ(p.model, "ecm-n4");
+  EXPECT_EQ(p.cores, 4);
+  EXPECT_NEAR(p.cycles_per_iteration, ep.multicore_cycles(4, h), 1e-12);
+  EXPECT_EQ(p.saturation_cores, std::min(ep.saturation_cores(h),
+                                         h.socket_cores));
 }

@@ -33,6 +33,15 @@ void expect_equal_models(const MachineModel& a, const MachineModel& b) {
   EXPECT_EQ(a.loads_per_cycle, b.loads_per_cycle);
   EXPECT_EQ(a.stores_per_cycle, b.stores_per_cycle);
 
+  const uarch::HierarchyParams& ha = a.hierarchy;
+  const uarch::HierarchyParams& hb = b.hierarchy;
+  EXPECT_EQ(ha.cy_per_cl_l1_l2, hb.cy_per_cl_l1_l2);
+  EXPECT_EQ(ha.cy_per_cl_l2_l3, hb.cy_per_cl_l2_l3);
+  EXPECT_EQ(ha.cy_per_cl_l3_mem, hb.cy_per_cl_l3_mem);
+  EXPECT_EQ(ha.socket_cl_per_cy, hb.socket_cl_per_cy);
+  EXPECT_EQ(ha.socket_cores, hb.socket_cores);
+  EXPECT_EQ(ha.write_allocate_evaded, hb.write_allocate_evaded);
+
   const uarch::CoreResources& ra = a.resources();
   const uarch::CoreResources& rb = b.resources();
   EXPECT_EQ(ra.decode_width, rb.decode_width);
@@ -152,6 +161,44 @@ TEST(Mdf, FileRoundTripThroughDisk) {
   const MachineModel loaded = uarch::load_machine_file(path);
   expect_equal_models(uarch::machine(Micro::NeoverseV2), loaded);
   std::remove(path.c_str());
+}
+
+TEST(Mdf, HierarchyDirectiveOverridesFamilyDefault) {
+  // An explicit hierarchy line re-keys the ECM composition of a loaded
+  // model; fields not mentioned keep the family default.
+  const MachineModel mm = uarch::load_machine_string(
+      "mdf 1\n"
+      "machine toy\n"
+      "family zen4\n"
+      "isa x86_64\n"
+      "ports P0 P1\n"
+      "hierarchy l3_mem=0.75 socket_cl_per_cy=1.5 cores=16 wa_evasion=1\n"
+      "form 1 3 0 0 P0 add r64,r64\n");
+  const uarch::HierarchyParams def =
+      uarch::default_hierarchy_params(Micro::Zen4);
+  EXPECT_EQ(mm.hierarchy.cy_per_cl_l1_l2, def.cy_per_cl_l1_l2);
+  EXPECT_EQ(mm.hierarchy.cy_per_cl_l2_l3, def.cy_per_cl_l2_l3);
+  EXPECT_EQ(mm.hierarchy.cy_per_cl_l3_mem, 0.75);
+  EXPECT_EQ(mm.hierarchy.socket_cl_per_cy, 1.5);
+  EXPECT_EQ(mm.hierarchy.socket_cores, 16);
+  EXPECT_TRUE(mm.hierarchy.write_allocate_evaded);
+}
+
+TEST(Mdf, MissingHierarchyKeepsFamilyDefault) {
+  // Pre-PR-7 MDF files carry no hierarchy section: loading one must behave
+  // exactly like the built-in family model.
+  const MachineModel mm = uarch::load_machine_string(
+      "mdf 1\n"
+      "machine toy\n"
+      "family neoverse-v2\n"
+      "isa aarch64\n"
+      "ports P0 P1\n"
+      "form 1 3 0 0 P0 add x,x\n");
+  const uarch::HierarchyParams def =
+      uarch::default_hierarchy_params(Micro::NeoverseV2);
+  EXPECT_EQ(mm.hierarchy.cy_per_cl_l3_mem, def.cy_per_cl_l3_mem);
+  EXPECT_EQ(mm.hierarchy.socket_cores, def.socket_cores);
+  EXPECT_EQ(mm.hierarchy.write_allocate_evaded, def.write_allocate_evaded);
 }
 
 // ---------------------------------------------------------- malformed input
@@ -282,6 +329,46 @@ TEST(MdfErrors, UnknownResourceKey) {
       "resources rob=100 mshr=12\n");
   EXPECT_NE(err.find("test.mdf:3:"), std::string::npos) << err;
   EXPECT_NE(err.find("unknown resource"), std::string::npos) << err;
+}
+
+TEST(MdfErrors, HierarchyFieldWithoutValue) {
+  const std::string err = load_error(
+      "mdf 1\n"
+      "machine toy\n"
+      "family zen4\n"
+      "hierarchy l3_mem\n");
+  EXPECT_NE(err.find("test.mdf:4:"), std::string::npos) << err;
+  EXPECT_NE(err.find("key=value"), std::string::npos) << err;
+}
+
+TEST(MdfErrors, HierarchyNonPositiveTransferCost) {
+  const std::string err = load_error(
+      "mdf 1\n"
+      "machine toy\n"
+      "family zen4\n"
+      "hierarchy l3_mem=0\n");
+  EXPECT_NE(err.find("test.mdf:4:"), std::string::npos) << err;
+  EXPECT_NE(err.find("must be positive"), std::string::npos) << err;
+}
+
+TEST(MdfErrors, HierarchyUnknownField) {
+  const std::string err = load_error(
+      "mdf 1\n"
+      "machine toy\n"
+      "family zen4\n"
+      "hierarchy l4_tape=3\n");
+  EXPECT_NE(err.find("test.mdf:4:"), std::string::npos) << err;
+  EXPECT_NE(err.find("unknown hierarchy field"), std::string::npos) << err;
+}
+
+TEST(MdfErrors, HierarchyBadEvasionFlag) {
+  const std::string err = load_error(
+      "mdf 1\n"
+      "machine toy\n"
+      "family zen4\n"
+      "hierarchy wa_evasion=2\n");
+  EXPECT_NE(err.find("test.mdf:4:"), std::string::npos) << err;
+  EXPECT_NE(err.find("'wa_evasion' must be 0 or 1"), std::string::npos) << err;
 }
 
 TEST(MdfErrors, NonexistentFile) {

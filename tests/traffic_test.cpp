@@ -123,11 +123,12 @@ TEST(TrafficStreams, TriadX86Att) {
   EXPECT_NEAR(r.volumes.l1_miss, 1.5, 1e-9);
   EXPECT_NEAR(r.volumes.mem_read, 1.5, 1e-9);  // write-allocate included
   EXPECT_NEAR(r.volumes.mem_write, 0.5, 1e-9);
-  // ECM handoff: the write-allocate share moves into wa_lines.
-  const ecm::Traffic t = traffic::to_ecm_traffic(r);
-  EXPECT_NEAR(t.load_lines, 1.0, 1e-9);
-  EXPECT_NEAR(t.store_lines, 0.5, 1e-9);
-  EXPECT_NEAR(t.wa_lines, 0.5, 1e-9);
+  // ECM handoff: every boundary moves the full read+write volume here
+  // (no layer condition holds for a streaming triad).
+  const ecm::BoundaryTraffic t = ecm::boundary_traffic(r.volumes);
+  EXPECT_NEAR(t.lines_l3mem, 2.0, 1e-9);  // 1.5 read + 0.5 write
+  EXPECT_GE(t.lines_l2l3, t.lines_l3mem - 1e-9);
+  EXPECT_GE(t.lines_l1l2, 1.5 - 1e-9);
 }
 
 // ------------------------------------------------------------------ golden

@@ -37,6 +37,7 @@
 #include "dataflow/dataflow.hpp"
 #include "driver/predictor.hpp"
 #include "driver/sweep.hpp"
+#include "ecm/crosscheck.hpp"
 #include "ecm/ecm.hpp"
 #include "exec/exec.hpp"
 #include "kernels/kernels.hpp"
@@ -82,21 +83,29 @@ int usage() {
       "                    --audit adds a per-block audit_verdict column\n"
       "                    --traffic adds a traffic_lines column (memory\n"
       "                    read/write cache lines per iteration)\n"
+      "                    --cores n1,n2,.. adds ecm-n<k> scaling columns\n"
+      "                    (full-kernel N-core ECM) + a saturation summary\n"
       "                    (models: osaca mca testbed)\n"
       "  audit <machine> [file.s]         cross-model bound certificates +\n"
       "                                   divergence attribution (VP lints)\n"
       "  audit --all                      audit the whole generated corpus\n"
       "       audit flags: --json --verbose --machine-file <m.mdf>\n"
       "            --traffic adds the VP011 static-traffic cross-check\n"
+      "            --ecm adds the VP012-VP014 ECM/memory-side checks\n"
       "  export-model <machine> [-o file] write a model as a .mdf machine-\n"
       "                                   description file (stdout default)\n"
       "  kernels                          list validation kernels\n"
       "  emit <machine> <kernel> <cc> <O> render a compiler personality\n"
       "  tput <machine> <template>        instruction throughput microbench\n"
       "  lat <machine> <template>         instruction latency microbench\n"
-      "  ecm <machine> <kernel>           ECM decomposition at -O3\n"
-      "       --analytic derives the data traffic from the static stream\n"
-      "                  analysis instead of kernel metadata\n"
+      "  ecm <machine> <kernel>           ECM decomposition at -O3; the\n"
+      "                  transfer terms come from the static traffic engine\n"
+      "       --legacy-traffic uses the pre-PR-7 kernel-metadata streaming\n"
+      "                  guess instead; --cores n1,n2,.. prints the N-core\n"
+      "                  scaling curve; --crosscheck validates the scaling\n"
+      "                  law against the memory simulators (--json)\n"
+      "  ecm --all                        corpus gate: every unique block's\n"
+      "                  scaling law vs the memory simulators (VP014)\n"
       "  traffic <machine> [file.s]       static memory streams and\n"
       "                                   analytic per-level data volumes\n"
       "       traffic flags: --json --crosscheck (also replay through the\n"
@@ -306,6 +315,16 @@ int cmd_sweep(int argc, char** argv) {
       if (v == nullptr) return 2;
       opt.jobs = std::atoi(v);
       if (opt.jobs <= 0) opt.jobs = support::ThreadPool::default_jobs();
+    } else if (a == "--cores") {
+      const char* v = value();
+      if (v == nullptr || !parse_list(a, v, [&](const std::string& s) {
+            const int n = std::atoi(s.c_str());
+            if (n <= 0) return false;
+            opt.cores.push_back(n);
+            return true;
+          })) {
+        return 2;
+      }
     } else if (a == "--models") {
       const char* v = value();
       if (v == nullptr ||
@@ -422,6 +441,8 @@ int cmd_sweep(int argc, char** argv) {
                   "unique blocks\n",
                   pass, divergent, failed, r.audit_verdicts.size());
     }
+    const std::string scaling = driver::scaling_summary(r);
+    if (!scaling.empty()) std::fputs(scaling.c_str(), stdout);
     for (const driver::ModelErrorStats& s : driver::error_stats(r)) {
       std::printf(
           "  %-8s vs testbed: %3zu blocks | right of zero %3.0f%% | within "
@@ -608,14 +629,91 @@ int cmd_microbench(const std::string& machine_name, const std::string& tmpl,
   return 0;
 }
 
+int finish_lint(const verify::DiagnosticSink& sink, bool json, bool werror,
+                bool verbose);
+
+/// Corpus ECM gate: the scaling law of every unique (machine, assembly)
+/// block cross-validated against the memory simulators (VP014); every
+/// divergence must carry a memory-side attribution.
+int cmd_ecm_all(bool json, bool verbose) {
+  std::vector<driver::Block> blocks;
+  {
+    std::set<std::string> seen;
+    for (const kernels::Variant& v : kernels::test_matrix()) {
+      driver::Block b = driver::make_block(v);
+      if (!seen.insert(b.hash).second) continue;
+      blocks.push_back(std::move(b));
+    }
+  }
+  verify::DiagnosticSink sink;
+  std::size_t agree = 0;
+  std::size_t attributed = 0;
+  std::size_t failed = 0;
+  for (const driver::Block& b : blocks) {
+    const std::size_t before = sink.diagnostics().size();
+    ecm::check_scaling_vs_simulation(
+        b.gen.program, *b.mm,
+        support::format("kernel '%s' on '%s'", b.variant.label().c_str(),
+                        b.mm->name().c_str()),
+        sink);
+    bool err = false;
+    for (std::size_t i = before; i < sink.diagnostics().size(); ++i) {
+      err |= sink.diagnostics()[i].severity == verify::Severity::Error;
+    }
+    if (err) {
+      ++failed;
+    } else if (sink.diagnostics().size() > before) {
+      ++attributed;
+    } else {
+      ++agree;
+    }
+  }
+  if (!json) {
+    std::printf(
+        "ECM-validated %zu unique corpus blocks: %zu agree, %zu attributed, "
+        "%zu fail\n",
+        blocks.size(), agree, attributed, failed);
+  }
+  return finish_lint(sink, json, /*werror=*/false, verbose);
+}
+
 int cmd_ecm(int argc, char** argv) {
   std::string machine_name;
   std::string kernel_name;
-  bool analytic = false;
+  bool legacy = false;
+  bool crosscheck = false;
+  bool json = false;
+  bool all = false;
+  bool verbose = false;
+  std::vector<int> cores;
   for (int i = 2; i < argc; ++i) {
     const std::string a = argv[i];
-    if (a == "--analytic") {
-      analytic = true;
+    if (a == "--legacy-traffic") {
+      legacy = true;
+    } else if (a == "--analytic") {
+      // The analytic traffic engine is the default since PR 7; the old
+      // opt-in flag stays accepted.
+    } else if (a == "--crosscheck") {
+      crosscheck = true;
+    } else if (a == "--json") {
+      json = true;
+    } else if (a == "--all") {
+      all = true;
+    } else if (a == "--verbose") {
+      verbose = true;
+    } else if (a == "--cores") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--cores needs a value\n");
+        return 2;
+      }
+      if (!parse_list(a, argv[++i], [&](const std::string& s) {
+            const int n = std::atoi(s.c_str());
+            if (n <= 0) return false;
+            cores.push_back(n);
+            return true;
+          })) {
+        return 2;
+      }
     } else if (a.starts_with("--")) {
       std::fprintf(stderr, "unknown ecm flag '%s'\n", a.c_str());
       return usage();
@@ -627,6 +725,7 @@ int cmd_ecm(int argc, char** argv) {
       return usage();
     }
   }
+  if (all) return cmd_ecm_all(json, verbose);
   if (machine_name.empty() || kernel_name.empty()) return usage();
   uarch::MachineRef ref;
   if (!parse_machine(machine_name, ref)) return 2;
@@ -646,24 +745,28 @@ int cmd_ecm(int argc, char** argv) {
     std::fprintf(stderr, "unknown kernel '%s'\n", kernel_name.c_str());
     return 2;
   }
+  const kernels::GeneratedKernel g = kernels::generate(v);
+  const auto& mm = *ref.model;
+  const analysis::Report rep = analysis::analyze(g.program, mm);
+  const ecm::HierarchyParams h = ecm::hierarchy_for(mm);
   ecm::Prediction p;
-  if (analytic) {
-    // Alternative input path: per-iteration line traffic from the static
-    // stream analysis instead of kernel metadata (works for any assembly,
-    // not just kernels with known element counts).
-    const kernels::GeneratedKernel g = kernels::generate(v);
-    const auto& mm = *ref.model;
-    const analysis::Report rep = analysis::analyze(g.program, mm);
-    const traffic::Result tr = traffic::analyze(g.program, mm);
-    const ecm::Traffic t = traffic::to_ecm_traffic(tr);
-    p = ecm::predict(rep, t, ecm::hierarchy(micro));
-    std::printf("analytic traffic: %.3f load + %.3f store + %.3f "
-                "write-allocate lines/iter (%zu streams)\n",
-                t.load_lines, t.store_lines, t.wa_lines, tr.streams.size());
+  if (legacy) {
+    // Pre-PR-7 path: streaming guess from kernel metadata, blind to layer
+    // conditions, NT stores and write-allocate evasion.
+    const ecm::Traffic t = ecm::traffic_for(v, g.elements_per_iteration);
+    p = ecm::predict(rep, t, h);
+    std::printf("legacy streaming traffic: %.3f load + %.3f store + %.3f "
+                "write-allocate lines/iter\n",
+                t.load_lines, t.store_lines, t.wa_lines);
   } else {
-    p = ecm::predict_kernel(v);
+    const traffic::Result tr = traffic::analyze(g.program, mm);
+    const ecm::BoundaryTraffic t = ecm::boundary_traffic(tr.volumes);
+    p = ecm::predict(rep, t, h);
+    std::printf("boundary traffic: L1-L2 %.3f | L2-L3 %.3f | L3-Mem %.3f "
+                "lines/iter (%zu streams%s)\n",
+                t.lines_l1l2, t.lines_l2l3, t.lines_l3mem, tr.streams.size(),
+                tr.exact ? "" : ", inexact");
   }
-  auto h = ecm::hierarchy(micro);
   std::printf("T_OL %.2f | T_nOL %.2f | L1-L2 %.2f | L2-L3 %.2f | "
               "L3-Mem %.2f cy/iter\n",
               p.t_ol, p.t_nol, p.t_l1l2, p.t_l2l3, p.t_l3mem);
@@ -672,6 +775,23 @@ int cmd_ecm(int argc, char** argv) {
     std::printf("  %-4s %.2f cy/iter\n", ecm::to_string(loc), p.cycles(loc));
   }
   std::printf("saturates at %d cores\n", p.saturation_cores(h));
+  if (!cores.empty()) {
+    const int n_sat = p.t_l3mem > 0 ? p.saturation_cores(h) : 0;
+    std::printf("scaling (socket cycles/iteration):\n");
+    for (int n : cores) {
+      const double cy = p.multicore_cycles(n, h);
+      std::printf("  n=%-4d %.3f cy/iter%s\n", n, cy,
+                  n_sat > 0 && n >= n_sat ? "  [saturated]" : "");
+    }
+  }
+  if (crosscheck) {
+    ecm::ScalingOptions sopt;
+    sopt.cores = cores;
+    const ecm::ScalingCheck c = ecm::crosscheck_scaling(g.program, mm, sopt);
+    std::fputs(json ? ecm::to_json(c).c_str() : ecm::to_text(c).c_str(),
+               stdout);
+    return c.ok ? 0 : 1;
+  }
   return 0;
 }
 
@@ -933,7 +1053,7 @@ int cmd_lint(int argc, char** argv) {
 
 // ------------------------------------------------------------------ audit
 
-int cmd_audit_all(bool json, bool verbose, bool traffic) {
+int cmd_audit_all(bool json, bool verbose, bool traffic, bool ecm) {
   // Same corpus and dedup discipline as `lint --all-models`: the matrix
   // collapses to unique (machine, assembly) blocks, each audited once, in
   // deterministic first-seen order.
@@ -949,6 +1069,7 @@ int cmd_audit_all(bool json, bool verbose, bool traffic) {
   verify::DiagnosticSink sink;
   audit::AuditOptions aopt;
   aopt.check_traffic = traffic;
+  aopt.check_ecm = ecm;
   std::size_t pass = 0;
   std::size_t divergent = 0;
   std::size_t failed = 0;
@@ -973,7 +1094,7 @@ int cmd_audit_all(bool json, bool verbose, bool traffic) {
 }
 
 int cmd_audit_one(const std::string& machine_name, const char* path,
-                  bool json, bool verbose, bool traffic) {
+                  bool json, bool verbose, bool traffic, bool ecm) {
   uarch::MachineRef ref;
   if (!parse_machine(machine_name, ref)) return 2;
   const auto& mm = *ref.model;
@@ -987,6 +1108,7 @@ int cmd_audit_one(const std::string& machine_name, const char* path,
   verify::DiagnosticSink sink;
   audit::AuditOptions aopt;
   aopt.check_traffic = traffic;
+  aopt.check_ecm = ecm;
   const audit::BlockAudit a = audit::audit_program(
       prog, mm, path != nullptr ? path : "<stdin>", sink, aopt);
   if (json) {
@@ -1012,6 +1134,7 @@ int cmd_audit(int argc, char** argv) {
   bool verbose = false;
   bool all = false;
   bool traffic = false;
+  bool ecm = false;
   std::string machine_name;
   const char* file = nullptr;
   for (int i = 2; i < argc; ++i) {
@@ -1024,6 +1147,8 @@ int cmd_audit(int argc, char** argv) {
       all = true;
     } else if (a == "--traffic") {
       traffic = true;
+    } else if (a == "--ecm") {
+      ecm = true;
     } else if (a == "--machine-file") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "--machine-file needs a value\n");
@@ -1039,9 +1164,9 @@ int cmd_audit(int argc, char** argv) {
       file = argv[i];
     }
   }
-  if (all) return cmd_audit_all(json, verbose, traffic);
+  if (all) return cmd_audit_all(json, verbose, traffic, ecm);
   if (machine_name.empty()) return usage();
-  return cmd_audit_one(machine_name, file, json, verbose, traffic);
+  return cmd_audit_one(machine_name, file, json, verbose, traffic, ecm);
 }
 
 // ---------------------------------------------------------------- traffic
@@ -1172,7 +1297,7 @@ int main(int argc, char** argv) {
       return cmd_emit(argv[2], argv[3], argv[4], argv[5]);
     if (cmd == "tput" && argc == 4) return cmd_microbench(argv[2], argv[3], false);
     if (cmd == "lat" && argc == 4) return cmd_microbench(argv[2], argv[3], true);
-    if (cmd == "ecm" && argc >= 4) return cmd_ecm(argc, argv);
+    if (cmd == "ecm" && argc >= 3) return cmd_ecm(argc, argv);
     if (cmd == "dot" && argc >= 3)
       return cmd_dot(argv[2], argc > 3 ? argv[3] : nullptr);
     if (cmd == "timeline" && argc >= 3)
