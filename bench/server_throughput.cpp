@@ -1,0 +1,190 @@
+// Prediction-service throughput: how fast the staged pipeline answers
+// single-block requests, cold (every request parsed, analyzed and
+// evaluated) versus warm (repeated blocks served by the per-(hash, model)
+// memo) versus coalesced (identical requests submitted concurrently attach
+// to one in-flight job).  Reports per-stage p50/p99 from the service's own
+// StageClocks and puts the request rate next to the batch sweep's
+// cells/sec so the two entry points stay comparable.  The numbers land in
+// BENCH_3.json so successive PRs can diff them.
+//
+// Methodology: the request corpus is every unique block of the validation
+// matrix (dedup by machine+text hash, as the sweep engine does).  Cold runs
+// a fresh ServiceCore; warm replays the same corpus into the already-warm
+// core; coalesced submits each block several times back to back so the
+// copies are in flight together.  Each figure is the best of `kRepeats`
+// runs.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "driver/predictor.hpp"
+#include "driver/sweep.hpp"
+#include "server/core.hpp"
+#include "support/strings.hpp"
+#include "support/threadpool.hpp"
+
+using namespace incore;
+using support::format;
+
+namespace {
+
+constexpr int kRepeats = 3;
+constexpr int kCoalesceCopies = 4;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Submits every block once and waits for all of them; returns wall time.
+double run_corpus(server::ServiceCore& core,
+                  const std::vector<driver::Block>& corpus,
+                  const std::vector<const driver::Predictor*>& predictors,
+                  int copies) {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<server::JobHandle> jobs;
+  jobs.reserve(corpus.size() * static_cast<std::size_t>(copies));
+  for (const driver::Block& b : corpus) {
+    for (int c = 0; c < copies; ++c) {
+      server::JobRequest req;
+      req.block = b;
+      req.parsed = true;
+      req.predictors = predictors;
+      jobs.push_back(core.submit(std::move(req)));
+    }
+  }
+  for (const server::JobHandle& j : jobs) {
+    if (!j->wait().ok) {
+      std::fprintf(stderr, "job failed: %s\n", j->wait().error.c_str());
+    }
+  }
+  return seconds_since(t0);
+}
+
+}  // namespace
+
+int main() {
+  // The request corpus: each unique block of the full validation matrix.
+  const std::vector<kernels::Variant> matrix =
+      driver::filter_matrix(driver::SweepOptions{});
+  std::vector<driver::Block> corpus;
+  std::set<std::string> seen;
+  for (const kernels::Variant& v : matrix) {
+    driver::Block b = driver::make_block(v);
+    if (seen.insert(b.hash).second) corpus.push_back(std::move(b));
+  }
+
+  std::vector<std::unique_ptr<driver::Predictor>> owned;
+  std::vector<const driver::Predictor*> predictors;
+  for (driver::Model m : driver::all_models()) {
+    owned.push_back(driver::make_predictor(m));
+    predictors.push_back(owned.back().get());
+  }
+
+  server::ServiceConfig cfg;
+  cfg.evaluate_workers = std::max(1, support::ThreadPool::default_jobs());
+  cfg.finalize_workers = cfg.evaluate_workers;
+  cfg.queue_capacity = corpus.size() * kCoalesceCopies + 1;
+
+  // Cold: fresh core per repeat, every request does full work.
+  double cold_s = 0;
+  for (int rep = 0; rep < kRepeats; ++rep) {
+    server::ServiceCore core(cfg);
+    const double s = run_corpus(core, corpus, predictors, 1);
+    if (rep == 0 || s < cold_s) cold_s = s;
+  }
+
+  // Warm + stage profile: one core, corpus replayed onto a hot memo.  The
+  // stage percentiles are taken from this core (its window covers both the
+  // cold fill and the warm replay — the realistic running-daemon mix).
+  server::ServiceCore warm_core(cfg);
+  run_corpus(warm_core, corpus, predictors, 1);
+  double warm_s = 0;
+  for (int rep = 0; rep < kRepeats; ++rep) {
+    const double s = run_corpus(warm_core, corpus, predictors, 1);
+    if (rep == 0 || s < warm_s) warm_s = s;
+  }
+  const server::ServiceStats stats = warm_core.stats();
+
+  // Coalesced: fresh core, each block submitted kCoalesceCopies times back
+  // to back so the duplicates attach to the leader in flight.
+  double coal_s = 0;
+  std::uint64_t coal_hits = 0;
+  for (int rep = 0; rep < kRepeats; ++rep) {
+    server::ServiceCore core(cfg);
+    const double s = run_corpus(core, corpus, predictors, kCoalesceCopies);
+    if (rep == 0 || s < coal_s) {
+      coal_s = s;
+      coal_hits = core.stats().coalesced;
+    }
+  }
+
+  // Batch sweep reference: the same predictors driven by driver::sweep.
+  driver::SweepOptions sweep_opt;
+  sweep_opt.jobs = support::ThreadPool::default_jobs();
+  const auto t0 = std::chrono::steady_clock::now();
+  const driver::SweepResult sweep_r = driver::sweep(sweep_opt);
+  const double sweep_s = seconds_since(t0);
+
+  const auto n = static_cast<double>(corpus.size());
+  const double cold_rps = n / cold_s;
+  const double warm_rps = n / warm_s;
+  const double coal_rps = n * kCoalesceCopies / coal_s;
+  const double sweep_cps =
+      static_cast<double>(sweep_r.stats.cells) / sweep_s;
+
+  std::printf("service throughput (%zu unique blocks, 3 models)\n",
+              corpus.size());
+  std::printf("  cold      : %6.2f s  %8.1f req/s\n", cold_s, cold_rps);
+  std::printf("  memoized  : %6.2f s  %8.1f req/s\n", warm_s, warm_rps);
+  std::printf("  coalesced : %6.2f s  %8.1f req/s  (%llu attached)\n",
+              coal_s, coal_rps,
+              static_cast<unsigned long long>(coal_hits));
+  std::printf("  batch sweep reference: %6.2f s  %8.1f cells/s\n", sweep_s,
+              sweep_cps);
+  std::printf("  per-stage latency (warm core, ns):\n");
+  for (const server::StageStats& st : stats.stages) {
+    std::printf("    %-9s p50 %8lld  p99 %8lld  max queue %zu\n",
+                st.stage.c_str(), static_cast<long long>(st.p50_ns),
+                static_cast<long long>(st.p99_ns), st.max_queue_depth);
+  }
+
+  std::string json = "{\n";
+  json += "  \"benchmark\": \"server_throughput\",\n";
+  json += format("  \"unique_blocks\": %zu,\n", corpus.size());
+  json += format("  \"evaluate_workers\": %d,\n", cfg.evaluate_workers);
+  json += format("  \"cold_seconds\": %.4f,\n", cold_s);
+  json += format("  \"cold_requests_per_sec\": %.2f,\n", cold_rps);
+  json += format("  \"memoized_seconds\": %.4f,\n", warm_s);
+  json += format("  \"memoized_requests_per_sec\": %.2f,\n", warm_rps);
+  json += format("  \"coalesced_seconds\": %.4f,\n", coal_s);
+  json += format("  \"coalesced_requests_per_sec\": %.2f,\n", coal_rps);
+  json += format("  \"coalesced_attached\": %llu,\n",
+                 static_cast<unsigned long long>(coal_hits));
+  json += format("  \"sweep_seconds\": %.4f,\n", sweep_s);
+  json += format("  \"sweep_cells_per_sec\": %.2f,\n", sweep_cps);
+  json += "  \"stages\": {\n";
+  for (std::size_t s = 0; s < server::kStageCount; ++s) {
+    const server::StageStats& st = stats.stages[s];
+    json += format(
+        "    \"%s\": {\"p50_ns\": %lld, \"p99_ns\": %lld, "
+        "\"max_queue_depth\": %zu}%s\n",
+        st.stage.c_str(), static_cast<long long>(st.p50_ns),
+        static_cast<long long>(st.p99_ns), st.max_queue_depth,
+        s + 1 < server::kStageCount ? "," : "");
+  }
+  json += "  }\n";
+  json += "}\n";
+  std::FILE* f = std::fopen("BENCH_3.json", "w");
+  if (f != nullptr) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("wrote BENCH_3.json\n");
+  }
+  return 0;
+}

@@ -59,9 +59,8 @@ Block make_block(const kernels::Variant& v, const uarch::MachineModel& mm) {
   b.variant = v;
   b.gen = kernels::generate(v);
   b.mm = &mm;
-  b.text_hash = support::hex64(support::fnv1a64(b.gen.assembly));
-  b.hash = support::hex64(
-      support::fnv1a64(b.mm->name() + '\x01' + b.gen.assembly));
+  b.text_hash = support::text_key(b.gen.assembly);
+  b.hash = support::block_key(b.mm->name(), b.gen.assembly);
   return b;
 }
 
@@ -71,9 +70,8 @@ Block make_block(std::string assembly_text, const uarch::MachineModel& mm) {
   b.gen.program = asmir::parse(b.gen.assembly, mm.isa());
   b.gen.elements_per_iteration = 1;
   b.mm = &mm;
-  b.text_hash = support::hex64(support::fnv1a64(b.gen.assembly));
-  b.hash =
-      support::hex64(support::fnv1a64(mm.name() + '\x01' + b.gen.assembly));
+  b.text_hash = support::text_key(b.gen.assembly);
+  b.hash = support::block_key(mm.name(), b.gen.assembly);
   return b;
 }
 
@@ -157,8 +155,14 @@ ecm::Prediction analytic_ecm_for(const Block& b,
   static std::mutex mu;
   static std::map<std::string, ecm::Prediction> memo;
   const uarch::HierarchyParams& h = b.mm->hierarchy;
+  // One hash definition everywhere (support::block_key): reuse the sweep's
+  // dedup key when the block carries it, re-derive it through the same
+  // helper when the block was built without one (raw predict() calls).
+  const std::string block_hash =
+      b.hash.empty() ? support::block_key(b.mm->name(), b.gen.assembly)
+                     : b.hash;
   const std::string key =
-      b.hash + support::format("|%.17g|%.17g|%.17g|%.17g|%d|%d",
+      block_hash + support::format("|%.17g|%.17g|%.17g|%.17g|%d|%d",
                                h.cy_per_cl_l1_l2, h.cy_per_cl_l2_l3,
                                h.cy_per_cl_l3_mem, h.socket_cl_per_cy,
                                h.socket_cores,

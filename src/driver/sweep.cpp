@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "report/json.hpp"
+#include "server/core.hpp"
 #include "support/csv.hpp"
 #include "support/error.hpp"
 #include "support/strings.hpp"
@@ -56,7 +57,7 @@ const Prediction* SweepResult::find(const SweepRow& row,
 SweepResult sweep(const std::vector<kernels::Variant>& matrix,
                   const std::vector<const Predictor*>& predictors, int jobs,
                   const MachineResolver& machines, const AuditHook& audit,
-                  const TrafficHook& traffic) {
+                  const TrafficHook& traffic, server::ServiceCore* service) {
   SweepResult r;
   r.model_ids.reserve(predictors.size());
   for (const Predictor* p : predictors) r.model_ids.push_back(p->id());
@@ -75,38 +76,58 @@ SweepResult sweep(const std::vector<kernels::Variant>& matrix,
     cell_block.push_back(it->second);
   }
 
-  // Phase 3 (parallel): one task per (unique block, predictor), memoized
-  // into a pre-sized slot table indexed by block*P + predictor.  Slot
-  // discipline keeps the result independent of scheduling.
+  // Phase 3 (pipelined): one service job per unique block — the pipeline
+  // runs the predictors in the evaluate stage and the audit/traffic hooks
+  // in the finalize stage, so block k+1 can be evaluating while block k is
+  // still being audited.  Results land in a pre-sized slot table indexed by
+  // block*P + predictor; slot discipline keeps the output byte-identical
+  // for any jobs value.
   const std::size_t P = predictors.size();
   std::vector<Prediction> memo(r.blocks.size() * P);
   const auto t0 = std::chrono::steady_clock::now();
-  support::parallel_for(
-      memo.size(), jobs,
-      [&](std::size_t t) {
-        const Block& b = r.blocks[t / P];
-        memo[t] = predictors[t % P]->predict(b);  // never throws
-      });
+  {
+    std::unique_ptr<server::ServiceCore> owned_core;
+    if (service == nullptr) {
+      // Batch mode: a private pipeline sized like the old flat worker pool
+      // (the evaluators and the finalize hooks are where the time goes),
+      // torn down on return.  A daemon passes its long-lived core instead.
+      server::ServiceConfig cfg;
+      cfg.evaluate_workers = std::max(1, jobs);
+      cfg.finalize_workers = std::max(1, jobs);
+      cfg.queue_capacity = std::max<std::size_t>(r.blocks.size() + 1, 16);
+      owned_core = std::make_unique<server::ServiceCore>(cfg);
+      service = owned_core.get();
+    }
+    std::vector<server::JobHandle> handles;
+    handles.reserve(r.blocks.size());
+    for (const Block& b : r.blocks) {
+      server::JobRequest req;
+      req.block = b;
+      req.parsed = true;  // codegen output arrives parsed
+      req.predictors = predictors;
+      req.audit = audit;
+      req.traffic = traffic;
+      handles.push_back(service->submit(std::move(req)));
+    }
+    if (audit) r.audit_verdicts.assign(r.blocks.size(), std::string());
+    if (traffic) r.traffic_lines.assign(r.blocks.size(), std::string());
+    for (std::size_t i = 0; i < handles.size(); ++i) {
+      const server::JobResult& res = handles[i]->wait();
+      if (!res.ok) {
+        // Pipeline-level failure (a hook threw, or the service stopped).
+        // Predictor failures are *not* job failures; they arrive per
+        // Prediction below, exactly as before.
+        throw support::ModelError("sweep: block " + r.blocks[i].hash +
+                                  ": " + res.error);
+      }
+      for (std::size_t m = 0; m < P; ++m) memo[i * P + m] = res.predictions[m];
+      if (audit) r.audit_verdicts[i] = res.audit_verdict;
+      if (traffic) r.traffic_lines[i] = res.traffic_line;
+    }
+  }
   r.stats.wall_time_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
                              std::chrono::steady_clock::now() - t0)
                              .count();
-
-  // Optional audit pass: one verdict per unique block, same slot
-  // discipline, so the verdict column is --jobs-independent too.
-  if (audit) {
-    r.audit_verdicts.assign(r.blocks.size(), std::string());
-    support::parallel_for(r.blocks.size(), jobs, [&](std::size_t i) {
-      r.audit_verdicts[i] = audit(r.blocks[i]);
-    });
-  }
-
-  // Optional traffic pass, same slot discipline as the audit pass.
-  if (traffic) {
-    r.traffic_lines.assign(r.blocks.size(), std::string());
-    support::parallel_for(r.blocks.size(), jobs, [&](std::size_t i) {
-      r.traffic_lines[i] = traffic(r.blocks[i]);
-    });
-  }
 
   // Phase 4 (serial): matrix-ordered rows referencing the memoized results.
   r.rows.reserve(matrix.size());
@@ -133,7 +154,7 @@ SweepResult sweep(const std::vector<kernels::Variant>& matrix,
   return r;
 }
 
-SweepResult sweep(const SweepOptions& opt) {
+SweepResult sweep(const SweepOptions& opt, server::ServiceCore* service) {
   const std::vector<Model>& models =
       opt.models.empty() ? all_models() : opt.models;
   std::vector<std::unique_ptr<Predictor>> owned;
@@ -171,7 +192,7 @@ SweepResult sweep(const SweepOptions& opt) {
     };
   }
   return sweep(filter_matrix(opt), predictors, opt.jobs, resolver, opt.audit,
-               opt.traffic);
+               opt.traffic, service);
 }
 
 // ------------------------------------------------------------------- output

@@ -22,6 +22,10 @@
 #include "report/report.hpp"
 #include "uarch/registry.hpp"
 
+namespace incore::server {
+class ServiceCore;  // the staged prediction pipeline (server/core.hpp)
+}  // namespace incore::server
+
 namespace incore::driver {
 
 /// Optional prediction-audit hook: called once per *unique* block after the
@@ -114,17 +118,27 @@ using MachineResolver =
     std::function<const uarch::MachineModel&(uarch::Micro)>;
 
 /// Core entry point: evaluates `matrix` against `predictors` (non-owning;
-/// must outlive the call) on `jobs` workers.
+/// must outlive the call) by submitting every unique block to the staged
+/// service pipeline (server::ServiceCore) and draining the handles in
+/// first-seen block order — the batch sweep is "submit all cells, drain"
+/// over the same core the incore-server daemon runs.  `service` selects the
+/// pipeline: nullptr (the default, and the batch CLI path) spins up a
+/// private core with `jobs` evaluate/finalize workers and tears it down on
+/// return; a daemon passes its long-lived core so concurrent sweeps share
+/// its memo and coalescer.  Slot discipline keeps the result byte-identical
+/// for any jobs value or core configuration.
 [[nodiscard]] SweepResult sweep(const std::vector<kernels::Variant>& matrix,
                                 const std::vector<const Predictor*>& predictors,
                                 int jobs = 1,
                                 const MachineResolver& machines = {},
                                 const AuditHook& audit = {},
-                                const TrafficHook& traffic = {});
+                                const TrafficHook& traffic = {},
+                                server::ServiceCore* service = nullptr);
 
 /// Convenience: builds the filtered matrix and the standard model
 /// predictors from the options.
-[[nodiscard]] SweepResult sweep(const SweepOptions& opt);
+[[nodiscard]] SweepResult sweep(const SweepOptions& opt,
+                                server::ServiceCore* service = nullptr);
 
 // ---------------------------------------------------------------- reporting
 

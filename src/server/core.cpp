@@ -1,0 +1,325 @@
+#include "server/core.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <utility>
+
+#include "asmir/parser.hpp"
+#include "dataflow/dataflow.hpp"
+#include "support/hash.hpp"
+
+namespace incore::server {
+
+namespace {
+
+[[nodiscard]] std::int64_t elapsed_ns(
+    std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+const char* to_string(Stage s) {
+  switch (s) {
+    case Stage::Parse: return "parse";
+    case Stage::Dataflow: return "dataflow";
+    case Stage::Evaluate: return "evaluate";
+    case Stage::Finalize: return "finalize";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------- Job
+
+const JobResult& Job::wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return done_; });
+  return res_;
+}
+
+bool Job::done() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return done_;
+}
+
+// -------------------------------------------------------------- ServiceCore
+
+ServiceCore::ServiceCore(ServiceConfig cfg) : cfg_(cfg) {
+  cfg_.parse_workers = std::max(1, cfg_.parse_workers);
+  cfg_.dataflow_workers = std::max(1, cfg_.dataflow_workers);
+  cfg_.evaluate_workers = std::max(1, cfg_.evaluate_workers);
+  cfg_.finalize_workers = std::max(1, cfg_.finalize_workers);
+  for (std::size_t s = 0; s < kStageCount; ++s) {
+    queues_.push_back(std::make_unique<support::BoundedQueue<JobHandle>>(
+        cfg_.queue_capacity));
+    clocks_[s] = std::make_unique<support::StageClock>(cfg_.latency_window);
+  }
+  const int workers[] = {cfg_.parse_workers, cfg_.dataflow_workers,
+                         cfg_.evaluate_workers, cfg_.finalize_workers};
+  int total = 0;
+  for (int w : workers) total += w;
+  pool_ = std::make_unique<support::ThreadPool>(total);
+  for (std::size_t s = 0; s < kStageCount; ++s) {
+    for (int w = 0; w < workers[s]; ++w) {
+      pool_->submit([this, s] { stage_worker(static_cast<Stage>(s)); });
+    }
+  }
+}
+
+ServiceCore::~ServiceCore() { shutdown(); }
+
+std::string ServiceCore::coalesce_key(const JobRequest& req) const {
+  std::string key = req.block.hash;
+  for (const driver::Predictor* p : req.predictors) {
+    key += '|';
+    key += p->id();
+  }
+  key += req.audit ? "|A" : "|-";
+  key += req.traffic ? "T" : "-";
+  return key;
+}
+
+JobRequest ServiceCore::text_request(
+    std::string assembly, const uarch::MachineModel& mm,
+    std::vector<const driver::Predictor*> predictors, BlockHook audit,
+    BlockHook traffic) {
+  JobRequest req;
+  req.block.gen.assembly = std::move(assembly);
+  req.block.gen.elements_per_iteration = 1;
+  req.block.mm = &mm;
+  req.block.text_hash = support::text_key(req.block.gen.assembly);
+  req.block.hash = support::block_key(mm.name(), req.block.gen.assembly);
+  req.parsed = false;
+  req.predictors = std::move(predictors);
+  req.audit = std::move(audit);
+  req.traffic = std::move(traffic);
+  return req;
+}
+
+JobHandle ServiceCore::submit(JobRequest req) {
+  auto job = std::make_shared<Job>();
+  job->req_ = std::move(req);
+  if (job->req_.block.hash.empty()) {
+    // Blocks built outside make_block (raw predict_program-style callers)
+    // still get the canonical dedup identity.
+    job->req_.block.hash = support::block_key(job->req_.block.mm->name(),
+                                              job->req_.block.gen.assembly);
+  }
+  job->key_ = coalesce_key(job->req_);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++submitted_;
+    if (stopped_) {
+      ++failed_;
+      lock.unlock();
+      job->res_.ok = false;
+      job->res_.error = "service stopped";
+      const std::lock_guard<std::mutex> jlock(job->mu_);
+      job->done_ = true;
+      job->cv_.notify_all();
+      return job;
+    }
+    ++pending_;
+    auto it = in_flight_jobs_.find(job->key_);
+    if (it != in_flight_jobs_.end()) {
+      if (JobHandle leader = it->second.lock()) {
+        // Identical request in flight: ride along instead of re-entering
+        // the pipeline.  complete() copies the leader's result over.
+        leader->followers_.push_back(job);
+        ++coalesced_;
+        return job;
+      }
+    }
+    in_flight_jobs_[job->key_] = job;
+  }
+  if (!queues_[0]->push(job)) {
+    job->res_.ok = false;
+    job->res_.error = "service stopped";
+    complete(job);
+  }
+  return job;
+}
+
+void ServiceCore::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_idle_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void ServiceCore::shutdown() {
+  drain();
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stopped_ = true;
+  }
+  for (auto& q : queues_) q->close();
+  pool_->stop();
+}
+
+void ServiceCore::stage_worker(Stage s) {
+  auto& queue = *queues_[static_cast<std::size_t>(s)];
+  while (auto job = queue.pop()) {
+    if (!run_stage(s, *job)) continue;  // failed or finalized
+    const auto next = static_cast<std::size_t>(s) + 1;
+    if (!queues_[next]->push(*job)) {
+      (*job)->res_.ok = false;
+      (*job)->res_.error = "service stopped";
+      complete(*job);
+    }
+  }
+}
+
+bool ServiceCore::run_stage(Stage s, const JobHandle& job) {
+  const std::size_t si = static_cast<std::size_t>(s);
+  const auto t0 = std::chrono::steady_clock::now();
+  in_flight_[si].fetch_add(1, std::memory_order_relaxed);
+  bool failed = false;
+  JobRequest& req = job->req_;
+  JobResult& res = job->res_;
+  switch (s) {
+    case Stage::Parse: {
+      if (!req.parsed) {
+        try {
+          req.block.gen.program =
+              asmir::parse(req.block.gen.assembly, req.block.mm->isa());
+          req.parsed = true;
+        } catch (const std::exception& e) {
+          res.error = e.what();
+          failed = true;
+        }
+      }
+      if (!failed && req.block.gen.program.empty()) {
+        res.error = "no instructions parsed";
+        failed = true;
+      }
+      break;
+    }
+    case Stage::Dataflow: {
+      // Advisory digest: a program the dataflow pass cannot digest still
+      // proceeds to the evaluators (they have their own error channel).
+      try {
+        const dataflow::Analysis df = dataflow::analyze(req.block.gen.program);
+        res.instructions = df.instrs.size();
+        res.defuse_edges = df.chains.size();
+      } catch (const std::exception&) {
+        res.instructions = req.block.gen.program.size();
+        res.defuse_edges = 0;
+      }
+      break;
+    }
+    case Stage::Evaluate: {
+      res.predictions.reserve(req.predictors.size());
+      for (const driver::Predictor* p : req.predictors) {
+        const std::string memo_key = req.block.hash + '|' + p->id();
+        bool hit = false;
+        {
+          const std::lock_guard<std::mutex> lock(memo_mu_);
+          auto it = memo_.find(memo_key);
+          if (it != memo_.end()) {
+            res.predictions.push_back(it->second);
+            ++memo_hits_;
+            hit = true;
+          }
+        }
+        if (hit) continue;
+        driver::Prediction pred = p->predict(req.block);  // never throws
+        {
+          const std::lock_guard<std::mutex> lock(memo_mu_);
+          memo_.emplace(memo_key, pred);
+        }
+        res.predictions.push_back(std::move(pred));
+      }
+      break;
+    }
+    case Stage::Finalize: {
+      // The hooks promise thread-safety but not noexcept; a throwing hook
+      // fails the job rather than the worker.
+      try {
+        if (req.audit) res.audit_verdict = req.audit(req.block);
+        if (req.traffic) res.traffic_line = req.traffic(req.block);
+      } catch (const std::exception& e) {
+        res.error = e.what();
+        failed = true;
+      }
+      if (!failed) res.ok = true;
+      break;
+    }
+  }
+  const std::int64_t ns = elapsed_ns(t0);
+  res.stage_ns[si] = ns;
+  clocks_[si]->record(ns);
+  in_flight_[si].fetch_sub(1, std::memory_order_relaxed);
+  stage_done_[si].fetch_add(1, std::memory_order_relaxed);
+  if (failed || s == Stage::Finalize) {
+    complete(job);
+    return false;
+  }
+  return true;
+}
+
+void ServiceCore::complete(const JobHandle& job) {
+  std::vector<JobHandle> followers;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    in_flight_jobs_.erase(job->key_);
+    followers = std::move(job->followers_);
+    job->followers_.clear();
+    const std::size_t n = 1 + followers.size();
+    completed_ += n;
+    if (!job->res_.ok) failed_ += n;
+    pending_ -= n;
+    if (pending_ == 0) cv_idle_.notify_all();
+  }
+  for (const JobHandle& f : followers) {
+    f->res_ = job->res_;
+    f->res_.coalesced = true;
+    const std::lock_guard<std::mutex> lock(f->mu_);
+    f->done_ = true;
+    f->cv_.notify_all();
+  }
+  const std::lock_guard<std::mutex> lock(job->mu_);
+  job->done_ = true;
+  job->cv_.notify_all();
+}
+
+ServiceStats ServiceCore::stats() const {
+  ServiceStats st;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    st.submitted = submitted_;
+    st.completed = completed_;
+    st.failed = failed_;
+    st.coalesced = coalesced_;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(memo_mu_);
+    st.memo_hits = memo_hits_;
+    st.memo_size = memo_.size();
+  }
+  std::size_t best_depth = 0;
+  std::int64_t best_busy = -1;
+  for (std::size_t s = 0; s < kStageCount; ++s) {
+    StageStats& out = st.stages[s];
+    const support::StageClock::Snapshot snap = clocks_[s]->snapshot();
+    out.stage = to_string(static_cast<Stage>(s));
+    out.count = stage_done_[s].load(std::memory_order_relaxed);
+    out.in_flight = in_flight_[s].load(std::memory_order_relaxed);
+    out.queue_depth = queues_[s]->depth();
+    out.max_queue_depth = queues_[s]->max_depth();
+    out.p50_ns = snap.p50_ns;
+    out.p99_ns = snap.p99_ns;
+    out.total_ns = snap.total_ns;
+    out.max_ns = snap.max_ns;
+    if (out.queue_depth > best_depth ||
+        (out.queue_depth == best_depth && out.total_ns > best_busy)) {
+      best_depth = out.queue_depth;
+      best_busy = out.total_ns;
+      st.saturation_stage = static_cast<Stage>(s);
+    }
+  }
+  return st;
+}
+
+}  // namespace incore::server

@@ -1,0 +1,222 @@
+#pragma once
+// The prediction service core: a staged pipeline that turns "assembly text
+// on a machine model" into predictions, audits and traffic summaries —
+// session-independent, so both the batch sweep engine (driver::sweep) and
+// the long-running incore-server daemon are thin clients of the same code.
+//
+// Pipeline:
+//
+//    submit -> [parse] -> [dataflow] -> [evaluate] -> [finalize] -> done
+//
+// Stages of *different* requests execute concurrently: each stage owns a
+// bounded MPMC inbound queue (support::BoundedQueue) and a fixed number of
+// workers on one support::ThreadPool, so request B can be parsing while
+// request A is still evaluating.  A full queue stalls the producers above
+// it (and ultimately submit()) — backpressure instead of unbounded buffering.
+//
+// Two reuse layers keep repeated traffic cheap, both keyed on the FNV-1a
+// content hash (support::block_key — the same key the sweep engine dedups
+// with):
+//  * request coalescing: an identical request (same block hash, same
+//    predictor set, same hook flags) arriving while one is in flight
+//    attaches to it and shares the result — one evaluation, N replies;
+//  * the per-(hash, predictor) memo: distinct requests over the same block
+//    reuse each predictor's Prediction.
+//
+// Instrumentation: a support::StageClock per stage (count, p50/p99, total,
+// max), live queue depths and high-water marks, and the saturation stage —
+// where the pipeline is backing up right now.
+//
+// Thread-safety: submit(), drain(), stats() and Job::wait() may be called
+// from any thread.  Machine models and predictors are borrowed and must
+// outlive every job that references them.
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "driver/predictor.hpp"
+#include "support/queue.hpp"
+#include "support/stageclock.hpp"
+#include "support/threadpool.hpp"
+
+namespace incore::server {
+
+enum class Stage : std::uint8_t { Parse = 0, Dataflow, Evaluate, Finalize };
+inline constexpr std::size_t kStageCount = 4;
+[[nodiscard]] const char* to_string(Stage s);
+
+/// Optional per-block pass run in the finalize stage, same contract as the
+/// sweep engine's hooks: must be thread-safe, returns a short summary
+/// string.  The core stays audit/traffic-agnostic — clients install
+/// audit::audit_block / traffic::analyze here.
+using BlockHook = std::function<std::string(const driver::Block&)>;
+
+struct ServiceConfig {
+  /// Workers per stage.  Parse and dataflow are microsecond stages; the
+  /// evaluators and the finalize hooks (audit re-runs every model) are
+  /// where the time goes.
+  int parse_workers = 1;
+  int dataflow_workers = 1;
+  int evaluate_workers = 2;
+  int finalize_workers = 2;
+  /// Capacity of each stage's inbound queue; a full parse queue blocks
+  /// submit() — the service's backpressure boundary.
+  std::size_t queue_capacity = 256;
+  /// StageClock sample window for the p50/p99 estimates.
+  std::size_t latency_window = 4096;
+};
+
+/// One request: a block (pre-built by the batch sweep, or raw text parsed
+/// in the pipeline's parse stage) plus what to run on it.
+struct JobRequest {
+  driver::Block block;
+  /// False for raw-text requests: the parse stage runs asmir::parse.  The
+  /// batch sweep submits codegen output, which is already parsed.
+  bool parsed = false;
+  /// Predictors to evaluate, in reply order (borrowed; may be empty for
+  /// audit-/traffic-only requests).
+  std::vector<const driver::Predictor*> predictors;
+  BlockHook audit;    // optional -> JobResult::audit_verdict
+  BlockHook traffic;  // optional -> JobResult::traffic_line
+};
+
+struct JobResult {
+  /// Pipeline-level success.  Individual predictor failures are *not* job
+  /// failures — they are reported per Prediction, as in the sweep.
+  bool ok = false;
+  std::string error;               // set when !ok (parse error, shutdown)
+  std::vector<driver::Prediction> predictions;  // JobRequest order
+  std::string audit_verdict;       // when an audit hook was installed
+  std::string traffic_line;        // when a traffic hook was installed
+  /// Dataflow digest from stage 2 (0 when the pass was inapplicable).
+  std::size_t instructions = 0;
+  std::size_t defuse_edges = 0;
+  /// True when this request attached to an identical in-flight one and
+  /// shares its result.
+  bool coalesced = false;
+  /// Wall time this job spent inside each stage (followers inherit the
+  /// leader's).
+  std::array<std::int64_t, kStageCount> stage_ns{};
+};
+
+/// Handle returned by submit(): wait() blocks until the pipeline finished
+/// the job (or its coalescing leader) and returns the result.
+class Job {
+ public:
+  const JobResult& wait();
+  [[nodiscard]] bool done() const;
+  [[nodiscard]] const driver::Block& block() const { return req_.block; }
+
+ private:
+  friend class ServiceCore;
+  JobRequest req_;
+  JobResult res_;
+  std::string key_;  // coalescing key; indexes ServiceCore::in_flight_jobs_
+  std::vector<std::shared_ptr<Job>> followers_;  // coalesced onto this job
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool done_ = false;
+};
+
+using JobHandle = std::shared_ptr<Job>;
+
+struct StageStats {
+  std::string stage;            // stage name ("parse", ...)
+  std::uint64_t count = 0;      // jobs that completed this stage
+  std::size_t in_flight = 0;    // jobs executing the stage right now
+  std::size_t queue_depth = 0;  // jobs waiting in the inbound queue
+  std::size_t max_queue_depth = 0;
+  std::int64_t p50_ns = 0;
+  std::int64_t p99_ns = 0;
+  std::int64_t total_ns = 0;
+  std::int64_t max_ns = 0;
+};
+
+struct ServiceStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;      // jobs with !ok
+  std::uint64_t coalesced = 0;   // requests that attached to an in-flight twin
+  std::uint64_t memo_hits = 0;   // predictor calls served from the memo
+  std::size_t memo_size = 0;     // distinct (hash, predictor) entries held
+  std::array<StageStats, kStageCount> stages;
+  /// The stage the pipeline is currently backing up behind: deepest
+  /// inbound queue, ties broken by largest total busy time.
+  Stage saturation_stage = Stage::Parse;
+};
+
+class ServiceCore {
+ public:
+  explicit ServiceCore(ServiceConfig cfg = {});
+  ~ServiceCore();
+
+  ServiceCore(const ServiceCore&) = delete;
+  ServiceCore& operator=(const ServiceCore&) = delete;
+
+  /// Enqueues a request.  Blocks when the parse queue is full
+  /// (backpressure).  Identical in-flight requests coalesce; an identical
+  /// *completed* block still reuses predictions through the memo.  After
+  /// shutdown() the job completes immediately with an error result.
+  JobHandle submit(JobRequest req);
+
+  /// Blocks until every job submitted so far completed.
+  void drain();
+
+  /// Graceful stop: drains, closes every stage queue and joins the
+  /// workers.  Idempotent; called by the destructor.
+  void shutdown();
+
+  [[nodiscard]] ServiceStats stats() const;
+
+  /// Convenience: build a raw-text JobRequest (hashing the text with
+  /// support::block_key so coalescing and memoization apply).
+  [[nodiscard]] static JobRequest text_request(
+      std::string assembly, const uarch::MachineModel& mm,
+      std::vector<const driver::Predictor*> predictors, BlockHook audit = {},
+      BlockHook traffic = {});
+
+ private:
+  void stage_worker(Stage s);
+  /// Runs one stage on one job; returns false when the job must not move
+  /// further down the pipeline (failed or finalized).
+  bool run_stage(Stage s, const JobHandle& job);
+  void complete(const JobHandle& job);
+  [[nodiscard]] std::string coalesce_key(const JobRequest& req) const;
+
+  ServiceConfig cfg_;
+  std::vector<std::unique_ptr<support::BoundedQueue<JobHandle>>> queues_;
+  std::array<std::unique_ptr<support::StageClock>, kStageCount> clocks_;
+  std::array<std::atomic<std::size_t>, kStageCount> in_flight_{};
+  std::array<std::atomic<std::uint64_t>, kStageCount> stage_done_{};
+
+  // Coalescing and completion bookkeeping.
+  mutable std::mutex mu_;
+  std::condition_variable cv_idle_;  // signals drain(): pending == 0
+  std::unordered_map<std::string, std::weak_ptr<Job>> in_flight_jobs_;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t failed_ = 0;
+  std::uint64_t coalesced_ = 0;
+  std::size_t pending_ = 0;  // submitted (incl. followers) not yet done
+  bool stopped_ = false;
+
+  // The per-(block hash, predictor id) memo — the sweep engine's FNV-1a
+  // memoization, promoted to the service layer.
+  mutable std::mutex memo_mu_;
+  std::unordered_map<std::string, driver::Prediction> memo_;
+  std::uint64_t memo_hits_ = 0;
+
+  /// Stage workers live here; constructed last, stopped first.
+  std::unique_ptr<support::ThreadPool> pool_;
+};
+
+}  // namespace incore::server

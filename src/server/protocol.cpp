@@ -1,0 +1,426 @@
+#include "server/protocol.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+
+#include "audit/audit.hpp"
+#include "driver/sweep.hpp"
+#include "report/json.hpp"
+#include "support/strings.hpp"
+#include "traffic/traffic.hpp"
+#include "uarch/registry.hpp"
+#include "verify/diagnostics.hpp"
+
+namespace incore::server {
+
+using support::format;
+
+// ---------------------------------------------------------------- framing
+
+namespace {
+
+constexpr std::string_view kMagic = "INCORE ";
+
+}  // namespace
+
+std::string encode_frame(const std::string& body) {
+  std::string out;
+  out.reserve(body.size() + 24);
+  out += kMagic;
+  out += format("%zu", body.size());
+  out += '\n';
+  out += body;
+  return out;
+}
+
+void FrameReader::feed(const char* data, std::size_t n) {
+  if (failed_) return;
+  buf_.append(data, n);
+  for (;;) {
+    const std::size_t nl = buf_.find('\n');
+    if (nl == std::string::npos) {
+      // An unterminated header can only grow so large before it is
+      // provably not a frame header.
+      if (buf_.size() > kMagic.size() + 24) {
+        failed_ = true;
+        error_ = "malformed frame header (no newline)";
+      }
+      return;
+    }
+    const std::string_view header(buf_.data(), nl);
+    if (header.substr(0, kMagic.size()) != kMagic) {
+      failed_ = true;
+      error_ = "malformed frame header (expected 'INCORE <length>')";
+      return;
+    }
+    const std::string_view len_text = header.substr(kMagic.size());
+    if (len_text.empty() ||
+        len_text.find_first_not_of("0123456789") != std::string_view::npos) {
+      failed_ = true;
+      error_ = "malformed frame length '" + std::string(len_text) + "'";
+      return;
+    }
+    const unsigned long long len = std::strtoull(
+        std::string(len_text).c_str(), nullptr, 10);
+    if (len > kMaxFrameBytes) {
+      failed_ = true;
+      error_ = format("frame of %llu bytes exceeds the %zu byte limit", len,
+                      kMaxFrameBytes);
+      return;
+    }
+    if (buf_.size() - nl - 1 < len) return;  // body still incomplete
+    ready_.push_back(buf_.substr(nl + 1, len));
+    buf_.erase(0, nl + 1 + len);
+  }
+}
+
+bool FrameReader::take(std::string& body) {
+  if (ready_.empty()) return false;
+  body = std::move(ready_.front());
+  ready_.erase(ready_.begin());
+  return true;
+}
+
+// ----------------------------------------------------------------- replies
+
+std::string error_reply(const std::string& message) {
+  return "{\"ok\": false, \"error\": \"" + report::json_escape(message) +
+         "\"}\n";
+}
+
+namespace {
+
+/// One model's verdict, in the sweep JSON dialect.
+std::string prediction_json(const driver::Prediction& p) {
+  if (!p.ok) {
+    return format("{\"ok\": false, \"error\": \"%s\"}",
+                  report::json_escape(p.error).c_str());
+  }
+  std::string out = format("{\"ok\": true, \"cycles_per_iteration\": %.6g",
+                           p.cycles_per_iteration);
+  if (p.scope != driver::PredictionScope::InCore) {
+    out += format(", \"scope\": \"%s\", \"cores\": %d, "
+                  "\"saturation_cores\": %d",
+                  to_string(p.scope), p.cores, p.saturation_cores);
+  }
+  if (p.throughput_cycles > 0 || p.loop_carried_cycles > 0 ||
+      p.critical_path_cycles > 0) {
+    out += format(", \"throughput_cycles\": %.6g, \"loop_carried_cycles\": "
+                  "%.6g, \"critical_path_cycles\": %.6g",
+                  p.throughput_cycles, p.loop_carried_cycles,
+                  p.critical_path_cycles);
+  }
+  return out + "}";
+}
+
+std::string stage_ns_json(const JobResult& res) {
+  std::string out = "{";
+  for (std::size_t s = 0; s < kStageCount; ++s) {
+    out += format("%s\"%s\": %lld", s ? ", " : "",
+                  to_string(static_cast<Stage>(s)),
+                  static_cast<long long>(res.stage_ns[s]));
+  }
+  return out + "}";
+}
+
+/// Shared result envelope of the per-block commands.
+std::string block_reply_prefix(const std::string& kind,
+                               const uarch::MachineModel& mm,
+                               const driver::Block& block,
+                               const JobResult& res) {
+  return format("{\"ok\": true, \"kind\": \"%s\", \"machine\": \"%s\", "
+                "\"block_hash\": \"%s\", \"instructions\": %zu, "
+                "\"defuse_edges\": %zu, \"coalesced\": %s, ",
+                kind.c_str(), std::string(mm.name()).c_str(),
+                block.hash.c_str(), res.instructions, res.defuse_edges,
+                res.coalesced ? "true" : "false");
+}
+
+/// The sweep engine's --traffic column line.
+std::string traffic_line(const driver::Block& b) {
+  const traffic::Result r = traffic::analyze(b.gen.program, *b.mm);
+  return format("%.3fr+%.3fw%s", r.volumes.mem_read, r.volumes.mem_write,
+                r.exact ? "" : "+");
+}
+
+std::string audit_verdict(const driver::Block& b) {
+  verify::DiagnosticSink sink;
+  return audit::verdict_string(audit::audit_block(b, sink));
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ ServerContext
+
+ServerContext::ServerContext(ServiceConfig cfg) : core_(cfg) {
+  for (driver::Model m : driver::all_models()) {
+    owned_.push_back(driver::make_predictor(m));
+    models_.push_back(owned_.back().get());
+  }
+  for (auto loc : {ecm::DataLocation::L1, ecm::DataLocation::L2,
+                   ecm::DataLocation::L3, ecm::DataLocation::Memory}) {
+    owned_.push_back(std::make_unique<driver::EcmPredictor>(loc));
+    ecm_.push_back(owned_.back().get());
+  }
+}
+
+ServerContext::~ServerContext() = default;
+
+std::uint64_t ServerContext::requests() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return requests_;
+}
+
+std::uint64_t ServerContext::errors() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return errors_;
+}
+
+std::string ServerContext::handle(const std::string& body, bool& shutdown) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++requests_;
+  }
+  std::string reply;
+  try {
+    const std::size_t nl = body.find('\n');
+    const std::string head =
+        std::string(support::trim(nl == std::string::npos
+                                      ? std::string_view(body)
+                                      : std::string_view(body).substr(0, nl)));
+    const std::string payload = nl == std::string::npos
+                                    ? std::string()
+                                    : body.substr(nl + 1);
+    const std::size_t sp = head.find(' ');
+    const std::string cmd = head.substr(0, sp);
+    const std::string args =
+        sp == std::string::npos
+            ? std::string()
+            : std::string(support::trim(head.substr(sp + 1)));
+    if (cmd == "ping") {
+      reply = "{\"ok\": true, \"kind\": \"pong\"}\n";
+    } else if (cmd == "stats") {
+      reply = handle_stats();
+    } else if (cmd == "shutdown") {
+      shutdown = true;
+      reply = "{\"ok\": true, \"kind\": \"shutdown\"}\n";
+    } else if (cmd == "sweep") {
+      reply = handle_sweep(args);
+    } else if (cmd == "analyze" || cmd == "audit" || cmd == "traffic" ||
+               cmd == "ecm") {
+      reply = handle_block_command(cmd, args, payload);
+    } else if (cmd.empty()) {
+      reply = error_reply("empty request");
+    } else {
+      reply = error_reply("unknown command '" + cmd +
+                          "' (known: ping analyze audit traffic ecm sweep "
+                          "stats shutdown)");
+    }
+  } catch (const std::exception& e) {
+    reply = error_reply(e.what());
+  }
+  if (reply.rfind("{\"ok\": false", 0) == 0) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++errors_;
+  }
+  return reply;
+}
+
+std::string ServerContext::handle_block_command(const std::string& cmd,
+                                                const std::string& args,
+                                                const std::string& payload) {
+  if (args.empty()) {
+    return error_reply(cmd + ": expected a machine name (or .mdf path)");
+  }
+  uarch::MachineRef ref;
+  if (!uarch::try_resolve_machine(args, ref)) {
+    return error_reply(cmd + ": unknown machine '" + args + "' (known: " +
+                       uarch::machine_names_help() + ")");
+  }
+  if (support::trim(payload).empty()) {
+    return error_reply(cmd + ": empty assembly payload");
+  }
+  const uarch::MachineModel& mm = *ref.model;
+  std::vector<const driver::Predictor*> predictors;
+  BlockHook audit_hook;
+  BlockHook traffic_hook;
+  if (cmd == "analyze") {
+    predictors = models_;
+  } else if (cmd == "ecm") {
+    predictors = ecm_;
+  } else if (cmd == "audit") {
+    audit_hook = audit_verdict;
+  } else {
+    traffic_hook = traffic_line;
+  }
+  JobHandle job = core_.submit(ServiceCore::text_request(
+      payload, mm, std::move(predictors), std::move(audit_hook),
+      std::move(traffic_hook)));
+  const JobResult& res = job->wait();
+  if (!res.ok) return error_reply(cmd + ": " + res.error);
+
+  std::string out = block_reply_prefix(cmd, mm, job->block(), res);
+  if (cmd == "audit") {
+    out += format("\"verdict\": \"%s\", ",
+                  report::json_escape(res.audit_verdict).c_str());
+  } else if (cmd == "traffic") {
+    out += format("\"traffic\": \"%s\", ",
+                  report::json_escape(res.traffic_line).c_str());
+  } else {
+    out += "\"predictions\": {";
+    const std::vector<const driver::Predictor*>& ps =
+        cmd == "ecm" ? ecm_ : models_;
+    for (std::size_t m = 0; m < res.predictions.size(); ++m) {
+      out += format("%s\"%s\": %s", m ? ", " : "", ps[m]->id().c_str(),
+                    prediction_json(res.predictions[m]).c_str());
+    }
+    out += "}, ";
+  }
+  out += "\"stage_ns\": " + stage_ns_json(res) + "}\n";
+  return out;
+}
+
+std::string ServerContext::handle_sweep(const std::string& args) {
+  driver::SweepOptions opt;
+  bool csv = false;
+  std::vector<std::string> tokens;
+  for (std::string_view part : support::split(args, ' ')) {
+    const std::string t(support::trim(part));
+    if (!t.empty()) tokens.push_back(t);
+  }
+  std::string parse_error;
+  auto list_flag = [&](std::size_t& i, const std::string& flag,
+                       const std::function<bool(const std::string&)>& add) {
+    if (i + 1 >= tokens.size()) {
+      parse_error = flag + " needs a value";
+      return false;
+    }
+    for (std::string_view part : support::split(tokens[++i], ',')) {
+      const std::string item(support::trim(part));
+      if (item.empty() || !add(item)) {
+        parse_error = flag + ": unknown value '" + item + "'";
+        return false;
+      }
+    }
+    return true;
+  };
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const std::string& a = tokens[i];
+    bool parsed = true;
+    if (a == "--csv") {
+      csv = true;
+    } else if (a == "--audit") {
+      opt.audit = audit_verdict;
+    } else if (a == "--traffic") {
+      opt.traffic = traffic_line;
+    } else if (a == "--models") {
+      parsed = list_flag(i, a, [&](const std::string& s) {
+        driver::Model m;
+        if (!driver::model_from_name(s, m)) return false;
+        opt.models.push_back(m);
+        return true;
+      });
+    } else if (a == "--machines") {
+      parsed = list_flag(i, a, [&](const std::string& s) {
+        uarch::MachineRef ref;
+        if (!uarch::try_resolve_machine(s, ref)) return false;
+        opt.machines.push_back(std::move(ref));
+        return true;
+      });
+    } else if (a == "--kernels") {
+      parsed = list_flag(i, a, [&](const std::string& s) {
+        for (kernels::Kernel k : kernels::all_kernels()) {
+          if (s == kernels::to_string(k)) {
+            opt.kernels.push_back(k);
+            return true;
+          }
+        }
+        return false;
+      });
+    } else if (a == "--compilers") {
+      parsed = list_flag(i, a, [&](const std::string& s) {
+        for (kernels::Compiler c :
+             {kernels::Compiler::Gcc, kernels::Compiler::Clang,
+              kernels::Compiler::OneApi, kernels::Compiler::ArmClang}) {
+          if (s == kernels::to_string(c)) {
+            opt.compilers.push_back(c);
+            return true;
+          }
+        }
+        return false;
+      });
+    } else if (a == "--opt") {
+      parsed = list_flag(i, a, [&](const std::string& s) {
+        for (kernels::OptLevel o :
+             {kernels::OptLevel::O1, kernels::OptLevel::O2,
+              kernels::OptLevel::O3, kernels::OptLevel::Ofast}) {
+          if (s == kernels::to_string(o)) {
+            opt.opt_levels.push_back(o);
+            return true;
+          }
+        }
+        return false;
+      });
+    } else if (a == "--cores") {
+      parsed = list_flag(i, a, [&](const std::string& s) {
+        const int n = std::atoi(s.c_str());
+        if (n <= 0) return false;
+        opt.cores.push_back(n);
+        return true;
+      });
+    } else {
+      parse_error = "unknown sweep flag '" + a + "'";
+      parsed = false;
+    }
+    if (!parsed) return error_reply("sweep: " + parse_error);
+  }
+  // The daemon's core does the work: concurrent sweeps share its memo, so
+  // a repeated sweep is almost entirely memo hits.
+  const driver::SweepResult r = driver::sweep(opt, &core_);
+  if (r.rows.empty()) {
+    return error_reply("sweep: the filters leave an empty matrix");
+  }
+  if (csv) {
+    return format("{\"ok\": true, \"kind\": \"sweep\", \"csv\": \"%s\"}\n",
+                  report::json_escape(driver::to_csv(r)).c_str());
+  }
+  std::string out = "{\"ok\": true, \"kind\": \"sweep\", \"result\": ";
+  out += driver::to_json(r);
+  out += "}\n";
+  return out;
+}
+
+std::string ServerContext::handle_stats() {
+  const ServiceStats st = core_.stats();
+  std::string out = format(
+      "{\"ok\": true, \"kind\": \"stats\", \"requests\": %llu, "
+      "\"errors\": %llu, \"service\": {\"submitted\": %llu, "
+      "\"completed\": %llu, \"failed\": %llu, \"coalesced\": %llu, "
+      "\"memo_hits\": %llu, \"memo_size\": %zu, \"saturation_stage\": "
+      "\"%s\", \"stages\": [",
+      static_cast<unsigned long long>(requests()),
+      static_cast<unsigned long long>(errors()),
+      static_cast<unsigned long long>(st.submitted),
+      static_cast<unsigned long long>(st.completed),
+      static_cast<unsigned long long>(st.failed),
+      static_cast<unsigned long long>(st.coalesced),
+      static_cast<unsigned long long>(st.memo_hits), st.memo_size,
+      to_string(st.saturation_stage));
+  for (std::size_t s = 0; s < kStageCount; ++s) {
+    const StageStats& g = st.stages[s];
+    out += format(
+        "%s{\"stage\": \"%s\", \"count\": %llu, \"in_flight\": %zu, "
+        "\"queue_depth\": %zu, \"max_queue_depth\": %zu, \"p50_ns\": %lld, "
+        "\"p99_ns\": %lld, \"total_ns\": %lld, \"max_ns\": %lld}",
+        s ? ", " : "", g.stage.c_str(),
+        static_cast<unsigned long long>(g.count), g.in_flight, g.queue_depth,
+        g.max_queue_depth, static_cast<long long>(g.p50_ns),
+        static_cast<long long>(g.p99_ns), static_cast<long long>(g.total_ns),
+        static_cast<long long>(g.max_ns));
+  }
+  out += "]}}\n";
+  return out;
+}
+
+}  // namespace incore::server

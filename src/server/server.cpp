@@ -1,0 +1,246 @@
+#include "server/server.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace incore::server {
+
+namespace {
+
+/// Binds an AF_UNIX stream socket to `path`; -1 with `error` set on
+/// failure.  sun_path is a fixed 108-byte field, so long paths are a
+/// diagnosed error, not a silent truncation.
+int bind_unix(const std::string& path, std::string& error) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    error = "socket path '" + path + "' is empty or longer than " +
+            std::to_string(sizeof(addr.sun_path) - 1) + " bytes";
+    return -1;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    error = std::string("socket(): ") + std::strerror(errno);
+    return -1;
+  }
+  ::unlink(path.c_str());  // a previous instance's stale socket
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    error = "bind(" + path + "): " + std::strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  if (::listen(fd, 64) < 0) {
+    error = std::string("listen(): ") + std::strerror(errno);
+    ::close(fd);
+    ::unlink(path.c_str());
+    return -1;
+  }
+  return fd;
+}
+
+int connect_unix(const std::string& path, std::string& error) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    error = "socket path '" + path + "' is empty or too long";
+    return -1;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    error = std::string("socket(): ") + std::strerror(errno);
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    error = "connect(" + path + "): " + std::strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool write_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+struct Server::Impl {
+  ServerOptions opt;
+  ServerContext context;
+  int listen_fd = -1;
+  std::thread accept_thread;
+  std::vector<std::thread> connections;
+  /// Live connection sockets, parallel-indexed by spawn order; -1 once a
+  /// connection closed its own fd.  request_stop() shuts the live ones
+  /// down so blocked read()s return and stop() can join.
+  std::vector<int> conn_fds;
+  std::mutex mu;
+  std::condition_variable cv_stopped;
+  bool stopping = false;
+  bool stopped = false;
+
+  explicit Impl(ServerOptions o)
+      : opt(std::move(o)), context(opt.service) {}
+
+  void serve_connection(std::size_t idx, int fd) {
+    FrameReader reader;
+    char buf[4096];
+    bool shutdown_server = false;
+    for (;;) {
+      const ssize_t n = ::read(fd, buf, sizeof(buf));
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) break;  // peer closed (or listener shutdown)
+      reader.feed(buf, static_cast<std::size_t>(n));
+      std::string body;
+      while (reader.take(body)) {
+        const std::string reply = context.handle(body, shutdown_server);
+        if (!write_all(fd, encode_frame(reply))) break;
+      }
+      if (reader.failed()) {
+        // Framing is unrecoverable: reply with the diagnostic, then drop
+        // the connection.
+        write_all(fd, encode_frame(error_reply(reader.error())));
+        break;
+      }
+      if (shutdown_server) break;
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mu);
+      conn_fds[idx] = -1;
+    }
+    ::close(fd);
+    if (shutdown_server) request_stop();
+  }
+
+  void accept_loop() {
+    for (;;) {
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        break;  // listener closed by stop()
+      }
+      const std::lock_guard<std::mutex> lock(mu);
+      if (stopping) {
+        ::close(fd);
+        break;
+      }
+      conn_fds.push_back(fd);
+      const std::size_t idx = conn_fds.size() - 1;
+      connections.emplace_back(
+          [this, idx, fd] { serve_connection(idx, fd); });
+    }
+  }
+
+  /// Flips the stopping flag and closes the listener, which unblocks
+  /// accept(); the full join happens in stop() on the owner's thread.
+  void request_stop() {
+    const std::lock_guard<std::mutex> lock(mu);
+    if (stopping) return;
+    stopping = true;
+    if (listen_fd >= 0) ::shutdown(listen_fd, SHUT_RDWR);
+    for (int f : conn_fds) {
+      if (f >= 0) ::shutdown(f, SHUT_RDWR);
+    }
+    cv_stopped.notify_all();
+  }
+};
+
+Server::Server(ServerOptions opt)
+    : impl_(std::make_unique<Impl>(std::move(opt))) {}
+
+Server::~Server() { stop(); }
+
+bool Server::start(std::string& error) {
+  impl_->listen_fd = bind_unix(impl_->opt.socket_path, error);
+  if (impl_->listen_fd < 0) return false;
+  impl_->accept_thread = std::thread([this] { impl_->accept_loop(); });
+  return true;
+}
+
+void Server::wait() {
+  std::unique_lock<std::mutex> lock(impl_->mu);
+  impl_->cv_stopped.wait(lock, [this] { return impl_->stopping; });
+}
+
+void Server::stop() {
+  impl_->request_stop();
+  {
+    const std::lock_guard<std::mutex> lock(impl_->mu);
+    if (impl_->stopped) return;
+    impl_->stopped = true;
+  }
+  if (impl_->accept_thread.joinable()) impl_->accept_thread.join();
+  std::vector<std::thread> conns;
+  {
+    const std::lock_guard<std::mutex> lock(impl_->mu);
+    conns.swap(impl_->connections);
+  }
+  for (std::thread& t : conns) {
+    if (t.joinable()) t.join();
+  }
+  if (impl_->listen_fd >= 0) {
+    ::close(impl_->listen_fd);
+    impl_->listen_fd = -1;
+    ::unlink(impl_->opt.socket_path.c_str());
+  }
+  impl_->context.core().shutdown();
+}
+
+ServerContext& Server::context() { return impl_->context; }
+
+std::string request(const std::string& socket_path, const std::string& body) {
+  std::string error;
+  const int fd = connect_unix(socket_path, error);
+  if (fd < 0) throw support::ModelError("client: " + error);
+  if (!write_all(fd, encode_frame(body))) {
+    ::close(fd);
+    throw support::ModelError("client: write failed: " +
+                              std::string(std::strerror(errno)));
+  }
+  FrameReader reader;
+  char buf[4096];
+  std::string reply;
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      ::close(fd);
+      throw support::ModelError(
+          "client: connection closed before a complete reply");
+    }
+    reader.feed(buf, static_cast<std::size_t>(n));
+    if (reader.failed()) {
+      ::close(fd);
+      throw support::ModelError("client: " + reader.error());
+    }
+    if (reader.take(reply)) break;
+  }
+  ::close(fd);
+  return reply;
+}
+
+}  // namespace incore::server

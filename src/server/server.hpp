@@ -1,0 +1,56 @@
+#pragma once
+// incore-server transport: an AF_UNIX stream listener speaking the framed
+// protocol (protocol.hpp), thread-per-connection.  Local-socket only by
+// design — the service is a build/analysis tool, not a network daemon; the
+// socket path doubles as the access control.
+//
+// Lifecycle: start() binds and spawns the accept loop; a client `shutdown`
+// request (or stop()) closes the listener, drains the connections and
+// removes the socket file.  wait() parks the caller until then.
+
+#include <memory>
+#include <string>
+
+#include "server/core.hpp"
+#include "server/protocol.hpp"
+
+namespace incore::server {
+
+struct ServerOptions {
+  std::string socket_path;
+  ServiceConfig service;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions opt);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds the socket and starts accepting; false (with a diagnostic in
+  /// `error`) when the path cannot be bound.
+  [[nodiscard]] bool start(std::string& error);
+
+  /// Blocks until the server stopped (client shutdown request or stop()).
+  void wait();
+
+  /// Idempotent: closes the listener, joins every connection thread,
+  /// removes the socket file.
+  void stop();
+
+  [[nodiscard]] ServerContext& context();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// One client round trip: connects to `socket_path`, sends `body` as a
+/// frame, returns the reply body.  Throws support::ModelError on connect,
+/// I/O or framing failure.
+[[nodiscard]] std::string request(const std::string& socket_path,
+                                  const std::string& body);
+
+}  // namespace incore::server

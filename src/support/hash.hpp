@@ -30,4 +30,27 @@ namespace incore::support {
   return out;
 }
 
+/// The canonical content-hash key of a (machine, assembly) block: hex
+/// FNV-1a over the machine name and the assembly text, separated by an
+/// unambiguous delimiter.  This single definition backs the sweep engine's
+/// dedup, the ECM per-block memo and the service pipeline's request
+/// coalescer — the hex strings are interchangeable across all three.
+[[nodiscard]] inline std::string block_key(std::string_view machine_name,
+                                           std::string_view assembly) {
+  std::uint64_t h = fnv1a64(machine_name);
+  h ^= static_cast<unsigned char>('\x01');
+  h *= 1099511628211ull;
+  for (char c : assembly) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return hex64(h);
+}
+
+/// Machine-independent assembly-content key (the paper's "unique assembly
+/// representations" count).
+[[nodiscard]] inline std::string text_key(std::string_view assembly) {
+  return hex64(fnv1a64(assembly));
+}
+
 }  // namespace incore::support

@@ -1,0 +1,114 @@
+#pragma once
+// Bounded multi-producer / multi-consumer queue — the coupling element of
+// the service pipeline (server::ServiceCore): each stage pops work from its
+// inbound queue and pushes downstream, so a slow stage fills its queue and
+// stalls the producers above it (backpressure) instead of buffering without
+// bound.
+//
+// Design constraints, in order:
+//  * backpressure must be observable: depth() and max_depth() feed the
+//    pipeline's saturation diagnostics;
+//  * shutdown must be graceful: close() wakes every blocked producer and
+//    consumer; consumers drain what was accepted before close, producers
+//    are refused;
+//  * stage work items are coarse (a whole request), so a mutex-protected
+//    ring is plenty — this is not a lock-free hot loop.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace incore::support {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  /// A queue accepting at most `capacity` queued items (clamped to >= 1).
+  explicit BoundedQueue(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks while the queue is full; returns false (dropping the item) when
+  /// the queue was closed before space became available.
+  bool push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_space_.wait(lock, [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    max_depth_ = std::max(max_depth_, items_.size());
+    lock.unlock();
+    cv_item_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push: false when full or closed.
+  bool try_push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+      max_depth_ = std::max(max_depth_, items_.size());
+    }
+    cv_item_.notify_one();
+    return true;
+  }
+
+  /// Blocks while the queue is empty; returns nullopt once the queue is
+  /// closed *and* drained (items accepted before close() still come out).
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_item_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    cv_space_.notify_one();
+    return item;
+  }
+
+  /// Refuses further pushes and wakes every blocked producer and consumer.
+  /// Idempotent.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_item_.notify_all();
+    cv_space_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  /// Items currently queued (not the ones being processed downstream).
+  [[nodiscard]] std::size_t depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  /// High-water mark of depth() over the queue's lifetime.
+  [[nodiscard]] std::size_t max_depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return max_depth_;
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_item_;   // signals consumers: item available
+  std::condition_variable cv_space_;  // signals producers: space available
+  std::deque<T> items_;
+  std::size_t max_depth_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace incore::support

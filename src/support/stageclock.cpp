@@ -1,0 +1,45 @@
+#include "support/stageclock.hpp"
+
+#include <algorithm>
+
+namespace incore::support {
+
+StageClock::StageClock(std::size_t window)
+    : window_(window == 0 ? 1 : window, 0) {}
+
+void StageClock::record(std::int64_t elapsed_ns) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  window_[next_] = elapsed_ns;
+  next_ = (next_ + 1) % window_.size();
+  filled_ = std::min(filled_ + 1, window_.size());
+  ++count_;
+  total_ns_ += elapsed_ns;
+  max_ns_ = std::max(max_ns_, elapsed_ns);
+}
+
+StageClock::Snapshot StageClock::snapshot() const {
+  std::vector<std::int64_t> samples;
+  Snapshot s;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    s.count = count_;
+    s.total_ns = total_ns_;
+    s.max_ns = max_ns_;
+    samples.assign(window_.begin(),
+                   window_.begin() + static_cast<std::ptrdiff_t>(filled_));
+  }
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  // Nearest-rank percentiles: rank ceil(q*n), 1-based.
+  auto rank = [&](double q) {
+    const std::size_t n = samples.size();
+    std::size_t r = static_cast<std::size_t>(q * static_cast<double>(n) + 0.5);
+    r = std::clamp<std::size_t>(r, 1, n);
+    return samples[r - 1];
+  };
+  s.p50_ns = rank(0.50);
+  s.p99_ns = rank(0.99);
+  return s;
+}
+
+}  // namespace incore::support

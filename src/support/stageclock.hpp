@@ -1,0 +1,66 @@
+#pragma once
+// Per-stage latency instrumentation for the service pipeline, modeled on
+// pipepp's `elapse_scope`: a stage wraps its work in an ElapseScope and the
+// clock accumulates count / total and keeps a bounded sample window for
+// percentile queries (p50/p99 of the most recent work, not of the whole
+// uptime — a long-running server wants current behavior, not history).
+//
+// Thread-safety: record() and snapshot() may race freely; a Snapshot is a
+// consistent point-in-time copy.
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace incore::support {
+
+class StageClock {
+ public:
+  /// Keeps the most recent `window` samples for percentiles (clamped >= 1).
+  explicit StageClock(std::size_t window = 4096);
+
+  /// Records one elapsed interval.
+  void record(std::int64_t elapsed_ns);
+
+  struct Snapshot {
+    std::uint64_t count = 0;        // intervals recorded since construction
+    std::int64_t total_ns = 0;      // sum of every recorded interval
+    std::int64_t p50_ns = 0;        // median over the sample window
+    std::int64_t p99_ns = 0;        // 99th percentile over the window
+    std::int64_t max_ns = 0;        // largest interval ever recorded
+  };
+
+  [[nodiscard]] Snapshot snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::int64_t> window_;  // ring buffer of recent samples
+  std::size_t next_ = 0;              // ring cursor
+  std::size_t filled_ = 0;            // valid entries in window_
+  std::uint64_t count_ = 0;
+  std::int64_t total_ns_ = 0;
+  std::int64_t max_ns_ = 0;
+};
+
+/// RAII interval: records the scope's wall time into the clock on
+/// destruction (the pipepp elapse_scope idiom).
+class ElapseScope {
+ public:
+  explicit ElapseScope(StageClock& clock)
+      : clock_(clock), t0_(std::chrono::steady_clock::now()) {}
+  ~ElapseScope() {
+    clock_.record(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - t0_)
+                      .count());
+  }
+  ElapseScope(const ElapseScope&) = delete;
+  ElapseScope& operator=(const ElapseScope&) = delete;
+
+ private:
+  StageClock& clock_;
+  std::chrono::steady_clock::time_point t0_;
+};
+
+}  // namespace incore::support

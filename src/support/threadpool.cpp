@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <stdexcept>
+#include <utility>
 
 namespace incore::support {
 
@@ -14,26 +16,49 @@ ThreadPool::ThreadPool(int threads) {
 }
 
 ThreadPool::~ThreadPool() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    stop_ = true;
+  // Destruction must not throw; a pending task exception nobody waited for
+  // is dropped here (stop()/wait() are the reporting points).
+  try {
+    stop();
+  } catch (...) {  // NOLINT(bugprone-empty-catch)
   }
-  cv_task_.notify_all();
-  for (std::thread& t : workers_) t.join();
 }
 
 void ThreadPool::submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) throw std::runtime_error("ThreadPool: submit after stop()");
     queue_.push(std::move(task));
     ++in_flight_;
   }
   cv_task_.notify_one();
 }
 
+void ThreadPool::rethrow_pending_locked(std::unique_lock<std::mutex>& lock) {
+  if (!first_error_) return;
+  std::exception_ptr err = std::exchange(first_error_, nullptr);
+  lock.unlock();
+  std::rethrow_exception(err);
+}
+
 void ThreadPool::wait() {
   std::unique_lock<std::mutex> lock(mu_);
   cv_done_.wait(lock, [this] { return in_flight_ == 0; });
+  rethrow_pending_locked(lock);
+}
+
+void ThreadPool::stop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [this] { return in_flight_ == 0; });
+  stop_ = true;
+  if (!joined_) {
+    joined_ = true;
+    lock.unlock();
+    cv_task_.notify_all();
+    for (std::thread& t : workers_) t.join();
+    lock.lock();
+  }
+  rethrow_pending_locked(lock);
 }
 
 int ThreadPool::default_jobs(int cap) {
@@ -52,7 +77,15 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop();
     }
-    task();
+    try {
+      task();
+    } catch (...) {
+      // Keep the worker alive for the next task; report the failure to the
+      // submitter from wait()/stop().  Only the first exception survives —
+      // later ones are usually cascade noise.
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       --in_flight_;

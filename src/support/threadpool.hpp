@@ -1,17 +1,22 @@
 #pragma once
 // Small fixed-size worker pool used by the sweep driver to fan predictor
-// evaluations out over a bounded number of threads.
+// evaluations out over a bounded number of threads, and by the service
+// pipeline (server::ServiceCore) to host long-running stage workers.
 //
 // Design constraints, in order:
 //  * determinism of the *callers* must be easy: the pool never reorders
 //    results (tasks write into pre-assigned slots), and parallel_for hands
 //    out indices so output depends only on the index, never on scheduling;
 //  * tasks are coarse (milliseconds), so a mutex-protected FIFO is plenty;
-//  * tasks must not throw — callers are expected to capture failures into
-//    their result slot (the sweep driver records them as Prediction errors).
+//  * long-running use must be safe: a task that throws does not take the
+//    process down — the first exception is captured and rethrown to the
+//    next wait()/stop() caller, and the worker carries on with the next
+//    task; stop() drains gracefully and joins, after which the pool can be
+//    destroyed (or queried) but accepts no further work.
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -29,11 +34,21 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task.  Tasks must not throw.
+  /// Enqueues a task.  A task that throws is captured, not fatal: the first
+  /// exception is rethrown from the next wait() or stop().  Throws
+  /// std::runtime_error if the pool was already stopped.
   void submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished executing.
+  /// Blocks until every submitted task has finished executing, then
+  /// rethrows the first worker exception captured since the last wait()
+  /// (if any).
   void wait();
+
+  /// Graceful drain-and-stop: waits for the queue to empty and every
+  /// running task to finish, joins all workers, then rethrows the first
+  /// captured worker exception (if any).  Idempotent; after stop() the
+  /// pool accepts no further submissions.
+  void stop();
 
   [[nodiscard]] int size() const { return static_cast<int>(workers_.size()); }
 
@@ -43,6 +58,7 @@ class ThreadPool {
 
  private:
   void worker_loop();
+  void rethrow_pending_locked(std::unique_lock<std::mutex>& lock);
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> queue_;
@@ -50,14 +66,17 @@ class ThreadPool {
   std::condition_variable cv_task_;   // signals workers: work or shutdown
   std::condition_variable cv_done_;   // signals wait(): everything drained
   std::size_t in_flight_ = 0;         // queued + currently executing
+  std::exception_ptr first_error_;    // first task exception since last wait
   bool stop_ = false;
+  bool joined_ = false;
 };
 
 /// Runs fn(0), ..., fn(n-1) across `jobs` pool workers and returns when all
 /// calls completed.  With jobs <= 1 the calls run inline on the calling
-/// thread, in index order.  `fn` must not throw and must only write state
-/// owned by its index (slot discipline), which makes the result independent
-/// of scheduling.
+/// thread, in index order.  `fn` must only write state owned by its index
+/// (slot discipline), which makes the result independent of scheduling; if
+/// any call throws, the first exception propagates to the caller after all
+/// workers finished.
 void parallel_for(std::size_t n, int jobs,
                   const std::function<void(std::size_t)>& fn);
 

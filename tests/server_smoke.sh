@@ -1,0 +1,94 @@
+#!/bin/sh
+# End-to-end smoke test of the prediction service: starts incore-server on
+# a private socket, drives every request kind through `incore-cli client`,
+# checks the JSON replies, the malformed-request diagnostics and the stats
+# counters, then shuts the server down cleanly and verifies it exited.
+#
+#   server_smoke.sh <incore-server> <incore-cli>
+set -e
+
+SERVER="$1"
+CLI="$2"
+SOCK="/tmp/incore_smoke_$$.sock"
+LOG="server_smoke_$$.log"
+
+"$SERVER" --socket "$SOCK" --workers 2 > "$LOG" 2>&1 &
+SRV_PID=$!
+trap 'kill "$SRV_PID" 2>/dev/null || true; rm -f "$SOCK"' EXIT
+
+# Wait for the readiness probe (the server prints its listening line, but
+# polling ping is what a real client would do).
+ready=0
+i=0
+while [ "$i" -lt 100 ]; do
+  if "$CLI" client --socket "$SOCK" ping > /dev/null 2>&1; then
+    ready=1
+    break
+  fi
+  i=$((i + 1))
+  sleep 0.1
+done
+[ "$ready" = 1 ] || { echo "server never became ready"; cat "$LOG"; exit 1; }
+
+"$CLI" client --socket "$SOCK" ping | grep -q '"kind": "pong"'
+
+# One block, every per-block command.
+"$CLI" emit spr sum gcc O3 > server_smoke_$$.s
+"$CLI" client --socket "$SOCK" analyze spr server_smoke_$$.s \
+  > server_smoke_analyze_$$.json
+grep -q '"ok": true' server_smoke_analyze_$$.json
+grep -q '"predictions"' server_smoke_analyze_$$.json
+grep -q '"osaca"' server_smoke_analyze_$$.json
+grep -q '"stage_ns"' server_smoke_analyze_$$.json
+
+# The verdict must match what the batch sweep's audit column says for this
+# block (sum diverges on the latency chain on every machine).
+"$CLI" client --socket "$SOCK" audit spr server_smoke_$$.s \
+  | grep -q '"verdict": "divergent:latency-chain"'
+"$CLI" client --socket "$SOCK" traffic spr server_smoke_$$.s \
+  | grep -q '"traffic": "'
+"$CLI" client --socket "$SOCK" ecm spr server_smoke_$$.s \
+  | grep -q '"ecm-L1"'
+
+# The same analyze again: the per-(hash, predictor) memo must serve it.
+"$CLI" client --socket "$SOCK" analyze spr server_smoke_$$.s > /dev/null
+"$CLI" client --socket "$SOCK" stats > server_smoke_stats_$$.json
+grep -q '"kind": "stats"' server_smoke_stats_$$.json
+grep -q '"memo_hits": 3' server_smoke_stats_$$.json
+grep -q '"saturation_stage"' server_smoke_stats_$$.json
+grep -q '"stage": "evaluate"' server_smoke_stats_$$.json
+
+# A sweep through the daemon's shared core.
+"$CLI" client --socket "$SOCK" sweep --kernels sum --machines gcs --csv \
+  > server_smoke_sweep_$$.json
+grep -q '"kind": "sweep"' server_smoke_sweep_$$.json
+grep -q 'block_hash' server_smoke_sweep_$$.json
+
+# Malformed requests answer with diagnostics, not dropped connections.
+if "$CLI" client --socket "$SOCK" raw bogus > server_smoke_err_$$.json; then
+  echo "raw bogus request unexpectedly succeeded"
+  exit 1
+fi
+grep -q '"ok": false' server_smoke_err_$$.json
+grep -q 'unknown command' server_smoke_err_$$.json
+if "$CLI" client --socket "$SOCK" analyze no-such-machine server_smoke_$$.s \
+    > server_smoke_err2_$$.json; then
+  echo "bad-machine request unexpectedly succeeded"
+  exit 1
+fi
+grep -q 'unknown machine' server_smoke_err2_$$.json
+
+# The error counter saw both failures.
+"$CLI" client --socket "$SOCK" stats | grep -q '"errors": 2'
+
+# Clean shutdown: the request is acknowledged and the process exits.
+"$CLI" client --socket "$SOCK" shutdown | grep -q '"kind": "shutdown"'
+wait "$SRV_PID"
+grep -q 'stopped' "$LOG"
+rm -f server_smoke_$$.s server_smoke_analyze_$$.json \
+      server_smoke_stats_$$.json server_smoke_sweep_$$.json \
+      server_smoke_err_$$.json server_smoke_err2_$$.json "$LOG"
+trap - EXIT
+rm -f "$SOCK"
+echo "server smoke test passed"
+exit 0

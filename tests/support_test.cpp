@@ -2,12 +2,16 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <sstream>
+#include <stdexcept>
+#include <vector>
 
 #include "support/csv.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
 #include "support/strings.hpp"
+#include "support/threadpool.hpp"
 
 namespace su = incore::support;
 
@@ -221,4 +225,74 @@ TEST(Ks, KolmogorovQBoundaries) {
   EXPECT_DOUBLE_EQ(su::kolmogorov_q(0.0), 1.0);
   EXPECT_LT(su::kolmogorov_q(2.0), 0.001);
   EXPECT_GT(su::kolmogorov_q(0.3), 0.99);
+}
+
+// ------------------------------------------------------------- ThreadPool
+// The hardened contract: queued tasks drain on stop(), the first task
+// exception propagates to the submitter (at wait() and at stop()), and
+// submitting after stop() is an error, not a silent drop.
+
+TEST(ThreadPool, GracefulStopDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  {
+    su::ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.stop();
+    EXPECT_EQ(ran.load(), 64);
+  }
+}
+
+TEST(ThreadPool, WaitRethrowsTaskException) {
+  su::ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("task blew up"); });
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+  // The error is consumed: the pool is usable again afterwards.
+  std::atomic<bool> ran{false};
+  pool.submit([&ran] { ran = true; });
+  pool.wait();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPool, StopRethrowsPendingTaskException) {
+  su::ThreadPool pool(1);
+  pool.submit([] { throw std::runtime_error("deferred failure"); });
+  EXPECT_THROW(pool.stop(), std::runtime_error);
+}
+
+TEST(ThreadPool, OnlyFirstExceptionIsKept) {
+  su::ThreadPool pool(1);
+  pool.submit([] { throw std::runtime_error("first"); });
+  pool.submit([] { throw std::logic_error("second"); });
+  try {
+    pool.wait();
+    FAIL() << "wait() should have rethrown";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "first");
+  }
+}
+
+TEST(ThreadPool, SubmitAfterStopThrows) {
+  su::ThreadPool pool(1);
+  pool.stop();
+  EXPECT_THROW(pool.submit([] {}), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForPropagatesException) {
+  EXPECT_THROW(su::parallel_for(16, 4,
+                                [](std::size_t i) {
+                                  if (i == 7) {
+                                    throw std::runtime_error("item 7");
+                                  }
+                                }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForRunsEveryIndex) {
+  std::vector<std::atomic<int>> hits(32);
+  su::parallel_for(hits.size(), 4, [&hits](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
 }

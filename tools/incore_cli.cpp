@@ -44,6 +44,7 @@
 #include "mca/mca.hpp"
 #include "power/power.hpp"
 #include "report/json.hpp"
+#include "server/server.hpp"
 #include "support/error.hpp"
 #include "support/strings.hpp"
 #include "support/threadpool.hpp"
@@ -120,6 +121,14 @@ int usage() {
       "  lint <machine> [file.s]          verify one model (and a kernel)\n"
       "       lint flags: --json --werror --verbose --codes --catalog\n"
       "            --machine-file <m.mdf> lints a loaded description\n"
+      "  serve --socket <path>            prediction service on a local\n"
+      "                                   socket (see docs/server.md)\n"
+      "       serve flags: --workers N (evaluate/finalize stage workers)\n"
+      "  client --socket <path> <request> one framed request to a server:\n"
+      "       client ping | stats | shutdown\n"
+      "       client analyze|audit|traffic|ecm <machine> [file.s]\n"
+      "       client sweep [sweep flags]\n"
+      "       client raw <body>           send a raw request body verbatim\n"
       "machines: gcs spr genoa icelake, or a .mdf file path;\n"
       "compilers: gcc clang icx armclang\n");
   return 2;
@@ -313,18 +322,40 @@ int cmd_sweep(int argc, char** argv) {
     } else if (a == "--jobs") {
       const char* v = value();
       if (v == nullptr) return 2;
-      opt.jobs = std::atoi(v);
-      if (opt.jobs <= 0) opt.jobs = support::ThreadPool::default_jobs();
-    } else if (a == "--cores") {
-      const char* v = value();
-      if (v == nullptr || !parse_list(a, v, [&](const std::string& s) {
-            const int n = std::atoi(s.c_str());
-            if (n <= 0) return false;
-            opt.cores.push_back(n);
-            return true;
-          })) {
+      // 0 is the documented "auto" value; anything non-numeric, negative or
+      // absurd gets a diagnostic instead of silently clamping (a negative
+      // atoi result used to fall into the auto path).
+      char* end = nullptr;
+      const long n = std::strtol(v, &end, 10);
+      if (end == v || *end != '\0' || n < 0 || n > 4096) {
+        std::fprintf(stderr,
+                     "sweep: --jobs expects a worker count between 0 (auto) "
+                     "and 4096, got '%s'\n",
+                     v);
         return 2;
       }
+      opt.jobs = n == 0 ? support::ThreadPool::default_jobs()
+                        : static_cast<int>(n);
+    } else if (a == "--cores") {
+      const char* v = value();
+      if (v == nullptr) return 2;
+      bool ok = true;
+      for (std::string_view part : support::split(v, ',')) {
+        const std::string item(support::trim(part));
+        char* end = nullptr;
+        const long n = std::strtol(item.c_str(), &end, 10);
+        if (item.empty() || end == item.c_str() || *end != '\0' || n < 1 ||
+            n > 1024) {
+          std::fprintf(stderr,
+                       "sweep: --cores expects core counts in [1, 1024], "
+                       "got '%s'\n",
+                       item.c_str());
+          ok = false;
+          break;
+        }
+        opt.cores.push_back(static_cast<int>(n));
+      }
+      if (!ok) return 2;
     } else if (a == "--models") {
       const char* v = value();
       if (v == nullptr ||
@@ -1282,12 +1313,111 @@ int cmd_traffic(int argc, char** argv) {
 
 }  // namespace
 
+// ---------------------------------------------------------------- service
+
+int cmd_serve(int argc, char** argv) {
+  server::ServerOptions opt;
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--socket" && i + 1 < argc) {
+      opt.socket_path = argv[++i];
+    } else if (a == "--workers" && i + 1 < argc) {
+      const int n = std::atoi(argv[++i]);
+      if (n < 1 || n > 256) {
+        std::fprintf(stderr,
+                     "serve: --workers expects a count in [1, 256], got "
+                     "'%s'\n",
+                     argv[i]);
+        return 2;
+      }
+      opt.service.evaluate_workers = n;
+      opt.service.finalize_workers = n;
+    } else {
+      std::fprintf(stderr, "unknown serve flag '%s'\n", a.c_str());
+      return usage();
+    }
+  }
+  if (opt.socket_path.empty()) {
+    std::fprintf(stderr, "serve: --socket <path> is required\n");
+    return 2;
+  }
+  const std::string path = opt.socket_path;
+  server::Server srv(std::move(opt));
+  std::string error;
+  if (!srv.start(error)) {
+    std::fprintf(stderr, "serve: %s\n", error.c_str());
+    return 1;
+  }
+  // Announce readiness on a flushed line: launcher scripts wait for it.
+  std::printf("incore-server: listening on %s\n", path.c_str());
+  std::fflush(stdout);
+  srv.wait();
+  srv.stop();
+  std::printf("incore-server: stopped (%llu requests, %llu errors)\n",
+              static_cast<unsigned long long>(srv.context().requests()),
+              static_cast<unsigned long long>(srv.context().errors()));
+  return 0;
+}
+
+int cmd_client(int argc, char** argv) {
+  std::string socket_path;
+  std::vector<std::string> words;
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--socket" && i + 1 < argc) {
+      socket_path = argv[++i];
+    } else {
+      words.push_back(a);
+    }
+  }
+  if (socket_path.empty() || words.empty()) {
+    std::fprintf(stderr,
+                 "client: usage: incore-cli client --socket <path> "
+                 "<request...>\n");
+    return 2;
+  }
+  const std::string& cmd = words[0];
+  std::string body;
+  if (cmd == "raw") {
+    // Verbatim request body — the door the protocol smoke test uses to
+    // exercise the server's malformed-request diagnostics.
+    for (std::size_t i = 1; i < words.size(); ++i) {
+      body += i > 1 ? " " : "";
+      body += words[i];
+    }
+  } else if (cmd == "analyze" || cmd == "audit" || cmd == "traffic" ||
+             cmd == "ecm") {
+    if (words.size() < 2) {
+      std::fprintf(stderr, "client: %s needs a machine name\n", cmd.c_str());
+      return 2;
+    }
+    std::string text;
+    if (!read_input(words.size() > 2 ? words[2].c_str() : nullptr, text)) {
+      return 1;
+    }
+    body = cmd + " " + words[1] + "\n" + text;
+  } else {
+    // ping / stats / shutdown / sweep with flags: the request line is the
+    // words joined, no payload.
+    for (std::size_t i = 0; i < words.size(); ++i) {
+      body += i > 0 ? " " : "";
+      body += words[i];
+    }
+  }
+  const std::string reply = server::request(socket_path, body);
+  std::fputs(reply.c_str(), stdout);
+  if (!reply.empty() && reply.back() != '\n') std::fputc('\n', stdout);
+  return reply.rfind("{\"ok\": true", 0) == 0 ? 0 : 1;
+}
+
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   try {
     if (cmd == "machines") return cmd_machines();
     if (cmd == "kernels") return cmd_kernels();
+    if (cmd == "serve") return cmd_serve(argc, argv);
+    if (cmd == "client") return cmd_client(argc, argv);
     if (cmd == "analyze" && argc >= 3) return cmd_analyze(argc, argv);
     if (cmd == "dataflow" && argc >= 3) return cmd_dataflow(argc, argv);
     if (cmd == "sweep") return cmd_sweep(argc, argv);

@@ -1,0 +1,87 @@
+// incore-server — the prediction service as a standalone daemon.
+//
+//   incore-server --socket <path> [--workers N] [--queue N]
+//
+// Listens on a local (AF_UNIX) socket and answers framed requests
+// (analyze / audit / traffic / ecm / sweep / stats) through the staged
+// service pipeline — the same core the batch `incore-cli sweep` runs, kept
+// warm: repeated blocks hit the prediction memo, identical concurrent
+// requests coalesce.  A client `shutdown` request stops it.  Protocol and
+// examples: docs/server.md; `incore-cli client` is the matching client.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "server/server.hpp"
+#include "support/error.hpp"
+
+using namespace incore;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: incore-server --socket <path> [--workers N] "
+               "[--queue N]\n"
+               "  --workers N   evaluate/finalize stage workers (default 2)\n"
+               "  --queue N     per-stage queue capacity (default 256)\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  server::ServerOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--socket" && i + 1 < argc) {
+      opt.socket_path = argv[++i];
+    } else if (a == "--workers" && i + 1 < argc) {
+      const int n = std::atoi(argv[++i]);
+      if (n < 1 || n > 256) {
+        std::fprintf(stderr,
+                     "incore-server: --workers expects a count in [1, 256], "
+                     "got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+      opt.service.evaluate_workers = n;
+      opt.service.finalize_workers = n;
+    } else if (a == "--queue" && i + 1 < argc) {
+      const int n = std::atoi(argv[++i]);
+      if (n < 1) {
+        std::fprintf(stderr,
+                     "incore-server: --queue expects a positive capacity, "
+                     "got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+      opt.service.queue_capacity = static_cast<std::size_t>(n);
+    } else {
+      return usage();
+    }
+  }
+  if (opt.socket_path.empty()) return usage();
+  const std::string path = opt.socket_path;
+  try {
+    server::Server srv(std::move(opt));
+    std::string error;
+    if (!srv.start(error)) {
+      std::fprintf(stderr, "incore-server: %s\n", error.c_str());
+      return 1;
+    }
+    // Readiness line, flushed: launcher scripts block on it.
+    std::printf("incore-server: listening on %s\n", path.c_str());
+    std::fflush(stdout);
+    srv.wait();
+    srv.stop();
+    std::printf("incore-server: stopped (%llu requests, %llu errors)\n",
+                static_cast<unsigned long long>(srv.context().requests()),
+                static_cast<unsigned long long>(srv.context().errors()));
+  } catch (const support::Error& e) {
+    std::fprintf(stderr, "incore-server: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
