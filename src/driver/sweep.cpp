@@ -111,18 +111,32 @@ SweepResult sweep(const std::vector<kernels::Variant>& matrix,
     }
     if (audit) r.audit_verdicts.assign(r.blocks.size(), std::string());
     if (traffic) r.traffic_lines.assign(r.blocks.size(), std::string());
+    // Wait on *every* handle before surfacing a failure.  On an external
+    // daemon core the jobs still in flight hold raw pointers to this
+    // call's predictors and machine models; throwing at the first bad
+    // result would unwind and free them while pipeline workers are still
+    // dereferencing them (and caching the garbage in the shared memo).
+    std::size_t first_failed = handles.size();
+    std::string first_error;
     for (std::size_t i = 0; i < handles.size(); ++i) {
       const server::JobResult& res = handles[i]->wait();
       if (!res.ok) {
         // Pipeline-level failure (a hook threw, or the service stopped).
         // Predictor failures are *not* job failures; they arrive per
         // Prediction below, exactly as before.
-        throw support::ModelError("sweep: block " + r.blocks[i].hash +
-                                  ": " + res.error);
+        if (first_failed == handles.size()) {
+          first_failed = i;
+          first_error = res.error;
+        }
+        continue;
       }
       for (std::size_t m = 0; m < P; ++m) memo[i * P + m] = res.predictions[m];
       if (audit) r.audit_verdicts[i] = res.audit_verdict;
       if (traffic) r.traffic_lines[i] = res.traffic_line;
+    }
+    if (first_failed != handles.size()) {
+      throw support::ModelError("sweep: block " + r.blocks[first_failed].hash +
+                                ": " + first_error);
     }
   }
   r.stats.wall_time_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(

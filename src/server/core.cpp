@@ -79,6 +79,11 @@ std::string ServiceCore::coalesce_key(const JobRequest& req) const {
   }
   key += req.audit ? "|A" : "|-";
   key += req.traffic ? "T" : "-";
+  // Hooks are std::functions — incomparable — so their caller-supplied
+  // identity token keeps requests with *different* hook implementations
+  // from sharing one audit/traffic output.
+  key += '|';
+  key += req.hooks_id;
   return key;
 }
 
@@ -218,8 +223,10 @@ bool ServiceCore::run_stage(Stage s, const JobHandle& job) {
           const std::lock_guard<std::mutex> lock(memo_mu_);
           auto it = memo_.find(memo_key);
           if (it != memo_.end()) {
-            res.predictions.push_back(it->second);
+            res.predictions.push_back(it->second.pred);
             ++memo_hits_;
+            // Touch: move the key to the LRU front.
+            memo_lru_.splice(memo_lru_.begin(), memo_lru_, it->second.lru);
             hit = true;
           }
         }
@@ -227,7 +234,20 @@ bool ServiceCore::run_stage(Stage s, const JobHandle& job) {
         driver::Prediction pred = p->predict(req.block);  // never throws
         {
           const std::lock_guard<std::mutex> lock(memo_mu_);
-          memo_.emplace(memo_key, pred);
+          auto [it, inserted] = memo_.try_emplace(memo_key);
+          if (inserted) {
+            // A racing worker may have inserted the same key first; only
+            // the winner owns an LRU slot and pays the eviction check.
+            memo_lru_.push_front(memo_key);
+            it->second.pred = pred;
+            it->second.lru = memo_lru_.begin();
+            while (cfg_.memo_capacity > 0 &&
+                   memo_.size() > cfg_.memo_capacity) {
+              memo_.erase(memo_lru_.back());
+              memo_lru_.pop_back();
+              ++memo_evicted_;
+            }
+          }
         }
         res.predictions.push_back(std::move(pred));
       }
@@ -297,6 +317,7 @@ ServiceStats ServiceCore::stats() const {
     const std::lock_guard<std::mutex> lock(memo_mu_);
     st.memo_hits = memo_hits_;
     st.memo_size = memo_.size();
+    st.memo_evicted = memo_evicted_;
   }
   std::size_t best_depth = 0;
   std::int64_t best_busy = -1;

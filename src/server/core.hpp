@@ -37,6 +37,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -73,6 +74,11 @@ struct ServiceConfig {
   std::size_t queue_capacity = 256;
   /// StageClock sample window for the p50/p99 estimates.
   std::size_t latency_window = 4096;
+  /// Upper bound on distinct (block hash, predictor) entries the
+  /// prediction memo holds; least-recently-used entries are evicted past
+  /// it, so a long-lived daemon under varied traffic stays bounded.
+  /// 0 = unbounded (a batch sweep owns its core and dies with it).
+  std::size_t memo_capacity = 65536;
 };
 
 /// One request: a block (pre-built by the batch sweep, or raw text parsed
@@ -87,6 +93,14 @@ struct JobRequest {
   std::vector<const driver::Predictor*> predictors;
   BlockHook audit;    // optional -> JobResult::audit_verdict
   BlockHook traffic;  // optional -> JobResult::traffic_line
+  /// Identity token for the hook *implementations*, folded into the
+  /// coalescing key: a std::function cannot be compared, so two in-flight
+  /// requests on the same block only share a result when their hook ids
+  /// match.  Empty means "the canonical audit/traffic passes" — what every
+  /// in-tree client (CLI, sweep, server) installs; a caller wiring custom
+  /// hooks must set a distinct id or risk receiving another request's
+  /// audit/traffic output.
+  std::string hooks_id;
 };
 
 struct JobResult {
@@ -148,6 +162,7 @@ struct ServiceStats {
   std::uint64_t coalesced = 0;   // requests that attached to an in-flight twin
   std::uint64_t memo_hits = 0;   // predictor calls served from the memo
   std::size_t memo_size = 0;     // distinct (hash, predictor) entries held
+  std::uint64_t memo_evicted = 0;  // LRU evictions (memo_capacity reached)
   std::array<StageStats, kStageCount> stages;
   /// The stage the pipeline is currently backing up behind: deepest
   /// inbound queue, ties broken by largest total busy time.
@@ -210,10 +225,18 @@ class ServiceCore {
   bool stopped_ = false;
 
   // The per-(block hash, predictor id) memo — the sweep engine's FNV-1a
-  // memoization, promoted to the service layer.
+  // memoization, promoted to the service layer.  LRU-bounded by
+  // cfg_.memo_capacity: memo_lru_ orders keys most-recent-first and each
+  // entry holds its own list position for O(1) touch/evict.
+  struct MemoEntry {
+    driver::Prediction pred;
+    std::list<std::string>::iterator lru;
+  };
   mutable std::mutex memo_mu_;
-  std::unordered_map<std::string, driver::Prediction> memo_;
+  std::list<std::string> memo_lru_;
+  std::unordered_map<std::string, MemoEntry> memo_;
   std::uint64_t memo_hits_ = 0;
+  std::uint64_t memo_evicted_ = 0;
 
   /// Stage workers live here; constructed last, stopped first.
   std::unique_ptr<support::ThreadPool> pool_;

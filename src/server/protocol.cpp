@@ -397,8 +397,8 @@ std::string ServerContext::handle_stats() {
       "{\"ok\": true, \"kind\": \"stats\", \"requests\": %llu, "
       "\"errors\": %llu, \"service\": {\"submitted\": %llu, "
       "\"completed\": %llu, \"failed\": %llu, \"coalesced\": %llu, "
-      "\"memo_hits\": %llu, \"memo_size\": %zu, \"saturation_stage\": "
-      "\"%s\", \"stages\": [",
+      "\"memo_hits\": %llu, \"memo_size\": %zu, \"memo_evicted\": %llu, "
+      "\"saturation_stage\": \"%s\", \"stages\": [",
       static_cast<unsigned long long>(requests()),
       static_cast<unsigned long long>(errors()),
       static_cast<unsigned long long>(st.submitted),
@@ -406,6 +406,7 @@ std::string ServerContext::handle_stats() {
       static_cast<unsigned long long>(st.failed),
       static_cast<unsigned long long>(st.coalesced),
       static_cast<unsigned long long>(st.memo_hits), st.memo_size,
+      static_cast<unsigned long long>(st.memo_evicted),
       to_string(st.saturation_stage));
   for (std::size_t s = 0; s < kStageCount; ++s) {
     const StageStats& g = st.stages[s];

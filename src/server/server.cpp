@@ -7,6 +7,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstring>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <utility>
@@ -89,15 +90,21 @@ bool write_all(int fd, const std::string& data) {
 }  // namespace
 
 struct Server::Impl {
+  /// One connection: its handler thread, its socket (guarded by `mu`, -1
+  /// once the handler closed it), and a done flag the accept loop uses to
+  /// reap finished handlers eagerly — a long-running daemon serving many
+  /// short connections must not accumulate joinable threads.
+  struct Conn {
+    std::thread th;
+    int fd = -1;
+    std::atomic<bool> done{false};
+  };
+
   ServerOptions opt;
   ServerContext context;
   int listen_fd = -1;
   std::thread accept_thread;
-  std::vector<std::thread> connections;
-  /// Live connection sockets, parallel-indexed by spawn order; -1 once a
-  /// connection closed its own fd.  request_stop() shuts the live ones
-  /// down so blocked read()s return and stop() can join.
-  std::vector<int> conn_fds;
+  std::vector<std::unique_ptr<Conn>> connections;
   std::mutex mu;
   std::condition_variable cv_stopped;
   bool stopping = false;
@@ -106,10 +113,11 @@ struct Server::Impl {
   explicit Impl(ServerOptions o)
       : opt(std::move(o)), context(opt.service) {}
 
-  void serve_connection(std::size_t idx, int fd) {
+  void serve_connection(Conn& conn, int fd) {
     FrameReader reader;
     char buf[4096];
     bool shutdown_server = false;
+    bool dead = false;  // write side failed: replies undeliverable
     for (;;) {
       const ssize_t n = ::read(fd, buf, sizeof(buf));
       if (n < 0 && errno == EINTR) continue;
@@ -118,8 +126,12 @@ struct Server::Impl {
       std::string body;
       while (reader.take(body)) {
         const std::string reply = context.handle(body, shutdown_server);
-        if (!write_all(fd, encode_frame(reply))) break;
+        if (!write_all(fd, encode_frame(reply))) {
+          dead = true;
+          break;
+        }
       }
+      if (dead) break;
       if (reader.failed()) {
         // Framing is unrecoverable: reply with the diagnostic, then drop
         // the connection.
@@ -130,10 +142,28 @@ struct Server::Impl {
     }
     {
       const std::lock_guard<std::mutex> lock(mu);
-      conn_fds[idx] = -1;
+      conn.fd = -1;
     }
     ::close(fd);
     if (shutdown_server) request_stop();
+    // Last statement: after this the accept loop may join and destroy the
+    // Conn, so nothing below may touch members (and the join cannot
+    // deadlock on `mu` — request_stop above already released it).
+    conn.done.store(true, std::memory_order_release);
+  }
+
+  /// Joins and discards every finished connection.  Caller holds `mu`;
+  /// joining a done handler returns immediately.
+  void reap_locked() {
+    auto it = connections.begin();
+    while (it != connections.end()) {
+      if ((*it)->done.load(std::memory_order_acquire)) {
+        if ((*it)->th.joinable()) (*it)->th.join();
+        it = connections.erase(it);
+      } else {
+        ++it;
+      }
+    }
   }
 
   void accept_loop() {
@@ -148,10 +178,11 @@ struct Server::Impl {
         ::close(fd);
         break;
       }
-      conn_fds.push_back(fd);
-      const std::size_t idx = conn_fds.size() - 1;
-      connections.emplace_back(
-          [this, idx, fd] { serve_connection(idx, fd); });
+      reap_locked();
+      connections.push_back(std::make_unique<Conn>());
+      Conn* conn = connections.back().get();
+      conn->fd = fd;
+      conn->th = std::thread([this, conn, fd] { serve_connection(*conn, fd); });
     }
   }
 
@@ -162,8 +193,8 @@ struct Server::Impl {
     if (stopping) return;
     stopping = true;
     if (listen_fd >= 0) ::shutdown(listen_fd, SHUT_RDWR);
-    for (int f : conn_fds) {
-      if (f >= 0) ::shutdown(f, SHUT_RDWR);
+    for (const std::unique_ptr<Conn>& c : connections) {
+      if (c->fd >= 0) ::shutdown(c->fd, SHUT_RDWR);
     }
     cv_stopped.notify_all();
   }
@@ -194,13 +225,13 @@ void Server::stop() {
     impl_->stopped = true;
   }
   if (impl_->accept_thread.joinable()) impl_->accept_thread.join();
-  std::vector<std::thread> conns;
+  std::vector<std::unique_ptr<Impl::Conn>> conns;
   {
     const std::lock_guard<std::mutex> lock(impl_->mu);
     conns.swap(impl_->connections);
   }
-  for (std::thread& t : conns) {
-    if (t.joinable()) t.join();
+  for (const std::unique_ptr<Impl::Conn>& c : conns) {
+    if (c->th.joinable()) c->th.join();
   }
   if (impl_->listen_fd >= 0) {
     ::close(impl_->listen_fd);

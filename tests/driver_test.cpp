@@ -17,6 +17,7 @@
 #include "kernels/kernels.hpp"
 #include "mca/mca.hpp"
 #include "report/json.hpp"
+#include "server/core.hpp"
 #include "support/error.hpp"
 #include "uarch/mdf.hpp"
 #include "uarch/model.hpp"
@@ -160,6 +161,37 @@ TEST(Sweep, BlocksOnDifferentMachinesNeverShareAHash) {
   for (const driver::SweepRow& row : res.rows) {
     EXPECT_EQ(res.blocks[row.block_index].variant.target, row.variant.target);
   }
+}
+
+// A failing finalize hook must not let sweep() unwind while jobs on an
+// *external* (daemon-owned) service core are still in flight: those jobs
+// hold raw pointers into sweep's call frame (predictors, machine models),
+// so the sweep has to drain every handle before it throws — and leave the
+// core healthy for later clients.
+TEST(Sweep, ExternalServiceDrainsAllJobsBeforeThrowing) {
+  server::ServiceCore core;
+  CountingPredictor a("a");
+  driver::SweepOptions opt;
+  opt.kernels = {kernels::Kernel::StreamTriad};
+  opt.compilers = {kernels::Compiler::Gcc};
+  opt.opt_levels = {kernels::OptLevel::O3};
+  const std::vector<kernels::Variant> matrix = driver::filter_matrix(opt);
+  ASSERT_GT(matrix.size(), 1u);
+  const driver::AuditHook bad_audit =
+      [](const driver::Block&) -> std::string {
+    throw support::ModelError("audit exploded");
+  };
+  EXPECT_THROW((void)driver::sweep(matrix, {&a}, 2, {}, bad_audit, {}, &core),
+               support::ModelError);
+  const server::ServiceStats st = core.stats();
+  EXPECT_EQ(st.completed, st.submitted);  // nothing left in flight
+  // The core survives the failed sweep: a fresh evaluation still works.
+  driver::Block b = driver::make_block(triad_spr());
+  server::JobRequest req;
+  req.block = b;
+  req.parsed = true;
+  req.predictors = {&a};
+  EXPECT_TRUE(core.submit(std::move(req))->wait().ok);
 }
 
 // --------------------------------------------------------------- determinism

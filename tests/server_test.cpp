@@ -49,6 +49,14 @@ std::string sum_text() {
       .assembly;
 }
 
+std::string copy_text() {
+  return kernels::generate(
+             kernels::Variant{kernels::Kernel::Copy, kernels::Compiler::Gcc,
+                              kernels::OptLevel::O3,
+                              uarch::Micro::GoldenCove})
+      .assembly;
+}
+
 class CountingPredictor final : public driver::Predictor {
  public:
   explicit CountingPredictor(std::string id = "count") : id_(std::move(id)) {}
@@ -326,6 +334,79 @@ TEST(ServiceCore, MemoServesRepeatedBlocks) {
   EXPECT_EQ(st.memo_size, 1u);
   EXPECT_EQ(st.coalesced, 0u);  // sequential, not concurrent: memo, not
                                 // coalescer
+}
+
+TEST(ServiceCore, MemoEvictsLeastRecentlyUsedPastCapacity) {
+  server::ServiceConfig cfg;
+  cfg.memo_capacity = 1;
+  server::ServiceCore core(cfg);
+  CountingPredictor count;
+  core.submit(server::ServiceCore::text_request(triad_text(), spr(),
+                                                {&count}))->wait();
+  core.submit(server::ServiceCore::text_request(sum_text(), spr(),
+                                                {&count}))->wait();
+  // Capacity 1: the sum block evicted the triad entry, so the repeat is a
+  // real re-evaluation, not a memo hit.
+  core.submit(server::ServiceCore::text_request(triad_text(), spr(),
+                                                {&count}))->wait();
+  EXPECT_EQ(count.calls.load(), 3);
+  const server::ServiceStats st = core.stats();
+  EXPECT_EQ(st.memo_size, 1u);
+  EXPECT_EQ(st.memo_evicted, 2u);
+  EXPECT_EQ(st.memo_hits, 0u);
+}
+
+TEST(ServiceCore, MemoHitRefreshesLruOrder) {
+  server::ServiceConfig cfg;
+  cfg.memo_capacity = 2;
+  server::ServiceCore core(cfg);
+  CountingPredictor count;
+  core.submit(server::ServiceCore::text_request(triad_text(), spr(),
+                                                {&count}))->wait();
+  core.submit(server::ServiceCore::text_request(sum_text(), spr(),
+                                                {&count}))->wait();
+  // Touch triad: sum becomes the least recently used entry...
+  core.submit(server::ServiceCore::text_request(triad_text(), spr(),
+                                                {&count}))->wait();
+  // ...so the third distinct block evicts sum, not triad.
+  core.submit(server::ServiceCore::text_request(copy_text(), spr(),
+                                                {&count}))->wait();
+  core.submit(server::ServiceCore::text_request(triad_text(), spr(),
+                                                {&count}))->wait();
+  EXPECT_EQ(count.calls.load(), 3);  // triad, sum, copy — never re-evaluated
+  const server::ServiceStats st = core.stats();
+  EXPECT_EQ(st.memo_size, 2u);
+  EXPECT_EQ(st.memo_evicted, 1u);
+  EXPECT_EQ(st.memo_hits, 2u);
+}
+
+TEST(ServiceCore, DistinctHookIdsDoNotCoalesce) {
+  server::ServiceCore core;
+  GatePredictor gate;
+  const std::string text = triad_text();
+  server::JobRequest a = server::ServiceCore::text_request(
+      text, spr(), {&gate},
+      [](const driver::Block&) { return std::string("A"); });
+  a.hooks_id = "hook-a";
+  server::JobRequest b = server::ServiceCore::text_request(
+      text, spr(), {&gate},
+      [](const driver::Block&) { return std::string("B"); });
+  b.hooks_id = "hook-b";
+  server::JobHandle ja = core.submit(std::move(a));
+  gate.wait_entered(1);
+  server::JobHandle jb = core.submit(std::move(b));
+  // Same block, different hook identity: B must run its own pipeline pass
+  // instead of riding along and receiving A's audit output.
+  gate.wait_entered(2);
+  EXPECT_EQ(core.stats().coalesced, 0u);
+  gate.release();
+  const server::JobResult& ra = ja->wait();
+  const server::JobResult& rb = jb->wait();
+  ASSERT_TRUE(ra.ok);
+  ASSERT_TRUE(rb.ok);
+  EXPECT_EQ(ra.audit_verdict, "A");
+  EXPECT_EQ(rb.audit_verdict, "B");
+  EXPECT_FALSE(rb.coalesced);
 }
 
 TEST(ServiceCore, IdenticalInFlightRequestsCoalesce) {

@@ -23,9 +23,11 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: incore-server --socket <path> [--workers N] "
-               "[--queue N]\n"
+               "[--queue N] [--memo N]\n"
                "  --workers N   evaluate/finalize stage workers (default 2)\n"
-               "  --queue N     per-stage queue capacity (default 256)\n");
+               "  --queue N     per-stage queue capacity (default 256)\n"
+               "  --memo N      prediction-memo LRU capacity, 0 = unbounded "
+               "(default 65536)\n");
   return 2;
 }
 
@@ -58,6 +60,18 @@ int main(int argc, char** argv) {
         return 2;
       }
       opt.service.queue_capacity = static_cast<std::size_t>(n);
+    } else if (a == "--memo" && i + 1 < argc) {
+      const std::string v = argv[++i];
+      char* end = nullptr;
+      const long n = std::strtol(v.c_str(), &end, 10);
+      if (v.empty() || *end != '\0' || n < 0) {
+        std::fprintf(stderr,
+                     "incore-server: --memo expects a non-negative capacity "
+                     "(0 = unbounded), got '%s'\n",
+                     v.c_str());
+        return 2;
+      }
+      opt.service.memo_capacity = static_cast<std::size_t>(n);
     } else {
       return usage();
     }
