@@ -4,13 +4,13 @@
 #include <chrono>
 #include <exception>
 #include <map>
-#include <mutex>
 #include <utility>
 
 #include "analysis/analyze.hpp"
 #include "asmir/parser.hpp"
 #include "exec/exec.hpp"
 #include "mca/mca.hpp"
+#include "support/annotations.hpp"
 #include "support/hash.hpp"
 #include "support/strings.hpp"
 
@@ -150,10 +150,24 @@ namespace {
 /// The block hash covers (machine name, assembly); the composition also
 /// depends on the hierarchy constants, which a loaded what-if model can
 /// edit without renaming, so they join the key.
+///
+/// The guard relationship is machine-checked (support/annotations.hpp).
+/// The mutex is a leaf of the lock hierarchy: it may be acquired while a
+/// service Job's mutex is held (the evaluate stage calls predict()), and
+/// acquires nothing itself.
+struct EcmMemo {
+  support::Mutex mu;
+  std::map<std::string, ecm::Prediction> entries INCORE_GUARDED_BY(mu);
+};
+
+EcmMemo& ecm_memo() {
+  static EcmMemo memo;
+  return memo;
+}
+
 ecm::Prediction analytic_ecm_for(const Block& b,
                                  const analysis::Report& rep) {
-  static std::mutex mu;
-  static std::map<std::string, ecm::Prediction> memo;
+  EcmMemo& memo = ecm_memo();
   const uarch::HierarchyParams& h = b.mm->hierarchy;
   // One hash definition everywhere (support::block_key): reuse the sweep's
   // dedup key when the block carries it, re-derive it through the same
@@ -168,13 +182,13 @@ ecm::Prediction analytic_ecm_for(const Block& b,
                                h.socket_cores,
                                h.write_allocate_evaded ? 1 : 0);
   {
-    const std::lock_guard<std::mutex> lock(mu);
-    auto it = memo.find(key);
-    if (it != memo.end()) return it->second;
+    const support::LockGuard lock(memo.mu);
+    auto it = memo.entries.find(key);
+    if (it != memo.entries.end()) return it->second;
   }
   const ecm::Prediction ep = ecm::predict_block(rep, b.gen.program, *b.mm);
-  const std::lock_guard<std::mutex> lock(mu);
-  return memo.emplace(key, ep).first->second;
+  const support::LockGuard lock(memo.mu);
+  return memo.entries.emplace(key, ep).first->second;
 }
 
 }  // namespace

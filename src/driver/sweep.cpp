@@ -119,7 +119,7 @@ SweepResult sweep(const std::vector<kernels::Variant>& matrix,
     std::size_t first_failed = handles.size();
     std::string first_error;
     for (std::size_t i = 0; i < handles.size(); ++i) {
-      const server::JobResult& res = handles[i]->wait();
+      const server::JobResult res = handles[i]->wait();
       if (!res.ok) {
         // Pipeline-level failure (a hook threw, or the service stopped).
         // Predictor failures are *not* job failures; they arrive per

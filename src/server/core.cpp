@@ -11,6 +11,8 @@
 
 namespace incore::server {
 
+using support::LockGuard;
+
 namespace {
 
 [[nodiscard]] std::int64_t elapsed_ns(
@@ -34,15 +36,20 @@ const char* to_string(Stage s) {
 
 // ---------------------------------------------------------------------- Job
 
-const JobResult& Job::wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this] { return done_; });
+JobResult Job::wait() {
+  const LockGuard lock(mu_);
+  while (!done_) cv_.wait(mu_);
   return res_;
 }
 
 bool Job::done() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const LockGuard lock(mu_);
   return done_;
+}
+
+driver::Block Job::block() const {
+  const LockGuard lock(mu_);
+  return req_.block;
 }
 
 // -------------------------------------------------------------- ServiceCore
@@ -60,7 +67,7 @@ ServiceCore::ServiceCore(ServiceConfig cfg) : cfg_(cfg) {
   const int workers[] = {cfg_.parse_workers, cfg_.dataflow_workers,
                          cfg_.evaluate_workers, cfg_.finalize_workers};
   int total = 0;
-  for (int w : workers) total += w;
+  for (const int w : workers) total += w;
   pool_ = std::make_unique<support::ThreadPool>(total);
   for (std::size_t s = 0; s < kStageCount; ++s) {
     for (int w = 0; w < workers[s]; ++w) {
@@ -71,7 +78,7 @@ ServiceCore::ServiceCore(ServiceConfig cfg) : cfg_(cfg) {
 
 ServiceCore::~ServiceCore() { shutdown(); }
 
-std::string ServiceCore::coalesce_key(const JobRequest& req) const {
+std::string ServiceCore::coalesce_key(const JobRequest& req) {
   std::string key = req.block.hash;
   for (const driver::Predictor* p : req.predictors) {
     key += '|';
@@ -104,62 +111,81 @@ JobRequest ServiceCore::text_request(
   return req;
 }
 
+void ServiceCore::fail_job(Job& j, const char* why) {
+  {
+    const LockGuard jlock(j.mu_);
+    j.res_.ok = false;
+    j.res_.error = why;
+    j.done_ = true;
+  }
+  j.cv_.notify_all();
+}
+
 JobHandle ServiceCore::submit(JobRequest req) {
   auto job = std::make_shared<Job>();
-  job->req_ = std::move(req);
-  if (job->req_.block.hash.empty()) {
-    // Blocks built outside make_block (raw predict_program-style callers)
-    // still get the canonical dedup identity.
-    job->req_.block.hash = support::block_key(job->req_.block.mm->name(),
-                                              job->req_.block.gen.assembly);
-  }
-  job->key_ = coalesce_key(job->req_);
+  Job& j = *job;
+  std::string key;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    // The job is not shared yet, so the lock is uncontended; it exists to
+    // keep the guarded-state invariant uniform (and machine-checkable).
+    const LockGuard jlock(j.mu_);
+    j.req_ = std::move(req);
+    if (j.req_.block.hash.empty()) {
+      // Blocks built outside make_block (raw predict_program-style callers)
+      // still get the canonical dedup identity.
+      j.req_.block.hash = support::block_key(j.req_.block.mm->name(),
+                                             j.req_.block.gen.assembly);
+    }
+    j.key_ = coalesce_key(j.req_);
+    key = j.key_;
+  }
+  bool rejected = false;
+  {
+    const LockGuard lock(mu_);
     ++submitted_;
     if (stopped_) {
       ++failed_;
-      lock.unlock();
-      job->res_.ok = false;
-      job->res_.error = "service stopped";
-      const std::lock_guard<std::mutex> jlock(job->mu_);
-      job->done_ = true;
-      job->cv_.notify_all();
-      return job;
-    }
-    ++pending_;
-    auto it = in_flight_jobs_.find(job->key_);
-    if (it != in_flight_jobs_.end()) {
-      if (JobHandle leader = it->second.lock()) {
+      rejected = true;
+    } else {
+      ++pending_;
+      auto it = in_flight_jobs_.find(key);
+      if (it != in_flight_jobs_.end() && it->second.lock() != nullptr) {
         // Identical request in flight: ride along instead of re-entering
         // the pipeline.  complete() copies the leader's result over.
-        leader->followers_.push_back(job);
+        followers_[key].push_back(job);
         ++coalesced_;
         return job;
       }
+      in_flight_jobs_[key] = job;
     }
-    in_flight_jobs_[job->key_] = job;
+  }
+  if (rejected) {
+    fail_job(j, "service stopped");
+    return job;
   }
   if (!queues_[0]->push(job)) {
-    job->res_.ok = false;
-    job->res_.error = "service stopped";
+    {
+      const LockGuard jlock(j.mu_);
+      j.res_.ok = false;
+      j.res_.error = "service stopped";
+    }
     complete(job);
   }
   return job;
 }
 
 void ServiceCore::drain() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_idle_.wait(lock, [this] { return pending_ == 0; });
+  const LockGuard lock(mu_);
+  while (pending_ != 0) cv_idle_.wait(mu_);
 }
 
 void ServiceCore::shutdown() {
   drain();
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const LockGuard lock(mu_);
     stopped_ = true;
   }
-  for (auto& q : queues_) q->close();
+  for (const auto& q : queues_) q->close();
   pool_->stop();
 }
 
@@ -169,8 +195,12 @@ void ServiceCore::stage_worker(Stage s) {
     if (!run_stage(s, *job)) continue;  // failed or finalized
     const auto next = static_cast<std::size_t>(s) + 1;
     if (!queues_[next]->push(*job)) {
-      (*job)->res_.ok = false;
-      (*job)->res_.error = "service stopped";
+      Job& j = **job;
+      {
+        const LockGuard jlock(j.mu_);
+        j.res_.ok = false;
+        j.res_.error = "service stopped";
+      }
       complete(*job);
     }
   }
@@ -181,94 +211,107 @@ bool ServiceCore::run_stage(Stage s, const JobHandle& job) {
   const auto t0 = std::chrono::steady_clock::now();
   in_flight_[si].fetch_add(1, std::memory_order_relaxed);
   bool failed = false;
-  JobRequest& req = job->req_;
-  JobResult& res = job->res_;
-  switch (s) {
-    case Stage::Parse: {
-      if (!req.parsed) {
+  Job& j = *job;
+  {
+    // One stage owns the job for the duration of its work; wait()/done()
+    // calls from other threads block on this lock, which is exactly the
+    // answer they need (the job is not done).
+    const LockGuard jlock(j.mu_);
+    JobRequest& req = j.req_;
+    JobResult& res = j.res_;
+    switch (s) {
+      case Stage::Parse: {
+        if (!req.parsed) {
+          try {
+            req.block.gen.program =
+                asmir::parse(req.block.gen.assembly, req.block.mm->isa());
+            req.parsed = true;
+          } catch (const std::exception& e) {
+            res.error = e.what();
+            failed = true;
+          }
+        }
+        if (!failed && req.block.gen.program.empty()) {
+          res.error = "no instructions parsed";
+          failed = true;
+        }
+        break;
+      }
+      case Stage::Dataflow: {
+        // Advisory digest: a program the dataflow pass cannot digest still
+        // proceeds to the evaluators (they have their own error channel).
         try {
-          req.block.gen.program =
-              asmir::parse(req.block.gen.assembly, req.block.mm->isa());
-          req.parsed = true;
+          const dataflow::Analysis df =
+              dataflow::analyze(req.block.gen.program);
+          res.instructions = df.instrs.size();
+          res.defuse_edges = df.chains.size();
+        } catch (const std::exception&) {
+          res.instructions = req.block.gen.program.size();
+          res.defuse_edges = 0;
+        }
+        break;
+      }
+      case Stage::Evaluate: {
+        res.predictions.reserve(req.predictors.size());
+        for (const driver::Predictor* p : req.predictors) {
+          const std::string memo_key = req.block.hash + '|' + p->id();
+          bool hit = false;
+          {
+            // Lock order: Job::mu_ -> ServiceCore::memo_mu_ (the only
+            // place two of this file's locks nest).
+            const LockGuard lock(memo_mu_);
+            auto it = memo_.find(memo_key);
+            if (it != memo_.end()) {
+              res.predictions.push_back(it->second.pred);
+              ++memo_hits_;
+              // Touch: move the key to the LRU front.
+              memo_lru_.splice(memo_lru_.begin(), memo_lru_, it->second.lru);
+              hit = true;
+            }
+          }
+          if (hit) continue;
+          driver::Prediction pred = p->predict(req.block);  // never throws
+          {
+            const LockGuard lock(memo_mu_);
+            auto [it, inserted] = memo_.try_emplace(memo_key);
+            if (inserted) {
+              // A racing worker may have inserted the same key first; only
+              // the winner owns an LRU slot and pays the eviction check.
+              memo_lru_.push_front(memo_key);
+              it->second.pred = pred;
+              it->second.lru = memo_lru_.begin();
+              while (cfg_.memo_capacity > 0 &&
+                     memo_.size() > cfg_.memo_capacity) {
+                memo_.erase(memo_lru_.back());
+                memo_lru_.pop_back();
+                ++memo_evicted_;
+              }
+            }
+          }
+          res.predictions.push_back(std::move(pred));
+        }
+        break;
+      }
+      case Stage::Finalize: {
+        // The hooks promise thread-safety but not noexcept; a throwing hook
+        // fails the job rather than the worker.
+        try {
+          if (req.audit) res.audit_verdict = req.audit(req.block);
+          if (req.traffic) res.traffic_line = req.traffic(req.block);
         } catch (const std::exception& e) {
           res.error = e.what();
           failed = true;
         }
+        if (!failed) res.ok = true;
+        break;
       }
-      if (!failed && req.block.gen.program.empty()) {
-        res.error = "no instructions parsed";
-        failed = true;
-      }
-      break;
-    }
-    case Stage::Dataflow: {
-      // Advisory digest: a program the dataflow pass cannot digest still
-      // proceeds to the evaluators (they have their own error channel).
-      try {
-        const dataflow::Analysis df = dataflow::analyze(req.block.gen.program);
-        res.instructions = df.instrs.size();
-        res.defuse_edges = df.chains.size();
-      } catch (const std::exception&) {
-        res.instructions = req.block.gen.program.size();
-        res.defuse_edges = 0;
-      }
-      break;
-    }
-    case Stage::Evaluate: {
-      res.predictions.reserve(req.predictors.size());
-      for (const driver::Predictor* p : req.predictors) {
-        const std::string memo_key = req.block.hash + '|' + p->id();
-        bool hit = false;
-        {
-          const std::lock_guard<std::mutex> lock(memo_mu_);
-          auto it = memo_.find(memo_key);
-          if (it != memo_.end()) {
-            res.predictions.push_back(it->second.pred);
-            ++memo_hits_;
-            // Touch: move the key to the LRU front.
-            memo_lru_.splice(memo_lru_.begin(), memo_lru_, it->second.lru);
-            hit = true;
-          }
-        }
-        if (hit) continue;
-        driver::Prediction pred = p->predict(req.block);  // never throws
-        {
-          const std::lock_guard<std::mutex> lock(memo_mu_);
-          auto [it, inserted] = memo_.try_emplace(memo_key);
-          if (inserted) {
-            // A racing worker may have inserted the same key first; only
-            // the winner owns an LRU slot and pays the eviction check.
-            memo_lru_.push_front(memo_key);
-            it->second.pred = pred;
-            it->second.lru = memo_lru_.begin();
-            while (cfg_.memo_capacity > 0 &&
-                   memo_.size() > cfg_.memo_capacity) {
-              memo_.erase(memo_lru_.back());
-              memo_lru_.pop_back();
-              ++memo_evicted_;
-            }
-          }
-        }
-        res.predictions.push_back(std::move(pred));
-      }
-      break;
-    }
-    case Stage::Finalize: {
-      // The hooks promise thread-safety but not noexcept; a throwing hook
-      // fails the job rather than the worker.
-      try {
-        if (req.audit) res.audit_verdict = req.audit(req.block);
-        if (req.traffic) res.traffic_line = req.traffic(req.block);
-      } catch (const std::exception& e) {
-        res.error = e.what();
-        failed = true;
-      }
-      if (!failed) res.ok = true;
-      break;
     }
   }
   const std::int64_t ns = elapsed_ns(t0);
-  res.stage_ns[si] = ns;
+  {
+    const LockGuard jlock(j.mu_);
+    j.res_.stage_ns[si] = ns;
+  }
   clocks_[si]->record(ns);
   in_flight_[si].fetch_sub(1, std::memory_order_relaxed);
   stage_done_[si].fetch_add(1, std::memory_order_relaxed);
@@ -280,41 +323,62 @@ bool ServiceCore::run_stage(Stage s, const JobHandle& job) {
 }
 
 void ServiceCore::complete(const JobHandle& job) {
+  Job& j = *job;
+  JobResult result;
+  std::string key;
+  {
+    // The completing stage is the job's sole owner here; copy the result
+    // out so followers can be served without holding two job locks.
+    const LockGuard jlock(j.mu_);
+    result = j.res_;
+    key = j.key_;
+  }
   std::vector<JobHandle> followers;
   {
-    const std::lock_guard<std::mutex> lock(mu_);
-    in_flight_jobs_.erase(job->key_);
-    followers = std::move(job->followers_);
-    job->followers_.clear();
+    const LockGuard lock(mu_);
+    in_flight_jobs_.erase(key);
+    auto it = followers_.find(key);
+    if (it != followers_.end()) {
+      followers = std::move(it->second);
+      followers_.erase(it);
+    }
     const std::size_t n = 1 + followers.size();
     completed_ += n;
-    if (!job->res_.ok) failed_ += n;
+    if (!result.ok) failed_ += n;
     pending_ -= n;
     if (pending_ == 0) cv_idle_.notify_all();
   }
   for (const JobHandle& f : followers) {
-    f->res_ = job->res_;
-    f->res_.coalesced = true;
-    const std::lock_guard<std::mutex> lock(f->mu_);
-    f->done_ = true;
-    f->cv_.notify_all();
+    Job& fj = *f;
+    {
+      const LockGuard flock(fj.mu_);
+      fj.res_ = result;
+      fj.res_.coalesced = true;
+      fj.done_ = true;
+    }
+    fj.cv_.notify_all();
   }
-  const std::lock_guard<std::mutex> lock(job->mu_);
-  job->done_ = true;
-  job->cv_.notify_all();
+  // Publish the leader last: its key must leave in_flight_jobs_ before
+  // done_ flips, so a racing identical submit() either attached above (and
+  // was drained) or starts a fresh leader — never both, never neither.
+  {
+    const LockGuard jlock(j.mu_);
+    j.done_ = true;
+  }
+  j.cv_.notify_all();
 }
 
 ServiceStats ServiceCore::stats() const {
   ServiceStats st;
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const LockGuard lock(mu_);
     st.submitted = submitted_;
     st.completed = completed_;
     st.failed = failed_;
     st.coalesced = coalesced_;
   }
   {
-    const std::lock_guard<std::mutex> lock(memo_mu_);
+    const LockGuard lock(memo_mu_);
     st.memo_hits = memo_hits_;
     st.memo_size = memo_.size();
     st.memo_evicted = memo_evicted_;

@@ -27,24 +27,27 @@
 // max), live queue depths and high-water marks, and the saturation stage —
 // where the pipeline is backing up right now.
 //
-// Thread-safety: submit(), drain(), stats() and Job::wait() may be called
-// from any thread.  Machine models and predictors are borrowed and must
-// outlive every job that references them.
+// Thread-safety (machine-checked, see support/annotations.hpp and
+// docs/concurrency.md): submit(), drain(), shutdown(), stats() and
+// Job::wait() may be called from any thread.  Machine models and
+// predictors are borrowed and must outlive every job that references them.
+// Lock hierarchy: a Job's mutex may be held while acquiring the core's
+// memo mutex (the evaluate stage) — never the core's coalescing mutex, and
+// the coalescing mutex is never held while acquiring a job's.
 
 #include <array>
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "driver/predictor.hpp"
+#include "support/annotations.hpp"
 #include "support/queue.hpp"
 #include "support/stageclock.hpp"
 #include "support/threadpool.hpp"
@@ -124,21 +127,32 @@ struct JobResult {
 
 /// Handle returned by submit(): wait() blocks until the pipeline finished
 /// the job (or its coalescing leader) and returns the result.
+///
+/// All mutable state is guarded by mu_; wait() and block() return copies,
+/// never references into guarded state.  A Job's mutex is held by exactly
+/// one pipeline stage at a time while that stage works on the job, so
+/// done()/wait() from other threads simply block for the duration of the
+/// current stage.
 class Job {
  public:
-  const JobResult& wait();
-  [[nodiscard]] bool done() const;
-  [[nodiscard]] const driver::Block& block() const { return req_.block; }
+  /// Blocks until the pipeline completed the job; returns a copy of the
+  /// result (safe to read after the service died).  May be called more
+  /// than once.
+  [[nodiscard]] JobResult wait() INCORE_EXCLUDES(mu_);
+  [[nodiscard]] bool done() const INCORE_EXCLUDES(mu_);
+  /// A copy of the job's block (stable once the parse stage ran; callers
+  /// typically want .hash / .text_hash after wait()).
+  [[nodiscard]] driver::Block block() const INCORE_EXCLUDES(mu_);
 
  private:
   friend class ServiceCore;
-  JobRequest req_;
-  JobResult res_;
-  std::string key_;  // coalescing key; indexes ServiceCore::in_flight_jobs_
-  std::vector<std::shared_ptr<Job>> followers_;  // coalesced onto this job
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  bool done_ = false;
+  mutable support::Mutex mu_;
+  support::CondVar cv_;
+  JobRequest req_ INCORE_GUARDED_BY(mu_);
+  JobResult res_ INCORE_GUARDED_BY(mu_);
+  /// Coalescing key; indexes ServiceCore::in_flight_jobs_ / followers_.
+  std::string key_ INCORE_GUARDED_BY(mu_);
+  bool done_ INCORE_GUARDED_BY(mu_) = false;
 };
 
 using JobHandle = std::shared_ptr<Job>;
@@ -181,16 +195,17 @@ class ServiceCore {
   /// (backpressure).  Identical in-flight requests coalesce; an identical
   /// *completed* block still reuses predictions through the memo.  After
   /// shutdown() the job completes immediately with an error result.
-  JobHandle submit(JobRequest req);
+  JobHandle submit(JobRequest req) INCORE_EXCLUDES(mu_);
 
   /// Blocks until every job submitted so far completed.
-  void drain();
+  void drain() INCORE_EXCLUDES(mu_);
 
   /// Graceful stop: drains, closes every stage queue and joins the
-  /// workers.  Idempotent; called by the destructor.
-  void shutdown();
+  /// workers.  Idempotent and safe to race with submit()/stats()/other
+  /// shutdown() callers; called by the destructor.
+  void shutdown() INCORE_EXCLUDES(mu_);
 
-  [[nodiscard]] ServiceStats stats() const;
+  [[nodiscard]] ServiceStats stats() const INCORE_EXCLUDES(mu_, memo_mu_);
 
   /// Convenience: build a raw-text JobRequest (hashing the text with
   /// support::block_key so coalescing and memoization apply).
@@ -203,26 +218,42 @@ class ServiceCore {
   void stage_worker(Stage s);
   /// Runs one stage on one job; returns false when the job must not move
   /// further down the pipeline (failed or finalized).
-  bool run_stage(Stage s, const JobHandle& job);
-  void complete(const JobHandle& job);
-  [[nodiscard]] std::string coalesce_key(const JobRequest& req) const;
+  bool run_stage(Stage s, const JobHandle& job) INCORE_EXCLUDES(memo_mu_);
+  /// Publishes the job's result: releases followers, updates the
+  /// completion counters, wakes waiters.
+  void complete(const JobHandle& job) INCORE_EXCLUDES(mu_);
+  /// Fails a job that never entered (or was ejected from) the pipeline.
+  void fail_job(Job& j, const char* why) INCORE_EXCLUDES(mu_);
+  [[nodiscard]] static std::string coalesce_key(const JobRequest& req);
 
-  ServiceConfig cfg_;
+  ServiceConfig cfg_;  // immutable after construction
+  /// Stage topology: created in the constructor, closed in shutdown();
+  /// the containers themselves are immutable in between (the queues and
+  /// clocks are internally synchronized).
   std::vector<std::unique_ptr<support::BoundedQueue<JobHandle>>> queues_;
   std::array<std::unique_ptr<support::StageClock>, kStageCount> clocks_;
   std::array<std::atomic<std::size_t>, kStageCount> in_flight_{};
   std::array<std::atomic<std::uint64_t>, kStageCount> stage_done_{};
 
   // Coalescing and completion bookkeeping.
-  mutable std::mutex mu_;
-  std::condition_variable cv_idle_;  // signals drain(): pending == 0
-  std::unordered_map<std::string, std::weak_ptr<Job>> in_flight_jobs_;
-  std::uint64_t submitted_ = 0;
-  std::uint64_t completed_ = 0;
-  std::uint64_t failed_ = 0;
-  std::uint64_t coalesced_ = 0;
-  std::size_t pending_ = 0;  // submitted (incl. followers) not yet done
-  bool stopped_ = false;
+  mutable support::Mutex mu_;
+  support::CondVar cv_idle_;  // signals drain(): pending == 0
+  std::unordered_map<std::string, std::weak_ptr<Job>> in_flight_jobs_
+      INCORE_GUARDED_BY(mu_);
+  /// Followers waiting on each in-flight leader, keyed like
+  /// in_flight_jobs_.  Lives here (not on the Job) so the coalescing state
+  /// is guarded by one mutex — complete() drains a key's followers in the
+  /// same critical section that retires its leader, which is what makes
+  /// the attach-vs-complete race lossless.
+  std::unordered_map<std::string, std::vector<JobHandle>> followers_
+      INCORE_GUARDED_BY(mu_);
+  std::uint64_t submitted_ INCORE_GUARDED_BY(mu_) = 0;
+  std::uint64_t completed_ INCORE_GUARDED_BY(mu_) = 0;
+  std::uint64_t failed_ INCORE_GUARDED_BY(mu_) = 0;
+  std::uint64_t coalesced_ INCORE_GUARDED_BY(mu_) = 0;
+  /// Submitted (incl. followers) not yet done.
+  std::size_t pending_ INCORE_GUARDED_BY(mu_) = 0;
+  bool stopped_ INCORE_GUARDED_BY(mu_) = false;
 
   // The per-(block hash, predictor id) memo — the sweep engine's FNV-1a
   // memoization, promoted to the service layer.  LRU-bounded by
@@ -232,11 +263,11 @@ class ServiceCore {
     driver::Prediction pred;
     std::list<std::string>::iterator lru;
   };
-  mutable std::mutex memo_mu_;
-  std::list<std::string> memo_lru_;
-  std::unordered_map<std::string, MemoEntry> memo_;
-  std::uint64_t memo_hits_ = 0;
-  std::uint64_t memo_evicted_ = 0;
+  mutable support::Mutex memo_mu_;
+  std::list<std::string> memo_lru_ INCORE_GUARDED_BY(memo_mu_);
+  std::unordered_map<std::string, MemoEntry> memo_ INCORE_GUARDED_BY(memo_mu_);
+  std::uint64_t memo_hits_ INCORE_GUARDED_BY(memo_mu_) = 0;
+  std::uint64_t memo_evicted_ INCORE_GUARDED_BY(memo_mu_) = 0;
 
   /// Stage workers live here; constructed last, stopped first.
   std::unique_ptr<support::ThreadPool> pool_;

@@ -168,18 +168,18 @@ ServerContext::ServerContext(ServiceConfig cfg) : core_(cfg) {
 ServerContext::~ServerContext() = default;
 
 std::uint64_t ServerContext::requests() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const support::LockGuard lock(mu_);
   return requests_;
 }
 
 std::uint64_t ServerContext::errors() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const support::LockGuard lock(mu_);
   return errors_;
 }
 
 std::string ServerContext::handle(const std::string& body, bool& shutdown) {
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const support::LockGuard lock(mu_);
     ++requests_;
   }
   std::string reply;
@@ -221,7 +221,7 @@ std::string ServerContext::handle(const std::string& body, bool& shutdown) {
     reply = error_reply(e.what());
   }
   if (reply.rfind("{\"ok\": false", 0) == 0) {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const support::LockGuard lock(mu_);
     ++errors_;
   }
   return reply;
@@ -254,10 +254,10 @@ std::string ServerContext::handle_block_command(const std::string& cmd,
   } else {
     traffic_hook = traffic_line;
   }
-  JobHandle job = core_.submit(ServiceCore::text_request(
+  const JobHandle job = core_.submit(ServiceCore::text_request(
       payload, mm, std::move(predictors), std::move(audit_hook),
       std::move(traffic_hook)));
-  const JobResult& res = job->wait();
+  const JobResult res = job->wait();
   if (!res.ok) return error_reply(cmd + ": " + res.error);
 
   std::string out = block_reply_prefix(cmd, mm, job->block(), res);

@@ -41,6 +41,7 @@
 
 #include "driver/predictor.hpp"
 #include "server/core.hpp"
+#include "support/annotations.hpp"
 
 namespace incore::server {
 
@@ -89,8 +90,8 @@ class ServerContext {
 
   [[nodiscard]] ServiceCore& core() { return core_; }
   /// Requests handled so far / requests answered with an error.
-  [[nodiscard]] std::uint64_t requests() const;
-  [[nodiscard]] std::uint64_t errors() const;
+  [[nodiscard]] std::uint64_t requests() const INCORE_EXCLUDES(mu_);
+  [[nodiscard]] std::uint64_t errors() const INCORE_EXCLUDES(mu_);
 
  private:
   std::string handle_block_command(const std::string& cmd,
@@ -107,9 +108,9 @@ class ServerContext {
   std::vector<const driver::Predictor*> models_;  // osaca, mca, testbed
   std::vector<const driver::Predictor*> ecm_;     // L1, L2, L3, Memory
 
-  mutable std::mutex mu_;
-  std::uint64_t requests_ = 0;
-  std::uint64_t errors_ = 0;
+  mutable support::Mutex mu_;  // leaf lock: guards the two counters only
+  std::uint64_t requests_ INCORE_GUARDED_BY(mu_) = 0;
+  std::uint64_t errors_ INCORE_GUARDED_BY(mu_) = 0;
 };
 
 /// {"ok": false, "error": <escaped message>}

@@ -5,19 +5,38 @@
 #include <unistd.h>
 
 #include <atomic>
-#include <condition_variable>
 #include <cstring>
 #include <memory>
-#include <mutex>
+#include <string>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "support/annotations.hpp"
 #include "support/error.hpp"
 
 namespace incore::server {
 
 namespace {
+
+/// Adapters for the two strerror_r flavours: GNU returns the message
+/// pointer (which may ignore the buffer), POSIX returns an int status and
+/// fills the buffer.  Overload resolution picks whichever the libc
+/// provides, keeping errno_text() mt-safe on both (std::strerror shares a
+/// static buffer across threads).
+[[maybe_unused]] const char* strerror_result(const char* s,
+                                             const char* /*buf*/) {
+  return s;
+}
+[[maybe_unused]] const char* strerror_result(int rc, const char* buf) {
+  return rc == 0 ? buf : "unknown error";
+}
+
+std::string errno_text(int err) {
+  char buf[256] = {};
+  return strerror_result(::strerror_r(err, buf, sizeof(buf)), buf);
+}
 
 /// Binds an AF_UNIX stream socket to `path`; -1 with `error` set on
 /// failure.  sun_path is a fixed 108-byte field, so long paths are a
@@ -33,18 +52,18 @@ int bind_unix(const std::string& path, std::string& error) {
   std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (fd < 0) {
-    error = std::string("socket(): ") + std::strerror(errno);
+    error = "socket(): " + errno_text(errno);
     return -1;
   }
   ::unlink(path.c_str());  // a previous instance's stale socket
   if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
       0) {
-    error = "bind(" + path + "): " + std::strerror(errno);
+    error = "bind(" + path + "): " + errno_text(errno);
     ::close(fd);
     return -1;
   }
   if (::listen(fd, 64) < 0) {
-    error = std::string("listen(): ") + std::strerror(errno);
+    error = "listen(): " + errno_text(errno);
     ::close(fd);
     ::unlink(path.c_str());
     return -1;
@@ -62,22 +81,26 @@ int connect_unix(const std::string& path, std::string& error) {
   std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (fd < 0) {
-    error = std::string("socket(): ") + std::strerror(errno);
+    error = "socket(): " + errno_text(errno);
     return -1;
   }
   if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
       0) {
-    error = "connect(" + path + "): " + std::strerror(errno);
+    error = "connect(" + path + "): " + errno_text(errno);
     ::close(fd);
     return -1;
   }
   return fd;
 }
 
+/// send() with MSG_NOSIGNAL, not write(): a peer that hangs up mid-reply
+/// must surface as EPIPE (false), not as a process-killing SIGPIPE — the
+/// server is a library and may not rewrite the host's signal disposition.
 bool write_all(int fd, const std::string& data) {
   std::size_t off = 0;
   while (off < data.size()) {
-    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
       return false;
@@ -90,30 +113,40 @@ bool write_all(int fd, const std::string& data) {
 }  // namespace
 
 struct Server::Impl {
-  /// One connection: its handler thread, its socket (guarded by `mu`, -1
-  /// once the handler closed it), and a done flag the accept loop uses to
-  /// reap finished handlers eagerly — a long-running daemon serving many
-  /// short connections must not accumulate joinable threads.
+  /// One connection: its handler thread and a done flag the accept loop
+  /// uses to reap finished handlers eagerly — a long-running daemon
+  /// serving many short connections must not accumulate joinable threads.
+  /// The connection's socket lives in `open_fds` (keyed by Conn address)
+  /// so its guard relationship is expressible: thread-safety attributes
+  /// can only name a capability in the same scope as the data, and the
+  /// guarding mutex belongs to Impl, not Conn.
   struct Conn {
     std::thread th;
-    int fd = -1;
     std::atomic<bool> done{false};
   };
 
   ServerOptions opt;
   ServerContext context;
+  /// Written by start() before the accept thread exists and closed by
+  /// stop() after every thread is joined; request_stop() only half-closes
+  /// it (shutdown) under `mu`.  Those orderings make it effectively
+  /// single-owner, so it stays unguarded.
   int listen_fd = -1;
   std::thread accept_thread;
-  std::vector<std::unique_ptr<Conn>> connections;
-  std::mutex mu;
-  std::condition_variable cv_stopped;
-  bool stopping = false;
-  bool stopped = false;
+  support::Mutex mu;
+  support::CondVar cv_stopped;
+  std::vector<std::unique_ptr<Conn>> connections INCORE_GUARDED_BY(mu);
+  /// Sockets still owned by live handlers; erased (then closed outside the
+  /// lock) by the handler on exit, half-closed by request_stop() to kick
+  /// handlers out of read().
+  std::unordered_map<const Conn*, int> open_fds INCORE_GUARDED_BY(mu);
+  bool stopping INCORE_GUARDED_BY(mu) = false;
+  bool stopped INCORE_GUARDED_BY(mu) = false;
 
   explicit Impl(ServerOptions o)
       : opt(std::move(o)), context(opt.service) {}
 
-  void serve_connection(Conn& conn, int fd) {
+  void serve_connection(Conn& conn, int fd) INCORE_EXCLUDES(mu) {
     FrameReader reader;
     char buf[4096];
     bool shutdown_server = false;
@@ -141,8 +174,8 @@ struct Server::Impl {
       if (shutdown_server) break;
     }
     {
-      const std::lock_guard<std::mutex> lock(mu);
-      conn.fd = -1;
+      const support::LockGuard lock(mu);
+      open_fds.erase(&conn);
     }
     ::close(fd);
     if (shutdown_server) request_stop();
@@ -154,7 +187,7 @@ struct Server::Impl {
 
   /// Joins and discards every finished connection.  Caller holds `mu`;
   /// joining a done handler returns immediately.
-  void reap_locked() {
+  void reap_locked() INCORE_REQUIRES(mu) {
     auto it = connections.begin();
     while (it != connections.end()) {
       if ((*it)->done.load(std::memory_order_acquire)) {
@@ -166,14 +199,14 @@ struct Server::Impl {
     }
   }
 
-  void accept_loop() {
+  void accept_loop() INCORE_EXCLUDES(mu) {
     for (;;) {
       const int fd = ::accept(listen_fd, nullptr, nullptr);
       if (fd < 0) {
         if (errno == EINTR) continue;
         break;  // listener closed by stop()
       }
-      const std::lock_guard<std::mutex> lock(mu);
+      const support::LockGuard lock(mu);
       if (stopping) {
         ::close(fd);
         break;
@@ -181,21 +214,20 @@ struct Server::Impl {
       reap_locked();
       connections.push_back(std::make_unique<Conn>());
       Conn* conn = connections.back().get();
-      conn->fd = fd;
+      open_fds.emplace(conn, fd);
       conn->th = std::thread([this, conn, fd] { serve_connection(*conn, fd); });
     }
   }
 
-  /// Flips the stopping flag and closes the listener, which unblocks
-  /// accept(); the full join happens in stop() on the owner's thread.
-  void request_stop() {
-    const std::lock_guard<std::mutex> lock(mu);
+  /// Flips the stopping flag and half-closes the listener and every live
+  /// connection socket, which unblocks accept() and the handlers' read();
+  /// the full join happens in stop() on the owner's thread.
+  void request_stop() INCORE_EXCLUDES(mu) {
+    const support::LockGuard lock(mu);
     if (stopping) return;
     stopping = true;
     if (listen_fd >= 0) ::shutdown(listen_fd, SHUT_RDWR);
-    for (const std::unique_ptr<Conn>& c : connections) {
-      if (c->fd >= 0) ::shutdown(c->fd, SHUT_RDWR);
-    }
+    for (const auto& [conn, fd] : open_fds) ::shutdown(fd, SHUT_RDWR);
     cv_stopped.notify_all();
   }
 };
@@ -213,21 +245,21 @@ bool Server::start(std::string& error) {
 }
 
 void Server::wait() {
-  std::unique_lock<std::mutex> lock(impl_->mu);
-  impl_->cv_stopped.wait(lock, [this] { return impl_->stopping; });
+  const support::LockGuard lock(impl_->mu);
+  while (!impl_->stopping) impl_->cv_stopped.wait(impl_->mu);
 }
 
 void Server::stop() {
   impl_->request_stop();
   {
-    const std::lock_guard<std::mutex> lock(impl_->mu);
+    const support::LockGuard lock(impl_->mu);
     if (impl_->stopped) return;
     impl_->stopped = true;
   }
   if (impl_->accept_thread.joinable()) impl_->accept_thread.join();
   std::vector<std::unique_ptr<Impl::Conn>> conns;
   {
-    const std::lock_guard<std::mutex> lock(impl_->mu);
+    const support::LockGuard lock(impl_->mu);
     conns.swap(impl_->connections);
   }
   for (const std::unique_ptr<Impl::Conn>& c : conns) {
@@ -248,9 +280,9 @@ std::string request(const std::string& socket_path, const std::string& body) {
   const int fd = connect_unix(socket_path, error);
   if (fd < 0) throw support::ModelError("client: " + error);
   if (!write_all(fd, encode_frame(body))) {
+    const int err = errno;
     ::close(fd);
-    throw support::ModelError("client: write failed: " +
-                              std::string(std::strerror(errno)));
+    throw support::ModelError("client: write failed: " + errno_text(err));
   }
   FrameReader reader;
   char buf[4096];

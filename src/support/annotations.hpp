@@ -1,0 +1,158 @@
+#pragma once
+// Clang Thread Safety Analysis vocabulary for the codebase's own
+// concurrency, plus the annotated locking primitives every shared-state
+// class builds on (support::Mutex / CondVar / LockGuard).
+//
+// The repo's philosophy is static-analysis-first: kernels are gated by the
+// VM/VK/VP/VT lint catalog, and — since this header — the service stack's
+// locking discipline is machine-checked the same way.  Under clang,
+// `-Wthread-safety` (the INCORE_THREAD_SAFETY CMake option, on by default)
+// proves at compile time that every access to a guarded member holds the
+// right mutex; under other compilers the macros expand to nothing and the
+// wrappers cost exactly what std::mutex / std::lock_guard cost.
+//
+// Usage pattern (see docs/concurrency.md for the lock hierarchy):
+//
+//   class Account {
+//     void deposit(int n) INCORE_EXCLUDES(mu_) {
+//       const support::LockGuard lock(mu_);
+//       balance_ += n;                       // OK: mu_ held
+//     }
+//     support::Mutex mu_;
+//     int balance_ INCORE_GUARDED_BY(mu_) = 0;
+//   };
+//
+// Two analysis-driven style rules, both enforced by the annotations:
+//  * critical sections are scoped-lock-only (LockGuard), never manual
+//    lock()/unlock() pairs — so no path can leak a held mutex;
+//  * guarded state never escapes by reference: accessors copy under the
+//    lock (the analysis cannot track a reference once it leaves the
+//    critical section, so the code must not create one).
+
+#include <condition_variable>
+#include <mutex>
+
+// ---------------------------------------------------------------- attributes
+
+#if defined(__clang__) && !defined(SWIG)
+#define INCORE_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define INCORE_THREAD_ANNOTATION(x)  // expands to nothing outside clang
+#endif
+
+/// Marks a type as a lockable capability ("mutex" names the capability kind
+/// in diagnostics).
+#define INCORE_CAPABILITY(x) INCORE_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define INCORE_SCOPED_CAPABILITY INCORE_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member: may only be read or written while holding `x`.
+#define INCORE_GUARDED_BY(x) INCORE_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member: the *pointee* may only be accessed while holding `x`.
+#define INCORE_PT_GUARDED_BY(x) INCORE_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function: caller must hold the capability (exclusively / shared).
+#define INCORE_REQUIRES(...) \
+  INCORE_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define INCORE_REQUIRES_SHARED(...) \
+  INCORE_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function: acquires the capability and holds it past return.
+#define INCORE_ACQUIRE(...) \
+  INCORE_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define INCORE_ACQUIRE_SHARED(...) \
+  INCORE_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// Function: releases a capability the caller held on entry.
+#define INCORE_RELEASE(...) \
+  INCORE_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define INCORE_RELEASE_SHARED(...) \
+  INCORE_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// Function: acquires the capability iff it returns `b`.
+#define INCORE_TRY_ACQUIRE(...) \
+  INCORE_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Function: caller must NOT hold the capability (deadlock prevention —
+/// the function acquires it itself).
+#define INCORE_EXCLUDES(...) \
+  INCORE_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function: asserts (at runtime) that the capability is held.
+#define INCORE_ASSERT_CAPABILITY(x) \
+  INCORE_THREAD_ANNOTATION(assert_capability(x))
+
+/// Function returning a reference to the capability guarding its result.
+#define INCORE_RETURN_CAPABILITY(x) INCORE_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch, always paired with a justifying comment.
+#define INCORE_NO_THREAD_SAFETY_ANALYSIS \
+  INCORE_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace incore::support {
+
+// ---------------------------------------------------------------- primitives
+
+/// std::mutex with the capability attribute the analysis needs.  All the
+/// codebase's mutexes are this type; lock()/unlock() exist for the RAII
+/// wrappers and CondVar, not for direct use (scoped-lock-only rule above).
+class INCORE_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() INCORE_ACQUIRE() { mu_.lock(); }
+  void unlock() INCORE_RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool try_lock() INCORE_TRY_ACQUIRE(true) {
+    return mu_.try_lock();
+  }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Scoped exclusive lock over a Mutex — the only way critical sections are
+/// written in this codebase (std::lock_guard cannot carry the scoped
+/// acquire/release annotations).
+class INCORE_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& mu) INCORE_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~LockGuard() INCORE_RELEASE() { mu_.unlock(); }
+
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable bound to a Mutex at the wait site, abseil-style: the
+/// caller holds the mutex, wait() releases it while blocked and reacquires
+/// before returning — which is exactly what INCORE_REQUIRES expresses, so
+/// call sites stay fully analyzable.  Always used in a `while (!pred)`
+/// loop (never a bare wait), which also satisfies
+/// bugprone-spuriously-wake-up-functions.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks until notified (or spuriously), and
+  /// reacquires `mu` before returning.
+  void wait(Mutex& mu) INCORE_REQUIRES(mu) { cv_.wait(mu); }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  // condition_variable_any: waits on the annotated Mutex directly (it is a
+  // BasicLockable).  The stage work items coupled through these waits are
+  // coarse (whole requests), so the _any indirection is noise.
+  std::condition_variable_any cv_;
+};
+
+}  // namespace incore::support

@@ -13,13 +13,17 @@
 //    are refused;
 //  * stage work items are coarse (a whole request), so a mutex-protected
 //    ring is plenty — this is not a lock-free hot loop.
+//
+// Locking discipline (machine-checked, see support/annotations.hpp): every
+// mutable member is guarded by mu_; mu_ is a leaf of the lock hierarchy.
 
-#include <condition_variable>
+#include <algorithm>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
+
+#include "support/annotations.hpp"
 
 namespace incore::support {
 
@@ -35,21 +39,22 @@ class BoundedQueue {
 
   /// Blocks while the queue is full; returns false (dropping the item) when
   /// the queue was closed before space became available.
-  bool push(T item) {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_space_.wait(lock, [this] { return closed_ || items_.size() < capacity_; });
-    if (closed_) return false;
-    items_.push_back(std::move(item));
-    max_depth_ = std::max(max_depth_, items_.size());
-    lock.unlock();
+  bool push(T item) INCORE_EXCLUDES(mu_) {
+    {
+      const LockGuard lock(mu_);
+      while (!closed_ && items_.size() >= capacity_) cv_space_.wait(mu_);
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+      max_depth_ = std::max(max_depth_, items_.size());
+    }
     cv_item_.notify_one();
     return true;
   }
 
   /// Non-blocking push: false when full or closed.
-  bool try_push(T item) {
+  bool try_push(T item) INCORE_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      const LockGuard lock(mu_);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(item));
       max_depth_ = std::max(max_depth_, items_.size());
@@ -60,42 +65,44 @@ class BoundedQueue {
 
   /// Blocks while the queue is empty; returns nullopt once the queue is
   /// closed *and* drained (items accepted before close() still come out).
-  std::optional<T> pop() {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_item_.wait(lock, [this] { return closed_ || !items_.empty(); });
-    if (items_.empty()) return std::nullopt;
-    T item = std::move(items_.front());
-    items_.pop_front();
-    lock.unlock();
+  std::optional<T> pop() INCORE_EXCLUDES(mu_) {
+    std::optional<T> item;
+    {
+      const LockGuard lock(mu_);
+      while (!closed_ && items_.empty()) cv_item_.wait(mu_);
+      if (items_.empty()) return std::nullopt;
+      item.emplace(std::move(items_.front()));
+      items_.pop_front();
+    }
     cv_space_.notify_one();
     return item;
   }
 
   /// Refuses further pushes and wakes every blocked producer and consumer.
   /// Idempotent.
-  void close() {
+  void close() INCORE_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      const LockGuard lock(mu_);
       closed_ = true;
     }
     cv_item_.notify_all();
     cv_space_.notify_all();
   }
 
-  [[nodiscard]] bool closed() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  [[nodiscard]] bool closed() const INCORE_EXCLUDES(mu_) {
+    const LockGuard lock(mu_);
     return closed_;
   }
 
   /// Items currently queued (not the ones being processed downstream).
-  [[nodiscard]] std::size_t depth() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  [[nodiscard]] std::size_t depth() const INCORE_EXCLUDES(mu_) {
+    const LockGuard lock(mu_);
     return items_.size();
   }
 
   /// High-water mark of depth() over the queue's lifetime.
-  [[nodiscard]] std::size_t max_depth() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  [[nodiscard]] std::size_t max_depth() const INCORE_EXCLUDES(mu_) {
+    const LockGuard lock(mu_);
     return max_depth_;
   }
 
@@ -103,12 +110,12 @@ class BoundedQueue {
 
  private:
   const std::size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_item_;   // signals consumers: item available
-  std::condition_variable cv_space_;  // signals producers: space available
-  std::deque<T> items_;
-  std::size_t max_depth_ = 0;
-  bool closed_ = false;
+  mutable Mutex mu_;
+  CondVar cv_item_;   // signals consumers: item available
+  CondVar cv_space_;  // signals producers: space available
+  std::deque<T> items_ INCORE_GUARDED_BY(mu_);
+  std::size_t max_depth_ INCORE_GUARDED_BY(mu_) = 0;
+  bool closed_ INCORE_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace incore::support

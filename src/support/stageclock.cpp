@@ -8,7 +8,7 @@ StageClock::StageClock(std::size_t window)
     : window_(window == 0 ? 1 : window, 0) {}
 
 void StageClock::record(std::int64_t elapsed_ns) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const LockGuard lock(mu_);
   window_[next_] = elapsed_ns;
   next_ = (next_ + 1) % window_.size();
   filled_ = std::min(filled_ + 1, window_.size());
@@ -21,7 +21,7 @@ StageClock::Snapshot StageClock::snapshot() const {
   std::vector<std::int64_t> samples;
   Snapshot s;
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const LockGuard lock(mu_);
     s.count = count_;
     s.total_ns = total_ns_;
     s.max_ns = max_ns_;

@@ -6,13 +6,16 @@
 // uptime — a long-running server wants current behavior, not history).
 //
 // Thread-safety: record() and snapshot() may race freely; a Snapshot is a
-// consistent point-in-time copy.
+// consistent point-in-time copy.  Every mutable member is guarded by mu_
+// (machine-checked, see support/annotations.hpp); mu_ is a leaf of the
+// lock hierarchy.
 
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <vector>
+
+#include "support/annotations.hpp"
 
 namespace incore::support {
 
@@ -22,7 +25,7 @@ class StageClock {
   explicit StageClock(std::size_t window = 4096);
 
   /// Records one elapsed interval.
-  void record(std::int64_t elapsed_ns);
+  void record(std::int64_t elapsed_ns) INCORE_EXCLUDES(mu_);
 
   struct Snapshot {
     std::uint64_t count = 0;        // intervals recorded since construction
@@ -32,16 +35,17 @@ class StageClock {
     std::int64_t max_ns = 0;        // largest interval ever recorded
   };
 
-  [[nodiscard]] Snapshot snapshot() const;
+  [[nodiscard]] Snapshot snapshot() const INCORE_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::vector<std::int64_t> window_;  // ring buffer of recent samples
-  std::size_t next_ = 0;              // ring cursor
-  std::size_t filled_ = 0;            // valid entries in window_
-  std::uint64_t count_ = 0;
-  std::int64_t total_ns_ = 0;
-  std::int64_t max_ns_ = 0;
+  mutable Mutex mu_;
+  /// Ring buffer of recent samples.
+  std::vector<std::int64_t> window_ INCORE_GUARDED_BY(mu_);
+  std::size_t next_ INCORE_GUARDED_BY(mu_) = 0;    // ring cursor
+  std::size_t filled_ INCORE_GUARDED_BY(mu_) = 0;  // valid entries in window_
+  std::uint64_t count_ INCORE_GUARDED_BY(mu_) = 0;
+  std::int64_t total_ns_ INCORE_GUARDED_BY(mu_) = 0;
+  std::int64_t max_ns_ INCORE_GUARDED_BY(mu_) = 0;
 };
 
 /// RAII interval: records the scope's wall time into the clock on

@@ -26,7 +26,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    const LockGuard lock(mu_);
     if (stop_) throw std::runtime_error("ThreadPool: submit after stop()");
     queue_.push(std::move(task));
     ++in_flight_;
@@ -34,31 +34,47 @@ void ThreadPool::submit(std::function<void()> task) {
   cv_task_.notify_one();
 }
 
-void ThreadPool::rethrow_pending_locked(std::unique_lock<std::mutex>& lock) {
-  if (!first_error_) return;
-  std::exception_ptr err = std::exchange(first_error_, nullptr);
-  lock.unlock();
-  std::rethrow_exception(err);
+std::exception_ptr ThreadPool::take_error() {
+  return std::exchange(first_error_, nullptr);
 }
 
 void ThreadPool::wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_done_.wait(lock, [this] { return in_flight_ == 0; });
-  rethrow_pending_locked(lock);
+  std::exception_ptr err;
+  {
+    const LockGuard lock(mu_);
+    while (in_flight_ != 0) cv_done_.wait(mu_);
+    err = take_error();
+  }
+  if (err) std::rethrow_exception(err);
 }
 
 void ThreadPool::stop() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_done_.wait(lock, [this] { return in_flight_ == 0; });
-  stop_ = true;
-  if (!joined_) {
-    joined_ = true;
-    lock.unlock();
+  bool joiner = false;
+  {
+    const LockGuard lock(mu_);
+    while (in_flight_ != 0) cv_done_.wait(mu_);
+    stop_ = true;
+    if (!join_started_) {
+      join_started_ = true;
+      joiner = true;
+    }
+  }
+  std::exception_ptr err;
+  if (joiner) {
+    // Exactly one caller joins; everyone else parks on join_done_ below,
+    // so no stop() returns while workers_ is still being walked.
     cv_task_.notify_all();
     for (std::thread& t : workers_) t.join();
-    lock.lock();
+    const LockGuard lock(mu_);
+    join_done_ = true;
+    err = take_error();
+  } else {
+    const LockGuard lock(mu_);
+    while (!join_done_) cv_done_.wait(mu_);
+    err = take_error();
   }
-  rethrow_pending_locked(lock);
+  cv_done_.notify_all();
+  if (err) std::rethrow_exception(err);
 }
 
 int ThreadPool::default_jobs(int cap) {
@@ -71,8 +87,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      const LockGuard lock(mu_);
+      while (!stop_ && queue_.empty()) cv_task_.wait(mu_);
       if (queue_.empty()) return;  // stop_ set and nothing left to run
       task = std::move(queue_.front());
       queue_.pop();
@@ -83,11 +99,11 @@ void ThreadPool::worker_loop() {
       // Keep the worker alive for the next task; report the failure to the
       // submitter from wait()/stop().  Only the first exception survives —
       // later ones are usually cascade noise.
-      std::lock_guard<std::mutex> lock(mu_);
+      const LockGuard lock(mu_);
       if (!first_error_) first_error_ = std::current_exception();
     }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      const LockGuard lock(mu_);
       --in_flight_;
     }
     cv_done_.notify_all();

@@ -13,15 +13,22 @@
 //    next wait()/stop() caller, and the worker carries on with the next
 //    task; stop() drains gracefully and joins, after which the pool can be
 //    destroyed (or queried) but accepts no further work.
+//
+// Locking discipline (machine-checked, see support/annotations.hpp): every
+// mutable member is guarded by mu_; mu_ is a leaf of the lock hierarchy
+// (no other lock is ever acquired while holding it).  Exactly one caller
+// performs the join (the join_started_ ticket); every other stop() caller
+// blocks until join_done_, so no stop() — in particular not the
+// destructor's — can return while workers are still being joined.
 
-#include <condition_variable>
 #include <cstddef>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "support/annotations.hpp"
 
 namespace incore::support {
 
@@ -37,18 +44,19 @@ class ThreadPool {
   /// Enqueues a task.  A task that throws is captured, not fatal: the first
   /// exception is rethrown from the next wait() or stop().  Throws
   /// std::runtime_error if the pool was already stopped.
-  void submit(std::function<void()> task);
+  void submit(std::function<void()> task) INCORE_EXCLUDES(mu_);
 
   /// Blocks until every submitted task has finished executing, then
   /// rethrows the first worker exception captured since the last wait()
   /// (if any).
-  void wait();
+  void wait() INCORE_EXCLUDES(mu_);
 
   /// Graceful drain-and-stop: waits for the queue to empty and every
   /// running task to finish, joins all workers, then rethrows the first
-  /// captured worker exception (if any).  Idempotent; after stop() the
-  /// pool accepts no further submissions.
-  void stop();
+  /// captured worker exception (if any).  Idempotent and safe to race:
+  /// every concurrent caller returns only after the join completed; after
+  /// stop() the pool accepts no further submissions.
+  void stop() INCORE_EXCLUDES(mu_);
 
   [[nodiscard]] int size() const { return static_cast<int>(workers_.size()); }
 
@@ -57,18 +65,23 @@ class ThreadPool {
   [[nodiscard]] static int default_jobs(int cap = 8);
 
  private:
-  void worker_loop();
-  void rethrow_pending_locked(std::unique_lock<std::mutex>& lock);
+  void worker_loop() INCORE_EXCLUDES(mu_);
+  /// Pops first_error_ for rethrow by the caller (outside the lock).
+  [[nodiscard]] std::exception_ptr take_error() INCORE_REQUIRES(mu_);
 
+  /// Created in the constructor, joined by the single join_started_ ticket
+  /// holder in stop(); immutable in between — not mu_-guarded.
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable cv_task_;   // signals workers: work or shutdown
-  std::condition_variable cv_done_;   // signals wait(): everything drained
-  std::size_t in_flight_ = 0;         // queued + currently executing
-  std::exception_ptr first_error_;    // first task exception since last wait
-  bool stop_ = false;
-  bool joined_ = false;
+
+  Mutex mu_;
+  CondVar cv_task_;   // signals workers: work or shutdown
+  CondVar cv_done_;   // signals wait()/stop(): drained, or join finished
+  std::queue<std::function<void()>> queue_ INCORE_GUARDED_BY(mu_);
+  std::size_t in_flight_ INCORE_GUARDED_BY(mu_) = 0;  // queued + executing
+  std::exception_ptr first_error_ INCORE_GUARDED_BY(mu_);
+  bool stop_ INCORE_GUARDED_BY(mu_) = false;
+  bool join_started_ INCORE_GUARDED_BY(mu_) = false;  // a stop() is joining
+  bool join_done_ INCORE_GUARDED_BY(mu_) = false;     // workers all joined
 };
 
 /// Runs fn(0), ..., fn(n-1) across `jobs` pool workers and returns when all

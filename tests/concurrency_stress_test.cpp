@@ -1,0 +1,360 @@
+// Race-hunting stress tests for the service stack.  Unlike the
+// deterministic pipeline tests in server_test.cpp, these are designed for
+// a ThreadSanitizer build (INCORE_SANITIZE=thread): many client threads
+// hammering one ServiceCore/Server with coalescing-colliding requests
+// while stats(), drain() and shutdown() race.  They also assert functional
+// invariants (no lost replies, exactly-once evaluation where the memo
+// guarantees it), so they earn their keep in an unsanitized run too.
+//
+// Each test pins a defect class found while building the concurrency
+// layer; see the comment on the individual test.
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "driver/predictor.hpp"
+#include "driver/sweep.hpp"
+#include "kernels/kernels.hpp"
+#include "server/core.hpp"
+#include "server/server.hpp"
+#include "support/queue.hpp"
+#include "support/threadpool.hpp"
+#include "uarch/model.hpp"
+#include "uarch/registry.hpp"
+
+using namespace incore;
+
+namespace {
+
+const uarch::MachineModel& spr() {
+  return uarch::machine(uarch::Micro::GoldenCove);
+}
+
+std::string kernel_text(kernels::Kernel k) {
+  return kernels::generate(kernels::Variant{k, kernels::Compiler::Gcc,
+                                            kernels::OptLevel::O3,
+                                            uarch::Micro::GoldenCove})
+      .assembly;
+}
+
+class CountingPredictor final : public driver::Predictor {
+ public:
+  explicit CountingPredictor(std::string id = "count") : id_(std::move(id)) {}
+  [[nodiscard]] const std::string& id() const override { return id_; }
+  [[nodiscard]] driver::Prediction predict(
+      const driver::Block& b) const override {
+    calls.fetch_add(1, std::memory_order_relaxed);
+    driver::Prediction p;
+    p.model = id_;
+    p.ok = true;
+    p.cycles_per_iteration = static_cast<double>(b.gen.program.size());
+    return p;
+  }
+  mutable std::atomic<int> calls{0};
+
+ private:
+  std::string id_;
+};
+
+}  // namespace
+
+// --------------------------------------------------------------- ThreadPool
+
+// Pins the concurrent-stop() join race: stop() used to let a second caller
+// return as soon as the stop flag was set, while the first caller was
+// still join()ing the workers — destroying the pool from the early
+// returner was a use-after-free.  Now every stop() caller blocks until the
+// join completed (one caller takes the join ticket, the rest wait on
+// join_done_), so destruction after any stop() is safe.
+TEST(ThreadPoolStress, ConcurrentStopReturnsOnlyAfterJoin) {
+  for (int round = 0; round < 20; ++round) {
+    auto pool = std::make_unique<support::ThreadPool>(4);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 64; ++i) {
+      pool->submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    }
+    std::vector<std::thread> stoppers;
+    stoppers.reserve(4);
+    for (int i = 0; i < 4; ++i) {
+      stoppers.emplace_back([&pool] { pool->stop(); });
+    }
+    for (std::thread& t : stoppers) t.join();
+    // Every stopper has returned, so the workers are joined and the pool
+    // can die right now — this line is where the old race detonated.
+    pool.reset();
+    EXPECT_EQ(ran.load(), 64);
+  }
+}
+
+// ------------------------------------------------------------- ServiceCore
+
+// N clients submit the *same* text (coalescing-colliding) plus a private
+// block each, while one thread polls stats() and the main thread finishes
+// with racing shutdown() calls.  Asserts no reply is lost (every handle
+// completes), the shared block was evaluated once per predictor (memo +
+// coalescer), and the counters balance.
+TEST(ServiceStress, CoalescingCollisionsWithStatsAndShutdownRace) {
+  const std::string shared = kernel_text(kernels::Kernel::StreamTriad);
+  const std::string priv_a = kernel_text(kernels::Kernel::SumReduction);
+  const std::string priv_b = kernel_text(kernels::Kernel::Copy);
+  CountingPredictor counter;
+  const std::vector<const driver::Predictor*> preds = {&counter};
+
+  server::ServiceConfig cfg;
+  cfg.evaluate_workers = 2;
+  cfg.finalize_workers = 2;
+  server::ServiceCore core(cfg);
+
+  constexpr int kClients = 8;
+  constexpr int kRequestsPerClient = 12;
+  std::atomic<bool> stop_stats{false};
+  std::atomic<std::uint64_t> ok_replies{0};
+
+  std::thread stats_poller([&] {
+    while (!stop_stats.load(std::memory_order_acquire)) {
+      const server::ServiceStats s = core.stats();
+      // The counters are sampled mid-flight but must never be nonsense.
+      EXPECT_LE(s.completed, s.submitted);
+    }
+  });
+
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      const std::string& mine = (c % 2 != 0) ? priv_a : priv_b;
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        std::vector<server::JobHandle> handles;
+        handles.push_back(core.submit(
+            server::ServiceCore::text_request(shared, spr(), preds)));
+        handles.push_back(core.submit(
+            server::ServiceCore::text_request(mine, spr(), preds)));
+        for (const server::JobHandle& h : handles) {
+          const server::JobResult res = h->wait();
+          ASSERT_TRUE(res.ok) << res.error;
+          ASSERT_EQ(res.predictions.size(), 1u);
+          ok_replies.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  stop_stats.store(true, std::memory_order_release);
+  stats_poller.join();
+
+  EXPECT_EQ(ok_replies.load(),
+            static_cast<std::uint64_t>(kClients * kRequestsPerClient * 2));
+  const server::ServiceStats s = core.stats();
+  EXPECT_EQ(s.completed, s.submitted);
+  EXPECT_EQ(s.failed, 0u);
+  // Three distinct blocks, one predictor: the memo admits at most three
+  // evaluations no matter how the coalescer and clients interleave.
+  EXPECT_EQ(counter.calls.load(), 3);
+
+  // Racing shutdowns (plus a straggler submit) must neither hang nor trip
+  // TSan; the straggler either completes or reports the shutdown error.
+  std::thread shut_a([&] { core.shutdown(); });
+  std::thread shut_b([&] { core.shutdown(); });
+  const server::JobHandle late =
+      core.submit(server::ServiceCore::text_request(shared, spr(), preds));
+  const server::JobResult late_res = late->wait();
+  if (!late_res.ok) {
+    EXPECT_FALSE(late_res.error.empty());
+  }
+  shut_a.join();
+  shut_b.join();
+}
+
+// Concurrent batch sweeps sharing one long-lived core — the daemon's
+// `sweep` command path.  Each sweep must see a complete, correctly-ordered
+// result, and the shared memo must keep the per-block evaluation count at
+// one per predictor across *all* sweeps.
+TEST(ServiceStress, ConcurrentSweepsShareOneCore) {
+  CountingPredictor counter;
+  const std::vector<const driver::Predictor*> preds = {&counter};
+
+  server::ServiceConfig cfg;
+  cfg.evaluate_workers = 2;
+  server::ServiceCore core(cfg);
+
+  driver::SweepOptions opt;
+  opt.kernels = {kernels::Kernel::Add, kernels::Kernel::Copy};
+  const std::vector<kernels::Variant> matrix = driver::filter_matrix(opt);
+  ASSERT_FALSE(matrix.empty());
+
+  constexpr int kSweeps = 4;
+  std::vector<driver::SweepResult> results(kSweeps);
+  std::vector<std::thread> sweepers;
+  sweepers.reserve(kSweeps);
+  for (int i = 0; i < kSweeps; ++i) {
+    sweepers.emplace_back([&, i] {
+      results[i] = driver::sweep(matrix, preds, 2, {}, {}, {}, &core);
+    });
+  }
+  for (std::thread& t : sweepers) t.join();
+
+  for (const driver::SweepResult& r : results) {
+    ASSERT_EQ(r.rows.size(), matrix.size());
+    for (const driver::SweepRow& row : r.rows) {
+      ASSERT_EQ(row.predictions.size(), 1u);
+      EXPECT_TRUE(row.predictions[0].ok);
+    }
+    // All sweeps ran the same matrix: identical unique-block sets.
+    EXPECT_EQ(r.blocks.size(), results[0].blocks.size());
+  }
+  // The shared memo collapses the duplicate work across sweeps.
+  EXPECT_EQ(counter.calls.load(),
+            static_cast<int>(results[0].blocks.size()));
+  core.shutdown();
+}
+
+// Memo eviction under contention: a memo sized far below the working set
+// forces constant LRU eviction while N threads rotate through distinct
+// blocks.  Everything must still complete ok, and the eviction counter
+// must move — the LRU list and map stay consistent under the lock.
+TEST(ServiceStress, MemoEvictionUnderContention) {
+  CountingPredictor counter;
+  const std::vector<const driver::Predictor*> preds = {&counter};
+
+  server::ServiceConfig cfg;
+  cfg.evaluate_workers = 2;
+  cfg.memo_capacity = 2;  // working set below: 4 distinct blocks
+  server::ServiceCore core(cfg);
+
+  const std::vector<std::string> texts = {
+      kernel_text(kernels::Kernel::Add),
+      kernel_text(kernels::Kernel::Copy),
+      kernel_text(kernels::Kernel::SumReduction),
+      kernel_text(kernels::Kernel::StreamTriad),
+  };
+
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 16;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kRounds; ++i) {
+        const std::string& text = texts[(t + i) % texts.size()];
+        const server::JobHandle h =
+            core.submit(server::ServiceCore::text_request(text, spr(), preds));
+        const server::JobResult res = h->wait();
+        ASSERT_TRUE(res.ok) << res.error;
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+
+  const server::ServiceStats s = core.stats();
+  EXPECT_EQ(s.failed, 0u);
+  EXPECT_EQ(s.completed, s.submitted);
+  EXPECT_LE(s.memo_size, cfg.memo_capacity);
+  EXPECT_GT(s.memo_evicted, 0u);
+  core.shutdown();
+}
+
+// ------------------------------------------------------------------ Server
+
+// Pins the SIGPIPE defect found by the shutdown-race stress below: the
+// server used plain write() for replies, so a client that hung up without
+// reading killed the whole host process with SIGPIPE once the handler
+// wrote the reply (exit 141 in the stress run).  write_all now sends with
+// MSG_NOSIGNAL and treats EPIPE as a dead connection.
+TEST(ServerStress, ClientHangupBeforeReplyDoesNotKillServer) {
+  const std::string path =
+      "/tmp/incore_hangup_" + std::to_string(::getpid()) + ".sock";
+  server::ServerOptions opt;
+  opt.socket_path = path;
+  server::Server srv(opt);
+  std::string error;
+  ASSERT_TRUE(srv.start(error)) << error;
+
+  // A rude client: send a slow request, then hang up without reading the
+  // reply.  The handler's write lands on a closed peer.
+  const std::string body = "analyze spr\n" + kernel_text(kernels::Kernel::Add);
+  for (int i = 0; i < 4; ++i) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    ASSERT_LT(path.size(), sizeof(addr.sun_path));
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                        sizeof(addr)),
+              0);
+    const std::string frame =
+        "INCORE " + std::to_string(body.size()) + "\n" + body;
+    ASSERT_EQ(::send(fd, frame.data(), frame.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(frame.size()));
+    ::close(fd);  // before the reply
+  }
+
+  // The server (this process) must still be alive and serving.
+  const std::string reply = server::request(path, "ping");
+  EXPECT_NE(reply.find("\"ok\": true"), std::string::npos) << reply;
+  srv.stop();
+  std::remove(path.c_str());
+}
+
+// N socket clients hammer one daemon with colliding `analyze` bodies and
+// interleaved `stats` probes, then shutdown races the stragglers.  Covers
+// the connection registry (open_fds map, eager reaping) and the
+// stats-vs-traffic races on ServerContext's counters.
+TEST(ServerStress, ManyClientsWithStatsAndShutdownRace) {
+  const std::string path =
+      "/tmp/incore_stress_" + std::to_string(::getpid()) + ".sock";
+  server::ServerOptions opt;
+  opt.socket_path = path;
+  opt.service.evaluate_workers = 2;
+  server::Server srv(opt);
+  std::string error;
+  ASSERT_TRUE(srv.start(error)) << error;
+
+  const std::string body = "analyze spr\n" + kernel_text(kernels::Kernel::Add);
+  constexpr int kClients = 6;
+  constexpr int kRequestsPerClient = 4;
+  std::atomic<int> ok_replies{0};
+
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        const std::string reply = server::request(path, body);
+        if (reply.find("\"ok\": true") != std::string::npos) {
+          ok_replies.fetch_add(1, std::memory_order_relaxed);
+        }
+        const std::string stats = server::request(path, "stats");
+        EXPECT_NE(stats.find("\"ok\": true"), std::string::npos) << stats;
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(ok_replies.load(), kClients * kRequestsPerClient);
+
+  // A client-initiated shutdown racing a direct stop(): both paths must
+  // converge on one clean teardown (idempotent stop, all threads joined).
+  std::thread shutdown_client([&] {
+    try {
+      const std::string reply = server::request(path, "shutdown");
+      EXPECT_NE(reply.find("\"ok\": true"), std::string::npos) << reply;
+    } catch (const std::exception&) {
+      // The direct stop() below may win and close the listener first.
+    }
+  });
+  srv.stop();
+  shutdown_client.join();
+  srv.stop();  // idempotent
+  std::remove(path.c_str());
+}

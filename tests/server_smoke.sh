@@ -4,17 +4,54 @@
 # checks the JSON replies, the malformed-request diagnostics and the stats
 # counters, then shuts the server down cleanly and verifies it exited.
 #
+# Cleanup discipline: every temp file lives under one directory removed by
+# a trap that also covers INT/TERM/HUP, and the server is killed through a
+# bounded wait loop — a failing assertion (set -e) must not leave a stray
+# daemon or scratch files behind.
+#
 #   server_smoke.sh <incore-server> <incore-cli>
 set -e
 
 SERVER="$1"
 CLI="$2"
 SOCK="/tmp/incore_smoke_$$.sock"
-LOG="server_smoke_$$.log"
+TMPDIR_SMOKE="/tmp/incore_smoke_$$"
+LOG="$TMPDIR_SMOKE/server.log"
+SRV_PID=""
+
+# Waits up to ~10s for the process to exit; SIGKILL as the last resort so
+# the trap itself cannot hang.
+wait_pid_bounded() {
+  pid="$1"
+  i=0
+  while [ "$i" -lt 100 ]; do
+    if ! kill -0 "$pid" 2>/dev/null; then
+      return 0
+    fi
+    i=$((i + 1))
+    sleep 0.1
+  done
+  kill -9 "$pid" 2>/dev/null || true
+  return 1
+}
+
+cleanup() {
+  status=$?
+  trap - EXIT INT TERM HUP
+  if [ -n "$SRV_PID" ] && kill -0 "$SRV_PID" 2>/dev/null; then
+    kill "$SRV_PID" 2>/dev/null || true
+    wait_pid_bounded "$SRV_PID" || true
+  fi
+  rm -f "$SOCK"
+  rm -rf "$TMPDIR_SMOKE"
+  exit "$status"
+}
+trap cleanup EXIT INT TERM HUP
+
+mkdir -p "$TMPDIR_SMOKE"
 
 "$SERVER" --socket "$SOCK" --workers 2 > "$LOG" 2>&1 &
 SRV_PID=$!
-trap 'kill "$SRV_PID" 2>/dev/null || true; rm -f "$SOCK"' EXIT
 
 # Wait for the readiness probe (the server prints its listening line, but
 # polling ping is what a real client would do).
@@ -25,6 +62,11 @@ while [ "$i" -lt 100 ]; do
     ready=1
     break
   fi
+  if ! kill -0 "$SRV_PID" 2>/dev/null; then
+    echo "server died during startup"
+    cat "$LOG"
+    exit 1
+  fi
   i=$((i + 1))
   sleep 0.1
 done
@@ -33,62 +75,64 @@ done
 "$CLI" client --socket "$SOCK" ping | grep -q '"kind": "pong"'
 
 # One block, every per-block command.
-"$CLI" emit spr sum gcc O3 > server_smoke_$$.s
-"$CLI" client --socket "$SOCK" analyze spr server_smoke_$$.s \
-  > server_smoke_analyze_$$.json
-grep -q '"ok": true' server_smoke_analyze_$$.json
-grep -q '"predictions"' server_smoke_analyze_$$.json
-grep -q '"osaca"' server_smoke_analyze_$$.json
-grep -q '"stage_ns"' server_smoke_analyze_$$.json
+"$CLI" emit spr sum gcc O3 > "$TMPDIR_SMOKE/block.s"
+"$CLI" client --socket "$SOCK" analyze spr "$TMPDIR_SMOKE/block.s" \
+  > "$TMPDIR_SMOKE/analyze.json"
+grep -q '"ok": true' "$TMPDIR_SMOKE/analyze.json"
+grep -q '"predictions"' "$TMPDIR_SMOKE/analyze.json"
+grep -q '"osaca"' "$TMPDIR_SMOKE/analyze.json"
+grep -q '"stage_ns"' "$TMPDIR_SMOKE/analyze.json"
 
 # The verdict must match what the batch sweep's audit column says for this
 # block (sum diverges on the latency chain on every machine).
-"$CLI" client --socket "$SOCK" audit spr server_smoke_$$.s \
+"$CLI" client --socket "$SOCK" audit spr "$TMPDIR_SMOKE/block.s" \
   | grep -q '"verdict": "divergent:latency-chain"'
-"$CLI" client --socket "$SOCK" traffic spr server_smoke_$$.s \
+"$CLI" client --socket "$SOCK" traffic spr "$TMPDIR_SMOKE/block.s" \
   | grep -q '"traffic": "'
-"$CLI" client --socket "$SOCK" ecm spr server_smoke_$$.s \
+"$CLI" client --socket "$SOCK" ecm spr "$TMPDIR_SMOKE/block.s" \
   | grep -q '"ecm-L1"'
 
 # The same analyze again: the per-(hash, predictor) memo must serve it.
-"$CLI" client --socket "$SOCK" analyze spr server_smoke_$$.s > /dev/null
-"$CLI" client --socket "$SOCK" stats > server_smoke_stats_$$.json
-grep -q '"kind": "stats"' server_smoke_stats_$$.json
-grep -q '"memo_hits": 3' server_smoke_stats_$$.json
-grep -q '"saturation_stage"' server_smoke_stats_$$.json
-grep -q '"stage": "evaluate"' server_smoke_stats_$$.json
+"$CLI" client --socket "$SOCK" analyze spr "$TMPDIR_SMOKE/block.s" > /dev/null
+"$CLI" client --socket "$SOCK" stats > "$TMPDIR_SMOKE/stats.json"
+grep -q '"kind": "stats"' "$TMPDIR_SMOKE/stats.json"
+grep -q '"memo_hits": 3' "$TMPDIR_SMOKE/stats.json"
+grep -q '"saturation_stage"' "$TMPDIR_SMOKE/stats.json"
+grep -q '"stage": "evaluate"' "$TMPDIR_SMOKE/stats.json"
 
 # A sweep through the daemon's shared core.
 "$CLI" client --socket "$SOCK" sweep --kernels sum --machines gcs --csv \
-  > server_smoke_sweep_$$.json
-grep -q '"kind": "sweep"' server_smoke_sweep_$$.json
-grep -q 'block_hash' server_smoke_sweep_$$.json
+  > "$TMPDIR_SMOKE/sweep.json"
+grep -q '"kind": "sweep"' "$TMPDIR_SMOKE/sweep.json"
+grep -q 'block_hash' "$TMPDIR_SMOKE/sweep.json"
 
 # Malformed requests answer with diagnostics, not dropped connections.
-if "$CLI" client --socket "$SOCK" raw bogus > server_smoke_err_$$.json; then
+if "$CLI" client --socket "$SOCK" raw bogus > "$TMPDIR_SMOKE/err.json"; then
   echo "raw bogus request unexpectedly succeeded"
   exit 1
 fi
-grep -q '"ok": false' server_smoke_err_$$.json
-grep -q 'unknown command' server_smoke_err_$$.json
-if "$CLI" client --socket "$SOCK" analyze no-such-machine server_smoke_$$.s \
-    > server_smoke_err2_$$.json; then
+grep -q '"ok": false' "$TMPDIR_SMOKE/err.json"
+grep -q 'unknown command' "$TMPDIR_SMOKE/err.json"
+if "$CLI" client --socket "$SOCK" analyze no-such-machine \
+    "$TMPDIR_SMOKE/block.s" > "$TMPDIR_SMOKE/err2.json"; then
   echo "bad-machine request unexpectedly succeeded"
   exit 1
 fi
-grep -q 'unknown machine' server_smoke_err2_$$.json
+grep -q 'unknown machine' "$TMPDIR_SMOKE/err2.json"
 
 # The error counter saw both failures.
 "$CLI" client --socket "$SOCK" stats | grep -q '"errors": 2'
 
-# Clean shutdown: the request is acknowledged and the process exits.
+# Clean shutdown: the request is acknowledged and the process exits within
+# the bounded window.
 "$CLI" client --socket "$SOCK" shutdown | grep -q '"kind": "shutdown"'
-wait "$SRV_PID"
+if ! wait_pid_bounded "$SRV_PID"; then
+  echo "server did not exit after the shutdown request"
+  cat "$LOG"
+  exit 1
+fi
+wait "$SRV_PID" 2>/dev/null || true
 grep -q 'stopped' "$LOG"
-rm -f server_smoke_$$.s server_smoke_analyze_$$.json \
-      server_smoke_stats_$$.json server_smoke_sweep_$$.json \
-      server_smoke_err_$$.json server_smoke_err2_$$.json "$LOG"
-trap - EXIT
-rm -f "$SOCK"
+SRV_PID=""
 echo "server smoke test passed"
 exit 0

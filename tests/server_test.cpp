@@ -180,6 +180,41 @@ TEST(BoundedQueue, CloseWakesBlockedPopper) {
   EXPECT_TRUE(woke.load());
 }
 
+TEST(BoundedQueue, CloseWakesBlockedPusherAndRefusesItem) {
+  support::BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.push(1));  // full: the next push blocks
+  std::atomic<bool> woke{false};
+  std::thread t([&] {
+    EXPECT_FALSE(q.push(2));  // close() must wake it with a refusal
+    woke = true;
+  });
+  std::this_thread::sleep_for(20ms);
+  EXPECT_FALSE(woke.load());
+  q.close();
+  t.join();
+  EXPECT_TRUE(woke.load());
+  // The refused item was dropped, the accepted backlog still drains.
+  EXPECT_EQ(q.depth(), 1u);
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(BoundedQueue, CloseWakesPusherAndPopperTogether) {
+  // One producer blocked on a full queue, one consumer blocked on a
+  // *different* empty queue, one close() each: both must return, the
+  // producer refused, the consumer empty-handed.
+  support::BoundedQueue<int> full(1);
+  support::BoundedQueue<int> empty(1);
+  ASSERT_TRUE(full.push(1));
+  std::thread producer([&] { EXPECT_FALSE(full.push(2)); });
+  std::thread consumer([&] { EXPECT_FALSE(empty.pop().has_value()); });
+  std::this_thread::sleep_for(20ms);
+  full.close();
+  empty.close();
+  producer.join();
+  consumer.join();
+}
+
 // ---------------------------------------------------------------- StageClock
 
 TEST(StageClock, EmptySnapshotIsZero) {
@@ -320,7 +355,7 @@ TEST(ServiceCore, MemoServesRepeatedBlocks) {
   server::ServiceCore core;
   CountingPredictor count;
   const std::string text = triad_text();
-  core.submit(server::ServiceCore::text_request(text, spr(), {&count}))
+  (void)core.submit(server::ServiceCore::text_request(text, spr(), {&count}))
       ->wait();
   const server::JobResult& second =
       core.submit(server::ServiceCore::text_request(text, spr(), {&count}))
@@ -341,13 +376,13 @@ TEST(ServiceCore, MemoEvictsLeastRecentlyUsedPastCapacity) {
   cfg.memo_capacity = 1;
   server::ServiceCore core(cfg);
   CountingPredictor count;
-  core.submit(server::ServiceCore::text_request(triad_text(), spr(),
+  (void)core.submit(server::ServiceCore::text_request(triad_text(), spr(),
                                                 {&count}))->wait();
-  core.submit(server::ServiceCore::text_request(sum_text(), spr(),
+  (void)core.submit(server::ServiceCore::text_request(sum_text(), spr(),
                                                 {&count}))->wait();
   // Capacity 1: the sum block evicted the triad entry, so the repeat is a
   // real re-evaluation, not a memo hit.
-  core.submit(server::ServiceCore::text_request(triad_text(), spr(),
+  (void)core.submit(server::ServiceCore::text_request(triad_text(), spr(),
                                                 {&count}))->wait();
   EXPECT_EQ(count.calls.load(), 3);
   const server::ServiceStats st = core.stats();
@@ -361,17 +396,17 @@ TEST(ServiceCore, MemoHitRefreshesLruOrder) {
   cfg.memo_capacity = 2;
   server::ServiceCore core(cfg);
   CountingPredictor count;
-  core.submit(server::ServiceCore::text_request(triad_text(), spr(),
+  (void)core.submit(server::ServiceCore::text_request(triad_text(), spr(),
                                                 {&count}))->wait();
-  core.submit(server::ServiceCore::text_request(sum_text(), spr(),
+  (void)core.submit(server::ServiceCore::text_request(sum_text(), spr(),
                                                 {&count}))->wait();
   // Touch triad: sum becomes the least recently used entry...
-  core.submit(server::ServiceCore::text_request(triad_text(), spr(),
+  (void)core.submit(server::ServiceCore::text_request(triad_text(), spr(),
                                                 {&count}))->wait();
   // ...so the third distinct block evicts sum, not triad.
-  core.submit(server::ServiceCore::text_request(copy_text(), spr(),
+  (void)core.submit(server::ServiceCore::text_request(copy_text(), spr(),
                                                 {&count}))->wait();
-  core.submit(server::ServiceCore::text_request(triad_text(), spr(),
+  (void)core.submit(server::ServiceCore::text_request(triad_text(), spr(),
                                                 {&count}))->wait();
   EXPECT_EQ(count.calls.load(), 3);  // triad, sum, copy — never re-evaluated
   const server::ServiceStats st = core.stats();
@@ -530,7 +565,7 @@ TEST(ServiceCore, BlockKeyMatchesSweepDedupKey) {
   EXPECT_EQ(job->block().hash,
             support::block_key(spr().name(), text));
   EXPECT_EQ(job->block().text_hash, support::text_key(text));
-  job->wait();
+  (void)job->wait();
 }
 
 // ------------------------------------------------------------ ServerContext

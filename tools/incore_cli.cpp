@@ -960,6 +960,12 @@ int cmd_lint_catalog(bool json) {
                   c->summary);
     }
   }
+  std::printf(
+      "\nThese families lint the machine models and kernels.  The codebase "
+      "itself is\nstatically checked too: clang-tidy (.clang-tidy — "
+      "bugprone-*, concurrency-*,\nperformance-*) and the Clang "
+      "thread-safety annotations (-Wthread-safety,\ndocs/concurrency.md) "
+      "run as CI gates.\n");
   return 0;
 }
 
