@@ -1,0 +1,140 @@
+// Equivalence-engine throughput: how fast the semantic-equivalence prover
+// decides kernel pairs, cold (every check parses, analyzes and
+// symbolically executes both sides) versus memoized (the engine's
+// per-text summary cache already holds both sides' symbolic state).  Also
+// times the corpus gates the ctest suite runs -- self-equivalence and
+// x2-unroll equivalence over every unique (machine, assembly) block -- so
+// regressions in the evaluator show up as checks/sec before they show up
+// as CI minutes.  The numbers land in BENCH_4.json so successive PRs can
+// diff them.
+//
+// Methodology: the corpus is every unique (machine, assembly) block of the
+// validation matrix, the same dedup the corpus gate uses.  Cold constructs
+// a fresh Engine per repeat; memoized replays the same pairs into the
+// already-summarized engine.  Each figure is the best of `kRepeats` runs.
+
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "equiv/equiv.hpp"
+#include "kernels/kernels.hpp"
+#include "support/hash.hpp"
+#include "support/strings.hpp"
+
+using namespace incore;
+using support::format;
+
+namespace {
+
+constexpr int kRepeats = 3;
+
+struct Block {
+  std::string text;
+  asmir::Isa isa = asmir::Isa::AArch64;
+};
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Self-checks every block once; returns wall time.
+double run_self_checks(equiv::Engine& engine, const std::vector<Block>& corpus) {
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const Block& b : corpus) {
+    const equiv::Result r = engine.check_text(b.text, b.text, b.isa);
+    if (r.verdict != equiv::Verdict::Equivalent) {
+      std::fprintf(stderr, "self-check failed: %s\n",
+                   equiv::to_text(r).c_str());
+    }
+  }
+  return seconds_since(t0);
+}
+
+}  // namespace
+
+int main() {
+  // The corpus: each unique (machine, assembly) block of the matrix.
+  std::vector<Block> corpus;
+  std::map<std::string, bool> seen;
+  for (const kernels::Variant& v : kernels::test_matrix()) {
+    kernels::GeneratedKernel g = kernels::generate(v);
+    const std::string key =
+        support::block_key(uarch::to_string(v.target), g.assembly);
+    if (seen.contains(key)) continue;
+    seen[key] = true;
+    corpus.push_back({std::move(g.assembly), g.program.isa});
+  }
+
+  // Cold: fresh engine per repeat, every summary derived from scratch.
+  double cold_s = 0;
+  for (int rep = 0; rep < kRepeats; ++rep) {
+    equiv::Engine engine;
+    const double s = run_self_checks(engine, corpus);
+    if (rep == 0 || s < cold_s) cold_s = s;
+  }
+
+  // Memoized: one engine, corpus replayed onto hot summaries.
+  equiv::Engine warm;
+  run_self_checks(warm, corpus);
+  double warm_s = 0;
+  for (int rep = 0; rep < kRepeats; ++rep) {
+    const double s = run_self_checks(warm, corpus);
+    if (rep == 0 || s < warm_s) warm_s = s;
+  }
+  const std::size_t memo_hits = warm.memo_hits();
+  const std::size_t memo_misses = warm.memo_misses();
+
+  // The x2-unroll gate: each block against its mechanically doubled twin.
+  // The doubled texts are distinct, so each pair pays one fresh summary --
+  // the realistic "new candidate against known reference" mix.
+  double unroll_s = 0;
+  for (int rep = 0; rep < kRepeats; ++rep) {
+    equiv::Engine engine;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const Block& b : corpus) {
+      const std::string twice = equiv::unroll_text(b.text, 2);
+      const equiv::Result r = engine.check_text(b.text, twice, b.isa);
+      if (r.verdict != equiv::Verdict::Equivalent) {
+        std::fprintf(stderr, "unroll check failed: %s\n",
+                     equiv::to_text(r).c_str());
+      }
+    }
+    const double s = seconds_since(t0);
+    if (rep == 0 || s < unroll_s) unroll_s = s;
+  }
+
+  const auto n = static_cast<double>(corpus.size());
+  const double cold_cps = n / cold_s;
+  const double warm_cps = n / warm_s;
+  const double unroll_cps = n / unroll_s;
+
+  std::printf("equivalence throughput (%zu unique blocks)\n", corpus.size());
+  std::printf("  cold      : %6.3f s  %8.1f checks/s\n", cold_s, cold_cps);
+  std::printf("  memoized  : %6.3f s  %8.1f checks/s  (%zu hits / %zu misses)\n",
+              warm_s, warm_cps, memo_hits, memo_misses);
+  std::printf("  x2-unroll : %6.3f s  %8.1f checks/s\n", unroll_s, unroll_cps);
+
+  std::string json = "{\n";
+  json += "  \"benchmark\": \"equiv_throughput\",\n";
+  json += format("  \"unique_blocks\": %zu,\n", corpus.size());
+  json += format("  \"cold_seconds\": %.4f,\n", cold_s);
+  json += format("  \"cold_checks_per_sec\": %.2f,\n", cold_cps);
+  json += format("  \"memoized_seconds\": %.4f,\n", warm_s);
+  json += format("  \"memoized_checks_per_sec\": %.2f,\n", warm_cps);
+  json += format("  \"memo_hits\": %zu,\n", memo_hits);
+  json += format("  \"memo_misses\": %zu,\n", memo_misses);
+  json += format("  \"unroll_seconds\": %.4f,\n", unroll_s);
+  json += format("  \"unroll_checks_per_sec\": %.2f\n", unroll_cps);
+  json += "}\n";
+  std::FILE* f = std::fopen("BENCH_4.json", "w");
+  if (f != nullptr) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("wrote BENCH_4.json\n");
+  }
+  return 0;
+}

@@ -19,6 +19,12 @@ enum class Isa : std::uint8_t { X86_64, AArch64 };
 
 [[nodiscard]] const char* to_string(Isa isa);
 
+/// Modeled SVE vector length in bits.  The analyzers treat VL as a fixed
+/// compile-time constant (Grace implements 128-bit SVE); the parser sizes
+/// z/p registers with it and the semantic layers use it for element-count
+/// increments (incd = += VL/64).
+inline constexpr int kSveVectorBits = 128;
+
 /// Architectural register class.  Vector covers NEON/SVE/SSE/AVX registers;
 /// sub-width accesses (w0 in x0, xmm0 in zmm0, d0 in v0) share a root so the
 /// dependency analysis sees through partial accesses.

@@ -27,7 +27,7 @@ using support::trim;
 
 /// SVE vector length modelled for Neoverse V2 (and the only SVE width this
 /// study needs): 128 bits.
-constexpr int kSveBits = 128;
+constexpr int kSveBits = kSveVectorBits;
 
 int arrangement_bits(std::string_view arr) {
   // "2d" -> 128, "4s" -> 128, "2s" -> 64, "16b" -> 128, ...
@@ -181,7 +181,12 @@ struct Mnemonics {
   std::unordered_set<std::string> dest_rw{
       "fmla", "fmls", "mla",  "mls",  "sdot", "udot", "fdot",
       "bfdot","movk", "fcmla","umlal","smlal","umlal2","smlal2",
-      "fmlalb","fmlalt","ins", "adclb","adclt"};
+      "fmlalb","fmlalt","ins", "adclb","adclt",
+      // SVE element-count increments (incd x5 == x5 += VL/64): the
+      // destination is an accumulating GPR, so it is read as well --
+      // without this the dataflow pass sees a fresh definition and loses
+      // the induction chain for whilelo-governed loops.
+      "incb", "inch", "incw", "incd", "decb", "dech", "decw", "decd"};
   // Compare-only: no register destination, writes flags.
   std::unordered_set<std::string> compares{
       "cmp", "cmn", "tst", "fcmp", "fcmpe", "ccmp", "ccmn", "fccmp"};

@@ -22,10 +22,12 @@ using asmir::Register;
 constexpr std::uint32_t kNoBase = 0xffffffffu;
 constexpr std::uint32_t kNoIndex = 0xfffffffeu;
 
-/// The write does not fully define the architectural root: the remaining
-/// bytes/lanes merge from the previous contents.  Note the asymmetry with
-/// 32-bit GPR writes, which zero-extend to the full register on both ISAs
-/// and therefore cut the dependency on the old value.
+}  // namespace
+
+// The write does not fully define the architectural root: the remaining
+// bytes/lanes merge from the previous contents.  Note the asymmetry with
+// 32-bit GPR writes, which zero-extend to the full register on both ISAs
+// and therefore cut the dependency on the old value.
 bool is_partial_write(const Program& prog, const Instruction& ins,
                       const Register& dest) {
   if ((dest.cls == RegClass::Gpr || dest.cls == RegClass::Sp) &&
@@ -57,8 +59,10 @@ bool is_partial_write(const Program& prog, const Instruction& ins,
   return false;
 }
 
-/// The write advances its own root by a compile-time constant
-/// (add x1, x1, #8 / addq $8, %rdi / incq %rdx / lea 8(%rdi), %rdi).
+// The write advances its own root by a compile-time constant
+// (add x1, x1, #8 / addq $8, %rdi / incq %rdx / incd x5 /
+// lea 8(%rdi), %rdi).  Flag-setting forms (adds/subs) count: the constant
+// advance is a property of the destination, not of NZCV.
 std::optional<long long> constant_increment(const Instruction& ins,
                                             const Register& dest) {
   if (dest.cls != RegClass::Gpr && dest.cls != RegClass::Sp)
@@ -71,7 +75,27 @@ std::optional<long long> constant_increment(const Instruction& ins,
     }
     return std::nullopt;
   }
-  if (m == "add" || m == "sub") {
+  // SVE element-count increments: the GPR advances by the number of
+  // elements in one vector (VL / element width).  Only the plain
+  // single-operand form ("incd x5") is a constant; pattern/multiplier
+  // forms are left symbolic.
+  if (m.size() == 4 &&
+      (support::starts_with(m, "inc") || support::starts_with(m, "dec"))) {
+    int elem_bits = 0;
+    switch (m[3]) {
+      case 'b': elem_bits = 8; break;
+      case 'h': elem_bits = 16; break;
+      case 'w': elem_bits = 32; break;
+      case 'd': elem_bits = 64; break;
+      default: break;
+    }
+    if (elem_bits != 0 && ins.ops.size() == 1 && ins.ops[0].is_reg()) {
+      const long long n = asmir::kSveVectorBits / elem_bits;
+      return m[0] == 'i' ? n : -n;
+    }
+    if (elem_bits != 0) return std::nullopt;
+  }
+  if (m == "add" || m == "sub" || m == "adds" || m == "subs") {
     long long imm = 0;
     int n_imm = 0;
     bool same_root_read = false;
@@ -91,7 +115,7 @@ std::optional<long long> constant_increment(const Instruction& ins,
       }
     }
     if (n_imm == 1 && same_root_read && !other_input)
-      return m == "add" ? imm : -imm;
+      return (m == "add" || m == "adds") ? imm : -imm;
     return std::nullopt;
   }
   if (m == "lea") {
@@ -101,6 +125,8 @@ std::optional<long long> constant_increment(const Instruction& ins,
   }
   return std::nullopt;
 }
+
+namespace {
 
 /// Symbolic state of one address register root while walking the body.
 struct RootState {

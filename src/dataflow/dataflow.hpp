@@ -38,6 +38,23 @@ inline constexpr int kLiveIn = -1;  // reaching definition outside the body
 [[nodiscard]] bool is_zero_register(const asmir::Program& prog,
                                     const asmir::Register& r);
 
+/// True when the write to `dest` defines only part of the architectural
+/// root and merges the rest from its previous contents (reg-reg
+/// movsd/movss, cvtsi2sd, AArch64 ins/movk, SVE merging predication,
+/// 8/16-bit GPR writes).  Exposed for the semantic layers (equiv) that
+/// must distinguish full redefinitions from merges.
+[[nodiscard]] bool is_partial_write(const asmir::Program& prog,
+                                    const asmir::Instruction& ins,
+                                    const asmir::Register& dest);
+
+/// The value `dest` provably advances by when `ins` executes (add x1, x1,
+/// #8 / addq $8, %rdi / incq %rdx / subs x6, x6, #1 / incd x5 / lea
+/// 8(%rdi), %rdi), in the register's own units.  Exposed so symbolic
+/// evaluators share one definition of "constant pointer bump" with the
+/// stride/alias machinery.
+[[nodiscard]] std::optional<long long> constant_increment(
+    const asmir::Instruction& ins, const asmir::Register& dest);
+
 /// One semantic register read.
 struct RegRead {
   asmir::Register reg;

@@ -1,0 +1,530 @@
+#include "equiv/equiv.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "asmir/parser.hpp"
+#include "dataflow/dataflow.hpp"
+#include "equiv/eval.hpp"
+#include "equiv/expr.hpp"
+#include "support/hash.hpp"
+#include "support/strings.hpp"
+
+namespace incore::equiv {
+
+using support::format;
+
+const char* to_string(Verdict v) {
+  switch (v) {
+    case Verdict::Equivalent: return "equivalent";
+    case Verdict::ReassociationOnly: return "reassociation-only";
+    case Verdict::Attributed: return "attributed";
+    case Verdict::Different: return "different";
+    case Verdict::Unsupported: return "unsupported";
+  }
+  return "?";
+}
+
+namespace {
+
+/// One side's memoized state: the parsed body, its dataflow analysis and
+/// the symbolic summaries per stamp count.  The Program must outlive the
+/// Analysis (which keeps a pointer into it), hence the stable heap slot.
+struct Side {
+  asmir::Program prog;
+  dataflow::Analysis df;
+  EvalOptions eopts;
+  std::map<int, Summary> by_stamps;
+};
+
+/// Reduction shape of one root on one side: every lane is
+/// lane-live-in + (sum of delta terms).  Returns the pooled delta term
+/// ids (reassoc-canonical), or nullopt when the root is not a reduction.
+std::optional<std::vector<ExprId>> reduction_deltas(
+    Arena& arena, std::uint32_t root, const std::vector<ExprId>& lanes) {
+  std::vector<ExprId> deltas;
+  for (std::size_t lane = 0; lane < lanes.size(); ++lane) {
+    const ExprId in = arena.input(root, static_cast<int>(lane));
+    const ExprId c = arena.canonical(lanes[lane], CanonMode::Reassoc);
+    if (c == in) continue;  // accumulator passed through unchanged
+    const ExprNode& n = arena.at(c);
+    if (n.op != ExprOp::AddN) return std::nullopt;
+    bool seen_in = false;
+    for (ExprId kid : n.kids) {
+      if (kid == in && !seen_in) {
+        seen_in = true;
+      } else {
+        deltas.push_back(kid);
+      }
+    }
+    if (!seen_in) return std::nullopt;
+  }
+  return deltas;
+}
+
+long long lcm_ll(long long a, long long b) {
+  return a / std::gcd(a, b) * b;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          out += format("\\u%04x", static_cast<unsigned>(ch));
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+struct Engine::Impl {
+  Options opts;
+  Arena arena;
+  std::uint32_t next_salt = 1;
+  std::unordered_map<std::string, std::unique_ptr<Side>> memo;
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+
+  std::unique_ptr<Side> make_side(asmir::Program prog) {
+    auto side = std::make_unique<Side>();
+    side->prog = std::move(prog);
+    side->df = dataflow::analyze(side->prog);
+    side->eopts.invariant_splat = opts.invariant_splat;
+    side->eopts.zero_trip_index = opts.zero_trip_index;
+    side->eopts.opaque_salt = next_salt++;
+    return side;
+  }
+
+  const Summary& summary(Side& side, int stamps) {
+    auto it = side.by_stamps.find(stamps);
+    if (it == side.by_stamps.end()) {
+      it = side.by_stamps
+               .emplace(stamps, evaluate(side.prog, side.df, arena,
+                                         side.eopts, stamps))
+               .first;
+    }
+    return it->second;
+  }
+
+  Result compare(Side& ref, Side& cand);
+};
+
+Engine::Engine(Options opts) : impl_(std::make_unique<Impl>()) {
+  impl_->opts = opts;
+}
+
+Engine::~Engine() = default;
+
+const Options& Engine::options() const { return impl_->opts; }
+std::size_t Engine::memo_hits() const { return impl_->hits; }
+std::size_t Engine::memo_misses() const { return impl_->misses; }
+
+Result Engine::check(const asmir::Program& ref, const asmir::Program& cand) {
+  auto rs = impl_->make_side(ref);
+  auto cs = impl_->make_side(cand);
+  return impl_->compare(*rs, *cs);
+}
+
+Result Engine::check_text(std::string_view ref, std::string_view cand,
+                          asmir::Isa isa) {
+  auto side = [&](std::string_view text) -> Side* {
+    // The ISA participates in the key: the same text could in principle be
+    // fed through both front ends.
+    std::string key = support::hex64(support::fnv1a64(text));
+    key += isa == asmir::Isa::X86_64 ? ":x86" : ":a64";
+    auto it = impl_->memo.find(key);
+    if (it != impl_->memo.end()) {
+      ++impl_->hits;
+      return it->second.get();
+    }
+    ++impl_->misses;
+    auto owned = impl_->make_side(asmir::parse(text, isa));
+    Side* raw = owned.get();
+    impl_->memo.emplace(std::move(key), std::move(owned));
+    return raw;
+  };
+  Side* rs = side(ref);
+  Side* cs = side(cand);
+  if (rs->prog.empty() || cs->prog.empty()) {
+    Result r;
+    r.verdict = Verdict::Unsupported;
+    r.attribution = "empty or unparseable kernel body";
+    return r;
+  }
+  return impl_->compare(*rs, *cs);
+}
+
+Result Engine::Impl::compare(Side& ref, Side& cand) {
+  Result r;
+  const Summary& ref1 = summary(ref, 1);
+  const Summary& cand1 = summary(cand, 1);
+  r.ref_advance = ref1.advance;
+  r.cand_advance = cand1.advance;
+  r.ref_unsupported = ref1.unsupported;
+  r.cand_unsupported = cand1.unsupported;
+
+  if (ref1.isa != cand1.isa) {
+    r.verdict = Verdict::Unsupported;
+    r.attribution = "cross-ISA comparison is not supported";
+    return r;
+  }
+  if (!ref1.supported || !cand1.supported) {
+    r.verdict = Verdict::Unsupported;
+    r.attribution = "symbolic evaluation bailed out on unsupported opcodes";
+    return r;
+  }
+
+  // Unroll normalization: stamp each side out to the least common multiple
+  // of the per-iteration stream advances.
+  const long long window = lcm_ll(ref1.advance, cand1.advance);
+  long long kr = window / ref1.advance;
+  long long kc = window / cand1.advance;
+  if (kr > opts.max_stamps || kc > opts.max_stamps) {
+    if (ref1.advance != cand1.advance) {
+      r.verdict = Verdict::Unsupported;
+      r.attribution =
+          format("unroll normalization needs %lldx/%lldx stamps "
+                 "(max_stamps=%d)",
+                 kr, kc, opts.max_stamps);
+      return r;
+    }
+    kr = kc = 1;
+  }
+  r.ref_stamps = static_cast<int>(kr);
+  r.cand_stamps = static_cast<int>(kc);
+  const Summary& R = summary(ref, r.ref_stamps);
+  const Summary& C = summary(cand, r.cand_stamps);
+
+  // Symbol namer shared by every rendering below: registers by their
+  // representative mention, opaque integer symbols by salt.counter.
+  const asmir::Isa isa = R.isa;
+  auto reg_name = [&](std::uint32_t sym) -> std::string {
+    if (sym & 0x80000000u) {
+      return format("opaque%u.%u", (sym >> 20) & 0x7ffu, sym & 0xfffffu);
+    }
+    if (auto it = R.root_regs.find(sym); it != R.root_regs.end()) {
+      return it->second.name(isa);
+    }
+    if (auto it = C.root_regs.find(sym); it != C.root_regs.end()) {
+      return it->second.name(isa);
+    }
+    return format("r%u", sym);
+  };
+  auto render = [&](ExprId id, CanonMode mode) {
+    return arena.to_string(arena.canonical(id, mode), reg_name);
+  };
+
+  bool all_strict = true;   // everything matched under strict canon
+  bool all_ok = true;       // everything matched at least under reassoc
+  bool any_missing = false;
+
+  // --- Memory: store sets must agree cell-for-cell. ---
+  {
+    std::set<Affine> cells;
+    for (const auto& [cell, val] : R.stores) cells.insert(cell);
+    for (const auto& [cell, val] : C.stores) cells.insert(cell);
+    for (const Affine& cell : cells) {
+      OutputDiff d;
+      d.is_store = true;
+      d.name = "[";
+      d.name += arena.to_string(cell, reg_name);
+      d.name += "]";
+      const auto rv = R.stores.find(cell);
+      const auto cv = C.stores.find(cell);
+      d.ref_present = rv != R.stores.end();
+      d.cand_present = cv != C.stores.end();
+      if (d.ref_present && d.cand_present) {
+        d.strict_equal = arena.canonical(rv->second, CanonMode::Strict) ==
+                         arena.canonical(cv->second, CanonMode::Strict);
+        d.reassoc_equal = arena.canonical(rv->second, CanonMode::Reassoc) ==
+                          arena.canonical(cv->second, CanonMode::Reassoc);
+        d.ref_expr = render(rv->second, CanonMode::Strict);
+        d.cand_expr = render(cv->second, CanonMode::Strict);
+      } else {
+        d.ref_expr = d.ref_present ? render(rv->second, CanonMode::Strict) : "-";
+        d.cand_expr =
+            d.cand_present ? render(cv->second, CanonMode::Strict) : "-";
+        any_missing = true;
+      }
+      all_strict = all_strict && d.strict_equal;
+      all_ok = all_ok && d.reassoc_equal;
+      r.outputs.push_back(std::move(d));
+    }
+  }
+
+  // --- Registers: direct match first, then reduction pooling. ---
+  std::set<std::uint32_t> roots;
+  for (const auto& [root, lanes] : R.reg_out) roots.insert(root);
+  for (const auto& [root, lanes] : C.reg_out) roots.insert(root);
+
+  // Roots that fail the direct match fall through to pooling; pooling is
+  // all-or-nothing per side because it merges the pooled roots' terms into
+  // one multiset.
+  std::vector<std::uint32_t> leftovers;
+  for (std::uint32_t root : roots) {
+    const auto rl = R.reg_out.find(root);
+    const auto cl = C.reg_out.find(root);
+    if (rl == R.reg_out.end() || cl == C.reg_out.end()) {
+      leftovers.push_back(root);
+      continue;
+    }
+    const std::vector<ExprId>& a = rl->second;
+    const std::vector<ExprId>& b = cl->second;
+    if (a.size() != b.size()) {
+      leftovers.push_back(root);
+      continue;
+    }
+    bool strict = true;
+    bool reassoc = true;
+    for (std::size_t lane = 0; lane < a.size(); ++lane) {
+      strict = strict && arena.canonical(a[lane], CanonMode::Strict) ==
+                             arena.canonical(b[lane], CanonMode::Strict);
+      reassoc = reassoc && arena.canonical(a[lane], CanonMode::Reassoc) ==
+                               arena.canonical(b[lane], CanonMode::Reassoc);
+    }
+    if (!reassoc) {
+      leftovers.push_back(root);
+      continue;
+    }
+    OutputDiff d;
+    d.name = reg_name(root);
+    d.strict_equal = strict;
+    d.reassoc_equal = true;
+    std::vector<std::string> re;
+    std::vector<std::string> ce;
+    re.reserve(a.size());
+    ce.reserve(a.size());
+    for (std::size_t lane = 0; lane < a.size(); ++lane) {
+      re.push_back(render(a[lane], CanonMode::Strict));
+      ce.push_back(render(b[lane], CanonMode::Strict));
+    }
+    d.ref_expr = support::join(re, " | ");
+    d.cand_expr = support::join(ce, " | ");
+    all_strict = all_strict && strict;
+    r.outputs.push_back(std::move(d));
+  }
+
+  if (!leftovers.empty()) {
+    // Every leftover root must be reduction-shaped on the side(s) where it
+    // exists; then the pooled delta multisets must agree.  The live-in
+    // accumulator parts cancel by the pooling axiom: both sides' pooled
+    // accumulator lanes represent the same running total (initialized
+    // together outside the loop, summed horizontally after it).
+    bool poolable = true;
+    std::vector<ExprId> ref_pool;
+    std::vector<ExprId> cand_pool;
+    std::size_t ref_lanes = 0;
+    std::size_t cand_lanes = 0;
+    for (std::uint32_t root : leftovers) {
+      if (auto it = R.reg_out.find(root); it != R.reg_out.end()) {
+        auto deltas = reduction_deltas(arena, root, it->second);
+        if (!deltas) {
+          poolable = false;
+          break;
+        }
+        ref_lanes += it->second.size();
+        ref_pool.insert(ref_pool.end(), deltas->begin(), deltas->end());
+      }
+      if (auto it = C.reg_out.find(root); it != C.reg_out.end()) {
+        auto deltas = reduction_deltas(arena, root, it->second);
+        if (!deltas) {
+          poolable = false;
+          break;
+        }
+        cand_lanes += it->second.size();
+        cand_pool.insert(cand_pool.end(), deltas->begin(), deltas->end());
+      }
+    }
+    if (poolable && !ref_pool.empty() && !cand_pool.empty()) {
+      std::sort(ref_pool.begin(), ref_pool.end());
+      std::sort(cand_pool.begin(), cand_pool.end());
+      OutputDiff d;
+      d.name = "reduction(+)";
+      d.pooled = true;
+      d.width_mismatch = ref_lanes != cand_lanes;
+      d.strict_equal = false;  // pooling is inherently a reassociation
+      d.reassoc_equal = ref_pool == cand_pool;
+      auto render_pool = [&](const std::vector<ExprId>& pool) {
+        std::vector<std::string> parts;
+        parts.reserve(pool.size());
+        for (ExprId id : pool) parts.push_back(arena.to_string(id, reg_name));
+        std::string rendered = "acc + (";
+        rendered += support::join(parts, " + ");
+        rendered += ")";
+        return rendered;
+      };
+      d.ref_expr = render_pool(ref_pool);
+      d.cand_expr = render_pool(cand_pool);
+      all_strict = false;
+      all_ok = all_ok && d.reassoc_equal;
+      r.outputs.push_back(std::move(d));
+    } else {
+      // Not poolable: report each leftover root as a plain mismatch.
+      for (std::uint32_t root : leftovers) {
+        OutputDiff d;
+        d.name = reg_name(root);
+        const auto rl = R.reg_out.find(root);
+        const auto cl = C.reg_out.find(root);
+        d.ref_present = rl != R.reg_out.end();
+        d.cand_present = cl != C.reg_out.end();
+        if (!d.ref_present || !d.cand_present) any_missing = true;
+        d.width_mismatch = d.ref_present && d.cand_present &&
+                           rl->second.size() != cl->second.size();
+        auto render_lanes = [&](const std::vector<ExprId>& lanes) {
+          std::vector<std::string> parts;
+          parts.reserve(lanes.size());
+          for (ExprId id : lanes)
+            parts.push_back(render(id, CanonMode::Strict));
+          return support::join(parts, " | ");
+        };
+        d.ref_expr = d.ref_present ? render_lanes(rl->second) : "-";
+        d.cand_expr = d.cand_present ? render_lanes(cl->second) : "-";
+        all_strict = false;
+        all_ok = false;
+        r.outputs.push_back(std::move(d));
+      }
+    }
+  }
+
+  if (all_strict) {
+    r.verdict = Verdict::Equivalent;
+  } else if (all_ok) {
+    r.verdict = Verdict::ReassociationOnly;
+  } else if (R.lane_phased_state || C.lane_phased_state) {
+    r.verdict = Verdict::Attributed;
+    r.attribution =
+        "lane-phased recurrence state: the kernel consumes distinct lanes "
+        "of live-in vector state prepared outside the loop, which "
+        "one-iteration analysis cannot relate across sides";
+  } else if (R.shifted_index_state || C.shifted_index_state) {
+    r.verdict = Verdict::Attributed;
+    r.attribution =
+        "shifted index state: a scaled, constant-advanced index register "
+        "is not the loop trip count, so its offset (set up outside the "
+        "loop) cannot be related across the sides";
+  } else if (R.opaque_int_state || C.opaque_int_state) {
+    r.verdict = Verdict::Attributed;
+    r.attribution =
+        "opaque integer state: a pointer or index is computed by an "
+        "operation outside the affine model";
+  } else {
+    r.verdict = Verdict::Different;
+    if (any_missing) {
+      r.attribution = "live-out or store sets differ between the sides";
+    }
+  }
+  return r;
+}
+
+std::string unroll_text(std::string_view body, int k) {
+  std::string out;
+  out.reserve(body.size() * static_cast<std::size_t>(k) + 2);
+  for (int i = 0; i < k; ++i) {
+    out += body;
+    if (!out.empty() && out.back() != '\n') out += '\n';
+  }
+  return out;
+}
+
+std::string to_text(const Result& r) {
+  std::string out = format("verdict: %s\n", to_string(r.verdict));
+  if (!r.attribution.empty()) {
+    out += format("cause: %s\n", r.attribution.c_str());
+  }
+  if (r.ref_stamps != 1 || r.cand_stamps != 1) {
+    out += format(
+        "unroll: ref stamped x%d, cand stamped x%d "
+        "(advance %lld vs %lld bytes/iter)\n",
+        r.ref_stamps, r.cand_stamps, r.ref_advance, r.cand_advance);
+  }
+  for (const auto& side :
+       {std::make_pair("ref", &r.ref_unsupported),
+        std::make_pair("cand", &r.cand_unsupported)}) {
+    for (const std::string& line : *side.second) {
+      out += format("unsupported (%s): %s\n", side.first, line.c_str());
+    }
+  }
+  for (const OutputDiff& d : r.outputs) {
+    const char* status = !d.ref_present || !d.cand_present ? "one-sided"
+                         : d.strict_equal                  ? "strict-equal"
+                         : d.reassoc_equal ? "reassoc-equal"
+                                           : "mismatch";
+    out += format("output %s: %s%s%s\n", d.name.c_str(), status,
+                  d.pooled ? " (pooled)" : "",
+                  d.width_mismatch ? " (width differs)" : "");
+    if (!d.strict_equal) {
+      out += format("  ref:  %s\n", d.ref_expr.c_str());
+      out += format("  cand: %s\n", d.cand_expr.c_str());
+    }
+  }
+  return out;
+}
+
+std::string to_json(const Result& r) {
+  std::string out = "{\n";
+  out += format("  \"verdict\": \"%s\",\n", to_string(r.verdict));
+  out += format("  \"attribution\": \"%s\",\n",
+                json_escape(r.attribution).c_str());
+  out += format("  \"ref_stamps\": %d,\n  \"cand_stamps\": %d,\n",
+                r.ref_stamps, r.cand_stamps);
+  out += format("  \"ref_advance\": %lld,\n  \"cand_advance\": %lld,\n",
+                r.ref_advance, r.cand_advance);
+  auto string_list = [](const std::vector<std::string>& v) {
+    std::vector<std::string> quoted;
+    quoted.reserve(v.size());
+    for (const std::string& s : v) {
+      std::string q = "\"";
+      q += json_escape(s);
+      q += "\"";
+      quoted.push_back(std::move(q));
+    }
+    std::string out = "[";
+    out += support::join(quoted, ", ");
+    out += "]";
+    return out;
+  };
+  out += format("  \"ref_unsupported\": %s,\n",
+                string_list(r.ref_unsupported).c_str());
+  out += format("  \"cand_unsupported\": %s,\n",
+                string_list(r.cand_unsupported).c_str());
+  out += "  \"outputs\": [\n";
+  for (std::size_t i = 0; i < r.outputs.size(); ++i) {
+    const OutputDiff& d = r.outputs[i];
+    out += format(
+        "    {\"name\": \"%s\", \"store\": %s, \"pooled\": %s, "
+        "\"ref_present\": %s, \"cand_present\": %s, "
+        "\"strict_equal\": %s, \"reassoc_equal\": %s, "
+        "\"width_mismatch\": %s,\n",
+        json_escape(d.name).c_str(), d.is_store ? "true" : "false",
+        d.pooled ? "true" : "false", d.ref_present ? "true" : "false",
+        d.cand_present ? "true" : "false", d.strict_equal ? "true" : "false",
+        d.reassoc_equal ? "true" : "false",
+        d.width_mismatch ? "true" : "false");
+    out += format("     \"ref\": \"%s\", \"cand\": \"%s\"}%s\n",
+                  json_escape(d.ref_expr).c_str(),
+                  json_escape(d.cand_expr).c_str(),
+                  i + 1 < r.outputs.size() ? "," : "");
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+}  // namespace incore::equiv

@@ -1,0 +1,125 @@
+#pragma once
+// Kernel semantic-equivalence engine: a static proof that two assembly
+// loop bodies compute the same function.
+//
+// Built on the dataflow pass (SSA chains, liveness, rename idioms) and the
+// symbolic executor (eval.hpp): each kernel's live-out registers and
+// stored memory cells become canonical symbolic expressions over the
+// iteration's live-in state, and equivalence is decided by comparing the
+// canonical forms.  Kernels with different unroll factors are compared
+// modulo unrolling: the per-iteration advance of the memory streams picks
+// how many copies of each body to stamp out so both sides cover the same
+// window (a x2-unrolled body against two stamped reference iterations).
+//
+// The verdict ladder:
+//   Equivalent         bit-identical results under strict FP semantics
+//                      (only commutativity assumed, which is exact)
+//   ReassociationOnly  equal modulo FP reassociation, contraction
+//                      (FMA fusion/splitting) and reduction pooling
+//                      (accumulator splitting); --strict-fp rejects this
+//   Attributed         diverges, with a statically-understood cause
+//                      (lane-phased recurrence state, opaque integer ops)
+//   Different          diverges without attribution
+//   Unsupported        evaluation bailed out (VE008 carries provenance)
+//
+// The engine memoizes per-kernel symbolic summaries (keyed by source
+// text), so sweeping a corpus re-derives nothing.  Single-threaded by
+// design: one Engine per thread.
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "asmir/ir.hpp"
+
+namespace incore::equiv {
+
+enum class Verdict : std::uint8_t {
+  Equivalent,
+  ReassociationOnly,
+  Attributed,
+  Different,
+  Unsupported,
+};
+
+[[nodiscard]] const char* to_string(Verdict v);
+
+/// One compared output (live-out register, stored cell, or pooled
+/// reduction) with its rendered canonical forms on both sides.
+struct OutputDiff {
+  std::string name;
+  bool is_store = false;
+  bool pooled = false;         // compared through reduction pooling
+  bool ref_present = true;
+  bool cand_present = true;
+  bool strict_equal = false;
+  bool reassoc_equal = false;
+  bool width_mismatch = false;  // matched root, different lane counts
+  std::string ref_expr;         // "-" when absent
+  std::string cand_expr;
+};
+
+struct Options {
+  /// Disable reassociation: only commutativity is assumed, so Equivalent
+  /// means bit-identical results and ReassociationOnly is a rejection.
+  bool strict_fp = false;
+  bool invariant_splat = true;
+  bool zero_trip_index = true;
+  /// Cap on stamped-out copies per side during unroll normalization (the
+  /// corpus needs x32: icx 512-bit 4-way-unrolled sum vs scalar gcc).
+  int max_stamps = 64;
+};
+
+struct Result {
+  Verdict verdict = Verdict::Unsupported;
+  std::string attribution;  // cause, when Attributed / Unsupported
+  int ref_stamps = 1;
+  int cand_stamps = 1;
+  long long ref_advance = 1;   // per-iteration stream advance, bytes
+  long long cand_advance = 1;
+  std::vector<OutputDiff> outputs;
+  std::vector<std::string> ref_unsupported;   // VE008 provenance
+  std::vector<std::string> cand_unsupported;
+
+  /// The verdict the mode accepts as "same function".
+  [[nodiscard]] bool accepted(bool strict_fp) const {
+    return verdict == Verdict::Equivalent ||
+           (!strict_fp && verdict == Verdict::ReassociationOnly);
+  }
+};
+
+class Engine {
+ public:
+  explicit Engine(Options opts = {});
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Compares two parsed loop bodies (no memoization).
+  [[nodiscard]] Result check(const asmir::Program& ref,
+                             const asmir::Program& cand);
+
+  /// Parses and compares two kernels of the same ISA, memoizing each
+  /// text's symbolic summary so corpus sweeps pay per unique kernel, not
+  /// per comparison.  Parse failures yield an Unsupported verdict.
+  [[nodiscard]] Result check_text(std::string_view ref,
+                                  std::string_view cand, asmir::Isa isa);
+
+  [[nodiscard]] const Options& options() const;
+  [[nodiscard]] std::size_t memo_hits() const;
+  [[nodiscard]] std::size_t memo_misses() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Mechanical xk unrolling: the body text stamped out k times.  Used by
+/// the unroll-equivalence gates and tests.
+[[nodiscard]] std::string unroll_text(std::string_view body, int k);
+
+[[nodiscard]] std::string to_text(const Result& r);
+[[nodiscard]] std::string to_json(const Result& r);
+
+}  // namespace incore::equiv

@@ -1,0 +1,717 @@
+#include "equiv/eval.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <set>
+#include <utility>
+
+#include "support/strings.hpp"
+
+namespace incore::equiv {
+namespace {
+
+using asmir::Instruction;
+using asmir::Isa;
+using asmir::MemOperand;
+using asmir::Operand;
+using asmir::RegClass;
+using asmir::Register;
+using support::ends_with;
+using support::format;
+using support::starts_with;
+
+/// Arithmetic shape of a vector/FP instruction, ISA-normalized.
+enum class VecKind : std::uint8_t {
+  Move,    // plain copy (fmov, movprfx, vmovapd reg-reg, ...)
+  Add, Sub, Mul, Div,
+  DivR,    // reversed divide (SVE fdivr): dst = src1 / src0
+  Fma132, Fma213, Fma231,  // x86 FMA operand orders
+  Fmla,    // acc += a*b
+  Fmls,    // acc -= a*b
+  Sqrt, Neg,
+};
+
+struct InstrClass {
+  enum Kind : std::uint8_t {
+    Skip,         // branches, compares, predicate/flag-only writes
+    Zero,         // recognized zero idiom
+    Load, Store,  // plain memory moves
+    Gpr,          // integer op on a GPR destination (affine or opaque)
+    Vec,          // FP arithmetic / move on a vector destination
+    Unsupported,
+  } kind = Skip;
+  VecKind vec = VecKind::Move;
+  bool broadcast = false;  // ld1rd: one cell replicated to all lanes
+};
+
+/// x86: "vfmadd231sd" -> Fma231, "vaddpd" -> Add, "vmovupd" -> Move ...
+std::optional<VecKind> x86_vec_kind(const std::string& mn) {
+  std::string core = mn;
+  if (!core.empty() && core[0] == 'v') core = core.substr(1);
+  if (!(ends_with(core, "sd") || ends_with(core, "pd"))) return std::nullopt;
+  core = core.substr(0, core.size() - 2);
+  if (core == "mov" || core == "movu" || core == "mova" || core == "movnt")
+    return VecKind::Move;
+  if (core == "add") return VecKind::Add;
+  if (core == "sub") return VecKind::Sub;
+  if (core == "mul") return VecKind::Mul;
+  if (core == "div") return VecKind::Div;
+  if (core == "sqrt") return VecKind::Sqrt;
+  if (core == "fmadd132") return VecKind::Fma132;
+  if (core == "fmadd213") return VecKind::Fma213;
+  if (core == "fmadd231") return VecKind::Fma231;
+  return std::nullopt;
+}
+
+std::optional<VecKind> aarch64_vec_kind(const std::string& mn) {
+  if (mn == "fmov" || mn == "mov" || mn == "movprfx") return VecKind::Move;
+  if (mn == "fadd") return VecKind::Add;
+  if (mn == "fsub") return VecKind::Sub;
+  if (mn == "fmul") return VecKind::Mul;
+  if (mn == "fdiv") return VecKind::Div;
+  if (mn == "fdivr") return VecKind::DivR;
+  if (mn == "fmla") return VecKind::Fmla;
+  if (mn == "fmls") return VecKind::Fmls;
+  if (mn == "fneg") return VecKind::Neg;
+  if (mn == "fsqrt") return VecKind::Sqrt;
+  return std::nullopt;
+}
+
+/// 64-bit lanes an x86 vector instruction operates on: scalar ("..sd")
+/// forms touch one lane, packed ("..pd") forms the full widest register.
+int x86_lanes(const Instruction& ins) {
+  if (ends_with(ins.mnemonic, "sd")) return 1;
+  int width = 0;
+  for (const Operand& op : ins.ops) {
+    if (op.is_reg() && op.reg().cls == RegClass::Vector)
+      width = std::max(width, op.reg().width_bits);
+  }
+  return width / 64;
+}
+
+/// The engine models 64-bit (double) lanes only; 32-bit element forms are
+/// an explicit bailout, not a mis-model.
+bool has_narrow_elements(const Instruction& ins) {
+  const std::string& r = ins.raw;
+  for (const char* marker : {".2s", ".4s", ".8h", ".4h", ".8b", ".16b",
+                             ".s,", ".s}", ".h,", ".b,"}) {
+    if (r.find(marker) != std::string::npos) return true;
+  }
+  return ends_with(r, ".s") || ends_with(r, ".h") || ends_with(r, ".b");
+}
+
+const Operand* first_reg_write(const Instruction& ins) {
+  for (const Operand& op : ins.ops) {
+    if (op.is_reg() && op.write) return &op;
+  }
+  return nullptr;
+}
+
+InstrClass classify(const asmir::Program& prog, const Instruction& ins,
+                    dataflow::RenameClass rename) {
+  InstrClass c;
+  if (ins.is_branch) return c;  // Skip
+
+  for (const Operand& op : ins.ops) {
+    if (op.is_reg() && op.reg().cls == RegClass::Mask) {
+      c.kind = InstrClass::Unsupported;  // AVX-512 masking is not modeled
+      return c;
+    }
+  }
+
+  // Writes nothing but flags / predicates: no architectural data effect in
+  // the steady-state model (whilelo, ptest, cmp, ptrue).
+  const Operand* dest = nullptr;
+  for (const Operand& op : ins.ops) {
+    if (op.is_reg() && op.write &&
+        op.reg().cls != RegClass::Predicate && op.reg().cls != RegClass::Flags)
+      dest = &op;
+  }
+  if (!dest && !ins.is_store) return c;  // Skip
+
+  if (rename == dataflow::RenameClass::ZeroIdiom && dest) {
+    c.kind = InstrClass::Zero;
+    return c;
+  }
+
+  const std::string& mn = ins.mnemonic;
+  const bool x86 = prog.isa == Isa::X86_64;
+  const MemOperand* mem = ins.mem_operand();
+
+  if (ins.is_load || ins.is_store) {
+    if (mem && mem->is_gather) {
+      c.kind = InstrClass::Unsupported;
+      return c;
+    }
+    // x86 arithmetic with a folded memory source stays arithmetic.
+    if (x86 && ins.is_load && dest && dest->reg().cls == RegClass::Vector) {
+      if (auto k = x86_vec_kind(mn); k && *k != VecKind::Move) {
+        c.kind = InstrClass::Vec;
+        c.vec = *k;
+        return c;
+      }
+    }
+    static const std::set<std::string> kLoads{
+        "vmovsd", "vmovupd", "vmovapd",                    // x86
+        "ldr", "ldur", "ld1d", "ld1rd", "ldnt1d"};         // aarch64
+    static const std::set<std::string> kStores{
+        "vmovsd", "vmovupd", "vmovapd", "vmovntpd",
+        "str", "stur", "st1d", "stnt1d"};
+    const bool widths_ok =
+        mem && mem->width_bits > 0 && mem->width_bits % 64 == 0;
+    if (ins.is_load && !ins.is_store && dest && kLoads.contains(mn) &&
+        dest->reg().cls == RegClass::Vector && widths_ok) {
+      c.kind = InstrClass::Load;
+      c.broadcast = mn == "ld1rd";
+      return c;
+    }
+    if (ins.is_store && !ins.is_load && !dest && kStores.contains(mn) &&
+        widths_ok) {
+      for (const Operand& op : ins.ops) {
+        if (op.is_reg() && op.read && op.reg().cls == RegClass::Vector) {
+          c.kind = InstrClass::Store;
+          return c;
+        }
+      }
+    }
+    c.kind = InstrClass::Unsupported;
+    return c;
+  }
+
+  if (dest->reg().cls == RegClass::Gpr || dest->reg().cls == RegClass::Sp) {
+    c.kind = InstrClass::Gpr;
+    return c;
+  }
+
+  if (dest->reg().cls == RegClass::Vector) {
+    // Merging writes other than SVE predication (legacy movsd reg-reg,
+    // cvtsi2sd, pinsr, ins/movk) read state the lane model cannot fill.
+    if (dataflow::is_partial_write(prog, ins, dest->reg()) &&
+        !ins.merging_predication) {
+      c.kind = InstrClass::Unsupported;
+      return c;
+    }
+    auto k = x86 ? x86_vec_kind(mn) : aarch64_vec_kind(mn);
+    if (!k || (!x86 && has_narrow_elements(ins)) ||
+        (!x86 && ins.raw.find('[') != std::string::npos) ||
+        dest->reg().width_bits < 64) {
+      c.kind = InstrClass::Unsupported;
+      return c;
+    }
+    // Arithmetic with an FP immediate or a 3-register x86 move (merge
+    // form) is out of scope.
+    int reg_reads = 0;
+    bool has_imm = false;
+    for (const Operand& op : ins.ops) {
+      if (op.is_reg() && op.read && op.reg().cls == RegClass::Vector)
+        ++reg_reads;
+      if (op.kind == asmir::OperandKind::Imm) has_imm = true;
+    }
+    if (has_imm && *k != VecKind::Move) {
+      c.kind = InstrClass::Unsupported;
+      return c;
+    }
+    if (x86 && *k == VecKind::Move && reg_reads >= 2) {
+      c.kind = InstrClass::Unsupported;  // vmovsd xmm,xmm,xmm merge form
+      return c;
+    }
+    c.kind = InstrClass::Vec;
+    c.vec = *k;
+    return c;
+  }
+
+  c.kind = InstrClass::Unsupported;
+  return c;
+}
+
+/// One memory access recorded while stamping, for stream-advance
+/// measurement after the walk.
+struct RecordedAccess {
+  const MemOperand* mem = nullptr;
+  bool store = false;
+};
+
+class Evaluator {
+ public:
+  Evaluator(const asmir::Program& prog, const dataflow::Analysis& df,
+            Arena& arena, const EvalOptions& opts)
+      : prog_(prog), df_(df), arena_(arena), opts_(opts) {
+    classes_.reserve(prog.code.size());
+    for (std::size_t i = 0; i < prog.code.size(); ++i) {
+      classes_.push_back(classify(prog, prog.code[i], df.instrs[i].rename));
+    }
+    collect_roots();
+  }
+
+  Summary run(int stamps);
+
+ private:
+  void collect_roots();
+  [[nodiscard]] Affine gpr_affine(const Register& r);
+  std::vector<ExprId> read_vec(const Register& r, int lanes);
+  void write_vec(const Register& r, std::vector<ExprId> lanes);
+  [[nodiscard]] Affine eval_addr(const MemOperand& m);
+  void apply_writeback(const MemOperand& m);
+  ExprId load_cell(const Affine& cell);
+  void note_root(const Register& r);
+
+  void eval_zero(const Instruction& ins);
+  void eval_load(const Instruction& ins, const InstrClass& c);
+  void eval_store(const Instruction& ins);
+  void eval_gpr(const Instruction& ins);
+  void eval_vec(const Instruction& ins, const InstrClass& c);
+
+  [[nodiscard]] long long measure_advance();
+
+  const asmir::Program& prog_;
+  const dataflow::Analysis& df_;
+  Arena& arena_;
+  EvalOptions opts_;
+
+  std::vector<InstrClass> classes_;
+  std::set<std::uint32_t> written_vec_;
+  std::set<std::uint32_t> trip_roots_;
+  std::set<std::uint32_t> const_advanced_;  // written GPRs, constant steps
+
+  std::map<std::uint32_t, Affine> gpr_;
+  std::map<std::uint32_t, std::vector<ExprId>> vec_;
+  std::map<Affine, ExprId> stores_;
+  std::vector<RecordedAccess> accesses_;  // final stamp only
+  bool record_accesses_ = false;
+  std::uint32_t opaque_counter_ = 0;
+
+  Summary out_;
+};
+
+void Evaluator::collect_roots() {
+  struct TripInfo {
+    bool written = false;
+    bool const_only = true;
+    bool compared = false;
+  };
+  std::map<std::uint32_t, TripInfo> trip;
+  std::set<std::uint32_t> address_bases;
+  for (const Instruction& ins : prog_.code) {
+    for (const Operand& op : ins.ops) {
+      if (op.is_reg() && op.write && op.reg().cls == RegClass::Vector)
+        written_vec_.insert(op.reg().root_id());
+      if (op.is_reg() && op.write &&
+          (op.reg().cls == RegClass::Gpr || op.reg().cls == RegClass::Sp)) {
+        TripInfo& t = trip[op.reg().root_id()];
+        t.written = true;
+        if (!dataflow::constant_increment(ins, op.reg())) t.const_only = false;
+      }
+      if (op.is_reg() && op.read && ins.writes_flags &&
+          (op.reg().cls == RegClass::Gpr || op.reg().cls == RegClass::Sp)) {
+        trip[op.reg().root_id()].compared = true;
+      }
+      if (op.is_mem() && ins.mnemonic != "lea") {
+        if (op.mem().base) address_bases.insert(op.mem().base->root_id());
+        if (op.mem().base_writeback && op.mem().base) {
+          trip[op.mem().base->root_id()].written = true;  // constant advance
+        }
+      }
+    }
+  }
+  for (const auto& [root, t] : trip) {
+    if (t.written && t.const_only) const_advanced_.insert(root);
+  }
+  if (!opts_.zero_trip_index) return;
+  for (const auto& [root, t] : trip) {
+    // An induction register starts the analyzed iteration at 0 only when
+    // it plays the pure trip-count role: advanced by constants, consumed
+    // by the loop compare, and never the *base* of an address (a bumped
+    // data pointer that the compare consumes must stay symbolic).
+    if (t.written && t.const_only && t.compared &&
+        !address_bases.contains(root)) {
+      trip_roots_.insert(root);
+    }
+  }
+}
+
+void Evaluator::note_root(const Register& r) {
+  out_.root_regs.try_emplace(r.root_id(), r);
+}
+
+Affine Evaluator::gpr_affine(const Register& r) {
+  if (dataflow::is_zero_register(prog_, r)) return Affine::constant(0);
+  note_root(r);
+  const std::uint32_t root = r.root_id();
+  auto it = gpr_.find(root);
+  if (it != gpr_.end()) return it->second;
+  Affine init = trip_roots_.contains(root) ? Affine::constant(0)
+                                           : Affine::symbol(root);
+  gpr_.emplace(root, init);
+  return init;
+}
+
+std::vector<ExprId> Evaluator::read_vec(const Register& r, int lanes) {
+  note_root(r);
+  const std::uint32_t root = r.root_id();
+  auto it = vec_.find(root);
+  if (it == vec_.end()) {
+    // Live-in value.  Unwritten roots are loop-invariant: lane-uniform
+    // under the invariant-splat axiom.
+    std::vector<ExprId> v(static_cast<std::size_t>(lanes));
+    const bool written = written_vec_.contains(root);
+    for (int i = 0; i < lanes; ++i) {
+      if (!written && opts_.invariant_splat) {
+        v[static_cast<std::size_t>(i)] = arena_.input(root, 0);
+      } else {
+        v[static_cast<std::size_t>(i)] = arena_.input(root, i);
+        if (i > 0 && written) out_.lane_phased_state = true;
+      }
+    }
+    return v;
+  }
+  std::vector<ExprId> v = it->second;
+  if (static_cast<int>(v.size()) < lanes) {
+    // The narrower write zeroed the untouched lanes (VEX / AArch64
+    // sub-register semantics; merging forms were rejected up front).
+    v.resize(static_cast<std::size_t>(lanes), arena_.zero());
+  } else {
+    v.resize(static_cast<std::size_t>(lanes));
+  }
+  return v;
+}
+
+void Evaluator::write_vec(const Register& r, std::vector<ExprId> lanes) {
+  note_root(r);
+  vec_[r.root_id()] = std::move(lanes);
+}
+
+Affine Evaluator::eval_addr(const MemOperand& m) {
+  Affine a = Affine::constant(m.base_writeback ? 0 : m.displacement);
+  if (m.base) a += gpr_affine(*m.base);
+  if (m.index) a += gpr_affine(*m.index).scaled(m.scale);
+  // A scaled index register that advances by constants but could not be
+  // zeroed (it is not the loop-compared trip count) carries an offset set
+  // up outside the loop -- shifted stencil indices like `i-1`/`i+1`.  Its
+  // symbolic value cannot be related to the other side's, so divergences
+  // involving it are attributable rather than provable.
+  for (const auto& [sym, coeff] : a.terms) {
+    if ((sym & 0x80000000u) == 0 && coeff != 1 && coeff != -1 &&
+        const_advanced_.contains(sym) && !trip_roots_.contains(sym)) {
+      out_.shifted_index_state = true;
+    }
+  }
+  return a;
+}
+
+void Evaluator::apply_writeback(const MemOperand& m) {
+  if (!m.base_writeback || !m.base) return;
+  const std::uint32_t root = m.base->root_id();
+  gpr_[root] = gpr_affine(*m.base) + Affine::constant(m.displacement);
+}
+
+ExprId Evaluator::load_cell(const Affine& cell) {
+  if (auto it = stores_.find(cell); it != stores_.end()) return it->second;
+  return arena_.load(cell);
+}
+
+void Evaluator::eval_zero(const Instruction& ins) {
+  const Operand* dest = first_reg_write(ins);
+  const Register& r = dest->reg();
+  if (r.cls == RegClass::Vector) {
+    const int lanes = std::max(1, r.width_bits / 64);
+    write_vec(r, std::vector<ExprId>(static_cast<std::size_t>(lanes),
+                                     arena_.zero()));
+  } else {
+    note_root(r);
+    gpr_[r.root_id()] = Affine::constant(0);
+  }
+}
+
+void Evaluator::eval_load(const Instruction& ins, const InstrClass& c) {
+  const Operand* dest = first_reg_write(ins);
+  const MemOperand& m = *ins.mem_operand();
+  const Affine addr = eval_addr(m);
+  if (record_accesses_) accesses_.push_back({&m, false});
+  std::vector<ExprId> v;
+  if (c.broadcast) {
+    const int lanes = std::max(1, dest->reg().width_bits / 64);
+    v.assign(static_cast<std::size_t>(lanes), load_cell(addr));
+  } else {
+    const int lanes = m.width_bits / 64;
+    v.reserve(static_cast<std::size_t>(lanes));
+    for (int i = 0; i < lanes; ++i)
+      v.push_back(load_cell(addr + Affine::constant(8 * i)));
+  }
+  write_vec(dest->reg(), std::move(v));
+  apply_writeback(m);
+}
+
+void Evaluator::eval_store(const Instruction& ins) {
+  const MemOperand& m = *ins.mem_operand();
+  const Register* data = nullptr;
+  for (const Operand& op : ins.ops) {
+    if (op.is_reg() && op.read && op.reg().cls == RegClass::Vector) {
+      data = &op.reg();
+      break;
+    }
+  }
+  const Affine addr = eval_addr(m);
+  if (record_accesses_) accesses_.push_back({&m, true});
+  const int lanes = m.width_bits / 64;
+  std::vector<ExprId> vals = read_vec(*data, lanes);
+  for (int i = 0; i < lanes; ++i)
+    stores_[addr + Affine::constant(8 * i)] = vals[static_cast<std::size_t>(i)];
+  apply_writeback(m);
+}
+
+void Evaluator::eval_gpr(const Instruction& ins) {
+  const Operand* dest = first_reg_write(ins);
+  const Register& r = dest->reg();
+  if (dataflow::is_zero_register(prog_, r)) return;  // xzr: discarded
+  note_root(r);
+  const std::uint32_t root = r.root_id();
+  if (auto inc = dataflow::constant_increment(ins, r)) {
+    gpr_[root] = gpr_affine(r) + Affine::constant(*inc);
+    return;
+  }
+  const std::string& mn = ins.mnemonic;
+  const bool x86 = prog_.isa == Isa::X86_64;
+  if (mn == "mov") {
+    for (const Operand& op : ins.ops) {
+      if (&op == dest) continue;
+      if (op.is_reg() && op.read &&
+          (op.reg().cls == RegClass::Gpr || op.reg().cls == RegClass::Sp)) {
+        gpr_[root] = gpr_affine(op.reg());
+        return;
+      }
+      if (op.kind == asmir::OperandKind::Imm) {
+        gpr_[root] = Affine::constant(op.imm().value);
+        return;
+      }
+    }
+  }
+  if (mn == "lea") {
+    if (const MemOperand* m = ins.mem_operand()) {
+      Affine a = Affine::constant(m->displacement);
+      if (m->base) a += gpr_affine(*m->base);
+      if (m->index) a += gpr_affine(*m->index).scaled(m->scale);
+      gpr_[root] = a;
+      return;
+    }
+  }
+  if (mn == "add" || mn == "sub" || mn == "adds" || mn == "subs") {
+    // Register/shifted-register forms (the immediate-to-self forms were
+    // already handled as constant increments).
+    const bool add = mn == "add" || mn == "adds";
+    if (x86) {
+      // Two-operand RMW: dst = dst op src.
+      for (const Operand& op : ins.ops) {
+        if (&op == dest) continue;
+        if (op.is_reg() && op.read &&
+            (op.reg().cls == RegClass::Gpr || op.reg().cls == RegClass::Sp)) {
+          const Affine src = gpr_affine(op.reg());
+          gpr_[root] = add ? gpr_affine(r) + src : gpr_affine(r) - src;
+          return;
+        }
+      }
+    } else {
+      // Three-operand form: dst = a op (b << shift).
+      std::vector<Affine> srcs;
+      long long shift = 0;
+      for (std::size_t i = 1; i < ins.ops.size(); ++i) {
+        const Operand& op = ins.ops[i];
+        if (op.is_reg() && op.read &&
+            (op.reg().cls == RegClass::Gpr || op.reg().cls == RegClass::Sp)) {
+          srcs.push_back(gpr_affine(op.reg()));
+        } else if (op.kind == asmir::OperandKind::Imm) {
+          if (srcs.size() >= 2) {
+            shift = op.imm().value;  // trailing "lsl #k" on the second source
+          } else {
+            srcs.push_back(Affine::constant(op.imm().value));
+          }
+        }
+      }
+      if (srcs.size() == 2) {
+        srcs[1] = srcs[1].scaled(1LL << shift);
+        gpr_[root] = add ? srcs[0] + srcs[1] : srcs[0] - srcs[1];
+        return;
+      }
+    }
+  }
+  // Anything else: the affine model cannot express it.  The value becomes
+  // a fresh opaque symbol -- unique per kernel, so it can never prove two
+  // different kernels equal, only attribute a divergence.
+  gpr_[root] = Affine::symbol(0x80000000u | (opts_.opaque_salt << 20) |
+                              opaque_counter_++);
+  out_.opaque_int_state = true;
+}
+
+void Evaluator::eval_vec(const Instruction& ins, const InstrClass& c) {
+  const Operand* dest = first_reg_write(ins);
+  const bool x86 = prog_.isa == Isa::X86_64;
+  const int lanes = x86 ? std::max(1, x86_lanes(ins))
+                        : std::max(1, dest->reg().width_bits / 64);
+
+  // Gather the data sources in ISA-normalized order: [src1, src2, ...]
+  // with the accumulator first for FMA shapes.
+  std::vector<std::vector<ExprId>> srcs;
+  const std::size_t begin = x86 ? 0 : 1;
+  const std::size_t end = x86 ? ins.ops.size() - 1 : ins.ops.size();
+  for (std::size_t i = begin; i < end; ++i) {
+    const Operand& op = ins.ops[i];
+    if (op.is_reg() && op.read && op.reg().cls == RegClass::Vector) {
+      srcs.push_back(read_vec(op.reg(), lanes));
+    } else if (op.is_mem() && op.read) {
+      const MemOperand& m = op.mem();
+      const Affine addr = eval_addr(m);
+      if (record_accesses_) accesses_.push_back({&m, false});
+      std::vector<ExprId> v;
+      v.reserve(static_cast<std::size_t>(lanes));
+      for (int l = 0; l < lanes; ++l)
+        v.push_back(load_cell(addr + Affine::constant(8 * l)));
+      srcs.push_back(std::move(v));
+    }
+  }
+  if (x86) {
+    // AT&T lists sources reversed relative to the Intel operand order the
+    // FMA digit encoding (132/213/231) refers to.
+    std::reverse(srcs.begin(), srcs.end());
+    if (dest->read) srcs.insert(srcs.begin(), read_vec(dest->reg(), lanes));
+  } else if (c.vec == VecKind::Fmla || c.vec == VecKind::Fmls) {
+    srcs.insert(srcs.begin(), read_vec(dest->reg(), lanes));
+  }
+
+  if (srcs.empty() && c.vec == VecKind::Move) {
+    // Immediate move (fmov d0, #imm).  The parser keeps FP immediates as
+    // an opaque placeholder, which is symmetric across the two kernels.
+    long long imm = 0;
+    for (const Operand& op : ins.ops) {
+      if (op.kind == asmir::OperandKind::Imm) imm = op.imm().value;
+    }
+    srcs.push_back(std::vector<ExprId>(
+        static_cast<std::size_t>(lanes),
+        arena_.constant_bits(static_cast<std::uint64_t>(imm))));
+  }
+
+  std::vector<ExprId> out(static_cast<std::size_t>(lanes));
+  for (int l = 0; l < lanes; ++l) {
+    const auto li = static_cast<std::size_t>(l);
+    auto s = [&](std::size_t i) { return srcs[i][li]; };
+    ExprId v = kNoExpr;
+    switch (c.vec) {
+      case VecKind::Move: v = s(0); break;
+      case VecKind::Add: v = arena_.binary(ExprOp::Add, s(0), s(1)); break;
+      case VecKind::Sub: v = arena_.binary(ExprOp::Sub, s(0), s(1)); break;
+      case VecKind::Mul: v = arena_.binary(ExprOp::Mul, s(0), s(1)); break;
+      case VecKind::Div: v = arena_.binary(ExprOp::Div, s(0), s(1)); break;
+      case VecKind::DivR: v = arena_.binary(ExprOp::Div, s(1), s(0)); break;
+      // x86 digits name dst = opX*opY + opZ over [dst, src2, src3]:
+      case VecKind::Fma132: v = arena_.fma(s(0), s(2), s(1)); break;
+      case VecKind::Fma213: v = arena_.fma(s(0), s(1), s(2)); break;
+      case VecKind::Fma231: v = arena_.fma(s(1), s(2), s(0)); break;
+      case VecKind::Fmla: v = arena_.fma(s(1), s(2), s(0)); break;
+      case VecKind::Fmls:
+        v = arena_.fma(arena_.unary(ExprOp::Neg, s(1)), s(2), s(0));
+        break;
+      case VecKind::Sqrt:
+        v = arena_.unary(ExprOp::Sqrt, srcs.back()[li]);
+        break;
+      case VecKind::Neg:
+        v = arena_.unary(ExprOp::Neg, srcs.back()[li]);
+        break;
+    }
+    out[li] = v;
+  }
+  write_vec(dest->reg(), std::move(out));
+}
+
+long long Evaluator::measure_advance() {
+  // How far an access site moves from one execution of the body to the
+  // next: its address under the final register state minus its address
+  // under the iteration-entry state.  (Comparing against the *recorded*
+  // mid-body address would halve the advance of an unrolled body.)
+  auto entry_affine = [&](const Register& r) -> Affine {
+    if (dataflow::is_zero_register(prog_, r)) return Affine::constant(0);
+    return trip_roots_.contains(r.root_id()) ? Affine::constant(0)
+                                             : Affine::symbol(r.root_id());
+  };
+  auto entry_addr = [&](const MemOperand& m) -> Affine {
+    Affine a = Affine::constant(m.base_writeback ? 0 : m.displacement);
+    if (m.base) a += entry_affine(*m.base);
+    if (m.index) a += entry_affine(*m.index).scaled(m.scale);
+    return a;
+  };
+  auto stream_advance = [&](bool want_store) -> std::optional<long long> {
+    std::optional<long long> best;
+    for (const RecordedAccess& a : accesses_) {
+      if (a.store != want_store) continue;
+      const Affine diff = eval_addr(*a.mem) - entry_addr(*a.mem);
+      if (!diff.is_constant() || diff.c == 0) continue;
+      const long long adv = diff.c < 0 ? -diff.c : diff.c;
+      if (!best || adv < *best) best = adv;
+    }
+    return best;
+  };
+  if (auto a = stream_advance(true)) return *a;
+  if (auto a = stream_advance(false)) return *a;
+  // Memory-free kernels: fall back to the trip-index advance.
+  long long best = 0;
+  for (std::uint32_t root : trip_roots_) {
+    auto it = gpr_.find(root);
+    if (it == gpr_.end() || !it->second.is_constant()) continue;
+    const long long adv = it->second.c < 0 ? -it->second.c : it->second.c;
+    best = std::max(best, adv);
+  }
+  return best > 0 ? best : 1;
+}
+
+Summary Evaluator::run(int stamps) {
+  out_.isa = prog_.isa;
+  out_.stamps = stamps;
+  out_.unsupported = scan_unsupported(prog_, df_);
+  if (!out_.unsupported.empty()) {
+    out_.supported = false;
+    return std::move(out_);
+  }
+  for (int s = 0; s < stamps; ++s) {
+    record_accesses_ = s == stamps - 1;
+    for (std::size_t i = 0; i < prog_.code.size(); ++i) {
+      const Instruction& ins = prog_.code[i];
+      const InstrClass& c = classes_[i];
+      switch (c.kind) {
+        case InstrClass::Skip: break;
+        case InstrClass::Zero: eval_zero(ins); break;
+        case InstrClass::Load: eval_load(ins, c); break;
+        case InstrClass::Store: eval_store(ins); break;
+        case InstrClass::Gpr: eval_gpr(ins); break;
+        case InstrClass::Vec: eval_vec(ins, c); break;
+        case InstrClass::Unsupported: break;  // unreachable: scanned above
+      }
+    }
+  }
+  out_.advance = measure_advance();
+  for (const Register& r : df_.live_out) {
+    if (r.cls != RegClass::Vector) continue;
+    auto it = vec_.find(r.root_id());
+    if (it != vec_.end()) out_.reg_out[r.root_id()] = it->second;
+  }
+  out_.stores = std::move(stores_);
+  return std::move(out_);
+}
+
+}  // namespace
+
+std::vector<std::string> scan_unsupported(const asmir::Program& prog,
+                                          const dataflow::Analysis& df) {
+  std::vector<std::string> out;
+  for (std::size_t i = 0; i < prog.code.size(); ++i) {
+    const InstrClass c = classify(prog, prog.code[i], df.instrs[i].rename);
+    if (c.kind == InstrClass::Unsupported) {
+      out.push_back(format("line %d: %s", prog.code[i].line,
+                           prog.code[i].raw.c_str()));
+    }
+  }
+  return out;
+}
+
+Summary evaluate(const asmir::Program& prog, const dataflow::Analysis& df,
+                 Arena& arena, const EvalOptions& opts, int stamps) {
+  return Evaluator(prog, df, arena, opts).run(stamps);
+}
+
+}  // namespace incore::equiv

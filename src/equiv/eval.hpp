@@ -1,0 +1,85 @@
+#pragma once
+// Symbolic execution of one (or k stamped-out) loop iterations.
+//
+// The evaluator walks the parsed body in program order over the dataflow
+// analysis and produces, for every live-out register and every stored
+// memory cell, a symbolic expression over the iteration's live-in values
+// (expr.hpp).  Floating-point state is tracked per 64-bit lane; integer
+// state (pointers, induction variables) is kept in closed affine form so
+// addresses remain comparable across pointer bumps, scaled indices and
+// mechanical unrolling.  Memory is a map of 8-byte cells keyed by affine
+// address, with store-to-load forwarding.
+//
+// Modeling axioms (documented in docs/equivalence.md):
+//  * Steady state: predicates govern all lanes (whilelo loops are compared
+//    away from the remainder iteration).
+//  * Invariant splat: a vector live-in that the body never redefines is
+//    lane-uniform (loop-invariant constants are broadcast outside the
+//    body, which one-iteration analysis cannot see).
+//  * Trip-index zeroing: an induction register that feeds the loop compare
+//    and is only ever advanced by constants starts the analyzed iteration
+//    at 0 on both sides.
+//
+// Everything the evaluator cannot model becomes an explicit bailout with
+// provenance (instruction text + line), surfaced as VE008 -- never a
+// silently wrong verdict.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "asmir/ir.hpp"
+#include "dataflow/dataflow.hpp"
+#include "equiv/expr.hpp"
+
+namespace incore::equiv {
+
+struct EvalOptions {
+  bool invariant_splat = true;  // loop-invariant vector live-ins lane-uniform
+  bool zero_trip_index = true;  // compare-fed induction indices start at 0
+  /// Salt mixed into fresh symbols for opaque integer writes, so two
+  /// different kernels never accidentally share an opaque value.
+  std::uint32_t opaque_salt = 0;
+};
+
+/// Result of symbolically executing `stamps` copies of the body.
+struct Summary {
+  asmir::Isa isa = asmir::Isa::X86_64;
+  bool supported = true;
+  std::vector<std::string> unsupported;  // "line N: text" provenance
+  int stamps = 1;
+  /// Per-iteration advance of the memory streams in bytes (or of the trip
+  /// index, for memory-free kernels); >= 1.  Drives unroll normalization.
+  long long advance = 1;
+  /// The body consumed distinct lanes of a live-in register it also
+  /// redefines (lane-phased recurrence state prepared outside the loop);
+  /// a divergence involving it is attributable, not provable.
+  bool lane_phased_state = false;
+  /// A GPR was redefined by something the affine model cannot express.
+  bool opaque_int_state = false;
+  /// An address used a scaled index register that advances by constants
+  /// but is not the loop-compared trip count: its offset (e.g. the `i-1`
+  /// of a shifted stencil stream) is established outside the loop, so the
+  /// two sides' index symbols cannot be related.
+  bool shifted_index_state = false;
+  /// Final lanes of every live-out vector root the body redefines.
+  std::map<std::uint32_t, std::vector<ExprId>> reg_out;
+  /// Final value of every written 8-byte memory cell.
+  std::map<Affine, ExprId> stores;
+  /// Representative register mention per root, for rendering.
+  std::map<std::uint32_t, asmir::Register> root_regs;
+};
+
+/// Returns the instructions the evaluator cannot model ("line N: text"),
+/// empty when the whole body is supported.
+[[nodiscard]] std::vector<std::string> scan_unsupported(
+    const asmir::Program& prog, const dataflow::Analysis& df);
+
+/// Symbolically executes `stamps` back-to-back copies of the body.
+/// On unsupported input, returns a Summary with supported=false and the
+/// provenance list filled in.
+[[nodiscard]] Summary evaluate(const asmir::Program& prog,
+                               const dataflow::Analysis& df, Arena& arena,
+                               const EvalOptions& opts, int stamps);
+
+}  // namespace incore::equiv

@@ -1,0 +1,284 @@
+#include "equiv/expr.hpp"
+
+#include <algorithm>
+
+#include "support/strings.hpp"
+
+namespace incore::equiv {
+
+using support::format;
+
+Affine& Affine::operator+=(const Affine& o) {
+  for (const auto& [sym, coeff] : o.terms) {
+    auto it = std::find_if(terms.begin(), terms.end(),
+                           [&](const auto& t) { return t.first == sym; });
+    if (it == terms.end()) {
+      terms.emplace_back(sym, coeff);
+    } else if ((it->second += coeff) == 0) {
+      terms.erase(it);
+    }
+  }
+  std::sort(terms.begin(), terms.end());
+  c += o.c;
+  return *this;
+}
+
+Affine Affine::operator+(const Affine& o) const {
+  Affine r = *this;
+  r += o;
+  return r;
+}
+
+Affine Affine::operator-(const Affine& o) const { return *this + o.scaled(-1); }
+
+Affine Affine::scaled(long long k) const {
+  if (k == 0) return constant(0);
+  Affine r;
+  r.c = c * k;
+  r.terms.reserve(terms.size());
+  for (const auto& [sym, coeff] : terms) r.terms.emplace_back(sym, coeff * k);
+  return r;
+}
+
+const char* to_string(ExprOp op) {
+  switch (op) {
+    case ExprOp::Input: return "in";
+    case ExprOp::Const: return "const";
+    case ExprOp::Load: return "load";
+    case ExprOp::Add: return "+";
+    case ExprOp::Sub: return "-";
+    case ExprOp::Mul: return "*";
+    case ExprOp::Div: return "/";
+    case ExprOp::Fma: return "fma";
+    case ExprOp::Neg: return "neg";
+    case ExprOp::Sqrt: return "sqrt";
+    case ExprOp::AddN: return "+";
+    case ExprOp::MulN: return "*";
+  }
+  return "?";
+}
+
+std::size_t Arena::NodeHash::operator()(const ExprNode& n) const {
+  std::size_t h = static_cast<std::size_t>(n.op);
+  auto mix = [&h](std::uint64_t v) {
+    h ^= static_cast<std::size_t>(v) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+         (h >> 2);
+  };
+  mix(n.a);
+  mix(n.b);
+  for (ExprId k : n.kids) mix(k);
+  return h;
+}
+
+ExprId Arena::intern(ExprNode n) {
+  auto [it, inserted] =
+      interned_.try_emplace(n, static_cast<ExprId>(nodes_.size()));
+  if (inserted) nodes_.push_back(std::move(n));
+  return it->second;
+}
+
+ExprId Arena::input(std::uint32_t root, int lane) {
+  return intern(ExprNode{ExprOp::Input, root,
+                         static_cast<std::uint64_t>(lane), {}});
+}
+
+ExprId Arena::constant_bits(std::uint64_t bits) {
+  return intern(ExprNode{ExprOp::Const, bits, 0, {}});
+}
+
+ExprId Arena::load(const Affine& cell) {
+  auto [it, inserted] =
+      affine_ids_.try_emplace(cell, static_cast<std::uint64_t>(affines_.size()));
+  if (inserted) affines_.push_back(cell);
+  return intern(ExprNode{ExprOp::Load, it->second, 0, {}});
+}
+
+ExprId Arena::unary(ExprOp op, ExprId x) {
+  return intern(ExprNode{op, 0, 0, {x}});
+}
+
+ExprId Arena::binary(ExprOp op, ExprId x, ExprId y) {
+  return intern(ExprNode{op, 0, 0, {x, y}});
+}
+
+ExprId Arena::fma(ExprId x, ExprId y, ExprId acc) {
+  return intern(ExprNode{ExprOp::Fma, 0, 0, {x, y, acc}});
+}
+
+ExprId Arena::nary(ExprOp op, std::vector<ExprId> kids) {
+  if (kids.size() == 1) return kids[0];
+  return intern(ExprNode{op, 0, 0, std::move(kids)});
+}
+
+namespace {
+
+bool is_zero_const(const ExprNode& n) {
+  return n.op == ExprOp::Const && n.a == 0;
+}
+
+}  // namespace
+
+ExprId Arena::canonical(ExprId id, CanonMode mode) {
+  auto& memo = canon_[static_cast<int>(mode)];
+  if (auto it = memo.find(id); it != memo.end()) return it->second;
+
+  // Copy the node: canonicalizing the kids may grow nodes_ and invalidate
+  // references into it.
+  const ExprNode n = nodes_[id];
+  ExprId out = id;
+  switch (n.op) {
+    case ExprOp::Input:
+    case ExprOp::Const:
+    case ExprOp::Load:
+      break;
+    case ExprOp::Neg: {
+      const ExprId k = canonical(n.kids[0], mode);
+      const ExprNode& kn = nodes_[k];
+      if (kn.op == ExprOp::Neg) {
+        out = kn.kids[0];  // neg(neg(x)) = x
+      } else {
+        out = unary(ExprOp::Neg, k);
+      }
+      break;
+    }
+    case ExprOp::Sqrt:
+      out = unary(ExprOp::Sqrt, canonical(n.kids[0], mode));
+      break;
+    case ExprOp::Div:
+      out = binary(ExprOp::Div, canonical(n.kids[0], mode),
+                   canonical(n.kids[1], mode));
+      break;
+    case ExprOp::Sub: {
+      ExprId a = canonical(n.kids[0], mode);
+      ExprId b = canonical(n.kids[1], mode);
+      if (mode == CanonMode::Strict) {
+        out = binary(ExprOp::Sub, a, b);
+      } else {
+        out = canonical(binary(ExprOp::Add, a, unary(ExprOp::Neg, b)), mode);
+      }
+      break;
+    }
+    case ExprOp::Fma: {
+      ExprId a = canonical(n.kids[0], mode);
+      ExprId b = canonical(n.kids[1], mode);
+      ExprId acc = canonical(n.kids[2], mode);
+      if (mode == CanonMode::Strict) {
+        // FMA rounds once: not interchangeable with mul+add under strict
+        // semantics.  Only the commutative multiplicand order normalizes.
+        if (a > b) std::swap(a, b);
+        out = fma(a, b, acc);
+      } else {
+        out = canonical(binary(ExprOp::Add, binary(ExprOp::Mul, a, b), acc),
+                        mode);
+      }
+      break;
+    }
+    case ExprOp::Add:
+    case ExprOp::Mul:
+    case ExprOp::AddN:
+    case ExprOp::MulN: {
+      const bool add = n.op == ExprOp::Add || n.op == ExprOp::AddN;
+      if (mode == CanonMode::Strict && n.kids.size() == 2) {
+        ExprId a = canonical(n.kids[0], mode);
+        ExprId b = canonical(n.kids[1], mode);
+        if (a > b) std::swap(a, b);  // commutativity is value-preserving
+        out = binary(add ? ExprOp::Add : ExprOp::Mul, a, b);
+        break;
+      }
+      // Reassoc: flatten into one sorted n-ary term list.
+      std::vector<ExprId> flat;
+      for (ExprId kid : n.kids) {
+        const ExprId k = canonical(kid, mode);
+        const ExprNode& kn = nodes_[k];
+        if ((add && kn.op == ExprOp::AddN) || (!add && kn.op == ExprOp::MulN)) {
+          flat.insert(flat.end(), kn.kids.begin(), kn.kids.end());
+        } else if (add && is_zero_const(kn)) {
+          // x + 0 = x (modulo the sign of zero, which reassociation
+          // already gives up on).
+        } else {
+          flat.push_back(k);
+        }
+      }
+      if (flat.empty()) {
+        out = zero();
+      } else {
+        std::sort(flat.begin(), flat.end());
+        out = nary(add ? ExprOp::AddN : ExprOp::MulN, std::move(flat));
+      }
+      break;
+    }
+  }
+  memo.emplace(id, out);
+  return out;
+}
+
+std::string Arena::to_string(
+    const Affine& a,
+    const std::function<std::string(std::uint32_t)>& sym) const {
+  std::string out;
+  for (const auto& [s, coeff] : a.terms) {
+    if (!out.empty()) out += coeff < 0 ? " - " : " + ";
+    const long long mag = !out.empty() && coeff < 0 ? -coeff : coeff;
+    if (mag != 1) out += format("%lld*", mag);
+    out += sym(s);
+  }
+  if (a.c != 0 || out.empty()) {
+    if (out.empty()) {
+      out += format("%lld", a.c);
+    } else {
+      out += a.c < 0 ? format(" - %lld", -a.c) : format(" + %lld", a.c);
+    }
+  }
+  return out;
+}
+
+std::string Arena::to_string(
+    ExprId id, const std::function<std::string(std::uint32_t)>& sym) const {
+  const ExprNode& n = nodes_[id];
+  switch (n.op) {
+    case ExprOp::Input:
+      return format("%s#%llu", sym(static_cast<std::uint32_t>(n.a)).c_str(),
+                    static_cast<unsigned long long>(n.b));
+    case ExprOp::Const: {
+      if (n.a == 0) return "0";
+      return format("const(0x%llx)", static_cast<unsigned long long>(n.a));
+    }
+    case ExprOp::Load: {
+      std::string out = "[";
+      out += to_string(affines_[n.a], sym);
+      out += "]";
+      return out;
+    }
+    case ExprOp::Neg: {
+      std::string out = "-";
+      out += to_string(n.kids[0], sym);
+      return out;
+    }
+    case ExprOp::Sqrt: {
+      std::string out = "sqrt(";
+      out += to_string(n.kids[0], sym);
+      out += ")";
+      return out;
+    }
+    case ExprOp::Fma: {
+      std::string out = "fma(";
+      out += to_string(n.kids[0], sym);
+      out += ", ";
+      out += to_string(n.kids[1], sym);
+      out += ", ";
+      out += to_string(n.kids[2], sym);
+      out += ")";
+      return out;
+    }
+    default: {
+      std::string out = "(";
+      for (std::size_t i = 0; i < n.kids.size(); ++i) {
+        if (i) out += std::string(" ") + equiv::to_string(n.op) + " ";
+        out += to_string(n.kids[i], sym);
+      }
+      return out + ")";
+    }
+  }
+}
+
+}  // namespace incore::equiv

@@ -1,0 +1,94 @@
+#include "equiv/lints.hpp"
+
+#include <string>
+#include <vector>
+
+#include "support/strings.hpp"
+
+namespace incore::equiv {
+
+using support::format;
+using verify::Severity;
+
+std::size_t lint_equivalence(const Result& r, std::string_view ref_name,
+                             std::string_view cand_name, bool strict_fp,
+                             verify::DiagnosticSink& sink) {
+  const std::size_t before = sink.diagnostics().size();
+  const std::string loc =
+      format("'%.*s' vs '%.*s'", static_cast<int>(ref_name.size()),
+             ref_name.data(), static_cast<int>(cand_name.size()),
+             cand_name.data());
+  const bool attributed = r.verdict == Verdict::Attributed;
+
+  // VE008: bailouts carry their own provenance and preempt value findings.
+  for (const auto& side :
+       {std::make_pair(ref_name, &r.ref_unsupported),
+        std::make_pair(cand_name, &r.cand_unsupported)}) {
+    if (side.second->empty()) continue;
+    sink.report(Severity::Warning, "VE008",
+                format("'%.*s'", static_cast<int>(side.first.size()),
+                       side.first.data()),
+                "symbolic evaluation bailed out on unsupported opcodes",
+                *side.second);
+  }
+
+  // VE007: unroll normalization note, so stamped comparisons are explicit.
+  if (r.ref_stamps != 1 || r.cand_stamps != 1) {
+    sink.report(
+        Severity::Note, "VE007", loc,
+        format("unroll factor detected: ref stamped x%d, cand stamped x%d "
+               "(advance %lld vs %lld bytes/iter)",
+               r.ref_stamps, r.cand_stamps, r.ref_advance, r.cand_advance));
+  }
+
+  for (const OutputDiff& d : r.outputs) {
+    if (!d.ref_present || !d.cand_present) {
+      const char* present_in =
+          d.ref_present ? "only the reference" : "only the candidate";
+      sink.report(Severity::Error, d.is_store ? "VE003" : "VE001", loc,
+                  format("%s '%s' exists in %s kernel",
+                         d.is_store ? "store to" : "live-out register",
+                         d.name.c_str(), present_in));
+      continue;
+    }
+    if (d.width_mismatch) {
+      sink.report(Severity::Warning, "VE006", loc,
+                  format("output '%s' has different widths on the two sides",
+                         d.name.c_str()));
+    }
+    if (!d.reassoc_equal) {
+      // Attributed causes demote the value findings to notes: the
+      // divergence is explained, not proven wrong.
+      std::vector<std::string> notes = {"ref:  " + d.ref_expr,
+                                        "cand: " + d.cand_expr};
+      if (attributed) notes.push_back("attributed: " + r.attribution);
+      sink.report(attributed ? Severity::Note : Severity::Error,
+                  d.is_store ? "VE004" : "VE002", loc,
+                  format("%s '%s' computes diverging symbolic values",
+                         d.is_store ? "stored cell" : "live-out register",
+                         d.name.c_str()),
+                  std::move(notes));
+    }
+  }
+
+  if (r.verdict == Verdict::ReassociationOnly) {
+    std::vector<std::string> notes;
+    for (const OutputDiff& d : r.outputs) {
+      if (d.reassoc_equal && !d.strict_equal) {
+        notes.push_back(format("%s: ref %s / cand %s", d.name.c_str(),
+                               d.ref_expr.c_str(), d.cand_expr.c_str()));
+      }
+    }
+    sink.report(strict_fp ? Severity::Error : Severity::Warning, "VE005", loc,
+                strict_fp
+                    ? "outputs agree only modulo FP reassociation, which "
+                      "--strict-fp rejects"
+                    : "outputs agree only modulo FP reassociation or "
+                      "contraction",
+                std::move(notes));
+  }
+
+  return sink.diagnostics().size() - before;
+}
+
+}  // namespace incore::equiv

@@ -1,0 +1,36 @@
+#pragma once
+// Equivalence lint family (VE001..VE008): surfaces an equivalence Result
+// through the verifier's structured diagnostics, so equivalence findings
+// render, count and gate exactly like model and kernel lints.
+//
+//   VE001 (error)   live-out register sets differ
+//   VE002 (error)   live-out symbolic values diverge
+//   VE003 (error)   store sets differ
+//   VE004 (error)   stored symbolic values diverge
+//   VE005 (warning) outputs agree only modulo reassociation; under
+//                   --strict-fp this escalates to an error
+//   VE006 (warning) matched output has different widths on the two sides
+//   VE007 (note)    unroll factor detected (sides stamped out)
+//   VE008 (warning) symbolic evaluation bailed out, with provenance
+//
+// Attributed divergences (a statically-understood cause such as
+// lane-phased recurrence state) demote VE002/VE004 to notes: the engine
+// cannot prove equivalence, but the mismatch is explained rather than a
+// finding against the kernels.
+
+#include <cstddef>
+#include <string_view>
+
+#include "equiv/equiv.hpp"
+#include "verify/diagnostics.hpp"
+
+namespace incore::equiv {
+
+/// Reports `r` into `sink`; returns the number of diagnostics emitted.
+/// `strict_fp` escalates VE005 to an error (the mode rejects
+/// reassociation-only equivalence).
+std::size_t lint_equivalence(const Result& r, std::string_view ref_name,
+                             std::string_view cand_name, bool strict_fp,
+                             verify::DiagnosticSink& sink);
+
+}  // namespace incore::equiv

@@ -106,6 +106,24 @@ std::span<const CodeInfo> all_codes() {
        "stream count exceeds the hardware-prefetcher tracking capacity"},
       {"VT008", Severity::Warning,
        "symbolic stride: the stream's footprint and traffic are unbounded"},
+      {"VE001", Severity::Error,
+       "live-out register sets differ (an output exists on one side only)"},
+      {"VE002", Severity::Error,
+       "live-out symbolic values diverge between the two kernels"},
+      {"VE003", Severity::Error,
+       "store sets differ: a memory cell is written on one side only"},
+      {"VE004", Severity::Error,
+       "stored symbolic values diverge for the same memory cell"},
+      {"VE005", Severity::Warning,
+       "outputs agree only modulo FP reassociation/contraction (rejected "
+       "under --strict-fp)"},
+      {"VE006", Severity::Warning,
+       "matched output register has different widths on the two sides"},
+      {"VE007", Severity::Note,
+       "unroll factor detected: sides compared over stamped-out iterations"},
+      {"VE008", Severity::Warning,
+       "unsupported opcode: symbolic evaluation bailed out (with "
+       "provenance)"},
   };
   return kCodes;
 }

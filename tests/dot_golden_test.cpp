@@ -1,0 +1,105 @@
+// Golden tests for the dataflow DOT export behind `incore-cli dataflow
+// --dot`: the rendering is byte-for-byte pinned for one fixed body per
+// ISA.  Downstream tooling diffs these graphs between runs, so node
+// numbering, edge order and styling are part of the contract -- if a
+// change here is intentional, update the expected text and say so in the
+// commit.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "analysis/dot.hpp"
+#include "asmir/parser.hpp"
+#include "dataflow/dataflow.hpp"
+#include "kernels/kernels.hpp"
+
+using namespace incore;
+
+namespace {
+
+std::string render(const char* body, asmir::Isa isa) {
+  const asmir::Program prog = asmir::parse(body, isa);
+  const dataflow::Analysis df = dataflow::analyze(prog);
+  return analysis::to_dot(df);
+}
+
+}  // namespace
+
+TEST(DotGolden, AArch64TriadIsPinned) {
+  const char* body =
+      "ldr q0, [x1], #16\n"
+      "ldr q1, [x2], #16\n"
+      "fmla v0.2d, v1.2d, v2.2d\n"
+      "str q0, [x0], #16\n"
+      "subs x6, x6, #2\n"
+      "b.ne .L2\n";
+  const char* expected =
+      "digraph defuse {\n"
+      "  rankdir=TB;\n"
+      "  node [shape=box, fontname=\"monospace\"];\n"
+      "  label=\"def-use | 8 chains (4 loop-carried)\";\n"
+      "  n0 [label=\"0: ldr q0, [x1], #16\"];\n"
+      "  n1 [label=\"1: ldr q1, [x2], #16\"];\n"
+      "  n2 [label=\"2: fmla v0.2d, v1.2d, v2.2d\"];\n"
+      "  n3 [label=\"3: str q0, [x0], #16\"];\n"
+      "  n4 [label=\"4: subs x6, x6, #2\"];\n"
+      "  n5 [label=\"5: b.ne .L2\"];\n"
+      "  n0 -> n0 [label=\"x1\", style=dashed];\n"
+      "  n0 -> n2 [label=\"v0\"];\n"
+      "  n1 -> n1 [label=\"x2\", style=dashed];\n"
+      "  n1 -> n2 [label=\"v1\"];\n"
+      "  n2 -> n3 [label=\"v0\"];\n"
+      "  n3 -> n3 [label=\"x0\", style=dashed];\n"
+      "  n4 -> n4 [label=\"x6\", style=dashed];\n"
+      "  n4 -> n5 [label=\"flags\"];\n"
+      "}\n";
+  EXPECT_EQ(render(body, asmir::Isa::AArch64), expected);
+}
+
+TEST(DotGolden, X86TriadIsPinned) {
+  // The AT&T '%' sigils must survive into the labels unescaped (DOT treats
+  // '%' literally inside quoted strings).
+  const char* body =
+      "vmovupd (%rsi,%rcx), %ymm0\n"
+      "vfmadd213pd (%rdx,%rcx), %ymm1, %ymm0\n"
+      "vmovupd %ymm0, (%rdi,%rcx)\n"
+      "addq $32, %rcx\n"
+      "cmpq %rax, %rcx\n"
+      "jne .L4\n";
+  const char* expected =
+      "digraph defuse {\n"
+      "  rankdir=TB;\n"
+      "  node [shape=box, fontname=\"monospace\"];\n"
+      "  label=\"def-use | 8 chains (4 loop-carried)\";\n"
+      "  n0 [label=\"0: vmovupd (%rsi,%rcx), %ymm0\"];\n"
+      "  n1 [label=\"1: vfmadd213pd (%rdx,%rcx), %ymm1, %ymm0\"];\n"
+      "  n2 [label=\"2: vmovupd %ymm0, (%rdi,%rcx)\"];\n"
+      "  n3 [label=\"3: addq $32, %rcx\"];\n"
+      "  n4 [label=\"4: cmpq %rax, %rcx\"];\n"
+      "  n5 [label=\"5: jne .L4\"];\n"
+      "  n0 -> n1 [label=\"ymm0\"];\n"
+      "  n1 -> n2 [label=\"ymm0\"];\n"
+      "  n3 -> n0 [label=\"rcx\", style=dashed];\n"
+      "  n3 -> n1 [label=\"rcx\", style=dashed];\n"
+      "  n3 -> n2 [label=\"rcx\", style=dashed];\n"
+      "  n3 -> n3 [label=\"rcx\", style=dashed];\n"
+      "  n3 -> n4 [label=\"rcx\"];\n"
+      "  n4 -> n5 [label=\"flags\"];\n"
+      "}\n";
+  EXPECT_EQ(render(body, asmir::Isa::X86_64), expected);
+}
+
+TEST(DotGolden, CorpusRenderingIsDeterministic) {
+  // Across the whole corpus: rendering the same analysis twice (and
+  // re-analyzing from scratch) must produce identical bytes -- no
+  // pointer-keyed iteration order may leak into the graph.
+  for (const kernels::Variant& v : kernels::test_matrix()) {
+    const kernels::GeneratedKernel g = kernels::generate(v);
+    const dataflow::Analysis df = dataflow::analyze(g.program);
+    const std::string once = analysis::to_dot(df);
+    EXPECT_EQ(once, analysis::to_dot(df)) << v.label();
+    const dataflow::Analysis again = dataflow::analyze(g.program);
+    EXPECT_EQ(once, analysis::to_dot(again)) << v.label();
+  }
+}

@@ -1,0 +1,336 @@
+// Unit tests for the semantic-equivalence engine: expression
+// canonicalization, the verdict ladder, reduction pooling, unroll
+// normalization, strict-FP mode and the VE lint surface.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "asmir/parser.hpp"
+#include "equiv/equiv.hpp"
+#include "equiv/expr.hpp"
+#include "equiv/lints.hpp"
+#include "kernels/kernels.hpp"
+#include "verify/diagnostics.hpp"
+
+using namespace incore;
+using asmir::Isa;
+
+namespace {
+
+equiv::Result run(const char* ref, const char* cand, Isa isa,
+                  equiv::Options opts = {}) {
+  equiv::Engine engine(opts);
+  return engine.check_text(ref, cand, isa);
+}
+
+bool has_code(const verify::DiagnosticSink& sink, const std::string& code) {
+  for (const auto& d : sink.diagnostics()) {
+    if (d.code == code) return true;
+  }
+  return false;
+}
+
+// --- Arena / canonicalization ------------------------------------------
+
+TEST(ExprArena, HashConsingInternsStructurally) {
+  equiv::Arena arena;
+  const equiv::ExprId a = arena.input(1, 0);
+  const equiv::ExprId b = arena.input(2, 0);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(arena.binary(equiv::ExprOp::Add, a, b),
+            arena.binary(equiv::ExprOp::Add, a, b));
+  EXPECT_EQ(arena.input(1, 0), a);
+}
+
+TEST(ExprArena, StrictCanonSortsCommutativeOperands) {
+  equiv::Arena arena;
+  const equiv::ExprId a = arena.input(1, 0);
+  const equiv::ExprId b = arena.input(2, 0);
+  const equiv::ExprId ab = arena.binary(equiv::ExprOp::Add, a, b);
+  const equiv::ExprId ba = arena.binary(equiv::ExprOp::Add, b, a);
+  EXPECT_NE(ab, ba);
+  EXPECT_EQ(arena.canonical(ab, equiv::CanonMode::Strict),
+            arena.canonical(ba, equiv::CanonMode::Strict));
+}
+
+TEST(ExprArena, StrictCanonKeepsAssociationAndFma) {
+  equiv::Arena arena;
+  const equiv::ExprId a = arena.input(1, 0);
+  const equiv::ExprId b = arena.input(2, 0);
+  const equiv::ExprId c = arena.input(3, 0);
+  const equiv::ExprId left = arena.binary(
+      equiv::ExprOp::Add, arena.binary(equiv::ExprOp::Add, a, b), c);
+  const equiv::ExprId right = arena.binary(
+      equiv::ExprOp::Add, a, arena.binary(equiv::ExprOp::Add, b, c));
+  EXPECT_NE(arena.canonical(left, equiv::CanonMode::Strict),
+            arena.canonical(right, equiv::CanonMode::Strict));
+  EXPECT_EQ(arena.canonical(left, equiv::CanonMode::Reassoc),
+            arena.canonical(right, equiv::CanonMode::Reassoc));
+  // fma(a,b,c) rounds once; a*b+c rounds twice.  Distinct under strict,
+  // identical under reassoc.
+  const equiv::ExprId fused = arena.fma(a, b, c);
+  const equiv::ExprId split = arena.binary(
+      equiv::ExprOp::Add, arena.binary(equiv::ExprOp::Mul, a, b), c);
+  EXPECT_NE(arena.canonical(fused, equiv::CanonMode::Strict),
+            arena.canonical(split, equiv::CanonMode::Strict));
+  EXPECT_EQ(arena.canonical(fused, equiv::CanonMode::Reassoc),
+            arena.canonical(split, equiv::CanonMode::Reassoc));
+}
+
+TEST(ExprArena, NegNegFoldsAndZeroDropsFromSums) {
+  equiv::Arena arena;
+  const equiv::ExprId a = arena.input(1, 0);
+  const equiv::ExprId nn =
+      arena.unary(equiv::ExprOp::Neg, arena.unary(equiv::ExprOp::Neg, a));
+  EXPECT_EQ(arena.canonical(nn, equiv::CanonMode::Strict), a);
+  const equiv::ExprId plus_zero =
+      arena.binary(equiv::ExprOp::Add, a, arena.zero());
+  EXPECT_EQ(arena.canonical(plus_zero, equiv::CanonMode::Reassoc), a);
+}
+
+TEST(Affine, ArithmeticNormalizes) {
+  using equiv::Affine;
+  const Affine x = Affine::symbol(7);
+  const Affine sum = x + x.scaled(2) + Affine::constant(16);
+  ASSERT_EQ(sum.terms.size(), 1u);
+  EXPECT_EQ(sum.terms[0].second, 3);
+  EXPECT_EQ(sum.c, 16);
+  const Affine zero = sum - sum;
+  EXPECT_TRUE(zero.is_constant());
+  EXPECT_EQ(zero.c, 0);
+}
+
+// --- Verdict ladder -----------------------------------------------------
+
+TEST(Equiv, IdenticalBodiesAreStrictEquivalent) {
+  const char* body =
+      "ldr d1, [x1], #8\n"
+      "fadd d0, d0, d1\n"
+      "subs x6, x6, #1\n"
+      "b.ne .L2\n";
+  const equiv::Result r = run(body, body, Isa::AArch64);
+  EXPECT_EQ(r.verdict, equiv::Verdict::Equivalent);
+  EXPECT_TRUE(r.accepted(/*strict_fp=*/true));
+}
+
+TEST(Equiv, CommutedOperandsStayStrictEquivalent) {
+  const equiv::Result r = run("fadd d0, d0, d1\n", "fadd d0, d1, d0\n",
+                              Isa::AArch64);
+  EXPECT_EQ(r.verdict, equiv::Verdict::Equivalent);
+}
+
+TEST(Equiv, ReassociatedReductionIsReassocOnly) {
+  // d0 += d1; d0 += d2   vs   d3 = d1 + d2; d0 += d3
+  const char* ref =
+      "fadd d0, d0, d1\n"
+      "fadd d0, d0, d2\n";
+  const char* cand =
+      "fadd d3, d1, d2\n"
+      "fadd d0, d0, d3\n";
+  const equiv::Result r = run(ref, cand, Isa::AArch64);
+  EXPECT_EQ(r.verdict, equiv::Verdict::ReassociationOnly);
+  EXPECT_TRUE(r.accepted(/*strict_fp=*/false));
+  EXPECT_FALSE(r.accepted(/*strict_fp=*/true));
+}
+
+TEST(Equiv, StrictFpEscalatesVe005ToError) {
+  const char* ref =
+      "fadd d0, d0, d1\n"
+      "fadd d0, d0, d2\n";
+  const char* cand =
+      "fadd d3, d1, d2\n"
+      "fadd d0, d0, d3\n";
+  const equiv::Result r = run(ref, cand, Isa::AArch64);
+  verify::DiagnosticSink relaxed;
+  equiv::lint_equivalence(r, "ref", "cand", /*strict_fp=*/false, relaxed);
+  EXPECT_TRUE(has_code(relaxed, "VE005"));
+  EXPECT_EQ(relaxed.errors(), 0u);
+  verify::DiagnosticSink strict;
+  equiv::lint_equivalence(r, "ref", "cand", /*strict_fp=*/true, strict);
+  EXPECT_TRUE(has_code(strict, "VE005"));
+  EXPECT_EQ(strict.errors(), 1u);
+}
+
+TEST(Equiv, RenamedAccumulatorPoolsAcrossSides) {
+  // The accumulator register's identity is irrelevant for a reduction:
+  // pooling matches d0 += x against d2 += x.
+  const equiv::Result r = run("ldr d1, [x1], #8\nfadd d0, d0, d1\n",
+                              "ldr d1, [x1], #8\nfadd d2, d2, d1\n",
+                              Isa::AArch64);
+  EXPECT_EQ(r.verdict, equiv::Verdict::ReassociationOnly);
+}
+
+TEST(Equiv, VectorizedReductionPoolsAgainstScalar) {
+  // 2-lane SIMD sum vs the scalar loop stamped twice.
+  const char* vec =
+      "ldr q1, [x1], #16\n"
+      "fadd v0.2d, v0.2d, v1.2d\n"
+      "subs x6, x6, #2\n"
+      "b.ne .L2\n";
+  const char* scalar =
+      "ldr d1, [x1], #8\n"
+      "fadd d0, d0, d1\n"
+      "subs x6, x6, #1\n"
+      "b.ne .L2\n";
+  const equiv::Result r = run(vec, scalar, Isa::AArch64);
+  EXPECT_EQ(r.verdict, equiv::Verdict::ReassociationOnly);
+  EXPECT_EQ(r.cand_stamps, 2);
+  bool saw_pooled = false;
+  for (const auto& d : r.outputs) {
+    if (d.pooled) {
+      saw_pooled = true;
+      EXPECT_TRUE(d.reassoc_equal);
+      EXPECT_TRUE(d.width_mismatch);
+    }
+  }
+  EXPECT_TRUE(saw_pooled);
+  verify::DiagnosticSink sink;
+  equiv::lint_equivalence(r, "vec", "scalar", false, sink);
+  EXPECT_TRUE(has_code(sink, "VE006"));
+  EXPECT_TRUE(has_code(sink, "VE007"));
+}
+
+TEST(Equiv, UnrollTextStampsOut) {
+  const char* body =
+      "ldr q0, [x2], #16\n"
+      "str q0, [x1], #16\n"
+      "subs x6, x6, #2\n"
+      "b.ne .L2\n";
+  const std::string twice = equiv::unroll_text(body, 2);
+  const equiv::Result r = run(body, twice.c_str(), Isa::AArch64);
+  EXPECT_EQ(r.verdict, equiv::Verdict::Equivalent);
+  EXPECT_EQ(r.ref_stamps, 2);
+  EXPECT_EQ(r.cand_stamps, 1);
+  EXPECT_EQ(r.ref_advance, 16);
+  EXPECT_EQ(r.cand_advance, 32);
+}
+
+TEST(Equiv, DivergingStoreValueIsVe004) {
+  const equiv::Result r = run(
+      "ldr d0, [x2], #8\nfmul d0, d0, d1\nstr d0, [x1], #8\n",
+      "ldr d0, [x2], #8\nfadd d0, d0, d1\nstr d0, [x1], #8\n",
+      Isa::AArch64);
+  EXPECT_EQ(r.verdict, equiv::Verdict::Different);
+  verify::DiagnosticSink sink;
+  equiv::lint_equivalence(r, "a", "b", false, sink);
+  EXPECT_TRUE(has_code(sink, "VE004"));
+  EXPECT_GT(sink.errors(), 0u);
+}
+
+TEST(Equiv, StoreSetMismatchIsVe003) {
+  const equiv::Result r =
+      run("str d0, [x1], #8\n", "str d0, [x2], #8\n", Isa::AArch64);
+  EXPECT_EQ(r.verdict, equiv::Verdict::Different);
+  verify::DiagnosticSink sink;
+  equiv::lint_equivalence(r, "a", "b", false, sink);
+  EXPECT_TRUE(has_code(sink, "VE003"));
+}
+
+TEST(Equiv, NonPoolableLiveOutMismatchIsVe001) {
+  // A multiplicative update is not reduction-shaped, so a renamed
+  // accumulator cannot pool and surfaces as a set mismatch.
+  const equiv::Result r =
+      run("fmul d0, d0, d1\n", "fmul d2, d2, d1\n", Isa::AArch64);
+  EXPECT_EQ(r.verdict, equiv::Verdict::Different);
+  verify::DiagnosticSink sink;
+  equiv::lint_equivalence(r, "a", "b", false, sink);
+  EXPECT_TRUE(has_code(sink, "VE001"));
+}
+
+TEST(Equiv, UnsupportedOpcodeBailsOutWithProvenance) {
+  const equiv::Result r = run("ld1w {z0.s}, p0/z, [x0]\n",
+                              "ld1w {z0.s}, p0/z, [x0]\n", Isa::AArch64);
+  EXPECT_EQ(r.verdict, equiv::Verdict::Unsupported);
+  ASSERT_FALSE(r.ref_unsupported.empty());
+  EXPECT_NE(r.ref_unsupported[0].find("ld1w"), std::string::npos);
+  verify::DiagnosticSink sink;
+  equiv::lint_equivalence(r, "a", "b", false, sink);
+  EXPECT_TRUE(has_code(sink, "VE008"));
+}
+
+TEST(Equiv, StoreToLoadForwardingSeesThroughMemory) {
+  // The second load reads the cell the first store wrote.
+  const char* spill =
+      "fadd d0, d0, d1\n"
+      "str d0, [x9, #0]\n"
+      "ldr d2, [x9, #0]\n"
+      "fadd d0, d2, d1\n";
+  const char* direct =
+      "fadd d0, d0, d1\n"
+      "str d0, [x9, #0]\n"
+      "fadd d0, d0, d1\n";
+  const equiv::Result r = run(spill, direct, Isa::AArch64);
+  EXPECT_EQ(r.verdict, equiv::Verdict::Equivalent);
+}
+
+// --- Acceptance criteria from the paper workflow ------------------------
+
+TEST(Equiv, GaussSeidelFmovVariantProvenEquivalent) {
+  // The V2 move-elimination case: GCC's extra `fmov d0, d5` in the
+  // recurrence (renamed away on silicon) must not change the function.
+  kernels::Variant with_fmov;
+  with_fmov.kernel = kernels::Kernel::GaussSeidel2D5pt;
+  with_fmov.compiler = kernels::Compiler::Gcc;
+  with_fmov.opt = kernels::OptLevel::O3;
+  with_fmov.target = uarch::Micro::NeoverseV2;
+  kernels::Variant without = with_fmov;
+  without.compiler = kernels::Compiler::Clang;
+  const auto a = kernels::generate(with_fmov);
+  const auto b = kernels::generate(without);
+  ASSERT_NE(a.assembly.find("fmov"), std::string::npos);
+  EXPECT_EQ(b.assembly.find("fmov"), std::string::npos);
+  equiv::Engine engine;
+  const equiv::Result r =
+      engine.check_text(a.assembly, b.assembly, Isa::AArch64);
+  EXPECT_EQ(r.verdict, equiv::Verdict::Equivalent);
+  EXPECT_TRUE(r.accepted(/*strict_fp=*/true));
+}
+
+TEST(Equiv, StrictFpRejectsVectorizedSum) {
+  // Default mode accepts a vectorized (reassociated) reduction against the
+  // scalar loop; --strict-fp must reject it.
+  kernels::Variant scalar;
+  scalar.kernel = kernels::Kernel::SumReduction;
+  scalar.compiler = kernels::Compiler::Gcc;
+  scalar.opt = kernels::OptLevel::O3;
+  scalar.target = uarch::Micro::GoldenCove;
+  kernels::Variant vectorized = scalar;
+  vectorized.compiler = kernels::Compiler::Clang;
+  vectorized.opt = kernels::OptLevel::Ofast;  // reductions vectorize here
+  const auto a = kernels::generate(scalar);
+  const auto b = kernels::generate(vectorized);
+  equiv::Engine engine;
+  const equiv::Result r =
+      engine.check_text(a.assembly, b.assembly, Isa::X86_64);
+  EXPECT_EQ(r.verdict, equiv::Verdict::ReassociationOnly);
+  EXPECT_TRUE(r.accepted(/*strict_fp=*/false));
+  EXPECT_FALSE(r.accepted(/*strict_fp=*/true));
+}
+
+// --- Engine memoization -------------------------------------------------
+
+TEST(Equiv, EngineMemoizesTextSummaries) {
+  const char* body = "ldr d1, [x1], #8\nfadd d0, d0, d1\n";
+  equiv::Engine engine;
+  (void)engine.check_text(body, body, Isa::AArch64);
+  EXPECT_EQ(engine.memo_misses(), 1u);  // both sides share one text
+  EXPECT_EQ(engine.memo_hits(), 1u);
+  (void)engine.check_text(body, body, Isa::AArch64);
+  EXPECT_EQ(engine.memo_misses(), 1u);
+  EXPECT_EQ(engine.memo_hits(), 3u);
+}
+
+// --- Renderers ----------------------------------------------------------
+
+TEST(Equiv, JsonAndTextRenderVerdict) {
+  const equiv::Result r = run("fadd d0, d0, d1\n", "fadd d0, d1, d0\n",
+                              Isa::AArch64);
+  const std::string text = equiv::to_text(r);
+  EXPECT_NE(text.find("verdict: equivalent"), std::string::npos);
+  const std::string json = equiv::to_json(r);
+  EXPECT_NE(json.find("\"verdict\": \"equivalent\""), std::string::npos);
+  EXPECT_NE(json.find("\"outputs\""), std::string::npos);
+}
+
+}  // namespace

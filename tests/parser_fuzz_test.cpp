@@ -1,0 +1,180 @@
+// Parser robustness under mutated input.
+//
+// The assembly front ends are fed compiler output in the normal flow, but
+// the CLI and the service also accept arbitrary files over the wire.  This
+// harness takes every corpus block, damages it deterministically -- random
+// byte flips, truncation at arbitrary offsets, duplicated and deleted
+// tokens -- and asserts the contract from asmir/parser.hpp: parse() either
+// returns a Program or throws support::ParseError.  Any crash, any other
+// exception type, or an unbounded walk (caught by the sanitized twin of
+// this test under ASan/UBSan) is a bug.
+//
+// Everything is seeded from support::Rng, so a failure reproduces exactly.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "asmir/parser.hpp"
+#include "kernels/kernels.hpp"
+#include "support/error.hpp"
+#include "support/hash.hpp"
+#include "support/rng.hpp"
+
+using namespace incore;
+using support::Rng;
+
+namespace {
+
+struct SeedBlock {
+  std::string text;
+  asmir::Isa isa = asmir::Isa::AArch64;
+};
+
+/// The corpus deduplicated by assembly text: every distinct block shape
+/// the generators can produce, on both ISAs and in both x86 syntaxes.
+const std::vector<SeedBlock>& seed_blocks() {
+  static const std::vector<SeedBlock> blocks = [] {
+    std::vector<SeedBlock> out;
+    std::vector<std::string> seen;
+    for (const kernels::Variant& v : kernels::test_matrix()) {
+      kernels::GeneratedKernel g = kernels::generate(v);
+      const std::string key = support::text_key(g.assembly);
+      bool duplicate = false;
+      for (const std::string& s : seen) duplicate |= (s == key);
+      if (duplicate) continue;
+      seen.push_back(key);
+      out.push_back({std::move(g.assembly), g.program.isa});
+    }
+    return out;
+  }();
+  return blocks;
+}
+
+/// The contract under test: parse returns or throws ParseError, nothing
+/// else.  Returns true if the mutant still parsed cleanly.
+bool parse_survives(const std::string& text, asmir::Isa isa) {
+  try {
+    const asmir::Program p = asmir::parse(text, isa);
+    // A parsed mutant must still be internally consistent enough to walk.
+    for (const asmir::Instruction& inst : p.code) {
+      (void)inst.mnemonic.size();
+    }
+    return true;
+  } catch (const support::ParseError&) {
+    return false;  // rejected with a diagnostic: also fine
+  }
+  // Any other exception escapes and fails the test with its own message.
+}
+
+std::string flip_bytes(std::string text, Rng& rng, int flips) {
+  if (text.empty()) return text;
+  for (int i = 0; i < flips; ++i) {
+    const std::size_t pos = rng.below(text.size());
+    text[pos] = static_cast<char>(rng.below(256));
+  }
+  return text;
+}
+
+std::string truncate_at(const std::string& text, Rng& rng) {
+  if (text.empty()) return text;
+  return text.substr(0, rng.below(text.size()));
+}
+
+/// Splits on whitespace boundaries, then duplicates or deletes a few
+/// tokens: the shape of damage a hand-edited .s file actually has.
+std::string shuffle_tokens(const std::string& text, Rng& rng) {
+  std::vector<std::string> tokens;
+  std::string cur;
+  for (char c : text) {
+    if (c == ' ' || c == '\t' || c == '\n' || c == ',') {
+      if (!cur.empty()) tokens.push_back(cur);
+      cur.clear();
+      tokens.push_back(std::string(1, c));
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) tokens.push_back(cur);
+  if (tokens.empty()) return text;
+  for (int i = 0; i < 4; ++i) {
+    const std::size_t pos = rng.below(tokens.size());
+    if (rng.below(2) == 0) {
+      tokens.insert(tokens.begin() + static_cast<std::ptrdiff_t>(pos),
+                    tokens[pos]);
+    } else if (tokens.size() > 1) {
+      tokens.erase(tokens.begin() + static_cast<std::ptrdiff_t>(pos));
+    }
+  }
+  std::string out;
+  for (const std::string& t : tokens) out += t;
+  return out;
+}
+
+}  // namespace
+
+TEST(ParserFuzz, ByteFlipsNeverCrash) {
+  Rng rng(0xf1f1f1f1ULL);
+  int parsed = 0;
+  int rejected = 0;
+  for (const SeedBlock& b : seed_blocks()) {
+    for (int round = 0; round < 8; ++round) {
+      const std::string mutant =
+          flip_bytes(b.text, rng, 1 + static_cast<int>(rng.below(8)));
+      (parse_survives(mutant, b.isa) ? parsed : rejected) += 1;
+    }
+  }
+  // Both outcomes must actually occur: all-parsed means the mutator is
+  // toothless, all-rejected means the parser got brittle.
+  EXPECT_GT(parsed, 0);
+  EXPECT_GT(rejected, 0);
+}
+
+TEST(ParserFuzz, TruncationNeverCrashes) {
+  Rng rng(0x7272c473ULL);
+  for (const SeedBlock& b : seed_blocks()) {
+    for (int round = 0; round < 8; ++round) {
+      (void)parse_survives(truncate_at(b.text, rng), b.isa);
+    }
+  }
+}
+
+TEST(ParserFuzz, TokenDuplicationAndDeletionNeverCrash) {
+  Rng rng(0xd0d0d0d0ULL);
+  for (const SeedBlock& b : seed_blocks()) {
+    for (int round = 0; round < 8; ++round) {
+      (void)parse_survives(shuffle_tokens(b.text, rng), b.isa);
+    }
+  }
+}
+
+TEST(ParserFuzz, CrossIsaInputIsDiagnosedNotFatal) {
+  // Feeding each block to the *other* ISA's front end must also hold the
+  // contract: AT&T x86 handed to the AArch64 parser and vice versa.
+  for (const SeedBlock& b : seed_blocks()) {
+    const asmir::Isa other = b.isa == asmir::Isa::AArch64
+                                 ? asmir::Isa::X86_64
+                                 : asmir::Isa::AArch64;
+    (void)parse_survives(b.text, other);
+  }
+}
+
+TEST(ParserFuzz, EdgeCaseInputsAreHandled) {
+  const char* cases[] = {
+      "",
+      "\n",
+      "\0x00",
+      ",,,,,",
+      "[", "]", "(", ")",
+      "ldr", "mov ", "add x0,", "vmovupd %",
+      ".L2:", "# comment only\n",
+      "ldr d0, [x1, #-9223372036854775808]\n",
+      "add x0, x0, #99999999999999999999999999\n",
+  };
+  for (const char* c : cases) {
+    (void)parse_survives(c, asmir::Isa::AArch64);
+    (void)parse_survives(c, asmir::Isa::X86_64);
+  }
+}

@@ -2,8 +2,9 @@
 // all three parser frontends (AArch64, x86 AT&T, x86 Intel), analytic
 // volume checks against hand-derived rates, the VT lint family, and the
 // trace-simulator cross-validation -- including the explicitly attributed
-// corpus exceptions (SVE symbolic strides, the SPR jacobi-3d layer-
-// condition boundary, the Genoa jacobi-3d-27pt associativity conflict).
+// corpus exceptions (the SPR jacobi-3d layer-condition boundary, the
+// Genoa jacobi-3d-27pt associativity conflict) and the symbolic-stride
+// skip path.
 
 #include <gtest/gtest.h>
 
@@ -217,11 +218,27 @@ TEST(TrafficCrosscheck, StreamTriadAgreesExactly) {
 }
 
 // Pinned corpus exception: SVE codegen advances bases by `incb` -- a
-// scalable, statically unknown stride.  The crosscheck must skip with the
-// symbolic-stride attribution rather than fabricate a layout.
-TEST(TrafficCrosscheck, SveSymbolicStrideSkipsAttributed) {
+// scalable stride.  The dataflow pass resolves SVE element-count
+// increments (incd = += VL/64 under the fixed 128-bit model) to constant
+// advances, so these streams are unit-stride with a concrete +16B/iter
+// and the crosscheck runs the full trace comparison and agrees -- the
+// block is no longer a symbolic-stride skip.
+TEST(TrafficCrosscheck, SveElementCountStridesResolveAndAgree) {
   const driver::Block b = block_labeled("stream-triad-gcc-Ofast-GCS");
   const traffic::Crosscheck c = traffic::crosscheck(b.gen.program, *b.mm);
+  EXPECT_FALSE(c.skipped);
+  EXPECT_TRUE(c.ok);
+  EXPECT_TRUE(c.attributions.empty());
+}
+
+// A genuinely unknowable layout -- a pointer chase redefines the base from
+// its own load -- must still skip with the symbolic-stride attribution
+// rather than fabricate a layout.
+TEST(TrafficCrosscheck, SymbolicStrideSkipsAttributed) {
+  const auto& mm = uarch::machine(uarch::Micro::NeoverseV2);
+  const traffic::Crosscheck c =
+      traffic::crosscheck(keep(asmir::parse("ldr x1, [x1]\n", Isa::AArch64)),
+                          mm);
   EXPECT_TRUE(c.skipped);
   EXPECT_TRUE(c.ok);
   ASSERT_FALSE(c.attributions.empty());

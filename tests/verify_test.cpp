@@ -94,10 +94,15 @@ TEST(DiagnosticSink, CodeRegistryIsOrderedAndUnique) {
     EXPECT_TRUE(seen.insert(info.code).second) << "duplicate " << info.code;
     EXPECT_TRUE(info.summary != nullptr && info.summary[0] != '\0');
   }
-  // Families in registration order (VM, then VK, then VP), each family in
+  // Families in registration order (VM, VK, VP, VT, VE), each family in
   // code order.
   auto family_rank = [](char c) {
-    return c == 'M' ? 0 : c == 'K' ? 1 : c == 'P' ? 2 : 3;
+    return c == 'M'   ? 0
+           : c == 'K' ? 1
+           : c == 'P' ? 2
+           : c == 'T' ? 3
+           : c == 'E' ? 4
+                      : 5;
   };
   for (std::size_t i = 1; i < codes.size(); ++i) {
     std::string prev = codes[i - 1].code, cur = codes[i].code;

@@ -24,6 +24,7 @@
 #include <fstream>
 #include <functional>
 #include <iostream>
+#include <optional>
 #include <set>
 #include <sstream>
 #include <string>
@@ -39,6 +40,8 @@
 #include "driver/sweep.hpp"
 #include "ecm/crosscheck.hpp"
 #include "ecm/ecm.hpp"
+#include "equiv/equiv.hpp"
+#include "equiv/lints.hpp"
 #include "exec/exec.hpp"
 #include "kernels/kernels.hpp"
 #include "mca/mca.hpp"
@@ -113,6 +116,12 @@ int usage() {
       "            cache trace simulator and compare) --machine-file <m.mdf>\n"
       "  traffic --all                    cross-validate the static volumes\n"
       "                                   of every unique corpus block\n"
+      "  equiv <ref.s> <cand.s>           static semantic-equivalence proof\n"
+      "                                   of two loop bodies (same ISA)\n"
+      "       equiv flags: --json --strict-fp (reject reassociation-only\n"
+      "            equivalence) --isa aarch64|x86 (default: sniffed from\n"
+      "            the AT&T '%%' register sigils); exit 0 when the verdict\n"
+      "            is accepted, 1 otherwise; VE diagnostics on stderr\n"
       "  dot <machine> [file.s]           dependency graph as Graphviz DOT\n"
       "  timeline <machine> [file.s]      pipeline timeline (llvm-mca style)\n"
       "  forms <machine> [substring]      list instruction-form database\n"
@@ -550,6 +559,67 @@ int cmd_dataflow(int argc, char** argv) {
   return 0;
 }
 
+int cmd_equiv(int argc, char** argv) {
+  bool json = false;
+  bool strict_fp = false;
+  std::optional<asmir::Isa> isa;
+  const char* ref_path = nullptr;
+  const char* cand_path = nullptr;
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--json") {
+      json = true;
+    } else if (a == "--strict-fp") {
+      strict_fp = true;
+    } else if (a == "--isa") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--isa needs a value (aarch64 or x86)\n");
+        return 2;
+      }
+      const std::string v = argv[++i];
+      if (v == "aarch64" || v == "arm") {
+        isa = asmir::Isa::AArch64;
+      } else if (v == "x86" || v == "x86-64" || v == "x86_64") {
+        isa = asmir::Isa::X86_64;
+      } else {
+        std::fprintf(stderr, "unknown ISA '%s'\n", v.c_str());
+        return 2;
+      }
+    } else if (a.starts_with("--")) {
+      std::fprintf(stderr, "unknown equiv flag '%s'\n", a.c_str());
+      return usage();
+    } else if (ref_path == nullptr) {
+      ref_path = argv[i];
+    } else if (cand_path == nullptr) {
+      cand_path = argv[i];
+    } else {
+      std::fprintf(stderr, "equiv takes exactly two kernel files\n");
+      return usage();
+    }
+  }
+  if (ref_path == nullptr || cand_path == nullptr) return usage();
+  std::string ref_text;
+  std::string cand_text;
+  if (!read_input(ref_path, ref_text) || !read_input(cand_path, cand_text))
+    return 1;
+  if (!isa) {
+    // AT&T x86 registers carry a '%' sigil; AArch64 text never does.
+    const bool x86 = ref_text.find('%') != std::string::npos;
+    isa = x86 ? asmir::Isa::X86_64 : asmir::Isa::AArch64;
+  }
+  equiv::Options opts;
+  opts.strict_fp = strict_fp;
+  equiv::Engine engine(opts);
+  const equiv::Result result = engine.check_text(ref_text, cand_text, *isa);
+  std::fputs(
+      (json ? equiv::to_json(result) : equiv::to_text(result)).c_str(),
+      stdout);
+  verify::DiagnosticSink sink;
+  equiv::lint_equivalence(result, ref_path, cand_path, strict_fp, sink);
+  if (!sink.empty()) std::fputs(sink.to_text().c_str(), stderr);
+  return result.accepted(strict_fp) ? 0 : 1;
+}
+
 int cmd_timeline(const std::string& machine_name, const char* path) {
   uarch::MachineRef ref;
   if (!parse_machine(machine_name, ref)) return 2;
@@ -908,12 +978,14 @@ const char* family_title(std::string_view family) {
   if (family == "VK") return "kernel & dataflow lints";
   if (family == "VP") return "prediction-audit lints";
   if (family == "VT") return "traffic lints";
+  if (family == "VE") return "semantic-equivalence lints";
   return "diagnostics";
 }
 
 const char* family_doc(std::string_view family) {
   if (family == "VP") return "docs/audit.md";
   if (family == "VT") return "docs/traffic.md";
+  if (family == "VE") return "docs/equivalence.md";
   return "docs/linting.md";
 }
 
@@ -1426,6 +1498,7 @@ int main(int argc, char** argv) {
     if (cmd == "client") return cmd_client(argc, argv);
     if (cmd == "analyze" && argc >= 3) return cmd_analyze(argc, argv);
     if (cmd == "dataflow" && argc >= 3) return cmd_dataflow(argc, argv);
+    if (cmd == "equiv" && argc >= 3) return cmd_equiv(argc, argv);
     if (cmd == "sweep") return cmd_sweep(argc, argv);
     if (cmd == "export-model" && argc >= 3)
       return cmd_export_model(argc, argv);

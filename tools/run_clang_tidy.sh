@@ -6,7 +6,9 @@
 # build-dir defaults to ./build and must contain compile_commands.json
 # (configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON, which
 # -DINCORE_TIDY=ON also sets).  Paths default to the whole library tree
-# under src/.  Exit status is clang-tidy's, so this composes with CI.
+# under src/.  Every enabled check is escalated to an error
+# (--warnings-as-errors='*'), so the exit status gates CI: a new tidy
+# finding fails the job instead of scrolling past in the log.
 set -eu
 
 repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -35,4 +37,4 @@ for d in $dirs; do
 done
 
 # shellcheck disable=SC2086
-exec clang-tidy -p "$build" --quiet $files
+exec clang-tidy -p "$build" --quiet --warnings-as-errors='*' $files
